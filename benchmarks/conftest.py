@@ -1,0 +1,51 @@
+"""Shared benchmark configuration.
+
+Every paper artifact (Figure 1, Figure 2 panels) has one benchmark target
+here; running ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+text tables and CSV files under ``benchmarks/results/``.
+
+Scaled defaults are used (see DESIGN.md): the solver substrate is pure
+Python, so query sizes and budgets are proportionally smaller than the
+paper's 10-60 tables at 60 s.  Set ``REPRO_BENCH_SCALE=paper`` in the
+environment for paper-scale runs (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scaled-down defaults for the anytime comparison.
+SCALED = {
+    "sizes": (4, 6, 8),
+    "queries": 2,
+    "budget": 3.0,
+    "figure1_sizes": (10, 20, 30, 40, 50, 60),
+    "figure1_seeds": 5,
+}
+
+PAPER = {
+    "sizes": (10, 20, 30, 40, 50, 60),
+    "queries": 20,
+    "budget": 60.0,
+    "figure1_sizes": (10, 20, 30, 40, 50, 60),
+    "figure1_seeds": 20,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Experiment scale: ``SCALED`` by default, ``PAPER`` on request."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return PAPER
+    return SCALED
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,135 @@
+"""Benchmarks A1-A3 — ablation studies (beyond the paper's figures).
+
+A1: threshold precision sweep; A2: solver feature matrix (warm start,
+heuristics, tangent cuts, threshold ordering); A3: cost model comparison.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.ablation import (
+    format_rows,
+    run_cost_model_ablation,
+    run_precision_sweep,
+    run_solver_ablation,
+)
+from repro.harness.reporting import write_csv
+
+
+def _dump(rows, name, results_dir):
+    write_csv(
+        results_dir / f"ablation_{name}.csv",
+        ["configuration", "true_cost_ratio", "factor", "nodes", "time"],
+        [
+            [r.configuration, r.mean_true_cost_ratio, r.mean_factor,
+             r.mean_nodes, r.mean_time]
+            for r in rows
+        ],
+    )
+
+
+def test_ablation_precision(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_precision_sweep,
+        kwargs={"num_tables": 6, "queries": 2, "budget": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_rows(rows, "A1: precision sweep"))
+    _dump(rows, "precision", results_dir)
+    # Every tolerance must still produce plans with finite guarantees.
+    assert all(not math.isinf(r.mean_factor) for r in rows)
+    # Coarser grids give smaller/faster models; the coarsest must be the
+    # fastest to prove its (weaker) guarantee.
+    assert rows[-1].mean_time <= rows[0].mean_time * 1.5
+
+
+def test_ablation_solver_features(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_solver_ablation,
+        kwargs={"num_tables": 6, "queries": 2, "budget": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_rows(rows, "A2: solver feature ablation"))
+    _dump(rows, "solver", results_dir)
+    full = rows[0]
+    assert full.configuration == "full"
+    assert not math.isinf(full.mean_factor)
+
+
+def test_ablation_cost_models(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_cost_model_ablation,
+        kwargs={"num_tables": 5, "queries": 2, "budget": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_rows(rows, "A3: cost model comparison"))
+    _dump(rows, "cost_models", results_dir)
+    # All four Section 4.3 encodings must produce bounded-quality plans.
+    assert len(rows) == 4
+    assert all(not math.isinf(r.mean_true_cost_ratio) for r in rows)
+
+
+def test_ablation_portfolio(benchmark, results_dir):
+    from repro.harness.ablation import run_portfolio_comparison
+
+    rows = benchmark.pedantic(
+        run_portfolio_comparison,
+        kwargs={"num_tables": 6, "queries": 2, "budget": 6.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_rows(rows, "A5: single search vs portfolio"))
+    _dump(rows, "portfolio", results_dir)
+    by_name = {r.configuration: r for r in rows}
+    # All modes must retain the MILP guarantee; the portfolio explores at
+    # least as many nodes as the single search in aggregate.
+    assert all(not math.isinf(r.mean_factor) for r in rows)
+    assert (
+        by_name["portfolio (parallel)"].mean_nodes
+        >= by_name["single search"].mean_nodes * 0.5
+    )
+
+
+def test_ablation_bushy(benchmark, results_dir):
+    from repro.harness.ablation import run_bushy_comparison
+
+    rows = benchmark.pedantic(
+        run_bushy_comparison,
+        kwargs={"num_tables": 5, "queries": 2, "budget": 20.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_rows(rows, "A6: left-deep vs bushy plan spaces"))
+    _dump(rows, "bushy", results_dir)
+    by_name = {r.configuration: r for r in rows}
+    # The bushy space contains every left-deep plan: on chain queries the
+    # bushy MILP never does worse (ratios are relative to the bushy DP).
+    assert (
+        by_name["bushy MILP"].mean_true_cost_ratio
+        <= by_name["left-deep MILP"].mean_true_cost_ratio + 1e-9
+    )
+    assert by_name["bushy DP (no cross products)"].mean_true_cost_ratio == (
+        pytest.approx(1.0)
+    )
+
+
+def test_ablation_heuristics(benchmark, results_dir):
+    from repro.harness.ablation import run_heuristics_comparison
+
+    rows = benchmark.pedantic(
+        run_heuristics_comparison,
+        kwargs={"num_tables": 6, "queries": 2, "budget": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_rows(rows, "A4: MILP vs heuristic family"))
+    _dump(rows, "heuristics", results_dir)
+    by_name = {r.configuration: r for r in rows}
+    # Only the MILP approach carries a finite guarantee (paper Section 2).
+    assert not math.isinf(by_name["MILP (medium)"].mean_factor)
+    assert math.isinf(by_name["simulated annealing"].mean_factor)
+    assert math.isinf(by_name["greedy"].mean_factor)

@@ -1,0 +1,47 @@
+"""Benchmark E1 — regenerates paper Figure 1 (MILP model size).
+
+Measures the median number of variables and constraints per query for the
+three precision configurations across query sizes, and times the
+formulation build itself.
+"""
+
+from repro.harness.figure1 import format_figure1, run_figure1
+from repro.harness.reporting import write_csv
+
+
+def test_figure1_model_size(benchmark, bench_scale, results_dir):
+    sizes = bench_scale["figure1_sizes"]
+    seeds = bench_scale["figure1_seeds"]
+
+    rows = benchmark.pedantic(
+        run_figure1,
+        kwargs={"sizes": sizes, "seeds": seeds, "topology": "star"},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_figure1(rows)
+    print("\n" + table)
+    write_csv(
+        results_dir / "figure1.csv",
+        ["topology", "tables", "precision", "thresholds", "variables",
+         "constraints"],
+        [
+            [r.topology, r.num_tables, r.precision, r.thresholds,
+             r.variables, r.constraints]
+            for r in rows
+        ],
+    )
+
+    # Figure 1's qualitative shape must hold: size grows with tables and
+    # with precision.
+    by_key = {(r.num_tables, r.precision): r for r in rows}
+    for precision in ("high", "medium", "low"):
+        series = [by_key[(n, precision)].variables for n in sizes]
+        assert series == sorted(series), "variables must grow with tables"
+    for n in sizes:
+        assert (
+            by_key[(n, "high")].variables
+            >= by_key[(n, "medium")].variables
+            >= by_key[(n, "low")].variables
+        )

@@ -1,0 +1,54 @@
+"""Benchmark E2 — regenerates paper Figure 2, chain panels.
+
+Runs DP and the three ILP precision configurations under a shared budget
+on random chain queries and reports the median guaranteed optimality
+factor over time.  Chains are the hardest shape for the MILP approach
+(Section 7.2) — the trajectories converge more slowly than for stars.
+"""
+
+import math
+
+from repro.harness.figure2 import format_panel, run_panel
+from repro.harness.reporting import write_csv
+
+TOPOLOGY = "chain"
+
+
+def test_figure2_chain(benchmark, bench_scale, results_dir):
+    panels = benchmark.pedantic(
+        lambda: [
+            run_panel(
+                TOPOLOGY,
+                n,
+                queries=bench_scale["queries"],
+                budget=bench_scale["budget"],
+                cost_model="hash",
+            )
+            for n in bench_scale["sizes"]
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for panel in panels:
+        print("\n" + format_panel(panel))
+        for algorithm, series in sorted(panel.series.items()):
+            for sample in series:
+                rows.append(
+                    [panel.topology, panel.num_tables, algorithm,
+                     sample.time, sample.factor]
+                )
+    write_csv(
+        results_dir / f"figure2_{TOPOLOGY}.csv",
+        ["topology", "tables", "algorithm", "time", "factor"],
+        rows,
+    )
+    # Shape check: every ILP configuration ends with a finite guarantee
+    # (a plan plus bound) on every panel.
+    for panel in panels:
+        for algorithm, series in panel.series.items():
+            if algorithm.startswith("ILP"):
+                assert not math.isinf(series[-1].factor), (
+                    f"{algorithm} produced no guaranteed plan on "
+                    f"{panel.topology}-{panel.num_tables}"
+                )

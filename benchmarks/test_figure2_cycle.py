@@ -1,0 +1,43 @@
+"""Benchmark E3 — regenerates paper Figure 2, cycle panels."""
+
+import math
+
+from repro.harness.figure2 import format_panel, run_panel
+from repro.harness.reporting import write_csv
+
+TOPOLOGY = "cycle"
+
+
+def test_figure2_cycle(benchmark, bench_scale, results_dir):
+    panels = benchmark.pedantic(
+        lambda: [
+            run_panel(
+                TOPOLOGY,
+                n,
+                queries=bench_scale["queries"],
+                budget=bench_scale["budget"],
+                cost_model="hash",
+            )
+            for n in bench_scale["sizes"]
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for panel in panels:
+        print("\n" + format_panel(panel))
+        for algorithm, series in sorted(panel.series.items()):
+            for sample in series:
+                rows.append(
+                    [panel.topology, panel.num_tables, algorithm,
+                     sample.time, sample.factor]
+                )
+    write_csv(
+        results_dir / f"figure2_{TOPOLOGY}.csv",
+        ["topology", "tables", "algorithm", "time", "factor"],
+        rows,
+    )
+    for panel in panels:
+        for algorithm, series in panel.series.items():
+            if algorithm.startswith("ILP"):
+                assert not math.isinf(series[-1].factor)

@@ -1,0 +1,53 @@
+"""Benchmark E4 — regenerates paper Figure 2, star panels.
+
+Stars are the easiest shape for the MILP approach (Section 7.2): the
+paper finds plans quickly even at 50-60 tables.  The shape assertion here
+is stronger than for chains: the final guaranteed factor for the ILP
+configurations must be finite on every panel *and* the largest panel must
+still produce plans.
+"""
+
+import math
+
+from repro.harness.figure2 import format_panel, run_panel
+from repro.harness.reporting import write_csv
+
+TOPOLOGY = "star"
+
+
+def test_figure2_star(benchmark, bench_scale, results_dir):
+    panels = benchmark.pedantic(
+        lambda: [
+            run_panel(
+                TOPOLOGY,
+                n,
+                queries=bench_scale["queries"],
+                budget=bench_scale["budget"],
+                cost_model="hash",
+            )
+            for n in bench_scale["sizes"]
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for panel in panels:
+        print("\n" + format_panel(panel))
+        for algorithm, series in sorted(panel.series.items()):
+            for sample in series:
+                rows.append(
+                    [panel.topology, panel.num_tables, algorithm,
+                     sample.time, sample.factor]
+                )
+    write_csv(
+        results_dir / f"figure2_{TOPOLOGY}.csv",
+        ["topology", "tables", "algorithm", "time", "factor"],
+        rows,
+    )
+    for panel in panels:
+        for algorithm, series in panel.series.items():
+            if algorithm.startswith("ILP"):
+                assert not math.isinf(series[-1].factor), (
+                    f"{algorithm} produced no guaranteed plan on "
+                    f"star-{panel.num_tables}"
+                )

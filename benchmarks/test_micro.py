@@ -1,0 +1,146 @@
+"""Micro-benchmarks of the individual pipeline stages.
+
+These are classic pytest-benchmark targets (multiple rounds, statistical
+timing) for the operations a downstream user would care about: building
+the MILP, solving one LP relaxation, running the DP baseline, and a full
+small optimization.
+"""
+
+import pytest
+
+from repro.milp import BranchAndBoundSolver, SolverOptions, get_backend, to_standard_form
+from repro.dp import GreedyOptimizer, SelingerOptimizer
+from repro.workloads import QueryGenerator
+from repro.core import (
+    FormulationConfig,
+    JoinOrderFormulation,
+    MILPJoinOptimizer,
+)
+
+
+@pytest.fixture(scope="module")
+def star10():
+    return QueryGenerator(seed=1).generate("star", 10)
+
+
+@pytest.fixture(scope="module")
+def chain12():
+    return QueryGenerator(seed=1).generate("chain", 12)
+
+
+def test_bench_formulation_build(benchmark, star10):
+    config = FormulationConfig.high_precision(10, cost_model="hash")
+    formulation = benchmark(
+        lambda: JoinOrderFormulation(star10, config)
+    )
+    assert formulation.model.num_variables > 0
+
+
+def test_bench_root_lp(benchmark, star10):
+    config = FormulationConfig.medium_precision(10, cost_model="cout")
+    formulation = JoinOrderFormulation(star10, config)
+    form = to_standard_form(formulation.model)
+    lb, ub = formulation.model.bounds_arrays()
+    backend = get_backend("scipy")
+    result = benchmark(lambda: backend.solve(form, lb, ub))
+    assert result.x is not None
+
+
+def test_bench_dp_12_tables(benchmark, chain12):
+    result = benchmark(
+        lambda: SelingerOptimizer(chain12, use_cout=True).optimize()
+    )
+    assert result.optimal
+
+
+def test_bench_greedy_30_tables(benchmark):
+    query = QueryGenerator(seed=2).generate("star", 30)
+    result = benchmark(
+        lambda: GreedyOptimizer(
+            query, use_cout=True, try_all_starts=False
+        ).optimize()
+    )
+    assert result.plan is not None
+
+
+def test_bench_cut_separation(benchmark, star10):
+    from repro.milp.cuts import CutGenerator
+
+    config = FormulationConfig.medium_precision(10, cost_model="cout")
+    formulation = JoinOrderFormulation(star10, config)
+    model = formulation.model
+    form = to_standard_form(model)
+    lb, ub = model.bounds_arrays()
+    relaxation = get_backend("scipy").solve(form, lb, ub)
+    generator = CutGenerator(model)
+    cuts = benchmark(lambda: generator.separate(relaxation.x))
+    assert isinstance(cuts, list)
+
+
+def test_bench_histogram_build(benchmark):
+    import numpy as np
+
+    from repro.catalog import Histogram
+
+    rng = np.random.default_rng(5)
+    values = rng.zipf(1.3, size=100_000).clip(max=100_000).astype(float)
+    histogram = benchmark(lambda: Histogram.equi_depth(values, 64))
+    assert histogram.total_count == 100_000
+
+
+def test_bench_sql_parse_and_translate(benchmark):
+    from repro.catalog import Column, Table
+    from repro.sql import Schema, sql_to_query
+
+    schema = Schema.from_tables([
+        Table(f"t{i}", 10_000, columns=(
+            Column("id", distinct_values=10_000),
+            Column("fk", distinct_values=1_000),
+        ))
+        for i in range(8)
+    ])
+    sql = "SELECT * FROM " + ", ".join(f"t{i}" for i in range(8))
+    sql += " WHERE " + " AND ".join(
+        f"t{i}.id = t{i + 1}.fk" for i in range(7)
+    )
+    query = benchmark(lambda: sql_to_query(sql, schema))
+    assert query.num_tables == 8
+
+
+def test_bench_full_optimization_small(benchmark):
+    query = QueryGenerator(seed=3).generate("star", 5)
+    config = FormulationConfig.low_precision(5, cost_model="cout")
+
+    def run():
+        optimizer = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=10.0)
+        )
+        return optimizer.optimize(query)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.plan is not None
+
+
+def test_bench_bushy_formulation_build(benchmark):
+    from repro.core.bushy import BushyFormulation
+
+    query = QueryGenerator(seed=4).generate("chain", 8)
+    config = FormulationConfig.medium_precision(8, cost_model="cout")
+    formulation = benchmark(lambda: BushyFormulation(query, config))
+    assert formulation.model.num_variables > 0
+
+
+def test_bench_bushy_optimization_small(benchmark):
+    from repro.core.bushy import BushyMILPOptimizer
+
+    query = QueryGenerator(seed=4).generate("chain", 4)
+    config = FormulationConfig.low_precision(4, cost_model="cout")
+
+    def run():
+        optimizer = BushyMILPOptimizer(
+            config, SolverOptions(time_limit=20.0)
+        )
+        return optimizer.optimize(query)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.tree is not None

@@ -1,0 +1,62 @@
+"""Bushy versus left-deep MILP: how much does the paper's restriction cost?
+
+The paper's formulation searches left-deep plans only (Section 4.1).  This
+example runs the library's bushy-tree MILP extension next to the left-deep
+formulation on chain queries — the topology where bushy plans help most —
+and reports the plan shapes and the true C_out of each winner, with the
+exhaustive bushy DP as ground truth.
+
+Run:  python examples/bushy_vs_leftdeep.py
+"""
+
+from repro import (
+    FormulationConfig,
+    MILPJoinOptimizer,
+    QueryGenerator,
+    SolverOptions,
+)
+from repro.core.bushy import BushyMILPOptimizer, tree_cout
+from repro.dp.bushy import BushyOptimizer
+
+TABLES = 6
+BUDGET = 45.0
+
+
+def main() -> None:
+    print(f"Chain queries, {TABLES} tables, C_out objective, "
+          f"{BUDGET:.0f}s budget per solve\n")
+    header = (
+        f"{'seed':>4s}  {'left-deep cost':>16s}  {'bushy cost':>16s}  "
+        f"{'DP bushy':>16s}  {'bushy shape':>11s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    config = FormulationConfig.medium_precision(TABLES, cost_model="cout")
+    for seed in range(3):
+        query = QueryGenerator(seed=seed).generate("chain", TABLES)
+
+        left_deep = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=BUDGET)
+        ).optimize(query)
+
+        bushy = BushyMILPOptimizer(
+            config, SolverOptions(time_limit=BUDGET)
+        ).optimize(query)
+
+        dp = BushyOptimizer(query, use_cout=True).optimize()
+
+        shape = "linear" if bushy.tree.is_left_deep() else "bushy"
+        print(f"{seed:>4d}  {left_deep.true_cost:>16,.0f}  "
+              f"{bushy.true_cost:>16,.0f}  {dp.cost:>16,.0f}  "
+              f"{shape:>11s}")
+        if shape == "bushy":
+            print(f"      bushy tree: {bushy.tree.describe()}")
+
+    print("\nWhere the bushy column drops below the left-deep column, the")
+    print("restriction of the paper's formulation is leaving cost on the")
+    print("table; the MILP machinery itself carries over unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Data-driven statistics: histograms change the chosen join order.
+
+The paper assumes selectivities are given; this example shows where they
+come from.  We build a skewed event table, attach equi-depth histograms to
+the schema, and optimize the same SQL query twice — once with the System R
+``1 / distinct`` defaults and once with histogram-derived selectivities.
+Under skew the two disagree, and the histogram-informed plan pushes the
+selective predicate's table earlier.
+
+Run:  python examples/histogram_statistics.py
+"""
+
+import numpy as np
+
+from repro import (
+    Column,
+    FormulationConfig,
+    MILPJoinOptimizer,
+    Schema,
+    SolverOptions,
+    Table,
+    sql_to_query,
+)
+from repro.catalog import Histogram
+
+SQL = """
+    SELECT *
+    FROM events e, hosts h, services s
+    WHERE e.host_id = h.hid
+      AND e.service_id = s.sid
+      AND e.severity = 1
+"""
+
+
+def build_tables():
+    return [
+        Table("events", 1_000_000, columns=(
+            Column("host_id", distinct_values=2_000),
+            Column("service_id", distinct_values=500),
+            Column("severity", distinct_values=1_000),
+        )),
+        Table("hosts", 2_000, columns=(Column("hid", distinct_values=2_000),)),
+        Table("services", 500, columns=(Column("sid", distinct_values=500),)),
+    ]
+
+
+def optimize(schema: Schema, label: str) -> None:
+    query = sql_to_query(SQL, schema, name=label)
+    severity = next(p for p in query.predicates if p.is_unary)
+    print(f"{label}:")
+    print(f"  severity=1 selectivity: {severity.selectivity:.4f}")
+    config = FormulationConfig.high_precision(
+        query.num_tables, cost_model="cout"
+    )
+    result = MILPJoinOptimizer(
+        config, SolverOptions(time_limit=20.0)
+    ).optimize(query)
+    print(f"  plan: {result.plan.describe()}")
+    print(f"  estimated cost: {result.true_cost:,.0f}\n")
+
+
+def main() -> None:
+    # 95% of the million events are severity 1 — the classic skew that
+    # breaks the uniform 1/distinct assumption.
+    rng = np.random.default_rng(42)
+    severities = np.concatenate([
+        np.ones(950_000),
+        rng.integers(2, 1_001, size=50_000).astype(float),
+    ])
+
+    plain = Schema.from_tables(build_tables())
+    optimize(plain, "System R defaults (selectivity 1/1000)")
+
+    informed = Schema.from_tables(build_tables())
+    informed.add_histogram(
+        "events", "severity", Histogram.equi_depth(severities, 32)
+    )
+    optimize(informed, "Equi-depth histogram (knows the skew)")
+
+    print("The histogram reveals that severity = 1 keeps ~95% of events,")
+    print("so filtering events early buys nothing — the informed optimizer")
+    print("costs the plan three orders of magnitude more realistically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Full pipeline: SQL text → optimizer → executed plan.
+
+Parses a SQL join query against a registered schema, optimizes it with
+the MILP optimizer, materializes synthetic data matching the catalog
+statistics, executes the plan, and compares estimated against observed
+intermediate result sizes.
+
+Run:  python examples/sql_to_execution.py
+"""
+
+from repro import (
+    Column,
+    FormulationConfig,
+    MILPJoinOptimizer,
+    Schema,
+    SolverOptions,
+    Table,
+    sql_to_query,
+)
+from repro.exec import PlanExecutor, generate_dataset
+from repro.plans import PlanCostEvaluator
+
+SQL = """
+    SELECT u.city
+    FROM users u, orders o, items i
+    WHERE u.id = o.user_id
+      AND o.id = i.order_id
+      AND u.city = 'Oslo'
+"""
+
+
+def main() -> None:
+    schema = Schema.from_tables([
+        Table("users", 5_000, columns=(
+            Column("id", distinct_values=5_000),
+            Column("city", distinct_values=40),
+        )),
+        Table("orders", 60_000, columns=(
+            Column("id", distinct_values=60_000),
+            Column("user_id", distinct_values=5_000),
+        )),
+        Table("items", 200_000, columns=(
+            Column("order_id", distinct_values=60_000),
+        )),
+    ])
+    query = sql_to_query(SQL, schema, name="sql-demo")
+    print(f"Parsed {query.num_tables} tables, "
+          f"{query.num_predicates} predicates "
+          f"(selectivities derived from distinct counts)\n")
+
+    config = FormulationConfig.high_precision(
+        query.num_tables, cost_model="cout"
+    )
+    result = MILPJoinOptimizer(
+        config, SolverOptions(time_limit=20.0)
+    ).optimize(query)
+    print(f"Optimized plan: {result.plan.describe()}")
+
+    dataset = generate_dataset(query, seed=1)
+    executor = PlanExecutor(dataset)
+    observed = executor.execute(result.plan)
+    evaluator = PlanCostEvaluator(query, use_cout=True)
+    estimates = [
+        detail.output_cardinality
+        for detail in evaluator.breakdown(result.plan)
+    ]
+    print("\nJoin   estimated rows   observed rows")
+    for j, (estimate, actual) in enumerate(
+        zip(estimates, observed.intermediate_cardinalities)
+    ):
+        print(f"{j:4d}   {estimate:14,.0f}   {actual:13,}")
+    print(f"\nFinal result: {observed.final_cardinality:,} rows")
+
+
+if __name__ == "__main__":
+    main()

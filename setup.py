@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` provide the same editable install.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Solving the Join Ordering Problem via Mixed
+Integer Linear Programming" (Trummer & Koch, SIGMOD 2017).
+
+Quickstart::
+
+    from repro import MILPJoinOptimizer, QueryGenerator
+
+    query = QueryGenerator(seed=1).generate("star", 10)
+    result = MILPJoinOptimizer().optimize(query)
+    print(result.plan.describe(), result.true_cost)
+
+Packages
+--------
+``repro.catalog``
+    Tables, columns, predicates, queries.
+``repro.workloads``
+    Steinbrunn-style random queries, TPC-H-like and JOB-like schemas.
+``repro.milp``
+    The MILP solver substrate (model API + branch-and-bound).
+``repro.plans``
+    Left-deep plans, exact cardinalities and operator cost formulas.
+``repro.dp``
+    Classical baselines: Selinger DP, bushy DP, greedy.
+``repro.core``
+    The paper's MILP formulation and optimizer facade.
+``repro.harness``
+    Experiment harness regenerating the paper's figures.
+"""
+
+from repro.catalog import Column, CorrelatedGroup, Predicate, Query, Table
+from repro.core import (
+    FormulationConfig,
+    JoinOrderFormulation,
+    MILPJoinOptimizer,
+    OptimizationResult,
+    optimize_query,
+)
+from repro.dp import (
+    BushyOptimizer,
+    GreedyOptimizer,
+    IKKBZOptimizer,
+    IterativeImprovement,
+    SelingerOptimizer,
+    SimulatedAnnealing,
+)
+from repro.exceptions import ReproError
+from repro.milp import SolverOptions
+from repro.sql import Schema, optimize_blocks, sql_to_query, unnest_sql
+from repro.plans import (
+    CostContext,
+    JoinAlgorithm,
+    LeftDeepPlan,
+    PlanCostEvaluator,
+)
+from repro.workloads import QueryGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BushyOptimizer",
+    "Column",
+    "CorrelatedGroup",
+    "CostContext",
+    "FormulationConfig",
+    "GreedyOptimizer",
+    "IKKBZOptimizer",
+    "IterativeImprovement",
+    "JoinAlgorithm",
+    "JoinOrderFormulation",
+    "LeftDeepPlan",
+    "MILPJoinOptimizer",
+    "OptimizationResult",
+    "PlanCostEvaluator",
+    "Predicate",
+    "Query",
+    "QueryGenerator",
+    "ReproError",
+    "Schema",
+    "SelingerOptimizer",
+    "SimulatedAnnealing",
+    "SolverOptions",
+    "Table",
+    "sql_to_query",
+    "optimize_blocks",
+    "optimize_query",
+    "unnest_sql",
+    "__version__",
+]

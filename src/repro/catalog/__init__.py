@@ -1,0 +1,67 @@
+"""Relational catalog substrate: tables, columns, predicates, queries.
+
+This package provides the data model shared by every optimizer in the
+library — the MILP-based optimizer of the paper as well as the classical
+dynamic programming and heuristic baselines.
+"""
+
+from repro.catalog.column import Column
+from repro.catalog.graphs import (
+    build_adjacency,
+    classify_topology,
+    connected_components,
+    degree_sequence,
+    is_connected,
+)
+from repro.catalog.histogram import Bucket, Histogram, join_selectivity
+from repro.catalog.predicate import CorrelatedGroup, Predicate
+from repro.catalog.query import Query
+from repro.catalog.serde import (
+    load_plan,
+    load_query,
+    plan_from_dict,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    save_plan,
+    save_query,
+)
+from repro.catalog.statistics import (
+    active_groups,
+    applicable_predicates,
+    cardinality,
+    log_cardinality,
+    selectivity_product,
+)
+from repro.catalog.table import DEFAULT_PAGE_SIZE, DEFAULT_TUPLE_SIZE, Table
+
+__all__ = [
+    "Bucket",
+    "Column",
+    "CorrelatedGroup",
+    "Histogram",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_TUPLE_SIZE",
+    "Predicate",
+    "Query",
+    "Table",
+    "active_groups",
+    "applicable_predicates",
+    "build_adjacency",
+    "cardinality",
+    "classify_topology",
+    "connected_components",
+    "degree_sequence",
+    "is_connected",
+    "join_selectivity",
+    "load_plan",
+    "load_query",
+    "log_cardinality",
+    "plan_from_dict",
+    "plan_to_dict",
+    "query_from_dict",
+    "query_to_dict",
+    "save_plan",
+    "save_query",
+    "selectivity_product",
+]

@@ -1,0 +1,43 @@
+"""Column metadata for the relational catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A single table column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    byte_size:
+        Width of the column in bytes per tuple.  Used by the projection
+        extension (paper Section 5.2) to estimate intermediate result byte
+        sizes.
+    distinct_values:
+        Optional number of distinct values; used by schema helpers to derive
+        default join selectivities (``1 / max(distinct)``).
+    """
+
+    name: str
+    byte_size: int = 8
+    distinct_values: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+        if self.byte_size <= 0:
+            raise CatalogError(
+                f"column {self.name!r}: byte_size must be positive, "
+                f"got {self.byte_size}"
+            )
+        if self.distinct_values is not None and self.distinct_values < 1:
+            raise CatalogError(
+                f"column {self.name!r}: distinct_values must be >= 1, "
+                f"got {self.distinct_values}"
+            )

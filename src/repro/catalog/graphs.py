@@ -1,0 +1,105 @@
+"""Join graph inspection utilities.
+
+A query's *join graph* has one node per table and one edge per binary join
+predicate.  The experimental evaluation of the paper distinguishes chain, star
+and cycle graph shapes (Section 7.1, following Steinbrunn et al.); this module
+classifies a graph into those shapes and provides connectivity helpers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+
+Adjacency = Mapping[str, frozenset[str]]
+
+
+def build_adjacency(
+    tables: Iterable[str], edges: Iterable[tuple[str, str]]
+) -> dict[str, frozenset[str]]:
+    """Build an adjacency map from table names and join edges.
+
+    Self-loops are ignored; duplicate edges collapse.
+    """
+    neighbours: dict[str, set[str]] = {table: set() for table in tables}
+    for left, right in edges:
+        if left == right:
+            continue
+        neighbours[left].add(right)
+        neighbours[right].add(left)
+    return {table: frozenset(adj) for table, adj in neighbours.items()}
+
+
+def is_connected(adjacency: Adjacency) -> bool:
+    """Return whether the join graph is connected (empty graphs count as
+    connected; a single node is connected)."""
+    nodes = list(adjacency)
+    if len(nodes) <= 1:
+        return True
+    seen = {nodes[0]}
+    queue = deque([nodes[0]])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    return len(seen) == len(nodes)
+
+
+def connected_components(adjacency: Adjacency) -> list[frozenset[str]]:
+    """Return the connected components of the join graph."""
+    components: list[frozenset[str]] = []
+    remaining = set(adjacency)
+    while remaining:
+        start = next(iter(remaining))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(frozenset(seen))
+        remaining -= seen
+    return components
+
+
+def degree_sequence(adjacency: Adjacency) -> list[int]:
+    """Return the sorted degree sequence of the join graph."""
+    return sorted(len(adj) for adj in adjacency.values())
+
+
+def classify_topology(adjacency: Adjacency) -> str:
+    """Classify a join graph as ``chain``, ``star``, ``cycle``, ``clique``
+    or ``other``.
+
+    The three named shapes are the ones benchmarked by the paper.  A graph
+    with fewer than three nodes is classified as ``chain`` when connected
+    (one- and two-table queries are trivially chains).
+    """
+    n = len(adjacency)
+    if n == 0:
+        return "other"
+    if not is_connected(adjacency):
+        return "other"
+    edges = sum(len(adj) for adj in adjacency.values()) // 2
+    degrees = degree_sequence(adjacency)
+    if n <= 2:
+        return "chain"
+    if edges == n * (n - 1) // 2 and n >= 3:
+        # A triangle is simultaneously a cycle and a clique; prefer the
+        # smaller named class used by the paper.
+        return "cycle" if n == 3 else "clique"
+    if edges == n - 1:
+        # A three-node path is simultaneously a chain and a star; prefer
+        # chain, matching the generator's naming.
+        if degrees == [1, 1] + [2] * (n - 2):
+            return "chain"
+        if degrees[-1] == n - 1:
+            return "star"
+        return "other"
+    if edges == n and all(degree == 2 for degree in degrees):
+        return "cycle"
+    return "other"

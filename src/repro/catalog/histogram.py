@@ -1,0 +1,349 @@
+"""Histogram-based selectivity estimation.
+
+The paper assumes selectivities are given (Section 3); real systems derive
+them from column statistics.  This module supplies the classic single-column
+histogram machinery so the SQL frontend can derive predicate selectivities
+from data rather than from the ``1 / distinct`` default:
+
+* **equi-width** histograms split the value domain into equal intervals;
+* **equi-depth** histograms split it into intervals of (roughly) equal
+  tuple counts, which bounds the estimation error under skew.
+
+Estimates follow the textbook uniform-within-bucket model: equality
+predicates select ``count / distinct`` of a bucket, range predicates select
+a linear fraction of the straddled bucket, and equi-join selectivity
+integrates the product of the two frequency densities over aligned bucket
+segments.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class Bucket:
+    """One histogram bucket over the half-open interval ``[low, high)``.
+
+    The final bucket of a histogram is closed (``[low, high]``) so the
+    maximum value belongs to it.
+    """
+
+    low: float
+    high: float
+    count: float
+    distinct: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise CatalogError(
+                f"bucket upper bound {self.high} below lower bound {self.low}"
+            )
+        if self.count < 0 or self.distinct < 0:
+            raise CatalogError("bucket count/distinct must be non-negative")
+        if self.distinct > 0 and self.count < self.distinct:
+            raise CatalogError(
+                "bucket cannot hold more distinct values than tuples"
+            )
+
+    @property
+    def width(self) -> float:
+        """Interval length (0 for singleton buckets)."""
+        return self.high - self.low
+
+    def overlap_fraction(self, low: float, high: float) -> float:
+        """Fraction of this bucket inside ``[low, high)``, assumed uniform."""
+        if self.width == 0:
+            return 1.0 if low <= self.low < high else 0.0
+        lo = max(self.low, low)
+        hi = min(self.high, high)
+        if hi <= lo:
+            return 0.0
+        return (hi - lo) / self.width
+
+
+class Histogram:
+    """An immutable single-column histogram.
+
+    Build from data with :meth:`from_values` (equi-width) or
+    :meth:`equi_depth`, or assemble buckets directly for tests.
+    """
+
+    def __init__(self, buckets: Sequence[Bucket]) -> None:
+        if not buckets:
+            raise CatalogError("histogram needs at least one bucket")
+        for previous, current in zip(buckets, buckets[1:]):
+            if current.low < previous.high:
+                raise CatalogError("histogram buckets must not overlap")
+        self.buckets: tuple[Bucket, ...] = tuple(buckets)
+        self.total_count = sum(bucket.count for bucket in buckets)
+        if self.total_count <= 0:
+            raise CatalogError("histogram holds no tuples")
+        self._lows = [bucket.low for bucket in buckets]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], num_buckets: int = 10
+    ) -> "Histogram":
+        """Equi-width histogram over ``values``."""
+        array = cls._as_array(values)
+        low, high = float(array.min()), float(array.max())
+        if low == high:
+            return cls([
+                Bucket(low, high, float(array.size), 1.0)
+            ])
+        num_buckets = max(1, min(num_buckets, array.size))
+        edges = np.linspace(low, high, num_buckets + 1)
+        return cls(cls._buckets_from_edges(array, edges))
+
+    @classmethod
+    def equi_depth(
+        cls, values: Sequence[float], num_buckets: int = 10
+    ) -> "Histogram":
+        """Equi-depth histogram over ``values``.
+
+        Buckets hold roughly ``len(values) / num_buckets`` tuples each.  A
+        single value is never split across buckets, so a heavy hitter ends
+        up in a (near-)singleton bucket — which is exactly what makes
+        equi-depth estimates robust under skew.
+        """
+        array = cls._as_array(values)
+        low, high = float(array.min()), float(array.max())
+        if low == high:
+            return cls([Bucket(low, high, float(array.size), 1.0)])
+        num_buckets = max(1, min(num_buckets, array.size))
+        depth = array.size / num_buckets
+        unique_values, counts = np.unique(array, return_counts=True)
+        buckets: list[Bucket] = []
+        bucket_low: float | None = None
+        bucket_high = 0.0
+        bucket_count = 0.0
+        bucket_distinct = 0.0
+
+        def close_pending() -> None:
+            nonlocal bucket_low, bucket_count, bucket_distinct
+            if bucket_low is not None:
+                buckets.append(
+                    Bucket(bucket_low, bucket_high, bucket_count,
+                           bucket_distinct)
+                )
+                bucket_low = None
+                bucket_count = 0.0
+                bucket_distinct = 0.0
+
+        for value, count in zip(unique_values, counts):
+            value = float(value)
+            count = float(count)
+            if count >= depth:
+                # Heavy hitter: isolate it in a singleton bucket so its
+                # frequency is captured exactly.
+                close_pending()
+                buckets.append(Bucket(value, value, count, 1.0))
+                continue
+            if bucket_low is None:
+                bucket_low = value
+            bucket_high = value
+            bucket_count += count
+            bucket_distinct += 1.0
+            if bucket_count >= depth:
+                close_pending()
+        close_pending()
+        return cls(buckets)
+
+    @staticmethod
+    def _as_array(values: Sequence[float]) -> np.ndarray:
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            raise CatalogError("cannot build a histogram from no values")
+        if not np.isfinite(array).all():
+            raise CatalogError("histogram values must be finite")
+        return np.sort(array)
+
+    @staticmethod
+    def _buckets_from_edges(
+        array: np.ndarray, edges: np.ndarray
+    ) -> list[Bucket]:
+        buckets: list[Bucket] = []
+        for position in range(edges.size - 1):
+            low, high = float(edges[position]), float(edges[position + 1])
+            last = position == edges.size - 2
+            if last:
+                mask = (array >= low) & (array <= high)
+            else:
+                mask = (array >= low) & (array < high)
+            chunk = array[mask]
+            count = float(chunk.size)
+            distinct = float(np.unique(chunk).size) if count else 0.0
+            buckets.append(Bucket(low, high, count, distinct))
+        return buckets
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets."""
+        return len(self.buckets)
+
+    @property
+    def low(self) -> float:
+        """Smallest covered value."""
+        return self.buckets[0].low
+
+    @property
+    def high(self) -> float:
+        """Largest covered value."""
+        return self.buckets[-1].high
+
+    @property
+    def distinct_values(self) -> float:
+        """Summed per-bucket distinct counts (an upper-bound estimate)."""
+        return sum(bucket.distinct for bucket in self.buckets)
+
+    def bucket_for(self, value: float) -> Bucket | None:
+        """The bucket containing ``value`` (``None`` outside the domain)."""
+        if value < self.low or value > self.high:
+            return None
+        index = bisect_left(self._lows, value)
+        if index == len(self._lows) or self._lows[index] > value:
+            index -= 1
+        bucket = self.buckets[index]
+        if value > bucket.high:  # gap between buckets
+            return None
+        return bucket
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation
+    # ------------------------------------------------------------------
+
+    def _point_mass(self, value: float) -> float:
+        """Estimated mass exactly at ``value`` (uniform within the bucket)."""
+        bucket = self.bucket_for(value)
+        if bucket is None or bucket.count == 0 or bucket.distinct == 0:
+            return 0.0
+        return (bucket.count / bucket.distinct) / self.total_count
+
+    def _cumulative_below(self, value: float) -> float:
+        """Continuous-model estimate of the mass strictly below ``value``."""
+        if value <= self.low:
+            return 0.0
+        if value > self.high:
+            return 1.0
+        selected = 0.0
+        for bucket in self.buckets:
+            if bucket.high < value:
+                selected += bucket.count
+            elif bucket.low < value:
+                selected += bucket.count * bucket.overlap_fraction(
+                    -math.inf, value
+                )
+        return min(1.0, selected / self.total_count)
+
+    def selectivity_eq(self, value: float) -> float:
+        """Selectivity of ``column = value``."""
+        return self._point_mass(value)
+
+    def selectivity_lt(self, value: float) -> float:
+        """Selectivity of ``column < value``.
+
+        The continuous cumulative estimate is capped at ``1 - point mass``
+        so that ``lt + eq + gt`` always partitions 1 — without the cap, a
+        heavy value near the top of its bucket would be counted both by the
+        cumulative model and by the equality estimate.  The capped estimator
+        is still non-decreasing in ``value``.
+        """
+        return max(
+            0.0,
+            min(self._cumulative_below(value), 1.0 - self._point_mass(value)),
+        )
+
+    def selectivity_le(self, value: float) -> float:
+        """Selectivity of ``column <= value``."""
+        return min(
+            1.0, self.selectivity_lt(value) + self._point_mass(value)
+        )
+
+    def selectivity_gt(self, value: float) -> float:
+        """Selectivity of ``column > value``."""
+        return max(0.0, 1.0 - self.selectivity_le(value))
+
+    def selectivity_ge(self, value: float) -> float:
+        """Selectivity of ``column >= value``."""
+        return max(0.0, 1.0 - self.selectivity_lt(value))
+
+    def selectivity_between(self, low: float, high: float) -> float:
+        """Selectivity of ``low <= column <= high``."""
+        if high < low:
+            return 0.0
+        return max(0.0, self.selectivity_le(high) - self.selectivity_lt(low))
+
+    def selectivity(self, operator: str, value: float) -> float:
+        """Dispatch on a comparison operator string."""
+        table = {
+            "=": self.selectivity_eq,
+            "<": self.selectivity_lt,
+            "<=": self.selectivity_le,
+            ">": self.selectivity_gt,
+            ">=": self.selectivity_ge,
+        }
+        if operator in ("<>", "!="):
+            return max(0.0, 1.0 - self.selectivity_eq(value))
+        if operator not in table:
+            raise CatalogError(f"unsupported operator {operator!r}")
+        return table[operator](value)
+
+
+def join_selectivity(left: Histogram, right: Histogram) -> float:
+    """Equi-join selectivity between two histogrammed columns.
+
+    Bucket boundaries of both sides are merged; within each aligned segment
+    both frequency distributions are assumed uniform, and matching tuples
+    contribute ``c_l * c_r / max(d_l, d_r)`` (the containment assumption of
+    System R generalized to buckets).  The result is normalized by the
+    cross-product size, yielding a value in ``[0, 1]``.
+    """
+    edges = sorted(
+        {bucket.low for bucket in left.buckets}
+        | {bucket.high for bucket in left.buckets}
+        | {bucket.low for bucket in right.buckets}
+        | {bucket.high for bucket in right.buckets}
+    )
+    if len(edges) == 1:  # both histograms are a single point
+        edges = edges * 2
+    matches = 0.0
+    for low, high in zip(edges, edges[1:]):
+        closed = high == edges[-1]
+        segment_high = np.nextafter(high, math.inf) if closed else high
+        left_count, left_distinct = _segment_mass(left, low, segment_high)
+        right_count, right_distinct = _segment_mass(right, low, segment_high)
+        if left_count == 0 or right_count == 0:
+            continue
+        denominator = max(left_distinct, right_distinct, 1.0)
+        matches += left_count * right_count / denominator
+    return min(1.0, matches / (left.total_count * right.total_count))
+
+
+def _segment_mass(
+    histogram: Histogram, low: float, high: float
+) -> tuple[float, float]:
+    """Tuple count and distinct count of ``histogram`` inside ``[low, high)``."""
+    count = 0.0
+    distinct = 0.0
+    for bucket in histogram.buckets:
+        fraction = bucket.overlap_fraction(low, high)
+        if fraction > 0.0:
+            count += bucket.count * fraction
+            distinct += bucket.distinct * fraction
+    return count, distinct

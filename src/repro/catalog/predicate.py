@@ -1,0 +1,150 @@
+"""Predicates connecting query tables.
+
+The paper's basic model (Section 3) uses binary join predicates; Section 5.1
+extends it with unary and n-ary predicates, correlated predicate groups and
+predicates that are expensive to evaluate.  This module models all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import CatalogError
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A selection or join predicate.
+
+    Parameters
+    ----------
+    name:
+        Predicate identifier, unique within a query.
+    tables:
+        Names of the tables the predicate refers to.  One name makes a unary
+        (selection) predicate, two a binary join predicate, three or more an
+        n-ary predicate (paper Section 5.1).
+    selectivity:
+        Fraction of tuples retained, in ``(0, 1]`` (paper Section 3).
+    cost_per_tuple:
+        Evaluation cost charged per input tuple.  Zero models the paper's
+        basic assumption of free predicates; a positive value activates the
+        expensive-predicate extension (Section 5.1).
+    columns:
+        Optional ``(table, column)`` pairs the predicate reads.  Used by the
+        projection extension (Section 5.2) to keep required columns alive
+        until the predicate has been evaluated.
+    """
+
+    name: str
+    tables: tuple[str, ...]
+    selectivity: float
+    cost_per_tuple: float = 0.0
+    columns: tuple[tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("predicate name must be non-empty")
+        if not self.tables:
+            raise CatalogError(
+                f"predicate {self.name!r}: must reference at least one table"
+            )
+        if len(set(self.tables)) != len(self.tables):
+            raise CatalogError(
+                f"predicate {self.name!r}: duplicate table references"
+            )
+        if not 0.0 < self.selectivity <= 1.0:
+            raise CatalogError(
+                f"predicate {self.name!r}: selectivity must be in (0, 1], "
+                f"got {self.selectivity}"
+            )
+        if self.cost_per_tuple < 0:
+            raise CatalogError(
+                f"predicate {self.name!r}: cost_per_tuple must be >= 0"
+            )
+        for table, column in self.columns:
+            if table not in self.tables:
+                raise CatalogError(
+                    f"predicate {self.name!r}: column {table}.{column} does "
+                    "not belong to a referenced table"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of distinct tables the predicate references."""
+        return len(self.tables)
+
+    @property
+    def is_unary(self) -> bool:
+        """Whether this is a single-table selection predicate."""
+        return self.arity == 1
+
+    @property
+    def is_binary(self) -> bool:
+        """Whether this is a classic two-table join predicate."""
+        return self.arity == 2
+
+    @property
+    def is_expensive(self) -> bool:
+        """Whether the predicate carries a per-tuple evaluation cost."""
+        return self.cost_per_tuple > 0.0
+
+    @property
+    def log_selectivity(self) -> float:
+        """Natural logarithm of the selectivity (non-positive)."""
+        return math.log(self.selectivity)
+
+    def references(self, table: str) -> bool:
+        """Return whether the predicate refers to ``table``."""
+        return table in self.tables
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelatedGroup:
+    """A group of correlated predicates with a selectivity correction.
+
+    Following paper Section 5.1, a correlated group behaves like a virtual
+    predicate ``g`` whose selectivity corrects the independence assumption:
+    the combined selectivity of the group is
+    ``correction * prod(p.selectivity for p in group)``.
+
+    Parameters
+    ----------
+    name:
+        Group identifier, unique within a query and distinct from predicate
+        names.
+    predicate_names:
+        Names of the member predicates (at least two).
+    correction:
+        Multiplicative correction factor.  Values above 1 model positively
+        correlated predicates (true combined selectivity higher than the
+        independence product); values below 1 model negative correlation.
+    """
+
+    name: str
+    predicate_names: tuple[str, ...]
+    correction: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("correlated group name must be non-empty")
+        if len(self.predicate_names) < 2:
+            raise CatalogError(
+                f"correlated group {self.name!r}: needs at least two "
+                "member predicates"
+            )
+        if len(set(self.predicate_names)) != len(self.predicate_names):
+            raise CatalogError(
+                f"correlated group {self.name!r}: duplicate members"
+            )
+        if self.correction <= 0:
+            raise CatalogError(
+                f"correlated group {self.name!r}: correction must be "
+                f"positive, got {self.correction}"
+            )
+
+    @property
+    def log_correction(self) -> float:
+        """Natural logarithm of the correction factor."""
+        return math.log(self.correction)

@@ -1,0 +1,196 @@
+"""Query specification: the input to every optimizer in this library.
+
+Matches the paper's Section 3 model: a query is a set of tables ``Q`` to be
+joined and a set of predicates ``P`` connecting them, optionally extended with
+correlated predicate groups (Section 5.1) and a set of output columns for the
+projection extension (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.catalog import graphs
+from repro.catalog.predicate import CorrelatedGroup, Predicate
+from repro.catalog.table import Table
+from repro.exceptions import QueryValidationError
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable join query.
+
+    Parameters
+    ----------
+    tables:
+        Tables to join.  At least one; names must be unique.
+    predicates:
+        Join/selection predicates over those tables.
+    correlated_groups:
+        Optional correlated predicate groups (Section 5.1 extension).
+    required_columns:
+        Optional ``(table, column)`` pairs that must appear in the final
+        result.  Empty means "project everything" and disables the
+        projection extension.
+    name:
+        Optional human-readable query label, used in reports.
+    """
+
+    tables: tuple[Table, ...]
+    predicates: tuple[Predicate, ...] = field(default=())
+    correlated_groups: tuple[CorrelatedGroup, ...] = field(default=())
+    required_columns: tuple[tuple[str, str], ...] = field(default=())
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryValidationError("query must contain at least one table")
+        names = [table.name for table in self.tables]
+        if len(names) != len(set(names)):
+            raise QueryValidationError("duplicate table names in query")
+        known = set(names)
+        predicate_names = [predicate.name for predicate in self.predicates]
+        if len(predicate_names) != len(set(predicate_names)):
+            raise QueryValidationError("duplicate predicate names in query")
+        for predicate in self.predicates:
+            for table in predicate.tables:
+                if table not in known:
+                    raise QueryValidationError(
+                        f"predicate {predicate.name!r} references unknown "
+                        f"table {table!r}"
+                    )
+            for table, column in predicate.columns:
+                if not self.table(table).has_column(column):
+                    raise QueryValidationError(
+                        f"predicate {predicate.name!r} references unknown "
+                        f"column {table}.{column}"
+                    )
+        known_predicates = set(predicate_names)
+        group_names = [group.name for group in self.correlated_groups]
+        if len(group_names) != len(set(group_names)):
+            raise QueryValidationError("duplicate correlated group names")
+        if set(group_names) & known_predicates:
+            raise QueryValidationError(
+                "correlated group names must not collide with predicates"
+            )
+        for group in self.correlated_groups:
+            for member in group.predicate_names:
+                if member not in known_predicates:
+                    raise QueryValidationError(
+                        f"correlated group {group.name!r} references unknown "
+                        f"predicate {member!r}"
+                    )
+        for table, column in self.required_columns:
+            if table not in known:
+                raise QueryValidationError(
+                    f"required column references unknown table {table!r}"
+                )
+            if not self.table(table).has_column(column):
+                raise QueryValidationError(
+                    f"required column references unknown column "
+                    f"{table}.{column}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables joined by the query (``n`` in the paper)."""
+        return len(self.tables)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of binary join operations, ``n - 1``."""
+        return self.num_tables - 1
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of predicates (``m`` in the paper)."""
+        return len(self.predicates)
+
+    @cached_property
+    def table_names(self) -> tuple[str, ...]:
+        """Table names in declaration order."""
+        return tuple(table.name for table in self.tables)
+
+    @cached_property
+    def _tables_by_name(self) -> dict[str, Table]:
+        return {table.name: table for table in self.tables}
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``.
+
+        Raises
+        ------
+        QueryValidationError
+            If the query contains no such table.
+        """
+        try:
+            return self._tables_by_name[name]
+        except KeyError:
+            raise QueryValidationError(
+                f"query has no table named {name!r}"
+            ) from None
+
+    def predicate(self, name: str) -> Predicate:
+        """Return the predicate called ``name``."""
+        for predicate in self.predicates:
+            if predicate.name == name:
+                return predicate
+        raise QueryValidationError(f"query has no predicate named {name!r}")
+
+    @cached_property
+    def max_log_cardinality(self) -> float:
+        """Log-cardinality of the cross product of all tables.
+
+        Upper bound for every ``lco`` variable in the MILP formulation.
+        """
+        return sum(table.log_cardinality for table in self.tables)
+
+    @cached_property
+    def min_log_selectivity(self) -> float:
+        """Sum of all non-positive log terms (selectivities + corrections).
+
+        Lower bound for every ``lco`` variable in the MILP formulation.
+        """
+        total = sum(
+            min(0.0, predicate.log_selectivity)
+            for predicate in self.predicates
+        )
+        total += sum(
+            min(0.0, group.log_correction)
+            for group in self.correlated_groups
+        )
+        return total
+
+    @property
+    def has_expensive_predicates(self) -> bool:
+        """Whether any predicate carries evaluation cost (Section 5.1)."""
+        return any(predicate.is_expensive for predicate in self.predicates)
+
+    # ------------------------------------------------------------------
+    # Join graph
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def join_graph(self) -> dict[str, frozenset[str]]:
+        """Adjacency map of the query's join graph (binary predicates)."""
+        edges = [
+            (predicate.tables[0], predicate.tables[1])
+            for predicate in self.predicates
+            if predicate.is_binary
+        ]
+        return graphs.build_adjacency(self.table_names, edges)
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the join graph is connected (no forced cross products)."""
+        return graphs.is_connected(self.join_graph)
+
+    @property
+    def topology(self) -> str:
+        """Join graph shape: chain/star/cycle/clique/other."""
+        return graphs.classify_topology(self.join_graph)

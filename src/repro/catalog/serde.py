@@ -1,0 +1,167 @@
+"""JSON (de)serialization for catalog objects and plans.
+
+Enables saving workloads and optimizer outputs to disk — experiment
+artifacts, regression fixtures, cross-process exchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.catalog.column import Column
+from repro.catalog.predicate import CorrelatedGroup, Predicate
+from repro.catalog.query import Query
+from repro.catalog.table import Table
+from repro.exceptions import CatalogError
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import JoinStep, LeftDeepPlan
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+def query_to_dict(query: Query) -> dict:
+    """Plain-dict representation of a query (JSON-compatible)."""
+    return {
+        "name": query.name,
+        "tables": [
+            {
+                "name": table.name,
+                "cardinality": table.cardinality,
+                "tuple_size": table.tuple_size,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "byte_size": column.byte_size,
+                        "distinct_values": column.distinct_values,
+                    }
+                    for column in table.columns
+                ],
+            }
+            for table in query.tables
+        ],
+        "predicates": [
+            {
+                "name": predicate.name,
+                "tables": list(predicate.tables),
+                "selectivity": predicate.selectivity,
+                "cost_per_tuple": predicate.cost_per_tuple,
+                "columns": [list(pair) for pair in predicate.columns],
+            }
+            for predicate in query.predicates
+        ],
+        "correlated_groups": [
+            {
+                "name": group.name,
+                "predicate_names": list(group.predicate_names),
+                "correction": group.correction,
+            }
+            for group in query.correlated_groups
+        ],
+        "required_columns": [list(pair) for pair in query.required_columns],
+    }
+
+
+def query_from_dict(data: dict) -> Query:
+    """Inverse of :func:`query_to_dict` (validates on construction)."""
+    try:
+        tables = tuple(
+            Table(
+                name=table["name"],
+                cardinality=table["cardinality"],
+                columns=tuple(
+                    Column(
+                        name=column["name"],
+                        byte_size=column.get("byte_size", 8),
+                        distinct_values=column.get("distinct_values"),
+                    )
+                    for column in table.get("columns", [])
+                ),
+                tuple_size=table.get("tuple_size"),
+            )
+            for table in data["tables"]
+        )
+        predicates = tuple(
+            Predicate(
+                name=predicate["name"],
+                tables=tuple(predicate["tables"]),
+                selectivity=predicate["selectivity"],
+                cost_per_tuple=predicate.get("cost_per_tuple", 0.0),
+                columns=tuple(
+                    tuple(pair) for pair in predicate.get("columns", [])
+                ),
+            )
+            for predicate in data.get("predicates", [])
+        )
+        groups = tuple(
+            CorrelatedGroup(
+                name=group["name"],
+                predicate_names=tuple(group["predicate_names"]),
+                correction=group["correction"],
+            )
+            for group in data.get("correlated_groups", [])
+        )
+        required = tuple(
+            tuple(pair) for pair in data.get("required_columns", [])
+        )
+    except (KeyError, TypeError) as error:
+        raise CatalogError(f"malformed query document: {error}") from error
+    return Query(
+        tables=tables,
+        predicates=predicates,
+        correlated_groups=groups,
+        required_columns=required,
+        name=data.get("name", ""),
+    )
+
+
+def save_query(query: Query, path: "str | Path") -> None:
+    """Write a query as JSON."""
+    Path(path).write_text(json.dumps(query_to_dict(query), indent=2))
+
+
+def load_query(path: "str | Path") -> Query:
+    """Read a query from JSON."""
+    return query_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: LeftDeepPlan) -> dict:
+    """Plain-dict representation of a plan (query stored by value)."""
+    return {
+        "query": query_to_dict(plan.query),
+        "first_table": plan.first_table,
+        "steps": [
+            {"inner_table": step.inner_table,
+             "algorithm": step.algorithm.value}
+            for step in plan.steps
+        ],
+    }
+
+
+def plan_from_dict(data: dict) -> LeftDeepPlan:
+    """Inverse of :func:`plan_to_dict`."""
+    query = query_from_dict(data["query"])
+    steps = tuple(
+        JoinStep(
+            inner_table=step["inner_table"],
+            algorithm=JoinAlgorithm(step["algorithm"]),
+        )
+        for step in data["steps"]
+    )
+    return LeftDeepPlan(query, data["first_table"], steps)
+
+
+def save_plan(plan: LeftDeepPlan, path: "str | Path") -> None:
+    """Write a plan (with its query) as JSON."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2))
+
+
+def load_plan(path: "str | Path") -> LeftDeepPlan:
+    """Read a plan from JSON."""
+    return plan_from_dict(json.loads(Path(path).read_text()))

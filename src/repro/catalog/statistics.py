@@ -1,0 +1,82 @@
+"""Cardinality statistics over sets of tables.
+
+Implements the paper's Section 3 estimation model: the cardinality of the
+join of a table set ``T``, after evaluating the applicable predicates, is the
+product of the table cardinalities and the predicate selectivities — plus the
+correlated-group correction of Section 5.1.  All computations are offered in
+the log domain as well, because the MILP formulation works on logarithms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.catalog.predicate import CorrelatedGroup, Predicate
+from repro.catalog.table import Table
+
+
+def applicable_predicates(
+    table_names: frozenset[str] | set[str],
+    predicates: Iterable[Predicate],
+) -> list[Predicate]:
+    """Predicates whose referenced tables are all contained in the set.
+
+    This is the MILP's predicate-applicability rule (``pao`` constraints):
+    a predicate can only be evaluated once every table it refers to has been
+    joined.
+    """
+    return [
+        predicate
+        for predicate in predicates
+        if all(table in table_names for table in predicate.tables)
+    ]
+
+
+def active_groups(
+    applied: Iterable[Predicate],
+    groups: Iterable[CorrelatedGroup],
+) -> list[CorrelatedGroup]:
+    """Correlated groups all of whose member predicates have been applied."""
+    applied_names = {predicate.name for predicate in applied}
+    return [
+        group
+        for group in groups
+        if all(name in applied_names for name in group.predicate_names)
+    ]
+
+
+def log_cardinality(
+    tables: Iterable[Table],
+    predicates: Iterable[Predicate] = (),
+    groups: Iterable[CorrelatedGroup] = (),
+) -> float:
+    """Natural-log cardinality of joining ``tables``.
+
+    Only predicates applicable to the table set contribute; correlated-group
+    corrections apply when every member predicate is applicable.
+    """
+    table_list = list(tables)
+    names = frozenset(table.name for table in table_list)
+    applied = applicable_predicates(names, predicates)
+    result = sum(table.log_cardinality for table in table_list)
+    result += sum(predicate.log_selectivity for predicate in applied)
+    result += sum(group.log_correction for group in active_groups(applied, groups))
+    return result
+
+
+def cardinality(
+    tables: Iterable[Table],
+    predicates: Iterable[Predicate] = (),
+    groups: Iterable[CorrelatedGroup] = (),
+) -> float:
+    """Estimated cardinality of joining ``tables`` (raw domain)."""
+    return math.exp(log_cardinality(tables, predicates, groups))
+
+
+def selectivity_product(predicates: Iterable[Predicate]) -> float:
+    """Product of the selectivities of ``predicates`` (independence)."""
+    result = 1.0
+    for predicate in predicates:
+        result *= predicate.selectivity
+    return result

@@ -1,0 +1,98 @@
+"""Table metadata for the relational catalog."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column
+from repro.exceptions import CatalogError
+
+#: Default tuple width (bytes) when a table declares no columns.  Matches the
+#: paper's simplifying assumption of a fixed byte size per tuple (Section 4.3).
+DEFAULT_TUPLE_SIZE = 64
+
+#: Default disk page size in bytes, used by page-based cost formulas.
+DEFAULT_PAGE_SIZE = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class Table:
+    """A base table with cardinality statistics.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within a query.
+    cardinality:
+        Estimated number of rows; must be at least 1 (paper Section 3 assumes
+        ``Card(t) >= 1``).
+    columns:
+        Column metadata.  May be empty, in which case ``tuple_size`` falls
+        back to :data:`DEFAULT_TUPLE_SIZE` unless given explicitly.
+    tuple_size:
+        Optional explicit tuple width in bytes.  Defaults to the sum of the
+        column byte sizes (or :data:`DEFAULT_TUPLE_SIZE` without columns).
+    """
+
+    name: str
+    cardinality: float
+    columns: tuple[Column, ...] = field(default=())
+    tuple_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("table name must be non-empty")
+        if not self.cardinality >= 1:
+            raise CatalogError(
+                f"table {self.name!r}: cardinality must be >= 1, "
+                f"got {self.cardinality}"
+            )
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise CatalogError(f"table {self.name!r}: duplicate column names")
+        if self.tuple_size is not None and self.tuple_size <= 0:
+            raise CatalogError(
+                f"table {self.name!r}: tuple_size must be positive"
+            )
+
+    @property
+    def effective_tuple_size(self) -> int:
+        """Tuple width in bytes used by byte-size based cost formulas."""
+        if self.tuple_size is not None:
+            return self.tuple_size
+        if self.columns:
+            return sum(column.byte_size for column in self.columns)
+        return DEFAULT_TUPLE_SIZE
+
+    @property
+    def log_cardinality(self) -> float:
+        """Natural logarithm of the table cardinality."""
+        return math.log(self.cardinality)
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name``.
+
+        Raises
+        ------
+        CatalogError
+            If the table has no such column.
+        """
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Return whether the table declares a column called ``name``."""
+        return any(column.name == name for column in self.columns)
+
+    def pages(self, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+        """Number of disk pages the table occupies.
+
+        Mirrors the paper's ``pages(t) = ceil(Card(t) * tupSize / pageSize)``.
+        """
+        if page_size <= 0:
+            raise CatalogError(f"page_size must be positive, got {page_size}")
+        raw = self.cardinality * self.effective_tuple_size / page_size
+        return max(1, math.ceil(raw * (1.0 - 1e-12)))

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``optimize``
+    Optimize a query (from a JSON file or randomly generated) with the
+    MILP optimizer; optionally cross-check against DP and export the MILP.
+``generate``
+    Generate a random query and write it as JSON.
+``figure1`` / ``figure2`` / ``ablation``
+    Shortcuts to the experiment harness modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.catalog.serde import load_query, save_plan, save_query
+from repro.dp.selinger import MAX_DP_TABLES, SelingerOptimizer
+from repro.milp.branch_and_bound import SolverOptions
+from repro.milp.io import write_lp
+from repro.milp.mps import write_mps
+from repro.workloads.generator import QueryGenerator
+from repro.core.config import FormulationConfig
+from repro.core.optimizer import MILPJoinOptimizer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    optimize = commands.add_parser(
+        "optimize", help="optimize a query with the MILP optimizer"
+    )
+    optimize.add_argument("--query", help="query JSON file (see `generate`)")
+    optimize.add_argument("--topology", default="star")
+    optimize.add_argument("--tables", type=int, default=8)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument(
+        "--precision", default="high", choices=("high", "medium", "low")
+    )
+    optimize.add_argument(
+        "--cost-model", default="hash",
+        choices=("cout", "hash", "sort_merge", "bnl"),
+    )
+    optimize.add_argument("--time-limit", type=float, default=30.0)
+    optimize.add_argument("--no-warm-start", action="store_true")
+    optimize.add_argument(
+        "--portfolio", action="store_true",
+        help="solve with the four-member concurrent portfolio",
+    )
+    optimize.add_argument("--export-lp", help="write the MILP in LP format")
+    optimize.add_argument("--export-mps", help="write the MILP in MPS format")
+    optimize.add_argument("--save-plan", help="write the plan as JSON")
+    optimize.add_argument(
+        "--explain", action="store_true",
+        help="print an EXPLAIN-style tree for the chosen plan",
+    )
+    optimize.add_argument(
+        "--export-dot", help="write the plan as a Graphviz digraph"
+    )
+    optimize.add_argument(
+        "--check-dp", action="store_true",
+        help="cross-check against exhaustive DP (small queries only)",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="generate a random query as JSON"
+    )
+    generate.add_argument("output")
+    generate.add_argument("--topology", default="star")
+    generate.add_argument("--tables", type=int, default=8)
+    generate.add_argument("--seed", type=int, default=0)
+
+    for name in ("figure1", "figure2", "ablation"):
+        sub = commands.add_parser(
+            name, help=f"run the {name} experiment harness"
+        )
+        sub.add_argument("args", nargs=argparse.REMAINDER)
+    return parser
+
+
+def _load_or_generate(args) -> "object":
+    if args.query:
+        return load_query(args.query)
+    generator = QueryGenerator(seed=args.seed)
+    return generator.generate(args.topology, args.tables)
+
+
+def _cmd_optimize(args) -> int:
+    query = _load_or_generate(args)
+    preset = {
+        "high": FormulationConfig.high_precision,
+        "medium": FormulationConfig.medium_precision,
+        "low": FormulationConfig.low_precision,
+    }[args.precision]
+    config = preset(query.num_tables, cost_model=args.cost_model)
+    optimizer = MILPJoinOptimizer(
+        config, SolverOptions(time_limit=args.time_limit)
+    )
+    if args.export_lp or args.export_mps:
+        formulation = optimizer.formulate(query)
+        if args.export_lp:
+            write_lp(formulation.model, args.export_lp)
+            print(f"wrote MILP to {args.export_lp}")
+        if args.export_mps:
+            write_mps(formulation.model, args.export_mps)
+            print(f"wrote MILP to {args.export_mps}")
+    if args.portfolio:
+        result = optimizer.optimize_with_portfolio(
+            query, warm_start=not args.no_warm_start
+        )
+    else:
+        result = optimizer.optimize(
+            query, warm_start=not args.no_warm_start
+        )
+    print(f"status:            {result.status.value}")
+    if result.plan is None:
+        print("no plan found within the budget")
+        return 1
+    print(f"plan:              {result.plan.describe()}")
+    print(f"true cost:         {result.true_cost:,.0f}")
+    print(f"guaranteed factor: {result.optimality_factor:.3f}")
+    print(f"solve time:        {result.solve_time:.2f}s "
+          f"({result.milp_solution.node_count} nodes)")
+    if args.explain:
+        from repro.plans.explain import explain_text
+
+        print()
+        print(explain_text(result.plan, use_cout=args.cost_model == "cout"))
+    if args.export_dot:
+        from pathlib import Path
+
+        from repro.plans.explain import to_dot
+
+        Path(args.export_dot).write_text(to_dot(result.plan) + "\n")
+        print(f"wrote plan digraph to {args.export_dot}")
+    if args.save_plan:
+        save_plan(result.plan, args.save_plan)
+        print(f"wrote plan to {args.save_plan}")
+    if args.check_dp:
+        if query.num_tables > MAX_DP_TABLES:
+            print("DP check skipped: query too large")
+        else:
+            dp = SelingerOptimizer(
+                query, use_cout=args.cost_model == "cout"
+            ).optimize()
+            print(f"DP optimum:        {dp.cost:,.0f} "
+                  f"(ratio {result.true_cost / max(dp.cost, 1e-12):.3f})")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    generator = QueryGenerator(seed=args.seed)
+    query = generator.generate(args.topology, args.tables)
+    save_query(query, args.output)
+    print(f"wrote {query.name} to {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Harness subcommands forward their options verbatim; argparse's
+    # REMAINDER does not accept leading options, so dispatch early.
+    if argv and argv[0] in ("figure1", "figure2", "ablation"):
+        from repro.harness import ablation, figure1, figure2
+
+        module = {"figure1": figure1, "figure2": figure2,
+                  "ablation": ablation}[argv[0]]
+        module.main(argv[1:])
+        return 0
+    args = _build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "figure1":
+        from repro.harness import figure1
+
+        figure1.main(args.args)
+        return 0
+    if args.command == "figure2":
+        from repro.harness import figure2
+
+        figure2.main(args.args)
+        return 0
+    if args.command == "ablation":
+        from repro.harness import ablation
+
+        ablation.main(args.args)
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's contribution: join ordering as mixed integer linear
+programming.
+
+Public entry points: :class:`MILPJoinOptimizer` (end-to-end),
+:class:`JoinOrderFormulation` (just the MILP), :class:`FormulationConfig`
+(precision presets), and the model-size analysis of Section 6.
+"""
+
+from repro.core.analysis import (
+    ModelSize,
+    measure_model_size,
+    theoretical_constraint_bound,
+    theoretical_variable_bound,
+)
+from repro.core.bushy import (
+    BushyFormulation,
+    BushyMILPOptimizer,
+    BushyOptimizationResult,
+    extract_tree,
+    tree_cout,
+)
+from repro.core.config import COST_MODELS, FormulationConfig
+from repro.core.extensions import (
+    ImplementationSpec,
+    PropertySpec,
+    default_implementations,
+    sorted_order_implementations,
+)
+from repro.core.extraction import extract_plan
+from repro.core.formulation import JoinOrderFormulation
+from repro.core.optimizer import (
+    MILPJoinOptimizer,
+    OptimizationResult,
+    optimize_query,
+)
+from repro.core.thresholds import ThresholdGrid
+from repro.core.warmstart import assignment_for_plan
+
+__all__ = [
+    "BushyFormulation",
+    "BushyMILPOptimizer",
+    "BushyOptimizationResult",
+    "COST_MODELS",
+    "FormulationConfig",
+    "ImplementationSpec",
+    "JoinOrderFormulation",
+    "MILPJoinOptimizer",
+    "ModelSize",
+    "OptimizationResult",
+    "PropertySpec",
+    "ThresholdGrid",
+    "assignment_for_plan",
+    "default_implementations",
+    "extract_plan",
+    "extract_tree",
+    "measure_model_size",
+    "optimize_query",
+    "sorted_order_implementations",
+    "theoretical_constraint_bound",
+    "theoretical_variable_bound",
+    "tree_cout",
+]

@@ -1,0 +1,84 @@
+"""Model-size analysis (paper Section 6, Theorems 1 and 2).
+
+The paper proves the MILP has ``O(n * (n + m + l))`` variables and
+constraints for ``n`` tables, ``m`` predicates and ``l`` thresholds.  This
+module measures actual counts (Figure 1's data) and provides the
+closed-form bound for the scaling tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.query import Query
+from repro.core.config import FormulationConfig
+from repro.core.formulation import JoinOrderFormulation
+
+
+@dataclass(frozen=True)
+class ModelSize:
+    """Measured and predicted size of one query's MILP."""
+
+    num_tables: int
+    num_predicates: int
+    num_thresholds: int
+    variables: int
+    binary_variables: int
+    constraints: int
+
+    @property
+    def size_driver(self) -> int:
+        """The Theorem 1/2 driver ``n * (n + m + l)``."""
+        return self.num_tables * (
+            self.num_tables + self.num_predicates + self.num_thresholds
+        )
+
+
+def measure_model_size(
+    query: Query, config: FormulationConfig | None = None
+) -> ModelSize:
+    """Build the MILP for ``query`` and count variables/constraints."""
+    formulation = JoinOrderFormulation(query, config)
+    stats = formulation.stats()
+    return ModelSize(
+        num_tables=query.num_tables,
+        num_predicates=query.num_predicates,
+        num_thresholds=formulation.grid.num_thresholds,
+        variables=stats["variables"],
+        binary_variables=stats["binary_variables"],
+        constraints=stats["constraints"],
+    )
+
+
+def theoretical_variable_bound(
+    num_tables: int, num_predicates: int, num_thresholds: int
+) -> int:
+    """Upper bound on variable count implied by Theorem 1.
+
+    Per join (``n - 1`` of them): ``2n`` operand binaries, ``m`` predicate
+    binaries, ``l`` threshold binaries and 3 continuous cardinality
+    variables (``lco``, ``co``, ``ci``).
+    """
+    per_join = (
+        2 * num_tables + num_predicates + num_thresholds + 3
+    )
+    return (num_tables - 1) * per_join
+
+
+def theoretical_constraint_bound(
+    num_tables: int, num_predicates: int, num_thresholds: int
+) -> int:
+    """Upper bound on constraint count implied by Theorem 2.
+
+    Per join: ``n`` overlap rows + ``n`` chain rows, up to ``n``
+    requirement rows per predicate (n-ary worst case) plus the forcing
+    row, ``2l`` threshold rows (activation + ordering) and 4 structural
+    equalities.
+    """
+    per_join = (
+        2 * num_tables
+        + num_predicates * (num_tables + 1)
+        + 2 * num_thresholds
+        + 4
+    )
+    return (num_tables - 1) * per_join

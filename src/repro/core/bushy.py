@@ -1,0 +1,556 @@
+"""MILP formulation over *bushy* join trees (extension beyond the paper).
+
+The paper's formulation (Section 4) restricts the search space to left-deep
+plans: the inner operand of every join is a single table.  This module lifts
+that restriction.  A bushy plan over ``n`` tables still has ``n - 1`` joins,
+scheduled bottom-up as joins ``0 .. n-2``; each operand of join ``j`` is now
+either a base table or the result of an *earlier* join.
+
+Variables (all binary unless noted):
+
+* ``btl[t,j]`` / ``btr[t,j]`` — base table ``t`` is the left/right operand
+  of join ``j`` directly;
+* ``rul[k,j]`` / ``rur[k,j]`` (``k < j``) — the result of join ``k`` is the
+  left/right operand of join ``j``;
+* ``res[t,j]`` (continuous in ``[0,1]``, integral by construction) —
+  table ``t`` is contained in the result of join ``j``;
+* ``w[t,k,j]`` (continuous) — McCormick linearization of the product
+  ``(rul[k,j] + rur[k,j]) * res[t,k]``, i.e. "table ``t`` flows from result
+  ``k`` into join ``j``";
+* ``pao[p,j]``, threshold flags and approximate cardinalities reuse the
+  paper's Section 4.2 machinery verbatim, applied per join *result*.
+
+Structural constraints: every join picks exactly one left and one right
+operand; every base table is consumed exactly once; every non-final result
+is consumed exactly once by a later join; the final result contains all
+tables.  Operand disjointness follows from the ``res`` upper bound of one.
+
+The encoding needs O(n³) linearization variables, so it targets the small
+and mid-size queries where bushy plans pay off most; the objective is the
+C_out metric (the cost model under which the bushy DP baseline
+:class:`~repro.dp.bushy.BushyOptimizer` is exact, which makes the two
+directly comparable).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.dp.bushy import BushyNode
+from repro.exceptions import ExtractionError, FormulationError
+from repro.milp.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.milp.expr import LinExpr, lin_sum
+from repro.milp.model import Model
+from repro.milp.solution import IncumbentEvent, MILPSolution, SolveStatus
+from repro.milp.variables import Variable
+from repro.plans.cardinality import CardinalityModel
+from repro.core.config import FormulationConfig
+from repro.core.linearize import big_m_for
+from repro.core.thresholds import ThresholdGrid
+
+_ROUND = 0.5
+
+
+class BushyFormulation:
+    """Builds the bushy-plan MILP for one query.
+
+    Parameters
+    ----------
+    query:
+        Query to encode; needs at least two tables.
+    config:
+        Formulation configuration.  Only the ``cout`` cost model is
+        supported in the bushy space.
+    """
+
+    def __init__(
+        self, query: Query, config: FormulationConfig | None = None
+    ) -> None:
+        if query.num_tables < 2:
+            raise FormulationError(
+                "the bushy MILP formulation needs at least two tables"
+            )
+        self.config = config or FormulationConfig.medium_precision(
+            query.num_tables, cost_model="cout"
+        )
+        if self.config.cost_model != "cout":
+            raise FormulationError(
+                "the bushy formulation supports only the C_out cost model"
+            )
+        self.query = query
+        self.cards = CardinalityModel(query)
+        self.grid = ThresholdGrid.for_query(query, self.config)
+        self.model = Model(f"{query.name or 'query'}-bushy")
+        self.joins = range(query.num_joins)
+        self.jmax = query.num_joins - 1
+
+        self.multi_predicates: list[Predicate] = [
+            predicate
+            for predicate in query.predicates
+            if predicate.arity >= 2
+        ]
+
+        # Variable registries.
+        self.btl: dict[tuple[str, int], Variable] = {}
+        self.btr: dict[tuple[str, int], Variable] = {}
+        self.rul: dict[tuple[int, int], Variable] = {}
+        self.rur: dict[tuple[int, int], Variable] = {}
+        self.res: dict[tuple[str, int], Variable] = {}
+        self.w: dict[tuple[str, int, int], Variable] = {}
+        self.pao: dict[tuple[str, int], Variable] = {}
+        self.lres: dict[int, Variable] = {}
+        self.ctr: dict[tuple[int, int], Variable] = {}
+        self.cr: dict[int, Variable] = {}
+
+        self._build_structure()
+        self._build_contents()
+        self._build_predicates_and_cardinality()
+        self._build_objective()
+
+    # ------------------------------------------------------------------
+    # Structure: operand choices
+    # ------------------------------------------------------------------
+
+    def _build_structure(self) -> None:
+        model = self.model
+        tables = self.query.table_names
+        for j in self.joins:
+            for t in tables:
+                self.btl[t, j] = model.add_binary(f"btl[{t},{j}]", priority=3)
+                self.btr[t, j] = model.add_binary(f"btr[{t},{j}]", priority=3)
+            for k in range(j):
+                self.rul[k, j] = model.add_binary(f"rul[{k},{j}]", priority=3)
+                self.rur[k, j] = model.add_binary(f"rur[{k},{j}]", priority=3)
+
+        for j in self.joins:
+            model.add_eq(
+                lin_sum(
+                    [self.btl[t, j] for t in tables]
+                    + [self.rul[k, j] for k in range(j)]
+                ),
+                1.0,
+                f"left_one[{j}]",
+            )
+            model.add_eq(
+                lin_sum(
+                    [self.btr[t, j] for t in tables]
+                    + [self.rur[k, j] for k in range(j)]
+                ),
+                1.0,
+                f"right_one[{j}]",
+            )
+            # A result cannot feed both operands of the same join.
+            for k in range(j):
+                model.add_le(
+                    self.rul[k, j] + self.rur[k, j], 1.0, f"no_self[{k},{j}]"
+                )
+
+        for t in tables:
+            model.add_eq(
+                lin_sum(
+                    [self.btl[t, j] for j in self.joins]
+                    + [self.btr[t, j] for j in self.joins]
+                ),
+                1.0,
+                f"table_once[{t}]",
+            )
+        for k in self.joins:
+            if k == self.jmax:
+                continue  # the final result is never consumed
+            model.add_eq(
+                lin_sum(
+                    [self.rul[k, j] for j in range(k + 1, self.jmax + 1)]
+                    + [self.rur[k, j] for j in range(k + 1, self.jmax + 1)]
+                ),
+                1.0,
+                f"result_once[{k}]",
+            )
+
+    # ------------------------------------------------------------------
+    # Result contents (McCormick linearization)
+    # ------------------------------------------------------------------
+
+    def _build_contents(self) -> None:
+        model = self.model
+        tables = self.query.table_names
+        for j in self.joins:
+            for t in tables:
+                self.res[t, j] = model.add_continuous(
+                    f"res[{t},{j}]", 0.0, 1.0
+                )
+        for j in self.joins:
+            for k in range(j):
+                feeds = self.rul[k, j] + self.rur[k, j]
+                for t in tables:
+                    w = model.add_continuous(f"w[{t},{k},{j}]", 0.0, 1.0)
+                    self.w[t, k, j] = w
+                    model.add_le(
+                        w - feeds, 0.0, f"w_feed[{t},{k},{j}]"
+                    )
+                    model.add_le(
+                        w - self.res[t, k], 0.0, f"w_res[{t},{k},{j}]"
+                    )
+                    model.add_ge(
+                        w - feeds - self.res[t, k],
+                        -1.0,
+                        f"w_and[{t},{k},{j}]",
+                    )
+            for t in tables:
+                contributions = LinExpr.from_var(self.res[t, j])
+                contributions.add_term(self.btl[t, j], -1.0)
+                contributions.add_term(self.btr[t, j], -1.0)
+                for k in range(j):
+                    contributions.add_term(self.w[t, k, j], -1.0)
+                model.add_eq(contributions, 0.0, f"res_def[{t},{j}]")
+        # The final join's result contains every table.
+        for t in tables:
+            model.add_eq(self.res[t, self.jmax], 1.0, f"final[{t}]")
+
+    # ------------------------------------------------------------------
+    # Predicates, log-cardinality, thresholds (Section 4.2, per result)
+    # ------------------------------------------------------------------
+
+    def _build_predicates_and_cardinality(self) -> None:
+        model = self.model
+        tables = self.query.table_names
+        log_card = {
+            t: self.cards.effective_log_cardinality(t) for t in tables
+        }
+        lower = sum(min(0.0, value) for value in log_card.values()) + sum(
+            min(0.0, p.log_selectivity) for p in self.multi_predicates
+        )
+        upper = sum(max(0.0, value) for value in log_card.values()) + sum(
+            max(0.0, p.log_selectivity) for p in self.multi_predicates
+        )
+
+        for predicate in self.multi_predicates:
+            for j in self.joins:
+                variable = model.add_binary(
+                    f"pao[{predicate.name},{j}]", priority=2
+                )
+                self.pao[predicate.name, j] = variable
+                requirement = LinExpr()
+                for t in predicate.tables:
+                    model.add_le(
+                        variable - self.res[t, j],
+                        0.0,
+                        f"pao_req[{predicate.name},{j},{t}]",
+                    )
+                    requirement.add_term(self.res[t, j], 1.0)
+                # Predicates are free under C_out: force them on as soon
+                # as every referenced table is in the result (keeps the
+                # cardinality model exact).
+                model.add_ge(
+                    variable - requirement,
+                    1 - predicate.arity,
+                    f"pao_force[{predicate.name},{j}]",
+                )
+
+        for j in self.joins:
+            lres = model.add_continuous(f"lres[{j}]", lower, upper)
+            self.lres[j] = lres
+            expr = LinExpr.from_var(lres)
+            for t in tables:
+                expr.add_term(self.res[t, j], -log_card[t])
+            for predicate in self.multi_predicates:
+                expr.add_term(
+                    self.pao[predicate.name, j], -predicate.log_selectivity
+                )
+            model.add_eq(expr, 0.0, f"lres_def[{j}]")
+
+        for j in self.joins:
+            for r, log_threshold in enumerate(self.grid.log_thresholds):
+                flag = model.add_binary(f"ctr[{r},{j}]", priority=1)
+                self.ctr[r, j] = flag
+                big_m = big_m_for(upper, log_threshold)
+                model.add_le(
+                    self.lres[j] - big_m * flag,
+                    log_threshold,
+                    f"ctr_act[{r},{j}]",
+                )
+            if self.config.threshold_ordering:
+                for r in range(1, self.grid.num_thresholds):
+                    model.add_le(
+                        self.ctr[r, j] - self.ctr[r - 1, j],
+                        0.0,
+                        f"ctr_ord[{r},{j}]",
+                    )
+
+        base, deltas = self.grid.piecewise()
+        cr_upper = self.grid.max_value * 1.001
+        for j in self.joins:
+            cr = model.add_continuous(f"cr[{j}]", 0.0, cr_upper)
+            self.cr[j] = cr
+            expr = LinExpr.from_var(cr)
+            for r, delta in enumerate(deltas):
+                expr.add_term(self.ctr[r, j], -delta)
+            model.add_eq(expr, base, f"cr_def[{j}]")
+
+    def _build_objective(self) -> None:
+        # C_out: the final result is identical for every plan, so only
+        # intermediate results are charged (matches BushyOptimizer).
+        self.model.set_objective(
+            lin_sum(self.cr[j] for j in self.joins if j != self.jmax)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Model-size statistics (mirrors the left-deep formulation)."""
+        return self.model.stats()
+
+
+# ----------------------------------------------------------------------
+# Warm start
+# ----------------------------------------------------------------------
+
+
+def assignment_for_tree(
+    formulation: BushyFormulation, tree: BushyNode
+) -> dict[str, float]:
+    """MILP variable assignment encoding a bushy tree (warm start).
+
+    Internal nodes are scheduled post-order, which guarantees operands are
+    produced before they are consumed.
+    """
+    schedule: list[BushyNode] = []
+
+    def visit(node: BushyNode) -> None:
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        visit(node.left)
+        visit(node.right)
+        schedule.append(node)
+
+    visit(tree)
+    if len(schedule) != formulation.query.num_joins:
+        raise ExtractionError(
+            "tree join count does not match the query's join count"
+        )
+    index_of = {id(node): j for j, node in enumerate(schedule)}
+    values: dict[str, float] = {
+        variable.name: 0.0 for variable in formulation.model.variables
+    }
+
+    for j, node in enumerate(schedule):
+        assert node.left is not None and node.right is not None
+        for child, base_key, result_key in (
+            (node.left, "btl", "rul"),
+            (node.right, "btr", "rur"),
+        ):
+            if child.is_leaf:
+                values[f"{base_key}[{child.table},{j}]"] = 1.0
+            else:
+                values[f"{result_key}[{index_of[id(child)]},{j}]"] = 1.0
+        for t in node.tables:
+            values[f"res[{t},{j}]"] = 1.0
+        for child in (node.left, node.right):
+            if not child.is_leaf:
+                k = index_of[id(child)]
+                for t in child.tables:
+                    values[f"w[{t},{k},{j}]"] = 1.0
+        applied_log = 0.0
+        for predicate in formulation.multi_predicates:
+            if all(t in node.tables for t in predicate.tables):
+                values[f"pao[{predicate.name},{j}]"] = 1.0
+                applied_log += predicate.log_selectivity
+        lres = (
+            sum(
+                formulation.cards.effective_log_cardinality(t)
+                for t in node.tables
+            )
+            + applied_log
+        )
+        values[f"lres[{j}]"] = lres
+        flags = formulation.grid.active_flags(lres)
+        for r, flag in enumerate(flags):
+            values[f"ctr[{r},{j}]"] = float(flag)
+        values[f"cr[{j}]"] = formulation.grid.approximate(lres)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def extract_tree(
+    formulation: BushyFormulation, solution: MILPSolution
+) -> BushyNode:
+    """Decode a solution into a :class:`~repro.dp.bushy.BushyNode` tree."""
+    if not solution.status.has_solution:
+        raise ExtractionError(
+            f"solution status {solution.status.value!r} carries no plan"
+        )
+    tables = formulation.query.table_names
+    produced: dict[int, BushyNode] = {}
+    for j in formulation.joins:
+        operands: list[BushyNode] = []
+        for base_key, result_key in (("btl", "rul"), ("btr", "rur")):
+            base_picks = [
+                t for t in tables
+                if solution.value(f"{base_key}[{t},{j}]") > _ROUND
+            ]
+            result_picks = [
+                k for k in range(j)
+                if solution.value(f"{result_key}[{k},{j}]") > _ROUND
+            ]
+            if len(base_picks) + len(result_picks) != 1:
+                raise ExtractionError(
+                    f"join {j}: expected one {base_key}/{result_key} "
+                    f"operand, decoded {base_picks + result_picks}"
+                )
+            if base_picks:
+                operands.append(
+                    BushyNode(frozenset(base_picks), table=base_picks[0])
+                )
+            else:
+                operands.append(produced.pop(result_picks[0]))
+        left, right = operands
+        if left.tables & right.tables:
+            raise ExtractionError(f"join {j}: overlapping operands")
+        produced[j] = BushyNode(
+            left.tables | right.tables, left=left, right=right
+        )
+    tree = produced.pop(formulation.jmax, None)
+    if tree is None or produced or tree.tables != frozenset(tables):
+        raise ExtractionError("decoded tree does not cover the query")
+    return tree
+
+
+def tree_cout(tree: BushyNode, query: Query) -> float:
+    """Exact C_out of a bushy tree (intermediate results only)."""
+    model = CardinalityModel(query)
+    full = frozenset(query.table_names)
+    total = 0.0
+
+    def visit(node: BushyNode) -> None:
+        nonlocal total
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        visit(node.left)
+        visit(node.right)
+        if node.tables != full:
+            total += model.cardinality(node.tables)
+
+    visit(tree)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Optimizer facade
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BushyOptimizationResult:
+    """Outcome of one bushy MILP optimization run."""
+
+    query: Query
+    tree: BushyNode | None
+    status: SolveStatus
+    objective: float
+    best_bound: float
+    true_cost: float | None
+    solve_time: float
+    events: list[IncumbentEvent] = field(default_factory=list)
+    formulation_stats: dict[str, int] = field(default_factory=dict)
+    milp_solution: MILPSolution | None = None
+
+    @property
+    def optimality_factor(self) -> float:
+        """Guaranteed ``cost / lower-bound`` factor."""
+        if self.milp_solution is None:
+            return 1.0 if self.status is SolveStatus.OPTIMAL else math.inf
+        return self.milp_solution.optimality_factor
+
+
+class BushyMILPOptimizer:
+    """Join ordering over bushy trees via MILP.
+
+    Mirrors :class:`~repro.core.optimizer.MILPJoinOptimizer` for the bushy
+    plan space; the warm start comes from the bushy DP when the query is
+    small enough and connected, falling back to a left-deep greedy order.
+    """
+
+    def __init__(
+        self,
+        config: FormulationConfig | None = None,
+        solver_options: SolverOptions | None = None,
+    ) -> None:
+        self.config = config
+        self.solver_options = solver_options or SolverOptions()
+
+    def formulate(self, query: Query) -> BushyFormulation:
+        """Build (but do not solve) the bushy MILP for ``query``."""
+        config = self.config or FormulationConfig.medium_precision(
+            query.num_tables, cost_model="cout"
+        )
+        return BushyFormulation(query, config)
+
+    def optimize(
+        self, query: Query, warm_start: "bool | BushyNode" = True
+    ) -> BushyOptimizationResult:
+        """Optimize ``query`` over the bushy plan space."""
+        started = time.monotonic()
+        formulation = self.formulate(query)
+        seed = None
+        if warm_start is not False and warm_start is not None:
+            tree = (
+                warm_start
+                if isinstance(warm_start, BushyNode)
+                else self._heuristic_tree(query)
+            )
+            if tree is not None:
+                seed = assignment_for_tree(formulation, tree)
+        solver = BranchAndBoundSolver(formulation.model, self.solver_options)
+        solution = solver.solve(warm_start=seed)
+
+        tree = None
+        true_cost = None
+        if solution.status.has_solution:
+            tree = extract_tree(formulation, solution)
+            true_cost = tree_cout(tree, query)
+        return BushyOptimizationResult(
+            query=query,
+            tree=tree,
+            status=solution.status,
+            objective=solution.objective,
+            best_bound=solution.best_bound,
+            true_cost=true_cost,
+            solve_time=time.monotonic() - started,
+            events=solution.events,
+            formulation_stats=formulation.stats(),
+            milp_solution=solution,
+        )
+
+    def _heuristic_tree(self, query: Query) -> BushyNode | None:
+        """A feasible tree for the warm start (DP if possible, else greedy)."""
+        from repro.dp.bushy import MAX_BUSHY_TABLES, BushyOptimizer
+        from repro.dp.greedy import GreedyOptimizer
+
+        if query.num_tables <= MAX_BUSHY_TABLES and query.is_connected:
+            result = BushyOptimizer(query, use_cout=True).optimize()
+            if result.tree is not None:
+                return result.tree
+        greedy = GreedyOptimizer(query, use_cout=True).optimize()
+        if greedy.plan is None:
+            return None
+        return _tree_from_order(greedy.plan.join_order)
+
+
+def _tree_from_order(order) -> BushyNode:
+    """Left-deep tree over ``order`` (fallback warm start shape)."""
+    node = BushyNode(frozenset({order[0]}), table=order[0])
+    for name in order[1:]:
+        leaf = BushyNode(frozenset({name}), table=name)
+        node = BushyNode(node.tables | {name}, left=node, right=leaf)
+    return node

@@ -1,0 +1,180 @@
+"""Configuration of the join-ordering MILP formulation.
+
+The paper evaluates three configurations differing in cardinality
+approximation precision (Section 7.1): tolerance factor 3 ("high"), 10
+("medium") and 100 ("low"), with per-query-size caps on the number of
+threshold variables per intermediate result.  :class:`FormulationConfig`
+captures those knobs plus the cost model and extension switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.catalog.table import DEFAULT_PAGE_SIZE, DEFAULT_TUPLE_SIZE
+from repro.exceptions import FormulationError
+from repro.plans.operators import CostContext
+
+#: Cost models the formulation can encode as its objective.
+COST_MODELS = ("cout", "hash", "sort_merge", "bnl")
+
+#: Cardinality rounding modes for the threshold approximation.
+ROUNDING_MODES = ("upper", "lower")
+
+
+@dataclass(frozen=True)
+class FormulationConfig:
+    """Knobs of the join-ordering MILP formulation.
+
+    Attributes
+    ----------
+    tolerance:
+        Geometric spacing factor of the cardinality threshold grid; the
+        approximated cardinality is within this factor of the truth while
+        the value falls inside the grid's range.  Paper values: 3 (high
+        precision), 10 (medium), 100 (low).
+    max_thresholds:
+        Optional cap on threshold variables per intermediate result
+        (the paper caps at 60/100 for high precision and 15/25 for low).
+        ``None`` sizes the grid to cover the full cardinality range.
+    cardinality_cap:
+        Saturation point for represented cardinalities.  Intermediate
+        results larger than the cap all price identically, which keeps MILP
+        coefficients within the LP solver's legal range (HiGHS rejects
+        matrix values above ~1e15).  ``None`` disables — only safe with
+        small queries.
+    rounding:
+        ``"upper"`` (default, conservative over-estimate; the paper's
+        Example 2 second variant) or ``"lower"``.
+    cost_model:
+        Objective: ``"cout"``, ``"hash"``, ``"sort_merge"`` or ``"bnl"``.
+    threshold_ordering:
+        Add ``cto[r+1] <= cto[r]`` ordering constraints (valid strengthening;
+        an ablation toggle).
+    tangent_cuts:
+        Number of tangent cuts ``co >= e^x0 * (lco - x0 + 1)`` per join.
+        In upper-rounding mode every integral solution satisfies
+        ``co >= exp(lco)``, and since ``exp`` is convex its tangents are
+        valid linear cuts that dramatically tighten the big-M relaxation.
+        0 disables (ablation toggle); ignored in lower-rounding mode.
+    select_operators:
+        Let the MILP choose per-join operator implementations (Section 5.3).
+    enable_projection:
+        Track column sets and byte sizes (Section 5.2); activates only when
+        the query declares ``required_columns``.
+    enable_expensive_predicates:
+        Charge predicate evaluation cost (Section 5.1); activates only when
+        the query has predicates with ``cost_per_tuple > 0``.
+    tuple_size, page_size, buffer_pages:
+        Physical cost parameters shared with the exact evaluator.
+    label:
+        Display name used by the experiment harness.
+    """
+
+    tolerance: float = 3.0
+    max_thresholds: int | None = None
+    cardinality_cap: float | None = 1e12
+    rounding: str = "upper"
+    cost_model: str = "hash"
+    threshold_ordering: bool = True
+    tangent_cuts: int = 8
+    select_operators: bool = False
+    enable_projection: bool = False
+    enable_expensive_predicates: bool = True
+    tuple_size: int = DEFAULT_TUPLE_SIZE
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_pages: int = 64
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.tolerance <= 1.0:
+            raise FormulationError(
+                f"tolerance must exceed 1, got {self.tolerance}"
+            )
+        if self.max_thresholds is not None and self.max_thresholds < 1:
+            raise FormulationError("max_thresholds must be >= 1")
+        if self.cardinality_cap is not None and self.cardinality_cap <= 1:
+            raise FormulationError("cardinality_cap must exceed 1")
+        if self.rounding not in ROUNDING_MODES:
+            raise FormulationError(
+                f"rounding must be one of {ROUNDING_MODES}, "
+                f"got {self.rounding!r}"
+            )
+        if self.cost_model not in COST_MODELS:
+            raise FormulationError(
+                f"cost_model must be one of {COST_MODELS}, "
+                f"got {self.cost_model!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Paper presets
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def high_precision(
+        cls, num_tables: int | None = None, **overrides
+    ) -> "FormulationConfig":
+        """Paper's high-precision configuration: tolerance factor 3.
+
+        Uses up to 60 threshold variables per intermediate result for up to
+        40 tables, 100 beyond (Section 7.1).
+        """
+        cap = None
+        if num_tables is not None:
+            cap = 60 if num_tables <= 40 else 100
+        return cls(
+            tolerance=3.0, max_thresholds=cap, label="high", **overrides
+        )
+
+    @classmethod
+    def medium_precision(
+        cls, num_tables: int | None = None, **overrides
+    ) -> "FormulationConfig":
+        """Paper's medium-precision configuration: tolerance factor 10."""
+        cap = None
+        if num_tables is not None:
+            cap = 30 if num_tables <= 40 else 50
+        return cls(
+            tolerance=10.0, max_thresholds=cap, label="medium", **overrides
+        )
+
+    @classmethod
+    def low_precision(
+        cls, num_tables: int | None = None, **overrides
+    ) -> "FormulationConfig":
+        """Paper's low-precision configuration: tolerance factor 100.
+
+        Uses up to 15 threshold variables per result for up to 40 tables,
+        25 beyond (Section 7.1).
+        """
+        cap = None
+        if num_tables is not None:
+            cap = 15 if num_tables <= 40 else 25
+        return cls(
+            tolerance=100.0, max_thresholds=cap, label="low", **overrides
+        )
+
+    @classmethod
+    def presets(cls, num_tables: int | None = None) -> "list[FormulationConfig]":
+        """The three paper configurations, high to low precision."""
+        return [
+            cls.high_precision(num_tables),
+            cls.medium_precision(num_tables),
+            cls.low_precision(num_tables),
+        ]
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+
+    def cost_context(self) -> CostContext:
+        """Physical cost parameters as a :class:`CostContext`."""
+        return CostContext(
+            tuple_size=self.tuple_size,
+            page_size=self.page_size,
+            buffer_pages=self.buffer_pages,
+        )
+
+    def with_cost_model(self, cost_model: str) -> "FormulationConfig":
+        """Copy with a different cost model (ablation helper)."""
+        return replace(self, cost_model=cost_model)

@@ -1,0 +1,190 @@
+"""Cost encodings for the MILP objective (paper Section 4.3).
+
+Each standard operator's cost formula is expressed linearly in the
+formulation's variables:
+
+* **C_out** — the sum of intermediate result cardinalities is simply
+  ``sum(co[j] for j >= 1)``.
+* **hash join** — ``3 * (pgo + pgi)``; outer pages scale linearly with
+  ``co[j]``, inner pages are a weighted sum over ``tii``.
+* **sort-merge join** — the log-linear ``2*pg*ceil(log2 pg)`` sort terms are
+  *another piecewise function of the same threshold variables*, so no new
+  variables are needed for the outer operand; inner terms sum over tables.
+* **block nested-loop join** — ``ceil(pgo/buffer) * pgi`` becomes a sum of
+  binary-times-continuous products ``tii[t,j] * blocks[j]`` linearized per
+  Bisschop (the paper's preferred second variant, linear in the number of
+  tables rather than thresholds).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FormulationError
+from repro.milp.expr import LinExpr, lin_sum
+from repro.plans.operators import sort_cost
+from repro.core.linearize import binary_times_continuous
+
+
+def add_cost_objective(formulation) -> None:
+    """Append the configured cost model's objective terms."""
+    cost_model = formulation.config.cost_model
+    if cost_model == "cout":
+        formulation.objective_terms.append(cout_objective(formulation))
+        return
+    for j in formulation.joins:
+        formulation.objective_terms.append(
+            join_cost_expression(formulation, j, cost_model)
+        )
+
+
+def cout_objective(formulation) -> LinExpr:
+    """C_out: sum of intermediate result cardinalities.
+
+    ``co[j]`` for ``j >= 1`` is the result of join ``j - 1``; the final
+    join's output is identical for every plan and therefore excluded
+    (matching :class:`~repro.plans.cost.PlanCostEvaluator`).
+    """
+    return lin_sum(formulation.co[j] for j in formulation.joins if j >= 1)
+
+
+def join_cost_expression(
+    formulation, j: int, cost_model: str, presorted_outer: bool = False
+) -> LinExpr:
+    """Linear cost expression for join ``j`` under one operator's formula.
+
+    ``presorted_outer`` drops the outer sort stage of the sort-merge
+    operator (used by the Section 5.4 interesting-orders extension).
+    """
+    if cost_model == "hash":
+        return _hash_cost(formulation, j)
+    if cost_model == "sort_merge":
+        return _sort_merge_cost(formulation, j, presorted_outer)
+    if cost_model == "bnl":
+        return _bnl_cost(formulation, j)
+    raise FormulationError(
+        f"cost model {cost_model!r} has no per-join expression"
+    )
+
+
+# ----------------------------------------------------------------------
+# Operand page helpers
+# ----------------------------------------------------------------------
+
+def outer_pages_expression(formulation, j: int) -> LinExpr:
+    """Outer operand pages ``pgo[j] ~= co[j] * tupSize / pageSize``.
+
+    When the projection extension is active, the refined byte-size variable
+    replaces the fixed-tuple-size estimate.
+    """
+    projection_state = formulation.extensions.get("projection")
+    if projection_state is not None:
+        byte_variable = projection_state.outer_bytes[j]
+        return LinExpr.from_var(
+            byte_variable, 1.0 / formulation.context.page_size
+        )
+    factor = (
+        formulation.context.tuple_size / formulation.context.page_size
+    )
+    return LinExpr.from_var(formulation.co[j], factor)
+
+
+def inner_pages_expression(formulation, j: int) -> LinExpr:
+    """Inner operand pages: weighted sum over table-selection variables."""
+    expr = LinExpr()
+    for t in formulation.query.table_names:
+        expr.add_term(formulation.tii[t, j], formulation.table_pages(t))
+    return expr
+
+
+def outer_pages_upper_bound(formulation) -> float:
+    """Upper bound on the outer page count (for product linearization)."""
+    return (
+        formulation.grid.max_value
+        * formulation.context.tuple_size
+        / formulation.context.page_size
+    )
+
+
+# ----------------------------------------------------------------------
+# Operator formulas
+# ----------------------------------------------------------------------
+
+def _hash_cost(formulation, j: int) -> LinExpr:
+    return (
+        outer_pages_expression(formulation, j)
+        + inner_pages_expression(formulation, j)
+    ) * 3.0
+
+
+def _sort_merge_cost(
+    formulation, j: int, presorted_outer: bool
+) -> LinExpr:
+    context = formulation.context
+    expr = LinExpr()
+    if not presorted_outer:
+        # Outer sort: a piecewise function of cardinality assembled from
+        # the existing threshold variables.
+        base, deltas = formulation.grid.piecewise(
+            lambda cardinality: sort_cost(context.pages(cardinality))
+        )
+        expr.add_constant(base)
+        for r, delta in enumerate(deltas):
+            expr.add_term(formulation.cto[r, j], delta)
+    # Inner sort: exact per-table constants.
+    for t in formulation.query.table_names:
+        expr.add_term(
+            formulation.tii[t, j],
+            sort_cost(formulation.table_pages(t)),
+        )
+    # Merge pass over both inputs.
+    expr = (
+        expr
+        + outer_pages_expression(formulation, j)
+        + inner_pages_expression(formulation, j)
+    )
+    return expr
+
+
+def _bnl_cost(formulation, j: int) -> LinExpr:
+    """Block nested-loop cost via per-table products (paper's 2nd variant)."""
+    state = formulation.extensions.setdefault("bnl", _BnlState())
+    blocks = state.blocks.get(j)
+    if blocks is None:
+        blocks = _make_blocks_variable(formulation, j)
+        state.blocks[j] = blocks
+    expr = LinExpr()
+    for t in formulation.query.table_names:
+        key = (t, j)
+        product = state.products.get(key)
+        if product is None:
+            product = binary_times_continuous(
+                formulation.model,
+                formulation.tii[t, j],
+                blocks,
+                name=f"bnlw[{t},{j}]",
+            )
+            state.products[key] = product
+        expr.add_term(product, formulation.table_pages(t))
+    return expr
+
+
+class _BnlState:
+    """Caches BNL auxiliary variables so operator selection can reuse them."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, object] = {}
+        self.products: dict[tuple[str, int], object] = {}
+
+
+def _make_blocks_variable(formulation, j: int):
+    """Continuous ``blocks[j] = pgo[j] / buffer`` (ceiling omitted, as the
+    paper suggests for the linear approximation)."""
+    context = formulation.context
+    upper = outer_pages_upper_bound(formulation) / context.buffer_pages
+    blocks = formulation.model.add_continuous(f"blocks[{j}]", 0.0, upper)
+    pgo = outer_pages_expression(formulation, j)
+    formulation.model.add_eq(
+        LinExpr.from_var(blocks) - pgo * (1.0 / context.buffer_pages),
+        0.0,
+        f"blocks_def[{j}]",
+    )
+    return blocks

@@ -1,0 +1,27 @@
+"""Formulation extensions (paper Section 5).
+
+* :mod:`correlated` — correlated predicate groups (5.1).
+* :mod:`expensive_predicates` — predicate evaluation cost placement (5.1).
+* :mod:`projection` — column tracking and byte-size refinement (5.2).
+* :mod:`operator_choice` — in-MILP operator selection (5.3).
+* :mod:`properties` — intermediate-result properties / interesting orders
+  specs (5.4).
+
+N-ary predicates (5.1) need no extension module: the base formulation adds
+one applicability row per referenced table, which covers any arity, and
+unary predicates are pushed down into effective table cardinalities.
+"""
+
+from repro.core.extensions.properties import (
+    ImplementationSpec,
+    PropertySpec,
+    default_implementations,
+    sorted_order_implementations,
+)
+
+__all__ = [
+    "ImplementationSpec",
+    "PropertySpec",
+    "default_implementations",
+    "sorted_order_implementations",
+]

@@ -1,0 +1,47 @@
+"""Correlated predicate groups (paper Section 5.1).
+
+Each correlated group behaves like a virtual predicate ``g`` whose
+selectivity corrects the independence assumption.  Its applicability
+variable ``pao[g,j]`` is forced to the logical AND of the member
+predicates' applicability:
+
+* ``pao[g,j] >= 1 - |G| + sum(member indicators)`` — forced to one when
+  every member applies;
+* ``pao[g,j] <= indicator`` for each member — forced to zero otherwise.
+
+A multi-table member's indicator is its own ``pao`` variable.  A *unary*
+member is pushed down to the scan (its selectivity lives in the effective
+table cardinality), so its indicator is simply ``tio[t,j]`` — the
+predicate is applied exactly when its table is present.
+"""
+
+from __future__ import annotations
+
+from repro.core.linearize import conjunction
+
+
+def add_correlated_groups(formulation) -> None:
+    """Register pao variables and constraints for every correlated group."""
+    query = formulation.query
+    model = formulation.model
+    multi_names = {p.name for p in formulation.multi_predicates}
+    for group in query.correlated_groups:
+        tables: set[str] = set()
+        for name in group.predicate_names:
+            tables.update(query.predicate(name).tables)
+        formulation.pao_requirements[group.name] = frozenset(tables)
+        formulation.pao_log_terms[group.name] = group.log_correction
+        for j in formulation.joins:
+            variable = model.add_binary(f"pao[{group.name},{j}]")
+            formulation.pao[group.name, j] = variable
+            indicators = []
+            for name in group.predicate_names:
+                if name in multi_names:
+                    indicators.append(formulation.pao[name, j])
+                else:
+                    table = query.predicate(name).tables[0]
+                    indicators.append(formulation.tio[table, j])
+            conjunction(
+                model, variable, indicators, name=f"grp[{group.name},{j}]"
+            )
+            formulation.add_lco_term(j, variable, group.log_correction)

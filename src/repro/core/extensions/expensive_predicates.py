@@ -1,0 +1,85 @@
+"""Expensive predicate placement (paper Section 5.1).
+
+When predicate evaluation carries a per-tuple cost, evaluating early is no
+longer automatically beneficial.  Following the paper:
+
+* ``pao[p,j]`` stays only upper-bounded (the solver may postpone
+  evaluation) but becomes monotone: an evaluated predicate remains
+  evaluated;
+* ``pco[p,j] = pao[p,j+1] - pao[p,j]`` flags the join *during* which ``p``
+  is evaluated, with ``pao[p,jmax+1] := 1`` so every predicate is evaluated
+  by the end;
+* the evaluation charge is ``cost_per_tuple * pco[p,j] * co[j]``, a
+  binary-times-continuous product linearized per Bisschop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.milp.expr import LinExpr
+from repro.milp.variables import Variable
+from repro.core.linearize import binary_times_continuous
+
+
+@dataclass
+class ExpensivePredicateState:
+    """Variables created by the expensive-predicate extension."""
+
+    pco: dict[tuple[str, int], Variable] = field(default_factory=dict)
+    products: dict[tuple[str, int], Variable] = field(default_factory=dict)
+    predicates: list[str] = field(default_factory=list)
+
+
+def add_expensive_predicates(formulation) -> None:
+    """Charge evaluation cost for every expensive multi-table predicate."""
+    model = formulation.model
+    state = ExpensivePredicateState()
+    formulation.extensions["expensive_predicates"] = state
+
+    expensive = [
+        predicate
+        for predicate in formulation.multi_predicates
+        if predicate.is_expensive
+    ]
+    jmax = formulation.jmax
+    for predicate in expensive:
+        name = predicate.name
+        state.predicates.append(name)
+        # Once evaluated, a predicate stays evaluated.
+        for j in range(jmax):
+            model.add_le(
+                formulation.pao[name, j] - formulation.pao[name, j + 1],
+                0.0,
+                f"pao_mono[{name},{j}]",
+            )
+        for j in formulation.joins:
+            pco = model.add_binary(f"pco[{name},{j}]")
+            state.pco[name, j] = pco
+            if j < jmax:
+                # pco = pao[j+1] - pao[j]
+                model.add_eq(
+                    LinExpr.from_var(pco)
+                    - formulation.pao[name, j + 1]
+                    + formulation.pao[name, j],
+                    0.0,
+                    f"pco_def[{name},{j}]",
+                )
+            else:
+                # pao[p, jmax+1] := 1 by convention: whatever was not
+                # evaluated earlier is evaluated during the last join.
+                model.add_eq(
+                    LinExpr.from_var(pco) + formulation.pao[name, j],
+                    1.0,
+                    f"pco_def[{name},{j}]",
+                )
+            product = binary_times_continuous(
+                model,
+                pco,
+                formulation.co[j],
+                name=f"pcw[{name},{j}]",
+            )
+            state.products[name, j] = product
+            formulation.objective_terms.append(
+                LinExpr.from_var(product, predicate.cost_per_tuple)
+            )

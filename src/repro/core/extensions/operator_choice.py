@@ -1,0 +1,174 @@
+"""In-MILP operator implementation selection (paper Sections 5.3 and 5.4).
+
+For every join ``j`` and implementation ``i``:
+
+* ``jos[i,j]`` — binary, implementation selected (exactly one per join);
+* ``pjc[i,j]`` — continuous, *potential* cost of the join if ``i`` is used
+  (bound by an equality to the implementation's linear cost expression);
+* ``ajc[i,j] = jos[i,j] * pjc[i,j]`` — *actual* cost, linearized per
+  Bisschop; the objective sums the actual costs.
+
+When property specs are given (Section 5.4), ``ohp[x,j]`` binaries track
+whether the outer operand of join ``j`` has property ``x``:
+
+* applicability: ``jos[i,j] <= ohp[x,j]`` for every required property;
+* production: ``ohp[x,j+1] = sum(jos[i,j] for i producing x)``;
+* base tables: ``ohp[x,0] = sum(tio[t,0] for providing tables t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import FormulationError
+from repro.milp.expr import LinExpr, lin_sum
+from repro.milp.variables import Variable
+from repro.core import cost_encoding
+from repro.core.extensions.properties import (
+    ImplementationSpec,
+    PropertySpec,
+    default_implementations,
+)
+from repro.core.linearize import binary_times_continuous, expression_bounds
+
+
+@dataclass
+class OperatorChoiceState:
+    """Variables created by the operator-selection extension."""
+
+    implementations: list[ImplementationSpec] = field(default_factory=list)
+    properties: list[PropertySpec] = field(default_factory=list)
+    jos: dict[tuple[str, int], Variable] = field(default_factory=dict)
+    pjc: dict[tuple[str, int], Variable] = field(default_factory=dict)
+    ajc: dict[tuple[str, int], Variable] = field(default_factory=dict)
+    ohp: dict[tuple[str, int], Variable] = field(default_factory=dict)
+
+
+_COST_MODEL_BY_ALGORITHM = {
+    "hash": "hash",
+    "sort_merge": "sort_merge",
+    "block_nested_loop": "bnl",
+}
+
+
+def add_operator_selection(
+    formulation,
+    implementations=None,
+    properties=(),
+) -> None:
+    """Let the MILP pick one implementation per join; sets the objective."""
+    if formulation.config.cost_model == "cout":
+        raise FormulationError(
+            "operator selection needs operator cost formulas; "
+            "the C_out metric is operator-agnostic"
+        )
+    model = formulation.model
+    state = OperatorChoiceState(
+        implementations=list(implementations or default_implementations()),
+        properties=list(properties),
+    )
+    formulation.extensions["operator_choice"] = state
+
+    names = [spec.name for spec in state.implementations]
+    if len(names) != len(set(names)):
+        raise FormulationError("duplicate implementation names")
+    known_properties = {spec.name for spec in state.properties}
+    for spec in state.implementations:
+        for prop in spec.requires + spec.produces:
+            if prop not in known_properties:
+                raise FormulationError(
+                    f"implementation {spec.name!r} references unknown "
+                    f"property {prop!r}"
+                )
+
+    _add_property_variables(formulation, state)
+
+    for j in formulation.joins:
+        model.add_eq(
+            lin_sum(_jos(formulation, state, spec, j) for spec in state.implementations),
+            1.0,
+            f"jos_one[{j}]",
+        )
+        for spec in state.implementations:
+            jos = state.jos[spec.name, j]
+            cost_expr = cost_encoding.join_cost_expression(
+                formulation,
+                j,
+                _COST_MODEL_BY_ALGORITHM[spec.algorithm.value],
+                presorted_outer=spec.presorted_outer,
+            )
+            low, high = expression_bounds(model, cost_expr)
+            pjc = model.add_continuous(
+                f"pjc[{spec.name},{j}]", min(0.0, low), high
+            )
+            state.pjc[spec.name, j] = pjc
+            model.add_eq(
+                LinExpr.from_var(pjc) - cost_expr,
+                0.0,
+                f"pjc_def[{spec.name},{j}]",
+            )
+            ajc = binary_times_continuous(
+                model, jos, pjc, name=f"ajc[{spec.name},{j}]",
+                upper_bound=high,
+            )
+            state.ajc[spec.name, j] = ajc
+            formulation.objective_terms.append(LinExpr.from_var(ajc))
+            # Applicability: required properties gate the implementation.
+            for prop in spec.requires:
+                model.add_le(
+                    jos - state.ohp[prop, j],
+                    0.0,
+                    f"jos_req[{spec.name},{j},{prop}]",
+                )
+
+    _add_property_propagation(formulation, state)
+
+
+def _jos(formulation, state, spec, j) -> Variable:
+    key = (spec.name, j)
+    if key not in state.jos:
+        state.jos[key] = formulation.model.add_binary(
+            f"jos[{spec.name},{j}]"
+        )
+    return state.jos[key]
+
+
+def _add_property_variables(formulation, state) -> None:
+    model = formulation.model
+    for spec in state.properties:
+        for j in formulation.joins:
+            state.ohp[spec.name, j] = model.add_binary(
+                f"ohp[{spec.name},{j}]"
+            )
+        # The first outer operand is a base table: it has the property iff
+        # the selected table provides it natively.
+        providers = LinExpr()
+        for t in spec.provided_by_tables:
+            providers.add_term(formulation.tio[t, 0], 1.0)
+        model.add_eq(
+            LinExpr.from_var(state.ohp[spec.name, 0]) - providers,
+            0.0,
+            f"ohp_base[{spec.name}]",
+        )
+
+
+def _add_property_propagation(formulation, state) -> None:
+    """Production rule: the next outer operand has property x iff the join
+    was realized by an implementation producing x."""
+    model = formulation.model
+    for spec in state.properties:
+        producers = [
+            impl for impl in state.implementations
+            if spec.name in impl.produces
+        ]
+        for j in formulation.joins:
+            if j + 1 > formulation.jmax:
+                continue
+            produced = lin_sum(
+                state.jos[impl.name, j] for impl in producers
+            )
+            model.add_eq(
+                LinExpr.from_var(state.ohp[spec.name, j + 1]) - produced,
+                0.0,
+                f"ohp_prop[{spec.name},{j + 1}]",
+            )

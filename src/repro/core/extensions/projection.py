@@ -1,0 +1,162 @@
+"""Projection tracking and byte-size refinement (paper Section 5.2).
+
+Column presence in outer operands is tracked with binaries ``clo[t.c,j]``:
+
+* a column can only be present when its table is: ``clo <= tio``;
+* columns needed in the final result must survive: ``clo[l, final] = 1``;
+* columns a predicate reads must be present at the join where the
+  predicate is first evaluated;
+* a projected-out column cannot reappear.  The paper states this as
+  ``clo[l,j] >= clo[l,j+1]``, which would wrongly forbid columns of
+  late-arriving tables; we use the corrected form
+  ``clo[l,j+1] <= clo[l,j] + tii[t(l),j]`` — a column is present after
+  join ``j`` only if it was present before or its table just arrived.
+
+The refined outer byte size ``sum(Byte(l) * clo[l,j] * co[j])`` is a sum of
+binary-times-continuous products, linearized per Bisschop; the hash-join
+cost encoding picks it up automatically through
+:func:`repro.core.cost_encoding.outer_pages_expression`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import FormulationError
+from repro.milp.expr import LinExpr
+from repro.milp.variables import Variable
+from repro.core.linearize import binary_times_continuous
+
+#: Extra join index representing the final result's column set.
+FINAL = "final"
+
+
+@dataclass
+class ProjectionState:
+    """Variables created by the projection extension."""
+
+    columns: list[tuple[str, str]] = field(default_factory=list)
+    clo: dict[tuple[str, str, object], Variable] = field(default_factory=dict)
+    products: dict[tuple[str, str, int], Variable] = field(default_factory=dict)
+    outer_bytes: dict[int, Variable] = field(default_factory=dict)
+
+
+def add_projection(formulation) -> None:
+    """Track output columns and refine outer-operand byte sizes."""
+    if formulation.config.cost_model not in ("hash", "sort_merge", "bnl"):
+        raise FormulationError(
+            "projection refines byte-based costs; use an operator cost model"
+        )
+    query = formulation.query
+    model = formulation.model
+    state = ProjectionState()
+    formulation.extensions["projection"] = state
+
+    for table in query.tables:
+        for column in table.columns:
+            state.columns.append((table.name, column.name))
+    if not state.columns:
+        raise FormulationError(
+            "projection extension requires tables with declared columns"
+        )
+    required = set(query.required_columns)
+
+    table_of = {
+        (t, c): t for (t, c) in state.columns
+    }
+    join_indices = list(formulation.joins) + [FINAL]
+
+    for t, c in state.columns:
+        for j in join_indices:
+            state.clo[t, c, j] = model.add_binary(f"clo[{t}.{c},{j}]")
+        for j in formulation.joins:
+            # Column presence requires table presence.
+            model.add_le(
+                state.clo[t, c, j] - formulation.tio[t, j],
+                0.0,
+                f"clo_tbl[{t}.{c},{j}]",
+            )
+            # No reappearing after projection (corrected arrival-aware form).
+            successor = j + 1 if j < formulation.jmax else FINAL
+            model.add_le(
+                state.clo[t, c, successor]
+                - state.clo[t, c, j]
+                - formulation.tii[t, j],
+                0.0,
+                f"clo_keep[{t}.{c},{j}]",
+            )
+        if (t, c) in required:
+            model.add_eq(
+                LinExpr.from_var(state.clo[t, c, FINAL]),
+                1.0,
+                f"clo_final[{t}.{c}]",
+            )
+
+    _add_predicate_column_constraints(formulation, state, table_of)
+    _add_byte_sizes(formulation, state)
+
+
+def _add_predicate_column_constraints(formulation, state, table_of) -> None:
+    """Columns a predicate reads must be alive when it is evaluated.
+
+    Predicate applicability is made monotone so "the join where the
+    predicate is first evaluated" is well defined; the column must be
+    present in the operand right after that join.
+    """
+    model = formulation.model
+    jmax = formulation.jmax
+    for predicate in formulation.multi_predicates:
+        name = predicate.name
+        for j in range(jmax):
+            constraint_name = f"pao_mono_proj[{name},{j}]"
+            if constraint_name not in model._constraint_names:
+                model.add_le(
+                    formulation.pao[name, j] - formulation.pao[name, j + 1],
+                    0.0,
+                    constraint_name,
+                )
+        for t, c in predicate.columns:
+            if (t, c) not in table_of:
+                raise FormulationError(
+                    f"predicate {name!r} reads unknown column {t}.{c}"
+                )
+            for j in formulation.joins:
+                previous = (
+                    formulation.pao[name, j - 1] if j > 0 else None
+                )
+                newly_evaluated = LinExpr.from_var(formulation.pao[name, j])
+                if previous is not None:
+                    newly_evaluated = newly_evaluated - previous
+                # clo >= pao[j] - pao[j-1]: alive at first evaluation.
+                model.add_ge(
+                    state.clo[t, c, j] - newly_evaluated,
+                    0.0,
+                    f"clo_pred[{name},{t}.{c},{j}]",
+                )
+
+
+def _add_byte_sizes(formulation, state) -> None:
+    """Outer byte size: sum of per-column byte widths times cardinality."""
+    model = formulation.model
+    query = formulation.query
+    cap = formulation.grid.max_value
+    for j in formulation.joins:
+        total = LinExpr()
+        upper = 0.0
+        for t, c in state.columns:
+            byte_size = query.table(t).column(c).byte_size
+            product = binary_times_continuous(
+                model,
+                state.clo[t, c, j],
+                formulation.co[j],
+                name=f"clw[{t}.{c},{j}]",
+                upper_bound=cap,
+            )
+            state.products[t, c, j] = product
+            total.add_term(product, float(byte_size))
+            upper += byte_size * cap
+        bytes_var = model.add_continuous(f"bytes_o[{j}]", 0.0, upper)
+        state.outer_bytes[j] = bytes_var
+        model.add_eq(
+            LinExpr.from_var(bytes_var) - total, 0.0, f"bytes_def[{j}]"
+        )

@@ -1,0 +1,111 @@
+"""Intermediate result property specifications (paper Section 5.4).
+
+Properties model physical traits of intermediate results — interesting
+orders, residing in memory, being materialized — that gate which operator
+implementations apply to the next join and are themselves produced by
+operator implementations (or provided natively by base tables).
+
+This module defines the declarative specs; the constraints live in
+:mod:`repro.core.extensions.operator_choice`, because properties only make
+sense when the MILP selects operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FormulationError
+from repro.plans.operators import JoinAlgorithm
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """One intermediate-result property.
+
+    Attributes
+    ----------
+    name:
+        Property identifier (e.g. ``"sorted"``).
+    provided_by_tables:
+        Base tables whose on-disk representation already has the property
+        (relevant for the first join's outer operand).
+    """
+
+    name: str
+    provided_by_tables: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FormulationError("property name must be non-empty")
+
+
+@dataclass(frozen=True)
+class ImplementationSpec:
+    """One operator implementation the MILP can select for a join.
+
+    Attributes
+    ----------
+    name:
+        Unique implementation identifier.
+    algorithm:
+        The logical join algorithm it realizes (used for plan extraction
+        and for pricing).
+    requires:
+        Properties the *outer operand* must have for this implementation
+        to be applicable (``jos <= ohp`` constraints).
+    produces:
+        Properties the implementation's output has.
+    presorted_outer:
+        Sort-merge variant pricing: skip the outer sort stage (the
+        decomposition the paper sketches for sort-merge sub-operators).
+    """
+
+    name: str
+    algorithm: JoinAlgorithm
+    requires: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
+    presorted_outer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FormulationError("implementation name must be non-empty")
+
+
+def default_implementations() -> list[ImplementationSpec]:
+    """The three standard operators with no property interactions."""
+    return [
+        ImplementationSpec("hash", JoinAlgorithm.HASH),
+        ImplementationSpec("sort_merge", JoinAlgorithm.SORT_MERGE),
+        ImplementationSpec(
+            "block_nested_loop", JoinAlgorithm.BLOCK_NESTED_LOOP
+        ),
+    ]
+
+
+def sorted_order_implementations() -> tuple[
+    list[ImplementationSpec], list[PropertySpec]
+]:
+    """A ready-made Section 5.4 scenario: interesting orders.
+
+    Sort-merge joins produce sorted output; a cheaper "presorted" merge
+    variant skips the outer sort but requires sorted input.
+    """
+    implementations = [
+        ImplementationSpec("hash", JoinAlgorithm.HASH),
+        ImplementationSpec(
+            "sort_merge",
+            JoinAlgorithm.SORT_MERGE,
+            produces=("sorted",),
+        ),
+        ImplementationSpec(
+            "merge_presorted",
+            JoinAlgorithm.SORT_MERGE,
+            requires=("sorted",),
+            produces=("sorted",),
+            presorted_outer=True,
+        ),
+        ImplementationSpec(
+            "block_nested_loop", JoinAlgorithm.BLOCK_NESTED_LOOP
+        ),
+    ]
+    return implementations, [PropertySpec("sorted")]

@@ -1,0 +1,100 @@
+"""Decode MILP solutions into query plans (paper Section 7.1).
+
+"The MILP solution is read out and used to construct a corresponding query
+plan": the ``tio``/``tii`` binaries determine the join order and, when the
+operator-selection extension is active, the ``jos`` binaries determine the
+per-join implementation.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExtractionError
+from repro.milp.solution import MILPSolution
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import JoinStep, LeftDeepPlan
+from repro.plans.validation import validate_plan
+
+#: Threshold above which a relaxed binary counts as "one".
+_ROUND = 0.5
+
+
+def extract_plan(formulation, solution: MILPSolution) -> LeftDeepPlan:
+    """Build the left-deep plan encoded by ``solution``.
+
+    Raises
+    ------
+    ExtractionError
+        When the solution has no assignment or the assignment does not
+        decode into a structurally valid plan (which would indicate a
+        formulation or solver bug — the constraints of Section 4.1 make
+        invalid assignments infeasible).
+    """
+    if not solution.status.has_solution or solution.x is None:
+        raise ExtractionError(
+            f"solution status {solution.status.value!r} carries no plan"
+        )
+    tables = formulation.query.table_names
+
+    first_candidates = [
+        t for t in tables if solution.value(f"tio[{t},0]") > _ROUND
+    ]
+    if len(first_candidates) != 1:
+        raise ExtractionError(
+            f"expected one first table, decoded {first_candidates}"
+        )
+    order = [first_candidates[0]]
+    for j in formulation.joins:
+        inner = [
+            t for t in tables if solution.value(f"tii[{t},{j}]") > _ROUND
+        ]
+        if len(inner) != 1:
+            raise ExtractionError(
+                f"expected one inner table for join {j}, decoded {inner}"
+            )
+        order.append(inner[0])
+
+    algorithms = _extract_algorithms(formulation, solution)
+    steps = tuple(
+        JoinStep(table, algorithm)
+        for table, algorithm in zip(order[1:], algorithms)
+    )
+    try:
+        plan = LeftDeepPlan(formulation.query, order[0], steps)
+        validate_plan(plan)
+    except Exception as error:
+        raise ExtractionError(f"decoded assignment is invalid: {error}") from error
+    return plan
+
+
+def _extract_algorithms(
+    formulation, solution: MILPSolution
+) -> list[JoinAlgorithm]:
+    """Per-join algorithms: from ``jos`` when present, else the cost model."""
+    state = formulation.extensions.get("operator_choice")
+    if state is None:
+        default = _default_algorithm(formulation.config.cost_model)
+        return [default] * formulation.query.num_joins
+    algorithms: list[JoinAlgorithm] = []
+    for j in formulation.joins:
+        selected = [
+            spec
+            for spec in state.implementations
+            if solution.value(f"jos[{spec.name},{j}]") > _ROUND
+        ]
+        if len(selected) != 1:
+            raise ExtractionError(
+                f"expected one implementation for join {j}, decoded "
+                f"{[spec.name for spec in selected]}"
+            )
+        algorithms.append(selected[0].algorithm)
+    return algorithms
+
+
+def _default_algorithm(cost_model: str) -> JoinAlgorithm:
+    if cost_model == "sort_merge":
+        return JoinAlgorithm.SORT_MERGE
+    if cost_model == "bnl":
+        return JoinAlgorithm.BLOCK_NESTED_LOOP
+    # Both "hash" and the operator-agnostic "cout" default to hash joins,
+    # matching the paper's experimental setting.
+    return JoinAlgorithm.HASH

@@ -1,0 +1,426 @@
+"""The join-ordering MILP formulation (paper Section 4, Tables 1 and 2).
+
+Variables (names follow the paper):
+
+* ``tio[t,j]`` / ``tii[t,j]`` — binary; table ``t`` is in the outer/inner
+  operand of the ``j``-th join.
+* ``pao[p,j]`` — binary; predicate ``p`` is applicable on (i.e. has been
+  evaluated in) the outer operand of join ``j``.  N-ary predicates are
+  handled natively by adding one requirement row per referenced table
+  (Section 5.1); unary predicates are pushed down into effective table
+  cardinalities, mirroring :class:`~repro.plans.cardinality.CardinalityModel`.
+* ``lco[j]`` — continuous; natural log of the outer operand's cardinality.
+* ``cto[r,j]`` — binary; the outer operand's cardinality reaches the
+  ``r``-th threshold.
+* ``co[j]`` / ``ci[j]`` — continuous; approximated raw cardinality of the
+  outer/inner operand.
+
+Constraints are exactly the paper's Table 2 (with the threshold big-M
+computed from per-query log-cardinality bounds instead of a literal
+"infinity"), plus optional valid threshold-ordering rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.exceptions import FormulationError
+from repro.milp.expr import LinExpr, lin_sum
+from repro.milp.model import Model
+from repro.milp.variables import Variable
+from repro.plans.cardinality import CardinalityModel
+from repro.core.config import FormulationConfig
+from repro.core.linearize import big_m_for
+from repro.core.thresholds import ThresholdGrid
+
+
+class JoinOrderFormulation:
+    """Builds the MILP for one query under one configuration.
+
+    Parameters
+    ----------
+    query:
+        Query to encode; must join at least two tables.
+    config:
+        Formulation configuration (precision, cost model, extensions).
+    implementations:
+        Optional operator implementation specs for the Section 5.3
+        extension; defaults to hash/sort-merge/BNL when
+        ``config.select_operators`` is on.
+    properties:
+        Optional intermediate-result property specs (Section 5.4); requires
+        operator selection.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        config: FormulationConfig | None = None,
+        implementations=None,
+        properties=(),
+    ) -> None:
+        if query.num_tables < 2:
+            raise FormulationError(
+                "the MILP formulation needs at least two tables"
+            )
+        self.query = query
+        self.config = config or FormulationConfig()
+        self.context = self.config.cost_context()
+        self.cards = CardinalityModel(query)
+        self.grid = ThresholdGrid.for_query(query, self.config)
+        self.model = Model(query.name or "join-ordering")
+        self.joins = range(query.num_joins)
+        self.jmax = query.num_joins - 1
+
+        #: Multi-table predicates: the ones whose applicability is modeled.
+        self.multi_predicates: list[Predicate] = [
+            predicate
+            for predicate in query.predicates
+            if predicate.arity >= 2
+        ]
+
+        # Variable registries, keyed as in the paper.
+        self.tio: dict[tuple[str, int], Variable] = {}
+        self.tii: dict[tuple[str, int], Variable] = {}
+        self.pao: dict[tuple[str, int], Variable] = {}
+        self.lco: dict[int, Variable] = {}
+        self.cto: dict[tuple[int, int], Variable] = {}
+        self.co: dict[int, Variable] = {}
+        self.ci: dict[int, Variable] = {}
+
+        #: Applicability requirements per pao item (tables that must be in
+        #: the operand) and the item's contribution to log-cardinality.
+        self.pao_requirements: dict[str, frozenset[str]] = {}
+        self.pao_log_terms: dict[str, float] = {}
+
+        #: Per-join log-cardinality expression, extended by the correlated
+        #: groups extension before the lco equalities are emitted.
+        self._lco_terms: dict[int, LinExpr] = {}
+
+        #: Objective terms accumulated by the cost encoding and extensions.
+        self.objective_terms: list[LinExpr] = []
+
+        #: Extension state objects, keyed by extension name.
+        self.extensions: dict[str, object] = {}
+
+        self._build_join_order()
+        self._build_predicates()
+        if query.correlated_groups:
+            from repro.core.extensions.correlated import add_correlated_groups
+
+            add_correlated_groups(self)
+        self._build_log_cardinality()
+        self._build_thresholds()
+        self._build_cardinalities()
+        self._build_objective(implementations, properties)
+        self.model.set_objective(lin_sum(self.objective_terms))
+
+    # ------------------------------------------------------------------
+    # Statistics helpers shared with extensions
+    # ------------------------------------------------------------------
+
+    def effective_log_card(self, table: str) -> float:
+        """Log cardinality of a table with unary predicates pushed down."""
+        return self.cards.effective_log_cardinality(table)
+
+    def effective_card(self, table: str) -> float:
+        """Cardinality of a table with unary predicates pushed down."""
+        return self.cards.effective_cardinality(table)
+
+    def table_pages(self, table: str) -> float:
+        """Disk pages of a base table under the formulation's context."""
+        return self.context.pages(self.effective_card(table))
+
+    @property
+    def lco_bounds(self) -> tuple[float, float]:
+        """Reachable range of any ``lco`` variable."""
+        lower = sum(
+            min(0.0, self.effective_log_card(t))
+            for t in self.query.table_names
+        )
+        lower += sum(
+            min(0.0, term) for term in self.pao_log_terms.values()
+        )
+        upper = sum(
+            max(0.0, self.effective_log_card(t))
+            for t in self.query.table_names
+        )
+        upper += sum(
+            max(0.0, term) for term in self.pao_log_terms.values()
+        )
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    # Section 4.1 — join order
+    # ------------------------------------------------------------------
+
+    def _build_join_order(self) -> None:
+        model = self.model
+        tables = self.query.table_names
+        for j in self.joins:
+            for t in tables:
+                # Join-order binaries get top branching priority: once they
+                # are integral, predicate and threshold flags follow almost
+                # directly from the LP.
+                self.tio[t, j] = model.add_binary(f"tio[{t},{j}]", priority=3)
+                self.tii[t, j] = model.add_binary(f"tii[{t},{j}]", priority=3)
+        # One table forms the outer operand of the first join.
+        model.add_eq(
+            lin_sum(self.tio[t, 0] for t in tables), 1.0, "tio_first"
+        )
+        for j in self.joins:
+            # Inner operands are single tables (left-deep shape).
+            model.add_eq(
+                lin_sum(self.tii[t, j] for t in tables),
+                1.0,
+                f"tii_single[{j}]",
+            )
+            # Operands of one join never overlap.
+            for t in tables:
+                model.add_le(
+                    self.tio[t, j] + self.tii[t, j],
+                    1.0,
+                    f"no_overlap[{t},{j}]",
+                )
+        # The result of join j-1 is the outer operand of join j.
+        for j in self.joins:
+            if j == 0:
+                continue
+            for t in tables:
+                model.add_eq(
+                    self.tio[t, j] - self.tii[t, j - 1] - self.tio[t, j - 1],
+                    0.0,
+                    f"chain[{t},{j}]",
+                )
+
+    # ------------------------------------------------------------------
+    # Section 4.2 — predicate applicability
+    # ------------------------------------------------------------------
+
+    def _build_predicates(self) -> None:
+        model = self.model
+        for predicate in self.multi_predicates:
+            self.pao_requirements[predicate.name] = frozenset(predicate.tables)
+            self.pao_log_terms[predicate.name] = predicate.log_selectivity
+            for j in self.joins:
+                variable = model.add_binary(
+                    f"pao[{predicate.name},{j}]", priority=2
+                )
+                self.pao[predicate.name, j] = variable
+                for t in predicate.tables:
+                    model.add_le(
+                        variable - self.tio[t, j],
+                        0.0,
+                        f"pao_req[{predicate.name},{j},{t}]",
+                    )
+                treated_as_expensive = (
+                    predicate.is_expensive
+                    and self.config.enable_expensive_predicates
+                )
+                if not treated_as_expensive:
+                    # Force free predicates to be applied as soon as every
+                    # referenced table is present.  The paper relies on the
+                    # solver doing this voluntarily (applying a predicate
+                    # only reduces cost); making it explicit keeps the
+                    # cardinality model exact even when correlated-group
+                    # corrections with factor > 1 would otherwise reward
+                    # skipping a member predicate.
+                    requirement = lin_sum(
+                        self.tio[t, j] for t in predicate.tables
+                    )
+                    model.add_ge(
+                        variable - requirement,
+                        1 - predicate.arity,
+                        f"pao_force[{predicate.name},{j}]",
+                    )
+        # Seed the per-join log-cardinality expressions.
+        for j in self.joins:
+            expr = LinExpr()
+            for t in self.query.table_names:
+                expr.add_term(self.tio[t, j], self.effective_log_card(t))
+            for predicate in self.multi_predicates:
+                expr.add_term(
+                    self.pao[predicate.name, j], predicate.log_selectivity
+                )
+            self._lco_terms[j] = expr
+
+    def add_lco_term(self, j: int, variable: Variable, coefficient: float) -> None:
+        """Extension hook: add a weighted variable to join ``j``'s
+        log-cardinality (used by correlated groups)."""
+        if j in self.lco:
+            raise FormulationError(
+                "log-cardinality terms must be added before lco is built"
+            )
+        self._lco_terms[j].add_term(variable, coefficient)
+
+    # ------------------------------------------------------------------
+    # Section 4.2 — log-cardinality, thresholds, raw cardinalities
+    # ------------------------------------------------------------------
+
+    def _build_log_cardinality(self) -> None:
+        model = self.model
+        lower, upper = self.lco_bounds
+        for j in self.joins:
+            variable = model.add_continuous(f"lco[{j}]", lower, upper)
+            self.lco[j] = variable
+            model.add_eq(
+                variable - self._lco_terms[j], 0.0, f"lco_def[{j}]"
+            )
+
+    def _build_thresholds(self) -> None:
+        model = self.model
+        _, lco_upper = self.lco_bounds
+        for j in self.joins:
+            for r, log_threshold in enumerate(self.grid.log_thresholds):
+                variable = model.add_binary(f"cto[{r},{j}]", priority=1)
+                self.cto[r, j] = variable
+                big_m = big_m_for(lco_upper, log_threshold)
+                # lco[j] - M * cto[r,j] <= log(theta_r): reaching the
+                # threshold forces the flag to one.
+                model.add_le(
+                    self.lco[j] - big_m * variable,
+                    log_threshold,
+                    f"cto_act[{r},{j}]",
+                )
+            if self.config.threshold_ordering:
+                for r in range(1, self.grid.num_thresholds):
+                    model.add_le(
+                        self.cto[r, j] - self.cto[r - 1, j],
+                        0.0,
+                        f"cto_ord[{r},{j}]",
+                    )
+
+    def _build_cardinalities(self) -> None:
+        model = self.model
+        base, deltas = self.grid.piecewise()
+        # Headroom above the saturation value: at fully saturated joins the
+        # equality pins co to its maximum, and a bound set to the exact
+        # float sum is hit from above by reordered summation inside the LP
+        # solver, producing false infeasibilities.
+        co_upper = self.grid.max_value * 1.001
+        for j in self.joins:
+            co = model.add_continuous(f"co[{j}]", 0.0, co_upper)
+            self.co[j] = co
+            expr = LinExpr.from_var(co)
+            for r, delta in enumerate(deltas):
+                expr.add_term(self.cto[r, j], -delta)
+            model.add_eq(expr, base, f"co_def[{j}]")
+
+            max_inner = max(
+                self.effective_card(t) for t in self.query.table_names
+            )
+            ci = model.add_continuous(f"ci[{j}]", 0.0, max_inner)
+            self.ci[j] = ci
+            inner = LinExpr.from_var(ci)
+            for t in self.query.table_names:
+                inner.add_term(self.tii[t, j], -self.effective_card(t))
+            model.add_eq(inner, 0.0, f"ci_def[{j}]")
+        if self.config.rounding == "upper" and self.config.tangent_cuts:
+            self._add_tangent_cuts()
+
+    def _add_tangent_cuts(self) -> None:
+        """Valid cuts tightening the threshold big-M relaxation.
+
+        In upper-rounding mode every integral solution satisfies
+        ``co[j] >= exp(lco[j])`` (the bracket's upper end dominates the true
+        cardinality).  ``exp`` is convex, so each tangent at an anchor
+        ``x0`` gives the valid linear cut ``co >= e^x0 * (lco - x0 + 1)``.
+        Anchors whose cut would exceed the saturated ``co`` upper bound at
+        ``lco``'s maximum are skipped: above the saturation cap ``co`` is
+        deliberately clamped, and such a cut would cut off feasible
+        (if terrible) plans.
+        """
+        model = self.model
+        grid = self.grid
+        _, lco_upper = self.lco_bounds
+        co_upper = grid.max_value
+        anchors: list[float] = []
+        span = grid.log_top - grid.log_anchor
+        count = self.config.tangent_cuts
+        for k in range(count):
+            x0 = grid.log_anchor + (k + 0.5) * span / count
+            # Safety: at the largest reachable lco, the cut's rhs must stay
+            # within co's bounds, otherwise the cut is not globally valid.
+            if math.exp(x0) * (lco_upper - x0 + 1.0) <= co_upper:
+                anchors.append(x0)
+        for j in self.joins:
+            for k, x0 in enumerate(anchors):
+                slope = math.exp(x0)
+                model.add_ge(
+                    LinExpr.from_var(self.co[j])
+                    - LinExpr.from_var(self.lco[j], slope),
+                    slope * (1.0 - x0),
+                    f"tangent[{k},{j}]",
+                )
+
+    # ------------------------------------------------------------------
+    # Section 4.3 / Section 5 — objective and extensions
+    # ------------------------------------------------------------------
+
+    def _build_objective(self, implementations, properties) -> None:
+        from repro.core import cost_encoding
+        from repro.core.extensions import (
+            expensive_predicates,
+            operator_choice,
+            projection,
+        )
+
+        wants_projection = (
+            self.config.enable_projection and self.query.required_columns
+        )
+        if wants_projection:
+            projection.add_projection(self)
+
+        if self.config.select_operators:
+            operator_choice.add_operator_selection(
+                self, implementations, properties
+            )
+        else:
+            if properties:
+                raise FormulationError(
+                    "result properties require operator selection"
+                )
+            cost_encoding.add_cost_objective(self)
+
+        wants_expensive = (
+            self.config.enable_expensive_predicates
+            and any(p.is_expensive for p in self.multi_predicates)
+        )
+        if wants_expensive:
+            expensive_predicates.add_expensive_predicates(self)
+
+    # ------------------------------------------------------------------
+    # Exact log-cardinality of a concrete operand (warm starts, tests)
+    # ------------------------------------------------------------------
+
+    def operand_log_cardinality(self, tables: frozenset[str]) -> float:
+        """Log cardinality the MILP assigns to an operand containing
+        ``tables`` with every applicable pao item active."""
+        value = sum(self.effective_log_card(t) for t in tables)
+        for name, required in self.pao_requirements.items():
+            if required <= tables:
+                value += self.pao_log_terms[name]
+        return value
+
+    def stats(self) -> dict[str, int]:
+        """Model-size statistics (Figure 1 / Section 6)."""
+        stats = self.model.stats()
+        stats["thresholds_per_result"] = self.grid.num_thresholds
+        return stats
+
+
+def operand_prefixes(order: list[str]) -> list[frozenset[str]]:
+    """Outer-operand table sets per join for a join order (helper)."""
+    prefixes: list[frozenset[str]] = []
+    current: frozenset[str] = frozenset()
+    for index in range(len(order) - 1):
+        current = current | {order[index]}
+        prefixes.append(current)
+    return prefixes
+
+
+def fits_in_double(value: float) -> bool:
+    """Whether a coefficient is numerically safe for the LP solver."""
+    return math.isfinite(value) and abs(value) < 1e30

@@ -1,0 +1,121 @@
+"""Standard MILP linearization tricks (Bisschop, "Integer Linear
+Programming Tricks").
+
+The paper repeatedly relies on one device: the product of a binary variable
+``b`` and a bounded non-negative continuous quantity ``x`` can be replaced
+by an auxiliary variable ``w`` with four linear constraints::
+
+    w <= U * b          (w vanishes when b = 0)
+    w <= x              (w never exceeds x)
+    w >= x - U * (1 - b)  (w equals x when b = 1)
+    w >= 0
+
+where ``U`` is an upper bound on ``x``.  Used by the block nested-loop cost
+(Section 4.3), expensive predicates (5.1), projection byte sizes (5.2) and
+operator selection (5.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import FormulationError
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.milp.variables import Variable, VarType
+
+
+def expression_bounds(model: Model, expr: LinExpr) -> tuple[float, float]:
+    """Interval bounds of a linear expression from its variables' bounds."""
+    low = expr.constant
+    high = expr.constant
+    for index, coefficient in expr.coefficients.items():
+        variable = model.variables[index]
+        if coefficient >= 0:
+            low += coefficient * variable.lb
+            high += coefficient * variable.ub
+        else:
+            low += coefficient * variable.ub
+            high += coefficient * variable.lb
+    return low, high
+
+
+def binary_times_continuous(
+    model: Model,
+    binary: Variable,
+    continuous: "Variable | LinExpr",
+    name: str,
+    upper_bound: float | None = None,
+) -> Variable:
+    """Create ``w = binary * continuous`` via the four-constraint trick.
+
+    ``continuous`` must be provably within ``[0, upper_bound]``; the bound
+    is derived from variable bounds when not given.  Returns the product
+    variable ``w``.
+    """
+    if binary.vtype is not VarType.BINARY:
+        raise FormulationError(
+            f"{binary.name!r} must be binary for product linearization"
+        )
+    expr = LinExpr.coerce(continuous)
+    low, high = expression_bounds(model, expr)
+    if low < -1e-9:
+        raise FormulationError(
+            f"product linearization for {name!r} requires a non-negative "
+            f"continuous factor (lower bound {low})"
+        )
+    bound = upper_bound if upper_bound is not None else high
+    if not math.isfinite(bound):
+        raise FormulationError(
+            f"product linearization for {name!r} requires a finite upper "
+            "bound on the continuous factor"
+        )
+    product = model.add_continuous(name, 0.0, bound)
+    model.add_le(product - bound * binary, 0.0, f"{name}[cap]")
+    model.add_le(product - expr, 0.0, f"{name}[le_x]")
+    model.add_ge(
+        product - expr - bound * binary, -bound, f"{name}[ge_x]"
+    )
+    return product
+
+
+def implication(
+    model: Model,
+    antecedent: Variable,
+    consequent: Variable,
+    name: str,
+) -> None:
+    """Add ``antecedent = 1  =>  consequent = 1`` for binary variables."""
+    model.add_le(antecedent - consequent, 0.0, name)
+
+
+def conjunction(
+    model: Model,
+    result: Variable,
+    members: list[Variable],
+    name: str,
+) -> None:
+    """Force binary ``result`` to equal the AND of binary ``members``.
+
+    Mirrors the correlated-group constraints of Section 5.1:
+    ``result >= 1 - |members| + sum(members)`` and ``result <= member``
+    for every member.
+    """
+    if not members:
+        raise FormulationError("conjunction needs at least one member")
+    total = LinExpr()
+    for index, member in enumerate(members):
+        model.add_le(result - member, 0.0, f"{name}[le{index}]")
+        total.add_term(member, 1.0)
+    # result >= 1 - |members| + sum  <=>  result - sum >= 1 - |members|
+    model.add_ge(result - total, 1 - len(members), f"{name}[ge]")
+
+
+def big_m_for(log_upper: float, log_threshold: float) -> float:
+    """Big-M constant for a threshold activation row.
+
+    The row ``lco - M * cto <= log(theta)`` must be satisfiable with
+    ``cto = 1`` for every reachable ``lco``, so ``M`` only needs to cover
+    ``log_upper - log_threshold`` (plus slack for numeric safety).
+    """
+    return max(1.0, log_upper - log_threshold + 1.0)

@@ -1,0 +1,278 @@
+"""The MILP-based join order optimizer (public facade).
+
+Ties the pieces together exactly as the paper's prototype does: transform
+the query into a MILP (:class:`~repro.core.formulation.JoinOrderFormulation`),
+solve it with the generic MILP solver
+(:class:`~repro.milp.branch_and_bound.BranchAndBoundSolver`), read the
+solution out into a query plan (:mod:`repro.core.extraction`) — with the
+solver's anytime event stream exposed for the Figure 2 experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.query import Query
+from repro.dp.greedy import GreedyOptimizer
+from repro.milp.branch_and_bound import (
+    AnytimeCallback,
+    BranchAndBoundSolver,
+    SolverOptions,
+)
+from repro.milp.solution import IncumbentEvent, MILPSolution, SolveStatus
+from repro.plans.cost import PlanCostEvaluator
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import LeftDeepPlan
+from repro.core.config import FormulationConfig
+from repro.core.extraction import _default_algorithm, extract_plan
+from repro.core.formulation import JoinOrderFormulation
+from repro.core.warmstart import assignment_for_plan
+
+
+@dataclass
+class OptimizationResult:
+    """Everything one MILP optimization run produced.
+
+    Attributes
+    ----------
+    query:
+        The optimized query.
+    plan:
+        The extracted plan (``None`` when the solver found no incumbent).
+    status:
+        Final solver status.
+    objective:
+        MILP objective of the incumbent (approximated cost).
+    best_bound:
+        Proven lower bound on the optimal MILP objective.
+    true_cost:
+        Exact cost of ``plan`` under the configured cost model.
+    solve_time:
+        Wall-clock seconds spent in the solver.
+    events:
+        The solver's anytime event stream (Figure 2's raw data).
+    formulation_stats:
+        Model-size statistics (Figure 1's raw data).
+    milp_solution:
+        The underlying solver result, for diagnostics.
+    """
+
+    query: Query
+    plan: LeftDeepPlan | None
+    status: SolveStatus
+    objective: float
+    best_bound: float
+    true_cost: float | None
+    solve_time: float
+    events: list[IncumbentEvent] = field(default_factory=list)
+    formulation_stats: dict[str, int] = field(default_factory=dict)
+    milp_solution: MILPSolution | None = None
+
+    @property
+    def optimality_factor(self) -> float:
+        """Guaranteed ``cost / lower-bound`` factor (Figure 2's metric)."""
+        if self.milp_solution is None:
+            # Trivial single-table plans carry no solver run but are
+            # optimal by construction.
+            return 1.0 if self.status is SolveStatus.OPTIMAL else math.inf
+        return self.milp_solution.optimality_factor
+
+    @property
+    def gap(self) -> float:
+        """Final relative MILP gap."""
+        if self.milp_solution is None:
+            return math.inf
+        return self.milp_solution.gap
+
+
+class MILPJoinOptimizer:
+    """Join order optimization via mixed integer linear programming.
+
+    Parameters
+    ----------
+    config:
+        Formulation configuration; defaults to high precision with the
+        hash-join cost model (the paper's experimental setting).
+    solver_options:
+        Branch-and-bound tuning; defaults to the paper's 60-second budget.
+
+    Examples
+    --------
+    >>> from repro.workloads import QueryGenerator
+    >>> query = QueryGenerator(seed=1).generate("star", 6)
+    >>> optimizer = MILPJoinOptimizer()
+    >>> result = optimizer.optimize(query)
+    >>> result.plan is not None
+    True
+    """
+
+    def __init__(
+        self,
+        config: FormulationConfig | None = None,
+        solver_options: SolverOptions | None = None,
+    ) -> None:
+        self.config = config or FormulationConfig.high_precision()
+        self.solver_options = solver_options or SolverOptions()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def formulate(
+        self, query: Query, implementations=None, properties=()
+    ) -> JoinOrderFormulation:
+        """Build (but do not solve) the MILP for ``query``."""
+        return JoinOrderFormulation(
+            query, self.config, implementations, properties
+        )
+
+    def optimize(
+        self,
+        query: Query,
+        warm_start: "bool | LeftDeepPlan" = True,
+        callback: AnytimeCallback | None = None,
+        implementations=None,
+        properties=(),
+    ) -> OptimizationResult:
+        """Optimize ``query`` and return the extracted plan plus diagnostics.
+
+        ``warm_start=True`` seeds the solver with the greedy heuristic's
+        plan; pass a :class:`LeftDeepPlan` to seed a specific plan, or
+        ``False`` for a cold start (ablation A2).
+        """
+        if query.num_tables == 1:
+            return self._trivial_result(query)
+        started = time.monotonic()
+        formulation = self.formulate(query, implementations, properties)
+        seed_values = self._warm_start_values(formulation, query, warm_start)
+        solver = BranchAndBoundSolver(formulation.model, self.solver_options)
+        solution = solver.solve(warm_start=seed_values, callback=callback)
+        return self._build_result(query, formulation, solution, started)
+
+    def optimize_with_portfolio(
+        self,
+        query: Query,
+        warm_start: "bool | LeftDeepPlan" = True,
+        members=None,
+        parallel: bool = True,
+        implementations=None,
+        properties=(),
+    ) -> OptimizationResult:
+        """Optimize ``query`` with a concurrent solver portfolio.
+
+        Mirrors :meth:`optimize` but replaces the single branch-and-bound
+        search with :class:`~repro.milp.portfolio.PortfolioSolver` — the
+        parallel-optimization feature the paper's Section 1 highlights.
+        """
+        from repro.milp.portfolio import PortfolioSolver, default_portfolio
+
+        if query.num_tables == 1:
+            return self._trivial_result(query)
+        started = time.monotonic()
+        formulation = self.formulate(query, implementations, properties)
+        seed_values = self._warm_start_values(formulation, query, warm_start)
+        if members is None:
+            members = default_portfolio(
+                self.solver_options.time_limit,
+                self.solver_options.gap_tolerance,
+            )
+        portfolio = PortfolioSolver(
+            formulation.model, members, parallel=parallel
+        )
+        outcome = portfolio.solve(warm_start=seed_values)
+        x = None
+        if outcome.values:
+            x = formulation.model.assignment_from_names(outcome.values)
+        solution = MILPSolution(
+            status=outcome.status,
+            objective=outcome.objective,
+            best_bound=outcome.best_bound,
+            x=x,
+            values=dict(outcome.values),
+            node_count=sum(
+                member.node_count
+                for member in outcome.member_results.values()
+            ),
+            solve_time=outcome.solve_time,
+            events=[
+                IncumbentEvent(e.time, e.objective, e.bound, e.kind)
+                for e in outcome.events
+            ],
+        )
+        return self._build_result(query, formulation, solution, started)
+
+    def _build_result(
+        self, query, formulation, solution: MILPSolution, started: float
+    ) -> OptimizationResult:
+        plan = None
+        true_cost = None
+        if solution.status.has_solution:
+            plan = extract_plan(formulation, solution)
+            evaluator = PlanCostEvaluator(
+                query,
+                formulation.context,
+                use_cout=self.config.cost_model == "cout",
+            )
+            true_cost = evaluator.cost(plan)
+        return OptimizationResult(
+            query=query,
+            plan=plan,
+            status=solution.status,
+            objective=solution.objective,
+            best_bound=solution.best_bound,
+            true_cost=true_cost,
+            solve_time=time.monotonic() - started,
+            events=solution.events,
+            formulation_stats=formulation.stats(),
+            milp_solution=solution,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _warm_start_values(
+        self, formulation, query, warm_start
+    ) -> dict[str, float] | None:
+        if warm_start is False or warm_start is None:
+            return None
+        if isinstance(warm_start, LeftDeepPlan):
+            plan = warm_start
+        else:
+            algorithm = _default_algorithm(self.config.cost_model)
+            greedy = GreedyOptimizer(
+                query,
+                formulation.context,
+                use_cout=self.config.cost_model == "cout",
+                algorithm=algorithm,
+            )
+            plan = greedy.optimize().plan
+        return assignment_for_plan(formulation, plan)
+
+    def _trivial_result(self, query: Query) -> OptimizationResult:
+        plan = LeftDeepPlan.from_order(
+            query,
+            [query.table_names[0]],
+            _default_algorithm(self.config.cost_model),
+        )
+        return OptimizationResult(
+            query=query,
+            plan=plan,
+            status=SolveStatus.OPTIMAL,
+            objective=0.0,
+            best_bound=0.0,
+            true_cost=0.0,
+            solve_time=0.0,
+        )
+
+
+def optimize_query(
+    query: Query,
+    config: FormulationConfig | None = None,
+    time_limit: float = 60.0,
+) -> OptimizationResult:
+    """One-call convenience mirroring the paper's end-to-end pipeline."""
+    options = SolverOptions(time_limit=time_limit)
+    return MILPJoinOptimizer(config, options).optimize(query)

@@ -1,0 +1,224 @@
+"""Cardinality threshold grids (paper Section 4.2).
+
+The MILP works with the *logarithm* of intermediate-result cardinalities
+(``lco`` variables) because the log of the usual product estimate is
+linear.  Costs, however, need raw cardinalities.  The paper bridges the gap
+with threshold variables: binary ``cto[r]`` flags that activate when the
+log-cardinality exceeds ``log(theta_r)``, from which a piecewise-constant
+approximation of the raw cardinality (and of any monotone function of it)
+is assembled.
+
+A :class:`ThresholdGrid` holds the geometric threshold ladder for one query
+and produces the delta coefficients for arbitrary monotone functions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.catalog.query import Query
+from repro.exceptions import FormulationError
+
+
+@dataclass(frozen=True)
+class ThresholdGrid:
+    """A geometric ladder of cardinality thresholds.
+
+    The grid covers log-cardinalities in ``[log_anchor, log_top]`` with
+    spacing ``log(tolerance)``; ``log_thresholds[r] = log_anchor +
+    (r+1) * log(tolerance)`` and the last threshold equals ``log_top``.
+    Values above ``log_top`` saturate into one final bracket ending at
+    ``tolerance * exp(log_top)``.
+
+    Attributes
+    ----------
+    log_thresholds:
+        Ascending natural-log thresholds (``ln theta_r``).
+    tolerance:
+        Geometric spacing factor (the approximation tolerance within range).
+    log_anchor:
+        Bottom of the covered range.
+    log_top:
+        Top of the covered range (last threshold).
+    mode:
+        ``"upper"`` or ``"lower"`` bracket rounding.
+    """
+
+    log_thresholds: tuple[float, ...]
+    tolerance: float
+    log_anchor: float
+    log_top: float
+    mode: str = "upper"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        log_lower: float,
+        log_upper: float,
+        tolerance: float,
+        max_thresholds: int | None = None,
+        cardinality_cap: float | None = None,
+        mode: str = "upper",
+    ) -> "ThresholdGrid":
+        """Build a grid covering log-cardinalities in ``[log_lower, log_upper]``.
+
+        When a threshold budget (``max_thresholds``) or a saturation cap
+        (``cardinality_cap``) limits coverage, the grid keeps the *top* of
+        the range: costs are dominated by large intermediate results, so
+        precision is spent where cost differences are decided.
+        """
+        if tolerance <= 1.0:
+            raise FormulationError("tolerance must exceed 1")
+        if mode not in ("upper", "lower"):
+            raise FormulationError(f"unknown rounding mode {mode!r}")
+        log_rho = math.log(tolerance)
+        top = log_upper
+        if cardinality_cap is not None:
+            top = min(top, math.log(cardinality_cap))
+        # Anchor at cardinality one.  Extending the ladder below one would
+        # guarantee the tolerance for sub-tuple intermediate results too,
+        # but the resulting 1e-11-scale deltas sit in the same rows as
+        # 1e+12-scale ones and push the LP solver into false
+        # infeasibilities; rounding tiny results up to theta_0 instead
+        # costs at most an absolute error of `tolerance` tuples.
+        anchor = 0.0
+        if top <= anchor:
+            top = anchor + log_rho  # degenerate range: one bracket
+        needed = max(1, math.ceil((top - anchor) / log_rho - 1e-12))
+        count = needed if max_thresholds is None else min(needed, max_thresholds)
+        anchor_used = top - count * log_rho
+        log_thresholds = tuple(
+            anchor_used + (r + 1) * log_rho for r in range(count)
+        )
+        return cls(
+            log_thresholds=log_thresholds,
+            tolerance=tolerance,
+            log_anchor=anchor_used,
+            log_top=top,
+            mode=mode,
+        )
+
+    @classmethod
+    def for_query(
+        cls, query: Query, config
+    ) -> "ThresholdGrid":
+        """Grid sized to one query under a
+        :class:`~repro.core.config.FormulationConfig`."""
+        # Positive correlated-group corrections can push log-cardinality
+        # above the plain cross-product bound.
+        positive_corrections = sum(
+            max(0.0, group.log_correction)
+            for group in query.correlated_groups
+        )
+        return cls.build(
+            log_lower=query.min_log_selectivity,
+            log_upper=query.max_log_cardinality + positive_corrections,
+            tolerance=config.tolerance,
+            max_thresholds=config.max_thresholds,
+            cardinality_cap=config.cardinality_cap,
+            mode=config.rounding,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_thresholds(self) -> int:
+        """Number of threshold variables required per intermediate result."""
+        return len(self.log_thresholds)
+
+    @property
+    def log_saturation(self) -> float:
+        """Log of the top of the final (saturation) bracket."""
+        return self.log_top + math.log(self.tolerance)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable approximate cardinality."""
+        return math.exp(self.log_saturation)
+
+    def thresholds(self) -> list[float]:
+        """Raw-domain threshold values ``theta_r``."""
+        return [math.exp(value) for value in self.log_thresholds]
+
+    def covers(self, log_value: float) -> bool:
+        """Whether ``log_value`` falls inside the tolerance-guaranteed range."""
+        return self.log_anchor <= log_value <= self.log_top
+
+    # ------------------------------------------------------------------
+    # Piecewise coefficients
+    # ------------------------------------------------------------------
+
+    def piecewise(
+        self, function: Callable[[float], float] | None = None
+    ) -> tuple[float, list[float]]:
+        """Delta coefficients approximating ``function(cardinality)``.
+
+        Returns ``(base, deltas)`` such that, with the first ``m + 1``
+        threshold flags active, ``base + sum(deltas[:m + 1])`` approximates
+        ``function(exp(lco))``:
+
+        * upper mode: equals ``function`` at the bracket's upper end, so it
+          over-estimates by at most the grid tolerance within range;
+        * lower mode: equals ``function`` at the bracket's lower end
+          (zero below the first threshold), matching the paper's Example 2
+          first variant.
+
+        ``function`` defaults to the identity (raw cardinality).  It must
+        be non-decreasing; deltas are asserted non-negative so activating
+        extra thresholds can only increase cost.
+        """
+        f = function if function is not None else (lambda value: value)
+        values = [f(math.exp(v)) for v in self.log_thresholds]
+        top_value = f(self.max_value)
+        if self.mode == "upper":
+            base = values[0]
+            deltas = [
+                values[r + 1] - values[r]
+                for r in range(self.num_thresholds - 1)
+            ]
+            deltas.append(top_value - values[-1])
+        else:
+            base = 0.0
+            deltas = [values[0]]
+            deltas.extend(
+                values[r] - values[r - 1]
+                for r in range(1, self.num_thresholds)
+            )
+        for delta in deltas:
+            if delta < -1e-9:
+                raise FormulationError(
+                    "piecewise function must be non-decreasing in cardinality"
+                )
+        return base, [max(0.0, delta) for delta in deltas]
+
+    # ------------------------------------------------------------------
+    # Exact evaluation (used by warm starts and tests)
+    # ------------------------------------------------------------------
+
+    def active_flags(self, log_value: float) -> list[int]:
+        """The 0/1 threshold flags a consistent solution sets for
+        ``log_value`` (flag r active iff ``log_value > log(theta_r)``)."""
+        return [
+            1 if log_value > threshold + 1e-12 else 0
+            for threshold in self.log_thresholds
+        ]
+
+    def approximate(
+        self,
+        log_value: float,
+        function: Callable[[float], float] | None = None,
+    ) -> float:
+        """The approximation the MILP would produce for ``log_value``."""
+        base, deltas = self.piecewise(function)
+        flags = self.active_flags(log_value)
+        return base + sum(
+            delta for delta, flag in zip(deltas, flags) if flag
+        )

@@ -1,0 +1,126 @@
+"""Warm-start assignments: encode a concrete plan as MILP variable values.
+
+Commercial solvers seed branch-and-bound with construction heuristics; our
+substrate accepts an explicit warm start instead.  This module computes a
+*consistent integral assignment* for a given left-deep plan — join-order
+binaries, predicate applicability, threshold flags and extension binaries.
+Continuous auxiliaries (``lco``, ``co``, products, ...) are intentionally
+left out: the solver's fix-and-solve repair derives them by solving one LP
+with the integral variables fixed, which is both simpler and immune to
+rounding drift.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FormulationError
+from repro.plans.plan import LeftDeepPlan
+
+
+def assignment_for_plan(formulation, plan: LeftDeepPlan) -> dict[str, float]:
+    """Integral variable values encoding ``plan`` in ``formulation``.
+
+    The assignment applies every predicate as early as possible (also the
+    expensive ones — a feasible, if not necessarily optimal, placement).
+    """
+    if set(plan.query.table_names) != set(formulation.query.table_names):
+        raise FormulationError("plan and formulation query mismatch")
+    values: dict[str, float] = {}
+    order = plan.join_order
+    tables = formulation.query.table_names
+
+    # --- join order binaries -----------------------------------------
+    outer: set[str] = {order[0]}
+    outer_sets: list[frozenset[str]] = []
+    for j in formulation.joins:
+        outer_sets.append(frozenset(outer))
+        inner = order[j + 1]
+        for t in tables:
+            values[f"tio[{t},{j}]"] = 1.0 if t in outer else 0.0
+            values[f"tii[{t},{j}]"] = 1.0 if t == inner else 0.0
+        outer.add(inner)
+    result_sets = [outer_set | {order[j + 1]}
+                   for j, outer_set in enumerate(outer_sets)]
+
+    # --- predicate applicability (as early as possible) ---------------
+    applicable: dict[str, list[bool]] = {}
+    for name, required in formulation.pao_requirements.items():
+        flags = [required <= outer_set for outer_set in outer_sets]
+        applicable[name] = flags
+        for j in formulation.joins:
+            values[f"pao[{name},{j}]"] = 1.0 if flags[j] else 0.0
+
+    # --- threshold flags ----------------------------------------------
+    for j in formulation.joins:
+        log_card = formulation.operand_log_cardinality(outer_sets[j])
+        for r, flag in enumerate(formulation.grid.active_flags(log_card)):
+            values[f"cto[{r},{j}]"] = float(flag)
+
+    _fill_expensive(formulation, values, applicable)
+    _fill_operator_choice(formulation, values, plan, order)
+    _fill_projection(formulation, values, outer_sets, result_sets)
+    return values
+
+
+def _fill_expensive(formulation, values, applicable) -> None:
+    state = formulation.extensions.get("expensive_predicates")
+    if state is None:
+        return
+    jmax = formulation.jmax
+    for name in state.predicates:
+        flags = applicable[name]
+        for j in formulation.joins:
+            nxt = flags[j + 1] if j < jmax else True
+            values[f"pco[{name},{j}]"] = 1.0 if (nxt and not flags[j]) else 0.0
+
+
+def _fill_operator_choice(formulation, values, plan, order) -> None:
+    state = formulation.extensions.get("operator_choice")
+    if state is None:
+        return
+    # Map each step's algorithm onto the first requirement-free
+    # implementation realizing it.
+    produced_before: set[str] = set()
+    for j, step in enumerate(plan.steps):
+        chosen = None
+        for spec in state.implementations:
+            if spec.algorithm is not step.algorithm:
+                continue
+            if all(prop in produced_before for prop in spec.requires):
+                chosen = spec
+                break
+        if chosen is None:
+            raise FormulationError(
+                f"no applicable implementation for {step.algorithm} "
+                f"at join {j}"
+            )
+        for spec in state.implementations:
+            values[f"jos[{spec.name},{j}]"] = (
+                1.0 if spec is chosen else 0.0
+            )
+        # Property bookkeeping for the *next* join's outer operand.
+        next_properties = set(chosen.produces)
+        if j == 0:
+            for prop_spec in state.properties:
+                provided = order[0] in prop_spec.provided_by_tables
+                values[f"ohp[{prop_spec.name},0]"] = 1.0 if provided else 0.0
+        if j + 1 <= formulation.jmax:
+            for prop_spec in state.properties:
+                values[f"ohp[{prop_spec.name},{j + 1}]"] = (
+                    1.0 if prop_spec.name in next_properties else 0.0
+                )
+        produced_before = next_properties
+
+
+def _fill_projection(formulation, values, outer_sets, result_sets) -> None:
+    state = formulation.extensions.get("projection")
+    if state is None:
+        return
+    # Keep every column of every present table: always feasible, and the
+    # LP repair prices it; the solver improves on it during search.
+    from repro.core.extensions.projection import FINAL
+
+    for t, c in state.columns:
+        for j in formulation.joins:
+            present = t in outer_sets[j]
+            values[f"clo[{t}.{c},{j}]"] = 1.0 if present else 0.0
+        values[f"clo[{t}.{c},{FINAL}]"] = 1.0

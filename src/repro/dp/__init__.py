@@ -1,0 +1,39 @@
+"""Classical query optimization baselines.
+
+:class:`SelingerOptimizer` is the paper's experimental comparator
+(exhaustive left-deep DP with cross products).  :class:`GreedyOptimizer`
+supplies MILP warm starts.  :class:`BushyOptimizer` is an extension for
+quantifying the left-deep restriction.
+"""
+
+from repro.dp.bushy import (
+    BushyNode,
+    BushyOptimizer,
+    BushyResult,
+    left_deep_from_bushy,
+)
+from repro.dp.greedy import GreedyOptimizer, GreedyResult
+from repro.dp.ikkbz import IKKBZOptimizer, IKKBZResult
+from repro.dp.randomized import (
+    IterativeImprovement,
+    RandomizedResult,
+    SimulatedAnnealing,
+)
+from repro.dp.selinger import MAX_DP_TABLES, DPResult, SelingerOptimizer
+
+__all__ = [
+    "BushyNode",
+    "BushyOptimizer",
+    "BushyResult",
+    "DPResult",
+    "GreedyOptimizer",
+    "GreedyResult",
+    "IKKBZOptimizer",
+    "IKKBZResult",
+    "IterativeImprovement",
+    "MAX_DP_TABLES",
+    "RandomizedResult",
+    "SelingerOptimizer",
+    "SimulatedAnnealing",
+    "left_deep_from_bushy",
+]

@@ -1,0 +1,242 @@
+"""Bushy dynamic programming optimizer (extension beyond the paper).
+
+The paper restricts its MILP and its DP comparator to left-deep plans.  For
+completeness — and to quantify how much the left-deep restriction costs — we
+also provide a DPsub-style bushy optimizer over connected subgraphs
+(cross products excluded, following Moerkotte & Neumann).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.catalog.query import Query
+from repro.exceptions import PlanError
+from repro.plans.cardinality import CardinalityModel
+from repro.plans.operators import CostContext, hash_join_cost
+from repro.plans.plan import LeftDeepPlan
+
+#: Bushy DP enumerates subset splits, so keep the table cap tighter.
+MAX_BUSHY_TABLES = 18
+
+_EXP_CLAMP = 700.0
+
+
+@dataclass(frozen=True)
+class BushyNode:
+    """A node of a bushy join tree: a leaf table or an inner join."""
+
+    tables: frozenset[str]
+    table: str | None = None
+    left: "BushyNode | None" = None
+    right: "BushyNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node scans a single base table."""
+        return self.table is not None
+
+    def describe(self) -> str:
+        """Parenthesized rendering of the join tree."""
+        if self.is_leaf:
+            return str(self.table)
+        assert self.left is not None and self.right is not None
+        return f"({self.left.describe()} ⋈ {self.right.describe()})"
+
+    def is_left_deep(self) -> bool:
+        """Whether the tree is linear (every inner node has a leaf child).
+
+        Split orientation inside the DP is arbitrary, so a mirrored chain
+        counts as left-deep as well.
+        """
+        if self.is_leaf:
+            return True
+        assert self.left is not None and self.right is not None
+        if self.right.is_leaf:
+            return self.left.is_left_deep()
+        if self.left.is_leaf:
+            return self.right.is_left_deep()
+        return False
+
+
+@dataclass(frozen=True)
+class BushyResult:
+    """Outcome of a bushy DP run."""
+
+    tree: BushyNode | None
+    cost: float
+    optimal: bool
+    elapsed: float
+
+
+class BushyOptimizer:
+    """DP over connected subgraphs producing optimal bushy trees.
+
+    Parameters mirror :class:`~repro.dp.selinger.SelingerOptimizer`;
+    the cost metric is either C_out or the hash-join formula.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        context: CostContext | None = None,
+        use_cout: bool = True,
+    ) -> None:
+        if query.num_tables > MAX_BUSHY_TABLES:
+            raise PlanError(
+                f"bushy DP supports at most {MAX_BUSHY_TABLES} tables"
+            )
+        if not query.is_connected:
+            raise PlanError("bushy DP requires a connected join graph")
+        self.query = query
+        self.context = context or CostContext()
+        self.use_cout = use_cout
+        self._model = CardinalityModel(query)
+        self._names = list(query.table_names)
+        self._index = {name: i for i, name in enumerate(self._names)}
+        n = query.num_tables
+        self._adjacent = [0] * n
+        for predicate in self._model.join_predicates:
+            members = [self._index[t] for t in predicate.tables]
+            for i in members:
+                for j in members:
+                    if i != j:
+                        self._adjacent[i] |= 1 << j
+
+    def optimize(self, time_limit: float | None = None) -> BushyResult:
+        """Run the bushy DP; ``None`` tree if the budget expires."""
+        start = time.monotonic()
+        deadline = None if time_limit is None else start + time_limit
+        n = self.query.num_tables
+        full = (1 << n) - 1
+        inf = math.inf
+
+        cost = [inf] * (full + 1)
+        split = [0] * (full + 1)
+        card = [0.0] * (full + 1)
+        pages = [0.0] * (full + 1)
+        connected = [False] * (full + 1)
+
+        for i in range(n):
+            mask = 1 << i
+            cost[mask] = 0.0
+            connected[mask] = True
+            card[mask] = math.exp(
+                min(self._model.effective_log_cardinality(self._names[i]),
+                    _EXP_CLAMP)
+            )
+            pages[mask] = self.context.pages(card[mask])
+
+        for mask in range(3, full + 1):
+            # Deadline check first: power-of-two masks are skipped below,
+            # so the modulus test must not hide behind that skip.
+            if deadline is not None and mask % 1024 == 3:
+                if time.monotonic() > deadline:
+                    return BushyResult(
+                        None, inf, False, time.monotonic() - start
+                    )
+            if mask & (mask - 1) == 0:
+                continue
+            connected[mask] = self._is_connected(mask)
+            if not connected[mask]:
+                continue
+            names = frozenset(
+                self._names[i] for i in range(n) if mask >> i & 1
+            )
+            card[mask] = math.exp(
+                min(self._model.log_cardinality(names), _EXP_CLAMP)
+            )
+            pages[mask] = self.context.pages(card[mask])
+            is_full = mask == full
+            # Enumerate proper submask splits; visit each unordered pair once.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:
+                    sub = (sub - 1) & mask
+                    continue
+                if (
+                    connected[sub]
+                    and connected[other]
+                    and cost[sub] < inf
+                    and cost[other] < inf
+                    and self._parts_joined(sub, other)
+                ):
+                    if self.use_cout:
+                        step = 0.0 if is_full else card[mask]
+                    else:
+                        step = hash_join_cost(pages[sub], pages[other])
+                    candidate = cost[sub] + cost[other] + step
+                    if candidate < cost[mask]:
+                        cost[mask] = candidate
+                        split[mask] = sub
+                sub = (sub - 1) & mask
+
+        if cost[full] == inf:
+            return BushyResult(None, inf, False, time.monotonic() - start)
+        tree = self._reconstruct(full, split)
+        return BushyResult(tree, cost[full], True, time.monotonic() - start)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _is_connected(self, mask: int) -> bool:
+        """Whether the induced subgraph on ``mask`` is connected."""
+        seed = mask & -mask
+        frontier = seed
+        reached = seed
+        while frontier:
+            bit = frontier & -frontier
+            frontier ^= bit
+            i = bit.bit_length() - 1
+            new = self._adjacent[i] & mask & ~reached
+            reached |= new
+            frontier |= new
+        return reached == mask
+
+    def _parts_joined(self, left: int, right: int) -> bool:
+        """Whether at least one predicate connects the two parts."""
+        bits = left
+        while bits:
+            bit = bits & -bits
+            bits ^= bit
+            i = bit.bit_length() - 1
+            if self._adjacent[i] & right:
+                return True
+        return False
+
+    def _reconstruct(self, mask: int, split: list[int]) -> BushyNode:
+        if mask & (mask - 1) == 0:
+            i = mask.bit_length() - 1
+            return BushyNode(frozenset({self._names[i]}), table=self._names[i])
+        left = self._reconstruct(split[mask], split)
+        right = self._reconstruct(mask ^ split[mask], split)
+        return BushyNode(left.tables | right.tables, left=left, right=right)
+
+
+def left_deep_from_bushy(
+    tree: BushyNode, query: Query
+) -> LeftDeepPlan | None:
+    """Convert a linear bushy tree to a left-deep plan (any orientation)."""
+    if not tree.is_left_deep():
+        return None
+    order: list[str] = []
+    node: BushyNode | None = tree
+    while node is not None and not node.is_leaf:
+        assert node.left is not None and node.right is not None
+        if node.right.is_leaf and not (
+            node.left.is_leaf and not node.right.is_left_deep()
+        ):
+            leaf, rest = node.right, node.left
+        else:
+            leaf, rest = node.left, node.right
+        assert leaf.table is not None
+        order.append(leaf.table)
+        node = rest
+    assert node is not None and node.table is not None
+    order.append(node.table)
+    order.reverse()
+    return LeftDeepPlan.from_order(query, order)

@@ -1,0 +1,228 @@
+"""Randomized join-ordering heuristics (Steinbrunn et al.).
+
+The paper's Section 2 discusses these as the alternative family to
+exhaustive optimization: iterative improvement and simulated annealing
+produce anytime streams of improving plans but — unlike the MILP solver —
+can give **no bound** on how far the current plan is from the optimum.
+They are implemented here both as baselines and to make that contrast
+measurable (ablation harness).
+
+Moves follow Steinbrunn et al.'s left-deep neighbourhood: *swap* two
+positions of the join order, or *3-cycle* three positions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.query import Query
+from repro.plans.cost import PlanCostEvaluator
+from repro.plans.operators import CostContext, JoinAlgorithm
+from repro.plans.plan import LeftDeepPlan
+
+
+@dataclass(frozen=True)
+class RandomizedResult:
+    """Outcome of a randomized optimization run.
+
+    ``trace`` holds ``(seconds, best_cost)`` pairs — an anytime stream,
+    but without optimality guarantees (contrast with
+    :class:`~repro.milp.solution.IncumbentEvent`, which carries bounds).
+    """
+
+    plan: LeftDeepPlan
+    cost: float
+    iterations: int
+    elapsed: float
+    trace: tuple[tuple[float, float], ...] = field(default=())
+
+    @property
+    def optimality_factor(self) -> float:
+        """Always infinite: randomized algorithms prove nothing (§2)."""
+        return math.inf
+
+
+class _OrderCostCache:
+    """Shared machinery: cost of a join order, memoized prefix-wise."""
+
+    def __init__(self, query: Query, evaluator: PlanCostEvaluator,
+                 algorithm: JoinAlgorithm) -> None:
+        self.query = query
+        self.evaluator = evaluator
+        self.algorithm = algorithm
+
+    def cost(self, order: list[str]) -> float:
+        plan = LeftDeepPlan.from_order(self.query, order, self.algorithm)
+        return self.evaluator.cost(plan)
+
+
+def _random_neighbour(order: list[str], rng: random.Random) -> list[str]:
+    """Swap move or 3-cycle move, per Steinbrunn et al."""
+    neighbour = list(order)
+    n = len(order)
+    if n < 2:
+        return neighbour
+    if n >= 3 and rng.random() < 0.5:
+        i, j, k = rng.sample(range(n), 3)
+        neighbour[i], neighbour[j], neighbour[k] = (
+            neighbour[k], neighbour[i], neighbour[j],
+        )
+    else:
+        i, j = rng.sample(range(n), 2)
+        neighbour[i], neighbour[j] = neighbour[j], neighbour[i]
+    return neighbour
+
+
+@dataclass
+class IterativeImprovement:
+    """Random-restart hill climbing over left-deep join orders.
+
+    Parameters
+    ----------
+    query:
+        Query to optimize.
+    context, use_cout, algorithm:
+        Cost metric, matching the other optimizers.
+    seed:
+        RNG seed (fully deterministic runs).
+    max_local_moves:
+        Consecutive non-improving moves before declaring a local optimum
+        and restarting.
+    """
+
+    query: Query
+    context: CostContext | None = None
+    use_cout: bool = False
+    algorithm: JoinAlgorithm = JoinAlgorithm.HASH
+    seed: int = 0
+    max_local_moves: int = 60
+
+    def optimize(
+        self, time_limit: float = 1.0, max_iterations: int | None = None
+    ) -> RandomizedResult:
+        """Run restarts until the budget expires; return the best plan."""
+        start = time.monotonic()
+        rng = random.Random(self.seed)
+        evaluator = PlanCostEvaluator(
+            self.query, self.context, self.use_cout
+        )
+        cache = _OrderCostCache(self.query, evaluator, self.algorithm)
+        names = list(self.query.table_names)
+        best_order = list(names)
+        best_cost = cache.cost(best_order)
+        trace = [(time.monotonic() - start, best_cost)]
+        iterations = 0
+        while time.monotonic() - start < time_limit:
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            order = list(names)
+            rng.shuffle(order)
+            cost = cache.cost(order)
+            stale = 0
+            while stale < self.max_local_moves:
+                if time.monotonic() - start >= time_limit:
+                    break
+                if (
+                    max_iterations is not None
+                    and iterations >= max_iterations
+                ):
+                    break
+                iterations += 1
+                candidate = _random_neighbour(order, rng)
+                candidate_cost = cache.cost(candidate)
+                if candidate_cost < cost:
+                    order, cost = candidate, candidate_cost
+                    stale = 0
+                else:
+                    stale += 1
+            if cost < best_cost:
+                best_order, best_cost = order, cost
+                trace.append((time.monotonic() - start, best_cost))
+        plan = LeftDeepPlan.from_order(self.query, best_order, self.algorithm)
+        return RandomizedResult(
+            plan, best_cost, iterations,
+            time.monotonic() - start, tuple(trace),
+        )
+
+
+@dataclass
+class SimulatedAnnealing:
+    """Simulated annealing over left-deep join orders (Steinbrunn et al.).
+
+    Geometric cooling; the starting temperature is calibrated so the
+    median early uphill move is accepted with ~50% probability.
+    """
+
+    query: Query
+    context: CostContext | None = None
+    use_cout: bool = False
+    algorithm: JoinAlgorithm = JoinAlgorithm.HASH
+    seed: int = 0
+    cooling: float = 0.95
+    moves_per_temperature: int = 40
+
+    def optimize(
+        self, time_limit: float = 1.0, max_iterations: int | None = None
+    ) -> RandomizedResult:
+        """Anneal until frozen or out of budget; return the best plan."""
+        start = time.monotonic()
+        rng = random.Random(self.seed)
+        evaluator = PlanCostEvaluator(
+            self.query, self.context, self.use_cout
+        )
+        cache = _OrderCostCache(self.query, evaluator, self.algorithm)
+        order = list(self.query.table_names)
+        rng.shuffle(order)
+        cost = cache.cost(order)
+        best_order, best_cost = list(order), cost
+        trace = [(time.monotonic() - start, best_cost)]
+
+        # Calibrate temperature from a few random uphill deltas.
+        deltas = []
+        for _ in range(10):
+            probe_cost = cache.cost(_random_neighbour(order, rng))
+            if probe_cost > cost:
+                deltas.append(probe_cost - cost)
+        temperature = (
+            (sorted(deltas)[len(deltas) // 2] / math.log(2.0))
+            if deltas
+            else max(1.0, cost * 0.1)
+        )
+
+        iterations = 0
+        frozen = 0
+        while (
+            time.monotonic() - start < time_limit
+            and frozen < 5
+            and (max_iterations is None or iterations < max_iterations)
+        ):
+            improved = False
+            for _ in range(self.moves_per_temperature):
+                if time.monotonic() - start >= time_limit:
+                    break
+                iterations += 1
+                candidate = _random_neighbour(order, rng)
+                candidate_cost = cache.cost(candidate)
+                delta = candidate_cost - cost
+                accept = delta <= 0 or (
+                    temperature > 0
+                    and rng.random() < math.exp(-delta / temperature)
+                )
+                if accept:
+                    order, cost = candidate, candidate_cost
+                    if cost < best_cost:
+                        best_order, best_cost = list(order), cost
+                        trace.append(
+                            (time.monotonic() - start, best_cost)
+                        )
+                        improved = True
+            temperature *= self.cooling
+            frozen = 0 if improved else frozen + 1
+        plan = LeftDeepPlan.from_order(self.query, best_order, self.algorithm)
+        return RandomizedResult(
+            plan, best_cost, iterations,
+            time.monotonic() - start, tuple(trace),
+        )

@@ -1,0 +1,268 @@
+"""Classical Selinger-style dynamic programming optimizer.
+
+This is the paper's experimental comparator (Section 7.1): exhaustive DP
+over table subsets for **left-deep plans with cross products allowed**.  It
+enumerates all ``2^n`` table subsets, so — exactly as in the paper — it
+either finishes with the proven-optimal plan or produces nothing within the
+time budget.  There is no anytime behaviour by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.catalog.query import Query
+from repro.exceptions import PlanError
+from repro.plans.cardinality import CardinalityModel
+from repro.plans.operators import (
+    CostContext,
+    JoinAlgorithm,
+    block_nested_loop_cost,
+    hash_join_cost,
+    sort_merge_join_cost,
+)
+from repro.plans.plan import LeftDeepPlan
+
+#: Hard cap on table count: beyond this the DP table would not fit in memory.
+MAX_DP_TABLES = 26
+
+#: Clamp for ``exp`` to avoid overflow on pathological cardinality products.
+_EXP_CLAMP = 700.0
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """Outcome of a DP optimization run.
+
+    ``plan`` is ``None`` when the time budget expired before the DP table
+    was complete (the DP produces nothing before finishing).
+    """
+
+    plan: LeftDeepPlan | None
+    cost: float
+    optimal: bool
+    elapsed: float
+    subsets_explored: int
+
+    @property
+    def optimality_factor(self) -> float:
+        """The paper's Figure 2 metric: 1.0 once finished, ``inf`` before."""
+        return 1.0 if self.optimal else math.inf
+
+
+class SelingerOptimizer:
+    """Exhaustive left-deep DP with cross products.
+
+    Parameters
+    ----------
+    query:
+        Query to optimize.
+    context:
+        Physical cost parameters (shared with the MILP optimizer).
+    use_cout:
+        Optimize the C_out metric instead of an operator cost formula.
+    algorithm:
+        Join operator whose cost formula is charged per join (the paper's
+        experiments assume hash joins throughout).
+    allow_cross_products:
+        The paper's setting is ``True``.  ``False`` restricts DP transitions
+        to joins with at least one connecting predicate, which shrinks the
+        search space for connected join graphs.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        context: CostContext | None = None,
+        use_cout: bool = False,
+        algorithm: JoinAlgorithm = JoinAlgorithm.HASH,
+        allow_cross_products: bool = True,
+    ) -> None:
+        if query.num_tables > MAX_DP_TABLES:
+            raise PlanError(
+                f"DP supports at most {MAX_DP_TABLES} tables, "
+                f"query has {query.num_tables}"
+            )
+        if not allow_cross_products and not query.is_connected:
+            raise PlanError(
+                "cross products disabled but the join graph is disconnected"
+            )
+        self.query = query
+        self.context = context or CostContext()
+        self.use_cout = use_cout
+        self.algorithm = algorithm
+        self.allow_cross_products = allow_cross_products
+        self._model = CardinalityModel(query)
+        self._names = list(query.table_names)
+        self._index = {name: i for i, name in enumerate(self._names)}
+        self._prepare_statistics()
+
+    def _prepare_statistics(self) -> None:
+        """Precompute per-table log-cards and predicate trigger masks."""
+        n = self.query.num_tables
+        self._log_card = [
+            self._model.effective_log_cardinality(name) for name in self._names
+        ]
+        self._table_card = [math.exp(v) for v in self._log_card]
+        self._table_pages = [
+            self.context.pages(card) for card in self._table_card
+        ]
+        # For each table i: predicates referencing i become applicable when
+        # the other referenced tables are already present.
+        self._triggers: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for predicate in self._model.join_predicates:
+            member_indices = [self._index[t] for t in predicate.tables]
+            for i in member_indices:
+                others = 0
+                for j in member_indices:
+                    if j != i:
+                        others |= 1 << j
+                self._triggers[i].append((others, predicate.log_selectivity))
+        # Correlated groups activate when the union of member-predicate
+        # tables is present.  Multi-table groups use the same trigger
+        # mechanism as predicates (fire when the remaining tables are
+        # already present).  Groups over a single table (e.g. two
+        # correlated unary predicates) are active from the scan on and
+        # must be folded into the single-table initialization — the
+        # incremental chain never "adds" their table to a prior state.
+        self._single_table_corrections = [0.0] * n
+        for group in self.query.correlated_groups:
+            tables: set[str] = set()
+            for name in group.predicate_names:
+                tables.update(self.query.predicate(name).tables)
+            member_indices = [self._index[t] for t in tables]
+            if len(member_indices) == 1:
+                self._single_table_corrections[member_indices[0]] += (
+                    group.log_correction
+                )
+                continue
+            for i in member_indices:
+                others = 0
+                for j in member_indices:
+                    if j != i:
+                        others |= 1 << j
+                self._triggers[i].append((others, group.log_correction))
+        # Adjacency masks for the no-cross-product variant.
+        self._adjacent = [0] * n
+        for predicate in self._model.join_predicates:
+            member_indices = [self._index[t] for t in predicate.tables]
+            for i in member_indices:
+                for j in member_indices:
+                    if i != j:
+                        self._adjacent[i] |= 1 << j
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
+
+    def optimize(self, time_limit: float | None = None) -> DPResult:
+        """Run the DP; abort empty-handed when the time budget expires."""
+        start = time.monotonic()
+        n = self.query.num_tables
+        full = (1 << n) - 1
+        size = full + 1
+        inf = math.inf
+
+        best_cost = [inf] * size
+        best_last = [-1] * size
+        log_card = [0.0] * size
+        card = [0.0] * size
+        pages = [0.0] * size
+
+        for i in range(n):
+            mask = 1 << i
+            best_cost[mask] = 0.0
+            # Single-table group corrections are active from the scan on.
+            log_card[mask] = (
+                self._log_card[i] + self._single_table_corrections[i]
+            )
+            card[mask] = math.exp(min(log_card[mask], _EXP_CLAMP))
+            pages[mask] = self.context.pages(card[mask])
+
+        if n == 1:
+            plan = LeftDeepPlan.from_order(
+                self.query, [self._names[0]], self.algorithm
+            )
+            return DPResult(plan, 0.0, True, time.monotonic() - start, 1)
+
+        use_cout = self.use_cout
+        algorithm = self.algorithm
+        buffer_pages = self.context.buffer_pages
+        explored = 0
+        deadline = None if time_limit is None else start + time_limit
+
+        for mask in range(3, size):
+            # Deadline check first: power-of-two masks are skipped below.
+            if deadline is not None and mask % 2048 == 3:
+                if time.monotonic() > deadline:
+                    return DPResult(
+                        None, inf, False, time.monotonic() - start, explored
+                    )
+            if mask & (mask - 1) == 0:
+                continue  # single tables already initialized
+            explored += 1
+            # Compute the subset's cardinality once, extending from its
+            # lowest set bit.
+            low = (mask & -mask).bit_length() - 1
+            prev_of_low = mask ^ (1 << low)
+            value = (
+                log_card[prev_of_low]
+                + self._log_card[low]
+                + self._single_table_corrections[low]
+            )
+            for others, log_sel in self._triggers[low]:
+                if others & prev_of_low == others:
+                    value += log_sel
+            log_card[mask] = value
+            card[mask] = math.exp(min(value, _EXP_CLAMP))
+            pages[mask] = self.context.pages(card[mask])
+
+            is_full = mask == full
+            output_term = 0.0 if (use_cout and is_full) else card[mask]
+            bits = mask
+            while bits:
+                bit = bits & -bits
+                bits ^= bit
+                i = bit.bit_length() - 1
+                prev = mask ^ bit
+                previous_cost = best_cost[prev]
+                if previous_cost == inf:
+                    continue
+                if (
+                    not self.allow_cross_products
+                    and prev
+                    and self._adjacent[i] & prev == 0
+                ):
+                    continue
+                if use_cout:
+                    candidate = previous_cost + output_term
+                elif algorithm is JoinAlgorithm.HASH:
+                    candidate = previous_cost + hash_join_cost(
+                        pages[prev], self._table_pages[i]
+                    )
+                elif algorithm is JoinAlgorithm.SORT_MERGE:
+                    candidate = previous_cost + sort_merge_join_cost(
+                        pages[prev], self._table_pages[i]
+                    )
+                else:
+                    candidate = previous_cost + block_nested_loop_cost(
+                        pages[prev], self._table_pages[i], buffer_pages
+                    )
+                if candidate < best_cost[mask]:
+                    best_cost[mask] = candidate
+                    best_last[mask] = i
+
+        order_indices: list[int] = []
+        mask = full
+        while mask and best_last[mask] >= 0:
+            order_indices.append(best_last[mask])
+            mask ^= 1 << best_last[mask]
+        # The remaining mask is the first table.
+        order_indices.append((mask & -mask).bit_length() - 1)
+        order = [self._names[i] for i in reversed(order_indices)]
+        plan = LeftDeepPlan.from_order(self.query, order, self.algorithm)
+        return DPResult(
+            plan, best_cost[full], True, time.monotonic() - start, explored
+        )

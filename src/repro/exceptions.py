@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch a single type at the API boundary.  Sub-errors mirror the package
+structure (catalog, MILP solver, formulation, plans, workloads).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CatalogError(ReproError):
+    """Invalid catalog object (table, column, predicate or query)."""
+
+
+class QueryValidationError(CatalogError):
+    """A query references unknown tables/columns or carries invalid stats."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""
+
+
+class ModelError(ReproError):
+    """Invalid MILP model construction (bad bounds, duplicate names, ...)."""
+
+
+class SolverError(ReproError):
+    """The MILP/LP solver failed in an unexpected way."""
+
+
+class InfeasibleModelError(SolverError):
+    """The model was proven infeasible."""
+
+
+class UnboundedModelError(SolverError):
+    """The model was proven unbounded."""
+
+
+class FormulationError(ReproError):
+    """The join-ordering MILP formulation could not be built."""
+
+
+class ExtractionError(ReproError):
+    """A MILP solution could not be decoded into a valid query plan."""
+
+
+class PlanError(ReproError):
+    """Invalid query plan (wrong operand structure, unknown tables, ...)."""
+
+
+class UnnestingError(ReproError):
+    """A nested statement could not be decomposed into SPJ blocks."""

@@ -1,0 +1,26 @@
+"""Execution substrate: synthetic data generation + a vectorized plan
+executor, used to validate the cardinality model end to end."""
+
+from repro.exec.data import (
+    Dataset,
+    ExecutionError,
+    generate_dataset,
+    scaled_selectivity,
+)
+from repro.exec.executor import (
+    DEFAULT_ROW_GUARD,
+    ExecutionResult,
+    PlanExecutor,
+    execute_plan,
+)
+
+__all__ = [
+    "DEFAULT_ROW_GUARD",
+    "Dataset",
+    "ExecutionError",
+    "ExecutionResult",
+    "PlanExecutor",
+    "execute_plan",
+    "generate_dataset",
+    "scaled_selectivity",
+]

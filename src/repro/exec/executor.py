@@ -1,0 +1,251 @@
+"""In-memory execution of left-deep plans (vectorized with numpy).
+
+The executor runs a :class:`~repro.plans.plan.LeftDeepPlan` over a
+:class:`~repro.exec.data.Dataset` pipeline-style: the intermediate result
+is a vector of row indices per joined table; each join step either
+hash-joins on a connecting equi-predicate (sort + searchsorted expansion)
+or forms a guarded cross product.  Remaining applicable predicates are
+applied as filters as soon as every referenced table is present —
+mirroring the cost model's predicate push-down semantics.
+
+Primary purpose: validating the cardinality estimator and the cost
+model's shape against actually-observed intermediate result sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.plans.plan import LeftDeepPlan
+from repro.exec.data import Dataset, ExecutionError
+
+#: Abort when an intermediate result would exceed this many rows.
+DEFAULT_ROW_GUARD = 5_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Observed execution outcome.
+
+    ``intermediate_cardinalities[j]`` is the row count of join ``j``'s
+    output, aligned with the estimator's
+    :meth:`~repro.plans.cost.PlanCostEvaluator.breakdown` outputs.
+    """
+
+    plan: LeftDeepPlan
+    intermediate_cardinalities: list[int] = field(default_factory=list)
+    final_cardinality: int = 0
+
+
+class PlanExecutor:
+    """Executes left-deep plans over materialized datasets."""
+
+    def __init__(
+        self, dataset: Dataset, row_guard: int = DEFAULT_ROW_GUARD
+    ) -> None:
+        self.dataset = dataset
+        self.query: Query = dataset.query
+        self.row_guard = row_guard
+        self._binary = [
+            p for p in self.query.predicates if p.is_binary
+        ]
+        self._unary = [p for p in self.query.predicates if p.is_unary]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: LeftDeepPlan) -> ExecutionResult:
+        """Run ``plan``; returns observed intermediate cardinalities."""
+        result = ExecutionResult(plan=plan)
+        first = plan.first_table
+        indices: dict[str, np.ndarray] = {
+            first: self._scan(first)
+        }
+        applied = {p.name for p in self._unary if p.tables[0] == first}
+        for step in plan.steps:
+            indices = self._join_step(indices, step.inner_table, applied)
+            count = self._row_count(indices)
+            result.intermediate_cardinalities.append(count)
+            if count > self.row_guard:
+                raise ExecutionError(
+                    f"intermediate result exceeded the row guard "
+                    f"({count} > {self.row_guard}); this plan is too "
+                    "expensive to execute at this scale"
+                )
+        result.final_cardinality = self._row_count(indices)
+        return result
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def _scan(self, table: str) -> np.ndarray:
+        rows = self.dataset.rows(table)
+        keep = np.ones(rows, dtype=bool)
+        for predicate in self._unary:
+            if predicate.tables[0] != table:
+                continue
+            column = self.dataset.tables[table][predicate.name]
+            keep &= column < predicate.selectivity
+        return np.nonzero(keep)[0]
+
+    def _join_step(
+        self,
+        indices: dict[str, np.ndarray],
+        inner: str,
+        applied: set[str],
+    ) -> dict[str, np.ndarray]:
+        inner_rows = self._scan(inner)
+        applied.update(
+            p.name for p in self._unary if p.tables[0] == inner
+        )
+        joined_tables = set(indices)
+        connecting = [
+            p
+            for p in self._binary
+            if inner in p.tables
+            and any(t in joined_tables for t in p.tables)
+            and p.name not in applied
+        ]
+        if connecting:
+            outer_keys, inner_keys, usable = self._composite_keys(
+                indices, inner, inner_rows, connecting
+            )
+            outer_positions, inner_positions = self._equi_join_keys(
+                outer_keys, inner_keys
+            )
+            for predicate in usable:
+                applied.add(predicate.name)
+            new_indices = {
+                table: rows[outer_positions]
+                for table, rows in indices.items()
+            }
+            new_indices[inner] = inner_rows[inner_positions]
+            residual = [p for p in connecting if p not in usable]
+        else:
+            new_indices = self._cross_product(indices, inner, inner_rows)
+            residual = []
+        # Predicates that could not join on the composite key act as
+        # filters on the joined result.
+        for predicate in residual:
+            new_indices = self._filter_binary(new_indices, predicate)
+            applied.add(predicate.name)
+        return new_indices
+
+    def _composite_keys(
+        self,
+        indices: dict[str, np.ndarray],
+        inner: str,
+        inner_rows: np.ndarray,
+        connecting: list[Predicate],
+    ) -> tuple[np.ndarray, np.ndarray, list[Predicate]]:
+        """Combine every connecting predicate into one join key.
+
+        Joining on the full composite key avoids materializing the large
+        single-key intermediate that a join-then-filter strategy would
+        create.  Falls back to a prefix of the predicates if the combined
+        domain would overflow int64.
+        """
+        usable: list[Predicate] = []
+        outer_key = np.zeros(
+            len(next(iter(indices.values()))), dtype=np.int64
+        )
+        inner_key = np.zeros(len(inner_rows), dtype=np.int64)
+        scale = 1
+        for predicate in connecting:
+            outer_table = next(
+                t for t in predicate.tables if t != inner and t in indices
+            )
+            outer_values = self.dataset.tables[outer_table][
+                predicate.name
+            ][indices[outer_table]]
+            inner_values = self.dataset.tables[inner][predicate.name][
+                inner_rows
+            ]
+            domain = int(
+                max(
+                    outer_values.max(initial=0),
+                    inner_values.max(initial=0),
+                )
+            ) + 1
+            if scale > (2 ** 62) // max(domain, 1):
+                break  # int64 overflow: leave the rest as filters
+            outer_key = outer_key * domain + outer_values
+            inner_key = inner_key * domain + inner_values
+            scale *= domain
+            usable.append(predicate)
+        return outer_key, inner_key, usable
+
+    def _equi_join_keys(
+        self,
+        outer_keys: np.ndarray,
+        inner_keys: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted-probe equi-join on key vectors; returns position pairs."""
+        order = np.argsort(inner_keys, kind="stable")
+        sorted_keys = inner_keys[order]
+        left = np.searchsorted(sorted_keys, outer_keys, side="left")
+        right = np.searchsorted(sorted_keys, outer_keys, side="right")
+        counts = right - left
+        total = int(counts.sum())
+        if total > self.row_guard:
+            raise ExecutionError(
+                f"join would produce {total} rows (> guard {self.row_guard})"
+            )
+        outer_positions = np.repeat(np.arange(len(outer_keys)), counts)
+        offsets = np.concatenate(
+            [np.arange(l, r) for l, r in zip(left, right) if r > l]
+        ) if total else np.empty(0, dtype=np.int64)
+        inner_positions = order[offsets] if total else offsets
+        return outer_positions, inner_positions
+
+    def _cross_product(
+        self,
+        indices: dict[str, np.ndarray],
+        inner: str,
+        inner_rows: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        outer_count = self._row_count(indices)
+        total = outer_count * len(inner_rows)
+        if total > self.row_guard:
+            raise ExecutionError(
+                f"cross product would produce {total} rows "
+                f"(> guard {self.row_guard})"
+            )
+        new_indices = {
+            table: np.repeat(rows, len(inner_rows))
+            for table, rows in indices.items()
+        }
+        new_indices[inner] = np.tile(inner_rows, outer_count)
+        return new_indices
+
+    def _filter_binary(
+        self, indices: dict[str, np.ndarray], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        left_table, right_table = predicate.tables
+        left = self.dataset.tables[left_table][predicate.name][
+            indices[left_table]
+        ]
+        right = self.dataset.tables[right_table][predicate.name][
+            indices[right_table]
+        ]
+        mask = left == right
+        return {table: rows[mask] for table, rows in indices.items()}
+
+    @staticmethod
+    def _row_count(indices: dict[str, np.ndarray]) -> int:
+        return len(next(iter(indices.values())))
+
+
+def execute_plan(
+    plan: LeftDeepPlan,
+    dataset: Dataset,
+    row_guard: int = DEFAULT_ROW_GUARD,
+) -> ExecutionResult:
+    """One-call convenience wrapper around :class:`PlanExecutor`."""
+    return PlanExecutor(dataset, row_guard).execute(plan)

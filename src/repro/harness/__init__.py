@@ -1,0 +1,47 @@
+"""Experiment harness regenerating the paper's figures and the ablations.
+
+* :mod:`repro.harness.figure1` — Figure 1 (model size), E1.
+* :mod:`repro.harness.figure2` — Figure 2 (anytime comparison), E2-E4.
+* :mod:`repro.harness.ablation` — ablations A1-A3.
+
+Submodules are imported lazily so ``python -m repro.harness.figureN`` does
+not trigger double-import warnings.
+"""
+
+import importlib
+
+_EXPORTS = {
+    "AnytimeSample": "repro.harness.anytime",
+    "dp_trajectory": "repro.harness.anytime",
+    "median": "repro.harness.anytime",
+    "median_trajectory": "repro.harness.anytime",
+    "milp_trajectory": "repro.harness.anytime",
+    "Figure1Row": "repro.harness.figure1",
+    "format_figure1": "repro.harness.figure1",
+    "run_figure1": "repro.harness.figure1",
+    "Figure2Panel": "repro.harness.figure2",
+    "format_figure2": "repro.harness.figure2",
+    "run_figure2": "repro.harness.figure2",
+    "run_panel": "repro.harness.figure2",
+    "render_table": "repro.harness.reporting",
+    "write_csv": "repro.harness.reporting",
+    "ComparisonConfig": "repro.harness.runner",
+    "RunResult": "repro.harness.runner",
+    "compare_on_query": "repro.harness.runner",
+    "run_dp": "repro.harness.runner",
+    "run_milp": "repro.harness.runner",
+    "AblationRow": "repro.harness.ablation",
+    "run_precision_sweep": "repro.harness.ablation",
+    "run_solver_ablation": "repro.harness.ablation",
+    "run_cost_model_ablation": "repro.harness.ablation",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.harness' has no attribute {name!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,466 @@
+"""Ablation studies A1-A3 (beyond the paper's headline figures).
+
+* **A1 — precision sweep**: threshold tolerance versus plan quality and
+  solve effort, quantifying the precision/speed trade-off Section 7.1
+  discusses qualitatively.
+* **A2 — solver features**: warm start and primal heuristics on/off,
+  quantifying where the anytime behaviour comes from.
+* **A3 — cost models**: the same queries optimized under C_out, hash,
+  sort-merge and BNL objectives, exercising all Section 4.3 encodings.
+
+Run as a script::
+
+    python -m repro.harness.ablation [--study precision|solver|cost]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from dataclasses import dataclass
+
+from repro.workloads.generator import QueryGenerator
+from repro.dp.selinger import SelingerOptimizer
+from repro.milp.branch_and_bound import SolverOptions
+from repro.plans.operators import JoinAlgorithm
+from repro.core.config import FormulationConfig
+from repro.core.optimizer import MILPJoinOptimizer
+from repro.harness.reporting import render_table
+
+DEFAULT_TABLES = 6
+DEFAULT_QUERIES = 3
+DEFAULT_BUDGET = 6.0
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration's aggregate outcome."""
+
+    configuration: str
+    mean_true_cost_ratio: float
+    mean_factor: float
+    mean_nodes: float
+    mean_time: float
+
+
+def _mean(values) -> float:
+    values = list(values)
+    if not values:
+        return math.nan
+    if any(math.isinf(v) for v in values):
+        return math.inf
+    return sum(values) / len(values)
+
+
+def _run_configs(
+    configs: "list[tuple[str, FormulationConfig, SolverOptions]]",
+    topology: str,
+    num_tables: int,
+    queries: int,
+    use_cout: bool,
+    algorithm: JoinAlgorithm = JoinAlgorithm.HASH,
+) -> list[AblationRow]:
+    rows = []
+    for label, config, options in configs:
+        ratios, factors, nodes, times = [], [], [], []
+        for seed in range(queries):
+            query = QueryGenerator(seed=seed).generate(topology, num_tables)
+            dp = SelingerOptimizer(
+                query, use_cout=use_cout, algorithm=algorithm
+            ).optimize()
+            result = MILPJoinOptimizer(config, options).optimize(query)
+            if result.true_cost is None:
+                ratios.append(math.inf)
+            else:
+                ratios.append(result.true_cost / max(dp.cost, 1e-12))
+            factors.append(result.optimality_factor)
+            nodes.append(result.milp_solution.node_count)
+            times.append(result.solve_time)
+        rows.append(
+            AblationRow(
+                configuration=label,
+                mean_true_cost_ratio=_mean(ratios),
+                mean_factor=_mean(factors),
+                mean_nodes=_mean(nodes),
+                mean_time=_mean(times),
+            )
+        )
+    return rows
+
+
+def run_precision_sweep(
+    num_tables: int = DEFAULT_TABLES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    topology: str = "star",
+) -> list[AblationRow]:
+    """A1: tolerance factor sweep under the C_out objective."""
+    options = SolverOptions(time_limit=budget)
+    configs = [
+        (
+            f"tolerance={tolerance:g}",
+            FormulationConfig(
+                tolerance=tolerance,
+                cost_model="cout",
+                label=f"tol{tolerance:g}",
+            ),
+            options,
+        )
+        for tolerance in (2.0, 3.0, 10.0, 100.0, 1000.0)
+    ]
+    return _run_configs(configs, topology, num_tables, queries, use_cout=True)
+
+
+def run_solver_ablation(
+    num_tables: int = DEFAULT_TABLES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    topology: str = "star",
+) -> list[AblationRow]:
+    """A2: warm start / heuristics / cuts / ordering on-off matrix."""
+    base = FormulationConfig.medium_precision(num_tables, cost_model="cout")
+    rows = []
+    variants = [
+        ("full", base, SolverOptions(time_limit=budget), True),
+        (
+            "no warm start",
+            base,
+            SolverOptions(time_limit=budget),
+            False,
+        ),
+        (
+            "no heuristics",
+            base,
+            SolverOptions(time_limit=budget, heuristics=False),
+            True,
+        ),
+        (
+            "cutting planes",
+            base,
+            SolverOptions(time_limit=budget, cuts=True),
+            True,
+        ),
+        (
+            "no tangent cuts",
+            FormulationConfig.medium_precision(
+                num_tables, cost_model="cout", tangent_cuts=0
+            ),
+            SolverOptions(time_limit=budget),
+            True,
+        ),
+        (
+            "no threshold ordering",
+            FormulationConfig.medium_precision(
+                num_tables, cost_model="cout", threshold_ordering=False
+            ),
+            SolverOptions(time_limit=budget),
+            True,
+        ),
+    ]
+    for label, config, options, warm in variants:
+        ratios, factors, nodes, times = [], [], [], []
+        for seed in range(queries):
+            query = QueryGenerator(seed=seed).generate(topology, num_tables)
+            dp = SelingerOptimizer(query, use_cout=True).optimize()
+            result = MILPJoinOptimizer(config, options).optimize(
+                query, warm_start=warm
+            )
+            if result.true_cost is None:
+                ratios.append(math.inf)
+            else:
+                ratios.append(result.true_cost / max(dp.cost, 1e-12))
+            factors.append(result.optimality_factor)
+            nodes.append(result.milp_solution.node_count)
+            times.append(result.solve_time)
+        rows.append(
+            AblationRow(label, _mean(ratios), _mean(factors),
+                        _mean(nodes), _mean(times))
+        )
+    return rows
+
+
+def run_cost_model_ablation(
+    num_tables: int = DEFAULT_TABLES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    topology: str = "star",
+) -> list[AblationRow]:
+    """A3: all Section 4.3 cost encodings on the same queries."""
+    options = SolverOptions(time_limit=budget)
+    algorithm_of = {
+        "cout": JoinAlgorithm.HASH,
+        "hash": JoinAlgorithm.HASH,
+        "sort_merge": JoinAlgorithm.SORT_MERGE,
+        "bnl": JoinAlgorithm.BLOCK_NESTED_LOOP,
+    }
+    rows = []
+    for cost_model in ("cout", "hash", "sort_merge", "bnl"):
+        config = FormulationConfig.medium_precision(
+            num_tables, cost_model=cost_model
+        )
+        rows.extend(
+            _run_configs(
+                [(cost_model, config, options)],
+                topology,
+                num_tables,
+                queries,
+                use_cout=cost_model == "cout",
+                algorithm=algorithm_of[cost_model],
+            )
+        )
+    return rows
+
+
+def run_heuristics_comparison(
+    num_tables: int = DEFAULT_TABLES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    topology: str = "star",
+) -> list[AblationRow]:
+    """A4: the MILP optimizer versus the heuristic family (Section 2).
+
+    Iterative improvement, simulated annealing, greedy and IKKBZ all
+    produce plans — sometimes excellent ones — but only the MILP approach
+    (and finished exhaustive DP) can report a guaranteed optimality
+    factor, the paper's criterion for Figure 2.
+    """
+    from repro.dp.greedy import GreedyOptimizer
+    from repro.dp.ikkbz import IKKBZOptimizer
+    from repro.dp.randomized import IterativeImprovement, SimulatedAnnealing
+
+    def run_milp(query, dp_cost):
+        config = FormulationConfig.medium_precision(
+            num_tables, cost_model="cout"
+        )
+        result = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=budget)
+        ).optimize(query)
+        cost = result.true_cost if result.true_cost is not None else math.inf
+        return cost, result.optimality_factor, result.milp_solution.node_count
+
+    def run_ii(query, dp_cost):
+        result = IterativeImprovement(
+            query, use_cout=True, seed=0
+        ).optimize(time_limit=budget)
+        return result.cost, result.optimality_factor, result.iterations
+
+    def run_sa(query, dp_cost):
+        result = SimulatedAnnealing(
+            query, use_cout=True, seed=0
+        ).optimize(time_limit=budget)
+        return result.cost, result.optimality_factor, result.iterations
+
+    def run_greedy(query, dp_cost):
+        result = GreedyOptimizer(query, use_cout=True).optimize()
+        return result.cost, math.inf, 0
+
+    def run_ikkbz(query, dp_cost):
+        try:
+            result = IKKBZOptimizer(query).optimize()
+        except Exception:
+            return math.inf, math.inf, 0
+        return result.cost, math.inf, 0
+
+    algorithms = [
+        ("MILP (medium)", run_milp),
+        ("iterative improvement", run_ii),
+        ("simulated annealing", run_sa),
+        ("greedy", run_greedy),
+        ("IKKBZ (trees only)", run_ikkbz),
+    ]
+    rows = []
+    for label, runner in algorithms:
+        ratios, factors, nodes, times = [], [], [], []
+        for seed in range(queries):
+            query = QueryGenerator(seed=seed).generate(topology, num_tables)
+            dp = SelingerOptimizer(query, use_cout=True).optimize()
+            import time as _time
+
+            started = _time.monotonic()
+            cost, factor, effort = runner(query, dp.cost)
+            times.append(_time.monotonic() - started)
+            ratios.append(cost / max(dp.cost, 1e-12))
+            factors.append(factor)
+            nodes.append(effort)
+        rows.append(
+            AblationRow(label, _mean(ratios), _mean(factors),
+                        _mean(nodes), _mean(times))
+        )
+    return rows
+
+
+def run_portfolio_comparison(
+    num_tables: int = DEFAULT_TABLES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    topology: str = "star",
+) -> list[AblationRow]:
+    """A5: single branch-and-bound versus the concurrent portfolio.
+
+    The paper's Section 1 argues MILP buys parallel optimization for free;
+    this ablation quantifies it on our solver.  Node counts for the
+    portfolio sum over its members.
+    """
+    config = FormulationConfig.medium_precision(num_tables, cost_model="cout")
+    modes = [
+        ("single search", "single"),
+        ("portfolio (parallel)", "parallel"),
+        ("portfolio (sequential)", "sequential"),
+    ]
+    rows = []
+    for label, mode in modes:
+        ratios, factors, nodes, times = [], [], [], []
+        for seed in range(queries):
+            query = QueryGenerator(seed=seed).generate(topology, num_tables)
+            dp = SelingerOptimizer(query, use_cout=True).optimize()
+            optimizer = MILPJoinOptimizer(
+                config, SolverOptions(time_limit=budget)
+            )
+            if mode == "single":
+                result = optimizer.optimize(query)
+            else:
+                result = optimizer.optimize_with_portfolio(
+                    query, parallel=mode == "parallel"
+                )
+            if result.true_cost is None:
+                ratios.append(math.inf)
+            else:
+                ratios.append(result.true_cost / max(dp.cost, 1e-12))
+            factors.append(result.optimality_factor)
+            nodes.append(result.milp_solution.node_count)
+            times.append(result.solve_time)
+        rows.append(
+            AblationRow(label, _mean(ratios), _mean(factors),
+                        _mean(nodes), _mean(times))
+        )
+    return rows
+
+
+def run_bushy_comparison(
+    num_tables: int = DEFAULT_TABLES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    topology: str = "chain",
+) -> list[AblationRow]:
+    """A6: left-deep MILP vs bushy MILP vs bushy DP (C_out, chain queries).
+
+    Quantifies the cost of the paper's left-deep restriction.  The
+    ``true_cost_ratio`` column is relative to the *bushy DP* optimum here
+    (which excludes cross products, so MILP rows can drop below 1).
+    """
+    from repro.dp.bushy import BushyOptimizer
+    from repro.core.bushy import BushyMILPOptimizer
+
+    config = FormulationConfig.medium_precision(num_tables, cost_model="cout")
+
+    def run_left_deep(query):
+        result = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=budget)
+        ).optimize(query)
+        cost = math.inf if result.true_cost is None else result.true_cost
+        return cost, result.optimality_factor, result.milp_solution.node_count
+
+    def run_bushy_milp(query):
+        result = BushyMILPOptimizer(
+            config, SolverOptions(time_limit=budget)
+        ).optimize(query)
+        cost = math.inf if result.true_cost is None else result.true_cost
+        return cost, result.optimality_factor, result.milp_solution.node_count
+
+    def run_bushy_dp(query):
+        result = BushyOptimizer(query, use_cout=True).optimize()
+        return result.cost, 1.0, 0
+
+    modes = [
+        ("left-deep MILP", run_left_deep),
+        ("bushy MILP", run_bushy_milp),
+        ("bushy DP (no cross products)", run_bushy_dp),
+    ]
+    rows = []
+    for label, runner in modes:
+        ratios, factors, nodes, times = [], [], [], []
+        for seed in range(queries):
+            query = QueryGenerator(seed=seed).generate(topology, num_tables)
+            reference = BushyOptimizer(query, use_cout=True).optimize()
+            import time as _time
+
+            started = _time.monotonic()
+            cost, factor, effort = runner(query)
+            times.append(_time.monotonic() - started)
+            ratios.append(cost / max(reference.cost, 1e-12))
+            factors.append(factor)
+            nodes.append(effort)
+        rows.append(
+            AblationRow(label, _mean(ratios), _mean(factors),
+                        _mean(nodes), _mean(times))
+        )
+    return rows
+
+
+def format_rows(rows: list[AblationRow], title: str) -> str:
+    """Render ablation rows as a text table."""
+    headers = [
+        "configuration",
+        "true-cost/DP-opt",
+        "guaranteed factor",
+        "nodes",
+        "time(s)",
+    ]
+    return render_table(
+        headers,
+        [
+            [row.configuration, row.mean_true_cost_ratio, row.mean_factor,
+             row.mean_nodes, row.mean_time]
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--study",
+        nargs="+",
+        default=["precision", "solver", "cost", "heuristics"],
+        choices=(
+            "precision", "solver", "cost", "heuristics", "portfolio",
+            "bushy",
+        ),
+    )
+    parser.add_argument("--tables", type=int, default=DEFAULT_TABLES)
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET)
+    args = parser.parse_args(argv)
+    if "precision" in args.study:
+        rows = run_precision_sweep(args.tables, args.queries, args.budget)
+        print(format_rows(rows, "A1: precision sweep (C_out objective)"))
+        print()
+    if "solver" in args.study:
+        rows = run_solver_ablation(args.tables, args.queries, args.budget)
+        print(format_rows(rows, "A2: solver feature ablation"))
+        print()
+    if "cost" in args.study:
+        rows = run_cost_model_ablation(args.tables, args.queries, args.budget)
+        print(format_rows(rows, "A3: cost model comparison"))
+        print()
+    if "heuristics" in args.study:
+        rows = run_heuristics_comparison(
+            args.tables, args.queries, args.budget
+        )
+        print(format_rows(rows, "A4: MILP vs heuristic family"))
+        print()
+    if "portfolio" in args.study:
+        rows = run_portfolio_comparison(
+            args.tables, args.queries, args.budget
+        )
+        print(format_rows(rows, "A5: single search vs portfolio"))
+        print()
+    if "bushy" in args.study:
+        rows = run_bushy_comparison(args.tables, args.queries, args.budget)
+        print(format_rows(rows, "A6: left-deep vs bushy plan spaces"))
+
+
+if __name__ == "__main__":
+    main()

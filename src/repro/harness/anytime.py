@@ -1,0 +1,107 @@
+"""Anytime trajectories: the paper's Figure 2 measurement protocol.
+
+Algorithms are compared "in regular intervals according to the following
+criterion: the factor by which the cost of the best plan found so far is
+higher than the optimum at most" (Section 7.1).  For the MILP optimizer the
+factor is incumbent objective over proven lower bound; for dynamic
+programming it is infinite until the DP finishes and exactly 1.0 after.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.milp.solution import IncumbentEvent
+
+
+@dataclass(frozen=True, slots=True)
+class AnytimeSample:
+    """Guaranteed optimality factor at one point in time."""
+
+    time: float
+    factor: float
+
+
+def factor_from_state(objective: float, bound: float) -> float:
+    """Guaranteed factor ``objective / bound`` (``inf`` without both)."""
+    if math.isinf(objective) or objective <= 0:
+        return math.inf if objective > 0 else 1.0
+    if bound <= 0 or math.isinf(bound):
+        return math.inf
+    return max(1.0, objective / bound)
+
+
+def milp_trajectory(
+    events: list[IncumbentEvent],
+    horizon: float,
+    interval: float,
+) -> list[AnytimeSample]:
+    """Sample the solver's guaranteed factor at regular intervals.
+
+    Replays the anytime event stream: at each sampling instant the best
+    incumbent objective and the best proven bound known so far determine
+    the factor.
+    """
+    samples: list[AnytimeSample] = []
+    objective = math.inf
+    bound = -math.inf
+    pointer = 0
+    steps = max(1, round(horizon / interval))
+    for step in range(1, steps + 1):
+        instant = step * interval
+        while pointer < len(events) and events[pointer].time <= instant:
+            event = events[pointer]
+            objective = min(objective, event.objective)
+            bound = max(bound, event.bound)
+            pointer += 1
+        samples.append(AnytimeSample(instant, factor_from_state(objective, bound)))
+    return samples
+
+
+def dp_trajectory(
+    finished_at: float | None,
+    horizon: float,
+    interval: float,
+) -> list[AnytimeSample]:
+    """DP's trajectory: nothing until it finishes, optimal afterwards.
+
+    ``finished_at=None`` means the DP did not finish within the horizon.
+    """
+    samples: list[AnytimeSample] = []
+    steps = max(1, round(horizon / interval))
+    for step in range(1, steps + 1):
+        instant = step * interval
+        done = finished_at is not None and instant >= finished_at
+        samples.append(AnytimeSample(instant, 1.0 if done else math.inf))
+    return samples
+
+
+def median(values: list[float]) -> float:
+    """Median that treats ``inf`` correctly (no averaging surprises)."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    low, high = ordered[mid - 1], ordered[mid]
+    if math.isinf(low) or math.isinf(high):
+        return high if math.isinf(high) else low
+    return (low + high) / 2.0
+
+
+def median_trajectory(
+    trajectories: list[list[AnytimeSample]],
+) -> list[AnytimeSample]:
+    """Pointwise median of equally-sampled trajectories (Figure 2 plots
+    medians over 20 queries)."""
+    if not trajectories:
+        return []
+    length = min(len(trajectory) for trajectory in trajectories)
+    result: list[AnytimeSample] = []
+    for k in range(length):
+        instant = trajectories[0][k].time
+        factors = [trajectory[k].factor for trajectory in trajectories]
+        result.append(AnytimeSample(instant, median(factors)))
+    return result

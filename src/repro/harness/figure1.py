@@ -1,0 +1,138 @@
+"""Experiment E1 — paper Figure 1: MILP model size.
+
+Reports the median number of variables and constraints of the MILP
+representing one query, as a function of the number of query tables, for
+the three precision configurations.  The paper shows star join graphs and
+notes chain/cycle differ only marginally; this harness can report all
+three.
+
+Run as a script::
+
+    python -m repro.harness.figure1 [--sizes 10 20 30 ...] [--seeds N]
+                                    [--topology star] [--csv out.csv]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.workloads.generator import QueryGenerator
+from repro.core.analysis import measure_model_size
+from repro.core.config import FormulationConfig
+from repro.harness.anytime import median
+from repro.harness.reporting import render_table, write_csv
+
+#: Paper's query sizes.
+PAPER_SIZES = (10, 20, 30, 40, 50, 60)
+
+#: Scaled default (the measurement is cheap, so defaults match the paper).
+DEFAULT_SIZES = PAPER_SIZES
+
+DEFAULT_SEEDS = 20
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """Median model size for one (size, precision) data point."""
+
+    topology: str
+    num_tables: int
+    precision: str
+    thresholds: int
+    variables: float
+    constraints: float
+
+
+def run_figure1(
+    sizes=DEFAULT_SIZES,
+    seeds: int = DEFAULT_SEEDS,
+    topology: str = "star",
+) -> list[Figure1Row]:
+    """Measure median model sizes; returns one row per (size, precision)."""
+    rows: list[Figure1Row] = []
+    for num_tables in sizes:
+        for config in FormulationConfig.presets(num_tables):
+            variables: list[float] = []
+            constraints: list[float] = []
+            thresholds = 0
+            for seed in range(seeds):
+                query = QueryGenerator(seed=seed).generate(
+                    topology, num_tables
+                )
+                size = measure_model_size(query, config)
+                variables.append(float(size.variables))
+                constraints.append(float(size.constraints))
+                thresholds = size.num_thresholds
+            rows.append(
+                Figure1Row(
+                    topology=topology,
+                    num_tables=num_tables,
+                    precision=config.label,
+                    thresholds=thresholds,
+                    variables=median(variables),
+                    constraints=median(constraints),
+                )
+            )
+    return rows
+
+
+def format_figure1(rows: list[Figure1Row]) -> str:
+    """Render the Figure 1 series as a text table."""
+    headers = [
+        "topology",
+        "tables",
+        "precision",
+        "thresholds/result",
+        "median variables",
+        "median constraints",
+    ]
+    table_rows = [
+        [
+            row.topology,
+            row.num_tables,
+            row.precision,
+            row.thresholds,
+            row.variables,
+            row.constraints,
+        ]
+        for row in rows
+    ]
+    return render_table(
+        headers,
+        table_rows,
+        title="Figure 1: median MILP size per query (variables / constraints)",
+    )
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS)
+    parser.add_argument(
+        "--topology",
+        default="star",
+        choices=("chain", "star", "cycle", "clique", "grid"),
+    )
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+    rows = run_figure1(args.sizes, args.seeds, args.topology)
+    print(format_figure1(rows))
+    if args.csv:
+        write_csv(
+            args.csv,
+            ["topology", "tables", "precision", "thresholds",
+             "variables", "constraints"],
+            [
+                [row.topology, row.num_tables, row.precision,
+                 row.thresholds, row.variables, row.constraints]
+                for row in rows
+            ],
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Experiment E2-E4 — paper Figure 2: anytime comparison DP vs MILP.
+
+For each join graph shape (chain / cycle / star) and query size, run the
+classical DP and the MILP optimizer in its three precision configurations
+under a common time budget, and report the median guaranteed optimality
+factor over time — exactly the paper's Figure 2 panels, as text series.
+
+The paper's scale (10-60 tables, 60 s, Gurobi) is reachable via
+``--paper``; the default is scaled down because the solver substrate is
+pure Python (see DESIGN.md) — the *shape* of the comparison (DP cliff
+versus MILP anytime degradation, star easier than chain/cycle for MILP) is
+preserved at the scaled sizes.
+
+Run as a script::
+
+    python -m repro.harness.figure2 [--graph chain] [--sizes 4 6 8]
+                                    [--queries 3] [--budget 6] [--csv out]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from dataclasses import dataclass, field
+
+from repro.workloads.generator import QueryGenerator
+from repro.core.config import FormulationConfig
+from repro.harness.anytime import AnytimeSample, median_trajectory
+from repro.harness.reporting import render_table, write_csv
+from repro.harness.runner import ComparisonConfig, compare_on_query
+
+#: Scaled defaults: sizes the pure-Python substrate handles in seconds.
+DEFAULT_SIZES = (4, 6, 8)
+DEFAULT_QUERIES = 3
+DEFAULT_BUDGET = 6.0
+
+#: The paper's setting.
+PAPER_SIZES = (10, 20, 30, 40, 50, 60)
+PAPER_QUERIES = 20
+PAPER_BUDGET = 60.0
+
+
+@dataclass
+class Figure2Panel:
+    """One panel of Figure 2: a (topology, size) pair.
+
+    ``series`` maps algorithm label to its median trajectory.
+    """
+
+    topology: str
+    num_tables: int
+    series: dict[str, list[AnytimeSample]] = field(default_factory=dict)
+
+
+def run_panel(
+    topology: str,
+    num_tables: int,
+    queries: int,
+    budget: float,
+    cost_model: str = "hash",
+    base_seed: int = 0,
+) -> Figure2Panel:
+    """Run one Figure 2 panel: ``queries`` random queries, all algorithms."""
+    comparison = ComparisonConfig(
+        time_budget=budget,
+        sample_interval=budget / 10.0,
+        cost_model=cost_model,
+        milp_configs=FormulationConfig.presets(num_tables),
+    )
+    trajectories: dict[str, list[list[AnytimeSample]]] = {}
+    for index in range(queries):
+        query = QueryGenerator(seed=base_seed + index).generate(
+            topology, num_tables
+        )
+        for run in compare_on_query(query, comparison):
+            trajectories.setdefault(run.algorithm, []).append(run.trajectory)
+    panel = Figure2Panel(topology=topology, num_tables=num_tables)
+    for algorithm, runs in trajectories.items():
+        panel.series[algorithm] = median_trajectory(runs)
+    return panel
+
+
+def run_figure2(
+    topologies=("chain", "cycle", "star"),
+    sizes=DEFAULT_SIZES,
+    queries: int = DEFAULT_QUERIES,
+    budget: float = DEFAULT_BUDGET,
+    cost_model: str = "hash",
+) -> list[Figure2Panel]:
+    """Run the full grid of Figure 2 panels."""
+    return [
+        run_panel(topology, num_tables, queries, budget, cost_model)
+        for topology in topologies
+        for num_tables in sizes
+    ]
+
+
+def format_panel(panel: Figure2Panel) -> str:
+    """Render one panel: rows are sample times, columns algorithms."""
+    algorithms = sorted(panel.series)
+    headers = ["time(s)"] + algorithms
+    length = min(
+        (len(series) for series in panel.series.values()), default=0
+    )
+    rows = []
+    for k in range(length):
+        instant = panel.series[algorithms[0]][k].time
+        row = [round(instant, 2)]
+        for algorithm in algorithms:
+            factor = panel.series[algorithm][k].factor
+            row.append(math.inf if math.isinf(factor) else factor)
+        rows.append(row)
+    title = (
+        f"Figure 2 panel — {panel.topology}, {panel.num_tables} tables "
+        "(median guaranteed cost/LB factor; inf = no plan yet)"
+    )
+    return render_table(headers, rows, title=title)
+
+
+def format_figure2(panels: list[Figure2Panel]) -> str:
+    """Render all panels."""
+    return "\n\n".join(format_panel(panel) for panel in panels)
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--graph",
+        nargs="+",
+        default=["chain", "cycle", "star"],
+        choices=("chain", "cycle", "star", "clique", "grid"),
+    )
+    parser.add_argument("--sizes", type=int, nargs="+", default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--budget", type=float, default=None)
+    parser.add_argument("--cost-model", default="hash")
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's scale (10-60 tables, 20 queries, 60 s)",
+    )
+    parser.add_argument("--csv", default=None)
+    args = parser.parse_args(argv)
+    sizes = args.sizes or (PAPER_SIZES if args.paper else DEFAULT_SIZES)
+    queries = args.queries or (
+        PAPER_QUERIES if args.paper else DEFAULT_QUERIES
+    )
+    budget = args.budget or (PAPER_BUDGET if args.paper else DEFAULT_BUDGET)
+    panels = run_figure2(
+        args.graph, sizes, queries, budget, args.cost_model
+    )
+    print(format_figure2(panels))
+    if args.csv:
+        rows = []
+        for panel in panels:
+            for algorithm, series in sorted(panel.series.items()):
+                for sample in series:
+                    rows.append(
+                        [panel.topology, panel.num_tables, algorithm,
+                         sample.time, sample.factor]
+                    )
+        write_csv(
+            args.csv,
+            ["topology", "tables", "algorithm", "time", "factor"],
+            rows,
+        )
+
+
+if __name__ == "__main__":
+    main()

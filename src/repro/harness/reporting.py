@@ -1,0 +1,60 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import math
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def format_value(value) -> str:
+    """Human-friendly cell rendering (handles inf and large floats)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "-"
+        if value and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    cells = [[format_value(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: "str | Path",
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> None:
+    """Write rows to a CSV file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)

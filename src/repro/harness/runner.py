@@ -1,0 +1,122 @@
+"""Experiment runner: one query through every compared optimizer.
+
+Implements the paper's Section 7.1 protocol — same time budget for every
+algorithm, trajectories of the guaranteed optimality factor sampled at
+regular intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.query import Query
+from repro.dp.selinger import MAX_DP_TABLES, SelingerOptimizer
+from repro.milp.branch_and_bound import SolverOptions
+from repro.core.config import FormulationConfig
+from repro.core.optimizer import MILPJoinOptimizer
+from repro.harness.anytime import (
+    AnytimeSample,
+    dp_trajectory,
+    milp_trajectory,
+)
+
+
+@dataclass
+class RunResult:
+    """One algorithm's outcome on one query."""
+
+    algorithm: str
+    query_name: str
+    trajectory: list[AnytimeSample]
+    final_factor: float
+    solve_time: float
+    plan_description: str = ""
+    true_cost: float | None = None
+
+
+@dataclass
+class ComparisonConfig:
+    """Protocol parameters for one comparison run.
+
+    Attributes
+    ----------
+    time_budget:
+        Optimization time per algorithm per query (paper: 60 s; scaled
+        defaults are smaller because our solver substrate is pure Python).
+    sample_interval:
+        Trajectory sampling interval (paper: 6 s out of 60).
+    cost_model:
+        MILP objective / DP cost metric; the paper assumes hash joins.
+    milp_configs:
+        Formulation configurations to compare (paper: high/medium/low).
+    include_dp:
+        Include the Selinger DP comparator (skipped automatically beyond
+        :data:`~repro.dp.selinger.MAX_DP_TABLES` tables).
+    warm_start:
+        Seed the MILP solver with the greedy plan.
+    """
+
+    time_budget: float = 6.0
+    sample_interval: float = 0.6
+    cost_model: str = "hash"
+    milp_configs: list[FormulationConfig] = field(default_factory=list)
+    include_dp: bool = True
+    warm_start: bool = True
+
+
+def run_dp(query: Query, config: ComparisonConfig) -> RunResult:
+    """Run the Selinger DP under the time budget."""
+    optimizer = SelingerOptimizer(
+        query, use_cout=config.cost_model == "cout"
+    )
+    result = optimizer.optimize(time_limit=config.time_budget)
+    finished = result.elapsed if result.optimal else None
+    trajectory = dp_trajectory(
+        finished, config.time_budget, config.sample_interval
+    )
+    return RunResult(
+        algorithm="DP",
+        query_name=query.name,
+        trajectory=trajectory,
+        final_factor=result.optimality_factor,
+        solve_time=result.elapsed,
+        plan_description=result.plan.describe() if result.plan else "",
+        true_cost=result.cost if result.optimal else None,
+    )
+
+
+def run_milp(
+    query: Query,
+    formulation_config: FormulationConfig,
+    config: ComparisonConfig,
+) -> RunResult:
+    """Run the MILP optimizer under the time budget."""
+    label = f"ILP ({formulation_config.label})"
+    options = SolverOptions(time_limit=config.time_budget)
+    optimizer = MILPJoinOptimizer(formulation_config, options)
+    result = optimizer.optimize(query, warm_start=config.warm_start)
+    trajectory = milp_trajectory(
+        result.events, config.time_budget, config.sample_interval
+    )
+    return RunResult(
+        algorithm=label,
+        query_name=query.name,
+        trajectory=trajectory,
+        final_factor=result.optimality_factor,
+        solve_time=result.solve_time,
+        plan_description=result.plan.describe() if result.plan else "",
+        true_cost=result.true_cost,
+    )
+
+
+def compare_on_query(
+    query: Query, config: ComparisonConfig
+) -> list[RunResult]:
+    """Run every configured algorithm on one query."""
+    results: list[RunResult] = []
+    if config.include_dp and query.num_tables <= MAX_DP_TABLES:
+        results.append(run_dp(query, config))
+    for formulation_config in config.milp_configs:
+        adjusted = formulation_config.with_cost_model(config.cost_model)
+        results.append(run_milp(query, adjusted, config))
+    return results

@@ -1,0 +1,85 @@
+"""MILP solver substrate.
+
+The paper solves its formulation with Gurobi; this package is the
+self-contained replacement: a model-building API (:class:`Model`,
+:class:`LinExpr`), LP relaxation backends (scipy HiGHS and a dense simplex),
+presolve, and an anytime branch-and-bound search
+(:class:`BranchAndBoundSolver`).
+"""
+
+from repro.milp.branch_and_bound import (
+    BranchAndBoundSolver,
+    SolverOptions,
+    solve_milp,
+)
+from repro.milp.constraints import Constraint, Sense
+from repro.milp.cuts import Cut, CutGenerator, append_cuts, check_cut_validity
+from repro.milp.expr import LinExpr, lin_sum
+from repro.milp.io import read_lp, write_lp
+from repro.milp.lp_backend import (
+    LPBackend,
+    LPResult,
+    LPStatus,
+    ScipyHighsBackend,
+    get_backend,
+)
+from repro.milp.model import FEASIBILITY_TOL, Model
+from repro.milp.mps import read_mps, write_mps
+from repro.milp.portfolio import (
+    PortfolioMember,
+    PortfolioResult,
+    PortfolioSolver,
+    default_portfolio,
+    solve_portfolio,
+)
+from repro.milp.presolve import PresolveResult, presolve
+from repro.milp.simplex import DenseSimplexBackend
+from repro.milp.solution import (
+    IncumbentEvent,
+    MILPSolution,
+    SolveStatus,
+    relative_gap,
+)
+from repro.milp.standard_form import StandardForm, to_standard_form
+from repro.milp.variables import Variable, VarType
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "Constraint",
+    "Cut",
+    "CutGenerator",
+    "append_cuts",
+    "check_cut_validity",
+    "default_portfolio",
+    "DenseSimplexBackend",
+    "FEASIBILITY_TOL",
+    "IncumbentEvent",
+    "LPBackend",
+    "LPResult",
+    "LPStatus",
+    "LinExpr",
+    "MILPSolution",
+    "Model",
+    "PortfolioMember",
+    "PortfolioResult",
+    "PortfolioSolver",
+    "PresolveResult",
+    "ScipyHighsBackend",
+    "Sense",
+    "SolveStatus",
+    "SolverOptions",
+    "StandardForm",
+    "Variable",
+    "VarType",
+    "get_backend",
+    "lin_sum",
+    "presolve",
+    "read_lp",
+    "read_mps",
+    "relative_gap",
+    "solve_milp",
+    "solve_portfolio",
+    "to_standard_form",
+    "write_lp",
+    "write_mps",
+]

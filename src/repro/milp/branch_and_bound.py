@@ -1,0 +1,674 @@
+"""Branch-and-bound MILP solver with anytime behaviour.
+
+This module replaces the commercial solver (Gurobi) used by the paper.  It
+provides the solver features the paper's argument rests on:
+
+* **anytime incumbents** — a stream of improving feasible solutions,
+* **proven lower bounds** — the best-bound of the open search tree, which
+  yields the guaranteed optimality factor plotted in the paper's Figure 2,
+* **time limits / gap targets** — optimization can stop at a deadline or
+  once the incumbent is provably within a factor of the optimum,
+* **warm starts** — an externally constructed feasible solution seeds the
+  incumbent (commercial solvers do the same with construction heuristics),
+* **primal heuristics** — LP rounding with fix-and-solve, plus iterative
+  diving, to find incumbents early.
+
+LP relaxations are delegated to a pluggable backend (HiGHS via scipy by
+default, or the self-contained dense simplex).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.milp.cuts import CutGenerator, append_cuts
+from repro.milp.lp_backend import LPBackend, LPStatus, get_backend
+from repro.milp.model import Model
+from repro.milp.presolve import presolve
+from repro.milp.solution import (
+    IncumbentEvent,
+    MILPSolution,
+    SolveStatus,
+    relative_gap,
+)
+from repro.milp.standard_form import StandardForm, to_standard_form
+
+
+@dataclass
+class SolverOptions:
+    """Tuning knobs for :class:`BranchAndBoundSolver`.
+
+    Attributes
+    ----------
+    time_limit:
+        Wall-clock budget in seconds (the paper uses 60 s).
+    node_limit:
+        Optional cap on processed nodes.
+    gap_tolerance:
+        Stop when the relative gap falls to or below this value.
+    integrality_tol:
+        Distance from an integer under which a value counts as integral.
+    backend:
+        LP backend name (``"scipy"`` or ``"simplex"``).
+    use_presolve:
+        Run bound-propagation presolve before the search.
+    heuristics:
+        Enable rounding/diving primal heuristics.
+    dive_frequency:
+        Run a diving heuristic every this many nodes (0 disables periodic
+        dives; the root dive still runs when ``heuristics`` is on).
+    max_dive_depth:
+        Cap on LP resolves inside one dive.
+    branching:
+        ``"most_fractional"`` or ``"pseudocost"``.
+    node_selection:
+        ``"best_bound"`` (default) or ``"dfs"``.
+    cuts:
+        Separate cover/clique cutting planes at the root (cut-and-branch).
+    max_cut_rounds:
+        Number of separate/re-solve rounds at the root when ``cuts`` is on.
+    max_cuts_per_round:
+        Cap on cuts added per separation round.
+    stop_check:
+        Optional callable polled during the search; returning ``True``
+        stops the solve as if the time limit had expired.  Used by the
+        portfolio solver for cooperative cancellation.
+    """
+
+    time_limit: float = 60.0
+    node_limit: int | None = None
+    gap_tolerance: float = 1e-6
+    integrality_tol: float = 1e-6
+    backend: str = "scipy"
+    use_presolve: bool = True
+    heuristics: bool = True
+    dive_frequency: int = 40
+    max_dive_depth: int = 400
+    branching: str = "most_fractional"
+    node_selection: str = "best_bound"
+    cuts: bool = False
+    max_cut_rounds: int = 8
+    max_cuts_per_round: int = 50
+    stop_check: Callable[[], bool] | None = None
+
+
+@dataclass(slots=True)
+class _Node:
+    """One branch-and-bound node, storing only its bound delta."""
+
+    parent: "_Node | None"
+    var_index: int  # -1 for the root
+    lb: float
+    ub: float
+    depth: int
+    lp_bound: float
+
+
+#: Anytime callback: invoked on every incumbent/bound event.
+AnytimeCallback = Callable[[IncumbentEvent], None]
+
+
+class BranchAndBoundSolver:
+    """Best-bound branch-and-bound over LP relaxations."""
+
+    def __init__(self, model: Model, options: SolverOptions | None = None):
+        self.model = model
+        self.options = options or SolverOptions()
+        self._backend: LPBackend = get_backend(self.options.backend)
+        self._form: StandardForm = to_standard_form(model)
+        self._integral = self._form.integral_indices
+        self._priorities = np.array(
+            [variable.priority for variable in model.variables]
+        )
+        self._tick = itertools.count()
+        # Pseudocost state: per-variable average objective degradation.
+        num_vars = model.num_variables
+        self._pseudo_up = np.zeros(num_vars)
+        self._pseudo_down = np.zeros(num_vars)
+        self._pseudo_up_count = np.zeros(num_vars, dtype=np.int64)
+        self._pseudo_down_count = np.zeros(num_vars, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        warm_start: "dict[str, float] | Sequence[float] | None" = None,
+        callback: AnytimeCallback | None = None,
+    ) -> MILPSolution:
+        """Minimize the model objective; return an anytime-rich solution."""
+        start = time.monotonic()
+        events: list[IncumbentEvent] = []
+        incumbent_x: np.ndarray | None = None
+        incumbent_obj = math.inf
+        node_count = 0
+
+        def elapsed() -> float:
+            return time.monotonic() - start
+
+        def out_of_budget() -> bool:
+            if elapsed() >= self.options.time_limit:
+                return True
+            stop_check = self.options.stop_check
+            if stop_check is not None and stop_check():
+                return True
+            limit = self.options.node_limit
+            return limit is not None and node_count >= limit
+
+        def record(kind: str, objective: float, bound: float) -> None:
+            event = IncumbentEvent(elapsed(), objective, bound, kind)
+            events.append(event)
+            if callback is not None:
+                callback(event)
+
+        # ----- presolve ------------------------------------------------
+        if self.options.use_presolve:
+            pre = presolve(self.model)
+            if not pre.feasible:
+                return MILPSolution(
+                    status=SolveStatus.INFEASIBLE,
+                    objective=math.inf,
+                    best_bound=math.inf,
+                    node_count=0,
+                    solve_time=elapsed(),
+                    events=events,
+                )
+            root_lb, root_ub = pre.lb, pre.ub
+        else:
+            root_lb, root_ub = self.model.bounds_arrays()
+
+        # ----- warm start ----------------------------------------------
+        if warm_start is not None:
+            candidate = self._coerce_warm_start(warm_start, root_lb, root_ub)
+            if candidate is not None:
+                incumbent_x = candidate
+                incumbent_obj = self.model.objective_value(candidate)
+                record("incumbent", incumbent_obj, -math.inf)
+
+        # ----- root relaxation ------------------------------------------
+        root_result = self._backend.solve(self._form, root_lb, root_ub)
+        if root_result.status is LPStatus.INFEASIBLE:
+            return MILPSolution(
+                status=SolveStatus.INFEASIBLE,
+                objective=math.inf,
+                best_bound=math.inf,
+                node_count=1,
+                solve_time=elapsed(),
+                events=events,
+            )
+        if root_result.status is LPStatus.UNBOUNDED:
+            return MILPSolution(
+                status=SolveStatus.UNBOUNDED,
+                objective=-math.inf,
+                best_bound=-math.inf,
+                node_count=1,
+                solve_time=elapsed(),
+                events=events,
+            )
+        if root_result.status is LPStatus.ERROR:
+            raise SolverError(f"root LP failed: {root_result.message}")
+
+        global_bound = root_result.objective
+        record("bound", incumbent_obj, global_bound)
+
+        # Incumbent from the root when it is already integral.
+        fractional = self._fractional_indices(root_result.x)
+        if not fractional.size:
+            if incumbent_obj > root_result.objective:
+                incumbent_x = root_result.x
+                incumbent_obj = root_result.objective
+                record("incumbent", incumbent_obj, global_bound)
+            return self._finish(
+                SolveStatus.OPTIMAL,
+                incumbent_x,
+                incumbent_obj,
+                incumbent_obj,
+                1,
+                elapsed(),
+                events,
+            )
+
+        # ----- root cutting planes ----------------------------------------
+        if self.options.cuts and not out_of_budget():
+            root_result, global_bound, cut_count = self._cut_loop(
+                root_result, root_lb, root_ub, global_bound,
+                incumbent_obj, record, out_of_budget,
+            )
+            fractional = self._fractional_indices(root_result.x)
+            if not fractional.size:
+                if incumbent_obj > root_result.objective:
+                    incumbent_x = root_result.x
+                    incumbent_obj = root_result.objective
+                    record("incumbent", incumbent_obj, global_bound)
+                return self._finish(
+                    SolveStatus.OPTIMAL,
+                    incumbent_x,
+                    incumbent_obj,
+                    incumbent_obj,
+                    1,
+                    elapsed(),
+                    events,
+                )
+
+        # ----- root heuristics -------------------------------------------
+        if self.options.heuristics and not out_of_budget():
+            for heuristic in (
+                self._fix_and_solve,
+                self._fix_and_solve_up,
+                self._dive,
+            ):
+                candidate = heuristic(root_result.x, root_lb, root_ub)
+                if candidate is None:
+                    continue
+                objective = self.model.objective_value(candidate)
+                if objective < incumbent_obj - 1e-9:
+                    incumbent_x = candidate
+                    incumbent_obj = objective
+                    record("incumbent", incumbent_obj, global_bound)
+
+        # ----- tree search -----------------------------------------------
+        root = _Node(None, -1, 0.0, 0.0, 0, root_result.objective)
+        open_nodes: list[tuple[float, int, _Node, np.ndarray]] = []
+        self._push(open_nodes, root, root_result.x)
+        reached_limit = False
+        # Nodes dropped because their LP solve errored: the search remains
+        # sound only if the final bound and status account for them.
+        lp_error_count = 0
+        lp_error_bound = math.inf
+
+        while open_nodes:
+            if out_of_budget():
+                reached_limit = True
+                break
+            if relative_gap(incumbent_obj, global_bound) <= self.options.gap_tolerance:
+                global_bound = min(global_bound, incumbent_obj)
+                break
+
+            node, parent_x = self._pop(open_nodes)
+            new_bound = self._best_open_bound(open_nodes, node.lp_bound)
+            if new_bound > global_bound + 1e-12:
+                global_bound = min(new_bound, incumbent_obj)
+                record("bound", incumbent_obj, global_bound)
+            if node.lp_bound >= incumbent_obj - 1e-9:
+                continue
+
+            node_count += 1
+            lb, ub = self._node_bounds(node, root_lb, root_ub)
+            result = self._backend.solve(self._form, lb, ub)
+            if result.status is LPStatus.ERROR:
+                # Drop the node but remember that this subtree was never
+                # explored: its best possible objective is node.lp_bound,
+                # which must cap every bound we report from now on.
+                lp_error_count += 1
+                lp_error_bound = min(lp_error_bound, node.lp_bound)
+                continue
+            if result.status is not LPStatus.OPTIMAL:
+                continue
+            self._update_pseudocost(node, result.objective)
+            if result.objective >= incumbent_obj - 1e-9:
+                continue
+
+            fractional = self._fractional_indices(result.x)
+            if not fractional.size:
+                incumbent_x = result.x
+                incumbent_obj = result.objective
+                record("incumbent", incumbent_obj, global_bound)
+                continue
+
+            if (
+                self.options.heuristics
+                and self.options.dive_frequency
+                and node_count % self.options.dive_frequency == 0
+            ):
+                candidate = self._dive(result.x, lb, ub)
+                if candidate is not None:
+                    objective = self.model.objective_value(candidate)
+                    if objective < incumbent_obj - 1e-9:
+                        incumbent_x = candidate
+                        incumbent_obj = objective
+                        record("incumbent", incumbent_obj, global_bound)
+
+            branch_var = self._select_branch_variable(result.x, fractional)
+            value = result.x[branch_var]
+            down = _Node(
+                node, branch_var, lb[branch_var], math.floor(value),
+                node.depth + 1, result.objective,
+            )
+            up = _Node(
+                node, branch_var, math.ceil(value), ub[branch_var],
+                node.depth + 1, result.objective,
+            )
+            for child in (down, up):
+                if child.lb <= child.ub:
+                    self._push(open_nodes, child, result.x)
+
+        solve_time = elapsed()
+        if open_nodes:
+            remaining = min(entry[0] for entry in open_nodes)
+            global_bound = min(max(global_bound, remaining), incumbent_obj)
+        elif not reached_limit and lp_error_count == 0:
+            global_bound = incumbent_obj if incumbent_x is not None else global_bound
+        # Errored subtrees were never explored; their LP bound caps ours.
+        global_bound = min(global_bound, lp_error_bound)
+
+        if incumbent_x is None:
+            if open_nodes or reached_limit or lp_error_count:
+                status = SolveStatus.NO_SOLUTION
+            else:
+                status = SolveStatus.INFEASIBLE
+            return self._finish(
+                status, None, math.inf, global_bound, node_count,
+                solve_time, events,
+            )
+
+        closed = relative_gap(incumbent_obj, global_bound) <= max(
+            self.options.gap_tolerance, 1e-9
+        )
+        complete = not open_nodes and lp_error_count == 0
+        status = SolveStatus.OPTIMAL if (closed or complete) else SolveStatus.FEASIBLE
+        if status is SolveStatus.OPTIMAL:
+            global_bound = incumbent_obj
+        return self._finish(
+            status, incumbent_x, incumbent_obj, global_bound, node_count,
+            solve_time, events,
+        )
+
+    # ------------------------------------------------------------------
+    # Root cutting planes
+    # ------------------------------------------------------------------
+
+    def _cut_loop(
+        self,
+        root_result,
+        root_lb: np.ndarray,
+        root_ub: np.ndarray,
+        global_bound: float,
+        incumbent_obj: float,
+        record,
+        out_of_budget,
+    ):
+        """Separate cuts at the root and re-solve until no progress.
+
+        Returns the final root LP result, the (possibly improved) global
+        bound, and the number of cuts added.  The tightened standard form is
+        installed on ``self._form`` so all later node LPs benefit.
+        """
+        generator = CutGenerator(self.model)
+        total_cuts = 0
+        for _ in range(self.options.max_cut_rounds):
+            if out_of_budget():
+                break
+            cuts = generator.separate(
+                root_result.x, max_cuts=self.options.max_cuts_per_round
+            )
+            if not cuts:
+                break
+            candidate_form = append_cuts(self._form, cuts)
+            result = self._backend.solve(candidate_form, root_lb, root_ub)
+            if result.status is not LPStatus.OPTIMAL:
+                # Numerical trouble: keep the previous relaxation.
+                break
+            self._form = candidate_form
+            total_cuts += len(cuts)
+            improved = result.objective > root_result.objective + 1e-9
+            root_result = result
+            if result.objective > global_bound + 1e-12:
+                global_bound = result.objective
+                record("bound", incumbent_obj, global_bound)
+            if not improved:
+                break
+            if not self._fractional_indices(result.x).size:
+                break
+        return root_result, global_bound, total_cuts
+
+    # ------------------------------------------------------------------
+    # Node bookkeeping
+    # ------------------------------------------------------------------
+
+    def _push(self, heap, node: _Node, parent_x: np.ndarray) -> None:
+        heapq.heappush(heap, (node.lp_bound, next(self._tick), node, parent_x))
+
+    def _pop(self, heap) -> tuple[_Node, np.ndarray]:
+        if self.options.node_selection == "dfs":
+            # Emulate DFS by preferring the deepest most recent node.
+            best = max(range(len(heap)), key=lambda i: (heap[i][2].depth, heap[i][1]))
+            entry = heap[best]
+            heap[best] = heap[-1]
+            heap.pop()
+            heapq.heapify(heap)
+            return entry[2], entry[3]
+        _, __, node, parent_x = heapq.heappop(heap)
+        return node, parent_x
+
+    @staticmethod
+    def _best_open_bound(heap, popped_bound: float) -> float:
+        if not heap:
+            return popped_bound
+        return min(popped_bound, heap[0][0])
+
+    @staticmethod
+    def _node_bounds(
+        node: _Node, root_lb: np.ndarray, root_ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize a node's bound vectors by walking its ancestry."""
+        lb = root_lb.copy()
+        ub = root_ub.copy()
+        current: _Node | None = node
+        seen: set[int] = set()
+        while current is not None and current.var_index >= 0:
+            index = current.var_index
+            # Nearest (deepest) decision on a variable wins.
+            if index not in seen:
+                seen.add(index)
+                lb[index] = max(lb[index], current.lb)
+                ub[index] = min(ub[index], current.ub)
+            current = current.parent
+        return lb, ub
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+
+    def _fractional_indices(self, x: np.ndarray) -> np.ndarray:
+        if not self._integral.size:
+            return np.array([], dtype=np.int64)
+        values = x[self._integral]
+        distance = np.abs(values - np.round(values))
+        mask = distance > self.options.integrality_tol
+        return self._integral[mask]
+
+    def _select_branch_variable(
+        self, x: np.ndarray, fractional: np.ndarray
+    ) -> int:
+        # Branch within the highest-priority fractional group: structural
+        # decisions (join order) before derived flags (thresholds).
+        priorities = self._priorities[fractional]
+        top = priorities.max()
+        if priorities.min() != top:
+            fractional = fractional[priorities == top]
+        values = x[fractional]
+        frac = np.abs(values - np.round(values))
+        if self.options.branching == "pseudocost":
+            up = np.where(
+                self._pseudo_up_count[fractional] > 0,
+                self._pseudo_up[fractional],
+                np.abs(self._form.c[fractional]) + 1.0,
+            )
+            down = np.where(
+                self._pseudo_down_count[fractional] > 0,
+                self._pseudo_down[fractional],
+                np.abs(self._form.c[fractional]) + 1.0,
+            )
+            ceil_frac = np.ceil(values) - values
+            floor_frac = values - np.floor(values)
+            score = np.maximum(up * ceil_frac, 1e-8) * np.maximum(
+                down * floor_frac, 1e-8
+            )
+            return int(fractional[int(np.argmax(score))])
+        # Most fractional: distance to the nearest integer.
+        return int(fractional[int(np.argmax(frac))])
+
+    def _update_pseudocost(self, node: _Node, objective: float) -> None:
+        if node.var_index < 0 or node.parent is None:
+            return
+        degradation = max(0.0, objective - node.lp_bound)
+        index = node.var_index
+        # A child whose lb was raised is an "up" branch.
+        if node.lb > node.parent.lb or node.lb > 0:
+            count = self._pseudo_up_count[index]
+            self._pseudo_up[index] = (
+                self._pseudo_up[index] * count + degradation
+            ) / (count + 1)
+            self._pseudo_up_count[index] += 1
+        else:
+            count = self._pseudo_down_count[index]
+            self._pseudo_down[index] = (
+                self._pseudo_down[index] * count + degradation
+            ) / (count + 1)
+            self._pseudo_down_count[index] += 1
+
+    # ------------------------------------------------------------------
+    # Primal heuristics
+    # ------------------------------------------------------------------
+
+    def _fix_and_solve(
+        self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray, mode: str = "nearest"
+    ) -> np.ndarray | None:
+        """Round all integral variables and re-solve for the continuous ones.
+
+        ``mode="up"`` takes ceilings instead of nearest rounding — useful
+        for indicator-style flags whose activation rows only force them
+        upward (rounding up preserves feasibility of those rows).
+        """
+        if not self._integral.size:
+            return None
+        fixed_lb = lb.copy()
+        fixed_ub = ub.copy()
+        values = x[self._integral]
+        if mode == "up":
+            rounded = np.ceil(values - self.options.integrality_tol)
+        else:
+            rounded = np.round(values)
+        rounded = np.clip(rounded, lb[self._integral], ub[self._integral])
+        fixed_lb[self._integral] = rounded
+        fixed_ub[self._integral] = rounded
+        result = self._backend.solve(self._form, fixed_lb, fixed_ub)
+        if result.status is LPStatus.OPTIMAL and self.model.is_feasible(result.x):
+            return result.x
+        return None
+
+    def _fix_and_solve_up(
+        self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray
+    ) -> np.ndarray | None:
+        """Ceiling-rounding variant of :meth:`_fix_and_solve`."""
+        return self._fix_and_solve(x, lb, ub, mode="up")
+
+    def _dive(
+        self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray
+    ) -> np.ndarray | None:
+        """Iteratively fix the most fractional variable and re-solve."""
+        lb = lb.copy()
+        ub = ub.copy()
+        current = x
+        for _ in range(self.options.max_dive_depth):
+            fractional = self._fractional_indices(current)
+            if not fractional.size:
+                if self.model.is_feasible(current):
+                    return current
+                return None
+            values = current[fractional]
+            pick = int(np.argmax(np.abs(values - np.round(values))))
+            index = int(fractional[pick])
+            target = float(np.round(values[pick]))
+            target = min(max(target, lb[index]), ub[index])
+            saved_lb, saved_ub = lb[index], ub[index]
+            lb[index] = ub[index] = target
+            result = self._backend.solve(self._form, lb, ub)
+            if result.status is not LPStatus.OPTIMAL:
+                # Flip to the other side once; abort the dive on failure.
+                other = saved_ub if target == saved_lb else saved_lb
+                other = float(
+                    np.floor(values[pick])
+                    if target == np.ceil(values[pick])
+                    else np.ceil(values[pick])
+                )
+                other = min(max(other, saved_lb), saved_ub)
+                if other == target:
+                    return None
+                lb[index] = ub[index] = other
+                result = self._backend.solve(self._form, lb, ub)
+                if result.status is not LPStatus.OPTIMAL:
+                    return None
+            current = result.x
+        return None
+
+    # ------------------------------------------------------------------
+    # Warm starts / wrap-up
+    # ------------------------------------------------------------------
+
+    def _coerce_warm_start(
+        self,
+        warm_start: "dict[str, float] | Sequence[float]",
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ) -> np.ndarray | None:
+        """Validate a warm start; repair continuous values via fix-and-solve."""
+        if isinstance(warm_start, dict):
+            assignment = self.model.assignment_from_names(warm_start)
+        else:
+            assignment = np.asarray(warm_start, dtype=float)
+            if assignment.shape[0] != self.model.num_variables:
+                raise SolverError(
+                    "warm start length does not match variable count"
+                )
+        if self.model.is_feasible(assignment):
+            return assignment
+        # Keep the integral part, let the LP repair the continuous part.
+        repaired = self._fix_and_solve(assignment, lb, ub)
+        return repaired
+
+    def _finish(
+        self,
+        status: SolveStatus,
+        x: np.ndarray | None,
+        objective: float,
+        bound: float,
+        node_count: int,
+        solve_time: float,
+        events: list[IncumbentEvent],
+    ) -> MILPSolution:
+        values: dict[str, float] = {}
+        if x is not None:
+            values = {
+                variable.name: float(x[variable.index])
+                for variable in self.model.variables
+            }
+        return MILPSolution(
+            status=status,
+            objective=objective,
+            best_bound=bound,
+            x=x,
+            values=values,
+            node_count=node_count,
+            solve_time=solve_time,
+            events=events,
+        )
+
+
+def solve_milp(
+    model: Model,
+    options: SolverOptions | None = None,
+    warm_start: "dict[str, float] | Sequence[float] | None" = None,
+    callback: AnytimeCallback | None = None,
+) -> MILPSolution:
+    """Convenience wrapper: solve ``model`` with branch-and-bound."""
+    return BranchAndBoundSolver(model, options).solve(warm_start, callback)

@@ -1,0 +1,74 @@
+"""Linear constraints for MILP models."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+from repro.milp.expr import LinExpr
+
+
+class Sense(enum.Enum):
+    """Comparison direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """A normalized linear constraint ``expr (sense) rhs``.
+
+    The stored expression carries no constant term: any constant is folded
+    into ``rhs`` during construction by :meth:`Model.add_constraint`.
+    """
+
+    name: str
+    expr: LinExpr
+    sense: Sense
+    rhs: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.rhs) or math.isinf(self.rhs):
+            raise ModelError(f"constraint {self.name!r}: non-finite rhs")
+        if self.expr.constant != 0.0:
+            raise ModelError(
+                f"constraint {self.name!r}: expression constant must be "
+                "folded into rhs (use Model.add_constraint)"
+            )
+
+    def activity_scale(self, assignment) -> float:
+        """Magnitude of the row's terms, for relative tolerance checks.
+
+        Rows mixing coefficients of very different magnitudes (cardinality
+        deltas reach 1e12 in the join-ordering MILP) cannot be checked with
+        an absolute tolerance: an LP solver's perfectly acceptable residual
+        would register as a violation.
+        """
+        scale = 1.0 + abs(self.rhs)
+        for index, coefficient in self.expr.coefficients.items():
+            scale = max(scale, abs(coefficient * assignment[index]))
+        return scale
+
+    def satisfied_by(self, assignment, tolerance: float = 1e-6) -> bool:
+        """Whether ``assignment`` satisfies the constraint within a
+        row-relative tolerance."""
+        lhs = self.expr.value(assignment)
+        slack = tolerance * self.activity_scale(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + slack
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - slack
+        return abs(lhs - self.rhs) <= slack
+
+    def violation(self, assignment) -> float:
+        """Amount by which ``assignment`` violates the constraint (>= 0)."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, lhs - self.rhs)
+        if self.sense is Sense.GE:
+            return max(0.0, self.rhs - lhs)
+        return abs(lhs - self.rhs)

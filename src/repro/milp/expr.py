@@ -1,0 +1,170 @@
+"""Sparse linear expressions over MILP variables.
+
+A :class:`LinExpr` is a sparse mapping ``variable index -> coefficient`` plus
+a constant term.  Expressions support the natural arithmetic operators, so
+model-building code reads close to the paper's mathematical notation::
+
+    lco[j] == lin_sum(log_card[t] * tio[t, j] for t in tables) + ...
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import ModelError
+from repro.milp.variables import Variable
+
+Termable = "LinExpr | Variable | float | int"
+
+
+class LinExpr:
+    """A sparse linear expression ``sum(coef_i * x_i) + constant``."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(
+        self,
+        coefficients: dict[int, float] | None = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.coefficients: dict[int, float] = coefficients or {}
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_var(cls, variable: Variable, coefficient: float = 1.0) -> LinExpr:
+        """Expression consisting of a single weighted variable."""
+        return cls({variable.index: float(coefficient)})
+
+    @classmethod
+    def constant_expr(cls, value: float) -> LinExpr:
+        """Expression with no variables."""
+        return cls({}, value)
+
+    @staticmethod
+    def coerce(value) -> LinExpr:
+        """Convert a variable or number into a :class:`LinExpr`."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return LinExpr.from_var(value)
+        if isinstance(value, (int, float)):
+            return LinExpr.constant_expr(float(value))
+        raise ModelError(f"cannot use {value!r} in a linear expression")
+
+    def copy(self) -> LinExpr:
+        """Return an independent copy of this expression."""
+        return LinExpr(dict(self.coefficients), self.constant)
+
+    # ------------------------------------------------------------------
+    # In-place building (used by hot formulation loops)
+    # ------------------------------------------------------------------
+
+    def add_term(self, variable: Variable, coefficient: float) -> LinExpr:
+        """Add ``coefficient * variable`` in place and return ``self``."""
+        index = variable.index
+        updated = self.coefficients.get(index, 0.0) + float(coefficient)
+        if updated == 0.0:
+            self.coefficients.pop(index, None)
+        else:
+            self.coefficients[index] = updated
+        return self
+
+    def add_constant(self, value: float) -> LinExpr:
+        """Add a constant in place and return ``self``."""
+        self.constant += float(value)
+        return self
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def __add__(self, other) -> LinExpr:
+        other = LinExpr.coerce(other)
+        coefficients = dict(self.coefficients)
+        for index, coefficient in other.coefficients.items():
+            updated = coefficients.get(index, 0.0) + coefficient
+            if updated == 0.0:
+                coefficients.pop(index, None)
+            else:
+                coefficients[index] = updated
+        return LinExpr(coefficients, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> LinExpr:
+        return self + (LinExpr.coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> LinExpr:
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar) -> LinExpr:
+        if not isinstance(scalar, (int, float)):
+            raise ModelError(
+                "linear expressions can only be multiplied by numbers; "
+                "products of variables must be linearized explicitly "
+                "(see repro.core.linearize)"
+            )
+        scalar = float(scalar)
+        if scalar == 0.0:
+            return LinExpr()
+        return LinExpr(
+            {index: coefficient * scalar
+             for index, coefficient in self.coefficients.items()},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> LinExpr:
+        return self * -1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(
+            f"{coefficient:g}*x{index}"
+            for index, coefficient in sorted(self.coefficients.items())
+        )
+        if self.constant or not terms:
+            terms = f"{terms} + {self.constant:g}" if terms else f"{self.constant:g}"
+        return f"LinExpr({terms})"
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def value(self, assignment) -> float:
+        """Evaluate under ``assignment`` (indexable by variable index)."""
+        return self.constant + sum(
+            coefficient * assignment[index]
+            for index, coefficient in self.coefficients.items()
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the expression contains no variables."""
+        return not self.coefficients
+
+
+def lin_sum(terms: Iterable) -> LinExpr:
+    """Sum an iterable of variables/expressions/numbers into one expression.
+
+    Faster than ``sum(...)`` because it accumulates in place.
+    """
+    result = LinExpr()
+    for term in terms:
+        if isinstance(term, Variable):
+            result.add_term(term, 1.0)
+        elif isinstance(term, LinExpr):
+            for index, coefficient in term.coefficients.items():
+                updated = result.coefficients.get(index, 0.0) + coefficient
+                if updated == 0.0:
+                    result.coefficients.pop(index, None)
+                else:
+                    result.coefficients[index] = updated
+            result.constant += term.constant
+        else:
+            result.add_constant(term)
+    return result

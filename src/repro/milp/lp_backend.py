@@ -1,0 +1,104 @@
+"""LP relaxation backends.
+
+The branch-and-bound solver is backend-agnostic: it calls ``solve`` on an
+:class:`LPBackend` with per-node bound vectors.  The default backend wraps
+scipy's HiGHS implementation; :mod:`repro.milp.simplex` provides a
+self-contained dense simplex used as a fallback and as a cross-check in
+tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import SolverError
+from repro.milp.standard_form import StandardForm
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class LPResult:
+    """Result of one LP relaxation solve.
+
+    ``objective`` includes the model's constant objective term.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None
+    objective: float
+    message: str = ""
+
+
+class LPBackend:
+    """Interface for LP relaxation solvers."""
+
+    name = "abstract"
+
+    def solve(
+        self, form: StandardForm, lb: np.ndarray, ub: np.ndarray
+    ) -> LPResult:
+        """Solve the LP relaxation of ``form`` under bounds ``[lb, ub]``."""
+        raise NotImplementedError
+
+
+class ScipyHighsBackend(LPBackend):
+    """LP backend delegating to ``scipy.optimize.linprog(method='highs')``."""
+
+    name = "scipy-highs"
+
+    #: scipy status codes: 0 ok, 1 iteration limit, 2 infeasible, 3 unbounded.
+    _STATUS_MAP = {
+        0: LPStatus.OPTIMAL,
+        2: LPStatus.INFEASIBLE,
+        3: LPStatus.UNBOUNDED,
+    }
+
+    def solve(
+        self, form: StandardForm, lb: np.ndarray, ub: np.ndarray
+    ) -> LPResult:
+        bounds = np.column_stack([lb, ub])
+        result = linprog(
+            form.c,
+            A_ub=form.a_ub,
+            b_ub=form.b_ub if form.a_ub is not None else None,
+            A_eq=form.a_eq,
+            b_eq=form.b_eq if form.a_eq is not None else None,
+            bounds=bounds,
+            method="highs",
+        )
+        status = self._STATUS_MAP.get(result.status, LPStatus.ERROR)
+        if status is LPStatus.OPTIMAL:
+            return LPResult(
+                status=status,
+                x=np.asarray(result.x),
+                objective=float(result.fun) + form.c0,
+            )
+        return LPResult(
+            status=status,
+            x=None,
+            objective=float("inf"),
+            message=str(result.message),
+        )
+
+
+def get_backend(name: str = "scipy") -> LPBackend:
+    """Return an LP backend by name (``scipy`` or ``simplex``)."""
+    if name in ("scipy", "scipy-highs", "highs"):
+        return ScipyHighsBackend()
+    if name == "simplex":
+        from repro.milp.simplex import DenseSimplexBackend
+
+        return DenseSimplexBackend()
+    raise SolverError(f"unknown LP backend {name!r}")

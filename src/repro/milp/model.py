@@ -1,0 +1,234 @@
+"""MILP model container: variables, constraints, objective.
+
+The :class:`Model` plays the role that a ``gurobipy.Model`` plays in the
+paper's prototype: formulation code adds variables and constraints, then a
+solver (:mod:`repro.milp.branch_and_bound`) minimizes the objective.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.milp.constraints import Constraint, Sense
+from repro.milp.expr import LinExpr
+from repro.milp.variables import Variable, VarType
+
+#: Default feasibility tolerance used when checking assignments.
+FEASIBILITY_TOL = 1e-6
+
+
+class Model:
+    """A mixed integer linear program ``min c'x  s.t.  Ax (<=,=,>=) b``.
+
+    Variables and constraints must carry unique names; this is what lets
+    solution objects be keyed by meaningful names and makes formulation bugs
+    visible early.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._variable_names: dict[str, int] = {}
+        self._constraint_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+        priority: int = 0,
+    ) -> Variable:
+        """Create, register and return a new decision variable."""
+        if name in self._variable_names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        variable = Variable(
+            len(self.variables), name, float(lb), float(ub), vtype, priority
+        )
+        self.variables.append(variable)
+        self._variable_names[name] = variable.index
+        return variable
+
+    def add_binary(self, name: str, priority: int = 0) -> Variable:
+        """Create a binary variable with bounds ``[0, 1]``."""
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY, priority)
+
+    def add_continuous(
+        self, name: str, lb: float = 0.0, ub: float = math.inf
+    ) -> Variable:
+        """Create a continuous variable."""
+        return self.add_var(name, lb, ub, VarType.CONTINUOUS)
+
+    def var_by_name(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self.variables[self._variable_names[name]]
+        except KeyError:
+            raise ModelError(f"model has no variable named {name!r}") from None
+
+    def has_var(self, name: str) -> bool:
+        """Whether a variable with this name exists."""
+        return name in self._variable_names
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def add_constraint(
+        self, expr, sense: Sense, rhs: float, name: str
+    ) -> Constraint:
+        """Add a constraint ``expr (sense) rhs``.
+
+        Constants inside ``expr`` are folded into the right-hand side, and
+        right-hand sides built from expressions are supported by passing the
+        difference: ``add_le(lhs - rhs_expr, 0.0)``.
+        """
+        if name in self._constraint_names:
+            raise ModelError(f"duplicate constraint name {name!r}")
+        expr = LinExpr.coerce(expr)
+        folded_rhs = float(rhs) - expr.constant
+        normalized = LinExpr(dict(expr.coefficients), 0.0)
+        constraint = Constraint(name, normalized, sense, folded_rhs)
+        self.constraints.append(constraint)
+        self._constraint_names.add(name)
+        return constraint
+
+    def add_le(self, expr, rhs: float, name: str) -> Constraint:
+        """Add ``expr <= rhs``."""
+        return self.add_constraint(expr, Sense.LE, rhs, name)
+
+    def add_ge(self, expr, rhs: float, name: str) -> Constraint:
+        """Add ``expr >= rhs``."""
+        return self.add_constraint(expr, Sense.GE, rhs, name)
+
+    def add_eq(self, expr, rhs: float, name: str) -> Constraint:
+        """Add ``expr == rhs``."""
+        return self.add_constraint(expr, Sense.EQ, rhs, name)
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+
+    def set_objective(self, expr) -> None:
+        """Set the (minimization) objective."""
+        self.objective = LinExpr.coerce(expr).copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of decision variables."""
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        """Total number of linear constraints."""
+        return len(self.constraints)
+
+    @property
+    def num_binary(self) -> int:
+        """Number of binary variables."""
+        return sum(
+            1 for variable in self.variables if variable.vtype is VarType.BINARY
+        )
+
+    @property
+    def num_integral(self) -> int:
+        """Number of integer-restricted variables (binary + integer)."""
+        return sum(1 for variable in self.variables if variable.is_integral)
+
+    @property
+    def integral_indices(self) -> list[int]:
+        """Indices of integer-restricted variables."""
+        return [
+            variable.index
+            for variable in self.variables
+            if variable.is_integral
+        ]
+
+    def bounds_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bound vectors as numpy arrays."""
+        lb = np.array([variable.lb for variable in self.variables])
+        ub = np.array([variable.ub for variable in self.variables])
+        return lb, ub
+
+    # ------------------------------------------------------------------
+    # Evaluation / feasibility
+    # ------------------------------------------------------------------
+
+    def objective_value(self, assignment: Sequence[float]) -> float:
+        """Evaluate the objective under a full assignment vector."""
+        return self.objective.value(assignment)
+
+    def assignment_from_names(
+        self, values: dict[str, float], default: float = 0.0
+    ) -> np.ndarray:
+        """Build a dense assignment vector from a name-keyed dict.
+
+        Unknown names raise; unassigned variables take ``default``.
+        """
+        assignment = np.full(self.num_variables, float(default))
+        for name, value in values.items():
+            assignment[self.var_by_name(name).index] = float(value)
+        return assignment
+
+    def check_feasible(
+        self,
+        assignment: Sequence[float],
+        tolerance: float = FEASIBILITY_TOL,
+    ) -> list[str]:
+        """Return the names of violated constraints/bounds (empty if feasible).
+
+        Integer restrictions are checked as well.
+        """
+        violations: list[str] = []
+        for variable in self.variables:
+            value = assignment[variable.index]
+            if value < variable.lb - tolerance or value > variable.ub + tolerance:
+                violations.append(f"bound:{variable.name}")
+            if variable.is_integral and abs(value - round(value)) > tolerance:
+                violations.append(f"integrality:{variable.name}")
+        for constraint in self.constraints:
+            if not constraint.satisfied_by(assignment, tolerance):
+                violations.append(constraint.name)
+        return violations
+
+    def is_feasible(
+        self,
+        assignment: Sequence[float],
+        tolerance: float = FEASIBILITY_TOL,
+    ) -> bool:
+        """Whether the assignment satisfies all bounds and constraints."""
+        return not self.check_feasible(assignment, tolerance)
+
+    def stats(self) -> dict[str, int]:
+        """Summary statistics (used by the Figure 1 experiment)."""
+        return {
+            "variables": self.num_variables,
+            "binary_variables": self.num_binary,
+            "continuous_variables": self.num_variables - self.num_integral,
+            "constraints": self.num_constraints,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Model({self.name!r}, vars={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )
+
+
+def names_of(variables: Iterable[Variable]) -> list[str]:
+    """Names of an iterable of variables (test helper)."""
+    return [variable.name for variable in variables]

@@ -1,0 +1,336 @@
+"""Parallel portfolio solving.
+
+The paper's Section 1 argues that mapping join ordering onto MILP buys
+parallel optimization "for free" because MILP solvers exploit parallelism.
+This module supplies that feature for our self-contained solver in the form
+commercial solvers shipped first (Gurobi's concurrent MIP): a *portfolio*
+of differently-configured branch-and-bound searches runs on the same model,
+incumbents and bounds are shared, and everyone stops as soon as one
+configuration closes the gap.
+
+Sharing is sound because every member solves the *same* model:
+
+* the best incumbent over all members is a feasible solution,
+* every member's proven lower bound is a valid global lower bound, so the
+  maximum over members is too.
+
+Members run in Python threads; the LP backend (HiGHS via scipy) releases
+the GIL during the numerical work, which is where the time goes.  A
+``parallel=False`` mode runs members sequentially for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.milp.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.milp.model import Model
+from repro.milp.solution import (
+    IncumbentEvent,
+    MILPSolution,
+    SolveStatus,
+    relative_gap,
+)
+
+
+@dataclass(frozen=True)
+class PortfolioMember:
+    """One configuration in the portfolio."""
+
+    name: str
+    options: SolverOptions
+
+
+@dataclass(frozen=True, slots=True)
+class PortfolioEvent:
+    """An anytime event annotated with the member that produced it."""
+
+    member: str
+    time: float
+    objective: float
+    bound: float
+    kind: str
+
+
+@dataclass
+class PortfolioResult:
+    """Aggregated outcome of a portfolio solve.
+
+    ``objective``/``values`` come from the best incumbent over all members;
+    ``best_bound`` is the strongest proven lower bound.  ``winner`` names
+    the member that produced the final incumbent.
+    """
+
+    status: SolveStatus
+    objective: float
+    best_bound: float
+    values: dict[str, float]
+    winner: str | None
+    solve_time: float
+    member_results: dict[str, MILPSolution]
+    events: list[PortfolioEvent] = field(default_factory=list)
+
+    @property
+    def gap(self) -> float:
+        """Final relative optimality gap."""
+        return relative_gap(self.objective, self.best_bound)
+
+    @property
+    def optimality_factor(self) -> float:
+        """Guaranteed ``cost / lower-bound`` factor (Figure 2's metric)."""
+        if math.isinf(self.objective):
+            return math.inf
+        if self.best_bound <= 0:
+            return math.inf if self.objective > 0 else 1.0
+        return max(1.0, self.objective / self.best_bound)
+
+
+def default_portfolio(
+    time_limit: float = 60.0, gap_tolerance: float = 1e-6
+) -> list[PortfolioMember]:
+    """The standard four-member portfolio.
+
+    Diversity follows the concurrent-MIP playbook: vary node selection,
+    branching rule, and root-level effort so that different problem shapes
+    favour different members.
+    """
+    common = {"time_limit": time_limit, "gap_tolerance": gap_tolerance}
+    return [
+        PortfolioMember(
+            "best_bound",
+            SolverOptions(**common),
+        ),
+        PortfolioMember(
+            "dfs_pseudocost",
+            SolverOptions(
+                **common, node_selection="dfs", branching="pseudocost"
+            ),
+        ),
+        PortfolioMember(
+            "cut_and_branch",
+            SolverOptions(**common, cuts=True),
+        ),
+        PortfolioMember(
+            "aggressive_diving",
+            SolverOptions(**common, dive_frequency=10, max_dive_depth=800),
+        ),
+    ]
+
+
+class _SharedState:
+    """Thread-safe incumbent/bound pool with cooperative stop."""
+
+    def __init__(self, gap_tolerance: float) -> None:
+        self._lock = threading.Lock()
+        self._gap_tolerance = gap_tolerance
+        self.best_objective = math.inf
+        self.best_values: dict[str, float] = {}
+        self.best_member: str | None = None
+        self.best_bound = -math.inf
+        self.stop_event = threading.Event()
+        self.events: list[PortfolioEvent] = []
+        # Objective of the incumbent whose values are currently stored;
+        # event callbacks can lower best_objective before the full value
+        # vector is available from the member's final result.
+        self._values_objective = math.inf
+
+    def record(self, member: str, event: IncumbentEvent, elapsed: float) -> None:
+        """Merge one member event into the pool; trip the stop when done."""
+        with self._lock:
+            self.events.append(
+                PortfolioEvent(
+                    member=member,
+                    time=elapsed,
+                    objective=event.objective,
+                    bound=event.bound,
+                    kind=event.kind,
+                )
+            )
+            if (
+                event.kind == "incumbent"
+                and event.objective < self.best_objective - 1e-12
+            ):
+                self.best_objective = event.objective
+            if event.bound > self.best_bound:
+                self.best_bound = event.bound
+            gap = relative_gap(self.best_objective, self.best_bound)
+            if gap <= self._gap_tolerance:
+                self.stop_event.set()
+
+    def absorb_result(self, member: str, result: MILPSolution) -> None:
+        """Fold a member's final incumbent/bound into the pool."""
+        with self._lock:
+            if result.status.has_solution:
+                if result.objective < self.best_objective - 1e-12:
+                    self.best_objective = result.objective
+                if result.objective < self._values_objective - 1e-12:
+                    self._values_objective = result.objective
+                    self.best_values = dict(result.values)
+                    self.best_member = member
+            if (
+                result.status is not SolveStatus.INFEASIBLE
+                and result.best_bound > self.best_bound
+            ):
+                self.best_bound = result.best_bound
+            if result.status is SolveStatus.OPTIMAL:
+                self.stop_event.set()
+
+
+class PortfolioSolver:
+    """Run several solver configurations on one model concurrently.
+
+    Parameters
+    ----------
+    model:
+        The MILP to minimize.  The model is shared read-only between
+        members.
+    members:
+        Portfolio configurations; defaults to :func:`default_portfolio`.
+    gap_tolerance:
+        Portfolio-level stop criterion on the shared gap.
+    parallel:
+        Run members in threads (default) or sequentially (deterministic,
+        used by tests and ablations).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        members: Sequence[PortfolioMember] | None = None,
+        gap_tolerance: float = 1e-6,
+        parallel: bool = True,
+    ) -> None:
+        self.model = model
+        self.members = (
+            list(members) if members is not None else default_portfolio()
+        )
+        if not self.members:
+            raise ValueError("portfolio needs at least one member")
+        names = [member.name for member in self.members]
+        if len(set(names)) != len(names):
+            raise ValueError("portfolio member names must be unique")
+        self.gap_tolerance = gap_tolerance
+        self.parallel = parallel
+
+    def solve(
+        self, warm_start: "dict[str, float] | None" = None
+    ) -> PortfolioResult:
+        """Minimize the model with every member; return the pooled result."""
+        started = time.monotonic()
+        shared = _SharedState(self.gap_tolerance)
+        results: dict[str, MILPSolution] = {}
+
+        def run_member(member: PortfolioMember) -> None:
+            options = self._member_options(member, shared)
+            solver = BranchAndBoundSolver(self.model, options)
+
+            def callback(event: IncumbentEvent) -> None:
+                shared.record(member.name, event, time.monotonic() - started)
+
+            result = solver.solve(warm_start=warm_start, callback=callback)
+            results[member.name] = result
+            shared.absorb_result(member.name, result)
+
+        if self.parallel:
+            threads = [
+                threading.Thread(
+                    target=run_member, args=(member,), daemon=True
+                )
+                for member in self.members
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for member in self.members:
+                if shared.stop_event.is_set():
+                    break
+                run_member(member)
+
+        solve_time = time.monotonic() - started
+        return self._aggregate(shared, results, solve_time)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _member_options(
+        self, member: PortfolioMember, shared: _SharedState
+    ) -> SolverOptions:
+        """Clone the member options with the cooperative stop installed."""
+        options = member.options
+        user_stop = options.stop_check
+        stop_event = shared.stop_event
+
+        def stop_check() -> bool:
+            if stop_event.is_set():
+                return True
+            return user_stop() if user_stop is not None else False
+
+        cloned = SolverOptions(**{
+            name: getattr(options, name)
+            for name in SolverOptions.__dataclass_fields__
+        })
+        cloned.stop_check = stop_check
+        return cloned
+
+    def _aggregate(
+        self,
+        shared: _SharedState,
+        results: dict[str, MILPSolution],
+        solve_time: float,
+    ) -> PortfolioResult:
+        best_objective = shared.best_objective
+        best_bound = shared.best_bound
+        if all(
+            result.status is SolveStatus.INFEASIBLE
+            for result in results.values()
+        ):
+            status = SolveStatus.INFEASIBLE
+        elif math.isinf(best_objective):
+            status = SolveStatus.NO_SOLUTION
+        else:
+            # Never report a bound above the incumbent.
+            best_bound = min(best_bound, best_objective)
+            closed = relative_gap(best_objective, best_bound) <= max(
+                self.gap_tolerance, 1e-9
+            )
+            proved = any(
+                result.status is SolveStatus.OPTIMAL
+                and result.objective <= best_objective + 1e-9
+                for result in results.values()
+            )
+            status = (
+                SolveStatus.OPTIMAL
+                if (closed or proved)
+                else SolveStatus.FEASIBLE
+            )
+            if status is SolveStatus.OPTIMAL:
+                best_bound = best_objective
+        return PortfolioResult(
+            status=status,
+            objective=best_objective,
+            best_bound=best_bound,
+            values=dict(shared.best_values),
+            winner=shared.best_member,
+            solve_time=solve_time,
+            member_results=results,
+            events=list(shared.events),
+        )
+
+
+def solve_portfolio(
+    model: Model,
+    members: Sequence[PortfolioMember] | None = None,
+    time_limit: float = 60.0,
+    parallel: bool = True,
+) -> PortfolioResult:
+    """Convenience wrapper mirroring :func:`repro.milp.solve_milp`."""
+    if members is None:
+        members = default_portfolio(time_limit)
+    return PortfolioSolver(model, members, parallel=parallel).solve()

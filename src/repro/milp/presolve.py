@@ -1,0 +1,179 @@
+"""Lightweight presolve: bound propagation before branch-and-bound.
+
+Commercial solvers run extensive presolve; we implement the reductions that
+matter for our join-ordering MILPs:
+
+* integral bound rounding (``ceil`` of lower, ``floor`` of upper bounds);
+* singleton-row bound tightening (rows with one variable become bounds);
+* activity-based infeasibility/redundancy detection for inequality rows.
+
+Presolve never modifies the :class:`~repro.milp.model.Model`; it returns
+tightened bound vectors that the solver applies at the root node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.milp.constraints import Sense
+from repro.milp.model import Model
+
+_TOL = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of presolve.
+
+    Attributes
+    ----------
+    lb, ub:
+        Tightened bound vectors.
+    feasible:
+        ``False`` when presolve proved infeasibility.
+    reductions:
+        Human-readable log of applied reductions.
+    """
+
+    lb: np.ndarray
+    ub: np.ndarray
+    feasible: bool = True
+    reductions: list[str] = field(default_factory=list)
+
+    @property
+    def num_fixed(self) -> int:
+        """Number of variables fixed to a single value."""
+        return int(np.sum(np.isclose(self.lb, self.ub)))
+
+
+def presolve(model: Model, max_rounds: int = 5) -> PresolveResult:
+    """Run bound-propagation presolve on ``model``."""
+    lb, ub = model.bounds_arrays()
+    result = PresolveResult(lb=lb, ub=ub)
+
+    _round_integral_bounds(model, result)
+    if not result.feasible:
+        return result
+
+    for _ in range(max_rounds):
+        changed = _propagate_once(model, result)
+        if not result.feasible or not changed:
+            break
+    return result
+
+
+def _round_integral_bounds(model: Model, result: PresolveResult) -> None:
+    """Round integral variable bounds inwards."""
+    for variable in model.variables:
+        if not variable.is_integral:
+            continue
+        index = variable.index
+        new_lb = math.ceil(result.lb[index] - _TOL)
+        new_ub = math.floor(result.ub[index] + _TOL)
+        if new_lb > result.lb[index] + _TOL:
+            result.lb[index] = new_lb
+            result.reductions.append(f"round-lb:{variable.name}")
+        if new_ub < result.ub[index] - _TOL:
+            result.ub[index] = new_ub
+            result.reductions.append(f"round-ub:{variable.name}")
+        if result.lb[index] > result.ub[index] + _TOL:
+            result.feasible = False
+            result.reductions.append(f"infeasible-bounds:{variable.name}")
+            return
+
+
+def _propagate_once(model: Model, result: PresolveResult) -> bool:
+    """One round of singleton + activity propagation; True when changed."""
+    changed = False
+    for constraint in model.constraints:
+        coefficients = constraint.expr.coefficients
+        if not coefficients:
+            if _constant_row_infeasible(constraint):
+                result.feasible = False
+                result.reductions.append(f"infeasible-row:{constraint.name}")
+                return changed
+            continue
+        if len(coefficients) == 1:
+            changed |= _tighten_singleton(constraint, model, result)
+            if not result.feasible:
+                return changed
+            continue
+        if constraint.sense is not Sense.EQ:
+            if _activity_infeasible(constraint, result):
+                result.feasible = False
+                result.reductions.append(f"infeasible-row:{constraint.name}")
+                return changed
+    return changed
+
+
+def _constant_row_infeasible(constraint) -> bool:
+    if constraint.sense is Sense.LE:
+        return 0.0 > constraint.rhs + _TOL
+    if constraint.sense is Sense.GE:
+        return 0.0 < constraint.rhs - _TOL
+    return abs(constraint.rhs) > _TOL
+
+
+def _tighten_singleton(constraint, model: Model, result: PresolveResult) -> bool:
+    """Turn a one-variable row into a bound update."""
+    ((index, coefficient),) = constraint.expr.coefficients.items()
+    variable = model.variables[index]
+    bound = constraint.rhs / coefficient
+    changed = False
+    sense = constraint.sense
+    # coefficient sign flips the direction of LE/GE.
+    upper = (sense is Sense.LE) == (coefficient > 0)
+    if sense is Sense.EQ:
+        if bound < result.lb[index] - _TOL or bound > result.ub[index] + _TOL:
+            result.feasible = False
+            return changed
+        if not math.isclose(result.lb[index], bound) or not math.isclose(
+            result.ub[index], bound
+        ):
+            result.lb[index] = bound
+            result.ub[index] = bound
+            result.reductions.append(f"fix:{variable.name}")
+            changed = True
+        return changed
+    if upper:
+        tightened = bound
+        if variable.is_integral:
+            tightened = math.floor(tightened + _TOL)
+        if tightened < result.ub[index] - _TOL:
+            result.ub[index] = tightened
+            result.reductions.append(f"tighten-ub:{variable.name}")
+            changed = True
+    else:
+        tightened = bound
+        if variable.is_integral:
+            tightened = math.ceil(tightened - _TOL)
+        if tightened > result.lb[index] + _TOL:
+            result.lb[index] = tightened
+            result.reductions.append(f"tighten-lb:{variable.name}")
+            changed = True
+    if result.lb[index] > result.ub[index] + _TOL:
+        result.feasible = False
+    return changed
+
+
+def _activity_infeasible(constraint, result: PresolveResult) -> bool:
+    """Minimum-activity test for an inequality row."""
+    minimum = 0.0
+    for index, coefficient in constraint.expr.coefficients.items():
+        bound = result.lb[index] if coefficient > 0 else result.ub[index]
+        if math.isinf(bound):
+            return False
+        minimum += coefficient * bound
+    if constraint.sense is Sense.LE:
+        return minimum > constraint.rhs + 1e-7
+    # GE row: maximum activity below rhs means infeasible.
+    maximum = 0.0
+    for index, coefficient in constraint.expr.coefficients.items():
+        bound = result.ub[index] if coefficient > 0 else result.lb[index]
+        if math.isinf(bound):
+            return False
+        maximum += coefficient * bound
+    return maximum < constraint.rhs - 1e-7

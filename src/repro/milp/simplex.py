@@ -1,0 +1,209 @@
+"""Self-contained dense two-phase simplex LP solver.
+
+This backend exists so the MILP substrate is complete without any external
+solver: it is used as a cross-check against the HiGHS backend in tests and
+as a fallback when scipy is unavailable or distrusted.  It implements the
+textbook two-phase primal simplex method with Bland's anti-cycling rule on a
+dense numpy tableau.  It is intended for small and medium models (hundreds
+of variables); the branch-and-bound solver defaults to the HiGHS backend.
+
+Bounded variables are handled by shifting every variable by its (finite)
+lower bound and materializing finite upper bounds as explicit rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.milp.lp_backend import LPBackend, LPResult, LPStatus
+from repro.milp.standard_form import StandardForm
+
+_TOL = 1e-9
+_MAX_ITERATIONS = 20000
+
+
+class DenseSimplexBackend(LPBackend):
+    """Two-phase dense simplex backend (see module docstring)."""
+
+    name = "dense-simplex"
+
+    def solve(
+        self, form: StandardForm, lb: np.ndarray, ub: np.ndarray
+    ) -> LPResult:
+        if np.any(np.isneginf(lb)):
+            raise SolverError(
+                "dense simplex backend requires finite lower bounds"
+            )
+        if np.any(ub < lb - _TOL):
+            return LPResult(LPStatus.INFEASIBLE, None, math.inf, "lb > ub")
+        try:
+            x, objective, status = _solve_shifted(form, lb, ub)
+        except _Unbounded:
+            return LPResult(LPStatus.UNBOUNDED, None, -math.inf)
+        if status is LPStatus.OPTIMAL:
+            return LPResult(LPStatus.OPTIMAL, x, objective + form.c0)
+        return LPResult(status, None, math.inf)
+
+
+class _Unbounded(Exception):
+    """Internal signal: phase-2 found an unbounded improving ray."""
+
+
+def _solve_shifted(
+    form: StandardForm, lb: np.ndarray, ub: np.ndarray
+) -> tuple[np.ndarray | None, float, LPStatus]:
+    """Shift variables by lb, build the equality system and run two phases."""
+    num_x = form.num_variables
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    senses: list[str] = []  # "le" or "eq"
+
+    if form.a_ub is not None:
+        dense_ub = form.a_ub.toarray()
+        shifted = form.b_ub - dense_ub @ lb
+        for i in range(dense_ub.shape[0]):
+            rows.append(dense_ub[i])
+            rhs.append(float(shifted[i]))
+            senses.append("le")
+    if form.a_eq is not None:
+        dense_eq = form.a_eq.toarray()
+        shifted = form.b_eq - dense_eq @ lb
+        for i in range(dense_eq.shape[0]):
+            rows.append(dense_eq[i])
+            rhs.append(float(shifted[i]))
+            senses.append("eq")
+    span = ub - lb
+    for j in range(num_x):
+        if math.isfinite(span[j]):
+            row = np.zeros(num_x)
+            row[j] = 1.0
+            rows.append(row)
+            rhs.append(float(span[j]))
+            senses.append("le")
+
+    num_slack = sum(1 for sense in senses if sense == "le")
+    num_rows = len(rows)
+    num_cols = num_x + num_slack
+    a = np.zeros((num_rows, num_cols))
+    b = np.array(rhs)
+    slack_index = num_x
+    for i, (row, sense) in enumerate(zip(rows, senses)):
+        a[i, :num_x] = row
+        if sense == "le":
+            a[i, slack_index] = 1.0
+            slack_index += 1
+
+    # Normalize to b >= 0 so artificials start feasible.
+    negative = b < 0
+    a[negative] *= -1.0
+    b[negative] *= -1.0
+
+    costs = np.zeros(num_cols)
+    costs[:num_x] = form.c
+
+    solution = _two_phase(a, b, costs)
+    if solution is None:
+        return None, math.inf, LPStatus.INFEASIBLE
+    y = solution[:num_x]
+    x = y + lb
+    objective = float(form.c @ x)
+    return x, objective, LPStatus.OPTIMAL
+
+
+def _two_phase(
+    a: np.ndarray, b: np.ndarray, costs: np.ndarray
+) -> np.ndarray | None:
+    """Run phase 1 + phase 2; return the full column solution or None."""
+    num_rows, num_cols = a.shape
+    # Phase 1 tableau: [A | I | b] with artificial basis.
+    tableau = np.zeros((num_rows, num_cols + num_rows + 1))
+    tableau[:, :num_cols] = a
+    tableau[:, num_cols:num_cols + num_rows] = np.eye(num_rows)
+    tableau[:, -1] = b
+    basis = list(range(num_cols, num_cols + num_rows))
+
+    phase1_costs = np.zeros(num_cols + num_rows)
+    phase1_costs[num_cols:] = 1.0
+    objective = _iterate(tableau, basis, phase1_costs)
+    if objective > 1e-7:
+        return None
+
+    _drive_out_artificials(tableau, basis, num_cols)
+    # Drop artificial columns (keep rhs).
+    tableau = np.hstack([tableau[:, :num_cols], tableau[:, -1:]])
+    # Rows whose basic variable is still artificial are redundant zero rows.
+    keep = [i for i, var in enumerate(basis) if var < num_cols]
+    tableau = tableau[keep]
+    basis = [basis[i] for i in keep]
+
+    try:
+        _iterate(tableau, basis, costs)
+    except _Unbounded:
+        raise
+    solution = np.zeros(num_cols)
+    for i, var in enumerate(basis):
+        solution[var] = tableau[i, -1]
+    return solution
+
+
+def _iterate(
+    tableau: np.ndarray, basis: list[int], costs: np.ndarray
+) -> float:
+    """Primal simplex iterations with Bland's rule; returns the objective."""
+    num_rows = tableau.shape[0]
+    num_cols = tableau.shape[1] - 1
+    for _ in range(_MAX_ITERATIONS):
+        basic_costs = costs[basis]
+        reduced = costs[:num_cols] - basic_costs @ tableau[:, :num_cols]
+        entering = -1
+        for j in range(num_cols):
+            if reduced[j] < -_TOL and j not in basis:
+                entering = j
+                break
+        if entering < 0:
+            return float(basic_costs @ tableau[:, -1])
+        column = tableau[:, entering]
+        best_ratio = math.inf
+        leaving_row = -1
+        for i in range(num_rows):
+            if column[i] > _TOL:
+                ratio = tableau[i, -1] / column[i]
+                better = ratio < best_ratio - _TOL
+                tie = (
+                    abs(ratio - best_ratio) <= _TOL
+                    and leaving_row >= 0
+                    and basis[i] < basis[leaving_row]
+                )
+                if better or tie:
+                    best_ratio = ratio
+                    leaving_row = i
+        if leaving_row < 0:
+            raise _Unbounded()
+        _pivot(tableau, leaving_row, entering)
+        basis[leaving_row] = entering
+    raise SolverError("simplex iteration limit exceeded")
+
+
+def _drive_out_artificials(
+    tableau: np.ndarray, basis: list[int], num_real_cols: int
+) -> None:
+    """Pivot zero-valued artificial basics onto real columns when possible."""
+    for i, var in enumerate(basis):
+        if var < num_real_cols:
+            continue
+        row = tableau[i, :num_real_cols]
+        candidates = np.nonzero(np.abs(row) > _TOL)[0]
+        if candidates.size:
+            _pivot(tableau, i, int(candidates[0]))
+            basis[i] = int(candidates[0])
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot on (row, col)."""
+    tableau[row] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > _TOL:
+            tableau[i] -= tableau[i, col] * tableau[row]

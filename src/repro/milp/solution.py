@@ -1,0 +1,120 @@
+"""Solution objects returned by the MILP solver."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Final status of a branch-and-bound run."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped early with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NO_SOLUTION = "no_solution"  # stopped early without an incumbent
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a usable assignment is available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass(frozen=True, slots=True)
+class IncumbentEvent:
+    """One anytime event: a new incumbent or an improved bound.
+
+    Attributes
+    ----------
+    time:
+        Seconds since the solve started.
+    objective:
+        Objective of the best incumbent at that moment (``inf`` if none).
+    bound:
+        Best proven lower bound at that moment.
+    kind:
+        ``"incumbent"`` or ``"bound"``.
+    """
+
+    time: float
+    objective: float
+    bound: float
+    kind: str
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap at this event (``inf`` if no incumbent)."""
+        return relative_gap(self.objective, self.bound)
+
+
+def relative_gap(objective: float, bound: float) -> float:
+    """Relative gap ``(obj - bound) / max(|bound|, eps)``; 0 when closed."""
+    if math.isinf(objective):
+        return math.inf
+    if math.isinf(bound):
+        return math.inf
+    denominator = max(abs(bound), 1e-10)
+    return max(0.0, (objective - bound) / denominator)
+
+
+@dataclass
+class MILPSolution:
+    """Result of a branch-and-bound solve.
+
+    Attributes
+    ----------
+    status:
+        Final :class:`SolveStatus`.
+    objective:
+        Objective of the returned assignment (``inf`` without incumbent).
+    best_bound:
+        Best proven lower bound on the optimal objective.
+    x:
+        Assignment vector (``None`` without incumbent).
+    values:
+        Name-keyed view of the assignment (``{}`` without incumbent).
+    node_count:
+        Number of branch-and-bound nodes processed.
+    solve_time:
+        Wall-clock seconds spent.
+    events:
+        Chronological anytime events (incumbents and bound improvements).
+    """
+
+    status: SolveStatus
+    objective: float
+    best_bound: float
+    x: np.ndarray | None = None
+    values: dict[str, float] = field(default_factory=dict)
+    node_count: int = 0
+    solve_time: float = 0.0
+    events: list[IncumbentEvent] = field(default_factory=list)
+
+    @property
+    def gap(self) -> float:
+        """Final relative optimality gap."""
+        return relative_gap(self.objective, self.best_bound)
+
+    @property
+    def optimality_factor(self) -> float:
+        """Guaranteed factor ``objective / bound`` (paper's Figure 2 metric).
+
+        The paper compares algorithms on the factor by which the current
+        plan's cost provably exceeds the optimum at most.  ``inf`` when no
+        incumbent exists yet; 1.0 at proven optimality.
+        """
+        if math.isinf(self.objective):
+            return math.inf
+        if self.best_bound <= 0:
+            # Bound can be zero/negative for cost objectives only when no
+            # useful bound was proven; report the weakest finite statement.
+            return math.inf if self.objective > 0 else 1.0
+        return max(1.0, self.objective / self.best_bound)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Value of the named variable in the incumbent."""
+        return self.values.get(name, default)

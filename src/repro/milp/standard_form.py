@@ -1,0 +1,97 @@
+"""Conversion of a :class:`~repro.milp.model.Model` to matrix standard form.
+
+The branch-and-bound solver converts the model once; each search node then
+only varies the variable-bound vectors, which keeps per-node work small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.milp.constraints import Sense
+from repro.milp.model import Model
+
+
+@dataclass(frozen=True)
+class StandardForm:
+    """Matrix form ``min c'x + c0  s.t.  A_ub x <= b_ub,  A_eq x = b_eq``.
+
+    ``>=`` rows are negated into ``<=`` rows during conversion.  Bounds are
+    kept separately because branch-and-bound tightens them per node.
+    """
+
+    c: np.ndarray
+    c0: float
+    a_ub: sparse.csr_matrix | None
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix | None
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integral_indices: np.ndarray
+
+    @property
+    def num_variables(self) -> int:
+        """Number of columns."""
+        return self.c.shape[0]
+
+
+def to_standard_form(model: Model) -> StandardForm:
+    """Convert ``model`` into sparse matrix standard form."""
+    num_vars = model.num_variables
+    c = np.zeros(num_vars)
+    for index, coefficient in model.objective.coefficients.items():
+        c[index] = coefficient
+
+    ub_rows: list[int] = []
+    ub_cols: list[int] = []
+    ub_data: list[float] = []
+    b_ub: list[float] = []
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_data: list[float] = []
+    b_eq: list[float] = []
+
+    for constraint in model.constraints:
+        if constraint.sense is Sense.EQ:
+            row = len(b_eq)
+            for index, coefficient in constraint.expr.coefficients.items():
+                eq_rows.append(row)
+                eq_cols.append(index)
+                eq_data.append(coefficient)
+            b_eq.append(constraint.rhs)
+        else:
+            sign = 1.0 if constraint.sense is Sense.LE else -1.0
+            row = len(b_ub)
+            for index, coefficient in constraint.expr.coefficients.items():
+                ub_rows.append(row)
+                ub_cols.append(index)
+                ub_data.append(sign * coefficient)
+            b_ub.append(sign * constraint.rhs)
+
+    a_ub = None
+    if b_ub:
+        a_ub = sparse.csr_matrix(
+            (ub_data, (ub_rows, ub_cols)), shape=(len(b_ub), num_vars)
+        )
+    a_eq = None
+    if b_eq:
+        a_eq = sparse.csr_matrix(
+            (eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), num_vars)
+        )
+
+    lb, ub = model.bounds_arrays()
+    return StandardForm(
+        c=c,
+        c0=model.objective.constant,
+        a_ub=a_ub,
+        b_ub=np.array(b_ub),
+        a_eq=a_eq,
+        b_eq=np.array(b_eq),
+        lb=lb,
+        ub=ub,
+        integral_indices=np.array(model.integral_indices, dtype=np.int64),
+    )

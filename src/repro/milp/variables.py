@@ -1,0 +1,102 @@
+"""Decision variables for MILP models."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+    INTEGER = "integer"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A decision variable owned by a :class:`repro.milp.Model`.
+
+    Variables are created through :meth:`Model.add_var` (or the
+    ``add_binary`` / ``add_continuous`` conveniences), never directly.
+    They are hashable and compare by identity of ``(index, name)`` within
+    their model.
+
+    Attributes
+    ----------
+    index:
+        Column index of the variable inside its model.
+    name:
+        Unique name within the model.
+    lb, ub:
+        Lower/upper bound.  Binary variables always have ``[0, 1]``.
+    vtype:
+        Variable domain.
+    priority:
+        Branching priority; among fractional variables, branch-and-bound
+        branches within the highest-priority group first.  Structural
+        decisions (e.g. join-order binaries) should outrank derived flags
+        (e.g. cardinality thresholds).
+    """
+
+    index: int
+    name: str
+    lb: float
+    ub: float
+    vtype: VarType
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lb) or math.isnan(self.ub):
+            raise ModelError(f"variable {self.name!r}: NaN bound")
+        if self.lb > self.ub:
+            raise ModelError(
+                f"variable {self.name!r}: lower bound {self.lb} exceeds "
+                f"upper bound {self.ub}"
+            )
+        if self.vtype is VarType.BINARY and (self.lb < 0 or self.ub > 1):
+            raise ModelError(
+                f"binary variable {self.name!r} must have bounds within [0, 1]"
+            )
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the variable must take an integer value."""
+        return self.vtype is not VarType.CONTINUOUS
+
+    # Arithmetic sugar: building linear expressions from variables.
+    def __add__(self, other):
+        from repro.milp.expr import LinExpr
+
+        return LinExpr.from_var(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.milp.expr import LinExpr
+
+        return LinExpr.from_var(self) - other
+
+    def __rsub__(self, other):
+        from repro.milp.expr import LinExpr
+
+        return (-LinExpr.from_var(self)) + other
+
+    def __mul__(self, coefficient: float):
+        from repro.milp.expr import LinExpr
+
+        return LinExpr.from_var(self) * coefficient
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        from repro.milp.expr import LinExpr
+
+        return -LinExpr.from_var(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"

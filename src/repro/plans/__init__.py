@@ -1,0 +1,53 @@
+"""Query plan substrate: left-deep plans, exact cardinalities and costs."""
+
+from repro.plans.cardinality import CardinalityModel
+from repro.plans.explain import (
+    compare_plans,
+    explain_table,
+    explain_text,
+    to_dot,
+)
+from repro.plans.cost import (
+    JoinCostBreakdown,
+    PlanCostEvaluator,
+    log_sum_exp,
+    plan_cost,
+)
+from repro.plans.operators import (
+    CostContext,
+    JoinAlgorithm,
+    block_nested_loop_cost,
+    cout_cost,
+    hash_join_cost,
+    join_cost,
+    merge_cost,
+    sort_cost,
+    sort_merge_join_cost,
+)
+from repro.plans.plan import JoinStep, LeftDeepPlan
+from repro.plans.validation import crossproduct_joins, validate_plan
+
+__all__ = [
+    "CardinalityModel",
+    "CostContext",
+    "JoinAlgorithm",
+    "JoinCostBreakdown",
+    "JoinStep",
+    "LeftDeepPlan",
+    "PlanCostEvaluator",
+    "block_nested_loop_cost",
+    "compare_plans",
+    "cout_cost",
+    "crossproduct_joins",
+    "explain_table",
+    "explain_text",
+    "hash_join_cost",
+    "join_cost",
+    "log_sum_exp",
+    "merge_cost",
+    "plan_cost",
+    "sort_cost",
+    "sort_merge_join_cost",
+    "to_dot",
+    "validate_plan",
+]

@@ -1,0 +1,95 @@
+"""Exact (non-approximated) cardinality estimation for table sets.
+
+The MILP formulation approximates cardinalities through threshold variables;
+this module is the ground truth it approximates: the product of table
+cardinalities and applicable-predicate selectivities (paper Section 3),
+including the unary-predicate push-down and correlated-group corrections.
+
+A :class:`CardinalityModel` memoizes per-table-set results, which the DP
+baseline relies on for speed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+
+
+class CardinalityModel:
+    """Memoizing cardinality estimator for one query.
+
+    Unary predicates are folded into *effective* table cardinalities
+    (``Card(t) * prod(Sel(p) for unary p on t)``) because every optimizer in
+    this library pushes selections down to the scans — mirroring the MILP
+    formulation, which treats unary predicates the same way.
+    """
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self._effective_log_card: dict[str, float] = {}
+        for table in query.tables:
+            log_card = table.log_cardinality
+            for predicate in query.predicates:
+                if predicate.is_unary and predicate.tables[0] == table.name:
+                    log_card += predicate.log_selectivity
+            self._effective_log_card[table.name] = log_card
+        #: Multi-table predicates, the only ones whose application depends
+        #: on the join order.
+        self.join_predicates: tuple[Predicate, ...] = tuple(
+            predicate
+            for predicate in query.predicates
+            if predicate.arity >= 2
+        )
+        self._cache: dict[frozenset[str], float] = {}
+
+    def effective_log_cardinality(self, table_name: str) -> float:
+        """Log cardinality of one table with unary predicates applied."""
+        return self._effective_log_card[table_name]
+
+    def effective_cardinality(self, table_name: str) -> float:
+        """Cardinality of one table with unary predicates applied."""
+        return math.exp(self._effective_log_card[table_name])
+
+    def log_cardinality(self, table_names: frozenset[str]) -> float:
+        """Log cardinality of the join of ``table_names``.
+
+        Applies every multi-table predicate whose referenced tables are all
+        present, plus correlated-group corrections once all members apply.
+        """
+        cached = self._cache.get(table_names)
+        if cached is not None:
+            return cached
+        result = sum(self._effective_log_card[name] for name in table_names)
+        applied: set[str] = set()
+        for predicate in self.query.predicates:
+            # Unary predicates are applied at the scan (already folded into
+            # effective cardinalities), so they count as applied as soon as
+            # their table is present — relevant for correlated groups.
+            if predicate.is_unary:
+                if predicate.tables[0] in table_names:
+                    applied.add(predicate.name)
+        for predicate in self.join_predicates:
+            if all(table in table_names for table in predicate.tables):
+                result += predicate.log_selectivity
+                applied.add(predicate.name)
+        for group in self.query.correlated_groups:
+            if all(name in applied for name in group.predicate_names):
+                result += group.log_correction
+        self._cache[table_names] = result
+        return result
+
+    def cardinality(self, table_names: frozenset[str]) -> float:
+        """Cardinality of the join of ``table_names`` (raw domain)."""
+        return math.exp(self.log_cardinality(table_names))
+
+    def applicable_join_predicates(
+        self, table_names: frozenset[str]
+    ) -> list[Predicate]:
+        """Multi-table predicates applicable within ``table_names``."""
+        return [
+            predicate
+            for predicate in self.join_predicates
+            if all(table in table_names for table in predicate.tables)
+        ]

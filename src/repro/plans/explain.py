@@ -1,0 +1,176 @@
+"""Plan rendering: EXPLAIN-style trees, tabular summaries and DOT export.
+
+Every database exposes its optimizer's output through some form of
+``EXPLAIN``; this module is that surface for the library's left-deep plans.
+Three renderings are offered:
+
+* :func:`explain_text` — an indented operator tree annotated with estimated
+  cardinalities and per-join cost, in the style of PostgreSQL's EXPLAIN;
+* :func:`explain_table` — one row per join (the raw
+  :class:`~repro.plans.cost.JoinCostBreakdown` numbers, aligned);
+* :func:`to_dot` — a Graphviz digraph for papers and slides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.catalog.query import Query
+from repro.plans.cost import JoinCostBreakdown, PlanCostEvaluator
+from repro.plans.plan import LeftDeepPlan
+
+
+def _format_number(value: float) -> str:
+    """Compact human-readable number (1234567 -> '1.23e+06' past 1e7)."""
+    if value >= 1e7:
+        return f"{value:.3g}"
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.1f}"
+
+
+def _breakdown_for(
+    plan: LeftDeepPlan, use_cout: bool
+) -> list[JoinCostBreakdown]:
+    evaluator = PlanCostEvaluator(plan.query, use_cout=use_cout)
+    return evaluator.breakdown(plan)
+
+
+def explain_text(plan: LeftDeepPlan, use_cout: bool = False) -> str:
+    """Indented EXPLAIN tree for ``plan``.
+
+    The deepest line is the first table scanned; each level above it is one
+    join, annotated with the operator, estimated output rows and cost.
+    """
+    details = _breakdown_for(plan, use_cout)
+    total = sum(detail.cost for detail in details)
+    lines = [
+        f"Plan for query {plan.query.name!r} "
+        f"(total cost {_format_number(total)})"
+    ]
+    # Render top join first: walk breakdown in reverse.
+    for depth, detail in enumerate(reversed(details)):
+        indent = "  " * depth
+        lines.append(
+            f"{indent}-> Join [{detail.algorithm.value}] "
+            f"(rows={_format_number(detail.output_cardinality)}, "
+            f"cost={_format_number(detail.cost)})"
+        )
+        scan_indent = "  " * (depth + 1)
+        lines.append(
+            f"{scan_indent}-> Scan {detail.inner_table} "
+            f"(rows={_format_number(detail.inner_cardinality)})"
+        )
+    base_indent = "  " * (len(details) + 1)
+    first = plan.first_table
+    first_rows = plan.query.table(first).cardinality
+    lines.append(
+        f"{base_indent}-> Scan {first} (rows={_format_number(first_rows)})"
+    )
+    return "\n".join(lines)
+
+
+def explain_table(plan: LeftDeepPlan, use_cout: bool = False) -> str:
+    """One aligned row per join: operand/result sizes and cost."""
+    details = _breakdown_for(plan, use_cout)
+    headers = (
+        "join", "inner", "algorithm", "outer rows", "inner rows",
+        "result rows", "cost",
+    )
+    rows: list[tuple[str, ...]] = [headers]
+    for detail in details:
+        rows.append((
+            str(detail.join_index),
+            detail.inner_table,
+            detail.algorithm.value,
+            _format_number(detail.outer_cardinality),
+            _format_number(detail.inner_cardinality),
+            _format_number(detail.output_cardinality),
+            _format_number(detail.cost),
+        ))
+    total = sum(detail.cost for detail in details)
+    rows.append(("", "", "", "", "", "total", _format_number(total)))
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        ))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def to_dot(plan: LeftDeepPlan, use_cout: bool = False) -> str:
+    """Graphviz DOT rendering of the plan tree.
+
+    Join nodes are boxes labeled with the operator and estimated output
+    rows; scans are ellipses labeled with the table and its cardinality.
+    """
+    details = _breakdown_for(plan, use_cout)
+    lines = [
+        "digraph plan {",
+        "  rankdir=BT;",
+        '  node [fontname="Helvetica"];',
+    ]
+    first = plan.first_table
+    first_rows = plan.query.table(first).cardinality
+    lines.append(
+        f'  scan_{first} [shape=ellipse, '
+        f'label="{first}\\n{_format_number(first_rows)} rows"];'
+    )
+    previous = f"scan_{first}"
+    for detail in details:
+        scan_id = f"scan_{detail.inner_table}"
+        join_id = f"join_{detail.join_index}"
+        lines.append(
+            f'  {scan_id} [shape=ellipse, label="{detail.inner_table}\\n'
+            f'{_format_number(detail.inner_cardinality)} rows"];'
+        )
+        lines.append(
+            f'  {join_id} [shape=box, label="⋈ {detail.algorithm.value}\\n'
+            f'{_format_number(detail.output_cardinality)} rows, '
+            f'cost {_format_number(detail.cost)}"];'
+        )
+        lines.append(f"  {previous} -> {join_id};")
+        lines.append(f"  {scan_id} -> {join_id};")
+        previous = join_id
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def compare_plans(
+    plans: Sequence[LeftDeepPlan],
+    labels: Sequence[str] | None = None,
+    use_cout: bool = False,
+) -> str:
+    """Side-by-side cost comparison of several plans for one query.
+
+    Used by the examples and ablations to contrast the MILP plan with
+    baseline plans.
+    """
+    if not plans:
+        raise ValueError("need at least one plan to compare")
+    query: Query = plans[0].query
+    for plan in plans[1:]:
+        if plan.query != query:
+            raise ValueError("all compared plans must answer the same query")
+    if labels is None:
+        labels = [f"plan {index}" for index in range(len(plans))]
+    if len(labels) != len(plans):
+        raise ValueError("one label per plan required")
+    evaluator = PlanCostEvaluator(query, use_cout=use_cout)
+    costs = [evaluator.cost(plan) for plan in plans]
+    best = min(costs)
+    width = max(len(label) for label in labels)
+    lines = []
+    for label, plan, cost in zip(labels, plans, costs):
+        ratio = cost / best if best > 0 else 1.0
+        lines.append(
+            f"{label.ljust(width)}  cost={_format_number(cost):>12s}  "
+            f"({ratio:5.2f}x)  {plan.describe()}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Join operator cost formulas (paper Section 4.3).
+
+These are the *exact* formulas; the MILP formulation encodes piecewise-linear
+approximations of the same functions, and the DP baseline uses them directly.
+Keeping them in one place guarantees that every optimizer in the library
+prices plans consistently.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.catalog.table import DEFAULT_PAGE_SIZE, DEFAULT_TUPLE_SIZE
+from repro.exceptions import PlanError
+
+
+class JoinAlgorithm(enum.Enum):
+    """Physical join operator implementations considered by the paper."""
+
+    HASH = "hash"
+    SORT_MERGE = "sort_merge"
+    BLOCK_NESTED_LOOP = "block_nested_loop"
+
+
+@dataclass(frozen=True, slots=True)
+class CostContext:
+    """Physical parameters shared by all cost formulas.
+
+    Attributes
+    ----------
+    tuple_size:
+        Fixed byte width per tuple (the paper's ``tupSize`` simplification).
+    page_size:
+        Disk page size in bytes (``pageSize``).
+    buffer_pages:
+        Pages of buffer dedicated to the outer operand of a block
+        nested-loop join (``buffer``).
+    """
+
+    tuple_size: int = DEFAULT_TUPLE_SIZE
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_pages: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tuple_size <= 0 or self.page_size <= 0 or self.buffer_pages <= 0:
+            raise PlanError("cost context parameters must be positive")
+
+    @property
+    def tuples_per_page(self) -> float:
+        """Tuples that fit on one page."""
+        return self.page_size / self.tuple_size
+
+    def pages(self, cardinality: float) -> float:
+        """Disk pages for ``cardinality`` tuples: ``ceil(card*tup/page)``.
+
+        At least one page; fractional input cardinalities (from approximate
+        models) are supported.  A relative epsilon absorbs the float noise
+        of cardinalities computed through ``exp(log(...))`` so that values
+        an ulp above an integer do not cost an extra page.
+        """
+        if cardinality < 0:
+            raise PlanError(f"negative cardinality {cardinality}")
+        raw = cardinality * self.tuple_size / self.page_size
+        return max(1.0, math.ceil(raw * (1.0 - 1e-12)))
+
+
+def hash_join_cost(outer_pages: float, inner_pages: float) -> float:
+    """Classic GRACE hash join: ``3 * (pgo + pgi)`` (paper Section 4.3)."""
+    return 3.0 * (outer_pages + inner_pages)
+
+
+def sort_merge_join_cost(outer_pages: float, inner_pages: float) -> float:
+    """Sort-merge join with both inputs unsorted.
+
+    ``2*pgo*ceil(log(pgo)) + 2*pgi*ceil(log(pgi)) + pgo + pgi`` with log
+    base 2 (sort passes), per the paper's formula.
+    """
+    return (
+        2.0 * outer_pages * _ceil_log2(outer_pages)
+        + 2.0 * inner_pages * _ceil_log2(inner_pages)
+        + outer_pages
+        + inner_pages
+    )
+
+
+def sort_cost(pages: float) -> float:
+    """Cost of the external-sort stage alone: ``2 * pg * ceil(log2 pg)``."""
+    return 2.0 * pages * _ceil_log2(pages)
+
+
+def merge_cost(outer_pages: float, inner_pages: float) -> float:
+    """Cost of the merge stage alone: one pass over both inputs."""
+    return outer_pages + inner_pages
+
+
+def block_nested_loop_cost(
+    outer_pages: float, inner_pages: float, buffer_pages: int
+) -> float:
+    """Pipelined block nested-loop join: ``ceil(pgo / buffer) * pgi``."""
+    if buffer_pages <= 0:
+        raise PlanError("buffer_pages must be positive")
+    return math.ceil(outer_pages / buffer_pages) * inner_pages
+
+
+def cout_cost(output_cardinality: float) -> float:
+    """The C_out metric charges each operation its output cardinality."""
+    return output_cardinality
+
+
+def join_cost(
+    algorithm: JoinAlgorithm,
+    outer_cardinality: float,
+    inner_cardinality: float,
+    context: CostContext,
+) -> float:
+    """Cost of joining operands of the given cardinalities with ``algorithm``."""
+    outer_pages = context.pages(outer_cardinality)
+    inner_pages = context.pages(inner_cardinality)
+    if algorithm is JoinAlgorithm.HASH:
+        return hash_join_cost(outer_pages, inner_pages)
+    if algorithm is JoinAlgorithm.SORT_MERGE:
+        return sort_merge_join_cost(outer_pages, inner_pages)
+    if algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP:
+        return block_nested_loop_cost(
+            outer_pages, inner_pages, context.buffer_pages
+        )
+    raise PlanError(f"unknown join algorithm {algorithm!r}")
+
+
+def _ceil_log2(pages: float) -> float:
+    """``ceil(log2(pages))``, safe at one page (returns 0)."""
+    if pages < 1.0:
+        raise PlanError(f"page count below one: {pages}")
+    if pages <= 1.0:
+        return 0.0
+    return math.ceil(math.log2(pages) * (1.0 - 1e-12))

@@ -1,0 +1,125 @@
+"""Left-deep query plan representation (paper Section 3).
+
+A left-deep plan is fully specified by the sequence of tables joined in and
+the physical operator used for each join: the outer operand of join ``j`` is
+always the result of join ``j - 1`` (or the first table for join 0) and the
+inner operand is a single base table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.catalog.query import Query
+from repro.exceptions import PlanError
+from repro.plans.operators import JoinAlgorithm
+
+
+@dataclass(frozen=True, slots=True)
+class JoinStep:
+    """One join of a left-deep plan: bring in ``inner_table``."""
+
+    inner_table: str
+    algorithm: JoinAlgorithm = JoinAlgorithm.HASH
+
+
+@dataclass(frozen=True)
+class LeftDeepPlan:
+    """An immutable left-deep join plan for a specific query.
+
+    Parameters
+    ----------
+    query:
+        The query this plan answers.
+    first_table:
+        Outer operand of the first join.
+    steps:
+        One :class:`JoinStep` per join, in execution order.  Together with
+        ``first_table`` they must cover every query table exactly once.
+    """
+
+    query: Query
+    first_table: str
+    steps: tuple[JoinStep, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        order = [self.first_table] + [step.inner_table for step in self.steps]
+        expected = set(self.query.table_names)
+        if set(order) != expected or len(order) != len(expected):
+            raise PlanError(
+                "plan must join every query table exactly once; "
+                f"got order {order} for tables {sorted(expected)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_order(
+        cls,
+        query: Query,
+        order: Sequence[str],
+        algorithm: JoinAlgorithm = JoinAlgorithm.HASH,
+    ) -> "LeftDeepPlan":
+        """Build a plan joining tables in ``order`` with one algorithm."""
+        if not order:
+            raise PlanError("join order must not be empty")
+        steps = tuple(JoinStep(name, algorithm) for name in order[1:])
+        return cls(query, order[0], steps)
+
+    def with_algorithms(
+        self, algorithms: Sequence[JoinAlgorithm]
+    ) -> "LeftDeepPlan":
+        """Return a copy with per-join algorithms replaced."""
+        if len(algorithms) != len(self.steps):
+            raise PlanError(
+                f"expected {len(self.steps)} algorithms, got {len(algorithms)}"
+            )
+        steps = tuple(
+            JoinStep(step.inner_table, algorithm)
+            for step, algorithm in zip(self.steps, algorithms)
+        )
+        return LeftDeepPlan(self.query, self.first_table, steps)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def join_order(self) -> tuple[str, ...]:
+        """Tables in the order they enter the plan."""
+        return (self.first_table,) + tuple(
+            step.inner_table for step in self.steps
+        )
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join operations."""
+        return len(self.steps)
+
+    def outer_sets(self) -> Iterator[frozenset[str]]:
+        """Yield, per join, the set of tables in the outer operand.
+
+        For join 0 this is the first table alone; for join ``j`` it is the
+        result of join ``j - 1``.
+        """
+        current = frozenset({self.first_table})
+        for step in self.steps:
+            yield current
+            current = current | {step.inner_table}
+
+    def result_sets(self) -> Iterator[frozenset[str]]:
+        """Yield, per join, the set of tables in the join *result*."""
+        current = frozenset({self.first_table})
+        for step in self.steps:
+            current = current | {step.inner_table}
+            yield current
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering, e.g. ``((R ⋈ S) ⋈ T)``."""
+        text = self.first_table
+        for step in self.steps:
+            text = f"({text} ⋈[{step.algorithm.value}] {step.inner_table})"
+        return text

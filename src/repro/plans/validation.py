@@ -1,0 +1,75 @@
+"""Structural validation of query plans."""
+
+from __future__ import annotations
+
+from repro.catalog.query import Query
+from repro.exceptions import PlanError
+from repro.plans.plan import LeftDeepPlan
+
+
+def validate_plan(plan: LeftDeepPlan, query: Query | None = None) -> None:
+    """Check that ``plan`` is a complete, valid left-deep plan.
+
+    Raises
+    ------
+    PlanError
+        With a precise message when the plan is malformed.  The dataclass
+        constructor already enforces table coverage; this function re-checks
+        against an explicit query and verifies operand-shape invariants,
+        which protects the MILP extraction path against solver tolerance
+        artifacts.
+    """
+    target = query or plan.query
+    expected = set(target.table_names)
+    order = plan.join_order
+    if len(order) != len(expected):
+        raise PlanError(
+            f"plan joins {len(order)} tables, query has {len(expected)}"
+        )
+    seen: set[str] = set()
+    for name in order:
+        if name not in expected:
+            raise PlanError(f"plan references unknown table {name!r}")
+        if name in seen:
+            raise PlanError(f"plan joins table {name!r} twice")
+        seen.add(name)
+    if plan.num_joins != target.num_joins:
+        raise PlanError(
+            f"plan has {plan.num_joins} joins, query needs {target.num_joins}"
+        )
+    # Left-deep invariant: outer operand of join j equals the result of
+    # join j-1 and never overlaps the inner operand.
+    previous: frozenset[str] | None = None
+    for outer, step in zip(plan.outer_sets(), plan.steps):
+        if step.inner_table in outer:
+            raise PlanError(
+                f"inner operand {step.inner_table!r} overlaps outer operand"
+            )
+        if previous is not None and outer != previous:
+            raise PlanError("outer operand is not the previous join result")
+        previous = outer | {step.inner_table}
+
+
+def crossproduct_joins(plan: LeftDeepPlan) -> list[int]:
+    """Indices of joins that are pure cross products (no applicable join
+    predicate connects the inner table to the outer operand)."""
+    result: list[int] = []
+    join_predicates = [
+        predicate
+        for predicate in plan.query.predicates
+        if predicate.arity >= 2
+    ]
+    for index, (outer, step) in enumerate(
+        zip(plan.outer_sets(), plan.steps)
+    ):
+        if index == 0 and not join_predicates:
+            result.append(index)
+            continue
+        connected = any(
+            step.inner_table in predicate.tables
+            and any(table in outer for table in predicate.tables)
+            for predicate in join_predicates
+        )
+        if not connected:
+            result.append(index)
+    return result

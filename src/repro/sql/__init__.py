@@ -1,0 +1,70 @@
+"""SQL frontend: parse a conjunctive SPJ SELECT statement into an
+optimizer :class:`~repro.catalog.query.Query`.
+
+Example
+-------
+>>> from repro.catalog import Column, Table
+>>> from repro.sql import Schema, sql_to_query
+>>> schema = Schema.from_tables([
+...     Table("users", 10_000, columns=(
+...         Column("id", distinct_values=10_000), Column("city"))),
+...     Table("orders", 200_000, columns=(
+...         Column("user_id", distinct_values=10_000), Column("total"))),
+... ])
+>>> query = sql_to_query(
+...     "SELECT users.city FROM users, orders "
+...     "WHERE users.id = orders.user_id AND orders.total > 100",
+...     schema,
+... )
+>>> query.num_tables
+2
+"""
+
+from repro.sql.ast_nodes import (
+    AggregateRef,
+    ColumnRef,
+    Comparison,
+    HavingComparison,
+    InListPredicate,
+    SelectStatement,
+    SubqueryPredicate,
+    TableRef,
+)
+from repro.sql.parser import Parser, parse_sql
+from repro.sql.schema import Schema
+from repro.sql.tokenizer import SqlSyntaxError, Token, TokenType, tokenize
+from repro.sql.translate import Translator, sql_to_query
+from repro.sql.unnest import (
+    BlockPlan,
+    UnnestedBlock,
+    UnnestedResult,
+    decompose,
+    optimize_blocks,
+    unnest_sql,
+)
+
+__all__ = [
+    "AggregateRef",
+    "BlockPlan",
+    "ColumnRef",
+    "Comparison",
+    "HavingComparison",
+    "InListPredicate",
+    "Parser",
+    "Schema",
+    "SelectStatement",
+    "SqlSyntaxError",
+    "SubqueryPredicate",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "Translator",
+    "UnnestedBlock",
+    "UnnestedResult",
+    "decompose",
+    "optimize_blocks",
+    "parse_sql",
+    "sql_to_query",
+    "tokenize",
+    "unnest_sql",
+]

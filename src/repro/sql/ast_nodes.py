@@ -1,0 +1,143 @@
+"""AST node types produced by the SQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A possibly table-qualified column reference ``t.c`` or ``c``."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A table in the FROM clause, with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name the table is referred to by elsewhere in the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A WHERE-clause comparison.
+
+    ``right`` is either a :class:`ColumnRef` (join predicate) or a literal
+    string/float (selection predicate).
+    """
+
+    left: ColumnRef
+    operator: str
+    right: "ColumnRef | str | float"
+
+    @property
+    def is_join(self) -> bool:
+        """Whether both sides are column references."""
+        return isinstance(self.right, ColumnRef)
+
+
+#: Aggregate function names recognized by the parser.
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateRef:
+    """An aggregate select item such as ``COUNT(*)`` or ``SUM(t.x)``.
+
+    ``argument`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    func: str
+    argument: ColumnRef | None
+    distinct: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        inner = "*" if self.argument is None else str(self.argument)
+        if self.distinct:
+            inner = f"distinct {inner}"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class HavingComparison:
+    """A HAVING-clause condition ``aggregate op literal``."""
+
+    aggregate: AggregateRef
+    operator: str
+    value: "str | float"
+
+
+@dataclass(frozen=True, slots=True)
+class InListPredicate:
+    """A WHERE-clause condition ``column [NOT] IN (literal, ...)``."""
+
+    column: ColumnRef
+    values: tuple["str | float", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SubqueryPredicate:
+    """A nested-query condition in the WHERE clause.
+
+    Three shapes are represented (the paper's Section 5.5 points at
+    Selinger-style decomposition into SPJ blocks for all of them):
+
+    * ``column [NOT] IN (SELECT ...)`` — ``column`` is set, ``operator``
+      is ``"in"`` (type-N nesting);
+    * ``[NOT] EXISTS (SELECT ...)`` — ``column`` is ``None``, ``operator``
+      is ``"exists"``; correlation predicates live inside the subquery's
+      WHERE clause and reference outer tables (type-J);
+    * ``column op (SELECT agg(...) ...)`` — scalar aggregate subquery,
+      ``operator`` is the comparison operator (type-A).
+    """
+
+    operator: str
+    statement: "SelectStatement"
+    column: ColumnRef | None = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT statement.
+
+    The core is the conjunctive select-project-join block of the paper's
+    Section 3; the optional fields carry the Section 5.5 query-language
+    extensions (aggregates, grouping, nested queries).
+    """
+
+    columns: tuple[ColumnRef, ...]  # empty tuple + no aggregates: SELECT *
+    tables: tuple[TableRef, ...]
+    predicates: tuple[Comparison, ...] = field(default=())
+    aggregates: tuple[AggregateRef, ...] = field(default=())
+    group_by: tuple[ColumnRef, ...] = field(default=())
+    having: tuple[HavingComparison, ...] = field(default=())
+    in_lists: tuple[InListPredicate, ...] = field(default=())
+    subqueries: tuple[SubqueryPredicate, ...] = field(default=())
+
+    @property
+    def is_select_star(self) -> bool:
+        """Whether the statement projects every column."""
+        return not self.columns and not self.aggregates
+
+    @property
+    def has_aggregates(self) -> bool:
+        """Whether any select item or HAVING condition aggregates."""
+        return bool(self.aggregates or self.having)
+
+    @property
+    def is_nested(self) -> bool:
+        """Whether the WHERE clause contains subqueries."""
+        return bool(self.subqueries)

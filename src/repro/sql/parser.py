@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (conjunctive select-project-join — the query class of the paper's
+Section 3 — plus the Section 5 / 5.5 extensions: projection, aggregates,
+grouping and nested queries)::
+
+    statement  := SELECT select_list FROM table_list [WHERE condition]
+                  [GROUP BY column_list] [HAVING having_list] [;]
+    select_list:= '*' | select_item (',' select_item)*
+    select_item:= column | aggregate
+    aggregate  := func '(' ['*' | [DISTINCT] column] ')'
+    table_list := table_ref (',' table_ref)*
+                | table_ref (JOIN table_ref ON comparison)*
+    table_ref  := identifier [AS identifier | identifier]
+    condition  := conjunct (AND conjunct)*
+    conjunct   := comparison
+                | column [NOT] IN '(' (SELECT ... | literal_list) ')'
+                | [NOT] EXISTS '(' SELECT ... ')'
+    having_list:= having (AND having)*
+    having     := aggregate op literal
+    comparison := column op (column | literal)
+    column     := identifier ['.' identifier]
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    AggregateRef,
+    ColumnRef,
+    Comparison,
+    HavingComparison,
+    InListPredicate,
+    SelectStatement,
+    SubqueryPredicate,
+    TableRef,
+)
+from repro.sql.tokenizer import SqlSyntaxError, Token, TokenType, tokenize
+
+
+class Parser:
+    """One-statement recursive-descent parser over a token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize(text)
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.type is not token_type or (
+            value is not None and token.value != value
+        ):
+            expected = value or token_type.value
+            raise SqlSyntaxError(
+                f"expected {expected!r} at position {token.position}, "
+                f"found {token.value!r}"
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value == word:
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        """Parse one SELECT statement; rejects trailing garbage."""
+        statement = self._select_statement()
+        if self._peek().type is not TokenType.END:
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"unexpected input {token.value!r} at position "
+                f"{token.position}"
+            )
+        return statement
+
+    def _select_statement(self) -> SelectStatement:
+        """Parse a SELECT statement body (also used for subqueries)."""
+        self._expect(TokenType.KEYWORD, "select")
+        columns, aggregates = self._select_list()
+        self._expect(TokenType.KEYWORD, "from")
+        tables, join_predicates = self._table_list()
+        predicates = list(join_predicates)
+        in_lists: list[InListPredicate] = []
+        subqueries: list[SubqueryPredicate] = []
+        if self._accept_keyword("where"):
+            self._condition(predicates, in_lists, subqueries)
+        group_by: list[ColumnRef] = []
+        if self._accept_keyword("group"):
+            self._expect(TokenType.KEYWORD, "by")
+            group_by.append(self._column())
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                group_by.append(self._column())
+        having: list[HavingComparison] = []
+        if self._accept_keyword("having"):
+            having.append(self._having_comparison())
+            while self._accept_keyword("and"):
+                having.append(self._having_comparison())
+        return SelectStatement(
+            columns=tuple(columns),
+            tables=tuple(tables),
+            predicates=tuple(predicates),
+            aggregates=tuple(aggregates),
+            group_by=tuple(group_by),
+            having=tuple(having),
+            in_lists=tuple(in_lists),
+            subqueries=tuple(subqueries),
+        )
+
+    def _select_list(self) -> tuple[list[ColumnRef], list[AggregateRef]]:
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            return [], []
+        columns: list[ColumnRef] = []
+        aggregates: list[AggregateRef] = []
+        self._select_item(columns, aggregates)
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            self._select_item(columns, aggregates)
+        return columns, aggregates
+
+    def _select_item(self, columns, aggregates) -> None:
+        token = self._peek()
+        is_aggregate = (
+            token.type is TokenType.IDENTIFIER
+            and token.value.lower() in AGGREGATE_FUNCTIONS
+            and self._peek(1).type is TokenType.LPAREN
+        )
+        if is_aggregate:
+            aggregates.append(self._aggregate())
+        else:
+            columns.append(self._column())
+
+    def _aggregate(self) -> AggregateRef:
+        func = self._expect(TokenType.IDENTIFIER).value.lower()
+        self._expect(TokenType.LPAREN)
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            self._expect(TokenType.RPAREN)
+            if func != "count":
+                raise SqlSyntaxError(f"{func}(*) is not valid SQL")
+            return AggregateRef(func=func, argument=None)
+        distinct = self._accept_keyword("distinct")
+        argument = self._column()
+        self._expect(TokenType.RPAREN)
+        return AggregateRef(func=func, argument=argument, distinct=distinct)
+
+    def _table_list(self) -> tuple[list[TableRef], list[Comparison]]:
+        tables = [self._table_ref()]
+        predicates: list[Comparison] = []
+        while True:
+            token = self._peek()
+            if token.type is TokenType.COMMA:
+                self._advance()
+                tables.append(self._table_ref())
+                continue
+            if token.type is TokenType.KEYWORD and token.value in (
+                "join", "inner",
+            ):
+                if token.value == "inner":
+                    self._advance()
+                    self._expect(TokenType.KEYWORD, "join")
+                else:
+                    self._advance()
+                tables.append(self._table_ref())
+                self._expect(TokenType.KEYWORD, "on")
+                predicates.append(self._comparison())
+                continue
+            break
+        return tables, predicates
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect(TokenType.IDENTIFIER).value
+        alias: str | None = None
+        if self._accept_keyword("as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    # ------------------------------------------------------------------
+    # WHERE clause
+    # ------------------------------------------------------------------
+
+    def _condition(self, predicates, in_lists, subqueries) -> None:
+        self._conjunct(predicates, in_lists, subqueries)
+        while self._accept_keyword("and"):
+            self._conjunct(predicates, in_lists, subqueries)
+
+    def _conjunct(self, predicates, in_lists, subqueries) -> None:
+        if self._accept_keyword("not"):
+            self._expect(TokenType.KEYWORD, "exists")
+            subqueries.append(self._exists_subquery(negated=True))
+            return
+        if self._accept_keyword("exists"):
+            subqueries.append(self._exists_subquery(negated=False))
+            return
+        column = self._column()
+        negated = False
+        if self._accept_keyword("not"):
+            negated = True
+            if self._peek().value != "in":
+                token = self._peek()
+                raise SqlSyntaxError(
+                    f"expected 'in' after 'not' at position {token.position}"
+                )
+        if self._accept_keyword("in"):
+            self._in_predicate(column, negated, in_lists, subqueries)
+            return
+        if negated:  # pragma: no cover - guarded above
+            raise SqlSyntaxError("dangling NOT")
+        operator = self._expect(TokenType.OPERATOR).value
+        if (
+            self._peek().type is TokenType.LPAREN
+            and self._peek(1).type is TokenType.KEYWORD
+            and self._peek(1).value == "select"
+        ):
+            # Scalar subquery: col op (SELECT agg(...) FROM ...).
+            self._advance()
+            statement = self._select_statement()
+            self._expect(TokenType.RPAREN)
+            subqueries.append(
+                SubqueryPredicate(
+                    operator=operator,
+                    statement=statement,
+                    column=column,
+                    negated=False,
+                )
+            )
+            return
+        predicates.append(self._comparison_value(column, operator))
+
+    def _exists_subquery(self, negated: bool) -> SubqueryPredicate:
+        self._expect(TokenType.LPAREN)
+        statement = self._select_statement()
+        self._expect(TokenType.RPAREN)
+        return SubqueryPredicate(
+            operator="exists",
+            statement=statement,
+            column=None,
+            negated=negated,
+        )
+
+    def _in_predicate(
+        self, column: ColumnRef, negated: bool, in_lists, subqueries
+    ) -> None:
+        self._expect(TokenType.LPAREN)
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value == "select":
+            statement = self._select_statement()
+            self._expect(TokenType.RPAREN)
+            subqueries.append(
+                SubqueryPredicate(
+                    operator="in",
+                    statement=statement,
+                    column=column,
+                    negated=negated,
+                )
+            )
+            return
+        values = [self._literal()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            values.append(self._literal())
+        self._expect(TokenType.RPAREN)
+        in_lists.append(
+            InListPredicate(
+                column=column, values=tuple(values), negated=negated
+            )
+        )
+
+    def _literal(self) -> "str | float":
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            return float(self._advance().value)
+        if token.type is TokenType.STRING:
+            return self._advance().value
+        raise SqlSyntaxError(
+            f"expected a literal at position {token.position}, "
+            f"found {token.value!r}"
+        )
+
+    def _having_comparison(self) -> HavingComparison:
+        aggregate = self._aggregate()
+        operator = self._expect(TokenType.OPERATOR).value
+        value = self._literal()
+        return HavingComparison(
+            aggregate=aggregate, operator=operator, value=value
+        )
+
+    def _comparison(self) -> Comparison:
+        left = self._column()
+        operator = self._expect(TokenType.OPERATOR).value
+        return self._comparison_value(left, operator)
+
+    def _comparison_value(
+        self, left: ColumnRef, operator: str
+    ) -> Comparison:
+        token = self._peek()
+        right: "ColumnRef | str | float"
+        if token.type is TokenType.IDENTIFIER:
+            right = self._column()
+        elif token.type is TokenType.NUMBER:
+            right = float(self._advance().value)
+        elif token.type is TokenType.STRING:
+            right = self._advance().value
+        else:
+            raise SqlSyntaxError(
+                f"expected a column or literal at position {token.position}"
+            )
+        return Comparison(left=left, operator=operator, right=right)
+
+    def _column(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(table=first, column=second)
+        return ColumnRef(table=None, column=first)
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse a single SELECT statement."""
+    return Parser(text).parse()

@@ -1,0 +1,70 @@
+"""Schema registry binding SQL table names to catalog tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.histogram import Histogram
+from repro.catalog.table import Table
+from repro.exceptions import CatalogError
+
+
+@dataclass
+class Schema:
+    """A named collection of tables available to SQL queries.
+
+    Column histograms can be attached with :meth:`add_histogram`; the SQL
+    translator then derives selectivities from them instead of the
+    ``1 / distinct`` System R defaults.
+
+    Examples
+    --------
+    >>> from repro.catalog import Column, Table
+    >>> schema = Schema()
+    >>> schema.add(Table("users", 1000, columns=(Column("id"),)))
+    >>> schema.table("users").cardinality
+    1000
+    """
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    histograms: dict[tuple[str, str], Histogram] = field(default_factory=dict)
+
+    def add(self, table: Table) -> None:
+        """Register a table; names are unique."""
+        if table.name in self.tables:
+            raise CatalogError(f"table {table.name!r} already registered")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self.tables
+
+    def add_histogram(
+        self, table: str, column: str, histogram: Histogram
+    ) -> None:
+        """Attach a histogram to ``table.column`` (both must exist)."""
+        owner = self.table(table)
+        if not owner.has_column(column):
+            raise CatalogError(
+                f"table {table!r} has no column {column!r}"
+            )
+        self.histograms[(table, column)] = histogram
+
+    def histogram_for(self, table: str, column: str) -> Histogram | None:
+        """The histogram attached to ``table.column``, if any."""
+        return self.histograms.get((table, column))
+
+    @classmethod
+    def from_tables(cls, tables) -> "Schema":
+        """Build a schema from an iterable of tables."""
+        schema = cls()
+        for table in tables:
+            schema.add(table)
+        return schema

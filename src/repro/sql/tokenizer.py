@@ -1,0 +1,139 @@
+"""Tokenizer for the SQL subset understood by :mod:`repro.sql`.
+
+Supported token classes: keywords (case-insensitive), identifiers,
+qualified names, numeric and string literals, comparison operators,
+commas, dots and parentheses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+class SqlSyntaxError(ReproError):
+    """Raised on malformed SQL input, with position information."""
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "and", "as", "join", "on", "inner",
+        "group", "by", "having", "in", "exists", "not", "distinct",
+    }
+)
+
+#: Multi-character operators first so '<=' wins over '<'.
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`SqlSyntaxError` on
+    unexpected characters or unterminated strings."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", index))
+            index += 1
+            continue
+        if char == ".":
+            tokens.append(Token(TokenType.DOT, ".", index))
+            index += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", index))
+            index += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", index))
+            index += 1
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", index))
+            index += 1
+            continue
+        operator = _match_operator(text, index)
+        if operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, operator, index))
+            index += len(operator)
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end < 0:
+                raise SqlSyntaxError(
+                    f"unterminated string literal at position {index}"
+                )
+            tokens.append(
+                Token(TokenType.STRING, text[index + 1:end], index)
+            )
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            start = index
+            index += 1
+            while index < length and (
+                text[index].isdigit() or text[index] == "."
+            ):
+                index += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                text[index].isalnum() or text[index] == "_"
+            ):
+                index += 1
+            word = text[start:index]
+            if word.lower() in KEYWORDS:
+                tokens.append(
+                    Token(TokenType.KEYWORD, word.lower(), start)
+                )
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        raise SqlSyntaxError(
+            f"unexpected character {char!r} at position {index}"
+        )
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _match_operator(text: str, index: int) -> str | None:
+    for operator in OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None

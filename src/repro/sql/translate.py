@@ -1,0 +1,244 @@
+"""Translate parsed SQL into optimizer :class:`~repro.catalog.query.Query`
+objects, deriving predicate selectivities from column statistics.
+
+Selectivity rules (System R defaults, Selinger et al.):
+
+* equi-join ``a.x = b.y``: ``1 / max(distinct(x), distinct(y))``;
+* equality selection ``t.x = literal``: ``1 / distinct(x)``;
+* inequality / range selection: 1/3;
+* unknown distinct counts fall back to a tenth of the table cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.histogram import join_selectivity
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.catalog.table import Table
+from repro.exceptions import QueryValidationError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    InListPredicate,
+    SelectStatement,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.schema import Schema
+
+#: System R's default selectivity for range predicates.
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass
+class Translator:
+    """Stateful translation of one statement against a schema."""
+
+    schema: Schema
+
+    def translate(self, statement: SelectStatement, name: str = "") -> Query:
+        """Build a :class:`Query` from a parsed statement.
+
+        Statements with subqueries must first be decomposed into SPJ
+        blocks (:mod:`repro.sql.unnest`); aggregates and GROUP BY do not
+        constrain the join order and only contribute required columns.
+        """
+        if statement.is_nested:
+            raise QueryValidationError(
+                "statement contains subqueries; decompose it with "
+                "repro.sql.unnest before optimizing"
+            )
+        bindings = self._resolve_tables(statement)
+        predicates = []
+        for index, comparison in enumerate(statement.predicates):
+            predicates.append(
+                self._translate_comparison(comparison, bindings, index)
+            )
+        for offset, in_list in enumerate(statement.in_lists):
+            predicates.append(
+                self._translate_in_list(
+                    in_list, bindings, len(statement.predicates) + offset
+                )
+            )
+        required = self._resolve_projection(statement, bindings)
+        return Query(
+            tables=tuple(bindings[b] for b in sorted(bindings)),
+            predicates=tuple(predicates),
+            required_columns=required,
+            name=name or "sql-query",
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_tables(self, statement) -> dict[str, Table]:
+        bindings: dict[str, Table] = {}
+        self._base_names: dict[str, str] = {}
+        for ref in statement.tables:
+            if ref.binding in bindings:
+                raise QueryValidationError(
+                    f"duplicate table binding {ref.binding!r}; use aliases"
+                )
+            self._base_names[ref.binding] = ref.name
+            base = self.schema.table(ref.name)
+            if ref.binding != base.name:
+                # Materialize the alias as a renamed table.
+                base = Table(
+                    name=ref.binding,
+                    cardinality=base.cardinality,
+                    columns=base.columns,
+                    tuple_size=base.tuple_size,
+                )
+            bindings[ref.binding] = base
+        return bindings
+
+    def _resolve_column(
+        self, ref: ColumnRef, bindings: dict[str, Table]
+    ) -> tuple[str, str]:
+        if ref.table is not None:
+            if ref.table not in bindings:
+                raise QueryValidationError(
+                    f"unknown table {ref.table!r} in column reference"
+                )
+            table = bindings[ref.table]
+            if not table.has_column(ref.column):
+                raise QueryValidationError(
+                    f"table {ref.table!r} has no column {ref.column!r}"
+                )
+            return ref.table, ref.column
+        owners = [
+            binding
+            for binding, table in bindings.items()
+            if table.has_column(ref.column)
+        ]
+        if not owners:
+            raise QueryValidationError(
+                f"column {ref.column!r} not found in any query table"
+            )
+        if len(owners) > 1:
+            raise QueryValidationError(
+                f"column {ref.column!r} is ambiguous between "
+                f"{sorted(owners)}"
+            )
+        return owners[0], ref.column
+
+    def _resolve_projection(self, statement, bindings):
+        if statement.is_select_star:
+            return ()
+        resolved: list[tuple[str, str]] = []
+        for column in statement.columns:
+            resolved.append(self._resolve_column(column, bindings))
+        # Aggregate arguments and grouping columns must survive projection
+        # for the aggregation stage that runs after the joins.
+        for aggregate in statement.aggregates:
+            if aggregate.argument is not None:
+                resolved.append(
+                    self._resolve_column(aggregate.argument, bindings)
+                )
+        for column in statement.group_by:
+            resolved.append(self._resolve_column(column, bindings))
+        for having in statement.having:
+            if having.aggregate.argument is not None:
+                resolved.append(
+                    self._resolve_column(having.aggregate.argument, bindings)
+                )
+        unique: dict[tuple[str, str], None] = {}
+        for item in resolved:
+            unique.setdefault(item, None)
+        return tuple(unique)
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation
+    # ------------------------------------------------------------------
+
+    def _distinct(self, binding: str, column: str, bindings) -> float:
+        table = bindings[binding]
+        info = table.column(column)
+        if info.distinct_values is not None:
+            return float(info.distinct_values)
+        histogram = self._histogram(binding, column)
+        if histogram is not None:
+            return max(1.0, histogram.distinct_values)
+        return max(1.0, table.cardinality / 10.0)
+
+    def _histogram(self, binding: str, column: str):
+        """Histogram attached to the base table behind ``binding``."""
+        base_names = getattr(self, "_base_names", {})
+        base = base_names.get(binding, binding)
+        return self.schema.histogram_for(base, column)
+
+    def _translate_comparison(
+        self, comparison: Comparison, bindings, index: int
+    ) -> Predicate:
+        left = self._resolve_column(comparison.left, bindings)
+        name = f"sql_p{index}"
+        if comparison.is_join:
+            right = self._resolve_column(comparison.right, bindings)
+            if left[0] == right[0]:
+                raise QueryValidationError(
+                    "self-join predicates within one binding are not "
+                    "supported; alias the second occurrence"
+                )
+            if comparison.operator == "=":
+                left_histogram = self._histogram(left[0], left[1])
+                right_histogram = self._histogram(right[0], right[1])
+                if left_histogram is not None and right_histogram is not None:
+                    selectivity = join_selectivity(
+                        left_histogram, right_histogram
+                    )
+                else:
+                    selectivity = 1.0 / max(
+                        self._distinct(left[0], left[1], bindings),
+                        self._distinct(right[0], right[1], bindings),
+                    )
+            else:
+                selectivity = RANGE_SELECTIVITY
+            return Predicate(
+                name=name,
+                tables=(left[0], right[0]),
+                selectivity=min(1.0, max(selectivity, 1e-12)),
+                columns=(left, right),
+            )
+        histogram = self._histogram(left[0], left[1])
+        if histogram is not None and isinstance(comparison.right, float):
+            selectivity = histogram.selectivity(
+                comparison.operator, comparison.right
+            )
+        elif comparison.operator == "=":
+            selectivity = 1.0 / self._distinct(left[0], left[1], bindings)
+        elif comparison.operator in ("<>", "!="):
+            selectivity = 1.0 - 1.0 / self._distinct(
+                left[0], left[1], bindings
+            )
+        else:
+            selectivity = RANGE_SELECTIVITY
+        return Predicate(
+            name=name,
+            tables=(left[0],),
+            selectivity=min(1.0, max(selectivity, 1e-12)),
+            columns=(left,),
+        )
+
+    def _translate_in_list(
+        self, in_list: InListPredicate, bindings, index: int
+    ) -> Predicate:
+        """``col IN (v1, ..., vk)`` selects ``k / distinct(col)``."""
+        left = self._resolve_column(in_list.column, bindings)
+        distinct = self._distinct(left[0], left[1], bindings)
+        selectivity = min(1.0, len(in_list.values) / distinct)
+        if in_list.negated:
+            selectivity = 1.0 - selectivity
+        return Predicate(
+            name=f"sql_p{index}",
+            tables=(left[0],),
+            selectivity=min(1.0, max(selectivity, 1e-12)),
+            columns=(left,),
+        )
+
+
+def sql_to_query(text: str, schema: Schema, name: str = "") -> Query:
+    """Parse and translate one SELECT statement in a single call."""
+    statement = parse_sql(text)
+    return Translator(schema).translate(statement, name=name)

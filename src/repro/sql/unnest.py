@@ -1,0 +1,591 @@
+"""Nested-query unnesting into select-project-join blocks (paper §5.5).
+
+The paper handles richer query languages the way Selinger [26] and the
+unnesting literature [23] do: a complex statement is decomposed into simple
+SPJ blocks, join ordering runs on each block separately, and blocks
+communicate through materialized intermediate results.  This module
+implements that decomposition for the two classic nesting shapes:
+
+* ``col IN (SELECT ... )`` — *type-N* nesting: the (uncorrelated) subquery
+  becomes its own block; its result is modeled as a derived table holding
+  the distinct values of the projected column, and the membership test
+  becomes an ordinary equi-join predicate in the outer block.
+* ``EXISTS (SELECT ... WHERE inner.x = outer.y ...)`` — *type-J* nesting:
+  correlation predicates are pulled out of the subquery; the subquery
+  becomes a block projecting its correlation columns, and each correlation
+  turns into an equi-join between the outer block and the derived table.
+* ``col op (SELECT agg(...) ...)`` — *type-A* nesting: the scalar
+  aggregate subquery becomes its own block evaluated first; the outer
+  comparison against its (single-row) result is a plain selection whose
+  selectivity follows the System R rules.
+
+Each block is an ordinary :class:`~repro.catalog.query.Query`, so the MILP
+optimizer (or any baseline) orders its joins; :func:`optimize_blocks` runs
+the blocks bottom-up and sums their costs.
+
+Anti-joins (``NOT IN`` / ``NOT EXISTS``) have no faithful rewrite as an
+inner join and are rejected with :class:`~repro.exceptions.UnnestingError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.catalog.statistics import cardinality as estimate_cardinality
+from repro.catalog.table import Table
+from repro.exceptions import UnnestingError
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    Comparison,
+    SelectStatement,
+    SubqueryPredicate,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.schema import Schema
+from repro.sql.translate import Translator
+
+
+@dataclass
+class UnnestedBlock:
+    """One SPJ block of a decomposed statement.
+
+    Attributes
+    ----------
+    name:
+        Block identifier; the root is named after the statement, children
+        append ``_sub<i>``.
+    query:
+        The block's join-ordering problem, including derived tables that
+        stand in for its children.
+    children:
+        Blocks materialized before this one can run.
+    derived_table:
+        How this block appears in its parent (``None`` for the root).
+    output_cardinality:
+        Estimated number of result rows (after grouping, if any).
+    """
+
+    name: str
+    query: Query
+    children: list["UnnestedBlock"] = field(default_factory=list)
+    derived_table: Table | None = None
+    output_cardinality: float = 0.0
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks in this subtree."""
+        return 1 + sum(child.num_blocks for child in self.children)
+
+    def walk_bottom_up(self):
+        """Yield blocks children-first (execution order)."""
+        for child in self.children:
+            yield from child.walk_bottom_up()
+        yield self
+
+
+@dataclass
+class BlockPlan:
+    """A block together with its optimization outcome."""
+
+    block: UnnestedBlock
+    result: "object"  # OptimizationResult; kept loose to avoid a cycle
+
+    @property
+    def cost(self) -> float:
+        """True plan cost of the block (``inf`` when no plan was found)."""
+        true_cost = getattr(self.result, "true_cost", None)
+        return math.inf if true_cost is None else true_cost
+
+
+@dataclass
+class UnnestedResult:
+    """Outcome of optimizing every block of a nested statement."""
+
+    root: UnnestedBlock
+    plans: list[BlockPlan]
+
+    @property
+    def total_cost(self) -> float:
+        """Summed true cost over all blocks (the decomposed plan's cost)."""
+        return sum(plan.cost for plan in self.plans)
+
+    def plan_for(self, name: str) -> BlockPlan:
+        """The plan of the block called ``name``."""
+        for plan in self.plans:
+            if plan.block.name == name:
+                return plan
+        raise KeyError(f"no block named {name!r}")
+
+
+def unnest_sql(text: str, schema: Schema, name: str = "query") -> UnnestedBlock:
+    """Parse ``text`` and decompose it into SPJ blocks."""
+    return decompose(parse_sql(text), schema, name=name)
+
+
+def decompose(
+    statement: SelectStatement, schema: Schema, name: str = "query"
+) -> UnnestedBlock:
+    """Decompose ``statement`` into a tree of SPJ blocks.
+
+    Raises
+    ------
+    UnnestingError
+        On ``NOT IN`` / ``NOT EXISTS`` subqueries, non-equality
+        correlations, or subqueries whose projection does not fit the
+        nesting shape.
+    """
+    counter = itertools.count()
+    return _decompose(statement, schema, name, counter)
+
+
+def optimize_blocks(
+    root: UnnestedBlock, optimizer=None
+) -> UnnestedResult:
+    """Optimize every block bottom-up and collect the plans.
+
+    Parameters
+    ----------
+    root:
+        Block tree from :func:`decompose`.
+    optimizer:
+        Any object with an ``optimize(query)`` method returning an object
+        with a ``true_cost`` attribute; defaults to the MILP optimizer with
+        the C_out objective at medium precision.
+    """
+    if optimizer is None:
+        from repro.core.config import FormulationConfig
+        from repro.core.optimizer import MILPJoinOptimizer
+
+        max_tables = max(
+            block.query.num_tables for block in root.walk_bottom_up()
+        )
+        optimizer = MILPJoinOptimizer(
+            FormulationConfig.medium_precision(
+                max(max_tables, 2), cost_model="cout"
+            )
+        )
+    plans = [
+        BlockPlan(block=block, result=optimizer.optimize(block.query))
+        for block in root.walk_bottom_up()
+    ]
+    return UnnestedResult(root=root, plans=plans)
+
+
+# ----------------------------------------------------------------------
+# Decomposition internals
+# ----------------------------------------------------------------------
+
+
+def _decompose(
+    statement: SelectStatement,
+    schema: Schema,
+    name: str,
+    counter,
+) -> UnnestedBlock:
+    bindings = _resolve_bindings(statement, schema)
+    children: list[UnnestedBlock] = []
+    extra_tables: list[Table] = []
+    extra_predicates: list[Predicate] = []
+
+    for subquery in statement.subqueries:
+        if subquery.negated:
+            raise UnnestingError(
+                f"block {name!r}: NOT {subquery.operator.upper()} subqueries "
+                "are anti-joins and cannot be unnested into inner joins"
+            )
+        index = next(counter)
+        child_name = f"{name}_sub{index}"
+        if subquery.operator == "in":
+            child, table, predicate = _unnest_in(
+                subquery, schema, bindings, child_name, counter,
+                len(extra_predicates),
+            )
+            extra_predicates.append(predicate)
+            extra_tables.append(table)
+        elif subquery.operator == "exists":
+            child, table, predicates = _unnest_exists(
+                subquery, schema, bindings, child_name, counter,
+                len(extra_predicates),
+            )
+            extra_predicates.extend(predicates)
+            extra_tables.append(table)
+        elif subquery.operator in _SCALAR_OPERATORS:
+            # Type-A: no derived table joins the outer block — only a
+            # selection predicate comparing against the scalar value.
+            child, predicate = _unnest_scalar(
+                subquery, schema, bindings, child_name, counter,
+                len(extra_predicates),
+            )
+            extra_predicates.append(predicate)
+        else:  # pragma: no cover - parser restricts the operators
+            raise UnnestingError(
+                f"unsupported subquery operator {subquery.operator!r}"
+            )
+        children.append(child)
+
+    stripped = dataclasses.replace(statement, subqueries=())
+    base_query = Translator(schema).translate(stripped, name=name)
+    if extra_tables or extra_predicates:
+        query = Query(
+            tables=base_query.tables + tuple(extra_tables),
+            predicates=base_query.predicates + tuple(extra_predicates),
+            required_columns=base_query.required_columns,
+            name=name,
+        )
+    else:
+        query = base_query
+
+    output = _output_cardinality(query, statement, bindings)
+    return UnnestedBlock(
+        name=name,
+        query=query,
+        children=children,
+        output_cardinality=output,
+    )
+
+
+def _resolve_bindings(
+    statement: SelectStatement, schema: Schema
+) -> dict[str, Table]:
+    """FROM-clause bindings (alias -> table), mirroring the translator."""
+    bindings: dict[str, Table] = {}
+    for ref in statement.tables:
+        base = schema.table(ref.name)
+        if ref.binding != base.name:
+            base = Table(
+                name=ref.binding,
+                cardinality=base.cardinality,
+                columns=base.columns,
+                tuple_size=base.tuple_size,
+            )
+        bindings[ref.binding] = base
+    return bindings
+
+
+def _distinct_of(bindings: dict[str, Table], binding: str, column: str) -> float:
+    table = bindings[binding]
+    info = table.column(column)
+    if info.distinct_values is not None:
+        return float(info.distinct_values)
+    return max(1.0, table.cardinality / 10.0)
+
+
+def _resolve_in(
+    bindings: dict[str, Table], ref: ColumnRef, context: str
+) -> tuple[str, str]:
+    """Resolve ``ref`` against ``bindings`` or raise."""
+    if ref.table is not None:
+        if ref.table not in bindings:
+            raise UnnestingError(
+                f"{context}: unknown table {ref.table!r} in column reference"
+            )
+        if not bindings[ref.table].has_column(ref.column):
+            raise UnnestingError(
+                f"{context}: table {ref.table!r} has no column {ref.column!r}"
+            )
+        return ref.table, ref.column
+    owners = [
+        binding
+        for binding, table in bindings.items()
+        if table.has_column(ref.column)
+    ]
+    if len(owners) != 1:
+        raise UnnestingError(
+            f"{context}: column {ref.column!r} is "
+            + ("ambiguous" if owners else "unknown")
+        )
+    return owners[0], ref.column
+
+
+def _output_cardinality(
+    query: Query, statement: SelectStatement, bindings: dict[str, Table]
+) -> float:
+    """Estimated result rows of the block, after any grouping."""
+    joined = estimate_cardinality(query.tables, query.predicates)
+    if statement.group_by:
+        group_distinct = 1.0
+        for column in statement.group_by:
+            binding, col_name = _resolve_in(bindings, column, "GROUP BY")
+            group_distinct *= _distinct_of(bindings, binding, col_name)
+        return max(1.0, min(joined, group_distinct))
+    if statement.has_aggregates:
+        return 1.0  # scalar aggregate: exactly one row
+    return max(1.0, joined)
+
+
+def _unnest_in(
+    subquery: SubqueryPredicate,
+    schema: Schema,
+    outer_bindings: dict[str, Table],
+    child_name: str,
+    counter,
+    predicate_index: int,
+) -> tuple[UnnestedBlock, Table, Predicate]:
+    """Rewrite ``col IN (SELECT c FROM ...)`` as a join on distinct ``c``."""
+    child_stmt = subquery.statement
+    if len(child_stmt.columns) != 1 or child_stmt.aggregates:
+        raise UnnestingError(
+            f"block {child_name!r}: an IN subquery must project exactly one "
+            "plain column"
+        )
+    child = _decompose(child_stmt, schema, child_name, counter)
+    child_bindings = _resolve_bindings(child_stmt, schema)
+    inner_binding, inner_column = _resolve_in(
+        child_bindings, child_stmt.columns[0], f"block {child_name!r}"
+    )
+    inner_distinct = _distinct_of(child_bindings, inner_binding, inner_column)
+    # The derived table holds the distinct projected values that survive
+    # the subquery's joins and selections.
+    derived_cardinality = max(
+        1.0, min(child.output_cardinality, inner_distinct)
+    )
+    base_column = child_bindings[inner_binding].column(inner_column)
+    derived = Table(
+        name=child_name,
+        cardinality=derived_cardinality,
+        columns=(
+            Column(
+                inner_column,
+                byte_size=base_column.byte_size,
+                distinct_values=max(1, round(derived_cardinality)),
+            ),
+        ),
+    )
+    child.derived_table = derived
+
+    outer_binding, outer_column = _resolve_in(
+        outer_bindings, subquery.column, f"block {child_name!r} outer column"
+    )
+    outer_distinct = _distinct_of(outer_bindings, outer_binding, outer_column)
+    selectivity = 1.0 / max(outer_distinct, derived_cardinality)
+    predicate = Predicate(
+        name=f"unnest_in_{predicate_index}_{child_name}",
+        tables=(outer_binding, child_name),
+        selectivity=min(1.0, max(selectivity, 1e-12)),
+        columns=(
+            (outer_binding, outer_column),
+            (child_name, inner_column),
+        ),
+    )
+    return child, derived, predicate
+
+
+#: Comparison operators a scalar (type-A) subquery may appear under.
+_SCALAR_OPERATORS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+
+#: System R's default selectivity for range comparisons.
+_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+def _unnest_scalar(
+    subquery: SubqueryPredicate,
+    schema: Schema,
+    outer_bindings: dict[str, Table],
+    child_name: str,
+    counter,
+    predicate_index: int,
+) -> tuple[UnnestedBlock, Predicate]:
+    """Rewrite ``col op (SELECT agg(...) ...)`` as a selection (type-A).
+
+    The subquery runs first and yields one row; comparing an outer column
+    against that constant is an ordinary selection, estimated with the
+    System R rules (``1/distinct`` for equality, 1/3 for ranges).
+    """
+    child_stmt = subquery.statement
+    if (
+        len(child_stmt.aggregates) != 1
+        or child_stmt.columns
+        or child_stmt.group_by
+    ):
+        raise UnnestingError(
+            f"block {child_name!r}: a scalar subquery must project exactly "
+            "one aggregate and carry no GROUP BY"
+        )
+    child = _decompose(child_stmt, schema, child_name, counter)
+
+    outer_binding, outer_column = _resolve_in(
+        outer_bindings, subquery.column, f"block {child_name!r} outer column"
+    )
+    if subquery.operator == "=":
+        selectivity = 1.0 / _distinct_of(
+            outer_bindings, outer_binding, outer_column
+        )
+    elif subquery.operator in ("<>", "!="):
+        selectivity = 1.0 - 1.0 / _distinct_of(
+            outer_bindings, outer_binding, outer_column
+        )
+    else:
+        selectivity = _RANGE_SELECTIVITY
+    predicate = Predicate(
+        name=f"unnest_scalar_{predicate_index}_{child_name}",
+        tables=(outer_binding,),
+        selectivity=min(1.0, max(selectivity, 1e-12)),
+        columns=((outer_binding, outer_column),),
+    )
+    return child, predicate
+
+
+def _unnest_exists(
+    subquery: SubqueryPredicate,
+    schema: Schema,
+    outer_bindings: dict[str, Table],
+    child_name: str,
+    counter,
+    predicate_index: int,
+) -> tuple[UnnestedBlock, Table, list[Predicate]]:
+    """Rewrite a correlated EXISTS as joins on its correlation columns."""
+    child_stmt = subquery.statement
+    child_bindings = _resolve_bindings(child_stmt, schema)
+    local: list[Comparison] = []
+    correlations: list[tuple[tuple[str, str], tuple[str, str]]] = []
+    for comparison in child_stmt.predicates:
+        classified = _classify_comparison(
+            comparison, child_bindings, outer_bindings, child_name
+        )
+        if classified is None:
+            local.append(comparison)
+        else:
+            correlations.append(classified)
+    if not correlations:
+        raise UnnestingError(
+            f"block {child_name!r}: EXISTS subquery has no correlation "
+            "predicate; rewrite it as a constant condition instead"
+        )
+
+    stripped = dataclasses.replace(
+        child_stmt, predicates=tuple(local), columns=(), aggregates=()
+    )
+    child = _decompose(stripped, schema, child_name, counter)
+
+    inner_columns = [inner for inner, _ in correlations]
+    distinct_product = 1.0
+    for binding, column in inner_columns:
+        distinct_product *= _distinct_of(child_bindings, binding, column)
+    derived_cardinality = max(
+        1.0, min(child.output_cardinality, distinct_product)
+    )
+    derived_columns = []
+    seen: set[str] = set()
+    for binding, column in inner_columns:
+        if column in seen:
+            continue
+        seen.add(column)
+        base_column = child_bindings[binding].column(column)
+        derived_columns.append(
+            Column(
+                column,
+                byte_size=base_column.byte_size,
+                distinct_values=max(
+                    1,
+                    round(
+                        min(
+                            derived_cardinality,
+                            _distinct_of(child_bindings, binding, column),
+                        )
+                    ),
+                ),
+            )
+        )
+    derived = Table(
+        name=child_name,
+        cardinality=derived_cardinality,
+        columns=tuple(derived_columns),
+    )
+    child.derived_table = derived
+
+    predicates = []
+    for offset, ((_, inner_column), (outer_binding, outer_column)) in enumerate(
+        correlations
+    ):
+        outer_distinct = _distinct_of(
+            outer_bindings, outer_binding, outer_column
+        )
+        selectivity = 1.0 / max(outer_distinct, derived_cardinality)
+        predicates.append(
+            Predicate(
+                name=f"unnest_exists_{predicate_index + offset}_{child_name}",
+                tables=(outer_binding, child_name),
+                selectivity=min(1.0, max(selectivity, 1e-12)),
+                columns=(
+                    (outer_binding, outer_column),
+                    (child_name, inner_column),
+                ),
+            )
+        )
+    return child, derived, predicates
+
+
+def _classify_comparison(
+    comparison: Comparison,
+    child_bindings: dict[str, Table],
+    outer_bindings: dict[str, Table],
+    child_name: str,
+) -> "tuple[tuple[str, str], tuple[str, str]] | None":
+    """Classify a child WHERE comparison as local or a correlation.
+
+    Returns ``None`` for local predicates, and an
+    ``((inner_binding, inner_column), (outer_binding, outer_column))`` pair
+    for correlations.  Mixed cases that reference only outer tables, or
+    non-equality correlations, are rejected.
+    """
+    if not comparison.is_join:
+        side = _side_of(comparison.left, child_bindings, outer_bindings)
+        if side == "inner":
+            return None
+        raise UnnestingError(
+            f"block {child_name!r}: selection on an outer column belongs "
+            "in the outer WHERE clause"
+        )
+    left_side = _side_of(comparison.left, child_bindings, outer_bindings)
+    right_side = _side_of(comparison.right, child_bindings, outer_bindings)
+    if left_side == "inner" and right_side == "inner":
+        return None
+    if left_side == right_side:
+        raise UnnestingError(
+            f"block {child_name!r}: predicate references only outer tables"
+        )
+    if comparison.operator != "=":
+        raise UnnestingError(
+            f"block {child_name!r}: only equality correlations can be "
+            "unnested into joins"
+        )
+    if left_side == "inner":
+        inner_ref, outer_ref = comparison.left, comparison.right
+    else:
+        inner_ref, outer_ref = comparison.right, comparison.left
+    inner = _resolve_in(child_bindings, inner_ref, f"block {child_name!r}")
+    outer = _resolve_in(
+        outer_bindings, outer_ref, f"block {child_name!r} correlation"
+    )
+    return inner, outer
+
+
+def _side_of(
+    ref: ColumnRef,
+    child_bindings: dict[str, Table],
+    outer_bindings: dict[str, Table],
+) -> str:
+    """Whether a column reference resolves inside the subquery or outside."""
+    if ref.table is not None:
+        if ref.table in child_bindings:
+            return "inner"
+        if ref.table in outer_bindings:
+            return "outer"
+        raise UnnestingError(f"unknown table {ref.table!r} in subquery")
+    inner_owners = [
+        b for b, t in child_bindings.items() if t.has_column(ref.column)
+    ]
+    if inner_owners:
+        return "inner"
+    outer_owners = [
+        b for b, t in outer_bindings.items() if t.has_column(ref.column)
+    ]
+    if outer_owners:
+        return "outer"
+    raise UnnestingError(f"unknown column {ref.column!r} in subquery")

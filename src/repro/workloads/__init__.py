@@ -1,0 +1,17 @@
+"""Workload generation: random Steinbrunn-style queries and synthetic
+TPC-H-like / JOB-like schemas."""
+
+from repro.workloads import job, tpch
+from repro.workloads.generator import (
+    TOPOLOGIES,
+    GeneratorConfig,
+    QueryGenerator,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "QueryGenerator",
+    "TOPOLOGIES",
+    "job",
+    "tpch",
+]

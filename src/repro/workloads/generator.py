@@ -1,0 +1,168 @@
+"""Random query generation following Steinbrunn et al.
+
+The paper benchmarks on randomly generated queries "according to the method
+proposed by Steinbrunn et al." with chain, star and cycle join graph
+structures (Section 7.1).  This module reproduces that generator with full
+seeding, plus clique and grid topologies as extensions.
+
+Cardinalities are drawn log-uniformly from ``card_range`` and selectivities
+log-uniformly from ``selectivity_range``, which yields the skewed statistics
+the join ordering problem is hard under.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.catalog.table import Table
+from repro.exceptions import WorkloadError
+
+#: Topologies supported by the generator; the first three are the paper's.
+TOPOLOGIES = ("chain", "star", "cycle", "clique", "grid")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the random query generator.
+
+    Attributes
+    ----------
+    card_range:
+        ``(low, high)`` bounds for table cardinalities (log-uniform).
+    selectivity_range:
+        ``(low, high)`` bounds for predicate selectivities (log-uniform).
+    columns_per_table:
+        Number of columns generated per table (used by projection examples).
+    column_byte_size:
+        Byte width of each generated column.
+    """
+
+    card_range: tuple[float, float] = (100.0, 100_000.0)
+    selectivity_range: tuple[float, float] = (0.001, 0.5)
+    columns_per_table: int = 4
+    column_byte_size: int = 8
+
+    def __post_init__(self) -> None:
+        low, high = self.card_range
+        if not 1 <= low <= high:
+            raise WorkloadError(f"invalid card_range {self.card_range}")
+        s_low, s_high = self.selectivity_range
+        if not 0 < s_low <= s_high <= 1:
+            raise WorkloadError(
+                f"invalid selectivity_range {self.selectivity_range}"
+            )
+        if self.columns_per_table < 1:
+            raise WorkloadError("columns_per_table must be >= 1")
+
+
+@dataclass
+class QueryGenerator:
+    """Seeded random generator of join queries.
+
+    Examples
+    --------
+    >>> generator = QueryGenerator(seed=42)
+    >>> query = generator.generate("star", num_tables=10)
+    >>> query.topology
+    'star'
+    """
+
+    seed: int = 0
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+    def __post_init__(self) -> None:
+        self._random = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def generate(self, topology: str, num_tables: int) -> Query:
+        """Generate one random query with the given join graph shape."""
+        if topology not in TOPOLOGIES:
+            raise WorkloadError(
+                f"unknown topology {topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if num_tables < 1:
+            raise WorkloadError("num_tables must be >= 1")
+        tables = tuple(
+            self._make_table(f"T{i}") for i in range(num_tables)
+        )
+        edges = self._edges(topology, num_tables)
+        predicates = tuple(
+            Predicate(
+                name=f"p{k}",
+                tables=(f"T{i}", f"T{j}"),
+                selectivity=self._draw_selectivity(),
+            )
+            for k, (i, j) in enumerate(edges)
+        )
+        return Query(
+            tables=tables,
+            predicates=predicates,
+            name=f"{topology}-{num_tables}t-seed{self.seed}",
+        )
+
+    def generate_batch(
+        self, topology: str, num_tables: int, count: int
+    ) -> list[Query]:
+        """Generate ``count`` queries (the paper uses 20 per data point)."""
+        return [self.generate(topology, num_tables) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _make_table(self, name: str) -> Table:
+        columns = tuple(
+            Column(
+                name=f"c{k}",
+                byte_size=self.config.column_byte_size,
+            )
+            for k in range(self.config.columns_per_table)
+        )
+        return Table(
+            name=name,
+            cardinality=self._draw_cardinality(),
+            columns=columns,
+        )
+
+    def _draw_cardinality(self) -> float:
+        low, high = self.config.card_range
+        return float(
+            round(math.exp(self._random.uniform(math.log(low), math.log(high))))
+        )
+
+    def _draw_selectivity(self) -> float:
+        low, high = self.config.selectivity_range
+        return math.exp(self._random.uniform(math.log(low), math.log(high)))
+
+    def _edges(self, topology: str, n: int) -> list[tuple[int, int]]:
+        """Join graph edges for ``topology`` over ``n`` tables."""
+        if n == 1:
+            return []
+        if topology == "chain":
+            return [(i, i + 1) for i in range(n - 1)]
+        if topology == "star":
+            return [(0, i) for i in range(1, n)]
+        if topology == "cycle":
+            edges = [(i, i + 1) for i in range(n - 1)]
+            if n > 2:
+                edges.append((n - 1, 0))
+            return edges
+        if topology == "clique":
+            return [(i, j) for i in range(n) for j in range(i + 1, n)]
+        # Grid: tables arranged in a near-square lattice.
+        width = max(1, int(math.sqrt(n)))
+        edges = []
+        for i in range(n):
+            if (i + 1) % width and i + 1 < n:
+                edges.append((i, i + 1))
+            if i + width < n:
+                edges.append((i, i + width))
+        return edges

@@ -1,0 +1,133 @@
+"""Synthetic TPC-H-like schema and join queries.
+
+The paper evaluates on random queries only; this module provides a
+realistic, deterministic workload for the example programs and integration
+tests.  Statistics follow TPC-H at scale factor 1; join selectivities follow
+the standard ``1 / max(distinct keys)`` rule for key/foreign-key joins.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column
+from repro.catalog.predicate import Predicate
+from repro.catalog.query import Query
+from repro.catalog.table import Table
+
+#: TPC-H cardinalities at scale factor 1.
+_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+_COLUMNS = {
+    "region": ["r_regionkey", "r_name"],
+    "nation": ["n_nationkey", "n_regionkey", "n_name"],
+    "supplier": ["s_suppkey", "s_nationkey", "s_acctbal"],
+    "customer": ["c_custkey", "c_nationkey", "c_mktsegment"],
+    "part": ["p_partkey", "p_type", "p_size"],
+    "partsupp": ["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    "orders": ["o_orderkey", "o_custkey", "o_orderdate"],
+    "lineitem": ["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice"],
+}
+
+
+def make_table(name: str, scale_factor: float = 1.0) -> Table:
+    """Build one TPC-H-like table, scaled by ``scale_factor``."""
+    cardinality = max(1.0, _CARDINALITIES[name] * scale_factor)
+    columns = tuple(Column(column) for column in _COLUMNS[name])
+    return Table(name=name, cardinality=cardinality, columns=columns)
+
+
+def _fk_selectivity(parent: str, scale_factor: float) -> float:
+    """Key/foreign-key join selectivity: one match per parent key."""
+    return 1.0 / max(1.0, _CARDINALITIES[parent] * scale_factor)
+
+
+def _join(
+    name: str, left: str, right: str, parent: str, scale_factor: float
+) -> Predicate:
+    return Predicate(
+        name=name,
+        tables=(left, right),
+        selectivity=_fk_selectivity(parent, scale_factor),
+    )
+
+
+def q3_like(scale_factor: float = 1.0) -> Query:
+    """Customer/orders/lineitem chain (TPC-H Q3 shape)."""
+    return Query(
+        tables=(
+            make_table("customer", scale_factor),
+            make_table("orders", scale_factor),
+            make_table("lineitem", scale_factor),
+        ),
+        predicates=(
+            _join("c_o", "customer", "orders", "customer", scale_factor),
+            _join("o_l", "orders", "lineitem", "orders", scale_factor),
+            Predicate(
+                name="c_segment",
+                tables=("customer",),
+                selectivity=0.2,
+            ),
+        ),
+        name="tpch-q3-like",
+    )
+
+
+def q5_like(scale_factor: float = 1.0) -> Query:
+    """Six-table cycle through customer/orders/lineitem/supplier/nation/region
+    (TPC-H Q5 shape, including the cycle-closing c_nationkey = s_nationkey)."""
+    return Query(
+        tables=(
+            make_table("customer", scale_factor),
+            make_table("orders", scale_factor),
+            make_table("lineitem", scale_factor),
+            make_table("supplier", scale_factor),
+            make_table("nation", scale_factor),
+            make_table("region", scale_factor),
+        ),
+        predicates=(
+            _join("c_o", "customer", "orders", "customer", scale_factor),
+            _join("o_l", "orders", "lineitem", "orders", scale_factor),
+            _join("l_s", "lineitem", "supplier", "supplier", scale_factor),
+            _join("s_n", "supplier", "nation", "nation", scale_factor),
+            _join("n_r", "nation", "region", "region", scale_factor),
+            _join("c_n", "customer", "nation", "nation", scale_factor),
+            Predicate(name="r_name", tables=("region",), selectivity=0.2),
+        ),
+        name="tpch-q5-like",
+    )
+
+
+def q9_like(scale_factor: float = 1.0) -> Query:
+    """Part/supplier/lineitem/partsupp/orders/nation join (TPC-H Q9 shape)."""
+    return Query(
+        tables=(
+            make_table("part", scale_factor),
+            make_table("supplier", scale_factor),
+            make_table("lineitem", scale_factor),
+            make_table("partsupp", scale_factor),
+            make_table("orders", scale_factor),
+            make_table("nation", scale_factor),
+        ),
+        predicates=(
+            _join("p_l", "part", "lineitem", "part", scale_factor),
+            _join("s_l", "supplier", "lineitem", "supplier", scale_factor),
+            _join("ps_l", "partsupp", "lineitem", "partsupp", scale_factor),
+            _join("o_l", "orders", "lineitem", "orders", scale_factor),
+            _join("s_n", "supplier", "nation", "nation", scale_factor),
+            Predicate(name="p_type", tables=("part",), selectivity=0.05),
+        ),
+        name="tpch-q9-like",
+    )
+
+
+def all_queries(scale_factor: float = 1.0) -> list[Query]:
+    """All TPC-H-like queries in this module."""
+    return [q3_like(scale_factor), q5_like(scale_factor), q9_like(scale_factor)]

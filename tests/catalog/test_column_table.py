@@ -1,0 +1,79 @@
+"""Unit tests for catalog columns and tables."""
+
+import math
+
+import pytest
+
+from repro.catalog import Column, Table
+from repro.catalog.table import DEFAULT_TUPLE_SIZE
+from repro.exceptions import CatalogError
+
+
+class TestColumn:
+    def test_defaults(self):
+        column = Column("id")
+        assert column.byte_size == 8
+        assert column.distinct_values is None
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(CatalogError):
+            Column("")
+
+    def test_rejects_nonpositive_byte_size(self):
+        with pytest.raises(CatalogError):
+            Column("id", byte_size=0)
+
+    def test_rejects_bad_distinct_values(self):
+        with pytest.raises(CatalogError):
+            Column("id", distinct_values=0)
+
+    def test_is_hashable_and_frozen(self):
+        column = Column("id")
+        assert hash(column) == hash(Column("id"))
+        with pytest.raises(AttributeError):
+            column.byte_size = 4
+
+
+class TestTable:
+    def test_log_cardinality(self):
+        table = Table("t", 1000.0)
+        assert table.log_cardinality == pytest.approx(math.log(1000))
+
+    def test_rejects_cardinality_below_one(self):
+        with pytest.raises(CatalogError):
+            Table("t", 0.5)
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10, columns=(Column("a"), Column("a")))
+
+    def test_effective_tuple_size_from_columns(self):
+        table = Table(
+            "t", 10, columns=(Column("a", byte_size=4), Column("b", byte_size=12))
+        )
+        assert table.effective_tuple_size == 16
+
+    def test_effective_tuple_size_default_without_columns(self):
+        assert Table("t", 10).effective_tuple_size == DEFAULT_TUPLE_SIZE
+
+    def test_explicit_tuple_size_wins(self):
+        table = Table("t", 10, columns=(Column("a"),), tuple_size=100)
+        assert table.effective_tuple_size == 100
+
+    def test_column_lookup(self):
+        table = Table("t", 10, columns=(Column("a"),))
+        assert table.column("a").name == "a"
+        assert table.has_column("a")
+        assert not table.has_column("zzz")
+        with pytest.raises(CatalogError):
+            table.column("zzz")
+
+    def test_pages_rounds_up_and_is_at_least_one(self):
+        table = Table("t", 10, tuple_size=100)
+        assert table.pages(page_size=512) == math.ceil(10 * 100 / 512)
+        tiny = Table("u", 1, tuple_size=1)
+        assert tiny.pages(page_size=8192) == 1
+
+    def test_pages_rejects_bad_page_size(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10).pages(page_size=0)

@@ -1,0 +1,86 @@
+"""Unit tests for join graph utilities."""
+
+from repro.catalog.graphs import (
+    build_adjacency,
+    classify_topology,
+    connected_components,
+    degree_sequence,
+    is_connected,
+)
+
+
+def adjacency(nodes, edges):
+    return build_adjacency(nodes, edges)
+
+
+class TestBuildAdjacency:
+    def test_basic(self):
+        adj = adjacency("abc", [("a", "b")])
+        assert adj["a"] == frozenset("b")
+        assert adj["c"] == frozenset()
+
+    def test_ignores_self_loops_and_duplicates(self):
+        adj = adjacency("ab", [("a", "a"), ("a", "b"), ("b", "a")])
+        assert adj["a"] == frozenset("b")
+
+
+class TestConnectivity:
+    def test_empty_and_single(self):
+        assert is_connected({})
+        assert is_connected(adjacency("a", []))
+
+    def test_connected_chain(self):
+        assert is_connected(adjacency("abc", [("a", "b"), ("b", "c")]))
+
+    def test_disconnected(self):
+        assert not is_connected(adjacency("abc", [("a", "b")]))
+
+    def test_components(self):
+        components = connected_components(
+            adjacency("abcd", [("a", "b"), ("c", "d")])
+        )
+        assert sorted(sorted(c) for c in components) == [
+            ["a", "b"], ["c", "d"],
+        ]
+
+
+class TestClassifyTopology:
+    def test_chain(self):
+        adj = adjacency("abcd", [("a", "b"), ("b", "c"), ("c", "d")])
+        assert classify_topology(adj) == "chain"
+
+    def test_star(self):
+        adj = adjacency("abcd", [("a", "b"), ("a", "c"), ("a", "d")])
+        assert classify_topology(adj) == "star"
+
+    def test_cycle(self):
+        adj = adjacency(
+            "abcd", [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+        )
+        assert classify_topology(adj) == "cycle"
+
+    def test_triangle_counts_as_cycle(self):
+        adj = adjacency("abc", [("a", "b"), ("b", "c"), ("c", "a")])
+        assert classify_topology(adj) == "cycle"
+
+    def test_clique(self):
+        nodes = "abcd"
+        edges = [(x, y) for i, x in enumerate(nodes) for y in nodes[i + 1:]]
+        assert classify_topology(adjacency(nodes, edges)) == "clique"
+
+    def test_two_nodes_is_chain(self):
+        assert classify_topology(adjacency("ab", [("a", "b")])) == "chain"
+
+    def test_disconnected_is_other(self):
+        assert classify_topology(adjacency("abc", [("a", "b")])) == "other"
+
+    def test_irregular_is_other(self):
+        adj = adjacency(
+            "abcde",
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "b"), ("d", "e")],
+        )
+        assert classify_topology(adj) == "other"
+
+    def test_degree_sequence(self):
+        adj = adjacency("abc", [("a", "b"), ("b", "c")])
+        assert degree_sequence(adj) == [1, 1, 2]

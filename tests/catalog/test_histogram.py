@@ -1,0 +1,215 @@
+"""Tests for histogram-based selectivity estimation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Bucket, Histogram, join_selectivity
+from repro.exceptions import CatalogError
+
+
+def exact_selectivity(values, operator, literal):
+    array = np.asarray(values, dtype=float)
+    ops = {
+        "=": array == literal,
+        "<": array < literal,
+        "<=": array <= literal,
+        ">": array > literal,
+        ">=": array >= literal,
+    }
+    return float(ops[operator].mean())
+
+
+class TestBucket:
+    def test_width_and_overlap(self):
+        bucket = Bucket(low=0.0, high=10.0, count=100, distinct=10)
+        assert bucket.width == 10.0
+        assert bucket.overlap_fraction(0.0, 5.0) == pytest.approx(0.5)
+        assert bucket.overlap_fraction(-5.0, 0.0) == 0.0
+        assert bucket.overlap_fraction(5.0, 50.0) == pytest.approx(0.5)
+
+    def test_singleton_bucket_overlap(self):
+        bucket = Bucket(low=3.0, high=3.0, count=4, distinct=1)
+        assert bucket.overlap_fraction(0.0, 5.0) == 1.0
+        assert bucket.overlap_fraction(4.0, 5.0) == 0.0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(CatalogError):
+            Bucket(low=5.0, high=1.0, count=1, distinct=1)
+        with pytest.raises(CatalogError):
+            Bucket(low=0.0, high=1.0, count=-1, distinct=0)
+        with pytest.raises(CatalogError):
+            Bucket(low=0.0, high=1.0, count=1, distinct=2)
+
+
+class TestConstruction:
+    def test_equi_width_counts_sum_to_total(self):
+        values = list(range(100))
+        histogram = Histogram.from_values(values, num_buckets=10)
+        assert histogram.total_count == 100
+        assert histogram.num_buckets == 10
+
+    def test_equi_depth_balances_counts(self):
+        # Heavy skew: equi-depth buckets should still be roughly equal,
+        # except for unavoidable heavy-hitter singleton buckets.
+        rng = np.random.default_rng(7)
+        values = rng.zipf(1.5, size=2_000).clip(max=1_000)
+        histogram = Histogram.equi_depth(values, num_buckets=8)
+        counts = [bucket.count for bucket in histogram.buckets]
+        assert sum(counts) == 2_000
+        multi_value = [
+            bucket.count
+            for bucket in histogram.buckets
+            if bucket.distinct > 1
+        ]
+        depth = 2_000 / 8
+        assert all(count <= 2 * depth for count in multi_value)
+
+    def test_equi_depth_isolates_heavy_hitters(self):
+        values = [7.0] * 500 + [float(v) for v in range(100)]
+        histogram = Histogram.equi_depth(values, num_buckets=6)
+        heavy = histogram.bucket_for(7.0)
+        # The heavy value dominates its bucket.
+        assert heavy.count >= 500
+        assert histogram.selectivity_eq(7.0) >= 0.5
+
+    def test_constant_column_collapses_to_one_bucket(self):
+        histogram = Histogram.from_values([5.0] * 50)
+        assert histogram.num_buckets == 1
+        assert histogram.selectivity_eq(5.0) == pytest.approx(1.0)
+
+    def test_empty_and_non_finite_rejected(self):
+        with pytest.raises(CatalogError):
+            Histogram.from_values([])
+        with pytest.raises(CatalogError):
+            Histogram.from_values([1.0, math.nan])
+
+    def test_overlapping_buckets_rejected(self):
+        with pytest.raises(CatalogError):
+            Histogram([
+                Bucket(0.0, 5.0, 10, 5),
+                Bucket(4.0, 8.0, 10, 4),
+            ])
+
+
+class TestPointEstimates:
+    def test_equality_on_uniform_data(self):
+        values = list(range(100))
+        histogram = Histogram.from_values(values, num_buckets=10)
+        assert histogram.selectivity_eq(42.0) == pytest.approx(
+            0.01, rel=0.25
+        )
+
+    def test_equality_outside_domain_is_zero(self):
+        histogram = Histogram.from_values(list(range(100)))
+        assert histogram.selectivity_eq(-5.0) == 0.0
+        assert histogram.selectivity_eq(500.0) == 0.0
+
+    def test_range_on_uniform_data(self):
+        values = list(range(1000))
+        histogram = Histogram.from_values(values, num_buckets=20)
+        assert histogram.selectivity_lt(250.0) == pytest.approx(0.25, abs=0.02)
+        assert histogram.selectivity_ge(750.0) == pytest.approx(0.25, abs=0.02)
+        assert histogram.selectivity_between(100.0, 300.0) == pytest.approx(
+            0.2, abs=0.03
+        )
+
+    def test_skew_beats_uniform_assumption(self):
+        # 90% of tuples carry value 1; an equality estimate from the
+        # histogram reflects the skew, the 1/distinct default does not.
+        values = [1.0] * 900 + list(range(2, 102))
+        histogram = Histogram.equi_depth(values, num_buckets=10)
+        estimate = histogram.selectivity_eq(1.0)
+        assert estimate > 0.3  # 1/distinct would say ~0.0099
+        exact = exact_selectivity(values, "=", 1.0)
+        assert estimate == pytest.approx(exact, rel=0.5)
+
+    def test_operator_dispatch(self):
+        histogram = Histogram.from_values(list(range(10)))
+        for operator in ("=", "<", "<=", ">", ">=", "<>", "!="):
+            value = histogram.selectivity(operator, 5.0)
+            assert 0.0 <= value <= 1.0
+        with pytest.raises(CatalogError):
+            histogram.selectivity("LIKE", 5.0)
+
+    def test_inequality_complements_equality(self):
+        histogram = Histogram.from_values(list(range(10)))
+        eq = histogram.selectivity("=", 5.0)
+        ne = histogram.selectivity("<>", 5.0)
+        assert eq + ne == pytest.approx(1.0)
+
+
+class TestJoinSelectivity:
+    def test_matching_uniform_columns(self):
+        # Two uniform columns over the same domain of 100 values:
+        # the textbook answer is 1/100.
+        left = Histogram.from_values(list(range(100)) * 5, num_buckets=10)
+        right = Histogram.from_values(list(range(100)) * 3, num_buckets=10)
+        assert join_selectivity(left, right) == pytest.approx(0.01, rel=0.1)
+
+    def test_disjoint_domains_yield_zero(self):
+        left = Histogram.from_values(list(range(0, 100)))
+        right = Histogram.from_values(list(range(200, 300)))
+        assert join_selectivity(left, right) == pytest.approx(0.0)
+
+    def test_partial_overlap_between_uniform_columns(self):
+        left = Histogram.from_values(list(range(0, 100)), num_buckets=10)
+        right = Histogram.from_values(list(range(50, 150)), num_buckets=10)
+        # Half the domains overlap: ~50 matching values out of 100x100.
+        estimate = join_selectivity(left, right)
+        assert estimate == pytest.approx(50 / 10_000, rel=0.3)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        left = Histogram.equi_depth(rng.normal(50, 10, 500), num_buckets=8)
+        right = Histogram.equi_depth(rng.normal(60, 15, 700), num_buckets=8)
+        assert join_selectivity(left, right) == pytest.approx(
+            join_selectivity(right, left)
+        )
+
+    def test_single_point_histograms(self):
+        left = Histogram.from_values([7.0] * 10)
+        right = Histogram.from_values([7.0] * 3)
+        assert join_selectivity(left, right) == pytest.approx(1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    num_buckets=st.integers(min_value=1, max_value=20),
+    literal=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+def test_selectivities_are_probabilities(values, num_buckets, literal):
+    """Property: every estimate lies in [0, 1] and complements agree."""
+    histogram = Histogram.equi_depth(values, num_buckets=num_buckets)
+    for operator in ("=", "<", "<=", ">", ">="):
+        estimate = histogram.selectivity(operator, literal)
+        assert 0.0 <= estimate <= 1.0
+    below = histogram.selectivity("<", literal)
+    at = histogram.selectivity("=", literal)
+    above = histogram.selectivity(">", literal)
+    assert below + at + above == pytest.approx(1.0, abs=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=50),
+        min_size=2,
+        max_size=300,
+    ),
+    split=st.floats(min_value=-10, max_value=60, allow_nan=False),
+)
+def test_range_estimates_are_monotone(values, split):
+    """Property: P(x < a) is non-decreasing in a."""
+    histogram = Histogram.from_values([float(v) for v in values], 8)
+    lower = histogram.selectivity_lt(split)
+    higher = histogram.selectivity_lt(split + 5.0)
+    assert higher >= lower - 1e-9

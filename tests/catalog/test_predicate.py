@@ -1,0 +1,76 @@
+"""Unit tests for predicates and correlated groups."""
+
+import math
+
+import pytest
+
+from repro.catalog import CorrelatedGroup, Predicate
+from repro.exceptions import CatalogError
+
+
+class TestPredicate:
+    def test_binary_predicate(self):
+        predicate = Predicate("p", ("R", "S"), 0.1)
+        assert predicate.is_binary
+        assert not predicate.is_unary
+        assert predicate.arity == 2
+        assert predicate.log_selectivity == pytest.approx(math.log(0.1))
+
+    def test_unary_predicate(self):
+        predicate = Predicate("p", ("R",), 0.5)
+        assert predicate.is_unary
+        assert predicate.arity == 1
+
+    def test_nary_predicate(self):
+        predicate = Predicate("p", ("R", "S", "T"), 0.2)
+        assert predicate.arity == 3
+        assert not predicate.is_binary
+
+    def test_references(self):
+        predicate = Predicate("p", ("R", "S"), 0.1)
+        assert predicate.references("R")
+        assert not predicate.references("T")
+
+    def test_selectivity_bounds(self):
+        Predicate("ok", ("R",), 1.0)  # selectivity 1 allowed
+        with pytest.raises(CatalogError):
+            Predicate("p", ("R",), 0.0)
+        with pytest.raises(CatalogError):
+            Predicate("p", ("R",), 1.5)
+
+    def test_duplicate_table_references_rejected(self):
+        with pytest.raises(CatalogError):
+            Predicate("p", ("R", "R"), 0.1)
+
+    def test_expensive_flag(self):
+        assert Predicate("p", ("R", "S"), 0.1, cost_per_tuple=2.0).is_expensive
+        assert not Predicate("p", ("R", "S"), 0.1).is_expensive
+        with pytest.raises(CatalogError):
+            Predicate("p", ("R",), 0.1, cost_per_tuple=-1.0)
+
+    def test_columns_must_belong_to_referenced_tables(self):
+        Predicate("ok", ("R", "S"), 0.1, columns=(("R", "a"),))
+        with pytest.raises(CatalogError):
+            Predicate("p", ("R", "S"), 0.1, columns=(("T", "a"),))
+
+    def test_requires_at_least_one_table(self):
+        with pytest.raises(CatalogError):
+            Predicate("p", (), 0.1)
+
+
+class TestCorrelatedGroup:
+    def test_log_correction(self):
+        group = CorrelatedGroup("g", ("p1", "p2"), correction=2.0)
+        assert group.log_correction == pytest.approx(math.log(2.0))
+
+    def test_needs_two_members(self):
+        with pytest.raises(CatalogError):
+            CorrelatedGroup("g", ("p1",), correction=2.0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(CatalogError):
+            CorrelatedGroup("g", ("p1", "p1"), correction=2.0)
+
+    def test_rejects_nonpositive_correction(self):
+        with pytest.raises(CatalogError):
+            CorrelatedGroup("g", ("p1", "p2"), correction=0.0)

@@ -1,0 +1,130 @@
+"""Unit tests for query construction and validation."""
+
+import math
+
+import pytest
+
+from repro.catalog import Column, CorrelatedGroup, Predicate, Query, Table
+from repro.exceptions import QueryValidationError
+
+
+def table(name, cardinality=100):
+    return Table(name, cardinality, columns=(Column("a"), Column("b")))
+
+
+class TestQueryValidation:
+    def test_minimal_query(self):
+        query = Query(tables=(table("R"),))
+        assert query.num_tables == 1
+        assert query.num_joins == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryValidationError):
+            Query(tables=())
+
+    def test_rejects_duplicate_tables(self):
+        with pytest.raises(QueryValidationError):
+            Query(tables=(table("R"), table("R")))
+
+    def test_rejects_unknown_predicate_table(self):
+        with pytest.raises(QueryValidationError):
+            Query(
+                tables=(table("R"),),
+                predicates=(Predicate("p", ("R", "S"), 0.1),),
+            )
+
+    def test_rejects_duplicate_predicate_names(self):
+        with pytest.raises(QueryValidationError):
+            Query(
+                tables=(table("R"), table("S")),
+                predicates=(
+                    Predicate("p", ("R", "S"), 0.1),
+                    Predicate("p", ("S", "R"), 0.2),
+                ),
+            )
+
+    def test_rejects_unknown_predicate_column(self):
+        with pytest.raises(QueryValidationError):
+            Query(
+                tables=(table("R"), table("S")),
+                predicates=(
+                    Predicate("p", ("R", "S"), 0.1, columns=(("R", "zzz"),)),
+                ),
+            )
+
+    def test_rejects_group_with_unknown_member(self):
+        with pytest.raises(QueryValidationError):
+            Query(
+                tables=(table("R"), table("S")),
+                predicates=(Predicate("p", ("R", "S"), 0.1),),
+                correlated_groups=(
+                    CorrelatedGroup("g", ("p", "nope"), correction=2.0),
+                ),
+            )
+
+    def test_rejects_group_name_colliding_with_predicate(self):
+        with pytest.raises(QueryValidationError):
+            Query(
+                tables=(table("R"), table("S")),
+                predicates=(
+                    Predicate("p", ("R", "S"), 0.1),
+                    Predicate("q", ("R", "S"), 0.2),
+                ),
+                correlated_groups=(
+                    CorrelatedGroup("p", ("p", "q"), correction=2.0),
+                ),
+            )
+
+    def test_rejects_unknown_required_column(self):
+        with pytest.raises(QueryValidationError):
+            Query(
+                tables=(table("R"),),
+                required_columns=(("R", "zzz"),),
+            )
+
+    def test_table_lookup(self, rst_query):
+        assert rst_query.table("R").cardinality == 10
+        with pytest.raises(QueryValidationError):
+            rst_query.table("X")
+
+    def test_predicate_lookup(self, rst_query):
+        assert rst_query.predicate("p").selectivity == 0.1
+        with pytest.raises(QueryValidationError):
+            rst_query.predicate("zzz")
+
+
+class TestQueryProperties:
+    def test_counts(self, chain4_query):
+        assert chain4_query.num_tables == 4
+        assert chain4_query.num_joins == 3
+        assert chain4_query.num_predicates == 3
+
+    def test_max_log_cardinality(self, rst_query):
+        expected = math.log(10) + math.log(1000) + math.log(100)
+        assert rst_query.max_log_cardinality == pytest.approx(expected)
+
+    def test_min_log_selectivity(self, rst_query):
+        assert rst_query.min_log_selectivity == pytest.approx(math.log(0.1))
+
+    def test_topology_classification(self, chain4_query, star5_query):
+        assert chain4_query.topology == "chain"
+        assert star5_query.topology == "star"
+
+    def test_connectivity(self, chain4_query):
+        assert chain4_query.is_connected
+        disconnected = Query(tables=(table("R"), table("S")))
+        assert not disconnected.is_connected
+
+    def test_join_graph(self, chain4_query):
+        graph = chain4_query.join_graph
+        assert graph["A"] == frozenset({"B"})
+        assert graph["B"] == frozenset({"A", "C"})
+
+    def test_has_expensive_predicates(self):
+        query = Query(
+            tables=(table("R"), table("S")),
+            predicates=(
+                Predicate("p", ("R", "S"), 0.1, cost_per_tuple=1.0),
+            ),
+        )
+        assert query.has_expensive_predicates

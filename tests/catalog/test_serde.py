@@ -1,0 +1,101 @@
+"""Tests for JSON serialization of queries and plans."""
+
+import pytest
+
+from repro.catalog import (
+    CorrelatedGroup,
+    Predicate,
+    Query,
+    Table,
+    load_plan,
+    load_query,
+    plan_from_dict,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    save_plan,
+    save_query,
+)
+from repro.exceptions import CatalogError
+from repro.plans import JoinAlgorithm, LeftDeepPlan
+
+
+@pytest.fixture
+def rich_query(rst_query):
+    return Query(
+        tables=rst_query.tables,
+        predicates=rst_query.predicates + (
+            Predicate("exp", ("S", "T"), 0.5, cost_per_tuple=3.0,
+                      columns=(("S", "a"),)),
+        ),
+        correlated_groups=(
+            CorrelatedGroup("g", ("p", "exp"), correction=1.5),
+        ),
+        required_columns=(("R", "a"),),
+        name="rich",
+    )
+
+
+class TestQueryRoundTrip:
+    def test_dict_round_trip(self, rich_query):
+        restored = query_from_dict(query_to_dict(rich_query))
+        assert restored.name == rich_query.name
+        assert restored.table_names == rich_query.table_names
+        assert [p.name for p in restored.predicates] == [
+            p.name for p in rich_query.predicates
+        ]
+        assert restored.predicate("exp").cost_per_tuple == 3.0
+        assert restored.correlated_groups[0].correction == 1.5
+        assert restored.required_columns == (("R", "a"),)
+
+    def test_file_round_trip(self, rich_query, tmp_path):
+        path = tmp_path / "query.json"
+        save_query(rich_query, path)
+        restored = load_query(path)
+        assert restored.max_log_cardinality == pytest.approx(
+            rich_query.max_log_cardinality
+        )
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(CatalogError):
+            query_from_dict({"tables": [{"name": "broken"}]})
+
+    def test_restored_query_is_optimizable(self, rich_query):
+        from repro.dp import SelingerOptimizer
+
+        restored = query_from_dict(query_to_dict(rich_query))
+        result = SelingerOptimizer(restored, use_cout=True).optimize()
+        assert result.optimal
+
+
+class TestPlanRoundTrip:
+    def test_dict_round_trip(self, rst_query):
+        plan = LeftDeepPlan.from_order(
+            rst_query, ["R", "S", "T"], JoinAlgorithm.SORT_MERGE
+        )
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.join_order == plan.join_order
+        assert all(
+            step.algorithm is JoinAlgorithm.SORT_MERGE
+            for step in restored.steps
+        )
+
+    def test_file_round_trip(self, rst_query, tmp_path):
+        plan = LeftDeepPlan.from_order(rst_query, ["T", "S", "R"])
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        assert restored.join_order == ("T", "S", "R")
+
+    def test_restored_plan_costs_identically(self, rst_query):
+        from repro.plans import PlanCostEvaluator
+
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        restored = plan_from_dict(plan_to_dict(plan))
+        original_cost = PlanCostEvaluator(
+            rst_query, use_cout=True
+        ).cost(plan)
+        restored_cost = PlanCostEvaluator(
+            restored.query, use_cout=True
+        ).cost(restored)
+        assert restored_cost == pytest.approx(original_cost)

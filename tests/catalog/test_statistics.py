@@ -1,0 +1,75 @@
+"""Unit tests for the Section 3 cardinality estimation model."""
+
+import math
+
+import pytest
+
+from repro.catalog import (
+    CorrelatedGroup,
+    Predicate,
+    Table,
+    applicable_predicates,
+    cardinality,
+    log_cardinality,
+    selectivity_product,
+)
+
+
+@pytest.fixture
+def tables():
+    return [Table("R", 10), Table("S", 1000), Table("T", 100)]
+
+
+@pytest.fixture
+def predicates():
+    return [
+        Predicate("rs", ("R", "S"), 0.1),
+        Predicate("st", ("S", "T"), 0.01),
+    ]
+
+
+class TestApplicablePredicates:
+    def test_requires_all_tables(self, predicates):
+        assert applicable_predicates({"R", "S"}, predicates) == [predicates[0]]
+        assert applicable_predicates({"R"}, predicates) == []
+        assert applicable_predicates({"R", "S", "T"}, predicates) == predicates
+
+
+class TestCardinality:
+    def test_product_rule(self, tables, predicates):
+        # Card(R) * Card(S) * Sel(rs) = 10 * 1000 * 0.1 = 1000
+        value = cardinality(tables[:2], predicates)
+        assert value == pytest.approx(1000.0)
+
+    def test_all_tables(self, tables, predicates):
+        value = cardinality(tables, predicates)
+        assert value == pytest.approx(10 * 1000 * 100 * 0.1 * 0.01)
+
+    def test_log_domain_matches(self, tables, predicates):
+        assert math.exp(log_cardinality(tables, predicates)) == pytest.approx(
+            cardinality(tables, predicates)
+        )
+
+    def test_no_predicates_is_cross_product(self, tables):
+        assert cardinality(tables[:2]) == pytest.approx(10_000.0)
+
+    def test_correlated_group_correction(self, tables, predicates):
+        groups = [CorrelatedGroup("g", ("rs", "st"), correction=3.0)]
+        with_groups = cardinality(tables, predicates, groups)
+        without = cardinality(tables, predicates)
+        assert with_groups == pytest.approx(3.0 * without)
+
+    def test_group_inactive_until_all_members_apply(self, tables, predicates):
+        groups = [CorrelatedGroup("g", ("rs", "st"), correction=3.0)]
+        # Only rs applies on {R, S}: no correction.
+        assert cardinality(tables[:2], predicates, groups) == pytest.approx(
+            1000.0
+        )
+
+
+class TestSelectivityProduct:
+    def test_empty(self):
+        assert selectivity_product([]) == 1.0
+
+    def test_product(self, predicates):
+        assert selectivity_product(predicates) == pytest.approx(0.001)

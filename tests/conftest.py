@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic queries used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Column, Predicate, Query, Table
+from repro.workloads import QueryGenerator
+
+
+def make_table(name: str, cardinality: float, columns=("a", "b")) -> Table:
+    """A small table with named 8-byte columns (test helper)."""
+    return Table(
+        name=name,
+        cardinality=cardinality,
+        columns=tuple(Column(column) for column in columns),
+    )
+
+
+@pytest.fixture
+def rst_query() -> Query:
+    """The paper's running example: R ⋈ S ⋈ T with one predicate R-S.
+
+    Cardinalities 10 / 1000 / 100 and selectivity 0.1 match Example 2.
+    """
+    return Query(
+        tables=(
+            make_table("R", 10),
+            make_table("S", 1000),
+            make_table("T", 100),
+        ),
+        predicates=(
+            Predicate(name="p", tables=("R", "S"), selectivity=0.1),
+        ),
+        name="rst",
+    )
+
+
+@pytest.fixture
+def chain4_query() -> Query:
+    """A four-table chain with distinctive statistics."""
+    return Query(
+        tables=(
+            make_table("A", 100),
+            make_table("B", 10_000),
+            make_table("C", 50),
+            make_table("D", 2_000),
+        ),
+        predicates=(
+            Predicate(name="ab", tables=("A", "B"), selectivity=0.01),
+            Predicate(name="bc", tables=("B", "C"), selectivity=0.05),
+            Predicate(name="cd", tables=("C", "D"), selectivity=0.002),
+        ),
+        name="chain4",
+    )
+
+
+@pytest.fixture
+def star5_query() -> Query:
+    """A five-table star around hub H."""
+    spokes = [make_table(f"S{i}", 10 ** (i + 1)) for i in range(4)]
+    return Query(
+        tables=(make_table("H", 500),) + tuple(spokes),
+        predicates=tuple(
+            Predicate(
+                name=f"h{i}",
+                tables=("H", f"S{i}"),
+                selectivity=0.1 / (i + 1),
+            )
+            for i in range(4)
+        ),
+        name="star5",
+    )
+
+
+@pytest.fixture
+def generator() -> QueryGenerator:
+    """Seeded random query generator."""
+    return QueryGenerator(seed=1234)

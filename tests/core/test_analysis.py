@@ -1,0 +1,79 @@
+"""Tests for the Section 6 model-size analysis (Theorems 1 and 2)."""
+
+import pytest
+
+from repro.workloads import QueryGenerator
+from repro.core import (
+    FormulationConfig,
+    measure_model_size,
+    theoretical_constraint_bound,
+    theoretical_variable_bound,
+)
+
+
+class TestMeasurement:
+    def test_counts_match_formulation(self, rst_query):
+        config = FormulationConfig.low_precision(3, cost_model="cout")
+        size = measure_model_size(rst_query, config)
+        assert size.num_tables == 3
+        assert size.num_predicates == 1
+        assert size.variables > 0
+        assert size.constraints > 0
+
+    def test_size_driver(self, rst_query):
+        config = FormulationConfig.low_precision(3, cost_model="cout")
+        size = measure_model_size(rst_query, config)
+        assert size.size_driver == 3 * (3 + 1 + size.num_thresholds)
+
+
+class TestTheorems:
+    """Measured counts must respect the O(n(n+m+l)) bounds of Theorems 1-2."""
+
+    @pytest.mark.parametrize("num_tables", [4, 8, 12])
+    @pytest.mark.parametrize("topology", ["chain", "star", "cycle"])
+    def test_variable_bound(self, num_tables, topology):
+        query = QueryGenerator(seed=1).generate(topology, num_tables)
+        config = FormulationConfig.low_precision(
+            num_tables, cost_model="cout"
+        )
+        size = measure_model_size(query, config)
+        bound = theoretical_variable_bound(
+            num_tables, query.num_predicates, size.num_thresholds
+        )
+        assert size.variables <= bound
+
+    @pytest.mark.parametrize("num_tables", [4, 8, 12])
+    def test_constraint_bound(self, num_tables):
+        query = QueryGenerator(seed=1).generate("star", num_tables)
+        config = FormulationConfig.low_precision(
+            num_tables, cost_model="cout"
+        )
+        size = measure_model_size(query, config)
+        bound = theoretical_constraint_bound(
+            num_tables, query.num_predicates, size.num_thresholds
+        )
+        # Tangent cuts add O(n) rows; include them in the slack.
+        assert size.constraints <= bound + 8 * (num_tables - 1)
+
+    def test_growth_is_superlinear_in_tables(self):
+        """Doubling n should more than double variables (O(n^2) term)."""
+        config_small = FormulationConfig.low_precision(8, cost_model="cout")
+        config_large = FormulationConfig.low_precision(16, cost_model="cout")
+        small = measure_model_size(
+            QueryGenerator(seed=2).generate("star", 8), config_small
+        )
+        large = measure_model_size(
+            QueryGenerator(seed=2).generate("star", 16), config_large
+        )
+        assert large.variables > 2 * small.variables
+
+    def test_precision_increases_size(self):
+        query = QueryGenerator(seed=3).generate("star", 10)
+        high = measure_model_size(
+            query, FormulationConfig.high_precision(10, cost_model="cout")
+        )
+        low = measure_model_size(
+            query, FormulationConfig.low_precision(10, cost_model="cout")
+        )
+        assert high.variables > low.variables
+        assert high.constraints > low.constraints

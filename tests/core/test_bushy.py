@@ -1,0 +1,207 @@
+"""Tests for the bushy-plan MILP formulation (extension beyond the paper)."""
+
+import math
+
+import pytest
+
+from repro.core import FormulationConfig
+from repro.core.bushy import (
+    BushyFormulation,
+    BushyMILPOptimizer,
+    assignment_for_tree,
+    extract_tree,
+    tree_cout,
+)
+from repro.dp.bushy import BushyNode, BushyOptimizer
+from repro.exceptions import FormulationError
+from repro.milp import SolveStatus, SolverOptions, solve_milp
+from repro.workloads import QueryGenerator
+
+
+def config_for(query):
+    return FormulationConfig.medium_precision(
+        query.num_tables, cost_model="cout"
+    )
+
+
+@pytest.fixture
+def chain5():
+    return QueryGenerator(seed=1).generate("chain", 5)
+
+
+@pytest.fixture
+def star5():
+    return QueryGenerator(seed=2).generate("star", 5)
+
+
+class TestFormulationStructure:
+    def test_variable_families_present(self, rst_query):
+        formulation = BushyFormulation(rst_query, config_for(rst_query))
+        model = formulation.model
+        assert model.has_var("btl[R,0]")
+        assert model.has_var("btr[T,1]")
+        assert model.has_var("rul[0,1]")
+        assert model.has_var("res[S,1]")
+        assert model.has_var("w[R,0,1]")
+        assert model.has_var("lres[0]")
+
+    def test_no_result_use_vars_for_first_join(self, rst_query):
+        formulation = BushyFormulation(rst_query, config_for(rst_query))
+        assert not formulation.model.has_var("rul[0,0]")
+
+    def test_rejects_single_table(self):
+        query = QueryGenerator(seed=0).generate("chain", 2)
+        # Two tables are fine; one is not representable.
+        BushyFormulation(query, config_for(query))
+
+    def test_rejects_non_cout_cost_model(self, rst_query):
+        config = FormulationConfig.medium_precision(3, cost_model="hash")
+        with pytest.raises(FormulationError, match="C_out"):
+            BushyFormulation(rst_query, config)
+
+    def test_cubic_linearization_size(self):
+        # w variables: one per (table, earlier join, join) triple.
+        query = QueryGenerator(seed=3).generate("chain", 6)
+        formulation = BushyFormulation(query, config_for(query))
+        n = query.num_tables
+        joins = n - 1
+        pairs = joins * (joins - 1) // 2
+        expected_w = n * pairs
+        w_vars = [
+            v for v in formulation.model.variables
+            if v.name.startswith("w[")
+        ]
+        assert len(w_vars) == expected_w
+
+
+class TestWarmStart:
+    def test_dp_tree_assignment_is_feasible(self, chain5):
+        formulation = BushyFormulation(chain5, config_for(chain5))
+        tree = BushyOptimizer(chain5, use_cout=True).optimize().tree
+        values = assignment_for_tree(formulation, tree)
+        assignment = formulation.model.assignment_from_names(values)
+        violations = formulation.model.check_feasible(assignment)
+        assert violations == []
+
+    def test_left_deep_tree_assignment_is_feasible(self, star5):
+        from repro.core.bushy import _tree_from_order
+
+        formulation = BushyFormulation(star5, config_for(star5))
+        tree = _tree_from_order(list(star5.table_names))
+        values = assignment_for_tree(formulation, tree)
+        assignment = formulation.model.assignment_from_names(values)
+        assert formulation.model.check_feasible(assignment) == []
+
+    def test_assignment_objective_matches_grid_approximation(self, chain5):
+        formulation = BushyFormulation(chain5, config_for(chain5))
+        tree = BushyOptimizer(chain5, use_cout=True).optimize().tree
+        values = assignment_for_tree(formulation, tree)
+        assignment = formulation.model.assignment_from_names(values)
+        objective = formulation.model.objective_value(assignment)
+        # The objective is the grid's (conservative) approximation of the
+        # tree's true C_out: within the tolerance factor.
+        truth = tree_cout(tree, chain5)
+        assert truth <= objective <= truth * formulation.config.tolerance * 1.01
+
+
+class TestRoundTrip:
+    def test_extracted_tree_matches_warm_start(self, chain5):
+        """Solving from a DP warm start must return an equally good tree."""
+        optimizer = BushyMILPOptimizer(
+            config_for(chain5), SolverOptions(time_limit=90.0)
+        )
+        dp = BushyOptimizer(chain5, use_cout=True).optimize()
+        result = optimizer.optimize(chain5)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.tree is not None
+        assert result.tree.tables == frozenset(chain5.table_names)
+        # MILP objective is conservative: true cost within tolerance of DP.
+        assert result.true_cost <= dp.cost * config_for(chain5).tolerance
+
+    def test_three_table_query_equals_left_deep_space(self, rst_query):
+        # With three tables every bushy tree is linear, so the bushy MILP
+        # and the left-deep MILP agree on the optimal true cost.
+        from repro.core.optimizer import MILPJoinOptimizer
+
+        bushy = BushyMILPOptimizer(
+            config_for(rst_query), SolverOptions(time_limit=60.0)
+        ).optimize(rst_query)
+        left_deep = MILPJoinOptimizer(
+            FormulationConfig.medium_precision(3, cost_model="cout"),
+            SolverOptions(time_limit=60.0),
+        ).optimize(rst_query)
+        assert bushy.status is SolveStatus.OPTIMAL
+        assert bushy.tree.is_left_deep()
+        assert bushy.true_cost == pytest.approx(left_deep.true_cost)
+
+    def test_star_bushy_optimum_not_worse_than_dp(self, star5):
+        optimizer = BushyMILPOptimizer(
+            config_for(star5), SolverOptions(time_limit=90.0)
+        )
+        result = optimizer.optimize(star5)
+        dp = BushyOptimizer(star5, use_cout=True).optimize()
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        assert result.true_cost <= dp.cost * config_for(star5).tolerance
+
+    def test_cold_start_still_solves(self, rst_query):
+        optimizer = BushyMILPOptimizer(
+            config_for(rst_query), SolverOptions(time_limit=60.0)
+        )
+        result = optimizer.optimize(rst_query, warm_start=False)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.tree is not None
+
+    def test_optimality_factor_finite(self, chain5):
+        optimizer = BushyMILPOptimizer(
+            config_for(chain5), SolverOptions(time_limit=90.0)
+        )
+        result = optimizer.optimize(chain5)
+        assert math.isfinite(result.optimality_factor)
+        assert result.optimality_factor >= 1.0
+
+
+class TestTreeCout:
+    def test_leaf_costs_nothing(self, rst_query):
+        leaf = BushyNode(frozenset({"R"}), table="R")
+        assert tree_cout(leaf, rst_query) == 0.0
+
+    def test_counts_intermediates_only(self, rst_query):
+        # ((R ⋈ S) ⋈ T): one intermediate {R, S} with card 10*1000*0.1.
+        rs = BushyNode(
+            frozenset({"R", "S"}),
+            left=BushyNode(frozenset({"R"}), table="R"),
+            right=BushyNode(frozenset({"S"}), table="S"),
+        )
+        tree = BushyNode(
+            frozenset({"R", "S", "T"}),
+            left=rs,
+            right=BushyNode(frozenset({"T"}), table="T"),
+        )
+        assert tree_cout(tree, rst_query) == pytest.approx(1000.0)
+
+    def test_matches_bushy_dp_cost(self, chain5):
+        dp = BushyOptimizer(chain5, use_cout=True).optimize()
+        assert tree_cout(dp.tree, chain5) == pytest.approx(dp.cost)
+
+
+class TestStructuralInvariants:
+    def test_solution_feasibility_implies_valid_tree(self, star5):
+        """Any feasible MILP solution decodes into a well-formed tree."""
+        formulation = BushyFormulation(star5, config_for(star5))
+        solution = solve_milp(
+            formulation.model, SolverOptions(time_limit=90.0)
+        )
+        assert solution.status.has_solution
+        tree = extract_tree(formulation, solution)
+        # Every table exactly once.
+        leaves: list[str] = []
+
+        def collect(node):
+            if node.is_leaf:
+                leaves.append(node.table)
+            else:
+                collect(node.left)
+                collect(node.right)
+
+        collect(tree)
+        assert sorted(leaves) == sorted(star5.table_names)

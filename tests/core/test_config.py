@@ -1,0 +1,78 @@
+"""Unit tests for formulation configuration and presets."""
+
+import pytest
+
+from repro.exceptions import FormulationError
+from repro.core import FormulationConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FormulationConfig()
+        assert config.tolerance == 3.0
+        assert config.cost_model == "hash"
+
+    def test_tolerance_must_exceed_one(self):
+        with pytest.raises(FormulationError):
+            FormulationConfig(tolerance=1.0)
+
+    def test_rounding_mode_checked(self):
+        with pytest.raises(FormulationError):
+            FormulationConfig(rounding="sideways")
+
+    def test_cost_model_checked(self):
+        with pytest.raises(FormulationError):
+            FormulationConfig(cost_model="quantum")
+
+    def test_max_thresholds_checked(self):
+        with pytest.raises(FormulationError):
+            FormulationConfig(max_thresholds=0)
+
+    def test_cardinality_cap_checked(self):
+        with pytest.raises(FormulationError):
+            FormulationConfig(cardinality_cap=0.5)
+
+
+class TestPresets:
+    def test_paper_tolerances(self):
+        high, medium, low = FormulationConfig.presets(20)
+        assert high.tolerance == 3.0
+        assert medium.tolerance == 10.0
+        assert low.tolerance == 100.0
+        assert [c.label for c in (high, medium, low)] == [
+            "high", "medium", "low",
+        ]
+
+    def test_paper_threshold_caps_small_queries(self):
+        assert FormulationConfig.high_precision(40).max_thresholds == 60
+        assert FormulationConfig.low_precision(40).max_thresholds == 15
+
+    def test_paper_threshold_caps_large_queries(self):
+        assert FormulationConfig.high_precision(50).max_thresholds == 100
+        assert FormulationConfig.low_precision(50).max_thresholds == 25
+
+    def test_presets_without_size_leave_thresholds_uncapped(self):
+        assert FormulationConfig.high_precision().max_thresholds is None
+
+    def test_preset_overrides(self):
+        config = FormulationConfig.medium_precision(10, cost_model="cout")
+        assert config.cost_model == "cout"
+        assert config.tolerance == 10.0
+
+
+class TestDerived:
+    def test_cost_context(self):
+        config = FormulationConfig(
+            tuple_size=128, page_size=4096, buffer_pages=16
+        )
+        context = config.cost_context()
+        assert context.tuple_size == 128
+        assert context.page_size == 4096
+        assert context.buffer_pages == 16
+
+    def test_with_cost_model(self):
+        config = FormulationConfig.low_precision(10)
+        swapped = config.with_cost_model("bnl")
+        assert swapped.cost_model == "bnl"
+        assert swapped.tolerance == config.tolerance
+        assert config.cost_model == "hash"  # original untouched

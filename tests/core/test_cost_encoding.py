@@ -1,0 +1,89 @@
+"""Unit tests for the Section 4.3 cost encodings.
+
+The key invariant: for a *fixed* join order (imposed via warm start and
+variable fixing), the MILP objective must approximate the exact plan cost
+within the grid tolerance, for every cost model.
+"""
+
+import pytest
+
+from repro.milp import BranchAndBoundSolver, SolverOptions
+from repro.plans import JoinAlgorithm, LeftDeepPlan, PlanCostEvaluator
+from repro.core import (
+    FormulationConfig,
+    JoinOrderFormulation,
+    assignment_for_plan,
+)
+
+ALGORITHM_OF = {
+    "cout": JoinAlgorithm.HASH,
+    "hash": JoinAlgorithm.HASH,
+    "sort_merge": JoinAlgorithm.SORT_MERGE,
+    "bnl": JoinAlgorithm.BLOCK_NESTED_LOOP,
+}
+
+
+def objective_for_fixed_plan(query, plan, cost_model, tolerance=3.0):
+    """Fix a plan's integral variables and read off the MILP objective."""
+    config = FormulationConfig(
+        tolerance=tolerance,
+        cost_model=cost_model,
+        label="test",
+    )
+    formulation = JoinOrderFormulation(query, config)
+    values = assignment_for_plan(formulation, plan)
+    solver = BranchAndBoundSolver(
+        formulation.model,
+        SolverOptions(time_limit=20.0, heuristics=False),
+    )
+    lb, ub = formulation.model.bounds_arrays()
+    assignment = formulation.model.assignment_from_names(values)
+    repaired = solver._fix_and_solve(assignment, lb, ub)
+    assert repaired is not None, "fixed plan must be LP-feasible"
+    return formulation.model.objective_value(repaired)
+
+
+@pytest.mark.parametrize("cost_model", ["cout", "hash", "sort_merge", "bnl"])
+class TestObjectiveApproximatesTrueCost:
+    def test_fixed_plan_objective_within_tolerance(
+        self, chain4_query, cost_model
+    ):
+        plan = LeftDeepPlan.from_order(
+            chain4_query,
+            ["A", "B", "C", "D"],
+            ALGORITHM_OF[cost_model],
+        )
+        evaluator = PlanCostEvaluator(
+            chain4_query, use_cout=cost_model == "cout"
+        )
+        true_cost = evaluator.cost(plan)
+        objective = objective_for_fixed_plan(chain4_query, plan, cost_model)
+        if true_cost == 0.0:
+            return
+        # Upper rounding over-estimates; tolerance plus slack for the
+        # page-granularity differences of the linear page approximation.
+        assert objective >= true_cost * 0.3
+        assert objective <= true_cost * 3.0 * 4.0
+
+    def test_objective_orders_plans_consistently(
+        self, star5_query, cost_model
+    ):
+        """A much cheaper plan must get a much smaller objective."""
+        algorithm = ALGORITHM_OF[cost_model]
+        good = LeftDeepPlan.from_order(
+            star5_query, ["H", "S0", "S1", "S2", "S3"], algorithm
+        )
+        bad = LeftDeepPlan.from_order(
+            star5_query, ["S3", "S2", "S1", "S0", "H"], algorithm
+        )
+        evaluator = PlanCostEvaluator(
+            star5_query, use_cout=cost_model == "cout"
+        )
+        assert evaluator.cost(good) < evaluator.cost(bad)
+        objective_good = objective_for_fixed_plan(
+            star5_query, good, cost_model
+        )
+        objective_bad = objective_for_fixed_plan(
+            star5_query, bad, cost_model
+        )
+        assert objective_good < objective_bad

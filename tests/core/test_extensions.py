@@ -1,0 +1,293 @@
+"""Tests for the Section 5 extensions: correlated groups, expensive
+predicates, operator selection, result properties and projection."""
+
+import math
+
+import pytest
+
+from repro.catalog import Column, CorrelatedGroup, Predicate, Query, Table
+from repro.exceptions import FormulationError
+from repro.milp import SolveStatus, SolverOptions
+from repro.plans import JoinAlgorithm, PlanCostEvaluator
+from repro.dp import SelingerOptimizer
+from repro.core import (
+    FormulationConfig,
+    JoinOrderFormulation,
+    MILPJoinOptimizer,
+    sorted_order_implementations,
+)
+from repro.core.extensions.properties import (
+    ImplementationSpec,
+    PropertySpec,
+    default_implementations,
+)
+
+OPTIONS = SolverOptions(time_limit=30.0)
+
+
+def tbl(name, cardinality):
+    return Table(
+        name, cardinality, columns=(Column("a"), Column("b", byte_size=24))
+    )
+
+
+class TestCorrelatedGroups:
+    @pytest.fixture
+    def correlated_query(self):
+        return Query(
+            tables=(tbl("R", 100), tbl("S", 200), tbl("T", 400)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.1),
+                Predicate("st", ("S", "T"), 0.1),
+            ),
+            correlated_groups=(
+                CorrelatedGroup("g", ("rs", "st"), correction=4.0),
+            ),
+            name="correlated",
+        )
+
+    def test_group_variables_created(self, correlated_query):
+        config = FormulationConfig.low_precision(3, cost_model="cout")
+        formulation = JoinOrderFormulation(correlated_query, config)
+        assert ("g", 0) in formulation.pao
+        assert ("g", 1) in formulation.pao
+
+    def test_milp_accounts_for_correction(self, correlated_query):
+        """MILP and DP agree on a query whose cardinality model includes a
+        group correction (both use CardinalityModel semantics)."""
+        config = FormulationConfig.high_precision(3, cost_model="cout")
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(correlated_query)
+        dp = SelingerOptimizer(correlated_query, use_cout=True).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.true_cost <= 3.0 * dp.cost * (1 + 1e-6)
+
+    def test_group_with_unary_member_uses_table_indicator(self):
+        """Unary members are applied at the scan, so the group's AND uses
+        the table-presence variable as that member's indicator."""
+        query = Query(
+            tables=(tbl("R", 100), tbl("S", 200), tbl("T", 50)),
+            predicates=(
+                Predicate("sel", ("R",), 0.1),
+                Predicate("rs", ("R", "S"), 0.1),
+            ),
+            correlated_groups=(
+                CorrelatedGroup("g", ("sel", "rs"), correction=2.0),
+            ),
+        )
+        config = FormulationConfig.high_precision(3, cost_model="cout")
+        formulation = JoinOrderFormulation(query, config)
+        assert ("g", 0) in formulation.pao
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(query)
+        dp = SelingerOptimizer(query, use_cout=True).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.true_cost <= 3.0 * dp.cost * (1 + 1e-6)
+
+
+class TestExpensivePredicates:
+    @pytest.fixture
+    def expensive_query(self):
+        return Query(
+            tables=(tbl("R", 50), tbl("S", 1000), tbl("T", 100)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.01),
+                Predicate("rt", ("R", "T"), 0.9, cost_per_tuple=100.0),
+            ),
+            name="expensive",
+        )
+
+    def test_pco_variables_created(self, expensive_query):
+        config = FormulationConfig.low_precision(3, cost_model="cout")
+        formulation = JoinOrderFormulation(expensive_query, config)
+        state = formulation.extensions["expensive_predicates"]
+        assert ("rt", 0) in state.pco
+        assert ("rt", 1) in state.pco
+        # The cheap predicate gets no pco variables.
+        assert not any(key[0] == "rs" for key in state.pco)
+
+    def test_every_expensive_predicate_eventually_evaluated(
+        self, expensive_query
+    ):
+        config = FormulationConfig.high_precision(3, cost_model="cout")
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(expensive_query)
+        assert result.status is SolveStatus.OPTIMAL
+        values = result.milp_solution.values
+        jmax = expensive_query.num_joins - 1
+        evaluated = sum(
+            values[f"pco[rt,{j}]"] for j in range(jmax + 1)
+        ) + values[f"pao[rt,{jmax}]"]
+        # pco flags sum with the final pao to at least one evaluation.
+        assert evaluated >= 0.99
+
+    def test_disabled_extension_ignores_cost(self, expensive_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="cout", enable_expensive_predicates=False
+        )
+        formulation = JoinOrderFormulation(expensive_query, config)
+        assert "expensive_predicates" not in formulation.extensions
+
+
+class TestOperatorSelection:
+    def test_jos_variables_and_uniqueness(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="hash", select_operators=True
+        )
+        formulation = JoinOrderFormulation(rst_query, config)
+        state = formulation.extensions["operator_choice"]
+        assert len(state.jos) == 3 * 2  # three implementations, two joins
+        names = {c.name for c in formulation.model.constraints}
+        assert "jos_one[0]" in names and "jos_one[1]" in names
+
+    def test_selected_operators_never_worse_than_uniform(self, rst_query):
+        config = FormulationConfig.high_precision(
+            3, cost_model="hash", select_operators=True
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        assert result.status is SolveStatus.OPTIMAL
+        evaluator = PlanCostEvaluator(rst_query, config.cost_context())
+        # Compare against the best uniform-hash plan via DP.
+        dp = SelingerOptimizer(
+            rst_query, config.cost_context(), algorithm=JoinAlgorithm.HASH
+        ).optimize()
+        mixed_cost = evaluator.cost(result.plan)
+        assert mixed_cost <= 3.0 * dp.cost * (1 + 1e-6)
+
+    def test_cout_objective_rejected(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="cout", select_operators=True
+        )
+        with pytest.raises(FormulationError):
+            JoinOrderFormulation(rst_query, config)
+
+    def test_duplicate_implementation_names_rejected(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="hash", select_operators=True
+        )
+        implementations = [
+            ImplementationSpec("same", JoinAlgorithm.HASH),
+            ImplementationSpec("same", JoinAlgorithm.SORT_MERGE),
+        ]
+        with pytest.raises(FormulationError):
+            JoinOrderFormulation(
+                rst_query, config, implementations=implementations
+            )
+
+    def test_unknown_property_reference_rejected(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="hash", select_operators=True
+        )
+        implementations = [
+            ImplementationSpec(
+                "hash", JoinAlgorithm.HASH, requires=("ghost",)
+            ),
+        ]
+        with pytest.raises(FormulationError):
+            JoinOrderFormulation(
+                rst_query, config, implementations=implementations
+            )
+
+
+class TestResultProperties:
+    def test_properties_require_operator_selection(self, rst_query):
+        config = FormulationConfig.low_precision(3, cost_model="hash")
+        with pytest.raises(FormulationError):
+            JoinOrderFormulation(
+                rst_query, config, properties=[PropertySpec("sorted")]
+            )
+
+    def test_sorted_order_scenario_solves(self, chain4_query):
+        implementations, properties = sorted_order_implementations()
+        config = FormulationConfig.medium_precision(
+            4, cost_model="sort_merge", select_operators=True
+        )
+        optimizer = MILPJoinOptimizer(config, OPTIONS)
+        result = optimizer.optimize(
+            chain4_query,
+            implementations=implementations,
+            properties=properties,
+        )
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        assert result.plan is not None
+
+    def test_presorted_merge_requires_sorted_outer(self, chain4_query):
+        """The presorted-merge implementation may only follow a sort-merge
+        join, never a hash join."""
+        implementations, properties = sorted_order_implementations()
+        config = FormulationConfig.medium_precision(
+            4, cost_model="sort_merge", select_operators=True
+        )
+        formulation = JoinOrderFormulation(
+            chain4_query, config, implementations, properties
+        )
+        names = {c.name for c in formulation.model.constraints}
+        assert "jos_req[merge_presorted,1,sorted]" in names
+        assert "ohp_prop[sorted,1]" in names
+        assert "ohp_base[sorted]" in names
+
+
+class TestProjection:
+    @pytest.fixture
+    def projection_query(self):
+        return Query(
+            tables=(tbl("R", 50), tbl("S", 500), tbl("T", 100)),
+            predicates=(
+                Predicate(
+                    "rs", ("R", "S"), 0.1,
+                    columns=(("R", "a"), ("S", "a")),
+                ),
+                Predicate("st", ("S", "T"), 0.05),
+            ),
+            required_columns=(("R", "b"), ("T", "a")),
+            name="projected",
+        )
+
+    def test_requires_enable_flag(self, projection_query):
+        config = FormulationConfig.low_precision(3, cost_model="hash")
+        formulation = JoinOrderFormulation(projection_query, config)
+        assert "projection" not in formulation.extensions
+
+    def test_column_variables_created(self, projection_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="hash", enable_projection=True
+        )
+        formulation = JoinOrderFormulation(projection_query, config)
+        state = formulation.extensions["projection"]
+        assert ("R", "b") in [(t, c) for t, c in state.columns]
+        names = {c.name for c in formulation.model.constraints}
+        assert "clo_final[R.b]" in names
+        assert "clo_final[T.a]" in names
+        # Byte-size definition per join.
+        assert "bytes_def[0]" in names
+
+    def test_solves_and_extracts(self, projection_query):
+        config = FormulationConfig.medium_precision(
+            3, cost_model="hash", enable_projection=True
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(projection_query)
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        assert result.plan is not None
+        # Required columns survive to the final result.
+        values = result.milp_solution.values
+        assert values["clo[R.b,final]"] == pytest.approx(1.0)
+        assert values["clo[T.a,final]"] == pytest.approx(1.0)
+
+    def test_cout_with_projection_rejected(self, projection_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="cout", enable_projection=True
+        )
+        with pytest.raises(FormulationError):
+            JoinOrderFormulation(projection_query, config)
+
+
+class TestDefaultImplementations:
+    def test_three_standard_operators(self):
+        implementations = default_implementations()
+        assert [spec.algorithm for spec in implementations] == [
+            JoinAlgorithm.HASH,
+            JoinAlgorithm.SORT_MERGE,
+            JoinAlgorithm.BLOCK_NESTED_LOOP,
+        ]
+
+    def test_sorted_order_bundle(self):
+        implementations, properties = sorted_order_implementations()
+        assert any(spec.presorted_outer for spec in implementations)
+        assert [p.name for p in properties] == ["sorted"]

@@ -1,0 +1,117 @@
+"""Unit tests for solution extraction and warm-start encoding."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.milp import BranchAndBoundSolver, MILPSolution, SolveStatus, SolverOptions
+from repro.plans import LeftDeepPlan
+from repro.dp import GreedyOptimizer
+from repro.core import (
+    FormulationConfig,
+    JoinOrderFormulation,
+    assignment_for_plan,
+    extract_plan,
+)
+
+
+@pytest.fixture
+def formulation(star5_query):
+    config = FormulationConfig.low_precision(5, cost_model="cout")
+    return JoinOrderFormulation(star5_query, config)
+
+
+def solve_with_warm_start(formulation, plan):
+    values = assignment_for_plan(formulation, plan)
+    solver = BranchAndBoundSolver(
+        formulation.model, SolverOptions(time_limit=20.0)
+    )
+    return solver.solve(warm_start=values)
+
+
+class TestWarmStart:
+    def test_assignment_is_accepted_by_solver(self, formulation, star5_query):
+        plan = LeftDeepPlan.from_order(
+            star5_query, ["H", "S0", "S1", "S2", "S3"]
+        )
+        values = assignment_for_plan(formulation, plan)
+        solver = BranchAndBoundSolver(
+            formulation.model,
+            SolverOptions(time_limit=20.0, heuristics=False),
+        )
+        solution = solver.solve(warm_start=values)
+        incumbents = [e for e in solution.events if e.kind == "incumbent"]
+        assert incumbents, "warm start must yield an immediate incumbent"
+
+    def test_round_trip_through_extraction(self, formulation, star5_query):
+        """Encoding a plan and decoding the solved incumbent must be
+        consistent: the extracted plan can never cost more than the seed."""
+        seed = GreedyOptimizer(star5_query, use_cout=True).optimize().plan
+        solution = solve_with_warm_start(formulation, seed)
+        plan = extract_plan(formulation, solution)
+        assert set(plan.join_order) == set(star5_query.table_names)
+
+    def test_every_join_order_encodable(self, rst_query):
+        import itertools
+
+        config = FormulationConfig.low_precision(3, cost_model="cout")
+        formulation = JoinOrderFormulation(rst_query, config)
+        solver = BranchAndBoundSolver(
+            formulation.model, SolverOptions(time_limit=20.0)
+        )
+        for order in itertools.permutations(rst_query.table_names):
+            plan = LeftDeepPlan.from_order(rst_query, list(order))
+            values = assignment_for_plan(formulation, plan)
+            repaired = solver._coerce_warm_start(
+                values, *formulation.model.bounds_arrays()
+            )
+            assert repaired is not None, f"order {order} not encodable"
+
+    def test_threshold_flags_match_grid(self, formulation, star5_query):
+        plan = LeftDeepPlan.from_order(
+            star5_query, ["H", "S0", "S1", "S2", "S3"]
+        )
+        values = assignment_for_plan(formulation, plan)
+        outer_sets = list(plan.outer_sets())
+        for j, outer in enumerate(outer_sets):
+            log_card = formulation.operand_log_cardinality(outer)
+            expected = formulation.grid.active_flags(log_card)
+            actual = [
+                values[f"cto[{r},{j}]"]
+                for r in range(formulation.grid.num_thresholds)
+            ]
+            assert actual == [float(flag) for flag in expected]
+
+    def test_mismatched_query_rejected(self, formulation, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        from repro.exceptions import FormulationError
+
+        with pytest.raises(FormulationError):
+            assignment_for_plan(formulation, plan)
+
+
+class TestExtraction:
+    def test_rejects_solution_without_assignment(self, formulation):
+        empty = MILPSolution(
+            status=SolveStatus.NO_SOLUTION,
+            objective=math.inf,
+            best_bound=0.0,
+        )
+        with pytest.raises(ExtractionError):
+            extract_plan(formulation, empty)
+
+    def test_extracted_algorithm_follows_cost_model(self, rst_query):
+        from repro.milp import solve_milp
+        from repro.plans import JoinAlgorithm
+
+        config = FormulationConfig.low_precision(3, cost_model="sort_merge")
+        formulation = JoinOrderFormulation(rst_query, config)
+        solution = solve_milp(
+            formulation.model, SolverOptions(time_limit=20.0)
+        )
+        plan = extract_plan(formulation, solution)
+        assert all(
+            step.algorithm is JoinAlgorithm.SORT_MERGE
+            for step in plan.steps
+        )

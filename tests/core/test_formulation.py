@@ -1,0 +1,175 @@
+"""Unit tests for the base MILP formulation (paper Tables 1-2)."""
+
+import math
+
+import pytest
+
+from repro.catalog import Predicate, Query, Table
+from repro.exceptions import FormulationError
+from repro.core import FormulationConfig, JoinOrderFormulation
+
+
+@pytest.fixture
+def config():
+    return FormulationConfig.low_precision(5, cost_model="cout")
+
+
+@pytest.fixture
+def formulation(rst_query, config):
+    return JoinOrderFormulation(rst_query, config)
+
+
+class TestVariableLayout:
+    def test_paper_example_variable_counts(self, formulation, rst_query):
+        """Example 1: R ⋈ S ⋈ T needs six tio and six tii variables."""
+        assert len(formulation.tio) == 6
+        assert len(formulation.tii) == 6
+        assert len(formulation.lco) == 2
+        assert len(formulation.co) == 2
+        assert len(formulation.ci) == 2
+        # One binary predicate, two joins.
+        assert len(formulation.pao) == 2
+
+    def test_threshold_variables_per_join(self, formulation):
+        per_join = formulation.grid.num_thresholds
+        assert len(formulation.cto) == per_join * 2
+
+    def test_join_indices(self, formulation):
+        assert list(formulation.joins) == [0, 1]
+        assert formulation.jmax == 1
+
+    def test_requires_two_tables(self, config):
+        query = Query(tables=(Table("R", 10),))
+        with pytest.raises(FormulationError):
+            JoinOrderFormulation(query, config)
+
+    def test_branching_priorities(self, formulation):
+        assert formulation.tio["R", 0].priority == 3
+        assert formulation.pao["p", 0].priority == 2
+        assert formulation.cto[0, 0].priority == 1
+
+
+class TestConstraintNames:
+    """Constraint families from Table 2 must all be present."""
+
+    @pytest.fixture
+    def names(self, formulation):
+        return {c.name for c in formulation.model.constraints}
+
+    def test_first_outer_single_table(self, names):
+        assert "tio_first" in names
+
+    def test_inner_single_table_per_join(self, names):
+        assert {"tii_single[0]", "tii_single[1]"} <= names
+
+    def test_no_overlap_rows(self, names):
+        assert "no_overlap[R,0]" in names
+        assert "no_overlap[T,1]" in names
+
+    def test_chain_rows_only_for_later_joins(self, names):
+        assert "chain[R,1]" in names
+        assert "chain[R,0]" not in names
+
+    def test_predicate_requirement_rows(self, names):
+        assert "pao_req[p,0,R]" in names
+        assert "pao_req[p,0,S]" in names
+
+    def test_predicate_forcing_rows(self, names):
+        assert "pao_force[p,0]" in names
+
+    def test_lco_and_co_definitions(self, names):
+        assert {"lco_def[0]", "lco_def[1]", "co_def[0]", "co_def[1]"} <= names
+
+    def test_threshold_activation(self, names, formulation):
+        assert "cto_act[0,0]" in names
+        last = formulation.grid.num_thresholds - 1
+        assert f"cto_act[{last},1]" in names
+
+    def test_threshold_ordering_present_by_default(self, names):
+        assert "cto_ord[1,0]" in names
+
+    def test_tangent_cuts_present_in_upper_mode(self, names):
+        assert any(name.startswith("tangent[") for name in names)
+
+
+class TestConfigToggles:
+    def test_ordering_disabled(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="cout", threshold_ordering=False
+        )
+        formulation = JoinOrderFormulation(rst_query, config)
+        names = {c.name for c in formulation.model.constraints}
+        assert not any(name.startswith("cto_ord") for name in names)
+
+    def test_tangent_cuts_disabled(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="cout", tangent_cuts=0
+        )
+        formulation = JoinOrderFormulation(rst_query, config)
+        names = {c.name for c in formulation.model.constraints}
+        assert not any(name.startswith("tangent") for name in names)
+
+    def test_lower_mode_has_no_tangent_cuts(self, rst_query):
+        config = FormulationConfig.low_precision(
+            3, cost_model="cout", rounding="lower"
+        )
+        formulation = JoinOrderFormulation(rst_query, config)
+        names = {c.name for c in formulation.model.constraints}
+        assert not any(name.startswith("tangent") for name in names)
+
+
+class TestStatisticsHelpers:
+    def test_effective_cards_match_cardinality_model(self, formulation):
+        assert formulation.effective_card("S") == pytest.approx(1000.0)
+        assert formulation.effective_log_card("S") == pytest.approx(
+            math.log(1000.0)
+        )
+
+    def test_lco_bounds_cover_reachable_values(self, formulation, rst_query):
+        lower, upper = formulation.lco_bounds
+        # All tables joined, predicate applied.
+        full = (
+            sum(t.log_cardinality for t in rst_query.tables) + math.log(0.1)
+        )
+        assert lower <= math.log(10) <= upper  # single table R
+        assert lower <= full <= upper
+
+    def test_operand_log_cardinality(self, formulation):
+        value = formulation.operand_log_cardinality(frozenset({"R", "S"}))
+        assert value == pytest.approx(math.log(10 * 1000 * 0.1))
+
+    def test_stats_include_threshold_count(self, formulation):
+        stats = formulation.stats()
+        assert stats["thresholds_per_result"] == formulation.grid.num_thresholds
+        assert stats["variables"] == formulation.model.num_variables
+
+
+class TestUnaryPredicates:
+    def test_unary_predicates_folded_not_modeled(self):
+        query = Query(
+            tables=(Table("R", 1000), Table("S", 10)),
+            predicates=(
+                Predicate("sel", ("R",), 0.01),
+                Predicate("rs", ("R", "S"), 0.5),
+            ),
+        )
+        formulation = JoinOrderFormulation(
+            query, FormulationConfig.low_precision(2, cost_model="cout")
+        )
+        # Only the binary predicate gets pao variables.
+        assert all(key[0] == "rs" for key in formulation.pao)
+        assert formulation.effective_card("R") == pytest.approx(10.0)
+
+
+class TestNaryPredicates:
+    def test_nary_requirement_rows(self):
+        query = Query(
+            tables=(Table("R", 10), Table("S", 10), Table("T", 10)),
+            predicates=(Predicate("rst", ("R", "S", "T"), 0.01),),
+        )
+        formulation = JoinOrderFormulation(
+            query, FormulationConfig.low_precision(3, cost_model="cout")
+        )
+        names = {c.name for c in formulation.model.constraints}
+        for table in ("R", "S", "T"):
+            assert f"pao_req[rst,0,{table}]" in names

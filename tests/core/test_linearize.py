@@ -1,0 +1,132 @@
+"""Unit tests for the Bisschop linearization tricks."""
+
+import pytest
+
+from repro.exceptions import FormulationError
+from repro.milp import Model, SolveStatus, lin_sum, solve_milp
+from repro.core.linearize import (
+    big_m_for,
+    binary_times_continuous,
+    conjunction,
+    expression_bounds,
+    implication,
+)
+
+
+class TestExpressionBounds:
+    def test_positive_coefficients(self):
+        m = Model("t")
+        x = m.add_continuous("x", 1, 4)
+        low, high = expression_bounds(m, 2 * x + 1)
+        assert (low, high) == (3.0, 9.0)
+
+    def test_negative_coefficients(self):
+        m = Model("t")
+        x = m.add_continuous("x", 1, 4)
+        low, high = expression_bounds(m, -2 * x)
+        assert (low, high) == (-8.0, -2.0)
+
+
+class TestBinaryTimesContinuous:
+    def solve_product(self, fix_binary, x_range=(0, 10), objective_sign=1.0):
+        """Build w = b * x with b fixed; minimize/maximize w - check value."""
+        m = Model("t")
+        b = m.add_binary("b")
+        x = m.add_continuous("x", *x_range)
+        w = binary_times_continuous(m, b, x, "w")
+        m.add_eq(b * 1, fix_binary, "fix_b")
+        m.add_eq(x * 1, 7, "fix_x")
+        m.set_objective(objective_sign * w)
+        solution = solve_milp(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        return solution.value("w")
+
+    def test_product_when_binary_one(self):
+        assert self.solve_product(1) == pytest.approx(7.0)
+        assert self.solve_product(1, objective_sign=-1.0) == pytest.approx(7.0)
+
+    def test_product_when_binary_zero(self):
+        assert self.solve_product(0) == pytest.approx(0.0)
+        assert self.solve_product(0, objective_sign=-1.0) == pytest.approx(0.0)
+
+    def test_requires_binary(self):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 1)
+        y = m.add_continuous("y", 0, 1)
+        with pytest.raises(FormulationError):
+            binary_times_continuous(m, x, y, "w")  # type: ignore[arg-type]
+
+    def test_requires_nonnegative_factor(self):
+        m = Model("t")
+        b = m.add_binary("b")
+        x = m.add_continuous("x", -5, 5)
+        with pytest.raises(FormulationError):
+            binary_times_continuous(m, b, x, "w")
+
+    def test_requires_finite_upper_bound(self):
+        import math
+
+        m = Model("t")
+        b = m.add_binary("b")
+        x = m.add_continuous("x", 0, math.inf)
+        with pytest.raises(FormulationError):
+            binary_times_continuous(m, b, x, "w")
+
+    def test_expression_factor(self):
+        m = Model("t")
+        b = m.add_binary("b")
+        x = m.add_continuous("x", 0, 4)
+        y = m.add_continuous("y", 0, 4)
+        w = binary_times_continuous(m, b, x + y, "w")
+        m.add_eq(x + y, 6, "fix_sum")
+        m.add_eq(b * 1, 1, "fix_b")
+        m.set_objective(w)
+        solution = solve_milp(m)
+        assert solution.value("w") == pytest.approx(6.0)
+
+
+class TestLogicHelpers:
+    def test_implication(self):
+        m = Model("t")
+        a = m.add_binary("a")
+        b = m.add_binary("b")
+        implication(m, a, b, "imp")
+        m.add_eq(a * 1, 1, "fix_a")
+        m.set_objective(b * 1)  # minimize b: must still be 1
+        solution = solve_milp(m)
+        assert solution.value("b") == pytest.approx(1.0)
+
+    def test_conjunction_forced_up(self):
+        m = Model("t")
+        members = [m.add_binary(f"m{i}") for i in range(3)]
+        result = m.add_binary("r")
+        conjunction(m, result, members, "and")
+        for i, member in enumerate(members):
+            m.add_eq(member * 1, 1, f"fix{i}")
+        m.set_objective(result * 1)  # minimizing: constraint must force 1
+        solution = solve_milp(m)
+        assert solution.value("r") == pytest.approx(1.0)
+
+    def test_conjunction_forced_down(self):
+        m = Model("t")
+        members = [m.add_binary(f"m{i}") for i in range(3)]
+        result = m.add_binary("r")
+        conjunction(m, result, members, "and")
+        m.add_eq(members[0] * 1, 0, "fix0")
+        m.set_objective(-1 * result)  # maximizing: constraints must force 0
+        solution = solve_milp(m)
+        assert solution.value("r") == pytest.approx(0.0)
+
+    def test_conjunction_needs_members(self):
+        m = Model("t")
+        r = m.add_binary("r")
+        with pytest.raises(FormulationError):
+            conjunction(m, r, [], "and")
+
+
+class TestBigM:
+    def test_covers_range(self):
+        assert big_m_for(20.0, 5.0) >= 15.0
+
+    def test_never_tiny(self):
+        assert big_m_for(1.0, 50.0) >= 1.0

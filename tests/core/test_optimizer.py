@@ -1,0 +1,162 @@
+"""End-to-end tests of the MILP join optimizer against ground truth.
+
+These are the headline correctness tests: within the configured
+approximation tolerance, the MILP optimizer must find plans as good as the
+exhaustive DP's optimum.
+"""
+
+import math
+
+import pytest
+
+from repro.catalog import Query, Table
+from repro.milp import SolveStatus, SolverOptions
+from repro.plans import JoinAlgorithm, PlanCostEvaluator, validate_plan
+from repro.dp import GreedyOptimizer, SelingerOptimizer
+from repro.core import FormulationConfig, MILPJoinOptimizer, optimize_query
+
+
+def high_config(query, **overrides):
+    return FormulationConfig.high_precision(
+        query.num_tables, cost_model="cout", **overrides
+    )
+
+
+OPTIONS = SolverOptions(time_limit=30.0)
+
+
+class TestOptimality:
+    def test_rst_finds_dp_optimum(self, rst_query):
+        result = MILPJoinOptimizer(high_config(rst_query), OPTIONS).optimize(
+            rst_query
+        )
+        dp = SelingerOptimizer(rst_query, use_cout=True).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.true_cost == pytest.approx(dp.cost)
+
+    def test_chain4_within_tolerance(self, chain4_query):
+        result = MILPJoinOptimizer(
+            high_config(chain4_query), OPTIONS
+        ).optimize(chain4_query)
+        dp = SelingerOptimizer(chain4_query, use_cout=True).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        # Approximated optimum maps to a plan within the tolerance factor.
+        assert result.true_cost <= 3.0 * dp.cost * (1 + 1e-6)
+
+    def test_star5_finds_dp_optimum(self, star5_query):
+        result = MILPJoinOptimizer(
+            high_config(star5_query), OPTIONS
+        ).optimize(star5_query)
+        dp = SelingerOptimizer(star5_query, use_cout=True).optimize()
+        assert result.true_cost <= 3.0 * dp.cost * (1 + 1e-6)
+
+    def test_hash_cost_model(self, rst_query):
+        config = FormulationConfig.high_precision(
+            rst_query.num_tables, cost_model="hash"
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        dp = SelingerOptimizer(rst_query).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.true_cost <= 3.0 * dp.cost * (1 + 1e-6)
+        assert all(
+            step.algorithm is JoinAlgorithm.HASH
+            for step in result.plan.steps
+        )
+
+    def test_plan_is_structurally_valid(self, star5_query):
+        result = MILPJoinOptimizer(
+            high_config(star5_query), OPTIONS
+        ).optimize(star5_query)
+        validate_plan(result.plan, star5_query)
+
+
+class TestDiagnostics:
+    def test_objective_approximates_true_cost(self, rst_query):
+        result = MILPJoinOptimizer(high_config(rst_query), OPTIONS).optimize(
+            rst_query
+        )
+        # Upper rounding: objective >= true cost, within tolerance factor.
+        assert result.objective >= result.true_cost * (1 - 1e-6)
+        assert result.objective <= result.true_cost * 3.0 * (1 + 1e-6)
+
+    def test_events_recorded(self, rst_query):
+        result = MILPJoinOptimizer(high_config(rst_query), OPTIONS).optimize(
+            rst_query
+        )
+        assert result.events
+        kinds = {event.kind for event in result.events}
+        assert "incumbent" in kinds
+
+    def test_formulation_stats_attached(self, rst_query):
+        result = MILPJoinOptimizer(high_config(rst_query), OPTIONS).optimize(
+            rst_query
+        )
+        assert result.formulation_stats["variables"] > 0
+
+    def test_gap_and_factor_closed_at_optimum(self, rst_query):
+        result = MILPJoinOptimizer(high_config(rst_query), OPTIONS).optimize(
+            rst_query
+        )
+        assert result.gap <= 1e-6
+        assert result.optimality_factor == pytest.approx(1.0)
+
+
+class TestWarmStarts:
+    def test_warm_start_plan_accepted(self, star5_query):
+        greedy = GreedyOptimizer(star5_query, use_cout=True).optimize()
+        result = MILPJoinOptimizer(
+            high_config(star5_query), OPTIONS
+        ).optimize(star5_query, warm_start=greedy.plan)
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_cold_start_still_works(self, rst_query):
+        result = MILPJoinOptimizer(high_config(rst_query), OPTIONS).optimize(
+            rst_query, warm_start=False
+        )
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_warm_start_gives_immediate_incumbent(self, star5_query):
+        result = MILPJoinOptimizer(
+            high_config(star5_query),
+            SolverOptions(time_limit=30.0, heuristics=False),
+        ).optimize(star5_query, warm_start=True)
+        incumbents = [e for e in result.events if e.kind == "incumbent"]
+        assert incumbents, "warm start should register an incumbent"
+
+
+class TestEdgeCases:
+    def test_single_table_query(self):
+        query = Query(tables=(Table("R", 10),), name="single")
+        result = MILPJoinOptimizer().optimize(query)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.plan.join_order == ("R",)
+        assert result.true_cost == 0.0
+
+    def test_two_table_query(self):
+        query = Query(
+            tables=(Table("R", 10), Table("S", 100)), name="pair"
+        )
+        config = FormulationConfig.low_precision(2, cost_model="cout")
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(query)
+        assert result.status is SolveStatus.OPTIMAL
+        assert set(result.plan.join_order) == {"R", "S"}
+
+    def test_convenience_wrapper(self, rst_query):
+        result = optimize_query(rst_query, time_limit=20.0)
+        assert result.plan is not None
+
+
+class TestTimeLimits:
+    def test_budget_exhaustion_reports_feasible_with_warm_start(
+        self, generator
+    ):
+        query = generator.generate("chain", 10)
+        config = FormulationConfig.high_precision(10, cost_model="cout")
+        result = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=1.5)
+        ).optimize(query)
+        # With a warm start there is always an incumbent, whatever the
+        # budget; the status must not be NO_SOLUTION.
+        assert result.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+        assert result.plan is not None
+        assert result.best_bound <= result.objective * (1 + 1e-9)

@@ -1,0 +1,71 @@
+"""End-to-end tests of the lower-rounding mode and grid edge cases."""
+
+import pytest
+
+from repro.milp import SolveStatus, SolverOptions
+from repro.dp import SelingerOptimizer
+from repro.core import FormulationConfig, MILPJoinOptimizer
+
+OPTIONS = SolverOptions(time_limit=30.0)
+
+
+class TestLowerRounding:
+    def test_lower_mode_solves_and_matches_dp(self, rst_query):
+        config = FormulationConfig.high_precision(
+            3, cost_model="cout", rounding="lower"
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        dp = SelingerOptimizer(rst_query, use_cout=True).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.true_cost <= 3.0 * dp.cost * (1 + 1e-6)
+
+    def test_lower_mode_underestimates(self, rst_query):
+        config = FormulationConfig.high_precision(
+            3, cost_model="cout", rounding="lower"
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        # Lower-bracket rounding: objective <= true cost.
+        assert result.objective <= result.true_cost * (1 + 1e-6)
+
+    def test_upper_mode_overestimates(self, rst_query):
+        config = FormulationConfig.high_precision(3, cost_model="cout")
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        assert result.objective >= result.true_cost * (1 - 1e-6)
+
+    def test_star_lower_mode(self, star5_query):
+        config = FormulationConfig.medium_precision(
+            5, cost_model="cout", rounding="lower"
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(star5_query)
+        dp = SelingerOptimizer(star5_query, use_cout=True).optimize()
+        assert result.plan is not None
+        assert result.true_cost <= 10.0 * dp.cost * (1 + 1e-6)
+
+
+class TestGridEdgeCases:
+    def test_single_threshold_grid(self, rst_query):
+        config = FormulationConfig(
+            tolerance=1e6, cost_model="cout", label="coarse"
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        assert result.plan is not None
+
+    def test_uncapped_grid(self, rst_query):
+        config = FormulationConfig(
+            tolerance=3.0,
+            cardinality_cap=None,
+            cost_model="cout",
+            label="uncapped",
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        dp = SelingerOptimizer(rst_query, use_cout=True).optimize()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.true_cost == pytest.approx(dp.cost)
+
+    def test_tiny_tolerance_high_precision(self, rst_query):
+        config = FormulationConfig(
+            tolerance=1.5, cost_model="cout", label="fine"
+        )
+        result = MILPJoinOptimizer(config, OPTIONS).optimize(rst_query)
+        # With tolerance 1.5 the objective is within 50% of the true cost.
+        assert result.objective <= result.true_cost * 1.5 * (1 + 1e-6)

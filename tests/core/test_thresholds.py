@@ -1,0 +1,131 @@
+"""Unit tests for cardinality threshold grids (paper Section 4.2)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import FormulationError
+from repro.core import FormulationConfig, ThresholdGrid
+
+
+def build(tolerance=3.0, top=20.0, **kwargs):
+    return ThresholdGrid.build(
+        log_lower=-5.0, log_upper=top, tolerance=tolerance, **kwargs
+    )
+
+
+class TestConstruction:
+    def test_geometric_spacing(self):
+        grid = build(tolerance=10.0, top=math.log(1e6))
+        thresholds = grid.thresholds()
+        for a, b in zip(thresholds, thresholds[1:]):
+            assert b / a == pytest.approx(10.0)
+
+    def test_top_threshold_covers_range(self):
+        grid = build(tolerance=3.0, top=20.0)
+        assert grid.log_thresholds[-1] == pytest.approx(20.0)
+
+    def test_max_thresholds_keeps_top_coverage(self):
+        grid = build(tolerance=3.0, top=20.0, max_thresholds=5)
+        assert grid.num_thresholds == 5
+        assert grid.log_thresholds[-1] == pytest.approx(20.0)
+
+    def test_cardinality_cap_clamps_top(self):
+        grid = build(tolerance=3.0, top=100.0, cardinality_cap=1e6)
+        assert grid.log_top == pytest.approx(math.log(1e6))
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(FormulationError):
+            build(tolerance=1.0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(FormulationError):
+            build(mode="diagonal")
+
+    def test_degenerate_range(self):
+        grid = ThresholdGrid.build(
+            log_lower=0.0, log_upper=0.0, tolerance=3.0
+        )
+        assert grid.num_thresholds == 1
+
+    def test_for_query(self, star5_query):
+        config = FormulationConfig.high_precision(star5_query.num_tables)
+        grid = ThresholdGrid.for_query(star5_query, config)
+        assert grid.num_thresholds <= 60
+        assert grid.tolerance == 3.0
+
+
+class TestApproximation:
+    """The heart of Section 4.2: the approximation tolerance guarantee."""
+
+    @pytest.mark.parametrize("tolerance", [2.0, 3.0, 10.0, 100.0])
+    def test_upper_mode_within_tolerance_in_range(self, tolerance):
+        grid = build(tolerance=tolerance, top=25.0)
+        for log_value in [0.1, 1.0, 5.0, 12.3, 20.0, 24.9]:
+            true_value = math.exp(log_value)
+            approx = grid.approximate(log_value)
+            assert approx >= true_value * (1 - 1e-9), "upper mode under-estimated"
+            assert approx <= true_value * tolerance * (1 + 1e-9)
+
+    def test_lower_mode_within_tolerance_in_range(self):
+        grid = build(tolerance=3.0, top=25.0, mode="lower")
+        for log_value in [2.0, 5.0, 12.3, 20.0]:
+            true_value = math.exp(log_value)
+            approx = grid.approximate(log_value)
+            assert approx <= true_value * (1 + 1e-9), "lower mode over-estimated"
+            assert approx >= true_value / 3.0 * (1 - 1e-9)
+
+    def test_upper_mode_base_below_first_threshold(self):
+        grid = build(tolerance=3.0)
+        # Below the first threshold the approximation is theta_0.
+        approx = grid.approximate(grid.log_thresholds[0] - 0.5)
+        assert approx == pytest.approx(math.exp(grid.log_thresholds[0]))
+
+    def test_lower_mode_zero_below_first_threshold(self):
+        grid = build(tolerance=3.0, mode="lower")
+        assert grid.approximate(grid.log_thresholds[0] - 0.5) == 0.0
+
+    def test_saturation_above_top(self):
+        grid = build(tolerance=3.0, top=10.0)
+        assert grid.approximate(50.0) == pytest.approx(grid.max_value)
+
+    def test_active_flags_monotone(self):
+        grid = build(tolerance=3.0)
+        flags = grid.active_flags(5.0)
+        assert flags == sorted(flags, reverse=True)
+
+    def test_covers(self):
+        grid = build(tolerance=3.0, top=20.0)
+        assert grid.covers(10.0)
+        assert not grid.covers(25.0)
+
+
+class TestPiecewise:
+    def test_identity_deltas_reconstruct_thresholds(self):
+        grid = build(tolerance=3.0, top=10.0)
+        base, deltas = grid.piecewise()
+        thresholds = grid.thresholds()
+        running = base
+        # After activating flags 0..m the value equals theta_{m+1}.
+        for m in range(grid.num_thresholds - 1):
+            running += deltas[m]
+            assert running == pytest.approx(thresholds[m + 1])
+
+    def test_monotone_function(self):
+        grid = build(tolerance=3.0, top=10.0)
+        base, deltas = grid.piecewise(lambda card: card ** 0.5)
+        assert all(delta >= 0 for delta in deltas)
+        assert base == pytest.approx(grid.thresholds()[0] ** 0.5)
+
+    def test_decreasing_function_rejected(self):
+        grid = build(tolerance=3.0, top=10.0)
+        with pytest.raises(FormulationError):
+            grid.piecewise(lambda card: -card)
+
+    def test_lower_mode_deltas(self):
+        grid = build(tolerance=3.0, top=10.0, mode="lower")
+        base, deltas = grid.piecewise()
+        assert base == 0.0
+        thresholds = grid.thresholds()
+        assert sum(deltas[:1]) == pytest.approx(thresholds[0])
+        assert sum(deltas) == pytest.approx(thresholds[-1])

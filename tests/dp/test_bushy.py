@@ -1,0 +1,64 @@
+"""Unit tests for the bushy DP extension."""
+
+import pytest
+
+from repro.catalog import Query, Table
+from repro.exceptions import PlanError
+from repro.dp import BushyOptimizer, SelingerOptimizer, left_deep_from_bushy
+
+
+class TestBushyOptimizer:
+    def test_never_worse_than_left_deep(self, generator):
+        for topology in ("chain", "star"):
+            query = generator.generate(topology, 7)
+            bushy = BushyOptimizer(query, use_cout=True).optimize()
+            left_deep = SelingerOptimizer(
+                query, use_cout=True, allow_cross_products=False
+            ).optimize()
+            assert bushy.optimal
+            assert bushy.cost <= left_deep.cost * (1 + 1e-9)
+
+    def test_tree_covers_all_tables(self, chain4_query):
+        result = BushyOptimizer(chain4_query).optimize()
+        assert result.tree is not None
+        assert result.tree.tables == frozenset(chain4_query.table_names)
+
+    def test_star_optimal_tree_is_left_deep(self, star5_query):
+        # On a star query every connected join order is hub-first, so the
+        # optimal bushy tree degenerates to a left-deep chain.
+        result = BushyOptimizer(star5_query, use_cout=True).optimize()
+        assert result.tree.is_left_deep()
+        plan = left_deep_from_bushy(result.tree, star5_query)
+        assert plan is not None
+        assert set(plan.join_order) == set(star5_query.table_names)
+
+    def test_describe_renders_tree(self, chain4_query):
+        result = BushyOptimizer(chain4_query).optimize()
+        text = result.tree.describe()
+        for name in "ABCD":
+            assert name in text
+
+    def test_requires_connected_graph(self):
+        query = Query(tables=(Table("R", 10), Table("S", 10)))
+        with pytest.raises(PlanError):
+            BushyOptimizer(query)
+
+    def test_table_cap(self):
+        tables = tuple(Table(f"T{i}", 10) for i in range(20))
+        from repro.catalog import Predicate
+
+        predicates = tuple(
+            Predicate(f"p{i}", (f"T{i}", f"T{i+1}"), 0.1)
+            for i in range(19)
+        )
+        query = Query(tables=tables, predicates=predicates)
+        with pytest.raises(PlanError):
+            BushyOptimizer(query)
+
+    def test_time_budget_respected(self, generator):
+        query = generator.generate("chain", 12)
+        result = BushyOptimizer(query, use_cout=True).optimize(
+            time_limit=0.0
+        )
+        assert result.tree is None
+        assert not result.optimal

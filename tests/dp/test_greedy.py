@@ -1,0 +1,46 @@
+"""Unit tests for the greedy heuristic."""
+
+import pytest
+
+from repro.catalog import Query, Table
+from repro.plans import PlanCostEvaluator, validate_plan
+from repro.dp import GreedyOptimizer, SelingerOptimizer
+
+
+class TestGreedy:
+    def test_produces_valid_plan(self, star5_query):
+        result = GreedyOptimizer(star5_query, use_cout=True).optimize()
+        validate_plan(result.plan)
+
+    def test_cost_matches_evaluator(self, star5_query):
+        result = GreedyOptimizer(star5_query, use_cout=True).optimize()
+        evaluator = PlanCostEvaluator(star5_query, use_cout=True)
+        assert evaluator.cost(result.plan) == pytest.approx(result.cost)
+
+    def test_never_beats_dp(self, generator):
+        for topology in ("chain", "star", "cycle"):
+            query = generator.generate(topology, 7)
+            greedy = GreedyOptimizer(query, use_cout=True).optimize()
+            dp = SelingerOptimizer(query, use_cout=True).optimize()
+            assert greedy.cost >= dp.cost - 1e-9
+
+    def test_single_table(self):
+        query = Query(tables=(Table("R", 10),))
+        result = GreedyOptimizer(query).optimize()
+        assert result.plan.join_order == ("R",)
+        assert result.cost == 0.0
+
+    def test_single_start_variant(self, star5_query):
+        all_starts = GreedyOptimizer(
+            star5_query, use_cout=True, try_all_starts=True
+        ).optimize()
+        one_start = GreedyOptimizer(
+            star5_query, use_cout=True, try_all_starts=False
+        ).optimize()
+        assert all_starts.cost <= one_start.cost + 1e-9
+
+    def test_deterministic(self, generator):
+        query = generator.generate("cycle", 8)
+        first = GreedyOptimizer(query, use_cout=True).optimize()
+        second = GreedyOptimizer(query, use_cout=True).optimize()
+        assert first.plan.join_order == second.plan.join_order

@@ -1,0 +1,110 @@
+"""Unit tests for the IKKBZ optimizer.
+
+The defining property: on tree-shaped join graphs IKKBZ's plan matches the
+cost of the exhaustive cross-product-free DP under the C_out metric.
+"""
+
+import pytest
+
+from repro.catalog import Predicate, Query, Table
+from repro.exceptions import PlanError
+from repro.plans import PlanCostEvaluator, validate_plan
+from repro.dp import IKKBZOptimizer, SelingerOptimizer
+from repro.workloads import QueryGenerator
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("topology", ["chain", "star"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_dp_on_trees(self, topology, seed):
+        query = QueryGenerator(seed=seed).generate(topology, 8)
+        ikkbz = IKKBZOptimizer(query).optimize()
+        dp = SelingerOptimizer(
+            query, use_cout=True, allow_cross_products=False
+        ).optimize()
+        validate_plan(ikkbz.plan)
+        assert ikkbz.cost == pytest.approx(dp.cost, rel=1e-9)
+
+    def test_fixture_chain(self, chain4_query):
+        ikkbz = IKKBZOptimizer(chain4_query).optimize()
+        dp = SelingerOptimizer(
+            chain4_query, use_cout=True, allow_cross_products=False
+        ).optimize()
+        assert ikkbz.cost == pytest.approx(dp.cost)
+
+    def test_fixture_star(self, star5_query):
+        ikkbz = IKKBZOptimizer(star5_query).optimize()
+        dp = SelingerOptimizer(
+            star5_query, use_cout=True, allow_cross_products=False
+        ).optimize()
+        assert ikkbz.cost == pytest.approx(dp.cost)
+
+    def test_cost_matches_evaluator(self, chain4_query):
+        ikkbz = IKKBZOptimizer(chain4_query).optimize()
+        evaluator = PlanCostEvaluator(chain4_query, use_cout=True)
+        assert evaluator.cost(ikkbz.plan) == pytest.approx(ikkbz.cost)
+
+    def test_handles_larger_trees_fast(self):
+        query = QueryGenerator(seed=9).generate("chain", 30)
+        result = IKKBZOptimizer(query).optimize()
+        assert result.elapsed < 5.0
+        validate_plan(result.plan)
+
+
+class TestApplicability:
+    def test_rejects_cycles(self, generator):
+        query = generator.generate("cycle", 6)
+        with pytest.raises(PlanError):
+            IKKBZOptimizer(query)
+
+    def test_rejects_disconnected(self):
+        query = Query(tables=(Table("R", 10), Table("S", 10)))
+        with pytest.raises(PlanError):
+            IKKBZOptimizer(query)
+
+    def test_rejects_nary_predicates(self):
+        query = Query(
+            tables=(Table("R", 10), Table("S", 10), Table("T", 10)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.1),
+                Predicate("st", ("S", "T"), 0.1),
+                Predicate("rst", ("R", "S", "T"), 0.5),
+            ),
+        )
+        with pytest.raises(PlanError):
+            IKKBZOptimizer(query)
+
+    def test_accepts_unary_predicates(self):
+        query = Query(
+            tables=(Table("R", 100), Table("S", 200)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.1),
+                Predicate("sel", ("R",), 0.5),
+            ),
+        )
+        result = IKKBZOptimizer(query).optimize()
+        validate_plan(result.plan)
+
+    def test_parallel_predicates_combined(self):
+        """Two predicates between the same pair combine multiplicatively."""
+        query = Query(
+            tables=(Table("R", 1000), Table("S", 1000), Table("T", 10)),
+            predicates=(
+                Predicate("rs1", ("R", "S"), 0.1),
+                Predicate("rs2", ("R", "S"), 0.2),
+                Predicate("st", ("S", "T"), 0.5),
+            ),
+        )
+        ikkbz = IKKBZOptimizer(query).optimize()
+        dp = SelingerOptimizer(
+            query, use_cout=True, allow_cross_products=False
+        ).optimize()
+        assert ikkbz.cost == pytest.approx(dp.cost)
+
+
+class TestCorrelatedGroupsRejected:
+    def test_groups_rejected(self):
+        from repro.workloads import job
+
+        with pytest.raises(PlanError):
+            IKKBZOptimizer(job.job_correlated_like())

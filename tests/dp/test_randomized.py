@@ -1,0 +1,80 @@
+"""Unit tests for the randomized baselines (II and SA)."""
+
+import math
+
+import pytest
+
+from repro.plans import PlanCostEvaluator, validate_plan
+from repro.dp import (
+    IterativeImprovement,
+    SelingerOptimizer,
+    SimulatedAnnealing,
+)
+
+
+@pytest.mark.parametrize(
+    "algorithm_cls", [IterativeImprovement, SimulatedAnnealing]
+)
+class TestRandomized:
+    def test_produces_valid_plan(self, star5_query, algorithm_cls):
+        result = algorithm_cls(star5_query, use_cout=True, seed=1).optimize(
+            time_limit=0.5
+        )
+        validate_plan(result.plan)
+        evaluator = PlanCostEvaluator(star5_query, use_cout=True)
+        assert evaluator.cost(result.plan) == pytest.approx(result.cost)
+
+    def test_deterministic_under_seed(self, chain4_query, algorithm_cls):
+        first = algorithm_cls(
+            chain4_query, use_cout=True, seed=7
+        ).optimize(time_limit=0.2, max_iterations=200)
+        second = algorithm_cls(
+            chain4_query, use_cout=True, seed=7
+        ).optimize(time_limit=0.2, max_iterations=200)
+        assert first.plan.join_order == second.plan.join_order
+
+    def test_never_better_than_dp(self, generator, algorithm_cls):
+        query = generator.generate("cycle", 7)
+        dp = SelingerOptimizer(query, use_cout=True).optimize()
+        result = algorithm_cls(query, use_cout=True, seed=3).optimize(
+            time_limit=0.5
+        )
+        assert result.cost >= dp.cost * (1 - 1e-9)
+
+    def test_no_optimality_guarantee(self, star5_query, algorithm_cls):
+        """The paper's Section 2 point: randomized algorithms prove
+        nothing about distance to the optimum."""
+        result = algorithm_cls(star5_query, use_cout=True).optimize(
+            time_limit=0.2
+        )
+        assert math.isinf(result.optimality_factor)
+
+    def test_trace_is_improving(self, generator, algorithm_cls):
+        query = generator.generate("chain", 8)
+        result = algorithm_cls(query, use_cout=True, seed=5).optimize(
+            time_limit=0.5
+        )
+        costs = [cost for _, cost in result.trace]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_finds_optimum_on_tiny_query(self, rst_query, algorithm_cls):
+        dp = SelingerOptimizer(rst_query, use_cout=True).optimize()
+        result = algorithm_cls(rst_query, use_cout=True, seed=2).optimize(
+            time_limit=0.5
+        )
+        assert result.cost == pytest.approx(dp.cost)
+
+
+class TestBudgets:
+    def test_iteration_cap_respected(self, star5_query):
+        result = IterativeImprovement(
+            star5_query, use_cout=True
+        ).optimize(time_limit=10.0, max_iterations=50)
+        assert result.iterations <= 50
+
+    def test_time_budget_respected(self, generator):
+        query = generator.generate("clique", 10)
+        result = SimulatedAnnealing(query, use_cout=True).optimize(
+            time_limit=0.3
+        )
+        assert result.elapsed < 1.5

@@ -1,0 +1,147 @@
+"""Unit tests for the Selinger DP baseline."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.catalog import Predicate, Query, Table
+from repro.exceptions import PlanError
+from repro.plans import JoinAlgorithm, LeftDeepPlan, PlanCostEvaluator
+from repro.dp import SelingerOptimizer
+
+
+def brute_force_optimum(query, use_cout=True, algorithm=JoinAlgorithm.HASH):
+    """Exhaustive enumeration of all left-deep orders (ground truth)."""
+    evaluator = PlanCostEvaluator(query, use_cout=use_cout)
+    best = math.inf
+    for order in itertools.permutations(query.table_names):
+        plan = LeftDeepPlan.from_order(query, list(order), algorithm)
+        best = min(best, evaluator.cost(plan))
+    return best
+
+
+class TestCorrectness:
+    def test_matches_brute_force_cout(self, chain4_query):
+        result = SelingerOptimizer(chain4_query, use_cout=True).optimize()
+        assert result.optimal
+        assert result.cost == pytest.approx(brute_force_optimum(chain4_query))
+
+    def test_matches_brute_force_star(self, star5_query):
+        result = SelingerOptimizer(star5_query, use_cout=True).optimize()
+        assert result.cost == pytest.approx(brute_force_optimum(star5_query))
+
+    def test_matches_brute_force_hash_cost(self, chain4_query):
+        result = SelingerOptimizer(chain4_query).optimize()
+        evaluator = PlanCostEvaluator(chain4_query)
+        assert result.cost == pytest.approx(
+            brute_force_optimum(chain4_query, use_cout=False)
+        )
+        assert evaluator.cost(result.plan) == pytest.approx(result.cost)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [JoinAlgorithm.SORT_MERGE, JoinAlgorithm.BLOCK_NESTED_LOOP],
+    )
+    def test_other_operators(self, chain4_query, algorithm):
+        result = SelingerOptimizer(
+            chain4_query, algorithm=algorithm
+        ).optimize()
+        assert result.cost == pytest.approx(
+            brute_force_optimum(
+                chain4_query, use_cout=False, algorithm=algorithm
+            )
+        )
+
+    def test_plan_cost_consistency(self, generator):
+        for topology in ("chain", "star", "cycle"):
+            query = generator.generate(topology, 6)
+            result = SelingerOptimizer(query, use_cout=True).optimize()
+            evaluator = PlanCostEvaluator(query, use_cout=True)
+            assert evaluator.cost(result.plan) == pytest.approx(result.cost)
+
+
+class TestEdgeCases:
+    def test_single_table(self):
+        query = Query(tables=(Table("R", 10),))
+        result = SelingerOptimizer(query).optimize()
+        assert result.optimal
+        assert result.cost == 0.0
+        assert result.plan.join_order == ("R",)
+
+    def test_two_tables(self):
+        query = Query(
+            tables=(Table("R", 10), Table("S", 100)),
+            predicates=(Predicate("p", ("R", "S"), 0.1),),
+        )
+        result = SelingerOptimizer(query, use_cout=True).optimize()
+        assert result.optimal
+        assert result.cost == 0.0  # only the final join, excluded by C_out
+
+    def test_table_cap_enforced(self):
+        tables = tuple(Table(f"T{i}", 10) for i in range(30))
+        query = Query(tables=tables)
+        with pytest.raises(PlanError):
+            SelingerOptimizer(query)
+
+    def test_cross_products_disabled_on_disconnected_query(self):
+        query = Query(tables=(Table("R", 10), Table("S", 10)))
+        with pytest.raises(PlanError):
+            SelingerOptimizer(query, allow_cross_products=False)
+
+
+class TestTimeBudget:
+    def test_zero_budget_returns_nothing(self, generator):
+        query = generator.generate("chain", 14)
+        result = SelingerOptimizer(query, use_cout=True).optimize(
+            time_limit=0.0
+        )
+        assert result.plan is None
+        assert not result.optimal
+        assert math.isinf(result.optimality_factor)
+
+    def test_finished_run_reports_factor_one(self, chain4_query):
+        result = SelingerOptimizer(chain4_query, use_cout=True).optimize()
+        assert result.optimality_factor == 1.0
+
+
+class TestCrossProductRestriction:
+    def test_no_cross_products_never_beats_unrestricted(self, generator):
+        query = generator.generate("chain", 7)
+        unrestricted = SelingerOptimizer(query, use_cout=True).optimize()
+        restricted = SelingerOptimizer(
+            query, use_cout=True, allow_cross_products=False
+        ).optimize()
+        assert restricted.cost >= unrestricted.cost - 1e-9
+
+
+class TestCorrelatedGroups:
+    def test_single_table_group_cost_matches_evaluator(self):
+        """Regression: a group of two unary predicates (single underlying
+        table) must be priced from the scan on, not silently dropped."""
+        from repro.workloads import job
+
+        query = job.job_correlated_like()
+        result = SelingerOptimizer(query, use_cout=True).optimize()
+        evaluator = PlanCostEvaluator(query, use_cout=True)
+        assert evaluator.cost(result.plan) == pytest.approx(result.cost)
+
+    def test_multi_table_group_cost_matches_evaluator(self):
+        from repro.catalog import CorrelatedGroup
+
+        query = Query(
+            tables=(Table("R", 50), Table("S", 400), Table("T", 300)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.1),
+                Predicate("st", ("S", "T"), 0.05),
+            ),
+            correlated_groups=(
+                CorrelatedGroup("g", ("rs", "st"), correction=3.0),
+            ),
+        )
+        result = SelingerOptimizer(query, use_cout=True).optimize()
+        evaluator = PlanCostEvaluator(query, use_cout=True)
+        assert evaluator.cost(result.plan) == pytest.approx(result.cost)
+        assert result.cost == pytest.approx(
+            brute_force_optimum(query, use_cout=True)
+        )

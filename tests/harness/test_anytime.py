@@ -1,0 +1,98 @@
+"""Unit tests for anytime trajectory bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.milp import IncumbentEvent
+from repro.harness import (
+    dp_trajectory,
+    median,
+    median_trajectory,
+    milp_trajectory,
+)
+from repro.harness.anytime import AnytimeSample, factor_from_state
+
+
+class TestFactorFromState:
+    def test_closed(self):
+        assert factor_from_state(10.0, 10.0) == 1.0
+
+    def test_ratio(self):
+        assert factor_from_state(30.0, 10.0) == pytest.approx(3.0)
+
+    def test_no_incumbent(self):
+        assert math.isinf(factor_from_state(math.inf, 10.0))
+
+    def test_no_bound(self):
+        assert math.isinf(factor_from_state(10.0, -math.inf))
+
+
+class TestMilpTrajectory:
+    def test_replays_events(self):
+        events = [
+            IncumbentEvent(0.5, 100.0, 10.0, "incumbent"),
+            IncumbentEvent(1.5, 50.0, 10.0, "incumbent"),
+            IncumbentEvent(2.5, 50.0, 25.0, "bound"),
+        ]
+        samples = milp_trajectory(events, horizon=3.0, interval=1.0)
+        assert [s.time for s in samples] == [1.0, 2.0, 3.0]
+        assert samples[0].factor == pytest.approx(10.0)
+        assert samples[1].factor == pytest.approx(5.0)
+        assert samples[2].factor == pytest.approx(2.0)
+
+    def test_no_events_means_inf(self):
+        samples = milp_trajectory([], horizon=2.0, interval=1.0)
+        assert all(math.isinf(s.factor) for s in samples)
+
+    def test_factor_never_increases_over_time(self):
+        events = [
+            IncumbentEvent(0.2, 100.0, 5.0, "incumbent"),
+            IncumbentEvent(0.9, 80.0, 5.0, "incumbent"),
+            IncumbentEvent(1.4, 80.0, 20.0, "bound"),
+            IncumbentEvent(2.1, 30.0, 29.0, "incumbent"),
+        ]
+        samples = milp_trajectory(events, horizon=3.0, interval=0.5)
+        factors = [s.factor for s in samples]
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestDpTrajectory:
+    def test_unfinished_is_all_inf(self):
+        samples = dp_trajectory(None, horizon=3.0, interval=1.0)
+        assert all(math.isinf(s.factor) for s in samples)
+
+    def test_finish_flips_to_one(self):
+        samples = dp_trajectory(1.2, horizon=3.0, interval=1.0)
+        assert math.isinf(samples[0].factor)
+        assert samples[1].factor == 1.0
+        assert samples[2].factor == 1.0
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_averages(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_inf_propagates_correctly(self):
+        assert math.isinf(median([1.0, math.inf, math.inf]))
+        assert median([1.0, 2.0, math.inf]) == 2.0
+        assert math.isinf(median([2.0, math.inf]))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(median([]))
+
+
+class TestMedianTrajectory:
+    def test_pointwise(self):
+        a = [AnytimeSample(1.0, 2.0), AnytimeSample(2.0, 1.0)]
+        b = [AnytimeSample(1.0, 4.0), AnytimeSample(2.0, 1.0)]
+        c = [AnytimeSample(1.0, 8.0), AnytimeSample(2.0, math.inf)]
+        merged = median_trajectory([a, b, c])
+        assert merged[0].factor == 4.0
+        assert merged[1].factor == 1.0
+
+    def test_empty(self):
+        assert median_trajectory([]) == []

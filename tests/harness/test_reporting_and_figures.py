@@ -1,0 +1,93 @@
+"""Tests for reporting helpers and the figure harnesses (scaled down)."""
+
+import math
+
+import pytest
+
+from repro.harness import render_table, run_figure1, write_csv
+from repro.harness.figure1 import format_figure1
+from repro.harness.figure2 import format_panel, run_panel
+from repro.harness.reporting import format_value
+
+
+class TestFormatting:
+    def test_format_value_inf(self):
+        assert format_value(math.inf) == "inf"
+
+    def test_format_value_large(self):
+        assert format_value(1.5e9) == "1.5e+09"
+
+    def test_format_value_plain(self):
+        assert format_value(2.5) == "2.5"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["col", "x"], [["a", 1], ["bbbb", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        assert len(lines) == 5
+
+    def test_write_csv(self, tmp_path):
+        target = tmp_path / "sub" / "out.csv"
+        write_csv(target, ["a", "b"], [[1, 2], [3, 4]])
+        content = target.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]
+
+
+class TestFigure1Harness:
+    def test_small_run_shape(self):
+        rows = run_figure1(sizes=(4, 6), seeds=2, topology="star")
+        # Two sizes x three precision configs.
+        assert len(rows) == 6
+        assert {row.precision for row in rows} == {"high", "medium", "low"}
+
+    def test_larger_queries_have_bigger_models(self):
+        rows = run_figure1(sizes=(4, 8), seeds=2, topology="chain")
+        small = [r for r in rows if r.num_tables == 4 and r.precision == "high"]
+        large = [r for r in rows if r.num_tables == 8 and r.precision == "high"]
+        assert large[0].variables > small[0].variables
+        assert large[0].constraints > small[0].constraints
+
+    def test_precision_ordering(self):
+        rows = run_figure1(sizes=(6,), seeds=2)
+        by_precision = {row.precision: row for row in rows}
+        assert (
+            by_precision["high"].variables
+            >= by_precision["medium"].variables
+            >= by_precision["low"].variables
+        )
+
+    def test_format_contains_series(self):
+        rows = run_figure1(sizes=(4,), seeds=1)
+        text = format_figure1(rows)
+        assert "Figure 1" in text
+        assert "high" in text and "low" in text
+
+
+class TestFigure2Harness:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_panel(
+            "star", 4, queries=1, budget=2.0, cost_model="cout"
+        )
+
+    def test_series_present(self, panel):
+        assert "DP" in panel.series
+        assert any(key.startswith("ILP") for key in panel.series)
+
+    def test_dp_reaches_factor_one_on_tiny_query(self, panel):
+        dp = panel.series["DP"]
+        assert dp[-1].factor == 1.0
+
+    def test_milp_factors_non_increasing(self, panel):
+        for label, series in panel.series.items():
+            factors = [s.factor for s in series]
+            assert factors == sorted(factors, reverse=True), label
+
+    def test_format_panel(self, panel):
+        text = format_panel(panel)
+        assert "star, 4 tables" in text
+        assert "DP" in text

@@ -1,0 +1,183 @@
+"""Unit tests for the branch-and-bound MILP solver."""
+
+import math
+
+import pytest
+
+from repro.milp import (
+    Model,
+    SolveStatus,
+    SolverOptions,
+    lin_sum,
+    solve_milp,
+)
+
+
+def knapsack_model():
+    m = Model("knapsack")
+    values = [10, 6, 4, 7, 3]
+    weights = [3, 2, 1, 4, 2]
+    items = [m.add_binary(f"x{i}") for i in range(5)]
+    m.add_le(
+        lin_sum(w * x for w, x in zip(weights, items)), 6, "capacity"
+    )
+    m.set_objective(lin_sum(-v * x for v, x in zip(values, items)))
+    return m
+
+
+class TestBasicSolves:
+    def test_knapsack_optimum(self):
+        solution = solve_milp(knapsack_model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-20.0)
+        picked = {k for k, v in solution.values.items() if v > 0.5}
+        assert picked == {"x0", "x1", "x2"}
+
+    def test_pure_lp_is_solved_at_root(self):
+        m = Model("lp")
+        x = m.add_continuous("x", 0, 4)
+        m.set_objective(-1 * x)
+        solution = solve_milp(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-4.0)
+        assert solution.node_count <= 1
+
+    def test_infeasible_model(self):
+        m = Model("inf")
+        b = m.add_binary("b")
+        m.add_ge(b, 2, "impossible")
+        solution = solve_milp(m)
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert math.isinf(solution.objective)
+
+    def test_unbounded_model(self):
+        m = Model("unbounded")
+        x = m.add_continuous("x", 0, math.inf)
+        m.set_objective(-1 * x)
+        solution = solve_milp(m, SolverOptions(use_presolve=False))
+        assert solution.status is SolveStatus.UNBOUNDED
+
+    def test_integer_rounding_forced_by_branching(self):
+        # LP relaxation is fractional; MILP optimum differs.
+        m = Model("frac")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_le(2 * x + 2 * y, 3, "cap")  # LP: x=y=0.75
+        m.set_objective(-1 * x - y)
+        solution = solve_milp(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-1.0)
+
+    def test_gap_closed_at_optimality(self):
+        solution = solve_milp(knapsack_model())
+        assert solution.gap <= 1e-6
+        assert solution.best_bound == pytest.approx(solution.objective)
+
+
+class TestAnytimeBehaviour:
+    def test_events_are_chronological(self):
+        solution = solve_milp(knapsack_model())
+        times = [event.time for event in solution.events]
+        assert times == sorted(times)
+
+    def test_incumbent_events_improve(self):
+        solution = solve_milp(knapsack_model())
+        incumbents = [
+            event.objective
+            for event in solution.events
+            if event.kind == "incumbent"
+        ]
+        assert incumbents == sorted(incumbents, reverse=True)
+
+    def test_callback_invoked(self):
+        seen = []
+        solve_milp(knapsack_model(), callback=seen.append)
+        assert seen, "expected at least one anytime event"
+
+    def test_optimality_factor(self):
+        solution = solve_milp(knapsack_model())
+        # Negative objective: factor semantics only hold for cost
+        # minimization; here we just check it is finite/consistent.
+        assert solution.gap == pytest.approx(0.0, abs=1e-9)
+
+
+class TestLimits:
+    def test_node_limit_stops_search(self):
+        m = Model("big")
+        items = [m.add_binary(f"x{i}") for i in range(30)]
+        m.add_le(lin_sum(items), 15, "cap")
+        # Objective chosen so the LP is very fractional.
+        m.set_objective(
+            lin_sum(((-1) ** i) * (1 + (i % 7) / 7.0) * x
+                    for i, x in enumerate(items))
+        )
+        options = SolverOptions(node_limit=3, heuristics=False)
+        solution = solve_milp(m, options)
+        assert solution.node_count <= 3
+
+    def test_time_limit_respected(self):
+        m = knapsack_model()
+        options = SolverOptions(time_limit=0.0)
+        solution = solve_milp(m, options)
+        # With zero budget the solver must still terminate cleanly.
+        assert solution.status in (
+            SolveStatus.NO_SOLUTION,
+            SolveStatus.FEASIBLE,
+            SolveStatus.OPTIMAL,
+            SolveStatus.INFEASIBLE,
+        )
+
+
+class TestWarmStart:
+    def test_feasible_warm_start_becomes_incumbent(self):
+        m = knapsack_model()
+        warm = {"x0": 1.0, "x3": 0.0, "x1": 0.0, "x2": 0.0, "x4": 0.0}
+        solution = solve_milp(m, warm_start=warm)
+        assert solution.status is SolveStatus.OPTIMAL
+        first_incumbent = next(
+            event for event in solution.events if event.kind == "incumbent"
+        )
+        assert first_incumbent.objective == pytest.approx(-10.0)
+
+    def test_infeasible_warm_start_is_repaired_or_dropped(self):
+        m = knapsack_model()
+        # Violates the capacity constraint: integral repair keeps the
+        # binaries, which stay infeasible, so the seed is dropped.
+        warm = {f"x{i}": 1.0 for i in range(5)}
+        solution = solve_milp(m, warm_start=warm)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-20.0)
+
+    def test_vector_warm_start(self):
+        m = knapsack_model()
+        solution = solve_milp(m, warm_start=[1.0, 1.0, 1.0, 0.0, 0.0])
+        assert solution.objective == pytest.approx(-20.0)
+
+
+class TestOptions:
+    @pytest.mark.parametrize("branching", ["most_fractional", "pseudocost"])
+    def test_branching_rules_reach_optimum(self, branching):
+        options = SolverOptions(branching=branching)
+        solution = solve_milp(knapsack_model(), options)
+        assert solution.objective == pytest.approx(-20.0)
+
+    @pytest.mark.parametrize("selection", ["best_bound", "dfs"])
+    def test_node_selection_rules_reach_optimum(self, selection):
+        options = SolverOptions(node_selection=selection)
+        solution = solve_milp(knapsack_model(), options)
+        assert solution.objective == pytest.approx(-20.0)
+
+    def test_simplex_backend_end_to_end(self):
+        options = SolverOptions(backend="simplex")
+        solution = solve_milp(knapsack_model(), options)
+        assert solution.objective == pytest.approx(-20.0)
+
+    def test_heuristics_off_still_solves(self):
+        options = SolverOptions(heuristics=False)
+        solution = solve_milp(knapsack_model(), options)
+        assert solution.objective == pytest.approx(-20.0)
+
+    def test_presolve_off_still_solves(self):
+        options = SolverOptions(use_presolve=False)
+        solution = solve_milp(knapsack_model(), options)
+        assert solution.objective == pytest.approx(-20.0)

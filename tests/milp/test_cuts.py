@@ -1,0 +1,303 @@
+"""Unit and property tests for the cutting-plane generator."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import (
+    Cut,
+    CutGenerator,
+    Model,
+    SolveStatus,
+    SolverOptions,
+    append_cuts,
+    check_cut_validity,
+    lin_sum,
+    solve_milp,
+    to_standard_form,
+)
+from repro.milp.lp_backend import get_backend
+
+
+def knapsack_model(weights, capacity):
+    m = Model("knapsack")
+    items = [m.add_binary(f"x{i}") for i in range(len(weights))]
+    m.add_le(
+        lin_sum(w * x for w, x in zip(weights, items)), capacity, "capacity"
+    )
+    return m, items
+
+
+def all_binary_points(num_vars):
+    """Every 0/1 assignment over ``num_vars`` variables."""
+    return [
+        np.array(bits, dtype=float)
+        for bits in itertools.product((0.0, 1.0), repeat=num_vars)
+    ]
+
+
+class TestCut:
+    def test_violation_measures_excess(self):
+        cut = Cut(coefficients={0: 1.0, 1: 1.0}, rhs=1.0, name="c")
+        assert cut.violation([0.9, 0.9]) == pytest.approx(0.8)
+        assert cut.violation([0.5, 0.4]) == pytest.approx(-0.1)
+        assert cut.is_violated_by([0.9, 0.9])
+        assert not cut.is_violated_by([0.5, 0.4])
+
+
+class TestCoverSeparation:
+    def test_violated_cover_found(self):
+        # 3x1 + 3x2 + 3x3 <= 8; point (1, 1, 2/3) violates the cover
+        # x1 + x2 + x3 <= 2 (activity 8/3 > 2).
+        model, _ = knapsack_model([3, 3, 3], 8)
+        generator = CutGenerator(model)
+        cuts = list(generator.separate_cover_cuts([1.0, 1.0, 2.0 / 3.0]))
+        assert len(cuts) == 1
+        cut = cuts[0]
+        assert cut.coefficients == {0: 1.0, 1: 1.0, 2: 1.0}
+        assert cut.rhs == pytest.approx(2.0)
+
+    def test_integral_point_yields_no_cover(self):
+        model, _ = knapsack_model([3, 3, 3], 8)
+        generator = CutGenerator(model)
+        assert not list(generator.separate_cover_cuts([1.0, 1.0, 0.0]))
+
+    def test_cover_minimalization_drops_redundant_items(self):
+        # Weights differ: cover from greedy may start non-minimal.
+        model, _ = knapsack_model([5, 4, 3, 1], 8)
+        generator = CutGenerator(model)
+        point = [0.9, 0.9, 0.9, 0.0]
+        cuts = list(generator.separate_cover_cuts(point))
+        assert cuts
+        for cut in cuts:
+            # Minimal cover over positive-weight items: removing any item
+            # drops total weight to at most the capacity.
+            support = sorted(cut.coefficients)
+            weights = {0: 5, 1: 4, 2: 3, 3: 1}
+            total = sum(weights[i] for i in support)
+            assert total > 8
+            assert all(total - weights[i] <= 8 for i in support)
+
+    def test_negative_coefficients_are_complemented(self):
+        # 3x0 + 3x1 - 3x2 <= 5  ==  3x0 + 3x1 + 3(1-x2) <= 8.
+        m = Model("neg")
+        x0 = m.add_binary("x0")
+        x1 = m.add_binary("x1")
+        x2 = m.add_binary("x2")
+        m.add_le(3 * x0 + 3 * x1 - 3 * x2, 5, "row")
+        generator = CutGenerator(m)
+        # Complemented point (1, 1, 1/3): cover {x0, x1, 1-x2} violated.
+        cuts = list(generator.separate_cover_cuts([1.0, 1.0, 1.0 / 3.0]))
+        assert cuts
+        cut = cuts[0]
+        # Valid for every feasible binary point.
+        assert not check_cut_validity(m, cut, all_binary_points(3))
+
+    def test_ge_rows_are_normalized(self):
+        # -3x0 - 3x1 - 3x2 >= -8 is the same knapsack as above.
+        m = Model("ge")
+        items = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_ge(lin_sum(-3 * x for x in items), -8, "row")
+        generator = CutGenerator(m)
+        cuts = list(generator.separate_cover_cuts([1.0, 1.0, 2.0 / 3.0]))
+        assert cuts and cuts[0].rhs == pytest.approx(2.0)
+
+    def test_rows_without_possible_cover_are_skipped(self):
+        model, _ = knapsack_model([1, 1, 1], 10)
+        generator = CutGenerator(model)
+        assert not generator._knapsacks
+
+
+class TestCliqueSeparation:
+    def triangle_model(self):
+        m = Model("triangle")
+        x = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_le(x[0] + x[1], 1, "e01")
+        m.add_le(x[1] + x[2], 1, "e12")
+        m.add_le(x[0] + x[2], 1, "e02")
+        return m, x
+
+    def test_triangle_clique_cut(self):
+        model, _ = self.triangle_model()
+        generator = CutGenerator(model)
+        # Pairwise-feasible fractional point violating the triangle clique.
+        cuts = list(generator.separate_clique_cuts([0.5, 0.5, 0.5]))
+        assert cuts
+        cut = cuts[0]
+        assert set(cut.coefficients) == {0, 1, 2}
+        assert cut.rhs == pytest.approx(1.0)
+        assert not check_cut_validity(model, cut, all_binary_points(3))
+
+    def test_no_clique_cut_when_point_satisfies_cliques(self):
+        model, _ = self.triangle_model()
+        generator = CutGenerator(model)
+        assert not list(generator.separate_clique_cuts([0.3, 0.3, 0.3]))
+
+    def test_equality_partitioning_rows_induce_conflicts(self):
+        m = Model("partition")
+        x = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_eq(lin_sum(x), 1, "pick_one")
+        generator = CutGenerator(m)
+        graph = generator._conflicts
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(0, 2)
+
+    def test_pairwise_cliques_are_not_emitted(self):
+        # Two-vertex cliques duplicate the defining row.
+        m = Model("pair")
+        x0 = m.add_binary("x0")
+        x1 = m.add_binary("x1")
+        m.add_le(x0 + x1, 1, "e01")
+        generator = CutGenerator(m)
+        assert not list(generator.separate_clique_cuts([0.9, 0.9]))
+
+
+class TestSeparateRanking:
+    def test_deduplicates_and_limits(self):
+        model, _ = self.make_overlapping()
+        generator = CutGenerator(model)
+        point = [0.5] * model.num_variables
+        cuts = generator.separate(point, max_cuts=1)
+        assert len(cuts) <= 1
+
+    @staticmethod
+    def make_overlapping():
+        m = Model("overlap")
+        x = [m.add_binary(f"x{i}") for i in range(4)]
+        m.add_le(x[0] + x[1], 1, "e01")
+        m.add_le(x[1] + x[2], 1, "e12")
+        m.add_le(x[0] + x[2], 1, "e02")
+        m.add_le(x[2] + x[3], 1, "e23")
+        return m, x
+
+
+class TestAppendCuts:
+    def test_rows_are_appended(self):
+        model, _ = knapsack_model([3, 3, 3], 8)
+        form = to_standard_form(model)
+        cut = Cut(coefficients={0: 1.0, 1: 1.0, 2: 1.0}, rhs=2.0, name="c")
+        extended = append_cuts(form, [cut])
+        assert extended.a_ub.shape[0] == form.a_ub.shape[0] + 1
+        assert extended.b_ub[-1] == pytest.approx(2.0)
+        # Original form untouched.
+        assert form.a_ub.shape[0] == 1
+
+    def test_empty_cut_list_is_identity(self):
+        model, _ = knapsack_model([3, 3, 3], 8)
+        form = to_standard_form(model)
+        assert append_cuts(form, []) is form
+
+    def test_append_to_form_without_ub_rows(self):
+        m = Model("eq_only")
+        x = [m.add_binary(f"x{i}") for i in range(2)]
+        m.add_eq(lin_sum(x), 1, "pick")
+        form = to_standard_form(m)
+        assert form.a_ub is None
+        cut = Cut(coefficients={0: 1.0}, rhs=0.0, name="c")
+        extended = append_cuts(form, [cut])
+        assert extended.a_ub.shape == (1, 2)
+
+    def test_cut_tightens_lp_bound(self):
+        # Triangle: LP optimum of max x0+x1+x2 is 1.5; clique cut -> 1.0.
+        m = Model("triangle")
+        x = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_le(x[0] + x[1], 1, "e01")
+        m.add_le(x[1] + x[2], 1, "e12")
+        m.add_le(x[0] + x[2], 1, "e02")
+        m.set_objective(lin_sum(-1 * v for v in x))
+        form = to_standard_form(m)
+        backend = get_backend("scipy")
+        lb, ub = m.bounds_arrays()
+        before = backend.solve(form, lb, ub).objective
+        cut = Cut(
+            coefficients={0: 1.0, 1: 1.0, 2: 1.0}, rhs=1.0, name="clique"
+        )
+        after = backend.solve(append_cuts(form, [cut]), lb, ub).objective
+        assert before == pytest.approx(-1.5)
+        assert after == pytest.approx(-1.0)
+
+
+class TestSolverIntegration:
+    def covering_model(self):
+        """Two disjoint conflict triangles: root LP -3, clique cuts -> -2."""
+        m = Model("triangles")
+        x = [m.add_binary(f"x{i}") for i in range(6)]
+        for base in (0, 3):
+            m.add_le(x[base] + x[base + 1], 1, f"e{base}a")
+            m.add_le(x[base + 1] + x[base + 2], 1, f"e{base}b")
+            m.add_le(x[base] + x[base + 2], 1, f"e{base}c")
+        m.set_objective(lin_sum(-1 * v for v in x))
+        return m
+
+    def test_same_optimum_with_and_without_cuts(self):
+        model = self.covering_model()
+        plain = solve_milp(model, SolverOptions(cuts=False))
+        with_cuts = solve_milp(self.covering_model(), SolverOptions(cuts=True))
+        assert plain.status is SolveStatus.OPTIMAL
+        assert with_cuts.status is SolveStatus.OPTIMAL
+        assert with_cuts.objective == pytest.approx(plain.objective)
+
+    def test_cuts_improve_root_bound(self):
+        model = self.covering_model()
+        solver_events = []
+        solve_milp(
+            model,
+            SolverOptions(cuts=True, heuristics=False),
+            callback=solver_events.append,
+        )
+        bounds = [e.bound for e in solver_events if e.kind == "bound"]
+        # The LP bound is -3 (all 0.5); triangle clique cuts lift it to -2.
+        assert bounds[0] == pytest.approx(-3.0)
+        assert max(bounds) >= -2.0 - 1e-6
+
+    def test_cuts_with_integral_root_are_no_op(self):
+        m = Model("int_root")
+        x = m.add_binary("x")
+        m.set_objective(-1 * x)
+        solution = solve_milp(m, SolverOptions(cuts=True))
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-1.0)
+
+
+class TestJoinOrderingWithCuts:
+    def test_star_query_optimum_matches_plain_solver(self):
+        from repro.core.config import FormulationConfig
+        from repro.core.optimizer import MILPJoinOptimizer
+        from repro.workloads import QueryGenerator
+
+        query = QueryGenerator(seed=3).generate("star", 5)
+        config = FormulationConfig.medium_precision(5, cost_model="cout")
+        plain = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=30.0)
+        ).optimize(query)
+        with_cuts = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=30.0, cuts=True)
+        ).optimize(query)
+        assert plain.status is SolveStatus.OPTIMAL
+        assert with_cuts.status is SolveStatus.OPTIMAL
+        assert with_cuts.objective == pytest.approx(plain.objective, rel=1e-6)
+        assert with_cuts.plan is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=9), min_size=3, max_size=6),
+    capacity=st.integers(min_value=1, max_value=20),
+    point=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=6,
+        max_size=6,
+    ),
+)
+def test_separated_cuts_never_remove_feasible_points(weights, capacity, point):
+    """Property: every separated cut is valid for all integer-feasible points."""
+    model, _ = knapsack_model(weights, capacity)
+    generator = CutGenerator(model)
+    fractional = point[: len(weights)]
+    points = all_binary_points(len(weights))
+    for cut in generator.separate(fractional, max_cuts=20):
+        assert not check_cut_validity(model, cut, points)

@@ -1,0 +1,114 @@
+"""Unit tests for linear expressions."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.milp import LinExpr, Model, lin_sum
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+@pytest.fixture
+def xyz(model):
+    return [model.add_continuous(name) for name in "xyz"]
+
+
+class TestArithmetic:
+    def test_add_variables(self, xyz):
+        x, y, _ = xyz
+        expr = x + y
+        assert expr.coefficients == {x.index: 1.0, y.index: 1.0}
+
+    def test_add_constant(self, xyz):
+        x, _, _ = xyz
+        expr = x + 5
+        assert expr.constant == 5.0
+        expr = 5 + x
+        assert expr.constant == 5.0
+
+    def test_subtraction(self, xyz):
+        x, y, _ = xyz
+        expr = x - y
+        assert expr.coefficients[y.index] == -1.0
+        expr = 3 - x
+        assert expr.constant == 3.0
+        assert expr.coefficients[x.index] == -1.0
+
+    def test_scalar_multiplication(self, xyz):
+        x, _, _ = xyz
+        expr = 2.5 * x
+        assert expr.coefficients[x.index] == 2.5
+        expr = (x + 1) * 2
+        assert expr.constant == 2.0
+
+    def test_multiplying_by_zero_clears(self, xyz):
+        x, _, _ = xyz
+        expr = (x + 1) * 0
+        assert expr.is_constant
+        assert expr.constant == 0.0
+
+    def test_negation(self, xyz):
+        x, _, _ = xyz
+        expr = -x
+        assert expr.coefficients[x.index] == -1.0
+
+    def test_cancellation_removes_entry(self, xyz):
+        x, y, _ = xyz
+        expr = (x + y) - x
+        assert x.index not in expr.coefficients
+
+    def test_variable_product_rejected(self, xyz):
+        x, y, _ = xyz
+        with pytest.raises(ModelError):
+            LinExpr.from_var(x) * LinExpr.from_var(y)  # type: ignore[operator]
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            LinExpr.coerce("not an expression")
+
+
+class TestLinSum:
+    def test_mixed_terms(self, xyz):
+        x, y, z = xyz
+        expr = lin_sum([x, 2 * y, z, 7])
+        assert expr.coefficients == {
+            x.index: 1.0, y.index: 2.0, z.index: 1.0,
+        }
+        assert expr.constant == 7.0
+
+    def test_empty(self):
+        expr = lin_sum([])
+        assert expr.is_constant and expr.constant == 0.0
+
+    def test_matches_operator_sum(self, xyz):
+        x, y, z = xyz
+        via_operators = x + 2 * y + z + 7
+        via_lin_sum = lin_sum([x, 2 * y, z, 7])
+        assert via_operators.coefficients == via_lin_sum.coefficients
+        assert via_operators.constant == via_lin_sum.constant
+
+
+class TestEvaluation:
+    def test_value(self, xyz):
+        x, y, _ = xyz
+        expr = 2 * x + 3 * y + 1
+        assert expr.value([10.0, 100.0, 0.0]) == pytest.approx(321.0)
+
+    def test_in_place_building(self, xyz):
+        x, _, _ = xyz
+        expr = LinExpr()
+        expr.add_term(x, 2.0).add_term(x, -2.0)
+        assert x.index not in expr.coefficients
+        expr.add_constant(4.0)
+        assert expr.constant == 4.0
+
+    def test_copy_is_independent(self, xyz):
+        x, _, _ = xyz
+        original = LinExpr.from_var(x)
+        clone = original.copy()
+        clone.add_term(x, 1.0)
+        assert original.coefficients[x.index] == 1.0
+        assert clone.coefficients[x.index] == 2.0

@@ -1,0 +1,174 @@
+"""Failure-injection tests: how the solver behaves when components break.
+
+Production solvers must degrade predictably — a crashing LP backend, a
+malformed warm start or a hostile callback must surface as clear errors or
+clean statuses, never as silent wrong answers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.milp import (
+    BranchAndBoundSolver,
+    Model,
+    SolveStatus,
+    SolverOptions,
+    lin_sum,
+    solve_milp,
+)
+from repro.milp.lp_backend import LPBackend, LPResult, LPStatus, get_backend
+
+
+def fractional_model():
+    m = Model("frac")
+    x = m.add_binary("x")
+    y = m.add_binary("y")
+    m.add_le(2 * x + 2 * y, 3, "cap")
+    m.set_objective(-1 * x - y)
+    return m
+
+
+class FlakyBackend(LPBackend):
+    """Delegates to HiGHS but fails on selected calls."""
+
+    name = "flaky"
+
+    def __init__(self, fail_on_calls):
+        self._real = get_backend("scipy")
+        self._fail_on = set(fail_on_calls)
+        self.calls = 0
+
+    def solve(self, form, lb, ub):
+        self.calls += 1
+        if self.calls in self._fail_on:
+            return LPResult(
+                status=LPStatus.ERROR,
+                x=None,
+                objective=math.inf,
+                message="injected failure",
+            )
+        return self._real.solve(form, lb, ub)
+
+
+class TestBackendFailures:
+    def test_root_lp_error_raises_solver_error(self):
+        model = fractional_model()
+        solver = BranchAndBoundSolver(model, SolverOptions())
+        solver._backend = FlakyBackend(fail_on_calls={1})
+        with pytest.raises(SolverError, match="root LP"):
+            solver.solve()
+
+    def test_errored_only_node_degrades_to_no_solution(self):
+        # Call 2 re-solves the popped root node; dropping it leaves the
+        # search with nothing explored — the solver must not claim
+        # INFEASIBLE (which would be wrong), only NO_SOLUTION.
+        model = fractional_model()
+        solver = BranchAndBoundSolver(
+            model, SolverOptions(heuristics=False)
+        )
+        solver._backend = FlakyBackend(fail_on_calls={2})
+        solution = solver.solve()
+        assert solution.status is SolveStatus.NO_SOLUTION
+        # The reported bound stays below the true optimum of -1.
+        assert solution.best_bound <= -1.0
+
+    def test_errored_subtree_downgrades_optimal_to_feasible(self):
+        # Call 3 solves one of the root's children; losing that subtree
+        # means the incumbent from the other child cannot be proven
+        # optimal — but it must still be returned.
+        model = fractional_model()
+        solver = BranchAndBoundSolver(
+            model, SolverOptions(heuristics=False)
+        )
+        solver._backend = FlakyBackend(fail_on_calls={3})
+        solution = solver.solve()
+        assert solution.status is SolveStatus.FEASIBLE
+        assert solution.objective == pytest.approx(-1.0)
+        # Bound capped by the dropped subtree's relaxation (-1.5).
+        assert solution.best_bound <= -1.5 + 1e-9
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(SolverError, match="unknown LP backend"):
+            get_backend("quantum")
+
+
+class TestWarmStartFailures:
+    def test_wrong_length_vector_rejected(self):
+        model = fractional_model()
+        solver = BranchAndBoundSolver(model, SolverOptions())
+        with pytest.raises(SolverError, match="length"):
+            solver.solve(warm_start=np.zeros(17))
+
+    def test_unknown_variable_name_rejected(self):
+        from repro.exceptions import ModelError
+
+        model = fractional_model()
+        solver = BranchAndBoundSolver(model, SolverOptions())
+        with pytest.raises(ModelError, match="no variable"):
+            solver.solve(warm_start={"nope": 1.0})
+
+    def test_infeasible_warm_start_is_repaired_or_dropped(self):
+        # Seeding an integrality-feasible but constraint-violating point
+        # must not corrupt the result.
+        model = fractional_model()
+        solution = solve_milp(model, warm_start={"x": 1.0, "y": 1.0})
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-1.0)
+
+
+class TestCallbackBehaviour:
+    def test_callback_exception_propagates(self):
+        # A broken user callback must not be swallowed.
+        def exploding(event):
+            raise RuntimeError("user bug")
+
+        with pytest.raises(RuntimeError, match="user bug"):
+            solve_milp(fractional_model(), callback=exploding)
+
+    def test_events_are_monotone_in_time(self):
+        events = []
+        solve_milp(fractional_model(), callback=events.append)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_incumbent_objectives_never_increase(self):
+        events = []
+        solve_milp(fractional_model(), callback=events.append)
+        incumbents = [
+            event.objective for event in events if event.kind == "incumbent"
+        ]
+        assert incumbents == sorted(incumbents, reverse=True)
+
+
+class TestResourceLimits:
+    def test_zero_time_limit_returns_cleanly(self):
+        solution = solve_milp(
+            fractional_model(), SolverOptions(time_limit=0.0)
+        )
+        assert solution.status in (
+            SolveStatus.NO_SOLUTION,
+            SolveStatus.FEASIBLE,
+            SolveStatus.OPTIMAL,
+        )
+
+    def test_node_limit_zero_stops_after_root(self):
+        solution = solve_milp(
+            fractional_model(),
+            SolverOptions(node_limit=0, heuristics=False),
+        )
+        assert solution.node_count == 0
+
+    def test_huge_coefficients_survive_standard_form(self):
+        # The join-ordering MILP carries 1e12-scale deltas; make sure such
+        # magnitudes do not break the pipeline.
+        m = Model("big")
+        x = m.add_binary("x")
+        y = m.add_continuous("y", 0.0, 2e12)
+        m.add_le(y - 1e12 * x, 0.0, "link")
+        m.set_objective(y - 2 * x)
+        solution = solve_milp(m)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-2.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the LP backends, including the scipy/simplex cross-check."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.milp import (
+    DenseSimplexBackend,
+    LPStatus,
+    Model,
+    ScipyHighsBackend,
+    get_backend,
+    lin_sum,
+    to_standard_form,
+)
+
+BACKENDS = [ScipyHighsBackend(), DenseSimplexBackend()]
+
+
+def solve_with(backend, model):
+    form = to_standard_form(model)
+    lb, ub = model.bounds_arrays()
+    return backend.solve(form, lb, ub)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+class TestBackends:
+    def test_simple_minimization(self, backend):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 10)
+        y = m.add_continuous("y", 0, 10)
+        m.add_ge(x + y, 4, "demand")
+        m.set_objective(2 * x + y)
+        result = solve_with(backend, m)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(4.0)
+        assert result.x[1] == pytest.approx(4.0)
+
+    def test_equality_constraints(self, backend):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 10)
+        y = m.add_continuous("y", 0, 10)
+        m.add_eq(x + y, 6, "balance")
+        m.set_objective(x - y)
+        result = solve_with(backend, m)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-6.0)
+
+    def test_infeasible(self, backend):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 1)
+        m.add_ge(x, 2, "impossible")
+        result = solve_with(backend, m)
+        assert result.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self, backend):
+        m = Model("t")
+        x = m.add_continuous("x", 0, math.inf)
+        m.set_objective(-1 * x)
+        result = solve_with(backend, m)
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_objective_constant_included(self, backend):
+        m = Model("t")
+        x = m.add_continuous("x", 1, 5)
+        m.set_objective(x + 100)
+        result = solve_with(backend, m)
+        assert result.objective == pytest.approx(101.0)
+
+    def test_negative_lower_bounds(self, backend):
+        m = Model("t")
+        x = m.add_continuous("x", -5, 5)
+        m.set_objective(x)
+        result = solve_with(backend, m)
+        assert result.objective == pytest.approx(-5.0)
+
+
+class TestCrossCheck:
+    """The two backends must agree on random LPs (substrate validation)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lp_agreement(self, seed):
+        rng = np.random.default_rng(seed)
+        m = Model(f"random{seed}")
+        variables = [
+            m.add_continuous(f"x{i}", 0, float(rng.uniform(1, 10)))
+            for i in range(5)
+        ]
+        for k in range(4):
+            coefficients = rng.uniform(-2, 2, size=5)
+            expr = lin_sum(
+                float(c) * v for c, v in zip(coefficients, variables)
+            )
+            m.add_le(expr, float(rng.uniform(1, 8)), f"c{k}")
+        m.set_objective(
+            lin_sum(
+                float(c) * v
+                for c, v in zip(rng.uniform(-1, 1, size=5), variables)
+            )
+        )
+        results = [solve_with(backend, m) for backend in BACKENDS]
+        assert results[0].status == results[1].status
+        if results[0].status is LPStatus.OPTIMAL:
+            assert results[0].objective == pytest.approx(
+                results[1].objective, rel=1e-6, abs=1e-6
+            )
+
+
+class TestGetBackend:
+    def test_names(self):
+        assert isinstance(get_backend("scipy"), ScipyHighsBackend)
+        assert isinstance(get_backend("highs"), ScipyHighsBackend)
+        assert isinstance(get_backend("simplex"), DenseSimplexBackend)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SolverError):
+            get_backend("cplex")
+
+
+class TestSimplexSpecifics:
+    def test_requires_finite_lower_bounds(self):
+        m = Model("t")
+        m.add_continuous("x", -math.inf, 5)
+        m.set_objective(m.var_by_name("x"))
+        with pytest.raises(SolverError):
+            solve_with(DenseSimplexBackend(), m)
+
+    def test_degenerate_fixed_variable(self):
+        m = Model("t")
+        x = m.add_continuous("x", 3, 3)
+        y = m.add_continuous("y", 0, 10)
+        m.add_le(x + y, 7, "cap")
+        m.set_objective(-1 * y)
+        result = solve_with(DenseSimplexBackend(), m)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(3.0)
+        assert result.x[1] == pytest.approx(4.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the MILP model container."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.milp import Model, Sense, VarType, lin_sum
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+class TestVariables:
+    def test_add_var_kinds(self, model):
+        x = model.add_continuous("x", lb=-1.0, ub=4.0)
+        b = model.add_binary("b")
+        i = model.add_var("i", 0, 10, VarType.INTEGER)
+        assert x.vtype is VarType.CONTINUOUS
+        assert b.vtype is VarType.BINARY and b.lb == 0 and b.ub == 1
+        assert i.is_integral and not x.is_integral
+        assert model.num_variables == 3
+        assert model.num_binary == 1
+        assert model.num_integral == 2
+        assert model.integral_indices == [b.index, i.index]
+
+    def test_duplicate_names_rejected(self, model):
+        model.add_binary("b")
+        with pytest.raises(ModelError):
+            model.add_binary("b")
+
+    def test_bad_bounds_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_continuous("x", lb=2.0, ub=1.0)
+        with pytest.raises(ModelError):
+            model.add_var("b", 0, 2, VarType.BINARY)
+
+    def test_lookup(self, model):
+        b = model.add_binary("b")
+        assert model.var_by_name("b") is b
+        assert model.has_var("b")
+        assert not model.has_var("zzz")
+        with pytest.raises(ModelError):
+            model.var_by_name("zzz")
+
+    def test_priority(self, model):
+        high = model.add_binary("h", priority=5)
+        low = model.add_binary("l")
+        assert high.priority == 5
+        assert low.priority == 0
+
+
+class TestConstraints:
+    def test_constant_folding(self, model):
+        x = model.add_continuous("x")
+        constraint = model.add_le(x + 5, 7, "c")
+        assert constraint.rhs == 2.0
+        assert constraint.expr.constant == 0.0
+
+    def test_senses(self, model):
+        x = model.add_continuous("x")
+        assert model.add_le(x, 1, "le").sense is Sense.LE
+        assert model.add_ge(x, 1, "ge").sense is Sense.GE
+        assert model.add_eq(x, 1, "eq").sense is Sense.EQ
+
+    def test_duplicate_constraint_names_rejected(self, model):
+        x = model.add_continuous("x")
+        model.add_le(x, 1, "c")
+        with pytest.raises(ModelError):
+            model.add_ge(x, 0, "c")
+
+
+class TestEvaluation:
+    def test_objective_value(self, model):
+        x = model.add_continuous("x")
+        y = model.add_continuous("y")
+        model.set_objective(2 * x + y + 3)
+        assert model.objective_value([2.0, 1.0]) == pytest.approx(8.0)
+
+    def test_assignment_from_names(self, model):
+        model.add_continuous("x")
+        model.add_continuous("y")
+        assignment = model.assignment_from_names({"y": 5.0})
+        assert list(assignment) == [0.0, 5.0]
+        with pytest.raises(ModelError):
+            model.assignment_from_names({"zzz": 1.0})
+
+    def test_check_feasible_reports_violations(self, model):
+        b = model.add_binary("b")
+        x = model.add_continuous("x", 0, 10)
+        model.add_le(b + x, 5, "cap")
+        violations = model.check_feasible([0.5, 20.0])
+        assert "integrality:b" in violations
+        assert "bound:x" in violations
+        assert "cap" in violations
+
+    def test_is_feasible_accepts_valid(self, model):
+        b = model.add_binary("b")
+        x = model.add_continuous("x", 0, 10)
+        model.add_le(b + x, 5, "cap")
+        assert model.is_feasible([1.0, 4.0])
+
+    def test_relative_tolerance_on_large_rows(self, model):
+        # A residual of 1e-3 on a row with 1e12-scale terms must pass.
+        x = model.add_continuous("x", 0, 1e13)
+        model.add_eq(x, 1e12, "pin")
+        assert model.is_feasible([1e12 + 1e-3])
+
+    def test_stats(self, model):
+        model.add_binary("b")
+        model.add_continuous("x")
+        model.add_le(lin_sum([]), 1, "trivial")
+        stats = model.stats()
+        assert stats == {
+            "variables": 2,
+            "binary_variables": 1,
+            "continuous_variables": 1,
+            "constraints": 1,
+        }
+
+    def test_nan_rhs_rejected(self, model):
+        x = model.add_continuous("x")
+        with pytest.raises(ModelError):
+            model.add_le(x, math.nan, "bad")

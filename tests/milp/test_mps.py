@@ -1,0 +1,190 @@
+"""Tests for MPS-format model export/import."""
+
+import math
+
+import pytest
+
+from repro.milp import (
+    Model,
+    Sense,
+    SolveStatus,
+    VarType,
+    lin_sum,
+    read_mps,
+    solve_milp,
+    write_mps,
+)
+from repro.exceptions import ModelError
+
+
+@pytest.fixture
+def model():
+    m = Model("sample")
+    x = m.add_continuous("x", 0, 10)
+    y = m.add_binary("y")
+    z = m.add_var("z", -2, 7, VarType.INTEGER)
+    m.add_le(x + 2 * y, 4, "cap")
+    m.add_ge(x - z, -1, "floor")
+    m.add_eq(x + y + z, 5, "balance")
+    m.set_objective(x - 3 * y + 0.5 * z)
+    return m
+
+
+class TestWriter:
+    def test_sections_present(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        text = path.read_text()
+        for section in ("NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"):
+            assert section in text
+
+    def test_integer_markers_wrap_integral_columns(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        text = path.read_text()
+        assert "'INTORG'" in text
+        assert "'INTEND'" in text
+
+    def test_binary_bound_emitted(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        assert " BV BND y" in path.read_text()
+
+    def test_unsafe_names_are_encoded(self, tmp_path):
+        m = Model("n")
+        v = m.add_binary("tio[R,0]")
+        m.add_le(v, 1, "row[0]")
+        m.set_objective(v)
+        path = tmp_path / "n.mps"
+        write_mps(m, path)
+        text = path.read_text()
+        assert "tio[R,0]" not in text
+        assert "tio__R_0" in text
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        loaded = read_mps(path)
+        assert loaded.num_variables == model.num_variables
+        assert loaded.num_constraints == model.num_constraints
+        assert loaded.num_binary == model.num_binary
+
+    def test_bounds_and_types_preserved(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        loaded = read_mps(path)
+        z = loaded.var_by_name("z")
+        assert z.lb == -2 and z.ub == 7
+        assert z.vtype is VarType.INTEGER
+        assert loaded.var_by_name("y").vtype is VarType.BINARY
+
+    def test_senses_preserved(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        loaded = read_mps(path)
+        senses = {c.name: c.sense for c in loaded.constraints}
+        assert senses == {
+            "cap": Sense.LE,
+            "floor": Sense.GE,
+            "balance": Sense.EQ,
+        }
+
+    def test_same_optimum(self, model, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(model, path)
+        loaded = read_mps(path)
+        original = solve_milp(model)
+        reloaded = solve_milp(loaded)
+        assert original.status is SolveStatus.OPTIMAL
+        assert reloaded.objective == pytest.approx(original.objective)
+
+    def test_objective_constant_round_trips(self, tmp_path):
+        m = Model("const")
+        x = m.add_binary("x")
+        m.set_objective(2 * x + 7.5)
+        path = tmp_path / "c.mps"
+        write_mps(m, path)
+        loaded = read_mps(path)
+        assert loaded.objective.constant == pytest.approx(7.5)
+
+    def test_free_and_minus_infinity_bounds(self, tmp_path):
+        m = Model("bounds")
+        m.add_continuous("free", -math.inf, math.inf)
+        m.add_continuous("lower_open", -math.inf, 5.0)
+        m.add_continuous("shifted", 2.0, 9.0)
+        m.set_objective(lin_sum(m.variables))
+        path = tmp_path / "b.mps"
+        write_mps(m, path)
+        loaded = read_mps(path)
+        free = loaded.var_by_name("free")
+        assert math.isinf(free.lb) and free.lb < 0
+        assert math.isinf(free.ub)
+        lower_open = loaded.var_by_name("lower_open")
+        assert math.isinf(lower_open.lb) and lower_open.ub == 5.0
+        shifted = loaded.var_by_name("shifted")
+        assert shifted.lb == 2.0 and shifted.ub == 9.0
+
+    def test_variable_without_constraint_entries_survives(self, tmp_path):
+        m = Model("lonely")
+        m.add_continuous("used", 0, 1)
+        m.add_continuous("unused", 0, 3)
+        m.add_le(m.var_by_name("used"), 1, "row")
+        m.set_objective(m.var_by_name("used"))
+        path = tmp_path / "l.mps"
+        write_mps(m, path)
+        loaded = read_mps(path)
+        assert loaded.has_var("unused")
+
+
+class TestReaderErrors:
+    def test_ranges_section_rejected(self, tmp_path):
+        path = tmp_path / "r.mps"
+        path.write_text(
+            "NAME t\nROWS\n N COST\n L r1\nCOLUMNS\n x r1 1\n"
+            "RANGES\n RNG r1 5\nENDATA\n"
+        )
+        with pytest.raises(ModelError):
+            read_mps(path)
+
+    def test_unknown_row_type_rejected(self, tmp_path):
+        path = tmp_path / "u.mps"
+        path.write_text("NAME t\nROWS\n N COST\n X r1\nENDATA\n")
+        with pytest.raises(ModelError):
+            read_mps(path)
+
+    def test_unknown_bound_type_rejected(self, tmp_path):
+        path = tmp_path / "b.mps"
+        path.write_text(
+            "NAME t\nROWS\n N COST\nCOLUMNS\n x COST 1\n"
+            "BOUNDS\n XX BND x 1\nENDATA\n"
+        )
+        with pytest.raises(ModelError):
+            read_mps(path)
+
+    def test_entry_with_unknown_row_rejected(self, tmp_path):
+        path = tmp_path / "e.mps"
+        path.write_text(
+            "NAME t\nROWS\n N COST\nCOLUMNS\n x nosuch 1\nENDATA\n"
+        )
+        with pytest.raises(ModelError):
+            read_mps(path)
+
+
+class TestFormulationExport:
+    def test_join_ordering_milp_round_trips(self, rst_query, tmp_path):
+        from repro.core import FormulationConfig, JoinOrderFormulation
+
+        config = FormulationConfig.low_precision(3, cost_model="cout")
+        formulation = JoinOrderFormulation(rst_query, config)
+        path = tmp_path / "join.mps"
+        write_mps(formulation.model, path)
+        loaded = read_mps(path)
+        assert loaded.num_variables == formulation.model.num_variables
+        assert loaded.num_constraints == formulation.model.num_constraints
+        original = solve_milp(formulation.model)
+        reloaded = solve_milp(loaded)
+        assert reloaded.objective == pytest.approx(
+            original.objective, rel=1e-6
+        )

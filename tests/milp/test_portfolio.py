@@ -1,0 +1,219 @@
+"""Tests for the parallel portfolio solver."""
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.milp import (
+    Model,
+    PortfolioMember,
+    PortfolioSolver,
+    SolveStatus,
+    SolverOptions,
+    default_portfolio,
+    lin_sum,
+    solve_milp,
+    solve_portfolio,
+)
+
+
+def knapsack_model():
+    m = Model("knapsack")
+    values = [10, 6, 4, 7, 3]
+    weights = [3, 2, 1, 4, 2]
+    items = [m.add_binary(f"x{i}") for i in range(5)]
+    m.add_le(
+        lin_sum(w * x for w, x in zip(weights, items)), 6, "capacity"
+    )
+    m.set_objective(lin_sum(-v * x for v, x in zip(values, items)))
+    return m
+
+
+def infeasible_model():
+    m = Model("inf")
+    b = m.add_binary("b")
+    m.add_ge(b, 2, "impossible")
+    return m
+
+
+def fractional_root_model():
+    """Two conflict triangles: the LP root is fractional (all 0.5)."""
+    m = Model("triangles")
+    x = [m.add_binary(f"x{i}") for i in range(6)]
+    for base in (0, 3):
+        m.add_le(x[base] + x[base + 1], 1, f"e{base}a")
+        m.add_le(x[base + 1] + x[base + 2], 1, f"e{base}b")
+        m.add_le(x[base] + x[base + 2], 1, f"e{base}c")
+    m.set_objective(lin_sum(-1 * v for v in x))
+    return m
+
+
+class TestDefaultPortfolio:
+    def test_four_diverse_members(self):
+        members = default_portfolio(time_limit=5.0)
+        assert len(members) == 4
+        assert len({member.name for member in members}) == 4
+        assert any(member.options.cuts for member in members)
+        assert any(
+            member.options.node_selection == "dfs" for member in members
+        )
+
+    def test_time_limit_propagates(self):
+        members = default_portfolio(time_limit=7.5)
+        assert all(member.options.time_limit == 7.5 for member in members)
+
+
+class TestPortfolioSolve:
+    @pytest.mark.parametrize("parallel", [True, False])
+    def test_matches_single_solver_optimum(self, parallel):
+        single = solve_milp(knapsack_model())
+        portfolio = PortfolioSolver(
+            knapsack_model(), parallel=parallel
+        ).solve()
+        assert portfolio.status is SolveStatus.OPTIMAL
+        assert portfolio.objective == pytest.approx(single.objective)
+        assert portfolio.best_bound == pytest.approx(single.objective)
+        assert portfolio.gap <= 1e-6
+        assert portfolio.optimality_factor == pytest.approx(1.0)
+
+    def test_values_belong_to_winner(self):
+        result = PortfolioSolver(knapsack_model(), parallel=False).solve()
+        assert result.winner in result.member_results
+        picked = {k for k, v in result.values.items() if v > 0.5}
+        assert picked == {"x0", "x1", "x2"}
+
+    def test_every_member_reports(self):
+        result = PortfolioSolver(knapsack_model(), parallel=True).solve()
+        # Parallel mode runs all members to completion or cooperative stop.
+        assert set(result.member_results) == {
+            member.name for member in default_portfolio()
+        }
+
+    def test_sequential_mode_stops_after_proven_optimum(self):
+        result = PortfolioSolver(knapsack_model(), parallel=False).solve()
+        # The first member proves optimality; later members are skipped.
+        assert result.status is SolveStatus.OPTIMAL
+        assert len(result.member_results) == 1
+
+    def test_infeasible_model(self):
+        result = PortfolioSolver(infeasible_model(), parallel=False).solve()
+        assert result.status is SolveStatus.INFEASIBLE
+        assert math.isinf(result.objective)
+
+    def test_warm_start_is_honoured(self):
+        # Seed the known optimum; the portfolio must not return worse.
+        warm = {"x0": 1.0, "x1": 1.0, "x2": 1.0, "x3": 0.0, "x4": 0.0}
+        result = PortfolioSolver(knapsack_model(), parallel=False).solve(
+            warm_start=warm
+        )
+        assert result.objective == pytest.approx(-20.0)
+
+    def test_events_carry_member_names(self):
+        result = PortfolioSolver(knapsack_model(), parallel=False).solve()
+        assert result.events
+        member_names = {member.name for member in default_portfolio()}
+        assert all(event.member in member_names for event in result.events)
+
+    def test_convenience_wrapper(self):
+        result = solve_portfolio(
+            knapsack_model(), time_limit=10.0, parallel=False
+        )
+        assert result.status is SolveStatus.OPTIMAL
+
+
+class TestPortfolioValidation:
+    def test_duplicate_member_names_rejected(self):
+        members = [
+            PortfolioMember("a", SolverOptions()),
+            PortfolioMember("a", SolverOptions()),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            PortfolioSolver(knapsack_model(), members)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PortfolioSolver(knapsack_model(), [])
+
+
+class TestCooperativeStop:
+    def test_stop_check_composes_with_user_hook(self):
+        calls = []
+
+        def user_stop():
+            calls.append(1)
+            return False
+
+        members = [
+            PortfolioMember(
+                "hooked", SolverOptions(time_limit=10.0, stop_check=user_stop)
+            ),
+        ]
+        result = PortfolioSolver(
+            fractional_root_model(), members, parallel=False
+        ).solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert calls  # the user hook was polled
+
+    def test_preset_stop_event_prevents_tree_search(self):
+        # A solver that starts with the stop flag raised behaves as if
+        # the time limit were hit immediately after the root.
+        flag = threading.Event()
+        flag.set()
+        options = SolverOptions(
+            time_limit=10.0, stop_check=flag.is_set, heuristics=False
+        )
+        single = solve_milp(fractional_root_model(), options)
+        assert single.node_count == 0
+        assert single.status is SolveStatus.NO_SOLUTION
+
+    def test_parallel_portfolio_finishes_quickly_on_easy_model(self):
+        started = time.monotonic()
+        result = PortfolioSolver(
+            knapsack_model(),
+            default_portfolio(time_limit=30.0),
+            parallel=True,
+        ).solve()
+        elapsed = time.monotonic() - started
+        assert result.status is SolveStatus.OPTIMAL
+        # Cooperative stop: nowhere near the 30 s per-member budget.
+        assert elapsed < 15.0
+
+
+class TestJoinOrderingPortfolio:
+    def test_optimizer_facade_portfolio(self):
+        from repro.core.config import FormulationConfig
+        from repro.core.optimizer import MILPJoinOptimizer
+        from repro.workloads import QueryGenerator
+
+        query = QueryGenerator(seed=2).generate("chain", 5)
+        config = FormulationConfig.low_precision(5, cost_model="cout")
+        optimizer = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=30.0)
+        )
+        plain = optimizer.optimize(query)
+        pooled = optimizer.optimize_with_portfolio(query, parallel=True)
+        assert pooled.status is SolveStatus.OPTIMAL
+        assert pooled.plan is not None
+        assert pooled.objective == pytest.approx(plain.objective, rel=1e-6)
+        assert pooled.true_cost == pytest.approx(plain.true_cost, rel=1e-6)
+
+    def test_star_query_formulation(self):
+        from repro.core.config import FormulationConfig
+        from repro.core.formulation import JoinOrderFormulation
+        from repro.workloads import QueryGenerator
+
+        query = QueryGenerator(seed=5).generate("star", 5)
+        config = FormulationConfig.low_precision(5, cost_model="cout")
+        formulation = JoinOrderFormulation(query, config)
+        single = solve_milp(
+            formulation.model, SolverOptions(time_limit=30.0)
+        )
+        portfolio = solve_portfolio(
+            formulation.model, time_limit=30.0, parallel=True
+        )
+        assert portfolio.status is SolveStatus.OPTIMAL
+        assert portfolio.objective == pytest.approx(
+            single.objective, rel=1e-6
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for bound-propagation presolve."""
+
+import pytest
+
+from repro.milp import Model, presolve
+
+
+class TestIntegralRounding:
+    def test_rounds_bounds_inward(self):
+        m = Model("t")
+        from repro.milp import VarType
+
+        x = m.add_var("x", 0.4, 3.7, VarType.INTEGER)
+        result = presolve(m)
+        assert result.lb[x.index] == 1.0
+        assert result.ub[x.index] == 3.0
+        assert result.feasible
+
+    def test_detects_empty_integral_domain(self):
+        m = Model("t")
+        from repro.milp import VarType
+
+        m.add_var("x", 0.4, 0.6, VarType.INTEGER)
+        result = presolve(m)
+        assert not result.feasible
+
+
+class TestSingletonRows:
+    def test_le_tightens_upper(self):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 100)
+        m.add_le(2 * x, 10, "cap")
+        result = presolve(m)
+        assert result.ub[x.index] == pytest.approx(5.0)
+
+    def test_negative_coefficient_flips_direction(self):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 100)
+        m.add_le(-2 * x, -10, "floor")  # x >= 5
+        result = presolve(m)
+        assert result.lb[x.index] == pytest.approx(5.0)
+
+    def test_eq_fixes_variable(self):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 100)
+        m.add_eq(4 * x, 12, "pin")
+        result = presolve(m)
+        assert result.lb[x.index] == result.ub[x.index] == pytest.approx(3.0)
+        assert result.num_fixed == 1
+
+    def test_eq_outside_bounds_infeasible(self):
+        m = Model("t")
+        m.add_continuous("x", 0, 1)
+        m.add_eq(m.var_by_name("x") * 1, 5, "pin")
+        result = presolve(m)
+        assert not result.feasible
+
+    def test_integral_singleton_rounds(self):
+        m = Model("t")
+        b = m.add_binary("b")
+        m.add_le(2 * b, 1, "cap")  # b <= 0.5 -> b <= 0
+        result = presolve(m)
+        assert result.ub[b.index] == 0.0
+
+
+class TestActivityChecks:
+    def test_min_activity_infeasibility(self):
+        m = Model("t")
+        x = m.add_continuous("x", 2, 5)
+        y = m.add_continuous("y", 3, 5)
+        m.add_le(x + y, 4, "impossible")  # min activity 5 > 4
+        result = presolve(m)
+        assert not result.feasible
+
+    def test_ge_max_activity_infeasibility(self):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 1)
+        y = m.add_continuous("y", 0, 1)
+        m.add_ge(x + y, 3, "impossible")
+        result = presolve(m)
+        assert not result.feasible
+
+    def test_feasible_model_untouched(self):
+        m = Model("t")
+        x = m.add_continuous("x", 0, 5)
+        y = m.add_continuous("y", 0, 5)
+        m.add_le(x + y, 8, "ok")
+        result = presolve(m)
+        assert result.feasible
+        assert result.reductions == []
+
+    def test_constant_row_contradiction(self):
+        m = Model("t")
+        m.add_continuous("x")
+        from repro.milp import LinExpr, Sense
+
+        m.add_constraint(LinExpr(), Sense.GE, 1.0, "broken")
+        result = presolve(m)
+        assert not result.feasible

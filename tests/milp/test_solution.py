@@ -1,0 +1,70 @@
+"""Unit tests for solution objects and gap math."""
+
+import math
+
+import pytest
+
+from repro.milp import IncumbentEvent, MILPSolution, SolveStatus, relative_gap
+
+
+class TestRelativeGap:
+    def test_closed(self):
+        assert relative_gap(10.0, 10.0) == 0.0
+
+    def test_positive(self):
+        assert relative_gap(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_no_incumbent(self):
+        assert math.isinf(relative_gap(math.inf, 10.0))
+
+    def test_no_bound(self):
+        assert math.isinf(relative_gap(10.0, -math.inf))
+
+    def test_never_negative(self):
+        assert relative_gap(9.0, 10.0) == 0.0
+
+
+class TestIncumbentEvent:
+    def test_gap_property(self):
+        event = IncumbentEvent(1.0, 12.0, 10.0, "incumbent")
+        assert event.gap == pytest.approx(0.2)
+
+
+class TestMILPSolution:
+    def test_optimality_factor(self):
+        solution = MILPSolution(
+            status=SolveStatus.FEASIBLE, objective=30.0, best_bound=10.0
+        )
+        assert solution.optimality_factor == pytest.approx(3.0)
+
+    def test_factor_is_one_at_optimum(self):
+        solution = MILPSolution(
+            status=SolveStatus.OPTIMAL, objective=10.0, best_bound=10.0
+        )
+        assert solution.optimality_factor == 1.0
+
+    def test_factor_inf_without_incumbent(self):
+        solution = MILPSolution(
+            status=SolveStatus.NO_SOLUTION,
+            objective=math.inf,
+            best_bound=5.0,
+        )
+        assert math.isinf(solution.optimality_factor)
+
+    def test_value_lookup_defaults(self):
+        solution = MILPSolution(
+            status=SolveStatus.OPTIMAL,
+            objective=0.0,
+            best_bound=0.0,
+            values={"x": 1.0},
+        )
+        assert solution.value("x") == 1.0
+        assert solution.value("missing") == 0.0
+        assert solution.value("missing", default=7.0) == 7.0
+
+    def test_status_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.NO_SOLUTION.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution

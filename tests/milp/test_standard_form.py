@@ -1,0 +1,62 @@
+"""Unit tests for standard-form conversion."""
+
+import numpy as np
+import pytest
+
+from repro.milp import Model, to_standard_form
+
+
+@pytest.fixture
+def model():
+    m = Model("t")
+    x = m.add_continuous("x", 0, 10)
+    y = m.add_binary("y")
+    m.add_le(x + 2 * y, 4, "le")
+    m.add_ge(x - y, 1, "ge")
+    m.add_eq(x + y, 3, "eq")
+    m.set_objective(x + 5 * y + 7)
+    return m
+
+
+class TestStandardForm:
+    def test_objective_vector_and_constant(self, model):
+        form = to_standard_form(model)
+        assert list(form.c) == [1.0, 5.0]
+        assert form.c0 == 7.0
+
+    def test_ge_rows_negated_into_le(self, model):
+        form = to_standard_form(model)
+        assert form.a_ub.shape == (2, 2)
+        dense = form.a_ub.toarray()
+        # Row 0: x + 2y <= 4; row 1: -(x - y) <= -1.
+        assert list(dense[0]) == [1.0, 2.0]
+        assert list(dense[1]) == [-1.0, 1.0]
+        assert list(form.b_ub) == [4.0, -1.0]
+
+    def test_eq_rows(self, model):
+        form = to_standard_form(model)
+        assert form.a_eq.shape == (1, 2)
+        assert list(form.a_eq.toarray()[0]) == [1.0, 1.0]
+        assert list(form.b_eq) == [3.0]
+
+    def test_bounds_and_integrality(self, model):
+        form = to_standard_form(model)
+        assert list(form.lb) == [0.0, 0.0]
+        assert list(form.ub) == [10.0, 1.0]
+        assert list(form.integral_indices) == [1]
+        assert form.num_variables == 2
+
+    def test_no_inequalities(self):
+        m = Model("eq-only")
+        x = m.add_continuous("x")
+        m.add_eq(x, 1, "pin")
+        form = to_standard_form(m)
+        assert form.a_ub is None
+        assert form.a_eq is not None
+
+    def test_empty_model(self):
+        m = Model("empty")
+        m.add_continuous("x")
+        form = to_standard_form(m)
+        assert form.a_ub is None and form.a_eq is None
+        assert np.all(form.c == 0)

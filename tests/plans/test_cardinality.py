@@ -1,0 +1,97 @@
+"""Unit tests for the exact cardinality model."""
+
+import math
+
+import pytest
+
+from repro.catalog import CorrelatedGroup, Predicate, Query, Table
+from repro.plans import CardinalityModel
+
+
+class TestBasics:
+    def test_single_table(self, rst_query):
+        model = CardinalityModel(rst_query)
+        assert model.cardinality(frozenset({"S"})) == pytest.approx(1000.0)
+
+    def test_paper_example(self, rst_query):
+        model = CardinalityModel(rst_query)
+        # R x S with predicate p (sel 0.1): 10 * 1000 * 0.1 = 1000.
+        assert model.cardinality(frozenset({"R", "S"})) == pytest.approx(1000)
+        # R x T: no predicate, cross product 10 * 100.
+        assert model.cardinality(frozenset({"R", "T"})) == pytest.approx(1000)
+
+    def test_memoization_returns_same(self, rst_query):
+        model = CardinalityModel(rst_query)
+        first = model.log_cardinality(frozenset({"R", "S", "T"}))
+        second = model.log_cardinality(frozenset({"R", "S", "T"}))
+        assert first == second
+
+    def test_applicable_join_predicates(self, chain4_query):
+        model = CardinalityModel(chain4_query)
+        applicable = model.applicable_join_predicates(frozenset({"A", "B"}))
+        assert [p.name for p in applicable] == ["ab"]
+
+
+class TestUnaryPushdown:
+    def test_unary_predicate_folded_into_effective_cardinality(self):
+        query = Query(
+            tables=(Table("R", 1000), Table("S", 10)),
+            predicates=(
+                Predicate("sel_r", ("R",), 0.01),
+                Predicate("rs", ("R", "S"), 0.5),
+            ),
+        )
+        model = CardinalityModel(query)
+        assert model.effective_cardinality("R") == pytest.approx(10.0)
+        # Join: 10 (effective R) * 10 * 0.5.
+        assert model.cardinality(frozenset({"R", "S"})) == pytest.approx(50.0)
+
+    def test_unary_predicates_not_in_join_predicates(self):
+        query = Query(
+            tables=(Table("R", 1000),),
+            predicates=(Predicate("sel_r", ("R",), 0.01),),
+        )
+        model = CardinalityModel(query)
+        assert model.join_predicates == ()
+
+
+class TestCorrelatedGroups:
+    def test_correction_applies_when_all_members_present(self):
+        query = Query(
+            tables=(Table("R", 100), Table("S", 100), Table("T", 100)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.1),
+                Predicate("st", ("S", "T"), 0.1),
+            ),
+            correlated_groups=(
+                CorrelatedGroup("g", ("rs", "st"), correction=5.0),
+            ),
+        )
+        model = CardinalityModel(query)
+        all_tables = frozenset({"R", "S", "T"})
+        expected = 100 ** 3 * 0.1 * 0.1 * 5.0
+        assert model.cardinality(all_tables) == pytest.approx(expected)
+        # Partial set: no correction.
+        assert model.cardinality(frozenset({"R", "S"})) == pytest.approx(
+            100 * 100 * 0.1
+        )
+
+
+class TestNaryPredicates:
+    def test_three_way_predicate(self):
+        query = Query(
+            tables=(Table("R", 10), Table("S", 10), Table("T", 10)),
+            predicates=(Predicate("rst", ("R", "S", "T"), 0.001),),
+        )
+        model = CardinalityModel(query)
+        assert model.cardinality(frozenset({"R", "S"})) == pytest.approx(100)
+        assert model.cardinality(frozenset({"R", "S", "T"})) == pytest.approx(
+            1.0
+        )
+
+    def test_log_matches_raw(self, star5_query):
+        model = CardinalityModel(star5_query)
+        names = frozenset(star5_query.table_names)
+        assert math.exp(model.log_cardinality(names)) == pytest.approx(
+            model.cardinality(names)
+        )

@@ -1,0 +1,128 @@
+"""Unit tests for exact plan costing."""
+
+import pytest
+
+from repro.catalog import Predicate, Query, Table
+from repro.plans import (
+    CostContext,
+    JoinAlgorithm,
+    LeftDeepPlan,
+    PlanCostEvaluator,
+    hash_join_cost,
+    log_sum_exp,
+    plan_cost,
+)
+
+
+class TestCoutCosting:
+    def test_cout_sums_intermediate_results(self, rst_query):
+        evaluator = PlanCostEvaluator(rst_query, use_cout=True)
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        # Intermediate results: R⋈S = 1000; the final result is excluded.
+        assert evaluator.cost(plan) == pytest.approx(1000.0)
+
+    def test_cout_prefers_selective_first_join(self, rst_query):
+        evaluator = PlanCostEvaluator(rst_query, use_cout=True)
+        good = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        bad = LeftDeepPlan.from_order(rst_query, ["S", "T", "R"])
+        assert evaluator.cost(good) < evaluator.cost(bad)
+
+    def test_two_table_query_has_zero_cout(self):
+        query = Query(tables=(Table("R", 10), Table("S", 10)))
+        evaluator = PlanCostEvaluator(query, use_cout=True)
+        plan = LeftDeepPlan.from_order(query, ["R", "S"])
+        assert evaluator.cost(plan) == 0.0
+
+
+class TestOperatorCosting:
+    def test_hash_join_costs_match_formula(self, rst_query):
+        context = CostContext(tuple_size=100, page_size=1000)
+        evaluator = PlanCostEvaluator(rst_query, context)
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        details = evaluator.breakdown(plan)
+        first = details[0]
+        assert first.cost == hash_join_cost(
+            context.pages(10), context.pages(1000)
+        )
+        second = details[1]
+        assert second.outer_cardinality == pytest.approx(1000.0)
+        assert second.cost == hash_join_cost(
+            context.pages(1000), context.pages(100)
+        )
+
+    def test_breakdown_tracks_cardinalities(self, rst_query):
+        evaluator = PlanCostEvaluator(rst_query)
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        details = evaluator.breakdown(plan)
+        assert [d.inner_table for d in details] == ["S", "T"]
+        assert details[0].output_cardinality == pytest.approx(1000.0)
+        assert details[1].output_cardinality == pytest.approx(100_000.0)
+
+    def test_mixed_algorithms(self, rst_query):
+        evaluator = PlanCostEvaluator(rst_query)
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        mixed = plan.with_algorithms(
+            [JoinAlgorithm.SORT_MERGE, JoinAlgorithm.HASH]
+        )
+        details = evaluator.breakdown(mixed)
+        assert details[0].algorithm is JoinAlgorithm.SORT_MERGE
+        assert details[1].algorithm is JoinAlgorithm.HASH
+
+    def test_plan_cost_convenience(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        evaluator = PlanCostEvaluator(rst_query)
+        assert plan_cost(plan) == pytest.approx(evaluator.cost(plan))
+
+
+class TestBestAlgorithms:
+    def test_picks_cheapest_per_join(self, rst_query):
+        context = CostContext(tuple_size=100, page_size=1000, buffer_pages=64)
+        evaluator = PlanCostEvaluator(rst_query, context)
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        tuned = evaluator.best_algorithms(plan)
+        assert evaluator.cost(tuned) <= evaluator.cost(plan)
+        # The tuned plan is at least as cheap as any uniform assignment.
+        for algorithm in JoinAlgorithm:
+            uniform = plan.with_algorithms([algorithm] * plan.num_joins)
+            assert evaluator.cost(tuned) <= evaluator.cost(uniform) + 1e-9
+
+
+class TestExpensivePredicateCosting:
+    def test_evaluation_charge_added(self):
+        query = Query(
+            tables=(Table("R", 10), Table("S", 100), Table("T", 100)),
+            predicates=(
+                Predicate("rs", ("R", "S"), 0.1),
+                Predicate("rt", ("R", "T"), 0.5, cost_per_tuple=2.0),
+            ),
+        )
+        evaluator = PlanCostEvaluator(query, use_cout=True)
+        plan = LeftDeepPlan.from_order(query, ["R", "S", "T"])
+        base = evaluator.cost(plan)
+        with_predicates = evaluator.cost_with_predicates(plan)
+        # rt is first applicable in the result of join 1 whose outer operand
+        # is R⋈S with cardinality 100: charge 2.0 * 100.
+        assert with_predicates == pytest.approx(base + 200.0)
+
+    def test_free_predicates_add_nothing(self, rst_query):
+        evaluator = PlanCostEvaluator(rst_query, use_cout=True)
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        assert evaluator.cost_with_predicates(plan) == evaluator.cost(plan)
+
+
+class TestLogSumExp:
+    def test_matches_direct_computation(self):
+        import math
+
+        values = [1.0, 2.0, 3.0]
+        expected = math.log(sum(math.exp(v) for v in values))
+        assert log_sum_exp(values) == pytest.approx(expected)
+
+    def test_empty(self):
+        import math
+
+        assert log_sum_exp([]) == -math.inf
+
+    def test_handles_large_values(self):
+        result = log_sum_exp([1000.0, 1000.0])
+        assert result == pytest.approx(1000.0 + 0.6931, abs=1e-3)

@@ -1,0 +1,123 @@
+"""Tests for EXPLAIN-style plan rendering."""
+
+import pytest
+
+from repro.plans import (
+    JoinAlgorithm,
+    LeftDeepPlan,
+    compare_plans,
+    explain_table,
+    explain_text,
+    to_dot,
+)
+
+
+@pytest.fixture
+def plan(rst_query) -> LeftDeepPlan:
+    return LeftDeepPlan.from_order(
+        rst_query, ["R", "S", "T"], JoinAlgorithm.HASH
+    )
+
+
+class TestExplainText:
+    def test_mentions_every_table(self, plan):
+        text = explain_text(plan)
+        for table in ("R", "S", "T"):
+            assert f"Scan {table}" in text
+
+    def test_one_join_line_per_step(self, plan):
+        text = explain_text(plan)
+        assert text.count("-> Join") == plan.num_joins
+
+    def test_total_cost_in_header(self, plan, rst_query):
+        from repro.plans import PlanCostEvaluator
+
+        text = explain_text(plan, use_cout=True)
+        total = PlanCostEvaluator(rst_query, use_cout=True).cost(plan)
+        assert f"{int(total):,}" in text or f"{total:.3g}" in text
+
+    def test_deepest_scan_is_first_table(self, plan):
+        lines = explain_text(plan).splitlines()
+        assert "Scan R" in lines[-1]
+
+    def test_cardinalities_annotated(self, plan):
+        text = explain_text(plan)
+        assert "rows=1,000" in text  # table S
+        assert "rows=100" in text  # table T
+
+
+class TestExplainTable:
+    def test_header_and_total_rows(self, plan):
+        table = explain_table(plan)
+        lines = table.splitlines()
+        assert "algorithm" in lines[0]
+        assert "total" in lines[-1]
+        # Header + separator + one row per join + total row.
+        assert len(lines) == 2 + plan.num_joins + 1
+
+    def test_columns_aligned(self, plan):
+        lines = explain_table(plan).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_inner_tables_listed(self, plan):
+        table = explain_table(plan)
+        assert "S" in table and "T" in table
+
+
+class TestDot:
+    def test_valid_digraph_structure(self, plan):
+        dot = to_dot(plan)
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        for table in ("R", "S", "T"):
+            assert f"scan_{table}" in dot
+
+    def test_join_nodes_and_edges(self, plan):
+        dot = to_dot(plan)
+        assert dot.count("shape=box") == plan.num_joins
+        # Each join has two incoming edges.
+        assert dot.count("->") == 2 * plan.num_joins
+
+    def test_chained_joins(self, plan):
+        dot = to_dot(plan)
+        assert "join_0 -> join_1" in dot
+
+
+class TestComparePlans:
+    def test_best_plan_has_ratio_one(self, rst_query):
+        good = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        bad = LeftDeepPlan.from_order(rst_query, ["S", "T", "R"])
+        text = compare_plans(
+            [good, bad], labels=["good", "bad"], use_cout=True
+        )
+        lines = text.splitlines()
+        assert "( 1.00x)" in lines[0]
+        assert "good" in lines[0] and "bad" in lines[1]
+
+    def test_mismatched_queries_rejected(self, rst_query, chain4_query):
+        plan_a = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        plan_b = LeftDeepPlan.from_order(
+            chain4_query, list(chain4_query.table_names)
+        )
+        with pytest.raises(ValueError, match="same query"):
+            compare_plans([plan_a, plan_b])
+
+    def test_label_count_validated(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        with pytest.raises(ValueError, match="label"):
+            compare_plans([plan], labels=["a", "b"])
+
+    def test_empty_plan_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compare_plans([])
+
+
+class TestEndToEnd:
+    def test_explain_optimized_plan(self, rst_query):
+        from repro.core.optimizer import optimize_query
+
+        result = optimize_query(rst_query, time_limit=15.0)
+        text = explain_text(result.plan, use_cout=True)
+        assert "Join" in text
+        dot = to_dot(result.plan)
+        assert "digraph" in dot

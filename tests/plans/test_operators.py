@@ -1,0 +1,106 @@
+"""Unit tests for operator cost formulas (paper Section 4.3)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.plans import (
+    CostContext,
+    JoinAlgorithm,
+    block_nested_loop_cost,
+    cout_cost,
+    hash_join_cost,
+    join_cost,
+    merge_cost,
+    sort_cost,
+    sort_merge_join_cost,
+)
+
+
+class TestCostContext:
+    def test_pages_ceil_and_minimum(self):
+        context = CostContext(tuple_size=100, page_size=1000)
+        assert context.pages(25) == 3  # 2500 bytes -> 3 pages
+        assert context.pages(0) == 1.0
+        assert context.pages(1) == 1.0
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(PlanError):
+            CostContext().pages(-1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(PlanError):
+            CostContext(tuple_size=0)
+        with pytest.raises(PlanError):
+            CostContext(page_size=-1)
+        with pytest.raises(PlanError):
+            CostContext(buffer_pages=0)
+
+    def test_tuples_per_page(self):
+        context = CostContext(tuple_size=64, page_size=8192)
+        assert context.tuples_per_page == 128
+
+
+class TestFormulas:
+    def test_hash_join(self):
+        assert hash_join_cost(10, 20) == 90.0
+
+    def test_sort_merge_matches_paper_formula(self):
+        pgo, pgi = 16.0, 8.0
+        expected = (
+            2 * pgo * math.ceil(math.log2(pgo))
+            + 2 * pgi * math.ceil(math.log2(pgi))
+            + pgo
+            + pgi
+        )
+        assert sort_merge_join_cost(pgo, pgi) == expected
+
+    def test_sort_cost_zero_for_one_page(self):
+        assert sort_cost(1.0) == 0.0
+
+    def test_sort_cost_rejects_below_one_page(self):
+        with pytest.raises(PlanError):
+            sort_cost(0.5)
+
+    def test_merge_cost(self):
+        assert merge_cost(3, 4) == 7
+
+    def test_block_nested_loop(self):
+        # ceil(100 / 8) * 10 = 13 * 10
+        assert block_nested_loop_cost(100, 10, buffer_pages=8) == 130.0
+
+    def test_block_nested_loop_rejects_bad_buffer(self):
+        with pytest.raises(PlanError):
+            block_nested_loop_cost(10, 10, buffer_pages=0)
+
+    def test_cout(self):
+        assert cout_cost(42.0) == 42.0
+
+
+class TestJoinCostDispatch:
+    @pytest.fixture
+    def context(self):
+        return CostContext(tuple_size=100, page_size=1000, buffer_pages=4)
+
+    def test_hash(self, context):
+        cost = join_cost(JoinAlgorithm.HASH, 100, 50, context)
+        assert cost == 3 * (context.pages(100) + context.pages(50))
+
+    def test_sort_merge(self, context):
+        cost = join_cost(JoinAlgorithm.SORT_MERGE, 100, 50, context)
+        assert cost == sort_merge_join_cost(
+            context.pages(100), context.pages(50)
+        )
+
+    def test_bnl(self, context):
+        cost = join_cost(JoinAlgorithm.BLOCK_NESTED_LOOP, 100, 50, context)
+        assert cost == block_nested_loop_cost(
+            context.pages(100), context.pages(50), 4
+        )
+
+    def test_bigger_operands_cost_more(self, context):
+        for algorithm in JoinAlgorithm:
+            small = join_cost(algorithm, 100, 50, context)
+            large = join_cost(algorithm, 10_000, 5_000, context)
+            assert large > small

@@ -1,0 +1,72 @@
+"""Unit tests for the left-deep plan representation."""
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.plans import JoinAlgorithm, JoinStep, LeftDeepPlan
+
+
+class TestConstruction:
+    def test_from_order(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        assert plan.first_table == "R"
+        assert plan.join_order == ("R", "S", "T")
+        assert plan.num_joins == 2
+        assert all(
+            step.algorithm is JoinAlgorithm.HASH for step in plan.steps
+        )
+
+    def test_missing_table_rejected(self, rst_query):
+        with pytest.raises(PlanError):
+            LeftDeepPlan.from_order(rst_query, ["R", "S"])
+
+    def test_duplicate_table_rejected(self, rst_query):
+        with pytest.raises(PlanError):
+            LeftDeepPlan(rst_query, "R", (JoinStep("R"), JoinStep("S")))
+
+    def test_unknown_table_rejected(self, rst_query):
+        with pytest.raises(PlanError):
+            LeftDeepPlan.from_order(rst_query, ["R", "S", "X"])
+
+    def test_empty_order_rejected(self, rst_query):
+        with pytest.raises(PlanError):
+            LeftDeepPlan.from_order(rst_query, [])
+
+
+class TestAlgorithms:
+    def test_with_algorithms(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        updated = plan.with_algorithms(
+            [JoinAlgorithm.SORT_MERGE, JoinAlgorithm.BLOCK_NESTED_LOOP]
+        )
+        assert updated.steps[0].algorithm is JoinAlgorithm.SORT_MERGE
+        assert updated.steps[1].algorithm is JoinAlgorithm.BLOCK_NESTED_LOOP
+        # Original unchanged (immutability).
+        assert plan.steps[0].algorithm is JoinAlgorithm.HASH
+
+    def test_with_algorithms_length_checked(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        with pytest.raises(PlanError):
+            plan.with_algorithms([JoinAlgorithm.HASH])
+
+
+class TestOperandSets:
+    def test_outer_sets(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        assert list(plan.outer_sets()) == [
+            frozenset({"R"}),
+            frozenset({"R", "S"}),
+        ]
+
+    def test_result_sets(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        assert list(plan.result_sets()) == [
+            frozenset({"R", "S"}),
+            frozenset({"R", "S", "T"}),
+        ]
+
+    def test_describe_mentions_all_tables(self, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        text = plan.describe()
+        for name in "RST":
+            assert name in text

@@ -1,0 +1,34 @@
+"""Unit tests for plan validation helpers."""
+
+import pytest
+
+from repro.catalog import Predicate, Query, Table
+from repro.exceptions import PlanError
+from repro.plans import LeftDeepPlan, crossproduct_joins, validate_plan
+
+
+class TestValidatePlan:
+    def test_accepts_valid_plan(self, chain4_query):
+        plan = LeftDeepPlan.from_order(chain4_query, ["A", "B", "C", "D"])
+        validate_plan(plan)  # no exception
+
+    def test_cross_query_check(self, chain4_query, rst_query):
+        plan = LeftDeepPlan.from_order(rst_query, ["R", "S", "T"])
+        with pytest.raises(PlanError):
+            validate_plan(plan, chain4_query)
+
+
+class TestCrossProductJoins:
+    def test_connected_plan_has_no_cross_products(self, chain4_query):
+        plan = LeftDeepPlan.from_order(chain4_query, ["A", "B", "C", "D"])
+        assert crossproduct_joins(plan) == []
+
+    def test_detects_cross_product(self, chain4_query):
+        # Joining A then C: no predicate connects them.
+        plan = LeftDeepPlan.from_order(chain4_query, ["A", "C", "B", "D"])
+        assert 0 in crossproduct_joins(plan)
+
+    def test_predicate_free_query_is_all_cross_products(self):
+        query = Query(tables=(Table("R", 10), Table("S", 10)))
+        plan = LeftDeepPlan.from_order(query, ["R", "S"])
+        assert crossproduct_joins(plan) == [0]

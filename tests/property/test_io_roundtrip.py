@@ -1,0 +1,124 @@
+"""Property-based round-trip tests for the LP and MPS model formats.
+
+Hypothesis generates random small MILPs; writing then reading a model must
+preserve its structure and its optimum.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import (
+    Model,
+    Sense,
+    SolveStatus,
+    SolverOptions,
+    lin_sum,
+    read_lp,
+    read_mps,
+    solve_milp,
+    write_lp,
+    write_mps,
+)
+
+#: Coefficients kept small and integral so optima are numerically exact.
+coefficients = st.integers(min_value=-9, max_value=9)
+
+
+@st.composite
+def random_models(draw):
+    """A random bounded MILP with binary and continuous variables."""
+    num_binary = draw(st.integers(min_value=1, max_value=4))
+    num_continuous = draw(st.integers(min_value=0, max_value=3))
+    model = Model("random")
+    variables = [model.add_binary(f"b{i}") for i in range(num_binary)]
+    for i in range(num_continuous):
+        lb = draw(st.integers(min_value=-5, max_value=0))
+        ub = draw(st.integers(min_value=1, max_value=8))
+        variables.append(model.add_continuous(f"c{i}", lb, ub))
+
+    num_rows = draw(st.integers(min_value=1, max_value=4))
+    for row in range(num_rows):
+        coefs = [draw(coefficients) for _ in variables]
+        if not any(coefs):
+            coefs[0] = 1
+        expr = lin_sum(
+            coef * variable
+            for coef, variable in zip(coefs, variables)
+            if coef
+        )
+        sense = draw(st.sampled_from(list(Sense)))
+        # Right-hand sides biased positive so most instances are feasible.
+        rhs = draw(st.integers(min_value=0, max_value=20))
+        model.add_constraint(expr, sense, float(rhs), f"r{row}")
+
+    objective_coefs = [draw(coefficients) for _ in variables]
+    model.set_objective(
+        lin_sum(
+            coef * variable
+            for coef, variable in zip(objective_coefs, variables)
+            if coef
+        )
+    )
+    return model
+
+
+def assert_same_structure(original: Model, loaded: Model) -> None:
+    assert loaded.num_variables == original.num_variables
+    assert loaded.num_constraints == original.num_constraints
+    assert loaded.num_binary == original.num_binary
+    for variable in original.variables:
+        twin = loaded.var_by_name(variable.name)
+        assert twin.vtype is variable.vtype
+        assert twin.lb == pytest.approx(variable.lb)
+        assert twin.ub == pytest.approx(variable.ub)
+    senses = {c.name: c.sense for c in original.constraints}
+    for constraint in loaded.constraints:
+        assert constraint.sense is senses[constraint.name]
+
+
+def assert_same_optimum(original: Model, loaded: Model) -> None:
+    options = SolverOptions(time_limit=20.0)
+    first = solve_milp(original, options)
+    second = solve_milp(loaded, options)
+    assert first.status is second.status
+    if first.status is SolveStatus.OPTIMAL:
+        assert second.objective == pytest.approx(first.objective, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=random_models())
+def test_lp_round_trip_preserves_model(model, tmp_path_factory):
+    path = tmp_path_factory.mktemp("lp") / "model.lp"
+    write_lp(model, path)
+    loaded = read_lp(path)
+    assert_same_structure(model, loaded)
+    assert_same_optimum(model, loaded)
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=random_models())
+def test_mps_round_trip_preserves_model(model, tmp_path_factory):
+    path = tmp_path_factory.mktemp("mps") / "model.mps"
+    write_mps(model, path)
+    loaded = read_mps(path)
+    assert_same_structure(model, loaded)
+    assert_same_optimum(model, loaded)
+
+
+@settings(max_examples=20, deadline=None)
+@given(model=random_models())
+def test_lp_and_mps_agree(model, tmp_path_factory):
+    """Writing the same model in both formats yields the same optimum."""
+    directory = tmp_path_factory.mktemp("both")
+    write_lp(model, directory / "m.lp")
+    write_mps(model, directory / "m.mps")
+    from_lp = solve_milp(read_lp(directory / "m.lp"))
+    from_mps = solve_milp(read_mps(directory / "m.mps"))
+    assert from_lp.status is from_mps.status
+    if from_lp.status is SolveStatus.OPTIMAL:
+        assert from_mps.objective == pytest.approx(
+            from_lp.objective, abs=1e-6
+        )

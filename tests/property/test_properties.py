@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Predicate, Query, Table
+from repro.milp import LinExpr, Model, lin_sum
+from repro.plans import CardinalityModel, CostContext, LeftDeepPlan
+from repro.dp import GreedyOptimizer, SelingerOptimizer
+from repro.plans.cost import PlanCostEvaluator
+from repro.core.thresholds import ThresholdGrid
+
+# ----------------------------------------------------------------------
+# Threshold grid invariants (the approximation guarantee of Section 4.2)
+# ----------------------------------------------------------------------
+
+grid_params = st.tuples(
+    st.floats(min_value=1.1, max_value=500.0),   # tolerance
+    st.floats(min_value=0.5, max_value=80.0),    # log_upper
+)
+
+
+@given(grid_params, st.floats(min_value=0.0, max_value=80.0))
+@settings(max_examples=120, deadline=None)
+def test_grid_upper_mode_never_underestimates(params, log_value):
+    tolerance, log_upper = params
+    grid = ThresholdGrid.build(
+        log_lower=-10.0, log_upper=log_upper, tolerance=tolerance
+    )
+    if log_value > grid.log_top:
+        return  # saturation region: clamp is expected
+    approx = grid.approximate(log_value)
+    assert approx >= math.exp(log_value) * (1 - 1e-9)
+
+
+@given(grid_params, st.floats(min_value=0.1, max_value=80.0))
+@settings(max_examples=120, deadline=None)
+def test_grid_tolerance_guarantee_in_range(params, log_value):
+    tolerance, log_upper = params
+    grid = ThresholdGrid.build(
+        log_lower=-10.0, log_upper=log_upper, tolerance=tolerance
+    )
+    if not grid.covers(log_value):
+        return
+    approx = grid.approximate(log_value)
+    true_value = math.exp(log_value)
+    assert approx <= true_value * tolerance * (1 + 1e-9)
+
+
+@given(grid_params)
+@settings(max_examples=60, deadline=None)
+def test_grid_thresholds_strictly_ascending(params):
+    tolerance, log_upper = params
+    grid = ThresholdGrid.build(
+        log_lower=-10.0, log_upper=log_upper, tolerance=tolerance
+    )
+    values = grid.log_thresholds
+    assert all(b > a for a, b in zip(values, values[1:]))
+
+
+@given(grid_params)
+@settings(max_examples=60, deadline=None)
+def test_grid_deltas_nonnegative_both_modes(params):
+    tolerance, log_upper = params
+    for mode in ("upper", "lower"):
+        grid = ThresholdGrid.build(
+            log_lower=-10.0,
+            log_upper=log_upper,
+            tolerance=tolerance,
+            mode=mode,
+        )
+        base, deltas = grid.piecewise()
+        assert base >= 0.0
+        assert all(delta >= 0.0 for delta in deltas)
+
+
+# ----------------------------------------------------------------------
+# Linear expression algebra
+# ----------------------------------------------------------------------
+
+coefficients = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(coefficients, st.floats(min_value=-10, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_linexpr_evaluation_is_linear(coefs, scalar):
+    m = Model("p")
+    variables = [m.add_continuous(f"x{i}") for i in range(len(coefs))]
+    expr = lin_sum(c * v for c, v in zip(coefs, variables))
+    point = [float(i + 1) for i in range(len(coefs))]
+    direct = sum(c * p for c, p in zip(coefs, point))
+    assert expr.value(point) == (
+        sum(coefs[i] * point[i] for i in range(len(coefs)))
+    )
+    scaled = expr * scalar
+    assert scaled.value(point) == (
+        sum(c * scalar * p for c, p in zip(coefs, point))
+    ) or abs(scaled.value(point) - direct * scalar) < 1e-9
+
+
+@given(coefficients)
+@settings(max_examples=100, deadline=None)
+def test_linexpr_addition_commutes(coefs):
+    m = Model("p")
+    variables = [m.add_continuous(f"x{i}") for i in range(len(coefs))]
+    a = lin_sum(c * v for c, v in zip(coefs, variables))
+    b = lin_sum(v for v in variables)
+    left = a + b
+    right = b + a
+    assert left.coefficients == right.coefficients
+    assert left.constant == right.constant
+
+
+# ----------------------------------------------------------------------
+# Cardinality model invariants
+# ----------------------------------------------------------------------
+
+table_cards = st.lists(
+    st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=6
+)
+selectivities = st.lists(
+    st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=5
+)
+
+
+@given(table_cards, selectivities, st.randoms(use_true_random=False))
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_cardinality_monotone_in_table_sets(cards, sels, rng):
+    tables = tuple(
+        Table(f"T{i}", card) for i, card in enumerate(cards)
+    )
+    names = [t.name for t in tables]
+    predicates = []
+    for k, sel in enumerate(sels):
+        pair = rng.sample(names, 2)
+        predicates.append(Predicate(f"p{k}", tuple(pair), sel))
+    query = Query(tables=tables, predicates=tuple(predicates))
+    model = CardinalityModel(query)
+    subset = frozenset(names[:2])
+    superset = frozenset(names)
+    # Adding a table multiplies by card >= 1 and applies selectivities
+    # <= 1, so no universal monotonicity — but single-table cardinalities
+    # must match and the full set must equal the product formula.
+    for table in tables:
+        assert model.cardinality(frozenset({table.name})) == (
+            math.exp(model.effective_log_cardinality(table.name))
+        )
+    expected = sum(math.log(c) for c in cards) + sum(
+        p.log_selectivity for p in predicates
+    )
+    assert math.isclose(
+        model.log_cardinality(superset), expected, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Optimizer invariants
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["chain", "star", "cycle"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_dp_never_worse_than_greedy(seed, topology):
+    from repro.workloads import QueryGenerator
+
+    query = QueryGenerator(seed=seed).generate(topology, 6)
+    dp = SelingerOptimizer(query, use_cout=True).optimize()
+    greedy = GreedyOptimizer(query, use_cout=True).optimize()
+    assert dp.cost <= greedy.cost * (1 + 1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_plan_cost_invariant_under_reconstruction(seed):
+    from repro.workloads import QueryGenerator
+
+    query = QueryGenerator(seed=seed).generate("chain", 6)
+    evaluator = PlanCostEvaluator(query, CostContext(), use_cout=True)
+    plan = LeftDeepPlan.from_order(query, list(query.table_names))
+    rebuilt = LeftDeepPlan.from_order(query, list(plan.join_order))
+    assert evaluator.cost(plan) == evaluator.cost(rebuilt)

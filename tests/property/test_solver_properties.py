@@ -1,0 +1,116 @@
+"""Property-based validation of the branch-and-bound solver.
+
+Random small MILPs are solved both by branch-and-bound and by explicit
+enumeration of all binary assignments (with an LP for the continuous
+part) — the two must agree.
+"""
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import (
+    LPStatus,
+    Model,
+    SolveStatus,
+    SolverOptions,
+    get_backend,
+    lin_sum,
+    solve_milp,
+    to_standard_form,
+)
+
+
+def build_random_milp(seed: int) -> Model:
+    rng = np.random.default_rng(seed)
+    model = Model(f"random-{seed}")
+    num_binary = int(rng.integers(2, 5))
+    num_continuous = int(rng.integers(0, 3))
+    binaries = [model.add_binary(f"b{i}") for i in range(num_binary)]
+    continuous = [
+        model.add_continuous(f"x{i}", 0, float(rng.uniform(1, 5)))
+        for i in range(num_continuous)
+    ]
+    variables = binaries + continuous
+    for k in range(int(rng.integers(1, 4))):
+        coefficients = rng.uniform(-3, 3, size=len(variables))
+        rhs = float(rng.uniform(0.5, 6))
+        model.add_le(
+            lin_sum(
+                float(c) * v for c, v in zip(coefficients, variables)
+            ),
+            rhs,
+            f"c{k}",
+        )
+    objective = rng.uniform(-2, 2, size=len(variables))
+    model.set_objective(
+        lin_sum(float(c) * v for c, v in zip(objective, variables))
+    )
+    return model
+
+
+def enumerate_optimum(model: Model) -> float:
+    """Ground truth: try every binary assignment, LP for the rest."""
+    form = to_standard_form(model)
+    backend = get_backend("scipy")
+    binary_indices = [
+        v.index for v in model.variables if v.is_integral
+    ]
+    lb, ub = model.bounds_arrays()
+    best = math.inf
+    for assignment in itertools.product((0.0, 1.0), repeat=len(binary_indices)):
+        flb, fub = lb.copy(), ub.copy()
+        for index, value in zip(binary_indices, assignment):
+            flb[index] = fub[index] = value
+        result = backend.solve(form, flb, fub)
+        if result.status is LPStatus.OPTIMAL:
+            best = min(best, result.objective)
+    return best
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_branch_and_bound_matches_enumeration(seed):
+    model = build_random_milp(seed)
+    truth = enumerate_optimum(model)
+    solution = solve_milp(model, SolverOptions(time_limit=20.0))
+    if math.isinf(truth):
+        assert solution.status is SolveStatus.INFEASIBLE
+    else:
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == truth or math.isclose(
+            solution.objective, truth, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_simplex_backend_agrees_with_highs(seed):
+    model = build_random_milp(seed)
+    highs = solve_milp(model, SolverOptions(time_limit=20.0))
+    simplex = solve_milp(
+        model, SolverOptions(time_limit=20.0, backend="simplex")
+    )
+    assert highs.status == simplex.status
+    if highs.status is SolveStatus.OPTIMAL:
+        assert math.isclose(
+            highs.objective, simplex.objective, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_bound_is_always_valid(seed):
+    """best_bound must never exceed the true optimum."""
+    model = build_random_milp(seed)
+    truth = enumerate_optimum(model)
+    solution = solve_milp(
+        model, SolverOptions(time_limit=20.0, node_limit=3)
+    )
+    if not math.isinf(truth):
+        assert solution.best_bound <= truth + 1e-6
+        if solution.status.has_solution:
+            assert solution.objective >= truth - 1e-6

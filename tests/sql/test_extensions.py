@@ -1,0 +1,209 @@
+"""Tests for the SQL language extensions: aggregates, GROUP BY/HAVING,
+IN lists and subquery parsing (paper Section 5.5)."""
+
+import pytest
+
+from repro.catalog import Column, Table
+from repro.exceptions import QueryValidationError
+from repro.sql import (
+    AggregateRef,
+    ColumnRef,
+    Schema,
+    SqlSyntaxError,
+    parse_sql,
+    sql_to_query,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_tables([
+        Table("customers", 10_000, columns=(
+            Column("id", distinct_values=10_000),
+            Column("city", distinct_values=100),
+        )),
+        Table("orders", 200_000, columns=(
+            Column("customer_id", distinct_values=10_000),
+            Column("total"),
+            Column("status", distinct_values=5),
+        )),
+    ])
+
+
+class TestAggregateParsing:
+    def test_count_star(self):
+        statement = parse_sql("SELECT COUNT(*) FROM orders")
+        assert statement.aggregates == (
+            AggregateRef(func="count", argument=None),
+        )
+        assert statement.has_aggregates
+
+    def test_sum_of_column(self):
+        statement = parse_sql("SELECT SUM(orders.total) FROM orders")
+        aggregate = statement.aggregates[0]
+        assert aggregate.func == "sum"
+        assert aggregate.argument == ColumnRef("orders", "total")
+
+    def test_count_distinct(self):
+        statement = parse_sql(
+            "SELECT COUNT(DISTINCT customer_id) FROM orders"
+        )
+        aggregate = statement.aggregates[0]
+        assert aggregate.func == "count"
+        assert aggregate.distinct
+
+    def test_mixed_select_list(self):
+        statement = parse_sql(
+            "SELECT city, COUNT(*) FROM customers GROUP BY city"
+        )
+        assert len(statement.columns) == 1
+        assert len(statement.aggregates) == 1
+
+    def test_star_argument_restricted_to_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT SUM(*) FROM orders")
+
+    def test_aggregate_named_column_still_parses(self):
+        # An identifier called 'count' not followed by '(' is a column.
+        statement = parse_sql("SELECT count FROM orders")
+        assert statement.columns == (ColumnRef(None, "count"),)
+        assert not statement.aggregates
+
+
+class TestGroupByHaving:
+    def test_group_by_columns(self):
+        statement = parse_sql(
+            "SELECT city, COUNT(*) FROM customers GROUP BY city"
+        )
+        assert statement.group_by == (ColumnRef(None, "city"),)
+
+    def test_group_by_multiple(self):
+        statement = parse_sql(
+            "SELECT COUNT(*) FROM orders GROUP BY status, customer_id"
+        )
+        assert len(statement.group_by) == 2
+
+    def test_having_condition(self):
+        statement = parse_sql(
+            "SELECT city, COUNT(*) FROM customers GROUP BY city "
+            "HAVING COUNT(*) > 10"
+        )
+        having = statement.having[0]
+        assert having.aggregate.func == "count"
+        assert having.operator == ">"
+        assert having.value == 10.0
+
+    def test_having_conjunction(self):
+        statement = parse_sql(
+            "SELECT city FROM customers GROUP BY city "
+            "HAVING COUNT(*) > 10 AND MIN(id) < 500"
+        )
+        assert len(statement.having) == 2
+
+
+class TestInList:
+    def test_literal_in_list(self):
+        statement = parse_sql(
+            "SELECT * FROM orders WHERE status IN ('open', 'paid')"
+        )
+        in_list = statement.in_lists[0]
+        assert in_list.values == ("open", "paid")
+        assert not in_list.negated
+
+    def test_not_in_list(self):
+        statement = parse_sql(
+            "SELECT * FROM orders WHERE status NOT IN ('void')"
+        )
+        assert statement.in_lists[0].negated
+
+    def test_numeric_in_list(self):
+        statement = parse_sql(
+            "SELECT * FROM orders WHERE customer_id IN (1, 2, 3)"
+        )
+        assert statement.in_lists[0].values == (1.0, 2.0, 3.0)
+
+    def test_in_list_selectivity(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM orders WHERE status IN ('open', 'paid')", schema
+        )
+        predicate = query.predicates[0]
+        assert predicate.is_unary
+        assert predicate.selectivity == pytest.approx(2.0 / 5.0)
+
+    def test_not_in_selectivity(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM orders WHERE status NOT IN ('void')", schema
+        )
+        assert query.predicates[0].selectivity == pytest.approx(0.8)
+
+
+class TestSubqueryParsing:
+    def test_in_subquery(self):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE id IN "
+            "(SELECT customer_id FROM orders WHERE total > 100)"
+        )
+        subquery = statement.subqueries[0]
+        assert subquery.operator == "in"
+        assert subquery.column == ColumnRef(None, "id")
+        assert subquery.statement.tables[0].name == "orders"
+        assert statement.is_nested
+
+    def test_exists_subquery(self):
+        statement = parse_sql(
+            "SELECT * FROM customers c WHERE EXISTS "
+            "(SELECT * FROM orders o WHERE o.customer_id = c.id)"
+        )
+        subquery = statement.subqueries[0]
+        assert subquery.operator == "exists"
+        assert subquery.column is None
+
+    def test_not_exists_flagged(self):
+        statement = parse_sql(
+            "SELECT * FROM customers c WHERE NOT EXISTS "
+            "(SELECT * FROM orders o WHERE o.customer_id = c.id)"
+        )
+        assert statement.subqueries[0].negated
+
+    def test_nested_subquery_two_levels(self):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE id IN "
+            "(SELECT customer_id FROM orders WHERE customer_id IN "
+            "(SELECT customer_id FROM orders WHERE total > 10))"
+        )
+        inner = statement.subqueries[0].statement
+        assert inner.is_nested
+
+    def test_subquery_mixed_with_plain_predicates(self):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE city = 'Oslo' AND id IN "
+            "(SELECT customer_id FROM orders)"
+        )
+        assert len(statement.predicates) == 1
+        assert len(statement.subqueries) == 1
+
+
+class TestTranslatorIntegration:
+    def test_nested_statement_rejected_by_translator(self, schema):
+        with pytest.raises(QueryValidationError, match="unnest"):
+            sql_to_query(
+                "SELECT * FROM customers WHERE id IN "
+                "(SELECT customer_id FROM orders)",
+                schema,
+            )
+
+    def test_aggregate_arguments_become_required_columns(self, schema):
+        query = sql_to_query(
+            "SELECT city, SUM(orders.total) FROM customers, orders "
+            "WHERE customers.id = orders.customer_id "
+            "GROUP BY city",
+            schema,
+        )
+        assert ("customers", "city") in query.required_columns
+        assert ("orders", "total") in query.required_columns
+
+    def test_required_columns_deduplicated(self, schema):
+        query = sql_to_query(
+            "SELECT city FROM customers GROUP BY city", schema
+        )
+        assert query.required_columns.count(("customers", "city")) == 1

@@ -1,0 +1,109 @@
+"""Tests for histogram-driven selectivity derivation in the SQL frontend."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, Histogram, Table
+from repro.exceptions import CatalogError
+from repro.sql import Schema, sql_to_query
+
+
+@pytest.fixture
+def schema() -> Schema:
+    schema = Schema.from_tables([
+        Table("events", 10_000, columns=(
+            Column("kind", distinct_values=100),
+            Column("severity"),
+            Column("host_id", distinct_values=500),
+        )),
+        Table("hosts", 500, columns=(
+            Column("hid", distinct_values=500),
+        )),
+    ])
+    # Severity is heavily skewed towards 1.
+    severities = [1.0] * 9_000 + [float(v) for v in range(2, 1_002)]
+    schema.add_histogram(
+        "events", "severity", Histogram.equi_depth(severities, 12)
+    )
+    return schema
+
+
+class TestSchemaHistogramRegistry:
+    def test_histogram_lookup(self, schema):
+        assert schema.histogram_for("events", "severity") is not None
+        assert schema.histogram_for("events", "kind") is None
+
+    def test_unknown_table_or_column_rejected(self, schema):
+        histogram = Histogram.from_values([1.0, 2.0])
+        with pytest.raises(CatalogError):
+            schema.add_histogram("nope", "severity", histogram)
+        with pytest.raises(CatalogError):
+            schema.add_histogram("events", "nope", histogram)
+
+
+class TestSelectionSelectivity:
+    def test_skewed_equality_uses_histogram(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events WHERE severity = 1", schema
+        )
+        # ~90% of events carry severity 1; the System R default would have
+        # guessed cardinality/10.
+        assert query.predicates[0].selectivity == pytest.approx(0.9, rel=0.1)
+
+    def test_rare_equality_uses_histogram(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events WHERE severity = 900", schema
+        )
+        assert query.predicates[0].selectivity < 0.01
+
+    def test_range_uses_histogram(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events WHERE severity > 1", schema
+        )
+        assert query.predicates[0].selectivity == pytest.approx(0.1, rel=0.2)
+
+    def test_out_of_domain_value_clamps_to_minimum(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events WHERE severity = -42", schema
+        )
+        # Selectivity 0 is illegal for a Predicate; it clamps to epsilon.
+        assert 0 < query.predicates[0].selectivity <= 1e-12 * 10
+
+    def test_string_literal_falls_back_to_defaults(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events WHERE kind = 'panic'", schema
+        )
+        assert query.predicates[0].selectivity == pytest.approx(1.0 / 100)
+
+    def test_alias_resolves_to_base_table_histogram(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events e WHERE e.severity = 1", schema
+        )
+        assert query.predicates[0].selectivity == pytest.approx(0.9, rel=0.1)
+
+
+class TestJoinSelectivity:
+    def test_join_uses_both_histograms(self, schema):
+        rng = np.random.default_rng(11)
+        host_ids = rng.integers(0, 500, size=5_000).astype(float)
+        schema.add_histogram(
+            "events", "host_id", Histogram.equi_depth(host_ids, 10)
+        )
+        schema.add_histogram(
+            "hosts", "hid",
+            Histogram.from_values([float(v) for v in range(500)], 10),
+        )
+        query = sql_to_query(
+            "SELECT * FROM events, hosts WHERE events.host_id = hosts.hid",
+            schema,
+        )
+        join = query.predicates[0]
+        # Uniform 500-value domains on both sides: ~1/500.
+        assert join.selectivity == pytest.approx(1 / 500, rel=0.5)
+
+    def test_one_sided_histogram_falls_back_to_distinct(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM events, hosts WHERE events.host_id = hosts.hid",
+            schema,
+        )
+        assert query.predicates[0].selectivity == pytest.approx(1 / 500)

@@ -1,0 +1,207 @@
+"""Tests for the SQL frontend: tokenizer, parser, translation."""
+
+import pytest
+
+from repro.catalog import Column, Table
+from repro.exceptions import QueryValidationError
+from repro.sql import (
+    ColumnRef,
+    Schema,
+    SqlSyntaxError,
+    TokenType,
+    parse_sql,
+    sql_to_query,
+    tokenize,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_tables([
+        Table("users", 10_000, columns=(
+            Column("id", distinct_values=10_000),
+            Column("city", distinct_values=50),
+        )),
+        Table("orders", 200_000, columns=(
+            Column("id", distinct_values=200_000),
+            Column("user_id", distinct_values=10_000),
+            Column("total"),
+        )),
+        Table("items", 800_000, columns=(
+            Column("order_id", distinct_values=200_000),
+            Column("price"),
+        )),
+    ])
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a.b FROM t WHERE a.b >= 3")
+        kinds = [token.type for token in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert TokenType.OPERATOR in kinds
+        assert kinds[-1] is TokenType.END
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["select", "from", "where"]
+
+    def test_string_literal(self):
+        tokens = tokenize("x = 'hello world'")
+        assert tokens[2].type is TokenType.STRING
+        assert tokens[2].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("x = 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select #")
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b <> c")
+        operators = [
+            t.value for t in tokens if t.type is TokenType.OPERATOR
+        ]
+        assert operators == ["<=", "<>"]
+
+
+class TestParser:
+    def test_select_star(self):
+        statement = parse_sql("SELECT * FROM users")
+        assert statement.is_select_star
+        assert statement.tables[0].name == "users"
+
+    def test_column_list_and_aliases(self):
+        statement = parse_sql(
+            "SELECT u.city, o.total FROM users AS u, orders o"
+        )
+        assert statement.columns == (
+            ColumnRef("u", "city"), ColumnRef("o", "total"),
+        )
+        assert statement.tables[0].binding == "u"
+        assert statement.tables[1].binding == "o"
+
+    def test_where_conjunction(self):
+        statement = parse_sql(
+            "SELECT * FROM users u, orders o "
+            "WHERE u.id = o.user_id AND o.total > 100"
+        )
+        assert len(statement.predicates) == 2
+        assert statement.predicates[0].is_join
+        assert not statement.predicates[1].is_join
+        assert statement.predicates[1].right == 100.0
+
+    def test_join_on_syntax(self):
+        statement = parse_sql(
+            "SELECT * FROM users u JOIN orders o ON u.id = o.user_id"
+        )
+        assert len(statement.tables) == 2
+        assert len(statement.predicates) == 1
+        assert statement.predicates[0].is_join
+
+    def test_inner_join_syntax(self):
+        statement = parse_sql(
+            "SELECT * FROM users u INNER JOIN orders o ON u.id = o.user_id"
+        )
+        assert len(statement.predicates) == 1
+
+    def test_string_literal_predicate(self):
+        statement = parse_sql(
+            "SELECT * FROM users WHERE users.city = 'Paris'"
+        )
+        assert statement.predicates[0].right == "Paris"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM users garbage here")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT *")
+
+
+class TestTranslation:
+    def test_join_selectivity_from_distinct_counts(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM users, orders WHERE users.id = orders.user_id",
+            schema,
+        )
+        predicate = query.predicates[0]
+        assert predicate.is_binary
+        assert predicate.selectivity == pytest.approx(1.0 / 10_000)
+
+    def test_equality_selection(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM users WHERE users.city = 'Paris'", schema
+        )
+        predicate = query.predicates[0]
+        assert predicate.is_unary
+        assert predicate.selectivity == pytest.approx(1.0 / 50)
+
+    def test_range_selection_default(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM orders WHERE orders.total > 100", schema
+        )
+        assert query.predicates[0].selectivity == pytest.approx(1.0 / 3.0)
+
+    def test_unqualified_column_resolution(self, schema):
+        query = sql_to_query(
+            "SELECT city FROM users, orders WHERE city = 'Rome'", schema
+        )
+        assert query.required_columns == (("users", "city"),)
+
+    def test_ambiguous_column_rejected(self, schema):
+        with pytest.raises(QueryValidationError):
+            sql_to_query(
+                "SELECT id FROM users, orders", schema
+            )
+
+    def test_unknown_table_rejected(self, schema):
+        from repro.exceptions import CatalogError
+
+        with pytest.raises(CatalogError):
+            sql_to_query("SELECT * FROM ghosts", schema)
+
+    def test_unknown_column_rejected(self, schema):
+        with pytest.raises(QueryValidationError):
+            sql_to_query(
+                "SELECT * FROM users WHERE users.zzz = 1", schema
+            )
+
+    def test_alias_produces_renamed_table(self, schema):
+        query = sql_to_query(
+            "SELECT * FROM users u, orders o WHERE u.id = o.user_id",
+            schema,
+        )
+        assert set(query.table_names) == {"u", "o"}
+
+    def test_three_way_join_is_optimizable(self, schema):
+        from repro.dp import SelingerOptimizer
+
+        query = sql_to_query(
+            "SELECT u.city FROM users u, orders o, items i "
+            "WHERE u.id = o.user_id AND o.id = i.order_id "
+            "AND u.city = 'Oslo'",
+            schema,
+        )
+        result = SelingerOptimizer(query, use_cout=True).optimize()
+        assert result.optimal
+        # The selective users table should be joined before items.
+        order = result.plan.join_order
+        assert order.index("u") < order.index("i")
+
+    def test_end_to_end_with_milp(self, schema):
+        from repro.milp import SolverOptions
+        from repro.core import FormulationConfig, MILPJoinOptimizer
+
+        query = sql_to_query(
+            "SELECT u.city FROM users u JOIN orders o ON u.id = o.user_id",
+            schema,
+        )
+        config = FormulationConfig.medium_precision(2, cost_model="cout")
+        result = MILPJoinOptimizer(
+            config, SolverOptions(time_limit=20.0)
+        ).optimize(query)
+        assert result.plan is not None

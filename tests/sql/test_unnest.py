@@ -1,0 +1,264 @@
+"""Tests for nested-query decomposition into SPJ blocks (paper §5.5)."""
+
+import math
+
+import pytest
+
+from repro.catalog import Column, Table
+from repro.exceptions import UnnestingError
+from repro.sql import (
+    Schema,
+    decompose,
+    optimize_blocks,
+    parse_sql,
+    unnest_sql,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_tables([
+        Table("customers", 10_000, columns=(
+            Column("id", distinct_values=10_000),
+            Column("city", distinct_values=100),
+        )),
+        Table("orders", 200_000, columns=(
+            Column("customer_id", distinct_values=10_000),
+            Column("product_id", distinct_values=1_000),
+            Column("total"),
+        )),
+        Table("products", 1_000, columns=(
+            Column("pid", distinct_values=1_000),
+            Column("category", distinct_values=20),
+        )),
+    ])
+
+
+IN_QUERY = (
+    "SELECT city FROM customers WHERE id IN "
+    "(SELECT customer_id FROM orders, products "
+    " WHERE orders.product_id = products.pid AND products.category = 'toys')"
+)
+
+EXISTS_QUERY = (
+    "SELECT city FROM customers c WHERE EXISTS "
+    "(SELECT * FROM orders o WHERE o.customer_id = c.id AND o.total > 100)"
+)
+
+
+class TestDecomposeIn:
+    def test_block_tree_shape(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        assert root.num_blocks == 2
+        assert len(root.children) == 1
+        child = root.children[0]
+        assert child.name == "q_sub0"
+        assert child.derived_table is not None
+
+    def test_child_block_is_plain_spj(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        child = root.children[0]
+        assert child.query.num_tables == 2
+        names = set(child.query.table_names)
+        assert names == {"orders", "products"}
+
+    def test_outer_block_gains_derived_table_and_join(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        assert root.query.num_tables == 2  # customers + derived
+        assert "q_sub0" in root.query.table_names
+        join = [p for p in root.query.predicates if "unnest" in p.name]
+        assert len(join) == 1
+        assert set(join[0].tables) == {"customers", "q_sub0"}
+
+    def test_derived_cardinality_bounded_by_distinct(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        derived = root.children[0].derived_table
+        # At most the distinct customer_ids, at most the block output.
+        assert 1.0 <= derived.cardinality <= 10_000
+        assert derived.cardinality <= root.children[0].output_cardinality
+
+    def test_semi_join_selectivity(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        join = next(p for p in root.query.predicates if "unnest" in p.name)
+        derived = root.children[0].derived_table
+        expected = 1.0 / max(10_000.0, derived.cardinality)
+        assert join.selectivity == pytest.approx(expected)
+
+
+class TestDecomposeExists:
+    def test_correlation_becomes_join(self, schema):
+        root = unnest_sql(EXISTS_QUERY, schema, name="q")
+        assert root.num_blocks == 2
+        join = [p for p in root.query.predicates if "unnest" in p.name]
+        assert len(join) == 1
+        assert set(join[0].tables) == {"c", "q_sub0"}
+
+    def test_local_selection_stays_in_child(self, schema):
+        root = unnest_sql(EXISTS_QUERY, schema, name="q")
+        child = root.children[0]
+        assert child.query.num_tables == 1
+        assert any(p.is_unary for p in child.query.predicates)
+
+    def test_derived_table_projects_correlation_column(self, schema):
+        root = unnest_sql(EXISTS_QUERY, schema, name="q")
+        derived = root.children[0].derived_table
+        assert derived.has_column("customer_id")
+
+    def test_exists_without_correlation_rejected(self, schema):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE EXISTS "
+            "(SELECT * FROM orders WHERE total > 100)"
+        )
+        with pytest.raises(UnnestingError, match="correlation"):
+            decompose(statement, schema)
+
+    def test_non_equality_correlation_rejected(self, schema):
+        statement = parse_sql(
+            "SELECT * FROM customers c WHERE EXISTS "
+            "(SELECT * FROM orders o WHERE o.customer_id > c.id)"
+        )
+        with pytest.raises(UnnestingError, match="equality"):
+            decompose(statement, schema)
+
+
+class TestDecomposeScalar:
+    SCALAR_QUERY = (
+        "SELECT city FROM customers WHERE id <= "
+        "(SELECT MAX(customer_id) FROM orders WHERE total > 50)"
+    )
+
+    def test_scalar_subquery_parses(self, schema):
+        statement = parse_sql(self.SCALAR_QUERY)
+        subquery = statement.subqueries[0]
+        assert subquery.operator == "<="
+        assert subquery.statement.aggregates[0].func == "max"
+
+    def test_becomes_selection_not_join(self, schema):
+        root = unnest_sql(self.SCALAR_QUERY, schema, name="q")
+        assert root.num_blocks == 2
+        # No derived table joins the outer block.
+        assert root.query.num_tables == 1
+        selection = next(
+            p for p in root.query.predicates if "unnest_scalar" in p.name
+        )
+        assert selection.is_unary
+        assert selection.selectivity == pytest.approx(1.0 / 3.0)
+
+    def test_equality_uses_distinct_rule(self, schema):
+        text = (
+            "SELECT city FROM customers WHERE id = "
+            "(SELECT MAX(customer_id) FROM orders)"
+        )
+        root = unnest_sql(text, schema, name="q")
+        selection = next(
+            p for p in root.query.predicates if "unnest_scalar" in p.name
+        )
+        assert selection.selectivity == pytest.approx(1.0 / 10_000)
+
+    def test_child_block_output_is_one_row(self, schema):
+        root = unnest_sql(self.SCALAR_QUERY, schema, name="q")
+        assert root.children[0].output_cardinality == 1.0
+        assert root.children[0].derived_table is None
+
+    def test_non_scalar_projection_rejected(self, schema):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE id = "
+            "(SELECT MAX(customer_id) FROM orders GROUP BY product_id)"
+        )
+        with pytest.raises(UnnestingError, match="scalar"):
+            decompose(statement, schema)
+
+    def test_blocks_optimize_end_to_end(self, schema):
+        root = unnest_sql(self.SCALAR_QUERY, schema, name="q")
+        outcome = optimize_blocks(root)
+        assert len(outcome.plans) == 2
+        assert math.isfinite(outcome.total_cost)
+
+
+class TestRejections:
+    def test_not_in_rejected(self, schema):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE id NOT IN "
+            "(SELECT customer_id FROM orders)"
+        )
+        with pytest.raises(UnnestingError, match="anti-join"):
+            decompose(statement, schema)
+
+    def test_not_exists_rejected(self, schema):
+        statement = parse_sql(
+            "SELECT * FROM customers c WHERE NOT EXISTS "
+            "(SELECT * FROM orders o WHERE o.customer_id = c.id)"
+        )
+        with pytest.raises(UnnestingError, match="anti-join"):
+            decompose(statement, schema)
+
+    def test_in_subquery_with_two_columns_rejected(self, schema):
+        statement = parse_sql(
+            "SELECT * FROM customers WHERE id IN "
+            "(SELECT customer_id, product_id FROM orders)"
+        )
+        with pytest.raises(UnnestingError, match="exactly one"):
+            decompose(statement, schema)
+
+
+class TestMultiLevel:
+    def test_two_level_nesting(self, schema):
+        text = (
+            "SELECT city FROM customers WHERE id IN "
+            "(SELECT customer_id FROM orders WHERE product_id IN "
+            "(SELECT pid FROM products WHERE category = 'toys'))"
+        )
+        root = unnest_sql(text, schema, name="q")
+        assert root.num_blocks == 3
+        middle = root.children[0]
+        assert len(middle.children) == 1
+        leaf = middle.children[0]
+        assert leaf.query.table_names == ("products",)
+        # Bottom-up order: leaf, middle, root.
+        order = [block.name for block in root.walk_bottom_up()]
+        assert order.index(leaf.name) < order.index(middle.name)
+        assert order.index(middle.name) < order.index(root.name)
+
+    def test_two_subqueries_in_one_block(self, schema):
+        text = (
+            "SELECT city FROM customers WHERE id IN "
+            "(SELECT customer_id FROM orders) AND id IN "
+            "(SELECT customer_id FROM orders WHERE total > 5)"
+        )
+        root = unnest_sql(text, schema, name="q")
+        assert len(root.children) == 2
+        assert root.query.num_tables == 3
+
+
+class TestOptimizeBlocks:
+    def test_every_block_gets_a_plan(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        outcome = optimize_blocks(root)
+        assert len(outcome.plans) == root.num_blocks
+        for plan in outcome.plans:
+            assert plan.result.plan is not None
+        assert math.isfinite(outcome.total_cost)
+
+    def test_plan_lookup_by_name(self, schema):
+        root = unnest_sql(IN_QUERY, schema, name="q")
+        outcome = optimize_blocks(root)
+        assert outcome.plan_for("q_sub0").block.name == "q_sub0"
+        with pytest.raises(KeyError):
+            outcome.plan_for("missing")
+
+    def test_custom_optimizer_is_used(self, schema):
+        class CountingOptimizer:
+            def __init__(self):
+                self.calls = 0
+
+            def optimize(self, query):
+                self.calls += 1
+                from repro.core.optimizer import optimize_query
+
+                return optimize_query(query, time_limit=10.0)
+
+        root = unnest_sql(EXISTS_QUERY, schema, name="q")
+        counting = CountingOptimizer()
+        outcome = optimize_blocks(root, optimizer=counting)
+        assert counting.calls == root.num_blocks
+        assert math.isfinite(outcome.total_cost)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.catalog import load_query
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_query_json(self, tmp_path, capsys):
+        path = tmp_path / "q.json"
+        code = main([
+            "generate", str(path), "--topology", "chain",
+            "--tables", "5", "--seed", "3",
+        ])
+        assert code == 0
+        query = load_query(path)
+        assert query.num_tables == 5
+        assert query.topology == "chain"
+
+
+class TestOptimize:
+    def test_random_query_optimization(self, capsys):
+        code = main([
+            "optimize", "--topology", "star", "--tables", "4",
+            "--precision", "low", "--cost-model", "cout",
+            "--time-limit", "15", "--check-dp",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "plan:" in captured.out
+        assert "guaranteed factor:" in captured.out
+        assert "DP optimum:" in captured.out
+
+    def test_query_file_and_artifacts(self, tmp_path, capsys):
+        query_path = tmp_path / "q.json"
+        main(["generate", str(query_path), "--tables", "4", "--seed", "1"])
+        lp_path = tmp_path / "model.lp"
+        plan_path = tmp_path / "plan.json"
+        code = main([
+            "optimize", "--query", str(query_path),
+            "--precision", "low", "--cost-model", "cout",
+            "--time-limit", "15",
+            "--export-lp", str(lp_path),
+            "--save-plan", str(plan_path),
+        ])
+        assert code == 0
+        assert lp_path.exists()
+        assert plan_path.exists()
+        from repro.catalog import load_plan
+
+        plan = load_plan(plan_path)
+        assert plan.num_joins == 3
+
+    def test_explain_and_dot(self, tmp_path, capsys):
+        dot_path = tmp_path / "plan.dot"
+        code = main([
+            "optimize", "--tables", "3", "--precision", "low",
+            "--cost-model", "cout", "--time-limit", "15",
+            "--explain", "--export-dot", str(dot_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "-> Join" in captured.out
+        assert dot_path.read_text().startswith("digraph plan {")
+
+    def test_export_mps(self, tmp_path, capsys):
+        mps_path = tmp_path / "model.mps"
+        code = main([
+            "optimize", "--tables", "3", "--precision", "low",
+            "--cost-model", "cout", "--time-limit", "15",
+            "--export-mps", str(mps_path),
+        ])
+        assert code == 0
+        assert mps_path.exists()
+        from repro.milp import read_mps
+
+        loaded = read_mps(mps_path)
+        assert loaded.num_variables > 0
+
+    def test_portfolio_flag(self, capsys):
+        code = main([
+            "optimize", "--tables", "3", "--precision", "low",
+            "--cost-model", "cout", "--time-limit", "20",
+            "--portfolio",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "plan:" in captured.out
+
+    def test_cold_start_flag(self, capsys):
+        code = main([
+            "optimize", "--tables", "3", "--precision", "low",
+            "--cost-model", "cout", "--time-limit", "15",
+            "--no-warm-start",
+        ])
+        assert code == 0
+
+
+class TestHarnessPassthrough:
+    def test_figure1_subcommand(self, capsys):
+        code = main([
+            "figure1", "--sizes", "4", "--seeds", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 1" in captured.out

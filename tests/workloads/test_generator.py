@@ -1,0 +1,93 @@
+"""Unit tests for the Steinbrunn-style query generator."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import GeneratorConfig, QueryGenerator
+
+
+class TestTopologies:
+    @pytest.mark.parametrize(
+        "topology", ["chain", "star", "cycle", "clique"]
+    )
+    def test_shapes_classified_correctly(self, topology):
+        query = QueryGenerator(seed=5).generate(topology, 8)
+        assert query.topology == topology
+
+    def test_grid_is_connected(self):
+        query = QueryGenerator(seed=5).generate("grid", 9)
+        assert query.is_connected
+
+    def test_edge_counts(self):
+        generator = QueryGenerator(seed=0)
+        assert generator.generate("chain", 10).num_predicates == 9
+        assert generator.generate("star", 10).num_predicates == 9
+        assert generator.generate("cycle", 10).num_predicates == 10
+        assert generator.generate("clique", 10).num_predicates == 45
+
+    def test_single_table(self):
+        query = QueryGenerator(seed=0).generate("chain", 1)
+        assert query.num_tables == 1
+        assert query.num_predicates == 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(WorkloadError):
+            QueryGenerator(seed=0).generate("hypercube", 5)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            QueryGenerator(seed=0).generate("chain", 0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_query(self):
+        first = QueryGenerator(seed=42).generate("star", 10)
+        second = QueryGenerator(seed=42).generate("star", 10)
+        assert [t.cardinality for t in first.tables] == [
+            t.cardinality for t in second.tables
+        ]
+        assert [p.selectivity for p in first.predicates] == [
+            p.selectivity for p in second.predicates
+        ]
+
+    def test_different_seeds_differ(self):
+        first = QueryGenerator(seed=1).generate("star", 10)
+        second = QueryGenerator(seed=2).generate("star", 10)
+        assert [t.cardinality for t in first.tables] != [
+            t.cardinality for t in second.tables
+        ]
+
+    def test_batch_generates_distinct_queries(self):
+        batch = QueryGenerator(seed=7).generate_batch("chain", 6, 3)
+        assert len(batch) == 3
+        cards = [tuple(t.cardinality for t in q.tables) for q in batch]
+        assert len(set(cards)) == 3
+
+
+class TestStatisticsRanges:
+    def test_cardinalities_within_range(self):
+        config = GeneratorConfig(card_range=(50, 500))
+        generator = QueryGenerator(seed=3, config=config)
+        query = generator.generate("chain", 20)
+        for table in query.tables:
+            assert 50 <= table.cardinality <= 500
+
+    def test_selectivities_within_range(self):
+        config = GeneratorConfig(selectivity_range=(0.01, 0.1))
+        generator = QueryGenerator(seed=3, config=config)
+        query = generator.generate("clique", 10)
+        for predicate in query.predicates:
+            assert 0.01 <= predicate.selectivity <= 0.1
+
+    def test_columns_generated(self):
+        config = GeneratorConfig(columns_per_table=3)
+        query = QueryGenerator(seed=3, config=config).generate("chain", 4)
+        assert all(len(t.columns) == 3 for t in query.tables)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(card_range=(100, 10))
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(selectivity_range=(0.0, 0.5))
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(columns_per_table=0)

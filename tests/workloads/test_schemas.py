@@ -1,0 +1,70 @@
+"""Unit tests for the TPC-H-like and JOB-like synthetic schemas."""
+
+import pytest
+
+from repro.dp import SelingerOptimizer
+from repro.workloads import job, tpch
+
+
+class TestTpch:
+    def test_all_queries_valid(self):
+        for query in tpch.all_queries():
+            assert query.num_tables >= 3
+            assert query.is_connected
+
+    def test_q3_shape(self):
+        query = tpch.q3_like()
+        assert query.num_tables == 3
+        assert query.topology == "chain"
+
+    def test_q5_contains_cycle(self):
+        query = tpch.q5_like()
+        assert query.num_tables == 6
+        # The c_nationkey = s_nationkey edge closes a cycle.
+        assert query.topology == "other"
+
+    def test_scale_factor_scales_cardinalities(self):
+        small = tpch.q3_like(scale_factor=0.01)
+        full = tpch.q3_like(scale_factor=1.0)
+        assert (
+            small.table("lineitem").cardinality
+            < full.table("lineitem").cardinality
+        )
+
+    def test_fk_selectivities(self):
+        query = tpch.q3_like()
+        predicate = query.predicate("c_o")
+        assert predicate.selectivity == pytest.approx(1.0 / 150_000)
+
+    def test_optimizable(self):
+        query = tpch.q3_like(scale_factor=0.1)
+        result = SelingerOptimizer(query, use_cout=True).optimize()
+        assert result.optimal
+
+
+class TestJob:
+    def test_all_queries_valid(self):
+        for query in job.all_queries():
+            assert query.is_connected
+
+    def test_star_width_configurable(self):
+        narrow = job.job_star_like(3)
+        wide = job.job_star_like(8)
+        assert narrow.num_tables == 4
+        assert wide.num_tables == 9
+        assert narrow.topology == "star"
+
+    def test_correlated_query_carries_group(self):
+        query = job.job_correlated_like()
+        assert query.correlated_groups
+        group = query.correlated_groups[0]
+        assert group.correction > 1.0
+
+    def test_optimizable(self):
+        result = SelingerOptimizer(
+            job.job_1a_like(), use_cout=True
+        ).optimize()
+        assert result.optimal
+        # Small dimension tables should be joined early.
+        order = result.plan.join_order
+        assert order.index("company_type") < order.index("title")
