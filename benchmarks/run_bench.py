@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Perf-trajectory entry point: emits ``BENCH_milp.json``.
+
+Runs the Figure-2 query shapes through the MILP optimizer with default
+options (auto backend, warm-started node LPs) and records per-query
+solver metrics — solve time, node count, LP solves/pivots/time — plus
+the warm-vs-cold LP replay micro-benchmark.  Future PRs compare their
+numbers against the committed history to catch perf regressions.
+
+Usage::
+
+    python benchmarks/run_bench.py [--out PATH] [--sizes 4 5] [--seeds 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import FormulationConfig  # noqa: E402
+from repro.core.optimizer import MILPJoinOptimizer  # noqa: E402
+from repro.milp.branch_and_bound import SolverOptions  # noqa: E402
+from repro.workloads import QueryGenerator  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_milp.json"
+TOPOLOGIES = ("chain", "star", "cycle")
+
+
+def run_query(topology: str, num_tables: int, seed: int, budget: float):
+    query = QueryGenerator(seed=seed).generate(topology, num_tables)
+    optimizer = MILPJoinOptimizer(
+        FormulationConfig.high_precision(),
+        SolverOptions(time_limit=budget),
+    )
+    started = time.perf_counter()
+    result = optimizer.optimize(query)
+    elapsed = time.perf_counter() - started
+    milp = result.milp_solution
+    return {
+        "topology": topology,
+        "tables": num_tables,
+        "seed": seed,
+        "status": result.status.value,
+        "objective": result.objective,
+        "best_bound": result.best_bound,
+        "optimality_factor": result.optimality_factor,
+        "wall_time": elapsed,
+        "solve_time": result.solve_time,
+        "nodes": milp.node_count if milp else 0,
+        "lp_solves": milp.lp_solves if milp else 0,
+        "lp_pivots": milp.lp_pivots if milp else 0,
+        "lp_time": milp.lp_time if milp else 0.0,
+    }
+
+
+def warmstart_micro(topology: str, num_tables: int):
+    from test_lp_warmstart import record_node_sequence, replay
+
+    form, sequence = record_node_sequence(topology, num_tables)
+    cold_time, cold_pivots, _ = replay(form, sequence, warm=False)
+    warm_time, warm_pivots, _ = replay(form, sequence, warm=True)
+    return {
+        "topology": topology,
+        "tables": num_tables,
+        "node_lps": len(sequence),
+        "cold_time": cold_time,
+        "cold_pivots": cold_pivots,
+        "warm_time": warm_time,
+        "warm_pivots": warm_pivots,
+        "speedup": cold_time / max(warm_time, 1e-9),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[4, 5, 6],
+        help="query sizes (number of tables)",
+    )
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--budget", type=float, default=10.0)
+    parser.add_argument(
+        "--skip-micro", action="store_true",
+        help="skip the warm-vs-cold LP replay micro-benchmark",
+    )
+    args = parser.parse_args(argv)
+
+    queries = []
+    for topology in TOPOLOGIES:
+        for size in args.sizes:
+            for seed in range(args.seeds):
+                row = run_query(topology, size, seed, args.budget)
+                queries.append(row)
+                print(
+                    f"{topology}-{size} seed{seed}: {row['status']} "
+                    f"in {row['wall_time']:.2f}s, {row['nodes']} nodes, "
+                    f"{row['lp_solves']} LPs, {row['lp_pivots']} pivots"
+                )
+
+    micro = []
+    if not args.skip_micro:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        for topology in ("chain", "star"):
+            row = warmstart_micro(topology, 5)
+            micro.append(row)
+            print(
+                f"warmstart {topology}-5: {row['speedup']:.1f}x "
+                f"({row['cold_pivots']} -> {row['warm_pivots']} pivots)"
+            )
+
+    payload = {
+        "benchmark": "BENCH_milp",
+        "config": {
+            "sizes": args.sizes,
+            "seeds": args.seeds,
+            "budget": args.budget,
+        },
+        "queries": queries,
+        "warmstart_micro": micro,
+        "totals": {
+            "lp_pivots": sum(q["lp_pivots"] for q in queries),
+            "lp_solves": sum(q["lp_solves"] for q in queries),
+            "lp_time": sum(q["lp_time"] for q in queries),
+            "nodes": sum(q["nodes"] for q in queries),
+            "wall_time": sum(q["wall_time"] for q in queries),
+        },
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

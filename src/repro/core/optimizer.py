@@ -6,6 +6,11 @@ solve it with the generic MILP solver
 (:class:`~repro.milp.branch_and_bound.BranchAndBoundSolver`), read the
 solution out into a query plan (:mod:`repro.core.extraction`) — with the
 solver's anytime event stream exposed for the Figure 2 experiments.
+
+The default solver options use ``backend="auto"``: node LP relaxations of
+small formulations run on the warm-start capable revised simplex (each
+branch-and-bound node re-optimizes from its parent's basis with a few
+dual-simplex pivots), larger ones on scipy/HiGHS.
 """
 
 from __future__ import annotations
@@ -193,6 +198,18 @@ class MILPJoinOptimizer:
             values=dict(outcome.values),
             node_count=sum(
                 member.node_count
+                for member in outcome.member_results.values()
+            ),
+            lp_solves=sum(
+                member.lp_solves
+                for member in outcome.member_results.values()
+            ),
+            lp_pivots=sum(
+                member.lp_pivots
+                for member in outcome.member_results.values()
+            ),
+            lp_time=sum(
+                member.lp_time
                 for member in outcome.member_results.values()
             ),
             solve_time=outcome.solve_time,

@@ -2,9 +2,10 @@
 
 The paper solves its formulation with Gurobi; this package is the
 self-contained replacement: a model-building API (:class:`Model`,
-:class:`LinExpr`), LP relaxation backends (scipy HiGHS and a dense simplex),
-presolve, and an anytime branch-and-bound search
-(:class:`BranchAndBoundSolver`).
+:class:`LinExpr`), LP relaxation backends (scipy HiGHS and a warm-start
+capable revised simplex), presolve, and an anytime branch-and-bound search
+(:class:`BranchAndBoundSolver`) that re-optimizes each node from its
+parent's basis.
 """
 
 from repro.milp.branch_and_bound import (
@@ -21,6 +22,7 @@ from repro.milp.lp_backend import (
     LPResult,
     LPStatus,
     ScipyHighsBackend,
+    SimplexBasis,
     get_backend,
 )
 from repro.milp.model import FEASIBILITY_TOL, Model
@@ -33,7 +35,7 @@ from repro.milp.portfolio import (
     solve_portfolio,
 )
 from repro.milp.presolve import PresolveResult, presolve
-from repro.milp.simplex import DenseSimplexBackend
+from repro.milp.simplex import DenseSimplexBackend, RevisedSimplexBackend
 from repro.milp.solution import (
     IncumbentEvent,
     MILPSolution,
@@ -64,8 +66,10 @@ __all__ = [
     "PortfolioResult",
     "PortfolioSolver",
     "PresolveResult",
+    "RevisedSimplexBackend",
     "ScipyHighsBackend",
     "Sense",
+    "SimplexBasis",
     "SolveStatus",
     "SolverOptions",
     "StandardForm",

@@ -13,8 +13,14 @@ provides the solver features the paper's argument rests on:
 * **primal heuristics** — LP rounding with fix-and-solve, plus iterative
   diving, to find incumbents early.
 
-LP relaxations are delegated to a pluggable backend (HiGHS via scipy by
-default, or the self-contained dense simplex).
+LP relaxations are delegated to a pluggable backend.  The default
+(``backend="auto"``) picks the self-contained revised simplex for small
+models and HiGHS via scipy for large ones.  When the backend supports warm
+starts (:attr:`LPBackend.supports_warm_start`), every node LP is seeded
+with its parent's optimal basis: a branching bound change leaves that
+basis dual-feasible, so the re-optimization typically takes a handful of
+dual-simplex pivots instead of a cold solve.  Diving and fix-and-solve
+heuristic re-solves warm-start the same way.
 """
 
 from __future__ import annotations
@@ -30,7 +36,15 @@ import numpy as np
 
 from repro.exceptions import SolverError
 from repro.milp.cuts import CutGenerator, append_cuts
-from repro.milp.lp_backend import LPBackend, LPStatus, get_backend
+from repro.milp.lp_backend import (
+    LPBackend,
+    LPResult,
+    LPStatus,
+    ScipyHighsBackend,
+    SimplexBasis,
+    get_backend,
+)
+from repro.milp.simplex import RevisedSimplexBackend
 from repro.milp.model import Model
 from repro.milp.presolve import presolve
 from repro.milp.solution import (
@@ -57,7 +71,14 @@ class SolverOptions:
     integrality_tol:
         Distance from an integer under which a value counts as integral.
     backend:
-        LP backend name (``"scipy"`` or ``"simplex"``).
+        LP backend name (``"auto"``, ``"scipy"`` or ``"simplex"``).
+        ``"auto"`` uses the warm-start capable revised simplex for models
+        up to :data:`AUTO_SIMPLEX_MAX_VARS` variables and scipy/HiGHS
+        beyond that.
+    lp_warm_start:
+        Seed each node LP with the parent node's optimal basis when the
+        backend supports it (dual-simplex re-optimization).  Disable for
+        A/B measurements of the warm-start speedup.
     use_presolve:
         Run bound-propagation presolve before the search.
     heuristics:
@@ -87,7 +108,8 @@ class SolverOptions:
     node_limit: int | None = None
     gap_tolerance: float = 1e-6
     integrality_tol: float = 1e-6
-    backend: str = "scipy"
+    backend: str = "auto"
+    lp_warm_start: bool = True
     use_presolve: bool = True
     heuristics: bool = True
     dive_frequency: int = 40
@@ -98,6 +120,13 @@ class SolverOptions:
     max_cut_rounds: int = 8
     max_cuts_per_round: int = 50
     stop_check: Callable[[], bool] | None = None
+
+
+#: ``backend="auto"``: largest variable count routed to the revised
+#: simplex (above it, scipy/HiGHS wins despite cold node solves; measured
+#: on the Figure-2 chain/star workloads, crossover is between the 120-
+#: and 172-variable formulations).
+AUTO_SIMPLEX_MAX_VARS = 150
 
 
 @dataclass(slots=True)
@@ -122,7 +151,24 @@ class BranchAndBoundSolver:
     def __init__(self, model: Model, options: SolverOptions | None = None):
         self.model = model
         self.options = options or SolverOptions()
-        self._backend: LPBackend = get_backend(self.options.backend)
+        backend_name = self.options.backend
+        if backend_name == "auto":
+            backend_name = (
+                "simplex"
+                if model.num_variables <= AUTO_SIMPLEX_MAX_VARS
+                else "scipy"
+            )
+        self._backend: LPBackend = get_backend(backend_name)
+        self._warm_lp = (
+            self.options.lp_warm_start and self._backend.supports_warm_start
+        )
+        # When the revised simplex hits numerical trouble on one node it
+        # returns ERROR; a per-solve fallback to HiGHS keeps the search
+        # complete instead of dropping the subtree.
+        self._fallback_backend: LPBackend | None = None
+        self._lp_solves = 0
+        self._lp_pivots = 0
+        self._lp_time = 0.0
         self._form: StandardForm = to_standard_form(model)
         self._integral = self._form.integral_indices
         self._priorities = np.array(
@@ -195,7 +241,7 @@ class BranchAndBoundSolver:
                 record("incumbent", incumbent_obj, -math.inf)
 
         # ----- root relaxation ------------------------------------------
-        root_result = self._backend.solve(self._form, root_lb, root_ub)
+        root_result = self._solve_lp(root_lb, root_ub)
         if root_result.status is LPStatus.INFEASIBLE:
             return MILPSolution(
                 status=SolveStatus.INFEASIBLE,
@@ -204,6 +250,9 @@ class BranchAndBoundSolver:
                 node_count=1,
                 solve_time=elapsed(),
                 events=events,
+                lp_solves=self._lp_solves,
+                lp_pivots=self._lp_pivots,
+                lp_time=self._lp_time,
             )
         if root_result.status is LPStatus.UNBOUNDED:
             return MILPSolution(
@@ -213,6 +262,9 @@ class BranchAndBoundSolver:
                 node_count=1,
                 solve_time=elapsed(),
                 events=events,
+                lp_solves=self._lp_solves,
+                lp_pivots=self._lp_pivots,
+                lp_time=self._lp_time,
             )
         if root_result.status is LPStatus.ERROR:
             raise SolverError(f"root LP failed: {root_result.message}")
@@ -266,7 +318,9 @@ class BranchAndBoundSolver:
                 self._fix_and_solve_up,
                 self._dive,
             ):
-                candidate = heuristic(root_result.x, root_lb, root_ub)
+                candidate = heuristic(
+                    root_result.x, root_lb, root_ub, root_result.basis
+                )
                 if candidate is None:
                     continue
                 objective = self.model.objective_value(candidate)
@@ -277,8 +331,8 @@ class BranchAndBoundSolver:
 
         # ----- tree search -----------------------------------------------
         root = _Node(None, -1, 0.0, 0.0, 0, root_result.objective)
-        open_nodes: list[tuple[float, int, _Node, np.ndarray]] = []
-        self._push(open_nodes, root, root_result.x)
+        open_nodes: list = []
+        self._push(open_nodes, root, root_result.x, root_result.basis)
         reached_limit = False
         # Nodes dropped because their LP solve errored: the search remains
         # sound only if the final bound and status account for them.
@@ -293,7 +347,7 @@ class BranchAndBoundSolver:
                 global_bound = min(global_bound, incumbent_obj)
                 break
 
-            node, parent_x = self._pop(open_nodes)
+            node, parent_x, parent_basis = self._pop(open_nodes)
             new_bound = self._best_open_bound(open_nodes, node.lp_bound)
             if new_bound > global_bound + 1e-12:
                 global_bound = min(new_bound, incumbent_obj)
@@ -303,7 +357,7 @@ class BranchAndBoundSolver:
 
             node_count += 1
             lb, ub = self._node_bounds(node, root_lb, root_ub)
-            result = self._backend.solve(self._form, lb, ub)
+            result = self._solve_lp(lb, ub, parent_basis)
             if result.status is LPStatus.ERROR:
                 # Drop the node but remember that this subtree was never
                 # explored: its best possible objective is node.lp_bound,
@@ -329,7 +383,7 @@ class BranchAndBoundSolver:
                 and self.options.dive_frequency
                 and node_count % self.options.dive_frequency == 0
             ):
-                candidate = self._dive(result.x, lb, ub)
+                candidate = self._dive(result.x, lb, ub, result.basis)
                 if candidate is not None:
                     objective = self.model.objective_value(candidate)
                     if objective < incumbent_obj - 1e-9:
@@ -349,7 +403,7 @@ class BranchAndBoundSolver:
             )
             for child in (down, up):
                 if child.lb <= child.ub:
-                    self._push(open_nodes, child, result.x)
+                    self._push(open_nodes, child, result.x, result.basis)
 
         solve_time = elapsed()
         if open_nodes:
@@ -383,6 +437,48 @@ class BranchAndBoundSolver:
         )
 
     # ------------------------------------------------------------------
+    # LP solves
+    # ------------------------------------------------------------------
+
+    def _solve_lp(
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: SimplexBasis | None = None,
+        form: StandardForm | None = None,
+    ) -> LPResult:
+        """One backend solve with warm-start threading and accounting.
+
+        ``basis`` is the parent node's optimal basis (ignored when warm
+        starting is off or unsupported); the backend itself falls back to
+        a cold solve on any basis/form mismatch.
+        """
+        started = time.monotonic()
+        target_form = form if form is not None else self._form
+        result = self._backend.solve(
+            target_form,
+            lb,
+            ub,
+            basis=basis if self._warm_lp else None,
+        )
+        self._lp_pivots += result.iterations
+        self._lp_solves += 1
+        if result.status in (
+            LPStatus.ERROR,
+            LPStatus.UNBOUNDED,
+        ) and isinstance(self._backend, RevisedSimplexBackend):
+            # ERROR: numerical trouble (includes infeasibility claims the
+            # backend could not self-certify — see _certified_infeasible).
+            # UNBOUNDED: have HiGHS confirm before the search acts on it.
+            # Either way this is a second, counted LP solve.
+            if self._fallback_backend is None:
+                self._fallback_backend = ScipyHighsBackend()
+            result = self._fallback_backend.solve(target_form, lb, ub)
+            self._lp_solves += 1
+        self._lp_time += time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------------
     # Root cutting planes
     # ------------------------------------------------------------------
 
@@ -412,8 +508,10 @@ class BranchAndBoundSolver:
             )
             if not cuts:
                 break
+            # The cut-extended form has extra rows, so the previous basis
+            # signature no longer matches: the backend solves cold.
             candidate_form = append_cuts(self._form, cuts)
-            result = self._backend.solve(candidate_form, root_lb, root_ub)
+            result = self._solve_lp(root_lb, root_ub, form=candidate_form)
             if result.status is not LPStatus.OPTIMAL:
                 # Numerical trouble: keep the previous relaxation.
                 break
@@ -434,10 +532,19 @@ class BranchAndBoundSolver:
     # Node bookkeeping
     # ------------------------------------------------------------------
 
-    def _push(self, heap, node: _Node, parent_x: np.ndarray) -> None:
-        heapq.heappush(heap, (node.lp_bound, next(self._tick), node, parent_x))
+    def _push(
+        self,
+        heap,
+        node: _Node,
+        parent_x: np.ndarray,
+        parent_basis: SimplexBasis | None,
+    ) -> None:
+        heapq.heappush(
+            heap,
+            (node.lp_bound, next(self._tick), node, parent_x, parent_basis),
+        )
 
-    def _pop(self, heap) -> tuple[_Node, np.ndarray]:
+    def _pop(self, heap) -> tuple[_Node, np.ndarray, "SimplexBasis | None"]:
         if self.options.node_selection == "dfs":
             # Emulate DFS by preferring the deepest most recent node.
             best = max(range(len(heap)), key=lambda i: (heap[i][2].depth, heap[i][1]))
@@ -445,9 +552,9 @@ class BranchAndBoundSolver:
             heap[best] = heap[-1]
             heap.pop()
             heapq.heapify(heap)
-            return entry[2], entry[3]
-        _, __, node, parent_x = heapq.heappop(heap)
-        return node, parent_x
+            return entry[2], entry[3], entry[4]
+        _, __, node, parent_x, parent_basis = heapq.heappop(heap)
+        return node, parent_x, parent_basis
 
     @staticmethod
     def _best_open_bound(heap, popped_bound: float) -> float:
@@ -541,13 +648,20 @@ class BranchAndBoundSolver:
     # ------------------------------------------------------------------
 
     def _fix_and_solve(
-        self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray, mode: str = "nearest"
+        self,
+        x: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: SimplexBasis | None = None,
+        mode: str = "nearest",
     ) -> np.ndarray | None:
         """Round all integral variables and re-solve for the continuous ones.
 
         ``mode="up"`` takes ceilings instead of nearest rounding — useful
         for indicator-style flags whose activation rows only force them
-        upward (rounding up preserves feasibility of those rows).
+        upward (rounding up preserves feasibility of those rows).  The
+        re-solve warm-starts from ``basis`` (fixing variables is a bound
+        change, so the basis stays dual-feasible).
         """
         if not self._integral.size:
             return None
@@ -561,21 +675,33 @@ class BranchAndBoundSolver:
         rounded = np.clip(rounded, lb[self._integral], ub[self._integral])
         fixed_lb[self._integral] = rounded
         fixed_ub[self._integral] = rounded
-        result = self._backend.solve(self._form, fixed_lb, fixed_ub)
+        result = self._solve_lp(fixed_lb, fixed_ub, basis)
         if result.status is LPStatus.OPTIMAL and self.model.is_feasible(result.x):
             return result.x
         return None
 
     def _fix_and_solve_up(
-        self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray
+        self,
+        x: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: SimplexBasis | None = None,
     ) -> np.ndarray | None:
         """Ceiling-rounding variant of :meth:`_fix_and_solve`."""
-        return self._fix_and_solve(x, lb, ub, mode="up")
+        return self._fix_and_solve(x, lb, ub, basis, mode="up")
 
     def _dive(
-        self, x: np.ndarray, lb: np.ndarray, ub: np.ndarray
+        self,
+        x: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: SimplexBasis | None = None,
     ) -> np.ndarray | None:
-        """Iteratively fix the most fractional variable and re-solve."""
+        """Iteratively fix the most fractional variable and re-solve.
+
+        Each fixing is a bound tightening, so every re-solve in the dive
+        warm-starts from the basis of the previous one.
+        """
         lb = lb.copy()
         ub = ub.copy()
         current = x
@@ -592,7 +718,7 @@ class BranchAndBoundSolver:
             target = min(max(target, lb[index]), ub[index])
             saved_lb, saved_ub = lb[index], ub[index]
             lb[index] = ub[index] = target
-            result = self._backend.solve(self._form, lb, ub)
+            result = self._solve_lp(lb, ub, basis)
             if result.status is not LPStatus.OPTIMAL:
                 # Flip to the other side once; abort the dive on failure.
                 other = saved_ub if target == saved_lb else saved_lb
@@ -605,10 +731,11 @@ class BranchAndBoundSolver:
                 if other == target:
                     return None
                 lb[index] = ub[index] = other
-                result = self._backend.solve(self._form, lb, ub)
+                result = self._solve_lp(lb, ub, basis)
                 if result.status is not LPStatus.OPTIMAL:
                     return None
             current = result.x
+            basis = result.basis
         return None
 
     # ------------------------------------------------------------------
@@ -661,6 +788,9 @@ class BranchAndBoundSolver:
             node_count=node_count,
             solve_time=solve_time,
             events=events,
+            lp_solves=self._lp_solves,
+            lp_pivots=self._lp_pivots,
+            lp_time=self._lp_time,
         )
 
 

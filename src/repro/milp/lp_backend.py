@@ -1,16 +1,41 @@
-"""LP relaxation backends.
+"""LP relaxation backends and the warm-start contract.
 
 The branch-and-bound solver is backend-agnostic: it calls ``solve`` on an
-:class:`LPBackend` with per-node bound vectors.  The default backend wraps
-scipy's HiGHS implementation; :mod:`repro.milp.simplex` provides a
-self-contained dense simplex used as a fallback and as a cross-check in
-tests.
+:class:`LPBackend` with per-node bound vectors.  Two backends exist:
+
+* :class:`ScipyHighsBackend` wraps ``scipy.optimize.linprog`` (HiGHS).  It
+  is robust and fast on large models but solves every node from scratch.
+* :class:`~repro.milp.simplex.RevisedSimplexBackend` is the self-contained
+  revised simplex with bounded variables.  It supports **warm starts**: a
+  :class:`SimplexBasis` returned from one solve can seed the next.
+
+Warm-start contract
+-------------------
+``solve(form, lb, ub, basis=None)`` may be given the :attr:`LPResult.basis`
+of a *previous* solve of the **same** :class:`StandardForm` object (or an
+equal-shaped one).  The contract is:
+
+* The basis is advisory.  A backend that cannot use it (wrong backend,
+  shape mismatch after cuts were appended, numerically singular) silently
+  falls back to a cold solve; correctness never depends on the basis.
+* Bound changes between solves are unrestricted.  Branch-and-bound only
+  tightens bounds, which leaves the parent basis dual-feasible, so the
+  re-optimization is a short dual-simplex run (often zero pivots); but the
+  backend must also produce correct answers for arbitrary new bounds.
+* ``LPResult.basis`` of an ``OPTIMAL`` result is always reusable for the
+  same form; for other statuses it may be ``None``.
+* ``LPResult.iterations`` counts simplex pivots (0 for backends that do
+  not report them), which branch-and-bound aggregates into
+  ``MILPSolution.lp_pivots`` for the benchmark trajectory.
+
+Backends advertise warm-start support via :attr:`LPBackend.supports_warm_start`
+so the solver can skip threading bases through backends that ignore them.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import linprog
@@ -29,16 +54,44 @@ class LPStatus(enum.Enum):
 
 
 @dataclass(frozen=True, slots=True)
+class SimplexBasis:
+    """A simplex basis snapshot: the warm-start token.
+
+    Attributes
+    ----------
+    basic:
+        Indices of the ``m`` basic columns in the backend's internal
+        column layout (structural variables followed by one slack per
+        row).  Opaque to callers: thread it back into ``solve``.
+    status:
+        Per-column nonbasic status (``BASIC``/``AT_LOWER``/``AT_UPPER``/
+        ``FREE`` from :mod:`repro.milp.simplex`).
+    signature:
+        ``(num_le_rows, num_eq_rows, num_structural)`` of the form the
+        basis was produced for; a mismatch invalidates the basis (e.g.
+        after cutting planes appended rows).
+    """
+
+    basic: np.ndarray
+    status: np.ndarray
+    signature: tuple[int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
 class LPResult:
     """Result of one LP relaxation solve.
 
     ``objective`` includes the model's constant objective term.
+    ``basis`` (when the backend supports warm starts) can seed the next
+    solve of the same form; ``iterations`` counts simplex pivots.
     """
 
     status: LPStatus
     x: np.ndarray | None
     objective: float
     message: str = ""
+    basis: SimplexBasis | None = None
+    iterations: int = 0
 
 
 class LPBackend:
@@ -46,17 +99,33 @@ class LPBackend:
 
     name = "abstract"
 
+    #: Whether ``solve`` honours the ``basis`` warm-start parameter.
+    supports_warm_start = False
+
     def solve(
-        self, form: StandardForm, lb: np.ndarray, ub: np.ndarray
+        self,
+        form: StandardForm,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: SimplexBasis | None = None,
     ) -> LPResult:
-        """Solve the LP relaxation of ``form`` under bounds ``[lb, ub]``."""
+        """Solve the LP relaxation of ``form`` under bounds ``[lb, ub]``.
+
+        ``basis`` is an optional warm start (see the module docstring for
+        the contract); backends without warm-start support ignore it.
+        """
         raise NotImplementedError
 
 
 class ScipyHighsBackend(LPBackend):
-    """LP backend delegating to ``scipy.optimize.linprog(method='highs')``."""
+    """LP backend delegating to ``scipy.optimize.linprog(method='highs')``.
+
+    HiGHS re-solves from scratch on every call (scipy exposes no basis
+    interface), so ``basis`` is accepted and ignored.
+    """
 
     name = "scipy-highs"
+    supports_warm_start = False
 
     #: scipy status codes: 0 ok, 1 iteration limit, 2 infeasible, 3 unbounded.
     _STATUS_MAP = {
@@ -66,7 +135,11 @@ class ScipyHighsBackend(LPBackend):
     }
 
     def solve(
-        self, form: StandardForm, lb: np.ndarray, ub: np.ndarray
+        self,
+        form: StandardForm,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: SimplexBasis | None = None,
     ) -> LPResult:
         bounds = np.column_stack([lb, ub])
         result = linprog(
@@ -94,11 +167,16 @@ class ScipyHighsBackend(LPBackend):
 
 
 def get_backend(name: str = "scipy") -> LPBackend:
-    """Return an LP backend by name (``scipy`` or ``simplex``)."""
+    """Return an LP backend by name.
+
+    ``scipy``/``scipy-highs``/``highs`` map to :class:`ScipyHighsBackend`;
+    ``simplex``/``revised``/``revised-simplex``/``dense-simplex`` map to
+    the warm-start capable revised simplex.
+    """
     if name in ("scipy", "scipy-highs", "highs"):
         return ScipyHighsBackend()
-    if name == "simplex":
-        from repro.milp.simplex import DenseSimplexBackend
+    if name in ("simplex", "revised", "revised-simplex", "dense-simplex"):
+        from repro.milp.simplex import RevisedSimplexBackend
 
-        return DenseSimplexBackend()
+        return RevisedSimplexBackend()
     raise SolverError(f"unknown LP backend {name!r}")

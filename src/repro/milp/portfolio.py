@@ -14,8 +14,11 @@ Sharing is sound because every member solves the *same* model:
 * every member's proven lower bound is a valid global lower bound, so the
   maximum over members is too.
 
-Members run in Python threads; the LP backend (HiGHS via scipy) releases
-the GIL during the numerical work, which is where the time goes.  A
+Members run in Python threads; the LP backends release the GIL during the
+numerical work (HiGHS inside scipy, LAPACK/BLAS inside the revised
+simplex), which is where the time goes.  Every member inherits the
+default ``backend="auto"`` node-LP engine, so each search in the
+portfolio warm-starts its node LPs from parent bases independently.  A
 ``parallel=False`` mode runs members sequentially for deterministic tests.
 """
 

@@ -66,13 +66,26 @@ def presolve(model: Model, max_rounds: int = 5) -> PresolveResult:
 
 
 def _round_integral_bounds(model: Model, result: PresolveResult) -> None:
-    """Round integral variable bounds inwards."""
+    """Round integral variable bounds inwards.
+
+    Infinite bounds are passed through untouched (``math.ceil(-inf)``
+    would raise): the LP backends accept ``-inf`` lower bounds natively,
+    so presolve must preserve them rather than reject the model.
+    """
     for variable in model.variables:
         if not variable.is_integral:
             continue
         index = variable.index
-        new_lb = math.ceil(result.lb[index] - _TOL)
-        new_ub = math.floor(result.ub[index] + _TOL)
+        new_lb = (
+            math.ceil(result.lb[index] - _TOL)
+            if math.isfinite(result.lb[index])
+            else result.lb[index]
+        )
+        new_ub = (
+            math.floor(result.ub[index] + _TOL)
+            if math.isfinite(result.ub[index])
+            else result.ub[index]
+        )
         if new_lb > result.lb[index] + _TOL:
             result.lb[index] = new_lb
             result.reductions.append(f"round-lb:{variable.name}")

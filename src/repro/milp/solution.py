@@ -83,6 +83,11 @@ class MILPSolution:
         Wall-clock seconds spent.
     events:
         Chronological anytime events (incumbents and bound improvements).
+    lp_solves, lp_pivots, lp_time:
+        LP relaxation accounting: number of backend calls, total simplex
+        pivots across them (0 for backends that do not report pivots),
+        and wall-clock seconds inside the LP backend.  The benchmark
+        trajectory (``BENCH_milp.json``) tracks these across PRs.
     """
 
     status: SolveStatus
@@ -93,6 +98,9 @@ class MILPSolution:
     node_count: int = 0
     solve_time: float = 0.0
     events: list[IncumbentEvent] = field(default_factory=list)
+    lp_solves: int = 0
+    lp_pivots: int = 0
+    lp_time: float = 0.0
 
     @property
     def gap(self) -> float:

@@ -38,6 +38,40 @@ class StandardForm:
         """Number of columns."""
         return self.c.shape[0]
 
+    def equality_form(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Dense row matrix for the revised simplex, built once per form.
+
+        Returns ``(rows, rhs, num_le)`` where ``rows`` stacks the ``<=``
+        rows above the ``==`` rows (the backend appends one slack per row:
+        ``[0, inf)`` slacks for the first ``num_le`` rows, fixed-zero
+        slacks for the rest).  The result is cached on the instance so
+        branch-and-bound's per-node work is limited to bound-vector
+        updates plus basis refactorization.
+        """
+        cached = getattr(self, "_equality_cache", None)
+        if cached is not None:
+            return cached
+        blocks = []
+        rhs_parts = []
+        num_le = 0
+        if self.a_ub is not None:
+            blocks.append(self.a_ub.toarray())
+            rhs_parts.append(self.b_ub)
+            num_le = self.a_ub.shape[0]
+        if self.a_eq is not None:
+            blocks.append(self.a_eq.toarray())
+            rhs_parts.append(self.b_eq)
+        if blocks:
+            rows = np.vstack(blocks)
+            rhs = np.concatenate(rhs_parts).astype(float)
+        else:
+            rows = np.zeros((0, self.num_variables))
+            rhs = np.zeros(0)
+        cached = (rows, rhs, num_le)
+        # Frozen dataclass: stash the cache via object.__setattr__.
+        object.__setattr__(self, "_equality_cache", cached)
+        return cached
+
 
 def to_standard_form(model: Model) -> StandardForm:
     """Convert ``model`` into sparse matrix standard form."""

@@ -41,7 +41,7 @@ class FlakyBackend(LPBackend):
         self._fail_on = set(fail_on_calls)
         self.calls = 0
 
-    def solve(self, form, lb, ub):
+    def solve(self, form, lb, ub, basis=None):
         self.calls += 1
         if self.calls in self._fail_on:
             return LPResult(
@@ -50,7 +50,7 @@ class FlakyBackend(LPBackend):
                 objective=math.inf,
                 message="injected failure",
             )
-        return self._real.solve(form, lb, ub)
+        return self._real.solve(form, lb, ub, basis=basis)
 
 
 class TestBackendFailures:

@@ -120,12 +120,35 @@ class TestGetBackend:
 
 
 class TestSimplexSpecifics:
-    def test_requires_finite_lower_bounds(self):
+    def test_free_lower_bound_unbounded(self):
+        # Historically rejected with SolverError; the revised simplex
+        # supports -inf lower bounds natively and detects the ray.
         m = Model("t")
         m.add_continuous("x", -math.inf, 5)
         m.set_objective(m.var_by_name("x"))
-        with pytest.raises(SolverError):
-            solve_with(DenseSimplexBackend(), m)
+        result = solve_with(DenseSimplexBackend(), m)
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_free_lower_bound_with_binding_row(self):
+        m = Model("t")
+        x = m.add_continuous("x", -math.inf, 5)
+        m.add_ge(x, -3, "floor")
+        m.set_objective(x)
+        result = solve_with(DenseSimplexBackend(), m)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-3.0)
+
+    def test_fully_free_variable_pair(self):
+        m = Model("t")
+        x = m.add_continuous("x", -math.inf, math.inf)
+        y = m.add_continuous("y", -math.inf, math.inf)
+        m.add_eq(x + y, 2, "sum")
+        m.add_le(x - y, 4, "diff")
+        m.set_objective(-1 * x)
+        result = solve_with(DenseSimplexBackend(), m)
+        assert result.status is LPStatus.OPTIMAL
+        # x + y = 2 and x - y <= 4 cap x at 3.
+        assert result.objective == pytest.approx(-3.0)
 
     def test_degenerate_fixed_variable(self):
         m = Model("t")

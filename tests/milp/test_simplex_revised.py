@@ -1,0 +1,246 @@
+"""Unit tests for the revised simplex backend: bounds, dual warm starts,
+degeneracy, and the basis contract."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.milp import (
+    LPStatus,
+    Model,
+    RevisedSimplexBackend,
+    ScipyHighsBackend,
+    lin_sum,
+    to_standard_form,
+)
+from repro.milp.simplex import AT_UPPER, DenseSimplexBackend
+
+
+def forms_for(model):
+    form = to_standard_form(model)
+    lb, ub = model.bounds_arrays()
+    return form, lb, ub
+
+
+class TestBoundedVariables:
+    def test_nonbasic_at_upper_bound(self):
+        # Optimum pushes x to its upper bound with the row binding on y.
+        m = Model("t")
+        x = m.add_continuous("x", 0, 2)
+        y = m.add_continuous("y", 0, 2)
+        m.add_le(x + y, 3, "cap")
+        m.set_objective(-2 * x - y)
+        form, lb, ub = forms_for(m)
+        result = RevisedSimplexBackend().solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-5.0)
+        assert result.x[0] == pytest.approx(2.0)
+        assert result.x[1] == pytest.approx(1.0)
+        # The upper-bound rest is a status, not an extra row.
+        assert result.basis is not None
+        assert result.basis.status[0] == AT_UPPER
+
+    def test_no_upper_bound_rows_materialized(self):
+        # 30 bounded variables, one row: the basis has exactly one basic
+        # column, which would be impossible with materialized bound rows.
+        m = Model("t")
+        xs = [m.add_continuous(f"x{i}", 0, 1) for i in range(30)]
+        m.add_le(lin_sum(xs), 10, "cap")
+        m.set_objective(lin_sum([-1 * x for x in xs]))
+        form, lb, ub = forms_for(m)
+        result = RevisedSimplexBackend().solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-10.0)
+        assert result.basis.basic.shape[0] == 1
+
+    def test_alias_preserved(self):
+        assert DenseSimplexBackend is RevisedSimplexBackend
+
+
+class TestDegenerateProblems:
+    def test_beale_cycling_example(self):
+        # Classic instance that cycles forever under naive Dantzig
+        # pricing; the degenerate-run Bland switch must terminate it.
+        m = Model("beale")
+        v = [m.add_continuous(f"x{i}", 0, math.inf) for i in range(4)]
+        m.add_le(
+            lin_sum([0.25 * v[0], -60 * v[1], -(1 / 25) * v[2], 9 * v[3]]),
+            0, "r1",
+        )
+        m.add_le(
+            lin_sum([0.5 * v[0], -90 * v[1], -(1 / 50) * v[2], 3 * v[3]]),
+            0, "r2",
+        )
+        m.add_le(v[2], 1, "r3")
+        m.set_objective(
+            lin_sum([-0.75 * v[0], 150 * v[1], -(1 / 50) * v[2], 6 * v[3]])
+        )
+        form, lb, ub = forms_for(m)
+        result = RevisedSimplexBackend().solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05)
+
+    def test_zero_true_cost_ray_is_not_unbounded(self):
+        # The feasible set contains the ray (1, -1) whose *true* cost is
+        # zero; the anti-degeneracy perturbation gives it a fake nonzero
+        # cost, which must not surface as a spurious UNBOUNDED.
+        m = Model("ray")
+        x = m.add_continuous("x", -math.inf, math.inf)
+        y = m.add_continuous("y", -math.inf, math.inf)
+        m.add_eq(x + y, 2, "sum")
+        m.set_objective(1e6 * x + 1e6 * y)
+        form, lb, ub = forms_for(m)
+        result = RevisedSimplexBackend().solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(2e6)
+
+    def test_zero_objective_degenerate_model(self):
+        # Every vertex ties: the solver must terminate and return any
+        # feasible point.
+        m = Model("flat")
+        xs = [m.add_continuous(f"x{i}", 0, 1) for i in range(6)]
+        for i in range(5):
+            m.add_le(xs[i] + xs[i + 1], 1, f"pair{i}")
+        m.set_objective(lin_sum([0 * xs[0]]))
+        form, lb, ub = forms_for(m)
+        result = RevisedSimplexBackend().solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(0.0)
+
+
+class TestWarmStart:
+    def _ridge_model(self):
+        m = Model("ridge")
+        xs = [m.add_continuous(f"x{i}", 0, 10) for i in range(6)]
+        rng = np.random.default_rng(42)
+        for k in range(5):
+            coefficients = rng.uniform(0.2, 2.0, 6)
+            m.add_ge(
+                lin_sum(float(c) * x for c, x in zip(coefficients, xs)),
+                float(rng.uniform(4, 12)),
+                f"c{k}",
+            )
+        m.set_objective(lin_sum(xs))
+        return m
+
+    def test_warm_start_matches_cold_after_bound_tightening(self):
+        m = self._ridge_model()
+        backend = RevisedSimplexBackend()
+        form, lb, ub = forms_for(m)
+        cold_root = backend.solve(form, lb, ub)
+        assert cold_root.status is LPStatus.OPTIMAL
+        for index in range(6):
+            tight_lb = lb.copy()
+            tight_lb[index] = 2.5
+            warm = backend.solve(form, tight_lb, ub, basis=cold_root.basis)
+            cold = backend.solve(form, tight_lb, ub)
+            assert warm.status == cold.status
+            if warm.status is LPStatus.OPTIMAL:
+                assert warm.objective == pytest.approx(
+                    cold.objective, rel=1e-7, abs=1e-7
+                )
+
+    def test_warm_start_is_cheaper(self):
+        m = self._ridge_model()
+        backend = RevisedSimplexBackend()
+        form, lb, ub = forms_for(m)
+        root = backend.solve(form, lb, ub)
+        tight_lb = lb.copy()
+        tight_lb[3] = 1.0
+        warm = backend.solve(form, tight_lb, ub, basis=root.basis)
+        cold = backend.solve(form, tight_lb, ub)
+        assert warm.status is LPStatus.OPTIMAL
+        assert warm.iterations <= cold.iterations
+
+    def test_unchanged_bounds_reoptimize_in_zero_pivots(self):
+        m = self._ridge_model()
+        backend = RevisedSimplexBackend()
+        form, lb, ub = forms_for(m)
+        root = backend.solve(form, lb, ub)
+        again = backend.solve(form, lb, ub, basis=root.basis)
+        assert again.status is LPStatus.OPTIMAL
+        assert again.iterations == 0
+        assert again.objective == pytest.approx(root.objective)
+
+    def test_warm_start_after_fixing_variable(self):
+        # Fix-and-solve style: lb == ub on one variable.
+        m = self._ridge_model()
+        backend = RevisedSimplexBackend()
+        form, lb, ub = forms_for(m)
+        root = backend.solve(form, lb, ub)
+        fixed_lb, fixed_ub = lb.copy(), ub.copy()
+        fixed_lb[0] = fixed_ub[0] = 4.0
+        warm = backend.solve(form, fixed_lb, fixed_ub, basis=root.basis)
+        cold = backend.solve(form, fixed_lb, fixed_ub)
+        assert warm.status is cold.status is LPStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-7)
+
+    def test_mismatched_basis_falls_back_to_cold(self):
+        # A basis from a different form must be ignored, not crash.
+        m1 = self._ridge_model()
+        form1, lb1, ub1 = forms_for(m1)
+        root = RevisedSimplexBackend().solve(form1, lb1, ub1)
+
+        m2 = Model("other")
+        x = m2.add_continuous("x", 0, 5)
+        m2.add_ge(x, 1, "lo")
+        m2.set_objective(x)
+        form2, lb2, ub2 = forms_for(m2)
+        result = RevisedSimplexBackend().solve(
+            form2, lb2, ub2, basis=root.basis
+        )
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(1.0)
+
+    def test_infeasible_bound_change_detected_warm(self):
+        m = self._ridge_model()
+        backend = RevisedSimplexBackend()
+        form, lb, ub = forms_for(m)
+        root = backend.solve(form, lb, ub)
+        bad_lb, bad_ub = lb.copy(), ub.copy()
+        bad_lb[0] = 3.0
+        bad_ub[0] = 2.0
+        result = backend.solve(form, bad_lb, bad_ub, basis=root.basis)
+        assert result.status is LPStatus.INFEASIBLE
+
+
+class TestScipyCrossCheckWithFreeVariables:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_models_with_negative_and_free_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        m = Model(f"free{seed}")
+        variables = []
+        for i in range(6):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                lo, hi = -math.inf, float(rng.uniform(2, 8))
+            elif kind == 1:
+                lo, hi = float(rng.uniform(-6, -1)), float(rng.uniform(1, 6))
+            else:
+                lo, hi = 0.0, float(rng.uniform(1, 10))
+            variables.append(m.add_continuous(f"x{i}", lo, hi))
+        # >= rows keep the free-variable models bounded below.
+        for k in range(5):
+            coefficients = rng.uniform(0.1, 2.0, 6)
+            m.add_ge(
+                lin_sum(
+                    float(c) * v for c, v in zip(coefficients, variables)
+                ),
+                float(rng.uniform(-4, 4)),
+                f"c{k}",
+            )
+        m.set_objective(
+            lin_sum(
+                float(c) * v
+                for c, v in zip(rng.uniform(0.1, 1, 6), variables)
+            )
+        )
+        form, lb, ub = forms_for(m)
+        ours = RevisedSimplexBackend().solve(form, lb, ub)
+        scipy_result = ScipyHighsBackend().solve(form, lb, ub)
+        assert ours.status == scipy_result.status
+        if ours.status is LPStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                scipy_result.objective, rel=1e-6, abs=1e-6
+            )
