@@ -4,8 +4,10 @@
 Runs the Figure-2 query shapes through the MILP optimizer with default
 options (auto backend, warm-started node LPs) and records per-query
 solver metrics — solve time, node count, LP solves/pivots/time — plus
-the warm-vs-cold LP replay micro-benchmark.  Future PRs compare their
-numbers against the committed history to catch perf regressions.
+the warm-vs-cold LP replay micro-benchmark, plus a per-algorithm
+comparison (``milp`` vs ``selinger`` vs ``auto``) routed through the
+:class:`repro.api.OptimizerService` so regressions introduced by the
+unified routing/caching layer show up in the cross-PR tracker.
 
 Usage::
 
@@ -55,6 +57,49 @@ def run_query(topology: str, num_tables: int, seed: int, budget: float):
         "lp_solves": milp.lp_solves if milp else 0,
         "lp_pivots": milp.lp_pivots if milp else 0,
         "lp_time": milp.lp_time if milp else 0.0,
+    }
+
+
+#: Registry keys compared in the per-algorithm section.
+ALGORITHMS = ("milp", "selinger", "auto")
+
+
+def algorithm_rows(sizes, seeds: int, budget: float):
+    """One row per (algorithm, topology, size, seed) via the unified API."""
+    from repro.api import OptimizerService, OptimizerSettings
+
+    service = OptimizerService(
+        OptimizerSettings(time_limit=budget, precision="high")
+    )
+    rows = []
+    for algorithm in ALGORITHMS:
+        for topology in TOPOLOGIES:
+            for size in sizes:
+                for seed in range(seeds):
+                    query = QueryGenerator(seed=seed).generate(
+                        topology, size
+                    )
+                    started = time.perf_counter()
+                    result = service.optimize(query, algorithm)
+                    elapsed = time.perf_counter() - started
+                    rows.append({
+                        "algorithm": algorithm,
+                        "routed_to": result.diagnostics.get(
+                            "routed_to", algorithm
+                        ),
+                        "topology": topology,
+                        "tables": size,
+                        "seed": seed,
+                        "status": result.status.value,
+                        "true_cost": result.true_cost,
+                        "optimality_factor": result.optimality_factor,
+                        "wall_time": elapsed,
+                        "solve_time": result.solve_time,
+                    })
+    return rows, {
+        "hits": service.stats.hits,
+        "misses": service.stats.misses,
+        "hit_rate": service.stats.hit_rate,
     }
 
 
@@ -114,6 +159,16 @@ def main(argv=None) -> int:
                 f"({row['cold_pivots']} -> {row['warm_pivots']} pivots)"
             )
 
+    algorithms, cache_stats = algorithm_rows(
+        args.sizes, args.seeds, args.budget
+    )
+    for row in algorithms:
+        print(
+            f"{row['algorithm']}({row['routed_to']}) "
+            f"{row['topology']}-{row['tables']} seed{row['seed']}: "
+            f"{row['status']} in {row['wall_time']:.2f}s"
+        )
+
     payload = {
         "benchmark": "BENCH_milp",
         "config": {
@@ -123,6 +178,8 @@ def main(argv=None) -> int:
         },
         "queries": queries,
         "warmstart_micro": micro,
+        "algorithms": algorithms,
+        "service_cache": cache_stats,
         "totals": {
             "lp_pivots": sum(q["lp_pivots"] for q in queries),
             "lp_solves": sum(q["lp_solves"] for q in queries),

@@ -3,14 +3,19 @@ Integer Linear Programming" (Trummer & Koch, SIGMOD 2017).
 
 Quickstart::
 
-    from repro import MILPJoinOptimizer, QueryGenerator
+    from repro import OptimizerService, QueryGenerator
 
     query = QueryGenerator(seed=1).generate("star", 10)
-    result = MILPJoinOptimizer().optimize(query)
+    service = OptimizerService()
+    result = service.optimize(query)             # "auto" algorithm routing
+    result = service.optimize(query, "milp")     # the paper's algorithm
     print(result.plan.describe(), result.true_cost)
 
 Packages
 --------
+``repro.api``
+    The unified public surface: ``Optimizer`` protocol, ``PlanResult``,
+    the algorithm registry and the caching ``OptimizerService``.
 ``repro.catalog``
     Tables, columns, predicates, queries.
 ``repro.workloads``
@@ -27,6 +32,15 @@ Packages
     Experiment harness regenerating the paper's figures.
 """
 
+from repro.api import (
+    Optimizer,
+    OptimizerService,
+    OptimizerSettings,
+    PlanResult,
+    available_algorithms,
+    create_optimizer,
+    register_optimizer,
+)
 from repro.catalog import Column, CorrelatedGroup, Predicate, Query, Table
 from repro.core import (
     FormulationConfig,
@@ -70,7 +84,11 @@ __all__ = [
     "LeftDeepPlan",
     "MILPJoinOptimizer",
     "OptimizationResult",
+    "Optimizer",
+    "OptimizerService",
+    "OptimizerSettings",
     "PlanCostEvaluator",
+    "PlanResult",
     "Predicate",
     "Query",
     "QueryGenerator",
@@ -80,6 +98,9 @@ __all__ = [
     "SimulatedAnnealing",
     "SolverOptions",
     "Table",
+    "available_algorithms",
+    "create_optimizer",
+    "register_optimizer",
     "sql_to_query",
     "optimize_blocks",
     "optimize_query",

@@ -1,0 +1,66 @@
+"""``repro.api`` — the single public optimizer surface.
+
+The paper frames MILP join ordering as one algorithm among several it
+benchmarks against (exhaustive DP, IKKBZ, greedy, randomized).  This
+package gives all of them one front door:
+
+* :class:`Optimizer` protocol + :class:`PlanResult` unified result type,
+  with adapters wrapping every built-in engine;
+* a string-keyed algorithm registry (``"milp"``, ``"milp-portfolio"``,
+  ``"selinger"``, ``"bushy"``, ``"ikkbz"``, ``"greedy"``, ``"ii"``,
+  ``"sa"``, ``"auto"``) open to third-party registration via
+  :func:`register_optimizer`;
+* :class:`OptimizerService` — plan caching keyed by query signature with
+  catalog-versioned invalidation, and concurrent batch optimization.
+
+Quickstart::
+
+    from repro.api import OptimizerService, available_algorithms
+
+    service = OptimizerService()
+    result = service.optimize(query)             # "auto" routing
+    result = service.optimize(query, "selinger") # explicit algorithm
+    plans = service.optimize_batch(workload, "milp")
+    print(available_algorithms())
+"""
+
+from repro.api.adapters import (
+    AUTO_EXACT_MAX_TABLES,
+    AUTO_MILP_MAX_TABLES,
+    EngineAdapter,
+    route_algorithm,
+)
+from repro.api.protocol import Optimizer, OptimizerSettings
+from repro.api.registry import (
+    OptimizerRegistry,
+    UnknownAlgorithmError,
+    available_algorithms,
+    create_optimizer,
+    default_registry,
+    register_optimizer,
+)
+from repro.api.result import PlanResult
+from repro.api.service import (
+    CacheStats,
+    OptimizerService,
+    query_signature,
+)
+
+__all__ = [
+    "AUTO_EXACT_MAX_TABLES",
+    "AUTO_MILP_MAX_TABLES",
+    "CacheStats",
+    "EngineAdapter",
+    "Optimizer",
+    "OptimizerRegistry",
+    "OptimizerService",
+    "OptimizerSettings",
+    "PlanResult",
+    "UnknownAlgorithmError",
+    "available_algorithms",
+    "create_optimizer",
+    "default_registry",
+    "query_signature",
+    "register_optimizer",
+    "route_algorithm",
+]

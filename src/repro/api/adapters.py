@@ -1,0 +1,580 @@
+"""Adapters wrapping every built-in engine behind the ``Optimizer`` protocol.
+
+Each adapter normalizes one engine's idiosyncratic front-end —
+constructor-vs-method query passing, result dataclass shape, budget
+handling — into ``optimize(query, time_limit=...) -> PlanResult``.
+
+Budget handling (satellite of the API redesign)
+-----------------------------------------------
+Every adapter accepts a ``time_limit``; whether the underlying engine
+*honors* it varies and is documented per adapter:
+
+===============  =======================================================
+``milp``         honored — branch-and-bound deadline
+``milp-portfolio``  honored — deadline applies to every member
+``selinger``     honored — DP aborts empty-handed at the deadline
+``bushy``        honored — DP aborts empty-handed at the deadline
+``ikkbz``        *ignored* — O(n^2) algorithm, finishes long before any
+                 sane budget; the budget is recorded in diagnostics
+``greedy``       *ignored* — O(n^3) constructive heuristic, same reason
+``ii``, ``sa``   honored — anytime loops run until the deadline
+``auto``         inherited from whichever algorithm it routes to
+===============  =======================================================
+
+``true_cost`` is always evaluated with the shared
+:class:`~repro.plans.cost.PlanCostEvaluator` under the configured cost
+model, so numbers from different engines are directly comparable even
+when an engine optimizes its own internal metric.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+from repro.catalog.query import Query
+from repro.dp.bushy import BushyOptimizer, left_deep_from_bushy
+from repro.dp.greedy import GreedyOptimizer
+from repro.dp.ikkbz import IKKBZOptimizer
+from repro.dp.randomized import (
+    IterativeImprovement,
+    RandomizedResult,
+    SimulatedAnnealing,
+)
+from repro.dp.selinger import MAX_DP_TABLES, SelingerOptimizer
+from repro.exceptions import PlanError
+from repro.milp.branch_and_bound import SolverOptions
+from repro.milp.solution import IncumbentEvent, SolveStatus
+from repro.plans.cost import PlanCostEvaluator
+from repro.plans.plan import LeftDeepPlan
+
+from repro.api.protocol import OptimizerSettings
+from repro.api.registry import register_optimizer
+from repro.api.result import PlanResult
+
+#: ``"auto"`` routing: largest query handed to the exhaustive Selinger DP.
+#: At this size the full ``2^n`` subset sweep takes milliseconds and the
+#: result is proven optimal — no reason to run anything else.
+AUTO_EXACT_MAX_TABLES = 12
+
+#: ``"auto"`` routing: largest query handed to the anytime MILP solver;
+#: beyond it the pure-Python substrate cannot close gaps in interactive
+#: budgets and the greedy constructive heuristic takes over.
+AUTO_MILP_MAX_TABLES = 30
+
+
+class EngineAdapter:
+    """Shared plumbing: budget resolution, timing, cost evaluation."""
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    #: Whether the wrapped engine enforces the time budget (see module
+    #: docstring).  Recorded in every result's diagnostics.
+    honors_time_limit = True
+
+    def __init__(self, settings: OptimizerSettings | None = None) -> None:
+        self.settings = settings or OptimizerSettings()
+
+    def optimize(
+        self, query: Query, *, time_limit: float | None = None
+    ) -> PlanResult:
+        """Optimize ``query``; ``time_limit`` overrides the configured
+        budget for this call only."""
+        budget = (
+            time_limit if time_limit is not None
+            else self.settings.time_limit
+        )
+        started = time.monotonic()
+        result = self._run(query, budget)
+        result.solve_time = time.monotonic() - started
+        result.diagnostics.setdefault("time_limit", budget)
+        result.diagnostics.setdefault(
+            "honors_time_limit", self.honors_time_limit
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Subclass interface / helpers
+    # ------------------------------------------------------------------
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        raise NotImplementedError
+
+    def _true_cost(
+        self, query: Query, plan: LeftDeepPlan | None
+    ) -> float | None:
+        if plan is None:
+            return None
+        evaluator = PlanCostEvaluator(
+            query, self.settings.cost_context(), self.settings.use_cout
+        )
+        return evaluator.cost(plan)
+
+    def _heuristic_result(
+        self,
+        query: Query,
+        plan: LeftDeepPlan,
+        elapsed: float,
+        diagnostics: dict[str, Any],
+        events: list[IncumbentEvent] | None = None,
+    ) -> PlanResult:
+        """A plan without an optimality proof (bound stays ``-inf``)."""
+        cost = self._true_cost(query, plan)
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=plan,
+            status=SolveStatus.FEASIBLE,
+            objective=cost if cost is not None else math.inf,
+            best_bound=-math.inf,
+            true_cost=cost,
+            solve_time=elapsed,
+            events=events
+            or [IncumbentEvent(elapsed, cost, -math.inf, "incumbent")],
+            diagnostics=diagnostics,
+        )
+
+    def _empty_result(
+        self, query: Query, elapsed: float, diagnostics: dict[str, Any]
+    ) -> PlanResult:
+        """Budget expired before the engine produced anything."""
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=None,
+            status=SolveStatus.NO_SOLUTION,
+            solve_time=elapsed,
+            diagnostics=diagnostics,
+        )
+
+
+# ----------------------------------------------------------------------
+# MILP (the paper's algorithm)
+# ----------------------------------------------------------------------
+
+class MILPAdapter(EngineAdapter):
+    """The paper's MILP optimizer behind the unified surface.
+
+    Budget: **honored** — becomes the branch-and-bound deadline, so the
+    result is anytime (``events`` carries the incumbent/bound stream).
+    ``settings.extra`` accepts ``formulation_config``, ``solver_options``
+    and ``warm_start``.
+    """
+
+    name = "milp"
+    honors_time_limit = True
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        from repro.core.optimizer import MILPJoinOptimizer
+
+        optimizer = MILPJoinOptimizer(
+            self.settings.formulation_config(query.num_tables),
+            self._solver_options(budget),
+        )
+        result = optimizer.optimize(
+            query, warm_start=self.settings.extra.get("warm_start", True)
+        )
+        return self._from_core(query, result)
+
+    def _solver_options(self, budget: float) -> SolverOptions:
+        base = self.settings.extra.get("solver_options")
+        if base is None:
+            return SolverOptions(time_limit=budget)
+        options = SolverOptions(**{
+            name: getattr(base, name)
+            for name in SolverOptions.__dataclass_fields__
+        })
+        options.time_limit = budget
+        return options
+
+    def _from_core(self, query: Query, result) -> PlanResult:
+        milp = result.milp_solution
+        diagnostics: dict[str, Any] = {
+            "engine_result": result,
+            "formulation_stats": dict(result.formulation_stats),
+        }
+        if milp is not None:
+            diagnostics.update(
+                nodes=milp.node_count,
+                lp_solves=milp.lp_solves,
+                lp_pivots=milp.lp_pivots,
+                lp_time=milp.lp_time,
+            )
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=result.plan,
+            status=result.status,
+            objective=result.objective,
+            best_bound=result.best_bound,
+            true_cost=result.true_cost,
+            solve_time=result.solve_time,
+            events=list(result.events),
+            diagnostics=diagnostics,
+        )
+
+
+class PortfolioMILPAdapter(MILPAdapter):
+    """Concurrent MILP portfolio (paper Section 1's parallel optimization).
+
+    Budget: **honored** — every portfolio member gets the deadline; the
+    search stops as soon as one member closes the gap.  ``settings.extra``
+    additionally accepts ``members`` (a list of
+    :class:`~repro.milp.portfolio.PortfolioMember`) and ``parallel``.
+    """
+
+    name = "milp-portfolio"
+    honors_time_limit = True
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        from repro.core.optimizer import MILPJoinOptimizer
+
+        optimizer = MILPJoinOptimizer(
+            self.settings.formulation_config(query.num_tables),
+            self._solver_options(budget),
+        )
+        result = optimizer.optimize_with_portfolio(
+            query,
+            warm_start=self.settings.extra.get("warm_start", True),
+            members=self.settings.extra.get("members"),
+            parallel=self.settings.extra.get("parallel", True),
+        )
+        return self._from_core(query, result)
+
+
+# ----------------------------------------------------------------------
+# Dynamic programming family
+# ----------------------------------------------------------------------
+
+class SelingerAdapter(EngineAdapter):
+    """Exhaustive Selinger DP (the paper's comparator).
+
+    Budget: **honored** — the DP aborts *empty-handed* when the deadline
+    passes before the subset table completes (no anytime behaviour by
+    construction, exactly as in the paper).  A finished run is proven
+    optimal over left-deep plans with cross products, so the bound equals
+    the objective and the optimality factor is 1.  Queries the DP cannot
+    attempt at all (more than :data:`~repro.dp.selinger.MAX_DP_TABLES`
+    tables) yield ``NO_SOLUTION`` with ``diagnostics["error"]`` instead
+    of leaking the engine's exception through the unified surface.
+    """
+
+    name = "selinger"
+    honors_time_limit = True
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        try:
+            engine = SelingerOptimizer(
+                query,
+                self.settings.cost_context(),
+                use_cout=self.settings.use_cout,
+                algorithm=self.settings.join_algorithm,
+                allow_cross_products=self.settings.extra.get(
+                    "allow_cross_products", True
+                ),
+            )
+        except PlanError as error:
+            return self._empty_result(query, 0.0, {"error": str(error)})
+        dp = engine.optimize(time_limit=budget)
+        diagnostics: dict[str, Any] = {
+            "engine_result": dp,
+            "subsets_explored": dp.subsets_explored,
+        }
+        if dp.plan is None:
+            return self._empty_result(query, dp.elapsed, diagnostics)
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=dp.plan,
+            status=SolveStatus.OPTIMAL,
+            objective=dp.cost,
+            best_bound=dp.cost,
+            true_cost=self._true_cost(query, dp.plan),
+            solve_time=dp.elapsed,
+            events=[IncumbentEvent(dp.elapsed, dp.cost, dp.cost, "incumbent")],
+            diagnostics=diagnostics,
+        )
+
+
+class BushyAdapter(EngineAdapter):
+    """DPsub-style bushy DP, linearized into the unified plan type.
+
+    Budget: **honored** — aborts empty-handed at the deadline, like the
+    Selinger DP.  The engine optimizes over *bushy* trees (C_out or hash
+    cost); when the optimal tree is linear it converts exactly to a
+    left-deep plan and the result is proven optimal.  A genuinely bushy
+    optimum is flattened into its leaf order instead — still a valid
+    left-deep plan, but without the optimality proof; the tree and its
+    cost are kept in ``diagnostics["bushy_tree"]`` / ``["bushy_cost"]``.
+    Queries outside the engine's reach (disconnected join graph, more
+    than :data:`~repro.dp.bushy.MAX_BUSHY_TABLES` tables) yield
+    ``NO_SOLUTION`` with ``diagnostics["error"]``.
+    """
+
+    name = "bushy"
+    honors_time_limit = True
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        try:
+            engine = BushyOptimizer(
+                query,
+                self.settings.cost_context(),
+                use_cout=self.settings.use_cout,
+            )
+        except PlanError as error:
+            return self._empty_result(query, 0.0, {"error": str(error)})
+        outcome = engine.optimize(time_limit=budget)
+        diagnostics: dict[str, Any] = {"engine_result": outcome}
+        if outcome.tree is None:
+            return self._empty_result(query, outcome.elapsed, diagnostics)
+        diagnostics["bushy_tree"] = outcome.tree.describe()
+        diagnostics["bushy_cost"] = outcome.cost
+        plan = left_deep_from_bushy(outcome.tree, query)
+        if plan is not None:
+            return PlanResult(
+                algorithm=self.name,
+                query=query,
+                plan=plan,
+                status=SolveStatus.OPTIMAL,
+                objective=outcome.cost,
+                best_bound=outcome.cost,
+                true_cost=self._true_cost(query, plan),
+                solve_time=outcome.elapsed,
+                events=[IncumbentEvent(
+                    outcome.elapsed, outcome.cost, outcome.cost, "incumbent"
+                )],
+                diagnostics=diagnostics,
+            )
+        # Bushy optimum: flatten the tree's leaves into a left-deep order.
+        diagnostics["linearized"] = True
+        order = _leaf_order(outcome.tree)
+        flat = LeftDeepPlan.from_order(
+            query, order, self.settings.join_algorithm
+        )
+        return self._heuristic_result(
+            query, flat, outcome.elapsed, diagnostics
+        )
+
+
+def _leaf_order(tree) -> list[str]:
+    """In-order leaf sequence of a bushy tree (left subtree first)."""
+    if tree.is_leaf:
+        return [tree.table]
+    return _leaf_order(tree.left) + _leaf_order(tree.right)
+
+
+class IKKBZAdapter(EngineAdapter):
+    """IKKBZ polynomial-time ordering, with a documented fallback.
+
+    Budget: **ignored** — the engine is O(n^2) and finishes long before
+    any sane budget; the requested budget is still recorded in
+    diagnostics.  IKKBZ applies only to connected, acyclic join graphs of
+    binary predicates without correlated groups; outside that class the
+    adapter falls back to the greedy heuristic (so the unified surface
+    always returns a plan) and records ``diagnostics["fallback"]``.
+
+    The IKKBZ optimum is specific to the C_out metric on cross-product-
+    free left-deep plans, a narrower space than the MILP's, so the result
+    is reported as ``FEASIBLE`` without a bound rather than ``OPTIMAL``.
+    """
+
+    name = "ikkbz"
+    honors_time_limit = False
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        try:
+            engine = IKKBZOptimizer(query)
+        except PlanError as error:
+            result = GreedyAdapter(self.settings)._run(query, budget)
+            result.algorithm = self.name
+            result.diagnostics["fallback"] = "greedy"
+            result.diagnostics["fallback_reason"] = str(error)
+            return result
+        outcome = engine.optimize()
+        diagnostics: dict[str, Any] = {
+            "engine_result": outcome,
+            "optimal_within": "cross-product-free left-deep plans, C_out",
+            "cout_cost": outcome.cost,
+        }
+        return self._heuristic_result(
+            query, outcome.plan, outcome.elapsed, diagnostics
+        )
+
+
+# ----------------------------------------------------------------------
+# Heuristics
+# ----------------------------------------------------------------------
+
+class GreedyAdapter(EngineAdapter):
+    """Minimum-intermediate-result greedy construction.
+
+    Budget: **ignored** — the heuristic is O(n^3) and effectively
+    instantaneous at any supported query size.  ``settings.extra`` accepts
+    ``try_all_starts`` (default ``True``).
+    """
+
+    name = "greedy"
+    honors_time_limit = False
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        started = time.monotonic()
+        outcome = GreedyOptimizer(
+            query,
+            self.settings.cost_context(),
+            use_cout=self.settings.use_cout,
+            algorithm=self.settings.join_algorithm,
+            try_all_starts=self.settings.extra.get("try_all_starts", True),
+        ).optimize()
+        return self._heuristic_result(
+            query,
+            outcome.plan,
+            time.monotonic() - started,
+            {"engine_result": outcome},
+        )
+
+
+class _RandomizedAdapter(EngineAdapter):
+    """Shared wrapper for the Steinbrunn-style randomized heuristics.
+
+    Budget: **honored** — both engines are anytime loops that run until
+    the deadline (``settings.extra["max_iterations"]`` can cap them
+    earlier for deterministic tests).  Their improvement traces become
+    the unified event stream, without bounds — the paper's Section 2
+    point that randomized algorithms prove nothing.
+    """
+
+    honors_time_limit = True
+
+    def _engine(self, query: Query):
+        raise NotImplementedError
+
+    def _run(self, query: Query, budget: float) -> PlanResult:
+        outcome: RandomizedResult = self._engine(query).optimize(
+            time_limit=budget,
+            max_iterations=self.settings.extra.get("max_iterations"),
+        )
+        events = [
+            IncumbentEvent(instant, cost, -math.inf, "incumbent")
+            for instant, cost in outcome.trace
+        ]
+        return self._heuristic_result(
+            query,
+            outcome.plan,
+            outcome.elapsed,
+            {"engine_result": outcome, "iterations": outcome.iterations},
+            events=events,
+        )
+
+
+class IterativeImprovementAdapter(_RandomizedAdapter):
+    """Random-restart hill climbing (see :class:`_RandomizedAdapter`)."""
+
+    name = "ii"
+
+    def _engine(self, query: Query):
+        return IterativeImprovement(
+            query,
+            context=self.settings.cost_context(),
+            use_cout=self.settings.use_cout,
+            algorithm=self.settings.join_algorithm,
+            seed=self.settings.seed,
+        )
+
+
+class SimulatedAnnealingAdapter(_RandomizedAdapter):
+    """Simulated annealing (see :class:`_RandomizedAdapter`)."""
+
+    name = "sa"
+
+    def _engine(self, query: Query):
+        return SimulatedAnnealing(
+            query,
+            context=self.settings.cost_context(),
+            use_cout=self.settings.use_cout,
+            algorithm=self.settings.join_algorithm,
+            seed=self.settings.seed,
+        )
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+def _ikkbz_applicable(query: Query) -> bool:
+    """Whether IKKBZ's applicability conditions hold for ``query``."""
+    if not query.is_connected or query.correlated_groups:
+        return False
+    if any(p.arity > 2 for p in query.predicates):
+        return False
+    edges = {frozenset(p.tables) for p in query.predicates if p.is_binary}
+    return len(edges) == query.num_tables - 1
+
+
+def route_algorithm(
+    query: Query, settings: OptimizerSettings | None = None
+) -> str:
+    """Pick an algorithm for ``query`` by table count and graph shape.
+
+    Mirrors how ``lp_backend``'s ``backend="auto"`` routes LPs by model
+    size: small queries go to the exhaustive DP (milliseconds, proven
+    optimal), tree-shaped C_out queries to the polynomial IKKBZ
+    algorithm, mid-size queries to the anytime MILP solver, and anything
+    larger to the greedy constructive heuristic.
+    """
+    settings = settings or OptimizerSettings()
+    if (
+        query.num_tables <= AUTO_EXACT_MAX_TABLES
+        and query.num_tables <= MAX_DP_TABLES
+    ):
+        return "selinger"
+    if settings.use_cout and _ikkbz_applicable(query):
+        return "ikkbz"
+    if query.num_tables <= AUTO_MILP_MAX_TABLES:
+        return "milp"
+    return "greedy"
+
+
+class AutoAdapter(EngineAdapter):
+    """Route each query to an algorithm via :func:`route_algorithm`.
+
+    Budget: inherited — whatever the routed-to algorithm does with it,
+    hence ``honors_time_limit`` is ``None`` (undetermined until routed).
+    The routing decision is recorded in ``diagnostics["routed_to"]``
+    (with ``diagnostics["requested_algorithm"] == "auto"``).
+    """
+
+    name = "auto"
+    honors_time_limit = None
+
+    def optimize(
+        self, query: Query, *, time_limit: float | None = None
+    ) -> PlanResult:
+        from repro.api.registry import create_optimizer
+
+        routed = route_algorithm(query, self.settings)
+        delegate = create_optimizer(routed, self.settings)
+        result = delegate.optimize(query, time_limit=time_limit)
+        result.diagnostics["requested_algorithm"] = self.name
+        result.diagnostics["routed_to"] = routed
+        return result
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+
+for _adapter in (
+    MILPAdapter,
+    PortfolioMILPAdapter,
+    SelingerAdapter,
+    BushyAdapter,
+    IKKBZAdapter,
+    GreedyAdapter,
+    IterativeImprovementAdapter,
+    SimulatedAnnealingAdapter,
+    AutoAdapter,
+):
+    register_optimizer(_adapter.name, _adapter, replace=True)
+del _adapter

@@ -1,0 +1,132 @@
+"""The :class:`Optimizer` protocol and shared construction settings.
+
+Any object with a ``name`` and an ``optimize(query, time_limit=...) ->
+PlanResult`` method is an optimizer as far as :mod:`repro.api` is
+concerned — the adapters in :mod:`repro.api.adapters` wrap the built-in
+engines, and third parties can register their own implementations via
+:func:`repro.api.register_optimizer` without subclassing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Protocol, runtime_checkable
+
+from repro.catalog.query import Query
+from repro.core.config import COST_MODELS, FormulationConfig
+from repro.exceptions import ReproError
+from repro.plans.operators import CostContext, JoinAlgorithm
+
+from repro.api.result import PlanResult
+
+#: Precision presets accepted by :attr:`OptimizerSettings.precision`.
+PRECISIONS = ("high", "medium", "low")
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Algorithm-neutral knobs passed to every registry factory.
+
+    Attributes
+    ----------
+    cost_model:
+        Objective metric every algorithm optimizes and reports under
+        (``"cout"``, ``"hash"``, ``"sort_merge"`` or ``"bnl"``) so results
+        from different engines are comparable.
+    time_limit:
+        Default optimization budget in seconds.  Adapters document whether
+        their engine honors it (exhaustive searches do; polynomial-time
+        constructive algorithms finish long before any sane budget and
+        ignore it).  Per-call ``optimize(..., time_limit=...)`` overrides.
+    seed:
+        RNG seed for the randomized algorithms (deterministic runs).
+    precision:
+        MILP formulation precision preset (paper Section 7.1).
+    extra:
+        Algorithm-specific overrides, e.g. ``{"formulation_config": ...,
+        "solver_options": ...}`` for the MILP adapters or
+        ``{"max_iterations": ...}`` for the randomized ones.  Unknown keys
+        are ignored by adapters that do not use them.
+    """
+
+    cost_model: str = "hash"
+    time_limit: float = 30.0
+    seed: int = 0
+    precision: str = "high"
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cost_model not in COST_MODELS:
+            raise ReproError(
+                f"cost_model must be one of {COST_MODELS}, "
+                f"got {self.cost_model!r}"
+            )
+        if self.precision not in PRECISIONS:
+            raise ReproError(
+                f"precision must be one of {PRECISIONS}, "
+                f"got {self.precision!r}"
+            )
+        if self.time_limit <= 0:
+            raise ReproError("time_limit must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived objects shared by the adapters
+    # ------------------------------------------------------------------
+
+    @property
+    def use_cout(self) -> bool:
+        """Whether the C_out metric (output cardinalities) is in effect."""
+        return self.cost_model == "cout"
+
+    @property
+    def join_algorithm(self) -> JoinAlgorithm:
+        """Physical join operator implied by the cost model."""
+        return {
+            "cout": JoinAlgorithm.HASH,
+            "hash": JoinAlgorithm.HASH,
+            "sort_merge": JoinAlgorithm.SORT_MERGE,
+            "bnl": JoinAlgorithm.BLOCK_NESTED_LOOP,
+        }[self.cost_model]
+
+    def formulation_config(
+        self, num_tables: int | None = None
+    ) -> FormulationConfig:
+        """MILP formulation config: the ``precision`` preset, overridable
+        via ``extra["formulation_config"]``."""
+        override = self.extra.get("formulation_config")
+        if override is not None:
+            return override
+        preset = {
+            "high": FormulationConfig.high_precision,
+            "medium": FormulationConfig.medium_precision,
+            "low": FormulationConfig.low_precision,
+        }[self.precision]
+        return preset(num_tables, cost_model=self.cost_model)
+
+    def cost_context(self) -> CostContext:
+        """Physical cost parameters shared by every engine, so that the
+        exact ``true_cost`` values are computed on one scale."""
+        return self.formulation_config().cost_context()
+
+    def with_time_limit(self, time_limit: float) -> "OptimizerSettings":
+        """Copy with a different default budget."""
+        return replace(self, time_limit=time_limit)
+
+
+@runtime_checkable
+class Optimizer(Protocol):
+    """The single public optimizer surface.
+
+    Implementations optimize one query per call and return the unified
+    :class:`~repro.api.result.PlanResult`.  ``time_limit=None`` means "use
+    the budget configured at construction".
+    """
+
+    #: Registry key / display name of the algorithm.
+    name: str
+
+    def optimize(
+        self, query: Query, *, time_limit: float | None = None
+    ) -> PlanResult:
+        """Optimize ``query`` and return the unified result."""
+        ...

@@ -1,0 +1,142 @@
+"""String-keyed algorithm registry.
+
+Maps stable algorithm keys (``"milp"``, ``"selinger"``, ``"auto"``, ...)
+to factories producing :class:`~repro.api.protocol.Optimizer` instances.
+The built-in adapters self-register on import; third parties add their own
+implementations with the :func:`register_optimizer` decorator::
+
+    from repro.api import register_optimizer
+
+    @register_optimizer("my-algo")
+    def _build(settings):
+        return MyOptimizer(settings)
+
+Factories receive one :class:`~repro.api.protocol.OptimizerSettings`
+argument and must return an object satisfying the ``Optimizer`` protocol.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.exceptions import ReproError
+
+from repro.api.protocol import Optimizer, OptimizerSettings
+
+#: An optimizer factory: settings in, protocol-conforming optimizer out.
+OptimizerFactory = Callable[[OptimizerSettings], Optimizer]
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """Raised when a registry lookup names no registered algorithm."""
+
+
+class OptimizerRegistry:
+    """A mutable name -> factory mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, OptimizerFactory] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: OptimizerFactory | None = None,
+        *,
+        replace: bool = False,
+    ):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("x", make_x)``) or as a
+        decorator (``@registry.register("x")``).  Re-registering an
+        existing key raises unless ``replace=True`` — silent shadowing of
+        a built-in algorithm is almost always a bug.
+        """
+        if not name or not name.strip():
+            raise ReproError("algorithm name must be non-empty")
+
+        def _register(fn: OptimizerFactory) -> OptimizerFactory:
+            if not replace and name in self._factories:
+                raise ReproError(
+                    f"algorithm {name!r} is already registered; "
+                    "pass replace=True to override"
+                )
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (no-op when absent); mainly for tests."""
+        self._factories.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def names(self) -> tuple[str, ...]:
+        """All registered algorithm keys, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def factory(self, name: str) -> OptimizerFactory:
+        """The raw factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise UnknownAlgorithmError(
+                f"unknown algorithm {name!r}; registered algorithms: "
+                f"{', '.join(self.names()) or '<none>'}"
+            ) from None
+
+    def create(
+        self, name: str, settings: OptimizerSettings | None = None
+    ) -> Optimizer:
+        """Instantiate the algorithm registered under ``name``."""
+        return self.factory(name)(settings or OptimizerSettings())
+
+
+#: The default registry the convenience functions and the service use.
+default_registry = OptimizerRegistry()
+
+
+def register_optimizer(
+    name: str,
+    factory: OptimizerFactory | None = None,
+    *,
+    replace: bool = False,
+):
+    """Register an optimizer factory in the default registry."""
+    return default_registry.register(name, factory, replace=replace)
+
+
+def _ensure_builtin_adapters() -> None:
+    """Import the built-in adapters so they self-register (idempotent)."""
+    from repro.api import adapters  # noqa: F401  (import for side effect)
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Keys of every algorithm in the default registry, sorted."""
+    _ensure_builtin_adapters()
+    return default_registry.names()
+
+
+def create_optimizer(
+    name: str, settings: OptimizerSettings | None = None
+) -> Optimizer:
+    """Instantiate a registered algorithm from the default registry."""
+    _ensure_builtin_adapters()
+    return default_registry.create(name, settings)

@@ -1,0 +1,109 @@
+"""The unified optimization result type shared by every algorithm.
+
+Every optimizer behind the :mod:`repro.api` registry — MILP, dynamic
+programming, IKKBZ, greedy, randomized — returns a :class:`PlanResult`.
+Engine-specific outputs (``OptimizationResult``, ``DPResult``,
+``IKKBZResult``, ``RandomizedResult``, ...) stay available through the
+``diagnostics`` dict, but callers that only need "give me a plan and tell
+me how good it is" never have to know which engine produced it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.catalog.query import Query
+from repro.milp.solution import (
+    IncumbentEvent,
+    SolveStatus,
+    optimality_factor,
+    relative_gap,
+)
+from repro.plans.plan import LeftDeepPlan
+
+
+@dataclass
+class PlanResult:
+    """What one optimization run produced, in algorithm-neutral terms.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry key of the algorithm that produced this result.  For the
+        ``"auto"`` router this is the key it routed to; the router itself
+        appears in ``diagnostics["requested_algorithm"]``.
+    query:
+        The optimized query.
+    plan:
+        The chosen left-deep plan, or ``None`` when the algorithm produced
+        nothing within its budget (e.g. an unfinished exhaustive DP).
+    status:
+        Final status, on the MILP solver's scale: ``OPTIMAL`` means proven
+        optimal *within the algorithm's plan space*, ``FEASIBLE`` means a
+        plan without a proof (heuristics), ``NO_SOLUTION`` means the budget
+        expired empty-handed.
+    objective:
+        The algorithm's native objective value for ``plan`` (``inf``
+        without a plan).  For the MILP this is the approximated cost; for
+        the exact algorithms it equals their cost metric.
+    best_bound:
+        Proven lower bound on the optimal objective (``-inf`` when the
+        algorithm proves nothing — the paper's Section 2 point about
+        heuristics).
+    true_cost:
+        Exact cost of ``plan`` under the configured cost model, evaluated
+        with the shared :class:`~repro.plans.cost.PlanCostEvaluator` so
+        results from different engines are directly comparable.
+    solve_time:
+        Wall-clock seconds spent optimizing.
+    events:
+        Anytime event stream (incumbents/bounds over time).  MILP runs
+        carry the full branch-and-bound stream; exact algorithms emit one
+        terminal event; heuristics replay their improvement trace.
+    diagnostics:
+        Per-algorithm extras: node counts, LP statistics, DP subset
+        counts, routing decisions, the raw engine result object, ...
+    """
+
+    algorithm: str
+    query: Query
+    plan: LeftDeepPlan | None
+    status: SolveStatus
+    objective: float = math.inf
+    best_bound: float = -math.inf
+    true_cost: float | None = None
+    solve_time: float = 0.0
+    events: list[IncumbentEvent] = field(default_factory=list)
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def optimality_factor(self) -> float:
+        """Guaranteed ``objective / lower-bound`` factor (Figure 2 metric).
+
+        ``inf`` when the algorithm proves no bound; 1.0 at proven
+        optimality.
+        """
+        return optimality_factor(self.objective, self.best_bound)
+
+    @property
+    def gap(self) -> float:
+        """Relative ``(objective - bound) / |bound|`` gap; ``inf`` unproven."""
+        return relative_gap(self.objective, self.best_bound)
+
+    @property
+    def has_plan(self) -> bool:
+        """Whether a usable plan is available."""
+        return self.plan is not None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        plan = self.plan.describe() if self.plan else "<no plan>"
+        cost = (
+            f"{self.true_cost:,.0f}" if self.true_cost is not None else "n/a"
+        )
+        return (
+            f"[{self.algorithm}] {self.status.value} {plan} "
+            f"cost={cost} time={self.solve_time:.2f}s"
+        )

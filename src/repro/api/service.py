@@ -1,0 +1,277 @@
+"""A caching, batching optimization service over the algorithm registry.
+
+:class:`OptimizerService` is the long-lived front door a query engine
+would embed: it resolves algorithm names through the registry, caches
+plans keyed by a canonical *query signature* (so re-optimizing the same
+query is a dictionary lookup), invalidates the cache wholesale when the
+catalog version is bumped (statistics refresh, schema change), and runs
+whole workloads concurrently through a thread pool — the same
+threads-plus-GIL-releasing-numerics execution model the MILP portfolio
+uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.catalog.query import Query
+from repro.catalog.serde import query_to_dict
+
+from repro.api.protocol import Optimizer, OptimizerSettings
+from repro.api.registry import (
+    OptimizerRegistry,
+    _ensure_builtin_adapters,
+    default_registry,
+)
+from repro.api.result import PlanResult
+
+
+def query_signature(query: Query) -> str:
+    """Deterministic content hash of a query (the plan-cache key).
+
+    Two structurally identical queries — same tables, cardinalities,
+    columns, predicates, selectivities, correlated groups and required
+    columns — hash identically regardless of object identity.  The query
+    *name* is deliberately excluded: it is a display label, not an input
+    to optimization.
+    """
+    payload = query_to_dict(query)
+    payload.pop("name", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Plan-cache accounting, exposed via :attr:`OptimizerService.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class _CacheEntry:
+    result: PlanResult
+    catalog_version: int = 0
+
+
+class OptimizerService:
+    """One ``optimize()`` surface with plan caching and batch execution.
+
+    Parameters
+    ----------
+    settings:
+        Default :class:`OptimizerSettings` for every request.
+    registry:
+        Algorithm registry; defaults to the global one (built-in adapters
+        plus anything third parties registered).
+    max_workers:
+        Thread-pool width for :meth:`optimize_batch`.
+    max_entries:
+        Plan-cache capacity; least-recently-used entries are evicted.
+
+    Examples
+    --------
+    >>> from repro.workloads import QueryGenerator
+    >>> service = OptimizerService()
+    >>> query = QueryGenerator(seed=1).generate("star", 6)
+    >>> first = service.optimize(query, "greedy")
+    >>> again = service.optimize(query, "greedy")
+    >>> again is first and service.stats.hits == 1
+    True
+    """
+
+    def __init__(
+        self,
+        settings: OptimizerSettings | None = None,
+        registry: OptimizerRegistry | None = None,
+        max_workers: int = 4,
+        max_entries: int = 1024,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        _ensure_builtin_adapters()
+        self.settings = settings or OptimizerSettings()
+        self.registry = registry if registry is not None else default_registry
+        self.max_workers = max_workers
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._catalog_version = 0
+        self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._optimizers: dict[str, Optimizer] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Catalog versioning
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog_version(self) -> int:
+        """Current catalog version; cache entries from older versions
+        never match."""
+        return self._catalog_version
+
+    def bump_catalog_version(self) -> int:
+        """Invalidate every cached plan (statistics/schema changed).
+
+        Returns the new version.  Entries are purged eagerly; the version
+        is also part of every cache key, so a stale entry could never be
+        served even if purging were skipped.
+        """
+        with self._lock:
+            self._catalog_version += 1
+            self.stats.invalidations += len(self._cache)
+            self._cache.clear()
+            return self._catalog_version
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
+
+    def algorithms(self) -> tuple[str, ...]:
+        """Algorithm keys this service can route to."""
+        return self.registry.names()
+
+    def optimize(
+        self,
+        query: Query,
+        algorithm: str = "auto",
+        *,
+        time_limit: float | None = None,
+        use_cache: bool = True,
+    ) -> PlanResult:
+        """Optimize ``query`` with ``algorithm``, consulting the cache.
+
+        A cache hit returns the *identical* :class:`PlanResult` object of
+        the earlier run — no solve, no plan re-extraction — and counts in
+        :attr:`stats`.  ``use_cache=False`` bypasses both lookup and
+        store (ablations, nondeterministic budget experiments).
+        """
+        key = self._key(query, algorithm, time_limit)
+        if use_cache:
+            with self._lock:
+                entry = self._cache.get(key)
+                if (
+                    entry is not None
+                    and entry.catalog_version == self._catalog_version
+                ):
+                    self._cache.move_to_end(key)
+                    self.stats.hits += 1
+                    return entry.result
+                self.stats.misses += 1
+        result = self._optimizer(algorithm).optimize(
+            query, time_limit=time_limit
+        )
+        if use_cache and result.has_plan:
+            with self._lock:
+                self._cache[key] = _CacheEntry(
+                    result, self._catalog_version
+                )
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.max_entries:
+                    self._cache.popitem(last=False)
+                    self.stats.evictions += 1
+        return result
+
+    def optimize_batch(
+        self,
+        queries: Sequence[Query],
+        algorithm: str = "auto",
+        *,
+        time_limit: float | None = None,
+        use_cache: bool = True,
+    ) -> list[PlanResult]:
+        """Optimize a workload concurrently; results keep input order.
+
+        Runs up to ``max_workers`` queries at a time in Python threads —
+        the numerical kernels (HiGHS, LAPACK inside the revised simplex)
+        release the GIL, which is the same concurrency model the MILP
+        portfolio exploits.  Results are returned positionally, so the
+        output order never depends on thread scheduling.  Duplicate
+        queries within one batch may race to a cold cache and both solve;
+        both produce the same plan and the second store is idempotent.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if len(queries) == 1 or self.max_workers == 1:
+            return [
+                self.optimize(
+                    query, algorithm,
+                    time_limit=time_limit, use_cache=use_cache,
+                )
+                for query in queries
+            ]
+        results: list[PlanResult | None] = [None] * len(queries)
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(queries))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    self.optimize, query, algorithm,
+                    time_limit=time_limit, use_cache=use_cache,
+                ): index
+                for index, query in enumerate(queries)
+            }
+            for future, index in futures.items():
+                results[index] = future.result()
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _key(
+        self, query: Query, algorithm: str, time_limit: float | None
+    ) -> tuple:
+        budget = (
+            time_limit if time_limit is not None
+            else self.settings.time_limit
+        )
+        return (
+            self._catalog_version,
+            algorithm,
+            self.settings.cost_model,
+            self.settings.precision,
+            self.settings.seed,
+            budget,
+            query_signature(query),
+        )
+
+    def _optimizer(self, algorithm: str) -> Optimizer:
+        with self._lock:
+            instance = self._optimizers.get(algorithm)
+            if instance is None:
+                instance = self.registry.create(algorithm, self.settings)
+                self._optimizers[algorithm] = instance
+            return instance
+
+    def cache_size(self) -> int:
+        """Number of currently cached plans."""
+        with self._lock:
+            return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached plan without bumping the catalog version."""
+        with self._lock:
+            self._cache.clear()

@@ -1,10 +1,29 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
+Built on the unified :mod:`repro.api` surface: every algorithm in the
+registry is reachable through one ``--algorithm`` flag, and all of them
+report through the same :class:`~repro.api.PlanResult`.
+
 Commands
 --------
 ``optimize``
-    Optimize a query (from a JSON file or randomly generated) with the
-    MILP optimizer; optionally cross-check against DP and export the MILP.
+    Optimize a query (from a JSON file or randomly generated) with any
+    registered algorithm::
+
+        python -m repro.cli optimize --algorithm auto --tables 6
+        python -m repro.cli optimize --algorithm milp --topology star \\
+            --tables 8 --time-limit 30
+        python -m repro.cli optimize --algorithm selinger --query q.json
+
+    ``--algorithm auto`` (the default is ``milp``, the paper's method)
+    routes by table count and join-graph shape: exhaustive DP for small
+    queries, IKKBZ for tree-shaped C_out queries, MILP for mid-size,
+    greedy beyond.  ``--check-dp`` cross-checks any algorithm against the
+    exhaustive DP optimum; ``--export-lp``/``--export-mps`` export the
+    MILP formulation.
+``algorithms``
+    List every algorithm registered in :mod:`repro.api` (including
+    third-party registrations) with budget-handling notes.
 ``generate``
     Generate a random query and write it as JSON.
 ``figure1`` / ``figure2`` / ``ablation``
@@ -16,14 +35,16 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import (
+    OptimizerSettings,
+    available_algorithms,
+    create_optimizer,
+)
 from repro.catalog.serde import load_query, save_plan, save_query
-from repro.dp.selinger import MAX_DP_TABLES, SelingerOptimizer
-from repro.milp.branch_and_bound import SolverOptions
+from repro.dp.selinger import MAX_DP_TABLES
 from repro.milp.io import write_lp
 from repro.milp.mps import write_mps
 from repro.workloads.generator import QueryGenerator
-from repro.core.config import FormulationConfig
-from repro.core.optimizer import MILPJoinOptimizer
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,12 +52,17 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     optimize = commands.add_parser(
-        "optimize", help="optimize a query with the MILP optimizer"
+        "optimize", help="optimize a query with any registered algorithm"
     )
     optimize.add_argument("--query", help="query JSON file (see `generate`)")
     optimize.add_argument("--topology", default="star")
     optimize.add_argument("--tables", type=int, default=8)
     optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument(
+        "--algorithm", default="milp",
+        help="registry key (see `algorithms`); 'auto' routes by query "
+             "shape, default: milp",
+    )
     optimize.add_argument(
         "--precision", default="high", choices=("high", "medium", "low")
     )
@@ -48,7 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--no-warm-start", action="store_true")
     optimize.add_argument(
         "--portfolio", action="store_true",
-        help="solve with the four-member concurrent portfolio",
+        help="deprecated alias for --algorithm milp-portfolio",
     )
     optimize.add_argument("--export-lp", help="write the MILP in LP format")
     optimize.add_argument("--export-mps", help="write the MILP in MPS format")
@@ -63,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--check-dp", action="store_true",
         help="cross-check against exhaustive DP (small queries only)",
+    )
+
+    commands.add_parser(
+        "algorithms", help="list registered optimization algorithms"
     )
 
     generate = commands.add_parser(
@@ -90,40 +120,64 @@ def _load_or_generate(args) -> "object":
 
 def _cmd_optimize(args) -> int:
     query = _load_or_generate(args)
-    preset = {
-        "high": FormulationConfig.high_precision,
-        "medium": FormulationConfig.medium_precision,
-        "low": FormulationConfig.low_precision,
-    }[args.precision]
-    config = preset(query.num_tables, cost_model=args.cost_model)
-    optimizer = MILPJoinOptimizer(
-        config, SolverOptions(time_limit=args.time_limit)
+    algorithm = args.algorithm
+    if args.portfolio:
+        if algorithm not in ("milp", "milp-portfolio"):
+            print(
+                f"--portfolio conflicts with --algorithm {algorithm}; "
+                "drop --portfolio or use --algorithm milp-portfolio",
+                file=sys.stderr,
+            )
+            return 2
+        algorithm = "milp-portfolio"
+    if algorithm not in available_algorithms():
+        print(
+            f"unknown algorithm {algorithm!r}; "
+            f"registered: {', '.join(available_algorithms())}",
+            file=sys.stderr,
+        )
+        return 2
+    settings = OptimizerSettings(
+        cost_model=args.cost_model,
+        time_limit=args.time_limit,
+        seed=args.seed,
+        precision=args.precision,
+        extra={"warm_start": not args.no_warm_start},
     )
     if args.export_lp or args.export_mps:
-        formulation = optimizer.formulate(query)
+        from repro.core.formulation import JoinOrderFormulation
+
+        formulation = JoinOrderFormulation(
+            query, settings.formulation_config(query.num_tables)
+        )
         if args.export_lp:
             write_lp(formulation.model, args.export_lp)
             print(f"wrote MILP to {args.export_lp}")
         if args.export_mps:
             write_mps(formulation.model, args.export_mps)
             print(f"wrote MILP to {args.export_mps}")
-    if args.portfolio:
-        result = optimizer.optimize_with_portfolio(
-            query, warm_start=not args.no_warm_start
-        )
-    else:
-        result = optimizer.optimize(
-            query, warm_start=not args.no_warm_start
-        )
+    result = create_optimizer(algorithm, settings).optimize(query)
+    routed = result.diagnostics.get("routed_to")
+    label = f"{algorithm} -> {routed}" if routed else result.algorithm
+    print(f"algorithm:         {label}")
     print(f"status:            {result.status.value}")
     if result.plan is None:
-        print("no plan found within the budget")
+        reason = result.diagnostics.get(
+            "error", "no plan found within the budget"
+        )
+        print(reason)
         return 1
     print(f"plan:              {result.plan.describe()}")
     print(f"true cost:         {result.true_cost:,.0f}")
     print(f"guaranteed factor: {result.optimality_factor:.3f}")
-    print(f"solve time:        {result.solve_time:.2f}s "
-          f"({result.milp_solution.node_count} nodes)")
+    effort = ""
+    if "nodes" in result.diagnostics:
+        effort = f" ({result.diagnostics['nodes']} nodes)"
+    elif "subsets_explored" in result.diagnostics:
+        effort = f" ({result.diagnostics['subsets_explored']} subsets)"
+    elif "iterations" in result.diagnostics:
+        effort = f" ({result.diagnostics['iterations']} iterations)"
+    print(f"solve time:        {result.solve_time:.2f}s{effort}")
     if args.explain:
         from repro.plans.explain import explain_text
 
@@ -143,11 +197,32 @@ def _cmd_optimize(args) -> int:
         if query.num_tables > MAX_DP_TABLES:
             print("DP check skipped: query too large")
         else:
-            dp = SelingerOptimizer(
-                query, use_cout=args.cost_model == "cout"
-            ).optimize()
-            print(f"DP optimum:        {dp.cost:,.0f} "
-                  f"(ratio {result.true_cost / max(dp.cost, 1e-12):.3f})")
+            dp = create_optimizer("selinger", settings).optimize(query)
+            if dp.true_cost is None:
+                print("DP check skipped: DP did not finish in the budget")
+            else:
+                ratio = result.true_cost / max(dp.true_cost, 1e-12)
+                print(f"DP optimum:        {dp.true_cost:,.0f} "
+                      f"(ratio {ratio:.3f})")
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    from repro.api import default_registry
+
+    print("registered algorithms:")
+    for name in available_algorithms():
+        factory = default_registry.factory(name)
+        honors = getattr(factory, "honors_time_limit", "unknown")
+        if honors is True:
+            note = "honors --time-limit"
+        elif honors is False:
+            note = "ignores --time-limit (finishes early)"
+        elif honors is None:
+            note = "budget handling depends on the routed algorithm"
+        else:
+            note = ""
+        print(f"  {name:<16} {note}")
     return 0
 
 
@@ -175,6 +250,8 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "optimize":
         return _cmd_optimize(args)
+    if args.command == "algorithms":
+        return _cmd_algorithms(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "figure1":

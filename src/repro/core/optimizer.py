@@ -95,6 +95,14 @@ class OptimizationResult:
 class MILPJoinOptimizer:
     """Join order optimization via mixed integer linear programming.
 
+    .. deprecated::
+        New code should go through :mod:`repro.api` — either
+        ``create_optimizer("milp")`` or :class:`repro.api.OptimizerService`
+        — which return the unified :class:`~repro.api.PlanResult` and give
+        access to every other algorithm behind the same surface.  This
+        class remains the MILP *engine* those adapters wrap and keeps
+        working; only its role as a public entry point is deprecated.
+
     Parameters
     ----------
     config:
@@ -187,37 +195,7 @@ class MILPJoinOptimizer:
             formulation.model, members, parallel=parallel
         )
         outcome = portfolio.solve(warm_start=seed_values)
-        x = None
-        if outcome.values:
-            x = formulation.model.assignment_from_names(outcome.values)
-        solution = MILPSolution(
-            status=outcome.status,
-            objective=outcome.objective,
-            best_bound=outcome.best_bound,
-            x=x,
-            values=dict(outcome.values),
-            node_count=sum(
-                member.node_count
-                for member in outcome.member_results.values()
-            ),
-            lp_solves=sum(
-                member.lp_solves
-                for member in outcome.member_results.values()
-            ),
-            lp_pivots=sum(
-                member.lp_pivots
-                for member in outcome.member_results.values()
-            ),
-            lp_time=sum(
-                member.lp_time
-                for member in outcome.member_results.values()
-            ),
-            solve_time=outcome.solve_time,
-            events=[
-                IncumbentEvent(e.time, e.objective, e.bound, e.kind)
-                for e in outcome.events
-            ],
-        )
+        solution = outcome.to_milp_solution(formulation.model)
         return self._build_result(query, formulation, solution, started)
 
     def _build_result(

@@ -222,66 +222,47 @@ def run_heuristics_comparison(
     Iterative improvement, simulated annealing, greedy and IKKBZ all
     produce plans — sometimes excellent ones — but only the MILP approach
     (and finished exhaustive DP) can report a guaranteed optimality
-    factor, the paper's criterion for Figure 2.
+    factor, the paper's criterion for Figure 2.  Every contender runs
+    through the unified :mod:`repro.api` registry.
     """
-    from repro.dp.greedy import GreedyOptimizer
-    from repro.dp.ikkbz import IKKBZOptimizer
-    from repro.dp.randomized import IterativeImprovement, SimulatedAnnealing
+    from repro.api import OptimizerSettings, create_optimizer
 
-    def run_milp(query, dp_cost):
-        config = FormulationConfig.medium_precision(
-            num_tables, cost_model="cout"
-        )
-        result = MILPJoinOptimizer(
-            config, SolverOptions(time_limit=budget)
-        ).optimize(query)
-        cost = result.true_cost if result.true_cost is not None else math.inf
-        return cost, result.optimality_factor, result.milp_solution.node_count
-
-    def run_ii(query, dp_cost):
-        result = IterativeImprovement(
-            query, use_cout=True, seed=0
-        ).optimize(time_limit=budget)
-        return result.cost, result.optimality_factor, result.iterations
-
-    def run_sa(query, dp_cost):
-        result = SimulatedAnnealing(
-            query, use_cout=True, seed=0
-        ).optimize(time_limit=budget)
-        return result.cost, result.optimality_factor, result.iterations
-
-    def run_greedy(query, dp_cost):
-        result = GreedyOptimizer(query, use_cout=True).optimize()
-        return result.cost, math.inf, 0
-
-    def run_ikkbz(query, dp_cost):
-        try:
-            result = IKKBZOptimizer(query).optimize()
-        except Exception:
-            return math.inf, math.inf, 0
-        return result.cost, math.inf, 0
-
+    settings = OptimizerSettings(
+        cost_model="cout", time_limit=budget, precision="medium"
+    )
     algorithms = [
-        ("MILP (medium)", run_milp),
-        ("iterative improvement", run_ii),
-        ("simulated annealing", run_sa),
-        ("greedy", run_greedy),
-        ("IKKBZ (trees only)", run_ikkbz),
+        ("MILP (medium)", "milp"),
+        ("iterative improvement", "ii"),
+        ("simulated annealing", "sa"),
+        ("greedy", "greedy"),
+        ("IKKBZ (trees only)", "ikkbz"),
     ]
     rows = []
-    for label, runner in algorithms:
+    for label, key in algorithms:
         ratios, factors, nodes, times = [], [], [], []
         for seed in range(queries):
             query = QueryGenerator(seed=seed).generate(topology, num_tables)
             dp = SelingerOptimizer(query, use_cout=True).optimize()
-            import time as _time
-
-            started = _time.monotonic()
-            cost, factor, effort = runner(query, dp.cost)
-            times.append(_time.monotonic() - started)
+            result = create_optimizer(key, settings).optimize(query)
+            if result.diagnostics.get("fallback"):
+                # The adapter substituted another algorithm (IKKBZ off a
+                # tree); report "inapplicable", not the stand-in's cost.
+                ratios.append(math.inf)
+                factors.append(math.inf)
+                nodes.append(0)
+                times.append(result.solve_time)
+                continue
+            cost = (
+                result.true_cost
+                if result.true_cost is not None else math.inf
+            )
+            effort = result.diagnostics.get(
+                "nodes", result.diagnostics.get("iterations", 0)
+            )
             ratios.append(cost / max(dp.cost, 1e-12))
-            factors.append(factor)
+            factors.append(result.optimality_factor)
             nodes.append(effort)
+            times.append(result.solve_time)
         rows.append(
             AblationRow(label, _mean(ratios), _mean(factors),
                         _mean(nodes), _mean(times))
@@ -301,33 +282,30 @@ def run_portfolio_comparison(
     this ablation quantifies it on our solver.  Node counts for the
     portfolio sum over its members.
     """
-    config = FormulationConfig.medium_precision(num_tables, cost_model="cout")
+    from repro.api import OptimizerSettings, create_optimizer
+
     modes = [
-        ("single search", "single"),
-        ("portfolio (parallel)", "parallel"),
-        ("portfolio (sequential)", "sequential"),
+        ("single search", "milp", True),
+        ("portfolio (parallel)", "milp-portfolio", True),
+        ("portfolio (sequential)", "milp-portfolio", False),
     ]
     rows = []
-    for label, mode in modes:
+    for label, key, parallel in modes:
+        settings = OptimizerSettings(
+            cost_model="cout", time_limit=budget, precision="medium",
+            extra={"parallel": parallel},
+        )
         ratios, factors, nodes, times = [], [], [], []
         for seed in range(queries):
             query = QueryGenerator(seed=seed).generate(topology, num_tables)
             dp = SelingerOptimizer(query, use_cout=True).optimize()
-            optimizer = MILPJoinOptimizer(
-                config, SolverOptions(time_limit=budget)
-            )
-            if mode == "single":
-                result = optimizer.optimize(query)
-            else:
-                result = optimizer.optimize_with_portfolio(
-                    query, parallel=mode == "parallel"
-                )
+            result = create_optimizer(key, settings).optimize(query)
             if result.true_cost is None:
                 ratios.append(math.inf)
             else:
                 ratios.append(result.true_cost / max(dp.cost, 1e-12))
             factors.append(result.optimality_factor)
-            nodes.append(result.milp_solution.node_count)
+            nodes.append(result.diagnostics.get("nodes", 0))
             times.append(result.solve_time)
         rows.append(
             AblationRow(label, _mean(ratios), _mean(factors),

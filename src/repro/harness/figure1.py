@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 from dataclasses import dataclass
 
+from repro.api import route_algorithm
 from repro.workloads.generator import QueryGenerator
 from repro.core.analysis import measure_model_size
 from repro.core.config import FormulationConfig
@@ -34,7 +35,12 @@ DEFAULT_SEEDS = 20
 
 @dataclass(frozen=True)
 class Figure1Row:
-    """Median model size for one (size, precision) data point."""
+    """Median model size for one (size, precision) data point.
+
+    ``auto_algorithm`` records where :mod:`repro.api`'s ``"auto"`` router
+    would send a query of this shape and size — documenting, next to the
+    model sizes, at which scale the MILP actually gets used.
+    """
 
     topology: str
     num_tables: int
@@ -42,6 +48,7 @@ class Figure1Row:
     thresholds: int
     variables: float
     constraints: float
+    auto_algorithm: str = ""
 
 
 def run_figure1(
@@ -52,6 +59,8 @@ def run_figure1(
     """Measure median model sizes; returns one row per (size, precision)."""
     rows: list[Figure1Row] = []
     for num_tables in sizes:
+        sample = QueryGenerator(seed=0).generate(topology, num_tables)
+        routed = route_algorithm(sample)
         for config in FormulationConfig.presets(num_tables):
             variables: list[float] = []
             constraints: list[float] = []
@@ -72,6 +81,7 @@ def run_figure1(
                     thresholds=thresholds,
                     variables=median(variables),
                     constraints=median(constraints),
+                    auto_algorithm=routed,
                 )
             )
     return rows
@@ -86,6 +96,7 @@ def format_figure1(rows: list[Figure1Row]) -> str:
         "thresholds/result",
         "median variables",
         "median constraints",
+        "auto routes to",
     ]
     table_rows = [
         [
@@ -95,6 +106,7 @@ def format_figure1(rows: list[Figure1Row]) -> str:
             row.thresholds,
             row.variables,
             row.constraints,
+            row.auto_algorithm,
         ]
         for row in rows
     ]
@@ -125,10 +137,11 @@ def main(argv=None) -> None:
         write_csv(
             args.csv,
             ["topology", "tables", "precision", "thresholds",
-             "variables", "constraints"],
+             "variables", "constraints", "auto_algorithm"],
             [
                 [row.topology, row.num_tables, row.precision,
-                 row.thresholds, row.variables, row.constraints]
+                 row.thresholds, row.variables, row.constraints,
+                 row.auto_algorithm]
                 for row in rows
             ],
         )

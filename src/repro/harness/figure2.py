@@ -59,13 +59,21 @@ def run_panel(
     budget: float,
     cost_model: str = "hash",
     base_seed: int = 0,
+    extra_algorithms: list[str] | None = None,
 ) -> Figure2Panel:
-    """Run one Figure 2 panel: ``queries`` random queries, all algorithms."""
+    """Run one Figure 2 panel: ``queries`` random queries, all algorithms.
+
+    ``extra_algorithms`` adds registered :mod:`repro.api` algorithms
+    (e.g. ``["ii", "sa"]``) to the paper's DP-vs-ILP panel — heuristics
+    contribute flat-infinity trajectories, visualizing the paper's point
+    that they prove nothing.
+    """
     comparison = ComparisonConfig(
         time_budget=budget,
         sample_interval=budget / 10.0,
         cost_model=cost_model,
         milp_configs=FormulationConfig.presets(num_tables),
+        extra_algorithms=list(extra_algorithms or []),
     )
     trajectories: dict[str, list[list[AnytimeSample]]] = {}
     for index in range(queries):
@@ -86,10 +94,12 @@ def run_figure2(
     queries: int = DEFAULT_QUERIES,
     budget: float = DEFAULT_BUDGET,
     cost_model: str = "hash",
+    extra_algorithms: list[str] | None = None,
 ) -> list[Figure2Panel]:
     """Run the full grid of Figure 2 panels."""
     return [
-        run_panel(topology, num_tables, queries, budget, cost_model)
+        run_panel(topology, num_tables, queries, budget, cost_model,
+                  extra_algorithms=extra_algorithms)
         for topology in topologies
         for num_tables in sizes
     ]
@@ -136,6 +146,10 @@ def main(argv=None) -> None:
     parser.add_argument("--budget", type=float, default=None)
     parser.add_argument("--cost-model", default="hash")
     parser.add_argument(
+        "--algorithms", nargs="*", default=[],
+        help="extra repro.api registry keys to include (e.g. ii sa greedy)",
+    )
+    parser.add_argument(
         "--paper",
         action="store_true",
         help="use the paper's scale (10-60 tables, 20 queries, 60 s)",
@@ -148,7 +162,8 @@ def main(argv=None) -> None:
     )
     budget = args.budget or (PAPER_BUDGET if args.paper else DEFAULT_BUDGET)
     panels = run_figure2(
-        args.graph, sizes, queries, budget, args.cost_model
+        args.graph, sizes, queries, budget, args.cost_model,
+        extra_algorithms=args.algorithms,
     )
     print(format_figure2(panels))
     if args.csv:

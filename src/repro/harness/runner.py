@@ -2,18 +2,21 @@
 
 Implements the paper's Section 7.1 protocol — same time budget for every
 algorithm, trajectories of the guaranteed optimality factor sampled at
-regular intervals.
+regular intervals — on top of the unified :mod:`repro.api` surface, so
+any registered algorithm (including third-party registrations) can join
+the comparison by name.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from repro.api import OptimizerSettings, PlanResult, create_optimizer
 from repro.catalog.query import Query
-from repro.dp.selinger import MAX_DP_TABLES, SelingerOptimizer
-from repro.milp.branch_and_bound import SolverOptions
+from repro.dp.selinger import MAX_DP_TABLES
+from repro.milp.solution import SolveStatus
 from repro.core.config import FormulationConfig
-from repro.core.optimizer import MILPJoinOptimizer
 from repro.harness.anytime import (
     AnytimeSample,
     dp_trajectory,
@@ -54,6 +57,9 @@ class ComparisonConfig:
         :data:`~repro.dp.selinger.MAX_DP_TABLES` tables).
     warm_start:
         Seed the MILP solver with the greedy plan.
+    extra_algorithms:
+        Additional registry keys to run alongside DP and the MILP
+        configurations (e.g. ``["ii", "sa", "greedy"]``).
     """
 
     time_budget: float = 6.0
@@ -62,27 +68,64 @@ class ComparisonConfig:
     milp_configs: list[FormulationConfig] = field(default_factory=list)
     include_dp: bool = True
     warm_start: bool = True
+    extra_algorithms: list[str] = field(default_factory=list)
+
+    def settings(self, **extra) -> OptimizerSettings:
+        """API settings implementing this protocol configuration."""
+        return OptimizerSettings(
+            cost_model=self.cost_model,
+            time_limit=self.time_budget,
+            extra={"warm_start": self.warm_start, **extra},
+        )
+
+
+def _trajectory(
+    result: PlanResult, config: ComparisonConfig
+) -> list[AnytimeSample]:
+    """Factor-over-time samples for any unified result.
+
+    Results with a bound-carrying event stream (MILP) replay it; exact
+    algorithms contribute a step function at their finish time; pure
+    heuristics never leave infinity (no bounds, per the paper).
+    """
+    if any(not math.isinf(event.bound) for event in result.events):
+        return milp_trajectory(
+            result.events, config.time_budget, config.sample_interval
+        )
+    finished = (
+        result.solve_time
+        if result.status is SolveStatus.OPTIMAL
+        else None
+    )
+    return dp_trajectory(
+        finished, config.time_budget, config.sample_interval
+    )
+
+
+def run_algorithm(
+    query: Query,
+    algorithm: str,
+    config: ComparisonConfig,
+    label: str | None = None,
+    settings: OptimizerSettings | None = None,
+) -> RunResult:
+    """Run one registered algorithm under the comparison protocol."""
+    optimizer = create_optimizer(algorithm, settings or config.settings())
+    result = optimizer.optimize(query, time_limit=config.time_budget)
+    return RunResult(
+        algorithm=label or algorithm,
+        query_name=query.name,
+        trajectory=_trajectory(result, config),
+        final_factor=result.optimality_factor,
+        solve_time=result.solve_time,
+        plan_description=result.plan.describe() if result.plan else "",
+        true_cost=result.true_cost,
+    )
 
 
 def run_dp(query: Query, config: ComparisonConfig) -> RunResult:
     """Run the Selinger DP under the time budget."""
-    optimizer = SelingerOptimizer(
-        query, use_cout=config.cost_model == "cout"
-    )
-    result = optimizer.optimize(time_limit=config.time_budget)
-    finished = result.elapsed if result.optimal else None
-    trajectory = dp_trajectory(
-        finished, config.time_budget, config.sample_interval
-    )
-    return RunResult(
-        algorithm="DP",
-        query_name=query.name,
-        trajectory=trajectory,
-        final_factor=result.optimality_factor,
-        solve_time=result.elapsed,
-        plan_description=result.plan.describe() if result.plan else "",
-        true_cost=result.cost if result.optimal else None,
-    )
+    return run_algorithm(query, "selinger", config, label="DP")
 
 
 def run_milp(
@@ -92,21 +135,13 @@ def run_milp(
 ) -> RunResult:
     """Run the MILP optimizer under the time budget."""
     label = f"ILP ({formulation_config.label})"
-    options = SolverOptions(time_limit=config.time_budget)
-    optimizer = MILPJoinOptimizer(formulation_config, options)
-    result = optimizer.optimize(query, warm_start=config.warm_start)
-    trajectory = milp_trajectory(
-        result.events, config.time_budget, config.sample_interval
+    settings = config.settings(
+        formulation_config=formulation_config.with_cost_model(
+            config.cost_model
+        ),
     )
-    return RunResult(
-        algorithm=label,
-        query_name=query.name,
-        trajectory=trajectory,
-        final_factor=result.optimality_factor,
-        solve_time=result.solve_time,
-        plan_description=result.plan.describe() if result.plan else "",
-        true_cost=result.true_cost,
-    )
+    return run_algorithm(query, "milp", config, label=label,
+                         settings=settings)
 
 
 def compare_on_query(
@@ -119,4 +154,6 @@ def compare_on_query(
     for formulation_config in config.milp_configs:
         adjusted = formulation_config.with_cost_model(config.cost_model)
         results.append(run_milp(query, adjusted, config))
+    for algorithm in config.extra_algorithms:
+        results.append(run_algorithm(query, algorithm, config))
     return results

@@ -36,6 +36,7 @@ from repro.milp.solution import (
     IncumbentEvent,
     MILPSolution,
     SolveStatus,
+    optimality_factor,
     relative_gap,
 )
 
@@ -85,11 +86,36 @@ class PortfolioResult:
     @property
     def optimality_factor(self) -> float:
         """Guaranteed ``cost / lower-bound`` factor (Figure 2's metric)."""
-        if math.isinf(self.objective):
-            return math.inf
-        if self.best_bound <= 0:
-            return math.inf if self.objective > 0 else 1.0
-        return max(1.0, self.objective / self.best_bound)
+        return optimality_factor(self.objective, self.best_bound)
+
+    def to_milp_solution(self, model: Model | None = None) -> MILPSolution:
+        """Fold the portfolio outcome into a single :class:`MILPSolution`.
+
+        Solver-effort counters (nodes, LP solves/pivots/time) sum over the
+        members; the incumbent and bound are the pooled best.  Pass the
+        solved ``model`` to also materialize the assignment vector ``x``
+        from the name-keyed incumbent values.
+        """
+        x = None
+        if model is not None and self.values:
+            x = model.assignment_from_names(self.values)
+        members = self.member_results.values()
+        return MILPSolution(
+            status=self.status,
+            objective=self.objective,
+            best_bound=self.best_bound,
+            x=x,
+            values=dict(self.values),
+            node_count=sum(member.node_count for member in members),
+            lp_solves=sum(member.lp_solves for member in members),
+            lp_pivots=sum(member.lp_pivots for member in members),
+            lp_time=sum(member.lp_time for member in members),
+            solve_time=self.solve_time,
+            events=[
+                IncumbentEvent(e.time, e.objective, e.bound, e.kind)
+                for e in self.events
+            ],
+        )
 
 
 def default_portfolio(

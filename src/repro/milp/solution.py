@@ -61,6 +61,22 @@ def relative_gap(objective: float, bound: float) -> float:
     return max(0.0, (objective - bound) / denominator)
 
 
+def optimality_factor(objective: float, bound: float) -> float:
+    """Guaranteed ``objective / bound`` factor (the paper's Figure 2 metric).
+
+    ``inf`` without an incumbent or a useful positive bound; 1.0 at
+    proven optimality.  Shared by every result type that reports the
+    metric (MILP solutions, portfolio outcomes, unified plan results).
+    """
+    if math.isinf(objective):
+        return math.inf
+    if bound <= 0 or math.isinf(bound):
+        # A zero/negative bound proves nothing useful for positive cost
+        # objectives; report the weakest finite statement.
+        return math.inf if objective > 0 else 1.0
+    return max(1.0, objective / bound)
+
+
 @dataclass
 class MILPSolution:
     """Result of a branch-and-bound solve.
@@ -115,13 +131,7 @@ class MILPSolution:
         plan's cost provably exceeds the optimum at most.  ``inf`` when no
         incumbent exists yet; 1.0 at proven optimality.
         """
-        if math.isinf(self.objective):
-            return math.inf
-        if self.best_bound <= 0:
-            # Bound can be zero/negative for cost objectives only when no
-            # useful bound was proven; report the weakest finite statement.
-            return math.inf if self.objective > 0 else 1.0
-        return max(1.0, self.objective / self.best_bound)
+        return optimality_factor(self.objective, self.best_bound)
 
     def value(self, name: str, default: float = 0.0) -> float:
         """Value of the named variable in the incumbent."""

@@ -1,0 +1,170 @@
+"""Every registered algorithm through the unified surface.
+
+The ISSUE-2 acceptance matrix: on a seeded 6-table chain/star/clique
+trio, every registry key returns a ``PlanResult`` whose plan passes
+:mod:`repro.plans.validation` and joins exactly the query's table set.
+"""
+
+import math
+
+import pytest
+
+from repro.api import (
+    AUTO_EXACT_MAX_TABLES,
+    OptimizerSettings,
+    available_algorithms,
+    create_optimizer,
+    route_algorithm,
+)
+from repro.milp.solution import SolveStatus
+from repro.plans.validation import validate_plan
+from repro.workloads import QueryGenerator
+
+#: Fast-but-real settings: low-precision MILP, C_out metric, capped
+#: randomized iterations — every engine still runs for real.
+SETTINGS = OptimizerSettings(
+    cost_model="cout",
+    time_limit=15.0,
+    precision="low",
+    extra={"max_iterations": 400},
+)
+
+TOPOLOGIES = ("chain", "star", "clique")
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return {
+        topology: QueryGenerator(seed=7).generate(topology, 6)
+        for topology in TOPOLOGIES
+    }
+
+
+class TestAllAlgorithmsAllTopologies:
+    @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_valid_plan_and_identical_join_set(
+        self, queries, algorithm, topology
+    ):
+        query = queries[topology]
+        result = create_optimizer(algorithm, SETTINGS).optimize(query)
+        assert result.algorithm in available_algorithms()
+        assert result.plan is not None, f"{algorithm} produced no plan"
+        validate_plan(result.plan, query)
+        assert set(result.plan.join_order) == set(query.table_names)
+        assert result.true_cost is not None
+        assert math.isfinite(result.true_cost) and result.true_cost >= 0
+        assert result.solve_time >= 0
+        assert result.diagnostics["time_limit"] == SETTINGS.time_limit
+
+
+class TestBudgetNormalization:
+    def test_per_call_time_limit_overrides_settings(self, queries):
+        optimizer = create_optimizer("ii", SETTINGS)
+        result = optimizer.optimize(queries["chain"], time_limit=0.2)
+        assert result.diagnostics["time_limit"] == 0.2
+        # The engine honors the budget: well under the 15 s default.
+        assert result.solve_time < 5.0
+
+    def test_budget_honoring_is_declared(self):
+        honored = {
+            "milp": True, "milp-portfolio": True, "selinger": True,
+            "bushy": True, "ii": True, "sa": True,
+            "ikkbz": False, "greedy": False,
+        }
+        for name, expected in honored.items():
+            optimizer = create_optimizer(name, SETTINGS)
+            assert optimizer.honors_time_limit is expected, name
+
+    def test_ignored_budget_still_recorded(self, queries):
+        result = create_optimizer("greedy", SETTINGS).optimize(
+            queries["star"], time_limit=3.0
+        )
+        assert result.diagnostics["time_limit"] == 3.0
+        assert result.diagnostics["honors_time_limit"] is False
+
+
+class TestStatusSemantics:
+    def test_selinger_proves_optimality(self, queries):
+        result = create_optimizer("selinger", SETTINGS).optimize(
+            queries["chain"]
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.optimality_factor == 1.0
+        assert result.best_bound == result.objective
+
+    def test_heuristics_prove_nothing(self, queries):
+        for name in ("greedy", "ii", "sa", "ikkbz"):
+            result = create_optimizer(name, SETTINGS).optimize(
+                queries["chain"]
+            )
+            assert result.status is SolveStatus.FEASIBLE, name
+            assert math.isinf(result.optimality_factor), name
+
+    def test_milp_matches_dp_optimum_on_small_query(self, queries):
+        query = queries["star"]
+        milp = create_optimizer("milp", SETTINGS).optimize(query)
+        dp = create_optimizer("selinger", SETTINGS).optimize(query)
+        assert milp.true_cost is not None and dp.true_cost is not None
+        # Low precision still lands within its approximation factor.
+        assert milp.true_cost <= dp.true_cost * 10.0
+
+    def test_ikkbz_falls_back_on_cyclic_graph(self, queries):
+        result = create_optimizer("ikkbz", SETTINGS).optimize(
+            queries["clique"]
+        )
+        assert result.plan is not None
+        assert result.diagnostics["fallback"] == "greedy"
+        assert "fallback_reason" in result.diagnostics
+
+
+class TestInapplicableEngines:
+    def test_selinger_over_table_cap_returns_no_solution(self):
+        query = QueryGenerator(seed=0).generate("chain", 28)
+        result = create_optimizer("selinger", SETTINGS).optimize(query)
+        assert result.plan is None
+        assert result.status is SolveStatus.NO_SOLUTION
+        assert "26" in result.diagnostics["error"]
+
+    def test_bushy_disconnected_returns_no_solution(self):
+        from repro.catalog import Column, Query, Table
+
+        query = Query(
+            tables=(
+                Table("A", 10, columns=(Column("a"),)),
+                Table("B", 20, columns=(Column("b"),)),
+            ),
+        )
+        result = create_optimizer("bushy", SETTINGS).optimize(query)
+        assert result.plan is None
+        assert result.status is SolveStatus.NO_SOLUTION
+        assert "connected" in result.diagnostics["error"]
+
+
+class TestAutoRouting:
+    def test_small_queries_use_exhaustive_dp(self, queries):
+        result = create_optimizer("auto", SETTINGS).optimize(
+            queries["chain"]
+        )
+        assert result.diagnostics["routed_to"] == "selinger"
+        assert result.diagnostics["requested_algorithm"] == "auto"
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_routing_by_shape_and_size(self):
+        generator = QueryGenerator(seed=1)
+        small = generator.generate("clique", AUTO_EXACT_MAX_TABLES)
+        assert route_algorithm(small, SETTINGS) == "selinger"
+        tree = generator.generate("chain", AUTO_EXACT_MAX_TABLES + 2)
+        assert route_algorithm(tree, SETTINGS) == "ikkbz"
+        cyclic = generator.generate("clique", AUTO_EXACT_MAX_TABLES + 2)
+        assert route_algorithm(cyclic, SETTINGS) == "milp"
+        huge = generator.generate("star", 40)
+        hash_settings = OptimizerSettings(cost_model="hash")
+        assert route_algorithm(huge, hash_settings) == "greedy"
+
+    def test_hash_cost_model_skips_ikkbz(self):
+        tree = QueryGenerator(seed=1).generate(
+            "chain", AUTO_EXACT_MAX_TABLES + 2
+        )
+        hash_settings = OptimizerSettings(cost_model="hash")
+        assert route_algorithm(tree, hash_settings) == "milp"

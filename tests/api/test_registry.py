@@ -1,0 +1,122 @@
+"""Tests for the algorithm registry and the ``Optimizer`` protocol."""
+
+import pytest
+
+from repro.api import (
+    Optimizer,
+    OptimizerRegistry,
+    OptimizerSettings,
+    PlanResult,
+    UnknownAlgorithmError,
+    available_algorithms,
+    create_optimizer,
+    default_registry,
+    register_optimizer,
+)
+from repro.exceptions import ReproError
+from repro.milp.solution import SolveStatus
+
+
+class TestBuiltinRegistrations:
+    def test_at_least_eight_algorithms(self):
+        assert len(available_algorithms()) >= 8
+
+    def test_all_documented_keys_present(self):
+        expected = {
+            "milp", "milp-portfolio", "selinger", "bushy", "ikkbz",
+            "greedy", "ii", "sa", "auto",
+        }
+        assert expected <= set(available_algorithms())
+
+    def test_names_sorted(self):
+        names = available_algorithms()
+        assert list(names) == sorted(names)
+
+    def test_create_returns_protocol_conforming_object(self):
+        optimizer = create_optimizer("greedy")
+        assert isinstance(optimizer, Optimizer)
+        assert optimizer.name == "greedy"
+
+
+class TestUnknownAlgorithm:
+    def test_error_lists_registered_names(self):
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            create_optimizer("no-such-algo")
+        message = str(excinfo.value)
+        assert "no-such-algo" in message
+        for name in available_algorithms():
+            assert name in message
+
+    def test_error_is_catchable_as_repro_error_and_key_error(self):
+        with pytest.raises(ReproError):
+            create_optimizer("nope")
+        with pytest.raises(KeyError):
+            create_optimizer("nope")
+
+
+class _FakeOptimizer:
+    """Minimal protocol-conforming third-party optimizer."""
+
+    name = "fake"
+
+    def __init__(self, settings):
+        self.settings = settings
+
+    def optimize(self, query, *, time_limit=None):
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=None,
+            status=SolveStatus.NO_SOLUTION,
+        )
+
+
+class TestThirdPartyRegistration:
+    def test_register_and_create_in_fresh_registry(self):
+        registry = OptimizerRegistry()
+
+        @registry.register("fake")
+        def _build(settings):
+            return _FakeOptimizer(settings)
+
+        assert "fake" in registry
+        assert registry.names() == ("fake",)
+        optimizer = registry.create("fake", OptimizerSettings())
+        assert optimizer.name == "fake"
+
+    def test_duplicate_registration_rejected(self):
+        registry = OptimizerRegistry()
+        registry.register("x", _FakeOptimizer)
+        with pytest.raises(ReproError, match="already registered"):
+            registry.register("x", _FakeOptimizer)
+        # Explicit replacement is allowed.
+        registry.register("x", _FakeOptimizer, replace=True)
+
+    def test_empty_name_rejected(self):
+        registry = OptimizerRegistry()
+        with pytest.raises(ReproError, match="non-empty"):
+            registry.register("", _FakeOptimizer)
+
+    def test_register_optimizer_decorator_targets_default_registry(self):
+        try:
+            register_optimizer("fake-global", _FakeOptimizer)
+            assert "fake-global" in available_algorithms()
+            optimizer = create_optimizer("fake-global")
+            assert isinstance(optimizer, _FakeOptimizer)
+        finally:
+            default_registry.unregister("fake-global")
+        assert "fake-global" not in available_algorithms()
+
+
+class TestSettingsValidation:
+    def test_bad_cost_model_rejected(self):
+        with pytest.raises(ReproError, match="cost_model"):
+            OptimizerSettings(cost_model="nope")
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ReproError, match="precision"):
+            OptimizerSettings(precision="ultra")
+
+    def test_bad_time_limit_rejected(self):
+        with pytest.raises(ReproError, match="time_limit"):
+            OptimizerSettings(time_limit=0.0)

@@ -1,0 +1,232 @@
+"""Tests for the caching, batching ``OptimizerService``."""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    OptimizerRegistry,
+    OptimizerService,
+    OptimizerSettings,
+    PlanResult,
+    UnknownAlgorithmError,
+    query_signature,
+)
+from repro.milp.solution import SolveStatus
+from repro.plans.plan import LeftDeepPlan
+from repro.workloads import QueryGenerator
+
+SETTINGS = OptimizerSettings(
+    cost_model="cout", time_limit=10.0, precision="low"
+)
+
+
+def make_query(topology="star", tables=5, seed=3):
+    return QueryGenerator(seed=seed).generate(topology, tables)
+
+
+class _CountingOptimizer:
+    """Registry plug-in that counts actual solves (cache-skip witness)."""
+
+    name = "counting"
+
+    def __init__(self, settings):
+        self.settings = settings
+        self.calls = 0
+        self.lock = threading.Lock()
+
+    def optimize(self, query, *, time_limit=None):
+        with self.lock:
+            self.calls += 1
+        plan = LeftDeepPlan.from_order(query, list(query.table_names))
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=plan,
+            status=SolveStatus.FEASIBLE,
+            objective=1.0,
+            true_cost=1.0,
+        )
+
+
+def counting_service(**kwargs):
+    registry = OptimizerRegistry()
+    registry.register("counting", _CountingOptimizer)
+    service = OptimizerService(SETTINGS, registry=registry, **kwargs)
+    return service
+
+
+class TestQuerySignature:
+    def test_identical_structure_same_signature(self):
+        first = make_query(seed=5)
+        second = make_query(seed=5)
+        assert first is not second
+        assert query_signature(first) == query_signature(second)
+
+    def test_name_is_ignored(self):
+        from dataclasses import replace
+
+        query = make_query()
+        renamed = replace(query, name="completely-different")
+        assert query_signature(query) == query_signature(renamed)
+
+    def test_different_structure_different_signature(self):
+        assert query_signature(make_query(seed=1)) != query_signature(
+            make_query(seed=2)
+        )
+
+
+class TestPlanCache:
+    def test_hit_returns_identical_result_and_counts(self):
+        service = counting_service()
+        query = make_query()
+        first = service.optimize(query, "counting")
+        second = service.optimize(query, "counting")
+        assert second is first
+        assert service.stats.hits == 1
+        assert service.stats.misses == 1
+        assert service.stats.hit_rate == 0.5
+
+    def test_hit_skips_the_solve(self):
+        service = counting_service()
+        optimizer = service._optimizer("counting")
+        query = make_query()
+        for _ in range(5):
+            service.optimize(query, "counting")
+        assert optimizer.calls == 1
+        assert service.stats.hits == 4
+
+    def test_milp_cache_hit_skips_lp_solves(self):
+        service = OptimizerService(SETTINGS)
+        query = make_query(tables=4)
+        first = service.optimize(query, "milp")
+        assert first.diagnostics["lp_solves"] > 0
+        again = service.optimize(query, "milp")
+        assert again is first  # no second solve happened at all
+        assert service.stats.hits == 1
+
+    def test_structurally_equal_query_hits(self):
+        service = counting_service()
+        first = service.optimize(make_query(seed=9), "counting")
+        second = service.optimize(make_query(seed=9), "counting")
+        assert second is first
+
+    def test_different_algorithms_do_not_collide(self):
+        registry = OptimizerRegistry()
+        registry.register("counting", _CountingOptimizer)
+        registry.register("counting2", _CountingOptimizer)
+        service = OptimizerService(SETTINGS, registry=registry)
+        query = make_query()
+        first = service.optimize(query, "counting")
+        second = service.optimize(query, "counting2")
+        assert first is not second
+        assert service.stats.hits == 0
+
+    def test_use_cache_false_bypasses(self):
+        service = counting_service()
+        query = make_query()
+        first = service.optimize(query, "counting", use_cache=False)
+        second = service.optimize(query, "counting", use_cache=False)
+        assert first is not second
+        assert service.stats.requests == 0
+
+    def test_lru_eviction(self):
+        service = counting_service(max_entries=2)
+        for seed in range(4):
+            service.optimize(make_query(seed=seed), "counting")
+        assert service.cache_size() == 2
+        assert service.stats.evictions == 2
+
+
+class TestCatalogVersioning:
+    def test_bump_invalidates(self):
+        service = counting_service()
+        query = make_query()
+        first = service.optimize(query, "counting")
+        version = service.bump_catalog_version()
+        assert version == 1
+        second = service.optimize(query, "counting")
+        assert second is not first
+        assert service.stats.invalidations == 1
+        assert service.stats.misses == 2
+        assert service.catalog_version == 1
+
+    def test_cache_refills_after_bump(self):
+        service = counting_service()
+        query = make_query()
+        service.optimize(query, "counting")
+        service.bump_catalog_version()
+        second = service.optimize(query, "counting")
+        third = service.optimize(query, "counting")
+        assert third is second
+
+
+class TestBatch:
+    def test_results_are_order_stable(self):
+        service = counting_service(max_workers=4)
+        queries = [
+            make_query(topology, tables, seed)
+            for seed, (topology, tables) in enumerate([
+                ("chain", 3), ("star", 7), ("clique", 4), ("cycle", 6),
+                ("star", 3), ("chain", 8), ("clique", 5), ("cycle", 4),
+            ])
+        ]
+        results = service.optimize_batch(queries, "counting")
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            assert result.query is query
+            assert set(result.plan.join_order) == set(query.table_names)
+
+    def test_order_independent_of_worker_count(self):
+        queries = [make_query("star", 3 + k, seed=k) for k in range(6)]
+        plans = []
+        for workers in (1, 4):
+            service = counting_service(max_workers=workers)
+            results = service.optimize_batch(queries, "counting")
+            plans.append([r.plan.join_order for r in results])
+        assert plans[0] == plans[1]
+
+    def test_batch_populates_cache(self):
+        service = counting_service(max_workers=4)
+        queries = [make_query(seed=k) for k in range(4)]
+        service.optimize_batch(queries, "counting")
+        again = service.optimize_batch(queries, "counting")
+        assert service.stats.hits == 4
+        assert [r.plan for r in again] == [
+            service.optimize(q, "counting").plan for q in queries
+        ]
+
+    def test_empty_batch(self):
+        service = counting_service()
+        assert service.optimize_batch([], "counting") == []
+
+    def test_real_algorithms_through_batch(self):
+        service = OptimizerService(SETTINGS, max_workers=4)
+        queries = [
+            make_query("chain", 5, 0),
+            make_query("star", 6, 1),
+            make_query("clique", 4, 2),
+        ]
+        results = service.optimize_batch(queries, "auto")
+        for query, result in zip(queries, results):
+            assert result.plan is not None
+            assert result.diagnostics["routed_to"] == "selinger"
+            assert set(result.plan.join_order) == set(query.table_names)
+
+
+class TestServiceErrors:
+    def test_unknown_algorithm_raises_with_names(self):
+        service = OptimizerService(SETTINGS)
+        with pytest.raises(UnknownAlgorithmError, match="milp"):
+            service.optimize(make_query(), "not-an-algo")
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            OptimizerService(max_workers=0)
+        with pytest.raises(ValueError):
+            OptimizerService(max_entries=0)
+
+    def test_algorithms_listing(self):
+        service = OptimizerService(SETTINGS)
+        assert "milp" in service.algorithms()
+        assert "auto" in service.algorithms()

@@ -97,6 +97,63 @@ class TestOptimize:
         assert code == 0
 
 
+class TestAlgorithmFlag:
+    def test_auto_smoke(self, capsys):
+        # ISSUE-2 tier-1 smoke: `optimize --algorithm auto --tables 6`.
+        code = main(["optimize", "--algorithm", "auto", "--tables", "6"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "algorithm:         auto -> " in captured.out
+        assert "plan:" in captured.out
+
+    def test_explicit_algorithms(self, capsys):
+        for algorithm in ("greedy", "selinger", "ikkbz"):
+            code = main([
+                "optimize", "--algorithm", algorithm,
+                "--topology", "chain", "--tables", "5",
+                "--cost-model", "cout",
+            ])
+            captured = capsys.readouterr()
+            assert code == 0, algorithm
+            assert "plan:" in captured.out
+
+    def test_portfolio_conflicts_with_other_algorithm(self, capsys):
+        code = main([
+            "optimize", "--algorithm", "greedy", "--portfolio",
+            "--tables", "4",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "conflicts" in captured.err
+
+    def test_inapplicable_engine_reports_cleanly(self, capsys):
+        # No traceback: the adapter turns the engine's PlanError into a
+        # NO_SOLUTION result and the CLI prints the reason, exit 1.
+        code = main([
+            "optimize", "--algorithm", "selinger", "--tables", "30",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "26" in captured.out
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        code = main([
+            "optimize", "--algorithm", "definitely-not-real",
+            "--tables", "4",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "registered:" in captured.err
+        assert "milp" in captured.err
+
+    def test_algorithms_subcommand(self, capsys):
+        code = main(["algorithms"])
+        captured = capsys.readouterr()
+        assert code == 0
+        for name in ("milp", "selinger", "auto", "greedy"):
+            assert name in captured.out
+
+
 class TestHarnessPassthrough:
     def test_figure1_subcommand(self, capsys):
         code = main([
