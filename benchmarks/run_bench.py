@@ -3,15 +3,26 @@
 
 Runs the Figure-2 query shapes through the MILP optimizer with default
 options (auto backend, warm-started node LPs) and records per-query
-solver metrics — solve time, node count, LP solves/pivots/time — plus
-the warm-vs-cold LP replay micro-benchmark, plus a per-algorithm
-comparison (``milp`` vs ``selinger`` vs ``auto``) routed through the
-:class:`repro.api.OptimizerService` so regressions introduced by the
-unified routing/caching layer show up in the cross-PR tracker.
+solver metrics — solve time, node count, LP solves/pivots/time, and the
+LP session's reuse stats (warm ratio, appended cut rows,
+refactorizations) — plus the warm-vs-cold LP replay micro-benchmark,
+plus a per-algorithm comparison (``milp`` vs ``selinger`` vs ``auto``)
+routed through the :class:`repro.api.OptimizerService` so regressions
+introduced by the unified routing/caching layer show up in the cross-PR
+tracker.
+
+``--check`` re-runs the benchmark with the *committed* baseline's own
+configuration, compares total pivots and wall time against it, and
+exits non-zero on a >20% regression of either — the cross-PR tripwire
+the ROADMAP asks for.  Wall time only compares meaningfully against a
+baseline recorded on the same host; on other hardware pass
+``--pivots-only`` to restrict the hard failure to the
+machine-independent pivot count (wall time is still printed).
 
 Usage::
 
     python benchmarks/run_bench.py [--out PATH] [--sizes 4 5] [--seeds 2]
+    python benchmarks/run_bench.py --check [--baseline PATH]
 """
 
 from __future__ import annotations
@@ -31,6 +42,10 @@ from repro.workloads import QueryGenerator  # noqa: E402
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_milp.json"
 TOPOLOGIES = ("chain", "star", "cycle")
+
+#: ``--check``: maximum tolerated growth of total pivots / wall time
+#: relative to the committed baseline.
+REGRESSION_TOLERANCE = 0.20
 
 
 def run_query(topology: str, num_tables: int, seed: int, budget: float):
@@ -57,6 +72,7 @@ def run_query(topology: str, num_tables: int, seed: int, budget: float):
         "lp_solves": milp.lp_solves if milp else 0,
         "lp_pivots": milp.lp_pivots if milp else 0,
         "lp_time": milp.lp_time if milp else 0.0,
+        "session": milp.session_stats if milp else None,
     }
 
 
@@ -96,11 +112,12 @@ def algorithm_rows(sizes, seeds: int, budget: float):
                         "wall_time": elapsed,
                         "solve_time": result.solve_time,
                     })
-    return rows, {
+    cache_stats = {
         "hits": service.stats.hits,
         "misses": service.stats.misses,
         "hit_rate": service.stats.hit_rate,
     }
+    return rows, cache_stats, service.lp_stats.as_dict()
 
 
 def warmstart_micro(topology: str, num_tables: int):
@@ -121,6 +138,117 @@ def warmstart_micro(topology: str, num_tables: int):
     }
 
 
+def run_benchmark(
+    sizes, seeds: int, budget: float, skip_micro: bool,
+    queries_only: bool = False,
+):
+    """Execute the benchmark sections; return the JSON payload.
+
+    ``queries_only`` skips the micro and per-algorithm sections —
+    ``--check`` compares only the queries-derived totals, so the gate
+    does not pay for sections it never reads.
+    """
+    queries = []
+    for topology in TOPOLOGIES:
+        for size in sizes:
+            for seed in range(seeds):
+                row = run_query(topology, size, seed, budget)
+                queries.append(row)
+                session = row["session"] or {}
+                print(
+                    f"{topology}-{size} seed{seed}: {row['status']} "
+                    f"in {row['wall_time']:.2f}s, {row['nodes']} nodes, "
+                    f"{row['lp_solves']} LPs, {row['lp_pivots']} pivots, "
+                    f"warm {session.get('warm_ratio', 0.0):.0%}"
+                )
+
+    micro = []
+    if not skip_micro and not queries_only:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        for topology in ("chain", "star"):
+            row = warmstart_micro(topology, 5)
+            micro.append(row)
+            print(
+                f"warmstart {topology}-5: {row['speedup']:.1f}x "
+                f"({row['cold_pivots']} -> {row['warm_pivots']} pivots)"
+            )
+
+    algorithms, cache_stats, lp_session_stats = [], {}, {}
+    if not queries_only:
+        algorithms, cache_stats, lp_session_stats = algorithm_rows(
+            sizes, seeds, budget
+        )
+    for row in algorithms:
+        print(
+            f"{row['algorithm']}({row['routed_to']}) "
+            f"{row['topology']}-{row['tables']} seed{row['seed']}: "
+            f"{row['status']} in {row['wall_time']:.2f}s"
+        )
+
+    sessions = [q["session"] for q in queries if q["session"]]
+    total_solves = sum(s["solves"] for s in sessions)
+    total_warm = sum(s["warm_solves"] for s in sessions)
+    return {
+        "benchmark": "BENCH_milp",
+        "config": {
+            "sizes": list(sizes),
+            "seeds": seeds,
+            "budget": budget,
+        },
+        "queries": queries,
+        "warmstart_micro": micro,
+        "algorithms": algorithms,
+        "service_cache": cache_stats,
+        "service_lp_sessions": lp_session_stats,
+        "totals": {
+            "lp_pivots": sum(q["lp_pivots"] for q in queries),
+            "lp_solves": sum(q["lp_solves"] for q in queries),
+            "lp_time": sum(q["lp_time"] for q in queries),
+            "nodes": sum(q["nodes"] for q in queries),
+            "wall_time": sum(q["wall_time"] for q in queries),
+            "session_warm_solves": total_warm,
+            "session_warm_ratio": (
+                total_warm / total_solves if total_solves else 0.0
+            ),
+            "session_rows_appended": sum(
+                s["rows_appended"] for s in sessions
+            ),
+            "session_refactorizations": sum(
+                s["refactorizations"] for s in sessions
+            ),
+        },
+    }
+
+
+def check_regression(
+    payload: dict, baseline: dict, pivots_only: bool = False
+) -> int:
+    """Compare totals against the committed baseline; 0 when clean.
+
+    ``pivots_only`` demotes the wall-time comparison to advisory (for
+    hosts other than the one that recorded the baseline).
+    """
+    failures = 0
+    for metric in ("lp_pivots", "wall_time"):
+        advisory = pivots_only and metric == "wall_time"
+        old = float(baseline.get("totals", {}).get(metric, 0.0))
+        new = float(payload["totals"][metric])
+        if old <= 0:
+            print(f"check {metric}: no baseline value, skipping")
+            continue
+        growth = (new - old) / old
+        verdict = "OK" if growth <= REGRESSION_TOLERANCE else "REGRESSION"
+        if advisory and verdict == "REGRESSION":
+            verdict = "REGRESSION (advisory)"
+        print(
+            f"check {metric}: baseline {old:.3f} -> current {new:.3f} "
+            f"({growth:+.1%}) {verdict}"
+        )
+        if growth > REGRESSION_TOLERANCE and not advisory:
+            failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
@@ -134,60 +262,49 @@ def main(argv=None) -> int:
         "--skip-micro", action="store_true",
         help="skip the warm-vs-cold LP replay micro-benchmark",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of writing; "
+        f"exit non-zero on a >{REGRESSION_TOLERANCE:.0%} pivot or "
+        "wall-time regression",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_OUT,
+        help="baseline JSON for --check (default: the committed results)",
+    )
+    parser.add_argument(
+        "--pivots-only", action="store_true",
+        help="--check: hard-fail only on the machine-independent pivot "
+        "count; report wall time as advisory",
+    )
     args = parser.parse_args(argv)
 
-    queries = []
-    for topology in TOPOLOGIES:
-        for size in args.sizes:
-            for seed in range(args.seeds):
-                row = run_query(topology, size, seed, args.budget)
-                queries.append(row)
-                print(
-                    f"{topology}-{size} seed{seed}: {row['status']} "
-                    f"in {row['wall_time']:.2f}s, {row['nodes']} nodes, "
-                    f"{row['lp_solves']} LPs, {row['lp_pivots']} pivots"
-                )
+    sizes, seeds, budget = args.sizes, args.seeds, args.budget
+    baseline = None
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; run without --check first")
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        config = baseline.get("config", {})
+        # Compare like with like: rerun the baseline's own configuration.
+        sizes = config.get("sizes", sizes)
+        seeds = config.get("seeds", seeds)
+        budget = config.get("budget", budget)
 
-    micro = []
-    if not args.skip_micro:
-        sys.path.insert(0, str(Path(__file__).resolve().parent))
-        for topology in ("chain", "star"):
-            row = warmstart_micro(topology, 5)
-            micro.append(row)
-            print(
-                f"warmstart {topology}-5: {row['speedup']:.1f}x "
-                f"({row['cold_pivots']} -> {row['warm_pivots']} pivots)"
-            )
-
-    algorithms, cache_stats = algorithm_rows(
-        args.sizes, args.seeds, args.budget
+    payload = run_benchmark(
+        sizes, seeds, budget, args.skip_micro, queries_only=args.check
     )
-    for row in algorithms:
-        print(
-            f"{row['algorithm']}({row['routed_to']}) "
-            f"{row['topology']}-{row['tables']} seed{row['seed']}: "
-            f"{row['status']} in {row['wall_time']:.2f}s"
-        )
 
-    payload = {
-        "benchmark": "BENCH_milp",
-        "config": {
-            "sizes": args.sizes,
-            "seeds": args.seeds,
-            "budget": args.budget,
-        },
-        "queries": queries,
-        "warmstart_micro": micro,
-        "algorithms": algorithms,
-        "service_cache": cache_stats,
-        "totals": {
-            "lp_pivots": sum(q["lp_pivots"] for q in queries),
-            "lp_solves": sum(q["lp_solves"] for q in queries),
-            "lp_time": sum(q["lp_time"] for q in queries),
-            "nodes": sum(q["nodes"] for q in queries),
-            "wall_time": sum(q["wall_time"] for q in queries),
-        },
-    }
+    if args.check:
+        failures = check_regression(payload, baseline, args.pivots_only)
+        if failures:
+            print(f"{failures} regression(s) beyond "
+                  f"{REGRESSION_TOLERANCE:.0%} — failing")
+            return 1
+        print("no regressions")
+        return 0
+
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2))
     print(f"wrote {args.out}")

@@ -42,6 +42,7 @@ from repro.api.registry import (
 from repro.api.result import PlanResult
 from repro.api.service import (
     CacheStats,
+    LPSessionStats,
     OptimizerService,
     query_signature,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "AUTO_EXACT_MAX_TABLES",
     "AUTO_MILP_MAX_TABLES",
     "CacheStats",
+    "LPSessionStats",
     "EngineAdapter",
     "Optimizer",
     "OptimizerRegistry",

@@ -202,6 +202,11 @@ class MILPAdapter(EngineAdapter):
                 lp_pivots=milp.lp_pivots,
                 lp_time=milp.lp_time,
             )
+            if milp.session_stats is not None:
+                # LP session reuse accounting (warm ratio, appended cut
+                # rows, refactorizations); OptimizerService aggregates
+                # this across requests.
+                diagnostics["lp_session"] = milp.session_stats
         return PlanResult(
             algorithm=self.name,
             query=query,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.catalog.query import Query
 from repro.catalog.serde import query_to_dict
+from repro.milp.lp_backend import SessionStats
 
 from repro.api.protocol import Optimizer, OptimizerSettings
 from repro.api.registry import (
@@ -65,6 +66,29 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when idle)."""
         return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class LPSessionStats(SessionStats):
+    """Aggregated LP-session reuse accounting across service requests.
+
+    Extends :class:`~repro.milp.lp_backend.SessionStats` (one shared
+    set of counters and one ``absorb``) with ``sessions``: the number
+    of optimizations that reported an ``lp_session`` diagnostic —
+    non-MILP algorithms contribute nothing.  Exposed via
+    :attr:`OptimizerService.lp_stats` and recorded by the benchmark
+    tracker.
+    """
+
+    sessions: int = 0
+
+    def absorb(self, stats: "SessionStats | dict") -> None:
+        super().absorb(stats)
+        self.sessions += 1
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (``BENCH_milp.json``)."""
+        return {"sessions": self.sessions, **super().as_dict()}
 
 
 @dataclass
@@ -116,6 +140,7 @@ class OptimizerService:
         self.max_workers = max_workers
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self.lp_stats = LPSessionStats()
         self._catalog_version = 0
         self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._optimizers: dict[str, Optimizer] = {}
@@ -182,6 +207,10 @@ class OptimizerService:
         result = self._optimizer(algorithm).optimize(
             query, time_limit=time_limit
         )
+        session_stats = result.diagnostics.get("lp_session")
+        if isinstance(session_stats, dict):
+            with self._lock:
+                self.lp_stats.absorb(session_stats)
         if use_cache and result.has_plan:
             with self._lock:
                 self._cache[key] = _CacheEntry(

@@ -2,26 +2,39 @@
 
 The paper solves its formulation with Gurobi; this package is the
 self-contained replacement: a model-building API (:class:`Model`,
-:class:`LinExpr`), LP relaxation backends (scipy HiGHS and a warm-start
-capable revised simplex), presolve, and an anytime branch-and-bound search
-(:class:`BranchAndBoundSolver`) that re-optimizes each node from its
-parent's basis.
+:class:`LinExpr`), LP relaxation backends behind the stateful
+:class:`LPSession` API (scipy HiGHS via a cold session adapter, and a
+warm revised simplex whose sessions support incremental bounds, hot cut
+rows, and cross-session basis exchange), presolve, and an anytime
+branch-and-bound search (:class:`BranchAndBoundSolver`) that drives one
+session per tree and re-optimizes each node from its parent's basis.
 """
 
 from repro.milp.branch_and_bound import (
     BranchAndBoundSolver,
     SolverOptions,
+    auto_simplex_max_vars,
     solve_milp,
 )
 from repro.milp.constraints import Constraint, Sense
-from repro.milp.cuts import Cut, CutGenerator, append_cuts, check_cut_validity
+from repro.milp.cuts import (
+    Cut,
+    CutGenerator,
+    append_cuts,
+    check_cut_validity,
+    cuts_to_rows,
+)
 from repro.milp.expr import LinExpr, lin_sum
 from repro.milp.io import read_lp, write_lp
 from repro.milp.lp_backend import (
+    BasisExchangePool,
+    ColdLPSession,
     LPBackend,
     LPResult,
+    LPSession,
     LPStatus,
     ScipyHighsBackend,
+    SessionStats,
     SimplexBasis,
     get_backend,
 )
@@ -35,29 +48,43 @@ from repro.milp.portfolio import (
     solve_portfolio,
 )
 from repro.milp.presolve import PresolveResult, presolve
-from repro.milp.simplex import DenseSimplexBackend, RevisedSimplexBackend
+from repro.milp.simplex import (
+    DenseSimplexBackend,
+    RevisedSimplexBackend,
+    SimplexSession,
+)
 from repro.milp.solution import (
     IncumbentEvent,
     MILPSolution,
     SolveStatus,
     relative_gap,
 )
-from repro.milp.standard_form import StandardForm, to_standard_form
+from repro.milp.standard_form import (
+    StandardForm,
+    extend_form_with_rows,
+    to_standard_form,
+)
 from repro.milp.variables import Variable, VarType
 
 __all__ = [
+    "BasisExchangePool",
     "BranchAndBoundSolver",
+    "ColdLPSession",
     "Constraint",
     "Cut",
     "CutGenerator",
     "append_cuts",
+    "auto_simplex_max_vars",
     "check_cut_validity",
+    "cuts_to_rows",
     "default_portfolio",
     "DenseSimplexBackend",
+    "extend_form_with_rows",
     "FEASIBILITY_TOL",
     "IncumbentEvent",
     "LPBackend",
     "LPResult",
+    "LPSession",
     "LPStatus",
     "LinExpr",
     "MILPSolution",
@@ -69,7 +96,9 @@ __all__ = [
     "RevisedSimplexBackend",
     "ScipyHighsBackend",
     "Sense",
+    "SessionStats",
     "SimplexBasis",
+    "SimplexSession",
     "SolveStatus",
     "SolverOptions",
     "StandardForm",

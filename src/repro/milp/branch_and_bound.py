@@ -13,14 +13,19 @@ provides the solver features the paper's argument rests on:
 * **primal heuristics** — LP rounding with fix-and-solve, plus iterative
   diving, to find incumbents early.
 
-LP relaxations are delegated to a pluggable backend.  The default
+LP relaxations are delegated to a pluggable backend through one stateful
+:class:`~repro.milp.lp_backend.LPSession` per search tree.  The default
 (``backend="auto"``) picks the self-contained revised simplex for small
-models and HiGHS via scipy for large ones.  When the backend supports warm
-starts (:attr:`LPBackend.supports_warm_start`), every node LP is seeded
-with its parent's optimal basis: a branching bound change leaves that
-basis dual-feasible, so the re-optimization typically takes a handful of
-dual-simplex pivots instead of a cold solve.  Diving and fix-and-solve
-heuristic re-solves warm-start the same way.
+models and HiGHS via scipy for large ones; the crossover honours the
+``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment override.  Nodes, dives and
+fix-and-solve re-solves drive the session via ``set_bounds`` and seed it
+with the parent node's optimal basis: a branching bound change leaves
+that basis dual-feasible, so the re-optimization typically takes a
+handful of dual-simplex pivots instead of a cold solve.  Root cutting
+planes go through ``add_rows``, which extends the live basis with the
+cut rows' slack columns so the cut loop stays warm too, and an optional
+:class:`~repro.milp.lp_backend.BasisExchangePool` lets concurrent
+solvers of the same form (the portfolio) seed each other's root LPs.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -35,10 +41,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.milp.cuts import CutGenerator, append_cuts
+from repro.milp.cuts import CutGenerator, cuts_to_rows
 from repro.milp.lp_backend import (
+    BasisExchangePool,
     LPBackend,
     LPResult,
+    LPSession,
     LPStatus,
     ScipyHighsBackend,
     SimplexBasis,
@@ -53,7 +61,11 @@ from repro.milp.solution import (
     SolveStatus,
     relative_gap,
 )
-from repro.milp.standard_form import StandardForm, to_standard_form
+from repro.milp.standard_form import (
+    StandardForm,
+    extend_form_with_rows,
+    to_standard_form,
+)
 
 
 @dataclass
@@ -102,6 +114,12 @@ class SolverOptions:
         Optional callable polled during the search; returning ``True``
         stops the solve as if the time limit had expired.  Used by the
         portfolio solver for cooperative cancellation.
+    basis_pool:
+        Optional :class:`~repro.milp.lp_backend.BasisExchangePool`.
+        When set (the portfolio installs one), the root LP is seeded
+        from the pool's best published basis and the solver publishes
+        its own root basis back, so concurrent searches over the same
+        form share the cold-start cost once.
     """
 
     time_limit: float = 60.0
@@ -120,13 +138,36 @@ class SolverOptions:
     max_cut_rounds: int = 8
     max_cuts_per_round: int = 50
     stop_check: Callable[[], bool] | None = None
+    basis_pool: BasisExchangePool | None = None
 
 
 #: ``backend="auto"``: largest variable count routed to the revised
 #: simplex (above it, scipy/HiGHS wins despite cold node solves; measured
 #: on the Figure-2 chain/star workloads, crossover is between the 120-
-#: and 172-variable formulations).
+#: and 172-variable formulations).  Overridable per process through the
+#: ``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment variable (crossover tuning
+#: experiments, see ROADMAP).
 AUTO_SIMPLEX_MAX_VARS = 150
+
+
+def auto_simplex_max_vars() -> int:
+    """The effective ``backend="auto"`` crossover, honouring the
+    ``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment override."""
+    raw = os.environ.get("REPRO_AUTO_SIMPLEX_MAX_VARS")
+    if raw is None or not raw.strip():
+        return AUTO_SIMPLEX_MAX_VARS
+    try:
+        return int(raw)
+    except ValueError:
+        raise SolverError(
+            f"REPRO_AUTO_SIMPLEX_MAX_VARS must be an integer, got {raw!r}"
+        ) from None
+
+
+#: Sentinel ``basis`` for :meth:`BranchAndBoundSolver._solve_lp`: keep the
+#: session's internally retained basis (used by the cut loop, where
+#: ``add_rows`` just extended that basis with the new slack columns).
+_SESSION_BASIS = object()
 
 
 @dataclass(slots=True)
@@ -155,7 +196,7 @@ class BranchAndBoundSolver:
         if backend_name == "auto":
             backend_name = (
                 "simplex"
-                if model.num_variables <= AUTO_SIMPLEX_MAX_VARS
+                if model.num_variables <= auto_simplex_max_vars()
                 else "scipy"
             )
         self._backend: LPBackend = get_backend(backend_name)
@@ -170,6 +211,12 @@ class BranchAndBoundSolver:
         self._lp_pivots = 0
         self._lp_time = 0.0
         self._form: StandardForm = to_standard_form(model)
+        # One LP session per tree: it owns the equilibrated matrix and
+        # factorization caches, nodes drive it via set_bounds, and the
+        # cut loop grows it via add_rows.  Created at the top of each
+        # solve() so late backend swaps (tests inject failures that way)
+        # and re-solves both get a fresh session.
+        self._session: LPSession | None = None
         self._integral = self._form.integral_indices
         self._priorities = np.array(
             [variable.priority for variable in model.variables]
@@ -193,6 +240,10 @@ class BranchAndBoundSolver:
     ) -> MILPSolution:
         """Minimize the model objective; return an anytime-rich solution."""
         start = time.monotonic()
+        # Drop any previous session; _solve_lp lazily opens a fresh one
+        # (after presolve, so presolve-infeasible models never pay the
+        # workspace build, and late backend swaps take effect).
+        self._session = None
         events: list[IncumbentEvent] = []
         incumbent_x: np.ndarray | None = None
         incumbent_obj = math.inf
@@ -241,7 +292,14 @@ class BranchAndBoundSolver:
                 record("incumbent", incumbent_obj, -math.inf)
 
         # ----- root relaxation ------------------------------------------
-        root_result = self._solve_lp(root_lb, root_ub)
+        # Seed from the cross-solver basis pool when one is attached
+        # (portfolio members share the same form, so one member's root
+        # basis spares every other member the cold start).
+        pool = self.options.basis_pool
+        seed_basis = pool.fetch() if pool is not None and self._warm_lp else None
+        root_result = self._solve_lp(root_lb, root_ub, seed_basis)
+        if pool is not None and root_result.status is LPStatus.OPTIMAL:
+            pool.publish(root_result.basis)
         if root_result.status is LPStatus.INFEASIBLE:
             return MILPSolution(
                 status=SolveStatus.INFEASIBLE,
@@ -253,6 +311,7 @@ class BranchAndBoundSolver:
                 lp_solves=self._lp_solves,
                 lp_pivots=self._lp_pivots,
                 lp_time=self._lp_time,
+                session_stats=self._session.stats.as_dict(),
             )
         if root_result.status is LPStatus.UNBOUNDED:
             return MILPSolution(
@@ -265,6 +324,7 @@ class BranchAndBoundSolver:
                 lp_solves=self._lp_solves,
                 lp_pivots=self._lp_pivots,
                 lp_time=self._lp_time,
+                session_stats=self._session.stats.as_dict(),
             )
         if root_result.status is LPStatus.ERROR:
             raise SolverError(f"root LP failed: {root_result.message}")
@@ -444,23 +504,33 @@ class BranchAndBoundSolver:
         self,
         lb: np.ndarray,
         ub: np.ndarray,
-        basis: SimplexBasis | None = None,
+        basis: "SimplexBasis | None | object" = None,
         form: StandardForm | None = None,
     ) -> LPResult:
-        """One backend solve with warm-start threading and accounting.
+        """One session solve with warm-start threading and accounting.
 
         ``basis`` is the parent node's optimal basis (ignored when warm
-        starting is off or unsupported); the backend itself falls back to
-        a cold solve on any basis/form mismatch.
+        starting is off or unsupported), or the :data:`_SESSION_BASIS`
+        sentinel to keep the session's internally retained basis (cut
+        loop); the session itself degrades to a cold solve on any
+        basis mismatch.  ``form`` only redirects the HiGHS *fallback*
+        solve during the cut loop, where the session already carries the
+        appended rows but ``self._form`` has not been swapped yet.
         """
         started = time.monotonic()
         target_form = form if form is not None else self._form
-        result = self._backend.solve(
-            target_form,
-            lb,
-            ub,
-            basis=basis if self._warm_lp else None,
-        )
+        session = self._session
+        if session is None:
+            # LP helpers (fix-and-solve repair, tests) may run before
+            # solve() has opened the per-tree session.
+            session = self._session = self._backend.create_session(self._form)
+        session.set_bounds(lb, ub)
+        if basis is _SESSION_BASIS:
+            if not self._warm_lp:
+                session.install_basis(None)
+        else:
+            session.install_basis(basis if self._warm_lp else None)
+        result = session.solve()
         self._lp_pivots += result.iterations
         self._lp_solves += 1
         if result.status in (
@@ -474,6 +544,7 @@ class BranchAndBoundSolver:
             if self._fallback_backend is None:
                 self._fallback_backend = ScipyHighsBackend()
             result = self._fallback_backend.solve(target_form, lb, ub)
+            self._lp_pivots += result.iterations
             self._lp_solves += 1
         self._lp_time += time.monotonic() - started
         return result
@@ -495,8 +566,12 @@ class BranchAndBoundSolver:
         """Separate cuts at the root and re-solve until no progress.
 
         Returns the final root LP result, the (possibly improved) global
-        bound, and the number of cuts added.  The tightened standard form is
-        installed on ``self._form`` so all later node LPs benefit.
+        bound, and the number of cuts added.  Cuts go through the
+        session's ``add_rows`` — a warm backend extends its basis with
+        the new slack columns, so each re-solve is a short dual-simplex
+        run instead of a cold solve of the extended form.  The tightened
+        standard form is mirrored onto ``self._form`` (fallback solves,
+        pseudocost costs) so all later node LPs benefit.
         """
         generator = CutGenerator(self.model)
         total_cuts = 0
@@ -508,12 +583,24 @@ class BranchAndBoundSolver:
             )
             if not cuts:
                 break
-            # The cut-extended form has extra rows, so the previous basis
-            # signature no longer matches: the backend solves cold.
-            candidate_form = append_cuts(self._form, cuts)
-            result = self._solve_lp(root_lb, root_ub, form=candidate_form)
+            a_rows, b_rows = cuts_to_rows(cuts, self._form.num_variables)
+            candidate_form = extend_form_with_rows(
+                self._form, a_rows, b_rows
+            )
+            self._session.add_rows(a_rows, b_rows, form=candidate_form)
+            result = self._solve_lp(
+                root_lb, root_ub, basis=_SESSION_BASIS, form=candidate_form
+            )
             if result.status is not LPStatus.OPTIMAL:
-                # Numerical trouble: keep the previous relaxation.
+                # Numerical trouble: retract the cuts by rebuilding the
+                # session on the last good relaxation (add_rows has no
+                # inverse), and keep that relaxation.  The replacement
+                # inherits the accumulated stats — minus the retracted
+                # rows, so rows_appended reflects the final relaxation.
+                accumulated = self._session.stats
+                accumulated.rows_appended -= len(cuts)
+                self._session = self._backend.create_session(self._form)
+                self._session.stats = accumulated
                 break
             self._form = candidate_form
             total_cuts += len(cuts)
@@ -791,6 +878,7 @@ class BranchAndBoundSolver:
             lp_solves=self._lp_solves,
             lp_pivots=self._lp_pivots,
             lp_time=self._lp_time,
+            session_stats=self._session.stats.as_dict(),
         )
 
 

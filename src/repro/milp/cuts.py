@@ -29,11 +29,10 @@ from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np
-from scipy import sparse
 
 from repro.milp.constraints import Sense
 from repro.milp.model import Model
-from repro.milp.standard_form import StandardForm
+from repro.milp.standard_form import StandardForm, extend_form_with_rows
 from repro.milp.variables import VarType
 
 #: Minimum violation for a cut to be worth adding.
@@ -337,44 +336,36 @@ class CutGenerator:
 # ----------------------------------------------------------------------
 
 
+def cuts_to_rows(
+    cuts: Sequence[Cut], num_variables: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Densify ``cuts`` into ``(a, b)`` row arrays for ``<=`` appending.
+
+    This is the payload :meth:`~repro.milp.lp_backend.LPSession.add_rows`
+    takes: the cut loop feeds it to the live session (which extends its
+    basis with the new slack columns and stays warm) while
+    :func:`append_cuts` mirrors the same rows onto the standard form.
+    """
+    a = np.zeros((len(cuts), num_variables))
+    b = np.empty(len(cuts))
+    for row, cut in enumerate(cuts):
+        for index, coefficient in cut.coefficients.items():
+            a[row, index] = coefficient
+        b[row] = cut.rhs
+    return a, b
+
+
 def append_cuts(form: StandardForm, cuts: Sequence[Cut]) -> StandardForm:
     """Return a new standard form with ``cuts`` appended as ``<=`` rows.
 
-    The original form is unchanged; branch-and-bound swaps in the returned
-    form so every subsequent node LP sees the tightened relaxation.
+    The original form is unchanged; branch-and-bound mirrors the session's
+    appended rows onto the returned form so fallback solves and later
+    node LPs see the tightened relaxation.
     """
     if not cuts:
         return form
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    rhs: list[float] = []
-    for row, cut in enumerate(cuts):
-        for index, coefficient in cut.coefficients.items():
-            rows.append(row)
-            cols.append(index)
-            data.append(coefficient)
-        rhs.append(cut.rhs)
-    new_block = sparse.csr_matrix(
-        (data, (rows, cols)), shape=(len(cuts), form.num_variables)
-    )
-    if form.a_ub is not None:
-        a_ub = sparse.vstack([form.a_ub, new_block], format="csr")
-        b_ub = np.concatenate([form.b_ub, np.array(rhs)])
-    else:
-        a_ub = new_block
-        b_ub = np.array(rhs)
-    return StandardForm(
-        c=form.c,
-        c0=form.c0,
-        a_ub=a_ub,
-        b_ub=b_ub,
-        a_eq=form.a_eq,
-        b_eq=form.b_eq,
-        lb=form.lb,
-        ub=form.ub,
-        integral_indices=form.integral_indices,
-    )
+    a, b = cuts_to_rows(cuts, form.num_variables)
+    return extend_form_with_rows(form, a, b)
 
 
 def check_cut_validity(

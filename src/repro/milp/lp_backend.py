@@ -1,47 +1,86 @@
-"""LP relaxation backends and the warm-start contract.
+"""LP relaxation backends and the stateful :class:`LPSession` contract.
 
-The branch-and-bound solver is backend-agnostic: it calls ``solve`` on an
-:class:`LPBackend` with per-node bound vectors.  Two backends exist:
+The branch-and-bound solver is backend-agnostic.  Since this redesign the
+primary surface is a long-lived **session** rather than a one-shot solve:
+``LPBackend.create_session(form)`` returns an :class:`LPSession` that owns
+whatever per-form state the backend needs (the revised simplex keeps the
+equilibrated matrix, the live basis and its factorization cache there) and
+is driven incrementally:
 
-* :class:`ScipyHighsBackend` wraps ``scipy.optimize.linprog`` (HiGHS).  It
-  is robust and fast on large models but solves every node from scratch.
-* :class:`~repro.milp.simplex.RevisedSimplexBackend` is the self-contained
-  revised simplex with bounded variables.  It supports **warm starts**: a
-  :class:`SimplexBasis` returned from one solve can seed the next.
+* :meth:`LPSession.set_bounds` — replace the variable-bound vectors.
+  Branch-and-bound nodes, dives and fix-and-solve heuristics are pure
+  bound changes, so a warm backend re-optimizes with a short dual-simplex
+  run instead of a cold solve.
+* :meth:`LPSession.add_rows` — append ``<=`` rows (cutting planes).  A
+  warm backend **extends the current basis with the new rows' slack
+  columns**: the extended basis is nonsingular by construction and stays
+  dual-feasible (the new duals are zero), so the cut loop re-optimizes
+  warm instead of cold-solving the extended form.
+* :meth:`LPSession.solve` — optimize under the current bounds/rows and
+  return an :class:`LPResult`.
+* :meth:`LPSession.export_basis` / :meth:`LPSession.install_basis` —
+  snapshot the session's basis and seed another session of an
+  equal-shaped form with it (the portfolio's basis-exchange pool).
 
-Warm-start contract
--------------------
-``solve(form, lb, ub, basis=None)`` may be given the :attr:`LPResult.basis`
-of a *previous* solve of the **same** :class:`StandardForm` object (or an
-equal-shaped one).  The contract is:
+Session lifecycle and invalidation rules
+----------------------------------------
+* A session is created from one :class:`StandardForm` and tracks that
+  form's *lineage*: the original columns plus any rows later appended via
+  ``add_rows``.  It must not be reused for an unrelated form.
+* ``set_bounds`` may widen or tighten bounds arbitrarily between solves;
+  correctness never depends on the previous solution remaining feasible.
+* ``add_rows`` permanently extends the session.  There is no row
+  removal; callers that may need to retract rows (the cut loop on a
+  numerical failure) discard the session and create a fresh one.
+* An installed or internally-retained basis is **advisory**.  A backend
+  that cannot use it (shape mismatch, numerically singular) silently
+  falls back to a cold solve; ``install_basis`` returns ``False`` when
+  the basis was rejected up front.  ``install_basis(None)`` clears the
+  retained basis, forcing the next solve to start cold.
+* ``export_basis`` returns the basis of the most recent ``OPTIMAL``
+  solve (or the one installed since), ``None`` before the first solve.
+  Exported bases are immutable snapshots: they stay valid after the
+  exporting session mutates or dies.
+* **Thread affinity:** a session is single-threaded — it may be created
+  on one thread and driven on another, but never driven concurrently.
+  Cross-thread sharing goes through ``export_basis``/``install_basis``
+  (snapshots are safe to hand across threads) or the
+  :class:`BasisExchangePool`.
 
-* The basis is advisory.  A backend that cannot use it (wrong backend,
-  shape mismatch after cuts were appended, numerically singular) silently
-  falls back to a cold solve; correctness never depends on the basis.
-* Bound changes between solves are unrestricted.  Branch-and-bound only
-  tightens bounds, which leaves the parent basis dual-feasible, so the
-  re-optimization is a short dual-simplex run (often zero pivots); but the
-  backend must also produce correct answers for arbitrary new bounds.
-* ``LPResult.basis`` of an ``OPTIMAL`` result is always reusable for the
-  same form; for other statuses it may be ``None``.
-* ``LPResult.iterations`` counts simplex pivots (0 for backends that do
-  not report them), which branch-and-bound aggregates into
-  ``MILPSolution.lp_pivots`` for the benchmark trajectory.
+Each session records :class:`SessionStats` (solves, warm ratio, rows
+appended, refactorizations), which branch-and-bound surfaces as
+``MILPSolution.session_stats`` and the service layer aggregates.
 
-Backends advertise warm-start support via :attr:`LPBackend.supports_warm_start`
-so the solver can skip threading bases through backends that ignore them.
+Backends and the deprecated one-shot path
+-----------------------------------------
+Two backends exist:
+
+* :class:`ScipyHighsBackend` wraps ``scipy.optimize.linprog`` (HiGHS).
+  scipy exposes no basis interface, so its sessions are *cold* adapters:
+  every ``solve`` re-solves from scratch (correct, uniform API, no
+  reuse).  ``LPResult.iterations`` still reports HiGHS's iteration count.
+* :class:`~repro.milp.simplex.RevisedSimplexBackend` provides
+  :class:`~repro.milp.simplex.SimplexSession`, the fully warm session.
+
+``LPBackend.solve(form, lb, ub, basis=None)`` remains as a **deprecated
+shim** over a throwaway session so out-of-tree callers keep working; new
+code should create a session and drive it directly.  The legacy warm-start
+contract is unchanged: the ``basis`` parameter is advisory, bound changes
+between calls are unrestricted, and ``LPResult.iterations`` counts simplex
+pivots (0 for backends that do not report them).
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import SolverError
-from repro.milp.standard_form import StandardForm
+from repro.milp.standard_form import StandardForm, extend_form_with_rows
 
 
 class LPStatus(enum.Enum):
@@ -62,19 +101,24 @@ class SimplexBasis:
     basic:
         Indices of the ``m`` basic columns in the backend's internal
         column layout (structural variables followed by one slack per
-        row).  Opaque to callers: thread it back into ``solve``.
+        row).  Opaque to callers: thread it back into ``install_basis``.
     status:
         Per-column nonbasic status (``BASIC``/``AT_LOWER``/``AT_UPPER``/
         ``FREE`` from :mod:`repro.milp.simplex`).
     signature:
-        ``(num_le_rows, num_eq_rows, num_structural)`` of the form the
-        basis was produced for; a mismatch invalidates the basis (e.g.
-        after cutting planes appended rows).
+        ``(num_le_rows, num_eq_rows, num_structural)`` of the form (or
+        session lineage) the basis was produced for; a mismatch
+        invalidates the basis.  Rows appended through
+        :meth:`LPSession.add_rows` count toward ``num_le_rows`` *and*
+        add a fourth element (the appended-row count): a grown session
+        lays its rows out differently from a fresh workspace of the
+        equal-shaped extended form, so its bases only seed sessions
+        that grew the same way.
     """
 
     basic: np.ndarray
     status: np.ndarray
-    signature: tuple[int, int, int]
+    signature: tuple[int, ...]
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,7 +126,7 @@ class LPResult:
     """Result of one LP relaxation solve.
 
     ``objective`` includes the model's constant objective term.
-    ``basis`` (when the backend supports warm starts) can seed the next
+    ``basis`` (when the backend supports warm starts) can seed another
     solve of the same form; ``iterations`` counts simplex pivots.
     """
 
@@ -94,13 +138,222 @@ class LPResult:
     iterations: int = 0
 
 
+@dataclass
+class SessionStats:
+    """Per-session reuse accounting (see :attr:`LPSession.stats`).
+
+    ``warm_solves`` counts solves that started from a retained or
+    installed basis; ``refactorizations`` counts fresh PLU
+    factorizations (0 for backends without one).
+    """
+
+    solves: int = 0
+    warm_solves: int = 0
+    pivots: int = 0
+    rows_appended: int = 0
+    refactorizations: int = 0
+    bases_installed: int = 0
+
+    #: Counter fields summed by :meth:`absorb` (``warm_ratio`` derives).
+    _COUNTERS = (
+        "solves", "warm_solves", "pivots", "rows_appended",
+        "refactorizations", "bases_installed",
+    )
+
+    @property
+    def warm_ratio(self) -> float:
+        """Fraction of solves that started warm (0.0 when idle)."""
+        return self.warm_solves / self.solves if self.solves else 0.0
+
+    def absorb(self, stats: "SessionStats | dict") -> None:
+        """Fold another session's stats (object or ``as_dict``) in.
+
+        The one aggregation point shared by the portfolio's member
+        roll-up and the service-level tracker.
+        """
+        if isinstance(stats, SessionStats):
+            stats = stats.as_dict()
+        for key in self._COUNTERS:
+            setattr(self, key, getattr(self, key) + int(stats.get(key, 0)))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (benchmarks, service diagnostics)."""
+        return {
+            "solves": self.solves,
+            "warm_solves": self.warm_solves,
+            "warm_ratio": self.warm_ratio,
+            "pivots": self.pivots,
+            "rows_appended": self.rows_appended,
+            "refactorizations": self.refactorizations,
+            "bases_installed": self.bases_installed,
+        }
+
+
+class LPSession:
+    """One stateful solving context over a single form lineage.
+
+    See the module docstring for the full lifecycle/invalidation
+    contract.  Subclasses implement :meth:`set_bounds`,
+    :meth:`add_rows` and :meth:`solve`; the basis methods have sensible
+    defaults for backends without warm-start support.
+    """
+
+    #: Name of the owning backend (diagnostics).
+    backend_name = "abstract"
+
+    #: Whether this session reuses bases across solves.
+    supports_warm_start = False
+
+    def __init__(self, form: StandardForm) -> None:
+        #: The form the session was created from (pre-``add_rows``).
+        self.form = form
+        #: Reuse accounting, updated by every operation.
+        self.stats = SessionStats()
+
+    def _validated_bounds(
+        self, lb: np.ndarray, ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Coerce and shape-check bound vectors (shared by backends).
+
+        Rejecting short vectors here matters: numpy would otherwise
+        broadcast a size-1 array over every variable and produce a
+        plausible-looking wrong feasible region.
+        """
+        lb = np.asarray(lb, dtype=float)
+        ub = np.asarray(ub, dtype=float)
+        n = self.form.num_variables
+        if lb.shape != (n,) or ub.shape != (n,):
+            raise SolverError(
+                f"bound vectors must have shape ({n},), got "
+                f"{lb.shape} and {ub.shape}"
+            )
+        return lb.copy(), ub.copy()
+
+    def _validated_rows(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Coerce and shape-check an ``a @ x <= b`` row block."""
+        a = np.atleast_2d(np.asarray(a, dtype=float))
+        b = np.atleast_1d(np.asarray(b, dtype=float))
+        if a.shape[1] != self.form.num_variables:
+            raise SolverError(
+                f"appended rows have {a.shape[1]} columns, session has "
+                f"{self.form.num_variables} variables"
+            )
+        if a.shape[0] != b.shape[0]:
+            raise SolverError(
+                f"row matrix and rhs vector lengths differ "
+                f"({a.shape[0]} vs {b.shape[0]})"
+            )
+        return a, b
+
+    def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
+        """Replace the structural variable bounds for the next solve."""
+        raise NotImplementedError
+
+    def add_rows(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        form: StandardForm | None = None,
+    ) -> None:
+        """Append ``a @ x <= b`` rows to the session's relaxation.
+
+        ``a`` is ``(k, num_variables)`` over the structural variables,
+        ``b`` is ``(k,)``.  Warm backends extend the current basis with
+        the new rows' slack columns so the next solve stays warm.
+        ``form`` optionally passes the already-materialized extended
+        :class:`StandardForm` for the same rows (callers like the cut
+        loop build it anyway for fallback solves); cold sessions adopt
+        it instead of rebuilding, warm sessions ignore it.
+        """
+        raise NotImplementedError
+
+    def solve(self) -> LPResult:
+        """Optimize under the current bounds and rows."""
+        raise NotImplementedError
+
+    def export_basis(self) -> SimplexBasis | None:
+        """Snapshot the current basis (``None`` when unsupported/cold)."""
+        return None
+
+    def install_basis(self, basis: SimplexBasis | None) -> bool:
+        """Seed the next solve with ``basis`` (``None`` forces cold).
+
+        Returns whether the basis was accepted; a rejected basis leaves
+        the session cold, never wrong.
+        """
+        return basis is None
+
+    def close(self) -> None:
+        """Release backend resources (optional; default no-op)."""
+
+
+class ColdLPSession(LPSession):
+    """Session adapter over a stateless backend: correct, never warm.
+
+    Keeps the (possibly row-extended) form and current bounds, and
+    delegates every :meth:`solve` to the backend's one-shot ``solve``.
+    This makes the session API uniform across backends — callers drive
+    ``set_bounds``/``add_rows``/``solve`` identically and simply get no
+    reuse on backends that cannot provide it.
+    """
+
+    supports_warm_start = False
+
+    def __init__(self, backend: "LPBackend", form: StandardForm) -> None:
+        super().__init__(form)
+        self.backend_name = backend.name
+        self._backend = backend
+        self._current_form = form
+        self._lb = np.asarray(form.lb, dtype=float).copy()
+        self._ub = np.asarray(form.ub, dtype=float).copy()
+
+    def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
+        self._lb, self._ub = self._validated_bounds(lb, ub)
+
+    def add_rows(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        form: StandardForm | None = None,
+    ) -> None:
+        a, b = self._validated_rows(a, b)
+        if a.shape[0] == 0:
+            return
+        self._current_form = (
+            form if form is not None
+            else extend_form_with_rows(self._current_form, a, b)
+        )
+        self.stats.rows_appended += a.shape[0]
+
+    def solve(self) -> LPResult:
+        result = self._backend.solve(self._current_form, self._lb, self._ub)
+        self.stats.solves += 1
+        self.stats.pivots += result.iterations
+        return result
+
+
 class LPBackend:
     """Interface for LP relaxation solvers."""
 
     name = "abstract"
 
-    #: Whether ``solve`` honours the ``basis`` warm-start parameter.
+    #: Whether the backend's sessions reuse bases across solves.
     supports_warm_start = False
+
+    def create_session(self, form: StandardForm) -> LPSession:
+        """Open a stateful session on ``form`` (the primary API).
+
+        The default wraps the backend's one-shot ``solve`` in a
+        :class:`ColdLPSession`; warm backends override this to return a
+        genuinely stateful session.
+        """
+        if type(self).solve is LPBackend.solve:
+            raise NotImplementedError(
+                "backend must implement solve() or create_session()"
+            )
+        return ColdLPSession(self, form)
 
     def solve(
         self,
@@ -109,19 +362,29 @@ class LPBackend:
         ub: np.ndarray,
         basis: SimplexBasis | None = None,
     ) -> LPResult:
-        """Solve the LP relaxation of ``form`` under bounds ``[lb, ub]``.
+        """One-shot solve of ``form`` under ``[lb, ub]``.
 
-        ``basis`` is an optional warm start (see the module docstring for
-        the contract); backends without warm-start support ignore it.
+        .. deprecated:: PR 3
+            Thin shim over a throwaway session, kept for out-of-tree
+            callers; create a session via :meth:`create_session` and
+            drive it directly instead.  ``basis`` is advisory, exactly
+            as under the old warm-start contract.
         """
-        raise NotImplementedError
+        session = self.create_session(form)
+        session.set_bounds(lb, ub)
+        if basis is not None:
+            session.install_basis(basis)
+        return session.solve()
 
 
 class ScipyHighsBackend(LPBackend):
     """LP backend delegating to ``scipy.optimize.linprog(method='highs')``.
 
     HiGHS re-solves from scratch on every call (scipy exposes no basis
-    interface), so ``basis`` is accepted and ignored.
+    interface), so ``create_session`` returns the correct-but-cold
+    :class:`ColdLPSession` adapter and ``basis`` is accepted and
+    ignored.  ``LPResult.iterations`` carries scipy's ``nit`` so solver
+    effort is visible on this path too.
     """
 
     name = "scipy-highs"
@@ -152,30 +415,82 @@ class ScipyHighsBackend(LPBackend):
             method="highs",
         )
         status = self._STATUS_MAP.get(result.status, LPStatus.ERROR)
+        iterations = int(getattr(result, "nit", 0) or 0)
         if status is LPStatus.OPTIMAL:
             return LPResult(
                 status=status,
                 x=np.asarray(result.x),
                 objective=float(result.fun) + form.c0,
+                message=str(result.message),
+                iterations=iterations,
             )
         return LPResult(
             status=status,
             x=None,
             objective=float("inf"),
             message=str(result.message),
+            iterations=iterations,
         )
 
 
+class BasisExchangePool:
+    """Thread-safe basis pool shared by solvers attacking the same form.
+
+    Portfolio members all solve the same model, so the first member to
+    finish its root LP publishes the optimal basis and later members
+    seed their own sessions from it via
+    :meth:`LPSession.install_basis` instead of cold-solving.  The pool
+    holds the most recently published basis (members share one form, so
+    one slot suffices); installers validate compatibility anyway — a
+    mismatched basis degrades to a cold solve, never a wrong answer.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latest: SimplexBasis | None = None
+        self.publishes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def publish(self, basis: SimplexBasis | None) -> None:
+        """Offer a basis to the pool (``None`` is silently ignored)."""
+        if basis is None:
+            return
+        with self._lock:
+            self._latest = basis
+            self.publishes += 1
+
+    def fetch(self) -> SimplexBasis | None:
+        """Most recently published basis (``None`` when empty)."""
+        with self._lock:
+            found = self._latest
+            if found is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return found
+
+    def as_dict(self) -> dict:
+        """JSON-friendly stats snapshot."""
+        with self._lock:
+            return {
+                "publishes": self.publishes,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
 def get_backend(name: str = "scipy") -> LPBackend:
-    """Return an LP backend by name.
+    """Return an LP backend by name (case- and whitespace-insensitive).
 
     ``scipy``/``scipy-highs``/``highs`` map to :class:`ScipyHighsBackend`;
     ``simplex``/``revised``/``revised-simplex``/``dense-simplex`` map to
     the warm-start capable revised simplex.
     """
-    if name in ("scipy", "scipy-highs", "highs"):
+    normalized = name.strip().lower()
+    if normalized in ("scipy", "scipy-highs", "highs"):
         return ScipyHighsBackend()
-    if name in ("simplex", "revised", "revised-simplex", "dense-simplex"):
+    if normalized in ("simplex", "revised", "revised-simplex", "dense-simplex"):
         from repro.milp.simplex import RevisedSimplexBackend
 
         return RevisedSimplexBackend()

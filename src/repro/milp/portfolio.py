@@ -18,8 +18,15 @@ Members run in Python threads; the LP backends release the GIL during the
 numerical work (HiGHS inside scipy, LAPACK/BLAS inside the revised
 simplex), which is where the time goes.  Every member inherits the
 default ``backend="auto"`` node-LP engine, so each search in the
-portfolio warm-starts its node LPs from parent bases independently.  A
-``parallel=False`` mode runs members sequentially for deterministic tests.
+portfolio warm-starts its node LPs from parent bases independently — and
+because all members solve the *same* standard form, the solver also
+wires a shared :class:`~repro.milp.lp_backend.BasisExchangePool` into
+every member: the first member to finish its root LP publishes the
+optimal basis and the others seed their own sessions from it
+(``export_basis``/``install_basis``) instead of each paying the cold
+start.  A ``parallel=False`` mode runs members sequentially for
+deterministic tests (and maximal pool reuse: every member after the
+first fetches a published basis).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.milp.branch_and_bound import BranchAndBoundSolver, SolverOptions
+from repro.milp.lp_backend import BasisExchangePool, SessionStats
 from repro.milp.model import Model
 from repro.milp.solution import (
     IncumbentEvent,
@@ -77,6 +85,9 @@ class PortfolioResult:
     solve_time: float
     member_results: dict[str, MILPSolution]
     events: list[PortfolioEvent] = field(default_factory=list)
+    #: Stats of the shared root-basis exchange pool (``None`` when
+    #: sharing was disabled): publishes, hits, misses.
+    basis_pool_stats: dict | None = None
 
     @property
     def gap(self) -> float:
@@ -100,6 +111,13 @@ class PortfolioResult:
         if model is not None and self.values:
             x = model.assignment_from_names(self.values)
         members = self.member_results.values()
+        per_member = [m.session_stats for m in members if m.session_stats]
+        session_stats = None
+        if per_member:
+            pooled = SessionStats()
+            for member_stats in per_member:
+                pooled.absorb(member_stats)
+            session_stats = pooled.as_dict()
         return MILPSolution(
             status=self.status,
             objective=self.objective,
@@ -115,6 +133,7 @@ class PortfolioResult:
                 IncumbentEvent(e.time, e.objective, e.bound, e.kind)
                 for e in self.events
             ],
+            session_stats=session_stats,
         )
 
 
@@ -224,6 +243,10 @@ class PortfolioSolver:
     parallel:
         Run members in threads (default) or sequentially (deterministic,
         used by tests and ablations).
+    share_bases:
+        Wire a shared :class:`BasisExchangePool` into every member so
+        their root LPs seed each other (on by default; disable for A/B
+        measurements of the exchange).
     """
 
     def __init__(
@@ -232,6 +255,7 @@ class PortfolioSolver:
         members: Sequence[PortfolioMember] | None = None,
         gap_tolerance: float = 1e-6,
         parallel: bool = True,
+        share_bases: bool = True,
     ) -> None:
         self.model = model
         self.members = (
@@ -244,6 +268,7 @@ class PortfolioSolver:
             raise ValueError("portfolio member names must be unique")
         self.gap_tolerance = gap_tolerance
         self.parallel = parallel
+        self.share_bases = share_bases
 
     def solve(
         self, warm_start: "dict[str, float] | None" = None
@@ -251,10 +276,11 @@ class PortfolioSolver:
         """Minimize the model with every member; return the pooled result."""
         started = time.monotonic()
         shared = _SharedState(self.gap_tolerance)
+        basis_pool = BasisExchangePool() if self.share_bases else None
         results: dict[str, MILPSolution] = {}
 
         def run_member(member: PortfolioMember) -> None:
-            options = self._member_options(member, shared)
+            options = self._member_options(member, shared, basis_pool)
             solver = BranchAndBoundSolver(self.model, options)
 
             def callback(event: IncumbentEvent) -> None:
@@ -282,16 +308,20 @@ class PortfolioSolver:
                 run_member(member)
 
         solve_time = time.monotonic() - started
-        return self._aggregate(shared, results, solve_time)
+        return self._aggregate(shared, results, solve_time, basis_pool)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
     def _member_options(
-        self, member: PortfolioMember, shared: _SharedState
+        self,
+        member: PortfolioMember,
+        shared: _SharedState,
+        basis_pool: BasisExchangePool | None,
     ) -> SolverOptions:
-        """Clone the member options with the cooperative stop installed."""
+        """Clone the member options with the cooperative stop and the
+        shared basis pool installed."""
         options = member.options
         user_stop = options.stop_check
         stop_event = shared.stop_event
@@ -306,6 +336,8 @@ class PortfolioSolver:
             for name in SolverOptions.__dataclass_fields__
         })
         cloned.stop_check = stop_check
+        if basis_pool is not None and cloned.basis_pool is None:
+            cloned.basis_pool = basis_pool
         return cloned
 
     def _aggregate(
@@ -313,6 +345,7 @@ class PortfolioSolver:
         shared: _SharedState,
         results: dict[str, MILPSolution],
         solve_time: float,
+        basis_pool: BasisExchangePool | None = None,
     ) -> PortfolioResult:
         best_objective = shared.best_objective
         best_bound = shared.best_bound
@@ -350,6 +383,9 @@ class PortfolioSolver:
             solve_time=solve_time,
             member_results=results,
             events=list(shared.events),
+            basis_pool_stats=(
+                basis_pool.as_dict() if basis_pool is not None else None
+            ),
         )
 
 

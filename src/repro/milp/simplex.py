@@ -19,14 +19,18 @@ implementation with the design used by open-source LP codes:
   with product-form eta vectors and refactorize periodically, so per-node
   work is bound-vector updates plus a refactorization — the standard-form
   matrices are built once per :class:`StandardForm` and cached.
-* **Dual simplex + warm starts.**  ``solve`` accepts the
-  :class:`~repro.milp.lp_backend.SimplexBasis` of a previous solve of the
-  same form.  A branch-and-bound bound change leaves the parent basis
-  dual-feasible, so re-optimization runs the dual simplex for a handful
-  of pivots (zero when the old solution is still feasible) instead of a
-  full cold solve.  Cold solves start from the all-slack basis, which the
-  same dual phase drives to primal feasibility before a primal-simplex
-  polish proves optimality or unboundedness.
+* **Dual simplex + warm starts.**  The primary surface is
+  :class:`SimplexSession` (via ``create_session``): the session retains
+  the optimal basis between solves, so a branch-and-bound bound change
+  re-optimizes with a handful of dual-simplex pivots (zero when the old
+  solution is still feasible) instead of a full cold solve, and
+  ``add_rows`` extends the retained basis with the appended rows' slack
+  columns so the cutting-plane loop stays warm too.  The deprecated
+  one-shot ``solve`` still accepts an explicit
+  :class:`~repro.milp.lp_backend.SimplexBasis`.  Cold solves start from
+  the all-slack basis, which the same dual phase drives to primal
+  feasibility before a primal-simplex polish proves optimality or
+  unboundedness.
 * **Anti-cycling.**  Dantzig pricing switches to Bland's rule after a run
   of degenerate pivots, which terminates classic cycling instances
   (e.g. Beale's example) that loop forever under pure Dantzig pricing.
@@ -46,7 +50,13 @@ import warnings
 import numpy as np
 from scipy.linalg import LinAlgError, LinAlgWarning, lu_factor, lu_solve
 
-from repro.milp.lp_backend import LPBackend, LPResult, LPStatus, SimplexBasis
+from repro.milp.lp_backend import (
+    LPBackend,
+    LPResult,
+    LPSession,
+    LPStatus,
+    SimplexBasis,
+)
 from repro.milp.standard_form import StandardForm
 
 #: Nonbasic/basic column statuses (stored in ``SimplexBasis.status``).
@@ -65,21 +75,130 @@ _REFACTOR_INTERVAL = 64
 _BLAND_SWITCH = 30
 
 
+class SimplexSession(LPSession):
+    """Warm stateful session of the revised simplex.
+
+    The session owns the equilibrated row matrix (a private
+    :class:`_Workspace`, grown in place by :meth:`add_rows`), the
+    retained optimal basis, and the PLU factorization cache keyed by
+    basis — so consecutive solves that revisit a basis (both children
+    of a branch-and-bound node, dive steps) skip refactorization
+    entirely.  ``add_rows`` extends the retained basis with the new
+    rows' slack columns: the extended basis matrix is block
+    lower-triangular over the old basis and an identity, hence
+    nonsingular, and the new duals are zero, so dual feasibility is
+    preserved exactly and the next solve is a short dual-simplex run
+    that drives the violated cut rows feasible.
+    """
+
+    backend_name = "revised-simplex"
+    supports_warm_start = True
+
+    def __init__(self, form: StandardForm) -> None:
+        super().__init__(form)
+        self._ws = _Workspace(form)
+        self._lu_cache: dict = {}
+        self._lb = np.asarray(form.lb, dtype=float).copy()
+        self._ub = np.asarray(form.ub, dtype=float).copy()
+        self._basis: SimplexBasis | None = None
+
+    def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
+        self._lb, self._ub = self._validated_bounds(lb, ub)
+
+    def add_rows(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        form: StandardForm | None = None,
+    ) -> None:
+        # ``form`` (a pre-built extended StandardForm) is a cold-session
+        # affordance; the warm session grows its workspace directly.
+        a, b = self._validated_rows(a, b)
+        k = a.shape[0]
+        if k == 0:
+            return
+        old_columns = self._ws.num_columns
+        self._ws.append_le_rows(a, b)
+        if self._basis is not None:
+            # Extend the basis with the new slack columns (basic).
+            new_slacks = np.arange(
+                old_columns, old_columns + k, dtype=np.int64
+            )
+            basic = np.concatenate([self._basis.basic, new_slacks])
+            status = np.concatenate(
+                [self._basis.status, np.full(k, BASIC, dtype=np.int8)]
+            )
+            self._basis = SimplexBasis(basic, status, self._ws.signature)
+        # Old factorizations have the wrong dimension now.
+        self._lu_cache.clear()
+        self.stats.rows_appended += k
+
+    def export_basis(self) -> SimplexBasis | None:
+        return self._basis
+
+    def install_basis(self, basis: SimplexBasis | None) -> bool:
+        if basis is None:
+            self._basis = None
+            return True
+        if basis.signature != self._ws.signature:
+            return False
+        self._basis = basis
+        self.stats.bases_installed += 1
+        return True
+
+    def solve(self) -> LPResult:
+        ws = self._ws
+        self.stats.solves += 1
+        if np.any(self._lb > self._ub + _FEAS_TOL):
+            return LPResult(LPStatus.INFEASIBLE, None, math.inf, "lb > ub")
+        if ws.num_rows == 0:
+            result = _solve_unconstrained(self.form, self._lb, self._ub, ws)
+            self._basis = result.basis
+            return result
+        run = _SimplexRun(ws, self._lb, self._ub, self._lu_cache)
+        status = run.optimize(self._basis)
+        if run.installed_warm:
+            self.stats.warm_solves += 1
+        self.stats.pivots += run.pivots
+        self.stats.refactorizations += run.refactorizations
+        if status is LPStatus.OPTIMAL:
+            x = run.x[: ws.num_structural] * ws.col_scale
+            objective = float(self.form.c @ x) + self.form.c0
+            self._basis = run.export_basis()
+            return LPResult(
+                LPStatus.OPTIMAL,
+                x,
+                objective,
+                basis=self._basis,
+                iterations=run.pivots,
+            )
+        bound = -math.inf if status is LPStatus.UNBOUNDED else math.inf
+        return LPResult(status, None, bound, iterations=run.pivots)
+
+    def close(self) -> None:
+        self._lu_cache.clear()
+        self._basis = None
+
+
 class RevisedSimplexBackend(LPBackend):
-    """Revised bounded-variable simplex backend (see module docstring)."""
+    """Revised bounded-variable simplex backend (see module docstring).
+
+    ``create_session`` returns the warm :class:`SimplexSession`; the
+    deprecated one-shot ``solve`` is a shim over a per-form session kept
+    alive between calls, so its workspace and factorization caches
+    survive across node solves exactly as the old implementation's did.
+    """
 
     name = "revised-simplex"
     supports_warm_start = True
 
     def __init__(self) -> None:
-        # StandardForm is built once per model; cache the dense row matrix
-        # per form object so node solves only touch bound vectors.  Keyed
-        # by id() with a strong reference kept, so ids cannot be recycled.
-        self._workspaces: dict[int, "_Workspace"] = {}
-        # Basis factorizations survive across solves: both children of a
-        # branch-and-bound node (and dive steps) warm-start from the same
-        # parent basis, so its PLU is computed once and reused.
-        self._lu_cache: dict = {}
+        # One live session per form; keyed by id() with a strong
+        # reference kept (session.form), so ids cannot be recycled.
+        self._sessions: dict[int, SimplexSession] = {}
+
+    def create_session(self, form: StandardForm) -> SimplexSession:
+        return SimplexSession(form)
 
     def solve(
         self,
@@ -88,35 +207,23 @@ class RevisedSimplexBackend(LPBackend):
         ub: np.ndarray,
         basis: SimplexBasis | None = None,
     ) -> LPResult:
-        if np.any(lb > ub + _FEAS_TOL):
-            return LPResult(LPStatus.INFEASIBLE, None, math.inf, "lb > ub")
-        ws = self._workspace(form)
-        if ws.num_rows == 0:
-            return _solve_unconstrained(form, lb, ub, ws)
-        run = _SimplexRun(ws, lb, ub, self._lu_cache)
-        status = run.optimize(basis)
-        if status is LPStatus.OPTIMAL:
-            x = run.x[: ws.num_structural] * ws.col_scale
-            objective = float(form.c @ x) + form.c0
-            return LPResult(
-                LPStatus.OPTIMAL,
-                x,
-                objective,
-                basis=run.export_basis(),
-                iterations=run.pivots,
-            )
-        bound = -math.inf if status is LPStatus.UNBOUNDED else math.inf
-        return LPResult(status, None, bound, iterations=run.pivots)
+        session = self._session_for(form)
+        session.set_bounds(lb, ub)
+        # Legacy contract: basis=None means a cold solve, and a
+        # mismatched basis silently degrades to cold.
+        if basis is None or not session.install_basis(basis):
+            session.install_basis(None)
+        return session.solve()
 
-    def _workspace(self, form: StandardForm) -> "_Workspace":
-        cached = self._workspaces.get(id(form))
+    def _session_for(self, form: StandardForm) -> SimplexSession:
+        cached = self._sessions.get(id(form))
         if cached is not None and cached.form is form:
             return cached
-        ws = _Workspace(form)
-        if len(self._workspaces) >= 8:
-            self._workspaces.pop(next(iter(self._workspaces)))
-        self._workspaces[id(form)] = ws
-        return ws
+        session = SimplexSession(form)
+        if len(self._sessions) >= 8:
+            self._sessions.pop(next(iter(self._sessions)))
+        self._sessions[id(form)] = session
+        return session
 
 
 #: Backwards-compatible alias: the dense tableau backend this replaced.
@@ -156,6 +263,8 @@ class _Workspace:
         self.slack_ub = np.where(
             np.arange(self.num_rows) < num_le, math.inf, 0.0
         )
+        #: Rows grown past the original form via append_le_rows.
+        self.appended = 0
         self.signature = (
             num_le, self.num_rows - num_le, self.num_structural,
         )
@@ -167,6 +276,60 @@ class _Workspace:
         rng = np.random.default_rng(0x5EED)
         magnitude = 1e-7 * (1.0 + np.abs(self.c_full))
         self.perturbation = magnitude * rng.uniform(0.5, 1.0, self.num_columns)
+
+    def append_le_rows(self, a_new: np.ndarray, b_new: np.ndarray) -> None:
+        """Append ``a_new @ x <= b_new`` rows in place (session growth).
+
+        New rows are equilibrated against the *existing* column scales
+        (cut coefficients are near-unit, so one power-of-two row scale
+        per row suffices) and appended at the bottom of the row block;
+        their slacks take the next column indices, so every existing
+        column index — and hence any live basis — stays valid.
+        """
+        a_new = np.atleast_2d(np.asarray(a_new, dtype=float))
+        b_new = np.atleast_1d(np.asarray(b_new, dtype=float))
+        k = a_new.shape[0]
+        if k == 0:
+            return
+        if a_new.shape[1] != self.num_structural:
+            raise ValueError(
+                f"appended rows have {a_new.shape[1]} columns, "
+                f"workspace has {self.num_structural} structural variables"
+            )
+        scaled = a_new * self.col_scale[None, :]
+        magnitude = np.abs(scaled)
+        row_scale = np.ones(k)
+        for i in range(k):
+            present = magnitude[i][magnitude[i] > 0]
+            if present.size:
+                factor = 1.0 / math.sqrt(
+                    float(present.max()) * float(present.min())
+                )
+                row_scale[i] = math.exp2(round(math.log2(factor)))
+        self.a_struct = np.vstack([self.a_struct, scaled * row_scale[:, None]])
+        self.b = np.concatenate([self.b, b_new * row_scale])
+        self.slack_lb = np.concatenate([self.slack_lb, np.zeros(k)])
+        self.slack_ub = np.concatenate([self.slack_ub, np.full(k, math.inf)])
+        self.c_full = np.concatenate([self.c_full, np.zeros(k)])
+        # Deterministic perturbation for the new slack columns, seeded by
+        # the growth step so repeated append sequences reproduce exactly.
+        rng = np.random.default_rng(0x5EED ^ (self.num_rows + k))
+        self.perturbation = np.concatenate(
+            [self.perturbation, 1e-7 * rng.uniform(0.5, 1.0, k)]
+        )
+        self.num_le += k
+        self.num_rows += k
+        self.num_columns += k
+        self.appended += k
+        # Grown lineages get a fourth signature element: a fresh
+        # workspace of the equal-shaped extended form orders its rows
+        # differently ([all LE; EQ] vs cut rows appended after the EQ
+        # block), so a 3-tuple match would install a layout-scrambled
+        # basis.  The count keeps equal-growth sessions exchangeable.
+        self.signature = (
+            self.num_le, self.num_rows - self.num_le, self.num_structural,
+            self.appended,
+        )
 
     def column(self, j: int) -> np.ndarray:
         """Dense column ``j`` of ``[A | I]``."""
@@ -268,6 +431,11 @@ class _SimplexRun:
         self.basic = np.empty(0, dtype=np.int64)
         self.status = np.empty(0, dtype=np.int8)
         self.pivots = 0
+        self.refactorizations = 0
+        #: Whether the finished solve actually started from the caller's
+        #: basis (False when it was rejected/singular and the run fell
+        #: back to the cold all-slack start) — keeps warm_solves honest.
+        self.installed_warm = False
         self.bland = False
         self._degenerate_run = 0
         self._lu = None
@@ -365,6 +533,7 @@ class _SimplexRun:
 
     def _install(self, basis: SimplexBasis | None) -> bool:
         ws = self.ws
+        self.installed_warm = False
         if basis is not None and not self._basis_usable(basis):
             basis = None
         if basis is not None:
@@ -384,6 +553,7 @@ class _SimplexRun:
         self.status[self.basic] = BASIC
         self._place_nonbasic(prior)
         self._recompute_basics()
+        self.installed_warm = basis is not None
         return True
 
     def _basis_usable(self, basis: SimplexBasis) -> bool:
@@ -485,6 +655,7 @@ class _SimplexRun:
         diag = np.abs(np.diag(self._lu[0]))
         if diag.size and diag.min() == 0.0:
             return False
+        self.refactorizations += 1
         if len(self._lu_cache) >= 16:
             self._lu_cache.pop(next(iter(self._lu_cache)))
         self._lu_cache[key] = self._lu

@@ -104,6 +104,15 @@ class MILPSolution:
         pivots across them (0 for backends that do not report pivots),
         and wall-clock seconds inside the LP backend.  The benchmark
         trajectory (``BENCH_milp.json``) tracks these across PRs.
+    session_stats:
+        Reuse accounting of the solver's LP session
+        (:meth:`~repro.milp.lp_backend.SessionStats.as_dict`: solves,
+        warm ratio, rows appended, refactorizations); ``None`` when the
+        solve never created a session (e.g. presolve infeasibility).
+        Counts only the primary session's work — per-node HiGHS
+        *fallback* solves appear in ``lp_solves``/``lp_pivots`` but not
+        here, so the two sets of counters can differ on numerically
+        hard models.
     """
 
     status: SolveStatus
@@ -117,6 +126,7 @@ class MILPSolution:
     lp_solves: int = 0
     lp_pivots: int = 0
     lp_time: float = 0.0
+    session_stats: dict | None = None
 
     @property
     def gap(self) -> float:

@@ -73,6 +73,47 @@ class StandardForm:
         return cached
 
 
+def extend_form_with_rows(
+    form: StandardForm, a: np.ndarray, b: np.ndarray
+) -> StandardForm:
+    """Return a new form with dense ``a @ x <= b`` rows appended.
+
+    The original form is unchanged.  This is the form-level counterpart
+    of :meth:`~repro.milp.lp_backend.LPSession.add_rows`: cold backends
+    rebuild the extended form through it, and the cut loop uses it to
+    keep ``BranchAndBoundSolver._form`` in sync with its session.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_1d(np.asarray(b, dtype=float))
+    if a.shape[0] == 0:
+        return form
+    if a.shape[1] != form.num_variables:
+        raise ValueError(
+            f"appended rows have {a.shape[1]} columns, "
+            f"form has {form.num_variables} variables"
+        )
+    if a.shape[0] != b.shape[0]:
+        raise ValueError("row matrix and rhs vector lengths differ")
+    new_block = sparse.csr_matrix(a)
+    if form.a_ub is not None:
+        a_ub = sparse.vstack([form.a_ub, new_block], format="csr")
+        b_ub = np.concatenate([form.b_ub, b])
+    else:
+        a_ub = new_block
+        b_ub = b.copy()
+    return StandardForm(
+        c=form.c,
+        c0=form.c0,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=form.a_eq,
+        b_eq=form.b_eq,
+        lb=form.lb,
+        ub=form.ub,
+        integral_indices=form.integral_indices,
+    )
+
+
 def to_standard_form(model: Model) -> StandardForm:
     """Convert ``model`` into sparse matrix standard form."""
     num_vars = model.num_variables

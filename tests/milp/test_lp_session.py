@@ -1,0 +1,376 @@
+"""Unit tests for the stateful LPSession backend API.
+
+Covers the session lifecycle contract (bounds, hot cut rows, basis
+export/install), the cold session adapter over HiGHS, the deprecated
+one-shot shim, the branch-and-bound cut loop staying warm, and the
+basis-exchange pool the portfolio uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.milp import (
+    BasisExchangePool,
+    BranchAndBoundSolver,
+    ColdLPSession,
+    Cut,
+    LPStatus,
+    Model,
+    RevisedSimplexBackend,
+    ScipyHighsBackend,
+    SimplexSession,
+    SolveStatus,
+    SolverOptions,
+    append_cuts,
+    auto_simplex_max_vars,
+    cuts_to_rows,
+    get_backend,
+    lin_sum,
+    solve_milp,
+    to_standard_form,
+)
+from repro.milp.branch_and_bound import AUTO_SIMPLEX_MAX_VARS
+
+
+def triangle_model():
+    """max x0+x1+x2 over pairwise conflicts: LP -1.5, clique cut -> -1."""
+    m = Model("triangle")
+    x = [m.add_binary(f"x{i}") for i in range(3)]
+    m.add_le(x[0] + x[1], 1, "e01")
+    m.add_le(x[1] + x[2], 1, "e12")
+    m.add_le(x[0] + x[2], 1, "e02")
+    m.set_objective(lin_sum(-1 * v for v in x))
+    return m
+
+
+def two_triangles_model():
+    """Two disjoint conflict triangles: root LP -3, clique cuts -> -2."""
+    m = Model("triangles")
+    x = [m.add_binary(f"x{i}") for i in range(6)]
+    for base in (0, 3):
+        m.add_le(x[base] + x[base + 1], 1, f"e{base}a")
+        m.add_le(x[base + 1] + x[base + 2], 1, f"e{base}b")
+        m.add_le(x[base] + x[base + 2], 1, f"e{base}c")
+    m.set_objective(lin_sum(-1 * v for v in x))
+    return m
+
+
+BACKENDS = [ScipyHighsBackend(), RevisedSimplexBackend()]
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: b.name)
+class TestSessionContract:
+    """Behaviour every session must share, warm or cold."""
+
+    def test_solve_and_set_bounds(self, backend):
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = backend.create_session(form)
+        session.set_bounds(lb, ub)
+        first = session.solve()
+        assert first.status is LPStatus.OPTIMAL
+        assert first.objective == pytest.approx(-1.5)
+        # Fixing x0 to 0 is a pure bound change.
+        tightened = ub.copy()
+        tightened[0] = 0.0
+        session.set_bounds(lb, tightened)
+        second = session.solve()
+        assert second.status is LPStatus.OPTIMAL
+        assert second.objective == pytest.approx(-1.0)
+        assert session.stats.solves == 2
+
+    def test_add_rows_matches_cold_extended_form(self, backend):
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = backend.create_session(form)
+        session.set_bounds(lb, ub)
+        session.solve()
+        session.add_rows(np.array([[1.0, 1.0, 1.0]]), np.array([1.0]))
+        warm = session.solve()
+        cut = Cut({0: 1.0, 1: 1.0, 2: 1.0}, 1.0, "clique")
+        cold = ScipyHighsBackend().solve(append_cuts(form, [cut]), lb, ub)
+        assert warm.status is LPStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective)
+        assert session.stats.rows_appended == 1
+
+    def test_add_rows_then_bounds_interleave(self, backend):
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = backend.create_session(form)
+        session.set_bounds(lb, ub)
+        assert session.solve().objective == pytest.approx(-3.0)
+        a = np.zeros((2, 6))
+        a[0, :3] = 1.0
+        a[1, 3:] = 1.0
+        session.add_rows(a, np.array([1.0, 1.0]))
+        assert session.solve().objective == pytest.approx(-2.0)
+        fixed = ub.copy()
+        fixed[3:] = 0.0
+        session.set_bounds(lb, fixed)
+        assert session.solve().objective == pytest.approx(-1.0)
+
+    def test_short_vectors_rejected_not_broadcast(self, backend):
+        # numpy would happily broadcast a size-1 array over every
+        # variable; the contract is a SolverError on every backend.
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = backend.create_session(form)
+        with pytest.raises(SolverError, match="shape"):
+            session.set_bounds(lb, np.array([1.0]))
+        with pytest.raises(SolverError, match="lengths differ"):
+            session.add_rows(
+                np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]]),
+                np.array([5.0]),
+            )
+        with pytest.raises(SolverError, match="columns"):
+            session.add_rows(np.array([[1.0, 1.0]]), np.array([1.0]))
+
+    def test_infeasible_bounds(self, backend):
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = backend.create_session(form)
+        session.set_bounds(lb + 2.0, ub)
+        assert session.solve().status is LPStatus.INFEASIBLE
+
+    def test_deprecated_one_shot_shim(self, backend):
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        result = backend.solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-1.5)
+
+
+class TestSimplexSessionWarmth:
+    """Reuse guarantees specific to the warm revised-simplex session."""
+
+    def test_add_rows_keeps_session_warm(self):
+        # The acceptance check: appending cut rows must re-optimize in
+        # strictly fewer pivots than the pre-session path, which
+        # cold-solved the extended form after the signature mismatch.
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        backend = RevisedSimplexBackend()
+
+        warm_session = backend.create_session(form)
+        warm_session.set_bounds(lb, ub)
+        warm_session.solve()
+        a = np.zeros((2, 6))
+        a[0, :3] = 1.0
+        a[1, 3:] = 1.0
+        warm_session.add_rows(a, np.array([1.0, 1.0]))
+        warm = warm_session.solve()
+
+        cuts = [
+            Cut({0: 1.0, 1: 1.0, 2: 1.0}, 1.0, "t0"),
+            Cut({3: 1.0, 4: 1.0, 5: 1.0}, 1.0, "t1"),
+        ]
+        cold = backend.create_session(append_cuts(form, cuts))
+        cold.set_bounds(lb, ub)
+        cold_result = cold.solve()
+
+        assert warm.objective == pytest.approx(cold_result.objective)
+        assert warm.iterations < cold_result.iterations
+        assert warm_session.stats.warm_solves >= 1
+
+    def test_basis_extension_preserves_status_layout(self):
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = RevisedSimplexBackend().create_session(form)
+        session.set_bounds(lb, ub)
+        session.solve()
+        before = session.export_basis()
+        session.add_rows(np.array([[1.0, 1.0, 1.0]]), np.array([1.0]))
+        after = session.export_basis()
+        # One more basic column (the new slack) and a matching signature.
+        assert after.basic.shape[0] == before.basic.shape[0] + 1
+        assert after.status.shape[0] == before.status.shape[0] + 1
+        assert after.signature[0] == before.signature[0] + 1
+
+    def test_install_basis_cross_session(self):
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        backend = RevisedSimplexBackend()
+        donor = backend.create_session(form)
+        donor.set_bounds(lb, ub)
+        cold = donor.solve()
+
+        recipient = backend.create_session(form)
+        recipient.set_bounds(lb, ub)
+        assert recipient.install_basis(donor.export_basis())
+        warm = recipient.solve()
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.iterations < cold.iterations
+        assert recipient.stats.bases_installed == 1
+
+    def test_install_mismatched_basis_rejected(self):
+        form_a = to_standard_form(triangle_model())
+        form_b = to_standard_form(two_triangles_model())
+        backend = RevisedSimplexBackend()
+        donor = backend.create_session(form_a)
+        donor.set_bounds(*triangle_model().bounds_arrays())
+        donor.solve()
+        recipient = backend.create_session(form_b)
+        assert not recipient.install_basis(donor.export_basis())
+        # A rejected basis leaves the session cold, not broken.
+        lb, ub = two_triangles_model().bounds_arrays()
+        recipient.set_bounds(lb, ub)
+        assert recipient.solve().status is LPStatus.OPTIMAL
+
+    def test_install_none_forces_cold(self):
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = RevisedSimplexBackend().create_session(form)
+        session.set_bounds(lb, ub)
+        first = session.solve()
+        session.install_basis(None)
+        again = session.solve()
+        assert again.iterations == first.iterations  # genuinely cold
+        assert session.export_basis() is not None  # re-established
+
+
+class TestColdSessionAdapter:
+    def test_scipy_session_is_cold_but_counts(self):
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = ScipyHighsBackend().create_session(form)
+        assert isinstance(session, ColdLPSession)
+        assert not session.supports_warm_start
+        session.set_bounds(lb, ub)
+        result = session.solve()
+        assert session.export_basis() is None
+        assert session.stats.solves == 1
+        assert session.stats.pivots == result.iterations
+
+    def test_highs_reports_iterations_and_message(self):
+        # Satellite: scipy's nit/message must reach LPResult so
+        # MILPSolution.lp_pivots is meaningful on the HiGHS path.
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        result = ScipyHighsBackend().solve(form, lb, ub)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.iterations > 0
+        assert result.message != ""
+
+    def test_milp_pivots_nonzero_on_highs_path(self):
+        model = two_triangles_model()
+        solution = solve_milp(model, SolverOptions(backend="scipy"))
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.lp_pivots > 0
+
+
+class TestBranchAndBoundSessionWiring:
+    def test_cut_loop_stays_warm(self):
+        # End-to-end acceptance: with cuts on, the solver appends rows
+        # into its live session (rows_appended > 0) and the whole solve
+        # still lands on the true optimum.
+        model = two_triangles_model()
+        solver = BranchAndBoundSolver(
+            model, SolverOptions(cuts=True, heuristics=False)
+        )
+        solution = solver.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-2.0)
+        assert solution.session_stats is not None
+        assert solution.session_stats["rows_appended"] > 0
+        assert solution.session_stats["warm_ratio"] >= 0.5
+
+    def test_session_stats_reported_without_cuts(self):
+        solution = solve_milp(two_triangles_model())
+        assert solution.session_stats is not None
+        assert solution.session_stats["solves"] >= 1
+
+    def test_cut_loop_warm_beats_cold_replay(self):
+        # Pivot-level acceptance: replay the exact cut sequence the
+        # solver separated, once through the warm session (add_rows)
+        # and once through the pre-PR path (cold solve per extended
+        # form); the warm loop must use strictly fewer pivots.
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        from repro.milp import CutGenerator
+
+        backend = RevisedSimplexBackend()
+        session = backend.create_session(form)
+        session.set_bounds(lb, ub)
+        root = session.solve()
+        generator = CutGenerator(model)
+        cuts = generator.separate(root.x)
+        assert cuts, "expected clique cuts at the fractional root"
+        a, b = cuts_to_rows(cuts, form.num_variables)
+
+        session.add_rows(a, b)
+        warm_pivots = session.solve().iterations
+
+        cold_backend = RevisedSimplexBackend()
+        cold_session = cold_backend.create_session(append_cuts(form, cuts))
+        cold_session.set_bounds(lb, ub)
+        cold_pivots = cold_session.solve().iterations
+        assert warm_pivots < cold_pivots
+
+
+class TestBasisExchangePool:
+    def test_pool_seeds_second_solver(self):
+        model = two_triangles_model()
+        pool = BasisExchangePool()
+        first = BranchAndBoundSolver(
+            model, SolverOptions(basis_pool=pool, heuristics=False)
+        )
+        first.solve()
+        assert pool.publishes >= 1
+        second = BranchAndBoundSolver(
+            model, SolverOptions(basis_pool=pool, heuristics=False)
+        )
+        solution = second.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert pool.hits >= 1
+        stats = pool.as_dict()
+        assert stats["publishes"] >= 1 and stats["hits"] >= 1
+
+    def test_pool_ignores_none_and_misses_cleanly(self):
+        pool = BasisExchangePool()
+        pool.publish(None)
+        assert pool.fetch() is None
+        assert pool.as_dict() == {"publishes": 0, "hits": 0, "misses": 1}
+
+
+class TestGetBackendNormalization:
+    def test_whitespace_and_case_accepted(self):
+        assert isinstance(get_backend(" Simplex "), RevisedSimplexBackend)
+        assert isinstance(get_backend("SCIPY"), ScipyHighsBackend)
+        assert isinstance(get_backend("Highs\n"), ScipyHighsBackend)
+
+    def test_unknown_still_rejected(self):
+        with pytest.raises(SolverError, match="unknown LP backend"):
+            get_backend("gurobi")
+
+
+class TestAutoCrossoverOverride:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTO_SIMPLEX_MAX_VARS", raising=False)
+        assert auto_simplex_max_vars() == AUTO_SIMPLEX_MAX_VARS
+
+    def test_env_override_routes_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTO_SIMPLEX_MAX_VARS", "0")
+        solver = BranchAndBoundSolver(triangle_model(), SolverOptions())
+        assert isinstance(solver._backend, ScipyHighsBackend)
+        monkeypatch.setenv("REPRO_AUTO_SIMPLEX_MAX_VARS", "10")
+        solver = BranchAndBoundSolver(triangle_model(), SolverOptions())
+        assert isinstance(solver._backend, RevisedSimplexBackend)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTO_SIMPLEX_MAX_VARS", "many")
+        with pytest.raises(SolverError, match="REPRO_AUTO_SIMPLEX_MAX_VARS"):
+            auto_simplex_max_vars()

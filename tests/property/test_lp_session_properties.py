@@ -1,0 +1,178 @@
+"""Property-based validation of the stateful LPSession contract.
+
+Two properties back the session redesign:
+
+* ``add_rows`` + a warm ``solve()`` must agree with a cold solve of the
+  extended standard form — same status, optimal objective within 1e-6 —
+  across random chain/star/clique conflict-structured models and random
+  cut-shaped appended rows.  This is the correctness contract the
+  cutting-plane loop relies on when it keeps the session warm.
+* ``install_basis`` from a *different* session of the same form must
+  converge in fewer pivots than that session's own cold solve (and to
+  the same objective) — the property the portfolio's basis-exchange
+  pool relies on.
+
+The models here use unit/small coefficients on purpose: on the big-M
+join-ordering formulations *every* LP code only answers to within its
+tolerances (HiGHS itself occasionally returns ERROR on them), so exact
+1e-6 agreement is a property of well-conditioned instances; the big-M
+path is exercised by the unit and branch-and-bound integration tests.
+"""
+
+import itertools
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import (
+    LPStatus,
+    Model,
+    RevisedSimplexBackend,
+    ScipyHighsBackend,
+    extend_form_with_rows,
+    lin_sum,
+    to_standard_form,
+)
+
+TOPOLOGIES = ("chain", "star", "clique")
+
+
+def conflict_edges(topology: str, n: int) -> list[tuple[int, int]]:
+    if topology == "chain":
+        return [(i, i + 1) for i in range(n - 1)]
+    if topology == "star":
+        return [(0, i) for i in range(1, n)]
+    return list(itertools.combinations(range(n), 2))
+
+
+def build_model(topology: str, seed: int) -> Model:
+    """Random conflict-structured MILP relaxation.
+
+    Binary variables joined by ``x_u + x_v <= 1`` rows along the given
+    topology, a random knapsack row (cover-cut shaped), and a pair of
+    bounded continuous variables linked to the binaries — the same row
+    shapes the cut separator emits, without the join formulation's
+    big-M conditioning.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 9))
+    model = Model(f"{topology}-{seed}")
+    xs = [model.add_binary(f"x{i}") for i in range(n)]
+    ys = [
+        model.add_continuous(f"y{j}", 0.0, float(rng.uniform(1.0, 5.0)))
+        for j in range(2)
+    ]
+    for u, v in conflict_edges(topology, n):
+        model.add_le(xs[u] + xs[v], 1, f"e{u}_{v}")
+    weights = rng.integers(1, 4, size=n)
+    model.add_le(
+        lin_sum(float(w) * x for w, x in zip(weights, xs)),
+        float(rng.uniform(3.0, 7.0)),
+        "knapsack",
+    )
+    model.add_le(ys[0] - lin_sum(xs), float(rng.uniform(0.0, 1.0)), "link")
+    objective = lin_sum(
+        float(c) * v
+        for c, v in zip(rng.uniform(-2.0, 1.0, n + 2), xs + ys)
+    )
+    model.set_objective(objective)
+    return model
+
+
+def random_rows(rng, num_binary: int, num_vars: int, x: np.ndarray, count: int):
+    """Random cut-shaped ``<=`` rows around the current optimum.
+
+    Like the real cover/clique cuts, rows carry ±1 coefficients on the
+    binary columns; each rhs sits near the row's activity at ``x`` —
+    some rows cut the optimum off, some are slack — which exercises
+    both the "dual phase repairs the violated cut" and the "append is a
+    no-op" paths.
+    """
+    a = np.zeros((count, num_vars))
+    b = np.empty(count)
+    for i in range(count):
+        support = rng.choice(
+            num_binary, size=int(rng.integers(2, num_binary + 1)),
+            replace=False,
+        )
+        a[i, support] = rng.choice([1.0, -1.0], size=support.size)
+        activity = float(a[i] @ x)
+        b[i] = activity + float(rng.uniform(-0.4, 0.4))
+    return a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    topology=st.sampled_from(TOPOLOGIES),
+    seed=st.integers(min_value=0, max_value=500),
+    row_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_add_rows_warm_matches_cold_extended_solve(topology, seed, row_seed):
+    model = build_model(topology, seed)
+    form = to_standard_form(model)
+    lb, ub = model.bounds_arrays()
+    backend = RevisedSimplexBackend()
+    session = backend.create_session(form)
+    session.set_bounds(lb, ub)
+    root = session.solve()
+    if root.status is not LPStatus.OPTIMAL:
+        return  # nothing to stay warm from
+
+    rng = np.random.default_rng(row_seed)
+    num_binary = int(form.integral_indices.size)  # binaries come first
+    a, b = random_rows(
+        rng, num_binary, form.num_variables, root.x,
+        count=int(rng.integers(1, 4)),
+    )
+    session.add_rows(a, b)
+    warm = session.solve()
+
+    extended = extend_form_with_rows(form, a, b)
+    cold = backend.create_session(extended)
+    cold.set_bounds(lb, ub)
+    cold_result = cold.solve()
+    reference = ScipyHighsBackend().solve(extended, lb, ub)
+
+    if LPStatus.ERROR in (warm.status, cold_result.status):
+        # Any backend may give up numerically (branch-and-bound routes
+        # that to a fallback); the property is it never answers *wrong*.
+        return
+    assert warm.status == cold_result.status == reference.status
+    if warm.status is LPStatus.OPTIMAL:
+        assert math.isclose(
+            warm.objective, cold_result.objective, rel_tol=1e-6, abs_tol=1e-6
+        )
+        assert math.isclose(
+            warm.objective, reference.objective, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    topology=st.sampled_from(TOPOLOGIES),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_install_basis_cross_session_fewer_pivots(topology, seed):
+    model = build_model(topology, seed)
+    form = to_standard_form(model)
+    lb, ub = model.bounds_arrays()
+    backend = RevisedSimplexBackend()
+    donor = backend.create_session(form)
+    donor.set_bounds(lb, ub)
+    cold = donor.solve()
+    if cold.status is not LPStatus.OPTIMAL or cold.iterations == 0:
+        return  # no cold work to beat
+
+    recipient = backend.create_session(form)
+    recipient.set_bounds(lb, ub)
+    assert recipient.install_basis(donor.export_basis())
+    warm = recipient.solve()
+    assert warm.status is LPStatus.OPTIMAL
+    assert math.isclose(
+        warm.objective, cold.objective, rel_tol=1e-6, abs_tol=1e-6
+    )
+    # Re-solving the same LP from the donor's optimal basis must beat
+    # the donor's own cold pivot count (it is typically zero pivots).
+    assert warm.iterations < cold.iterations
