@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Serving-performance entry point: emits ``BENCH_serve.json``.
+
+A closed-loop load generator over the :mod:`repro.serve` stack: N
+client threads drive an :class:`~repro.serve.OptimizationServer`
+in-process, drawing queries from the :mod:`repro.workloads` generator
+(chain/star/clique/cycle mixes) with a configurable duplicate rate —
+duplicates are what coalescing and the plan cache exist for — and a
+configurable arrival pattern:
+
+* ``closed`` — each client submits back-to-back (think time 0): the
+  classic closed loop, measuring sustainable throughput;
+* ``bursty`` — clients submit a whole burst at once and then wait for
+  it, maximizing in-flight duplication (the coalescer's best case and
+  the admission queue's worst case).
+
+Two phases are recorded:
+
+* ``interactive`` — heuristic/auto traffic across topology mixes:
+  throughput, wait/service/total latency percentiles, coalesce rate,
+  plan-cache hit rate, shed rate under the configured queue bound;
+* ``milp`` — MILP traffic over same-shaped small queries, where the
+  shared :class:`~repro.milp.lp_backend.BasisExchangePool` gives
+  cross-query warm starts: the LP warm ratio and pool hit counts join
+  the tracked trajectory.
+
+Usage::
+
+    python benchmarks/run_serve_bench.py [--out PATH] [--clients 8]
+        [--requests 20] [--duplicate-rate 0.5] [--arrival closed|bursty]
+        [--skip-milp]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import OptimizerSettings  # noqa: E402
+from repro.serve import (  # noqa: E402
+    OptimizationServer,
+    Priority,
+    RequestStatus,
+)
+from repro.workloads import QueryGenerator  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_serve.json"
+TOPOLOGIES = ("chain", "star", "clique", "cycle")
+PRIORITIES = (Priority.HIGH, Priority.NORMAL, Priority.NORMAL, Priority.LOW)
+
+
+def build_query_pool(
+    topologies, tables, pool_size: int, seed: int
+) -> list:
+    """Distinct queries the clients draw from."""
+    pool = []
+    for index in range(pool_size):
+        topology = topologies[index % len(topologies)]
+        pool.append(
+            QueryGenerator(seed=seed + index).generate(topology, tables)
+        )
+    return pool
+
+
+def drive_clients(
+    server: OptimizationServer,
+    pool: list,
+    *,
+    clients: int,
+    requests_per_client: int,
+    duplicate_rate: float,
+    arrival: str,
+    algorithm: str,
+    deadline: float | None,
+    seed: int,
+) -> dict:
+    """Run the closed loop; returns client-side aggregate counts.
+
+    ``duplicate_rate`` is the probability a request re-targets one of
+    the first few "hot" pool entries instead of a uniformly drawn one;
+    with many clients that concentrates concurrent identical queries,
+    which is exactly the traffic coalescing collapses.
+    """
+    hot = pool[: max(1, len(pool) // 8)]
+    statuses: dict[str, int] = {}
+    coalesced = 0
+    lock = threading.Lock()
+
+    def one_client(client_index: int) -> None:
+        nonlocal coalesced
+        rng = random.Random(seed * 7919 + client_index)
+
+        def draw():
+            query = (
+                rng.choice(hot) if rng.random() < duplicate_rate
+                else rng.choice(pool)
+            )
+            priority = rng.choice(PRIORITIES)
+            return query, priority
+
+        if arrival == "bursty":
+            tickets = []
+            for _ in range(requests_per_client):
+                query, priority = draw()
+                tickets.append(server.submit(
+                    query, algorithm,
+                    priority=priority, deadline=deadline,
+                ))
+            outcomes = [t.result(300) for t in tickets]
+        else:  # closed loop
+            outcomes = []
+            for _ in range(requests_per_client):
+                query, priority = draw()
+                outcomes.append(server.optimize(
+                    query, algorithm,
+                    priority=priority, deadline=deadline, timeout=300,
+                ))
+        with lock:
+            for outcome in outcomes:
+                statuses[outcome.status.value] = (
+                    statuses.get(outcome.status.value, 0) + 1
+                )
+                if outcome.coalesced:
+                    coalesced += 1
+
+    threads = [
+        threading.Thread(target=one_client, args=(index,))
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    total = clients * requests_per_client
+    completed = statuses.get(RequestStatus.COMPLETED.value, 0)
+    return {
+        "requests": total,
+        "statuses": statuses,
+        "client_observed_coalesced": coalesced,
+        "wall_time": elapsed,
+        "throughput_rps": completed / elapsed if elapsed else 0.0,
+    }
+
+
+def phase_report(server: OptimizationServer, client_side: dict) -> dict:
+    snapshot = server.metrics_snapshot()
+    return {**client_side, "server": snapshot}
+
+
+def run_interactive_phase(args) -> dict:
+    pool = build_query_pool(
+        TOPOLOGIES, args.tables, args.pool_size, args.seed
+    )
+    settings = OptimizerSettings(time_limit=args.budget)
+    server = OptimizationServer(
+        settings,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+    )
+    with server:
+        client_side = drive_clients(
+            server, pool,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            duplicate_rate=args.duplicate_rate,
+            arrival=args.arrival,
+            algorithm=args.algorithm,
+            deadline=args.deadline,
+            seed=args.seed,
+        )
+    return phase_report(server, client_side)
+
+
+def run_milp_phase(args) -> dict:
+    # Same-shaped small queries on the warm-capable simplex path, so
+    # the cross-query basis pool has signatures to hit.
+    pool = build_query_pool(
+        ("chain", "star"), args.milp_tables, 6, args.seed + 100
+    )
+    settings = OptimizerSettings(time_limit=args.milp_budget)
+    server = OptimizationServer(
+        settings,
+        workers=args.milp_workers,
+        queue_capacity=args.queue_capacity,
+    )
+    with server:
+        client_side = drive_clients(
+            server, pool,
+            clients=args.milp_clients,
+            requests_per_client=args.milp_requests,
+            duplicate_rate=args.duplicate_rate,
+            arrival="closed",
+            algorithm="milp",
+            deadline=None,
+            seed=args.seed,
+        )
+    return phase_report(server, client_side)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=20,
+                        help="requests per client (interactive phase)")
+    parser.add_argument("--pool-size", type=int, default=24,
+                        help="distinct queries in the draw pool")
+    parser.add_argument("--tables", type=int, default=6)
+    parser.add_argument("--duplicate-rate", type=float, default=0.5)
+    parser.add_argument("--arrival", choices=("closed", "bursty"),
+                        default="bursty")
+    parser.add_argument("--algorithm", default="auto")
+    parser.add_argument("--budget", type=float, default=10.0)
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-capacity", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip-milp", action="store_true")
+    parser.add_argument("--milp-clients", type=int, default=3)
+    parser.add_argument("--milp-requests", type=int, default=4)
+    parser.add_argument("--milp-tables", type=int, default=4)
+    parser.add_argument("--milp-budget", type=float, default=5.0)
+    parser.add_argument("--milp-workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    payload: dict = {
+        "benchmark": "BENCH_serve",
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "pool_size": args.pool_size,
+            "tables": args.tables,
+            "duplicate_rate": args.duplicate_rate,
+            "arrival": args.arrival,
+            "algorithm": args.algorithm,
+            "workers": args.workers,
+            "queue_capacity": args.queue_capacity,
+            "seed": args.seed,
+        },
+    }
+
+    print(f"interactive phase: {args.clients} clients x {args.requests} "
+          f"requests, dup {args.duplicate_rate:.0%}, {args.arrival} arrival")
+    interactive = run_interactive_phase(args)
+    payload["interactive"] = interactive
+    server_side = interactive["server"]
+    print(f"  throughput {interactive['throughput_rps']:.1f} req/s, "
+          f"p50 {server_side['latency']['total']['p50'] * 1000:.1f} ms, "
+          f"p99 {server_side['latency']['total']['p99'] * 1000:.1f} ms")
+    print(f"  coalesce rate {server_side['coalesce']['rate']:.1%}, "
+          f"cache hit rate {server_side['cache']['hit_rate']:.1%}, "
+          f"optimizations {server_side['optimizations']} "
+          f"for {interactive['requests']} requests")
+
+    if not args.skip_milp:
+        print(f"milp phase: {args.milp_clients} clients x "
+              f"{args.milp_requests} requests, {args.milp_tables} tables")
+        milp = run_milp_phase(args)
+        payload["milp"] = milp
+        server_side = milp["server"]
+        print(f"  throughput {milp['throughput_rps']:.2f} req/s, "
+              f"LP warm ratio {server_side['lp']['warm_ratio']:.1%}, "
+              f"basis pool {server_side.get('basis_pool')}")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

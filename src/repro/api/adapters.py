@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 import time
+from dataclasses import replace
 from typing import Any
 
 from repro.catalog.query import Query
@@ -182,12 +183,7 @@ class MILPAdapter(EngineAdapter):
         base = self.settings.extra.get("solver_options")
         if base is None:
             return SolverOptions(time_limit=budget)
-        options = SolverOptions(**{
-            name: getattr(base, name)
-            for name in SolverOptions.__dataclass_fields__
-        })
-        options.time_limit = budget
-        return options
+        return replace(base, time_limit=budget)
 
     def _from_core(self, query: Query, result) -> PlanResult:
         milp = result.milp_solution

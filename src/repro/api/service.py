@@ -191,8 +191,17 @@ class OptimizerService:
         the earlier run — no solve, no plan re-extraction — and counts in
         :attr:`stats`.  ``use_cache=False`` bypasses both lookup and
         store (ablations, nondeterministic budget experiments).
+
+        Thread-safety: safe to call concurrently from many threads (the
+        serving layer's workers do).  The catalog version is captured
+        once per call — a ``bump_catalog_version()`` racing with an
+        in-flight optimization can never publish that optimization's
+        (now stale) plan into the fresh cache generation; the result is
+        still returned to its caller, it just is not stored.
         """
-        key = self._key(query, algorithm, time_limit)
+        with self._lock:
+            version = self._catalog_version
+        key = self._key(query, algorithm, time_limit, version)
         if use_cache:
             with self._lock:
                 entry = self._cache.get(key)
@@ -213,14 +222,42 @@ class OptimizerService:
                 self.lp_stats.absorb(session_stats)
         if use_cache and result.has_plan:
             with self._lock:
-                self._cache[key] = _CacheEntry(
-                    result, self._catalog_version
-                )
-                self._cache.move_to_end(key)
-                while len(self._cache) > self.max_entries:
-                    self._cache.popitem(last=False)
-                    self.stats.evictions += 1
+                if self._catalog_version == version:
+                    self._cache[key] = _CacheEntry(result, version)
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self.max_entries:
+                        self._cache.popitem(last=False)
+                        self.stats.evictions += 1
         return result
+
+    def cached_result(
+        self,
+        query: Query,
+        algorithm: str = "auto",
+        *,
+        time_limit: float | None = None,
+    ) -> PlanResult | None:
+        """Cached :class:`PlanResult` for this request, never solving.
+
+        Returns ``None`` on a miss — unlike :meth:`optimize`, a miss is
+        not counted in :attr:`stats` (nothing was requested of the
+        optimizer); a hit is.  The serving layer uses this to answer
+        deadline-constrained requests from the full-budget cache before
+        falling back to a degraded fresh solve.
+        """
+        with self._lock:
+            version = self._catalog_version
+        key = self._key(query, algorithm, time_limit, version)
+        with self._lock:
+            entry = self._cache.get(key)
+            if (
+                entry is not None
+                and entry.catalog_version == self._catalog_version
+            ):
+                self._cache.move_to_end(key)
+                self.stats.hits += 1
+                return entry.result
+        return None
 
     def optimize_batch(
         self,
@@ -271,14 +308,24 @@ class OptimizerService:
     # ------------------------------------------------------------------
 
     def _key(
-        self, query: Query, algorithm: str, time_limit: float | None
+        self,
+        query: Query,
+        algorithm: str,
+        time_limit: float | None,
+        version: int | None = None,
     ) -> tuple:
+        """Cache key; ``version`` pins the catalog generation the caller
+        captured (so a concurrent bump cannot split one request's lookup
+        and store across generations)."""
         budget = (
             time_limit if time_limit is not None
             else self.settings.time_limit
         )
+        if version is None:
+            with self._lock:
+                version = self._catalog_version
         return (
-            self._catalog_version,
+            version,
             algorithm,
             self.settings.cost_model,
             self.settings.precision,

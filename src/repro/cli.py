@@ -23,7 +23,25 @@ Commands
     MILP formulation.
 ``algorithms``
     List every algorithm registered in :mod:`repro.api` (including
-    third-party registrations) with budget-handling notes.
+    third-party registrations) with budget-handling notes.  ``--json``
+    emits machine-readable registry metadata for serve clients and the
+    load generator.
+``serve``
+    Run the :mod:`repro.serve` optimization server with its JSON-over-
+    HTTP front end (``POST /optimize``, ``GET /metrics``,
+    ``GET /healthz``)::
+
+        python -m repro.cli serve --port 8080 --workers 4
+        curl -s localhost:8080/healthz
+
+    Requests carry an optional ``priority`` and ``deadline_ms``;
+    admission control sheds load with HTTP 503 when the queue is full,
+    and deadline-constrained MILP requests run under a degraded budget
+    instead of answering late.  Pair it with the closed-loop load
+    generator ``python benchmarks/run_serve_bench.py`` (chain/star/
+    clique/cycle mixes, configurable duplicate rate and arrival
+    pattern) to measure throughput, latency percentiles and
+    coalesce/cache/warm ratios.
 ``generate``
     Generate a random query and write it as JSON.
 ``figure1`` / ``figure2`` / ``ablation``
@@ -91,8 +109,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-check against exhaustive DP (small queries only)",
     )
 
-    commands.add_parser(
+    algorithms = commands.add_parser(
         "algorithms", help="list registered optimization algorithms"
+    )
+    algorithms.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable registry metadata",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the JSON-over-HTTP optimization server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--time-limit", type=float, default=30.0,
+                       help="default optimization budget in seconds")
+    serve.add_argument(
+        "--default-deadline", type=float, default=None,
+        help="deadline (seconds) applied to requests that send none",
+    )
+    serve.add_argument(
+        "--cost-model", default="hash",
+        choices=("cout", "hash", "sort_merge", "bnl"),
+    )
+    serve.add_argument(
+        "--precision", default="high", choices=("high", "medium", "low")
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable in-flight request coalescing",
+    )
+    serve.add_argument(
+        "--no-share-bases", action="store_true",
+        help="disable the cross-query basis exchange pool",
     )
 
     generate = commands.add_parser(
@@ -207,13 +258,39 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
-def _cmd_algorithms(args) -> int:
+def _algorithm_metadata() -> list[dict]:
+    """Machine-readable registry rows (the ``algorithms --json`` payload).
+
+    Serve clients and the load generator consume this instead of
+    scraping the human-readable listing: each row carries the registry
+    key, whether the engine honors a time budget (``None`` = depends on
+    routing), and the first line of the adapter's docstring.
+    """
     from repro.api import default_registry
 
-    print("registered algorithms:")
+    rows = []
     for name in available_algorithms():
         factory = default_registry.factory(name)
-        honors = getattr(factory, "honors_time_limit", "unknown")
+        doc = (factory.__doc__ or "").strip().splitlines()
+        rows.append({
+            "name": name,
+            "honors_time_limit": getattr(
+                factory, "honors_time_limit", None
+            ),
+            "description": doc[0] if doc else "",
+        })
+    return rows
+
+
+def _cmd_algorithms(args) -> int:
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps({"algorithms": _algorithm_metadata()}, indent=2))
+        return 0
+    print("registered algorithms:")
+    for row in _algorithm_metadata():
+        honors = row["honors_time_limit"]
         if honors is True:
             note = "honors --time-limit"
         elif honors is False:
@@ -222,7 +299,39 @@ def _cmd_algorithms(args) -> int:
             note = "budget handling depends on the routed algorithm"
         else:
             note = ""
-        print(f"  {name:<16} {note}")
+        print(f"  {row['name']:<16} {note}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.api import OptimizerSettings as _Settings
+    from repro.serve import OptimizationServer, make_http_server
+
+    settings = _Settings(
+        cost_model=args.cost_model,
+        time_limit=args.time_limit,
+        precision=args.precision,
+    )
+    server = OptimizationServer(
+        settings,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline=args.default_deadline,
+        coalesce=not args.no_coalesce,
+        share_bases=not args.no_share_bases,
+    )
+    httpd = make_http_server(server, args.host, args.port)
+    host, port = httpd.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"({args.workers} workers, queue {args.queue_capacity}); "
+          f"POST /optimize, GET /metrics, GET /healthz; Ctrl-C to drain")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...")
+    finally:
+        httpd.shutdown()
+        server.stop(drain=True)
     return 0
 
 
@@ -252,6 +361,8 @@ def main(argv=None) -> int:
         return _cmd_optimize(args)
     if args.command == "algorithms":
         return _cmd_algorithms(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "figure1":

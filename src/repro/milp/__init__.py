@@ -28,6 +28,7 @@ from repro.milp.expr import LinExpr, lin_sum
 from repro.milp.io import read_lp, write_lp
 from repro.milp.lp_backend import (
     BasisExchangePool,
+    form_signature,
     ColdLPSession,
     LPBackend,
     LPResult,
@@ -68,6 +69,7 @@ from repro.milp.variables import Variable, VarType
 
 __all__ = [
     "BasisExchangePool",
+    "form_signature",
     "BranchAndBoundSolver",
     "ColdLPSession",
     "Constraint",

@@ -50,6 +50,7 @@ from repro.milp.lp_backend import (
     LPStatus,
     ScipyHighsBackend,
     SimplexBasis,
+    form_signature,
     get_backend,
 )
 from repro.milp.simplex import RevisedSimplexBackend
@@ -292,11 +293,18 @@ class BranchAndBoundSolver:
                 record("incumbent", incumbent_obj, -math.inf)
 
         # ----- root relaxation ------------------------------------------
-        # Seed from the cross-solver basis pool when one is attached
-        # (portfolio members share the same form, so one member's root
-        # basis spares every other member the cold start).
+        # Seed from the cross-solver basis pool when one is attached.
+        # The fetch is keyed by this form's signature: portfolio members
+        # share the same form (one member's root basis spares every
+        # other member the cold start), and the serving layer shares one
+        # pool across *queries*, where only equal-shaped formulations
+        # can seed each other.
         pool = self.options.basis_pool
-        seed_basis = pool.fetch() if pool is not None and self._warm_lp else None
+        seed_basis = (
+            pool.fetch(form_signature(self._form))
+            if pool is not None and self._warm_lp
+            else None
+        )
         root_result = self._solve_lp(root_lb, root_ub, seed_basis)
         if pool is not None and root_result.status is LPStatus.OPTIMAL:
             pool.publish(root_result.basis)

@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import enum
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -119,6 +120,22 @@ class SimplexBasis:
     basic: np.ndarray
     status: np.ndarray
     signature: tuple[int, ...]
+
+
+def form_signature(form: StandardForm) -> tuple[int, int, int]:
+    """The :attr:`SimplexBasis.signature` a fresh session of ``form``
+    would produce: ``(num_le_rows, num_eq_rows, num_structural)``.
+
+    Computed from the matrix shapes alone (no equality-form
+    materialization), so callers can ask a :class:`BasisExchangePool`
+    for a compatible basis before building any session state.  Grown
+    sessions (``add_rows``) carry a fourth element and are deliberately
+    *not* matched — their bases only transfer to sessions grown the
+    same way.
+    """
+    num_le = form.a_ub.shape[0] if form.a_ub is not None else 0
+    num_eq = form.a_eq.shape[0] if form.a_eq is not None else 0
+    return (num_le, num_eq, form.num_variables)
 
 
 @dataclass(frozen=True, slots=True)
@@ -434,20 +451,40 @@ class ScipyHighsBackend(LPBackend):
 
 
 class BasisExchangePool:
-    """Thread-safe basis pool shared by solvers attacking the same form.
+    """Thread-safe basis pool shared by solvers attacking related forms.
 
-    Portfolio members all solve the same model, so the first member to
-    finish its root LP publishes the optimal basis and later members
-    seed their own sessions from it via
-    :meth:`LPSession.install_basis` instead of cold-solving.  The pool
-    holds the most recently published basis (members share one form, so
-    one slot suffices); installers validate compatibility anyway — a
-    mismatched basis degrades to a cold solve, never a wrong answer.
+    Two sharing patterns go through the pool:
+
+    * **Portfolio members** all solve the *same* model: the first member
+      to finish its root LP publishes the optimal basis and later
+      members seed their own sessions from it via
+      :meth:`LPSession.install_basis` instead of cold-solving.
+    * **Cross-query sharing** (the serving layer): concurrent requests
+      over *different* queries of the same shape — e.g. two star-6
+      join-ordering formulations — produce equal-signature standard
+      forms, so one query's root basis warm-starts another query's
+      root LP.  Bases are therefore kept per
+      :attr:`SimplexBasis.signature` (bounded by
+      ``max_signatures``, FIFO eviction), and :meth:`fetch` takes the
+      caller's form signature so a star-6 request never thrashes a
+      chain-10 slot.
+
+    Installers validate compatibility anyway — a mismatched basis
+    degrades to a cold solve, never a wrong answer.  ``fetch()`` without
+    a signature keeps the legacy "most recently published" behaviour the
+    portfolio relies on (its members share one form, so one slot is
+    enough there).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_signatures: int = 64) -> None:
+        if max_signatures < 1:
+            raise ValueError("max_signatures must be >= 1")
         self._lock = threading.Lock()
         self._latest: SimplexBasis | None = None
+        self._by_signature: "OrderedDict[tuple, SimplexBasis]" = (
+            OrderedDict()
+        )
+        self._max_signatures = max_signatures
         self.publishes = 0
         self.hits = 0
         self.misses = 0
@@ -458,17 +495,38 @@ class BasisExchangePool:
             return
         with self._lock:
             self._latest = basis
+            signature = tuple(basis.signature)
+            self._by_signature[signature] = basis
+            self._by_signature.move_to_end(signature)
+            while len(self._by_signature) > self._max_signatures:
+                self._by_signature.popitem(last=False)
             self.publishes += 1
 
-    def fetch(self) -> SimplexBasis | None:
-        """Most recently published basis (``None`` when empty)."""
+    def fetch(
+        self, signature: "tuple[int, ...] | None" = None
+    ) -> SimplexBasis | None:
+        """A published basis usable for ``signature`` (``None`` if none).
+
+        Without a signature, the most recently published basis of any
+        shape is returned (legacy single-form behaviour).  With one,
+        only a basis published for exactly that form shape is returned —
+        a miss rather than a guaranteed-rejected candidate.
+        """
         with self._lock:
-            found = self._latest
+            if signature is None:
+                found = self._latest
+            else:
+                found = self._by_signature.get(tuple(signature))
             if found is None:
                 self.misses += 1
             else:
                 self.hits += 1
             return found
+
+    def signatures(self) -> int:
+        """Number of distinct form shapes currently held."""
+        with self._lock:
+            return len(self._by_signature)
 
     def as_dict(self) -> dict:
         """JSON-friendly stats snapshot."""
@@ -477,6 +535,7 @@ class BasisExchangePool:
                 "publishes": self.publishes,
                 "hits": self.hits,
                 "misses": self.misses,
+                "signatures": len(self._by_signature),
             }
 
 

@@ -69,6 +69,11 @@ _PIVOT_TOL = 1e-8
 #: triggers a refactorization.
 _CONSISTENCY_TOL = 1e-9
 _MAX_ITERATIONS = 20000
+#: Absolute floor for the per-column polish tolerances: converting the
+#: raw-space tolerance through extreme equilibration scales can ask for
+#: thresholds below double-precision noise; anything tighter than this
+#: is unverifiable and would just churn pivots.
+_POLISH_TOL_FLOOR = 1e-12
 #: Eta vectors accumulated before a fresh PLU refactorization.
 _REFACTOR_INTERVAL = 64
 #: Consecutive (near-)degenerate pivots before Bland's rule engages.
@@ -276,6 +281,41 @@ class _Workspace:
         rng = np.random.default_rng(0x5EED)
         magnitude = 1e-7 * (1.0 + np.abs(self.c_full))
         self.perturbation = magnitude * rng.uniform(0.5, 1.0, self.num_columns)
+        self._build_polish_tols(row_scale, col_scale)
+
+    def _build_polish_tols(
+        self, row_scale: np.ndarray, col_scale: np.ndarray
+    ) -> None:
+        """Per-column tolerances equivalent to *raw-space* tolerances.
+
+        The solver works in equilibrated space, where the scalar
+        ``_FEAS_TOL``/``_DUAL_TOL`` mean different raw-space amounts per
+        column: a structural bound violation unscales as ``col_scale *
+        v`` and a slack (row residual) as ``v / row_scale``; a reduced
+        cost unscales as ``d / col_scale`` (structural) and ``d *
+        row_scale`` (slack).  On big-M forms those factors reach 1e5+,
+        so the scalar tolerances silently accept raw infeasibility
+        (claimed optima *below* the HiGHS reference) or miss profitable
+        moves whose scaled reduced cost is tiny (the perturbation
+        clean-up stopping early).  These vectors tighten each column to
+        whichever of raw/scaled tolerance is stricter, floored at 1e-12
+        to stay above double-precision noise; the final polish pass
+        (:meth:`_SimplexRun._polish`) enforces them.
+        """
+        self.feas_tol = np.maximum(
+            np.concatenate([
+                _FEAS_TOL * np.minimum(1.0, 1.0 / col_scale),
+                _FEAS_TOL * np.minimum(1.0, row_scale),
+            ]),
+            _POLISH_TOL_FLOOR,
+        )
+        self.dual_tol = np.maximum(
+            np.concatenate([
+                _DUAL_TOL * np.minimum(1.0, col_scale),
+                _DUAL_TOL * np.minimum(1.0, 1.0 / row_scale),
+            ]),
+            _POLISH_TOL_FLOOR,
+        )
 
     def append_le_rows(self, a_new: np.ndarray, b_new: np.ndarray) -> None:
         """Append ``a_new @ x <= b_new`` rows in place (session growth).
@@ -311,6 +351,21 @@ class _Workspace:
         self.slack_lb = np.concatenate([self.slack_lb, np.zeros(k)])
         self.slack_ub = np.concatenate([self.slack_ub, np.full(k, math.inf)])
         self.c_full = np.concatenate([self.c_full, np.zeros(k)])
+        # New slack columns take the tolerance implied by their row scale
+        # (appended at the end, so existing column tolerances stay put).
+        self.feas_tol = np.concatenate([
+            self.feas_tol,
+            np.maximum(
+                _FEAS_TOL * np.minimum(1.0, row_scale), _POLISH_TOL_FLOOR
+            ),
+        ])
+        self.dual_tol = np.concatenate([
+            self.dual_tol,
+            np.maximum(
+                _DUAL_TOL * np.minimum(1.0, 1.0 / row_scale),
+                _POLISH_TOL_FLOOR,
+            ),
+        ])
         # Deterministic perturbation for the new slack columns, seeded by
         # the growth step so repeated append sequences reproduce exactly.
         rng = np.random.default_rng(0x5EED ^ (self.num_rows + k))
@@ -507,20 +562,73 @@ class _SimplexRun:
         raise _NumericalTrouble
 
     def _cleanup_perturbation(self) -> LPStatus:
-        """Finish on the true costs.
+        """Finish on the true costs, then polish to raw-space tolerances.
 
         The perturbed optimum is primal feasible for the true problem;
         one more primal pass removes any profitable move the perturbation
-        was hiding (usually zero pivots).
+        was hiding (usually zero pivots).  The polish rounds then enforce
+        the per-column raw-equivalent tolerances — without them, big-M
+        column/row scales let this clean-up stop early: scaled reduced
+        costs below ``_DUAL_TOL`` can unscale to O(0.1) raw improvements,
+        and scaled-feasible slacks can hide raw infeasibility whose
+        claimed objective undercuts the true optimum.
         """
         if self._perturbed:
             self._drop_perturbation()
             status = self._primal_phase()
             if status is not LPStatus.OPTIMAL:
                 return status
-        if self._max_violation() <= 10 * _FEAS_TOL:
-            return LPStatus.OPTIMAL
+        if self._max_violation() > 10 * _FEAS_TOL:
+            raise _NumericalTrouble
+        return self._polish()
+
+    def _polish(self) -> LPStatus:
+        """Re-optimize under the per-column raw-equivalent tolerances.
+
+        On well-conditioned forms every column's polish tolerance equals
+        the scalar one, both phases find nothing to do, and this costs
+        one reduced-cost evaluation.  On big-M forms it runs the extra
+        dual/primal pivots the scalar tolerances cannot see (the
+        ROADMAP'd cold-solve inaccuracy on cut-extended big-M forms).
+        A point that cannot be polished clean in a few rounds is
+        numerically untrustworthy — better ERROR (callers fall back to
+        HiGHS) than a confidently wrong optimum.
+        """
+        ws = self.ws
+        for _ in range(3):
+            self.pivot_limit = max(self.pivot_limit, self.pivots + 200)
+            status = self._dual_phase(ws.feas_tol)
+            if status is not LPStatus.OPTIMAL:
+                return status
+            status = self._primal_phase(ws.dual_tol)
+            if status is not LPStatus.OPTIMAL:
+                return status
+            self._refine_basics()
+            violation = self._violations()
+            if np.all(violation <= 10 * ws.feas_tol[self.basic]):
+                return LPStatus.OPTIMAL
         raise _NumericalTrouble
+
+    def _refine_basics(self) -> None:
+        """Iterative refinement of ``x_B`` against the equation residual.
+
+        ``x_B`` carries the factorization's solve error (amplified by
+        the basis condition number on big-M forms), so the equations
+        ``A x + s = b`` can be off by orders more than the bound checks
+        ever see — the reported point then violates raw-space rows while
+        every *bound* looks satisfied.  A couple of residual-correction
+        steps push the equation error to machine level; if that moves a
+        basic variable out of bounds, the hidden infeasibility becomes
+        visible and the polish loop's dual phase repairs it honestly.
+        """
+        ws = self.ws
+        ns = ws.num_structural
+        scale = max(1.0, float(np.abs(ws.b).max())) if ws.b.size else 1.0
+        for _ in range(3):
+            resid = ws.b - ws.a_struct @ self.x[:ns] - self.x[ns:]
+            if not resid.size or np.abs(resid).max() <= 1e-14 * scale:
+                return
+            self.x[self.basic] += self._ftran(resid)
 
     def export_basis(self) -> SimplexBasis:
         return SimplexBasis(
@@ -708,11 +816,15 @@ class _SimplexRun:
     def _reduced_costs(self) -> np.ndarray:
         return self.c - self.ws.mat_t(self._duals())
 
-    def _max_violation(self) -> float:
+    def _violations(self) -> np.ndarray:
+        """Per-basic-column bound violation (positive where violated)."""
         xb = self.x[self.basic]
         over = xb - self.ub[self.basic]
         under = self.lb[self.basic] - xb
-        worst = np.maximum(over, under)
+        return np.maximum(over, under)
+
+    def _max_violation(self) -> float:
+        worst = self._violations()
         return float(worst.max()) if worst.size else 0.0
 
     @staticmethod
@@ -747,8 +859,13 @@ class _SimplexRun:
     # Dual simplex phase
     # ------------------------------------------------------------------
 
-    def _dual_phase(self) -> LPStatus:
-        """Drive out primal bound violations, keeping dual feasibility."""
+    def _dual_phase(self, tol: np.ndarray | None = None) -> LPStatus:
+        """Drive out primal bound violations, keeping dual feasibility.
+
+        ``tol`` optionally supplies the per-column feasibility
+        tolerances of the polish pass; the default is the scalar
+        ``_FEAS_TOL`` for every column.
+        """
         # Reduced costs are maintained incrementally across dual pivots
         # (d' = d - theta * alpha, both already in hand) and recomputed
         # fresh only after a refactorization — by far the cheapest of the
@@ -759,14 +876,17 @@ class _SimplexRun:
             over = xb - self.ub[self.basic]
             under = self.lb[self.basic] - xb
             violation = np.maximum(over, under)
+            excess = violation - (
+                _FEAS_TOL if tol is None else tol[self.basic]
+            )
             if self.bland:
-                offending = np.nonzero(violation > _FEAS_TOL)[0]
+                offending = np.nonzero(excess > 0.0)[0]
                 if not offending.size:
                     return LPStatus.OPTIMAL
                 r = int(offending[0])
             else:
-                r = int(np.argmax(violation))
-                if violation[r] <= _FEAS_TOL:
+                r = int(np.argmax(excess))
+                if excess[r] <= 0.0:
                     return LPStatus.OPTIMAL
             leaves_at_upper = over[r] >= under[r]
 
@@ -962,8 +1082,12 @@ class _SimplexRun:
     # Primal simplex phase
     # ------------------------------------------------------------------
 
-    def _primal_phase(self) -> LPStatus:
-        """Drive out dual infeasibility from a primal-feasible point."""
+    def _primal_phase(self, tol: np.ndarray | None = None) -> LPStatus:
+        """Drive out dual infeasibility from a primal-feasible point.
+
+        ``tol`` optionally supplies the per-column dual tolerances of
+        the polish pass; the default is the scalar ``_DUAL_TOL``.
+        """
         # Columns whose BTRAN-route reduced cost looked profitable but
         # whose (more accurate) FTRAN cross-check said otherwise: noise,
         # not improvement.  Banned until the next basis change moves the
@@ -975,23 +1099,24 @@ class _SimplexRun:
         while self.pivots < self.pivot_limit:
             if d is None:
                 d = self._reduced_costs()
-            entering = self._primal_entering(d, banned)
+            entering = self._primal_entering(d, banned, tol)
             if entering < 0:
                 return LPStatus.OPTIMAL
             q = entering
+            tol_q = _DUAL_TOL if tol is None else float(tol[q])
             w = self._ftran(self.ws.column(q))
             # Re-derive the reduced cost through the FTRAN route
             # (c_q - c_B . w): it is exact for the pivot column and
             # filters out BTRAN rounding noise near the tolerance.
             d_ftran = float(self.c[q] - self.c[self.basic] @ w)
             if self.status[q] == AT_LOWER:
-                profitable = d_ftran < -_DUAL_TOL
+                profitable = d_ftran < -tol_q
                 direction = 1.0
             elif self.status[q] == AT_UPPER:
-                profitable = d_ftran > _DUAL_TOL
+                profitable = d_ftran > tol_q
                 direction = -1.0
             else:
-                profitable = abs(d_ftran) > _DUAL_TOL
+                profitable = abs(d_ftran) > tol_q
                 direction = -1.0 if d_ftran > 0 else 1.0
             if not profitable:
                 banned.add(q)
@@ -1044,12 +1169,18 @@ class _SimplexRun:
             self._note_degenerate(step)
         return LPStatus.ERROR
 
-    def _primal_entering(self, d: np.ndarray, banned: set[int]) -> int:
+    def _primal_entering(
+        self,
+        d: np.ndarray,
+        banned: set[int],
+        tol: np.ndarray | None = None,
+    ) -> int:
         status = self.status
+        threshold = _DUAL_TOL if tol is None else tol
         eligible = (
-            ((status == AT_LOWER) & (d < -_DUAL_TOL))
-            | ((status == AT_UPPER) & (d > _DUAL_TOL))
-            | ((status == FREE) & (np.abs(d) > _DUAL_TOL))
+            ((status == AT_LOWER) & (d < -threshold))
+            | ((status == AT_UPPER) & (d > threshold))
+            | ((status == FREE) & (np.abs(d) > threshold))
         )
         if banned:
             eligible[list(banned)] = False

@@ -1,0 +1,75 @@
+"""``repro.serve`` — the async optimization server.
+
+Where :mod:`repro.api` made every algorithm one library surface, this
+package makes that surface *deployable*: a long-lived server with the
+concerns a production query engine actually has — concurrent clients,
+duplicate in-flight queries, deadlines, overload — built strictly on
+:class:`~repro.api.OptimizerService` (no per-algorithm front ends).
+
+Layers, bottom up:
+
+* :mod:`repro.serve.metrics` — counters/gauges/histograms with a text
+  exposition (queue depth, latency percentiles, coalesce/cache/warm
+  ratios);
+* :mod:`repro.serve.scheduler` — bounded priority + earliest-deadline
+  queue with admission control and deadline-degraded budgets;
+* :mod:`repro.serve.coalesce` — in-flight request coalescing keyed by
+  query signature (N concurrent identical queries → 1 optimization);
+* :mod:`repro.serve.server` — :class:`OptimizationServer`: worker pool,
+  cross-query basis sharing through the keyed
+  :class:`~repro.milp.lp_backend.BasisExchangePool`, graceful drain;
+* :mod:`repro.serve.http` — stdlib JSON-over-HTTP front end
+  (``POST /optimize``, ``GET /metrics``, ``GET /healthz``), also
+  reachable as the ``repro serve`` CLI subcommand.
+
+Quickstart::
+
+    from repro.serve import OptimizationServer, Priority
+
+    with OptimizationServer(workers=4) as server:
+        ticket = server.submit(query, "auto", priority=Priority.HIGH,
+                               deadline=0.5)
+        outcome = ticket.result()
+        if outcome.ok:
+            print(outcome.result.plan.describe())
+        print(server.metrics_snapshot()["coalesce"])
+"""
+
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.http import OptimizationHTTPServer, make_http_server
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.scheduler import (
+    DeadlineScheduler,
+    Priority,
+    ServeRequest,
+    degraded_budget,
+)
+from repro.serve.server import (
+    OptimizationServer,
+    RequestStatus,
+    ServeResult,
+    ServeTicket,
+)
+
+__all__ = [
+    "Counter",
+    "DeadlineScheduler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OptimizationHTTPServer",
+    "OptimizationServer",
+    "Priority",
+    "RequestCoalescer",
+    "RequestStatus",
+    "ServeRequest",
+    "ServeResult",
+    "ServeTicket",
+    "degraded_budget",
+    "make_http_server",
+]

@@ -1,0 +1,183 @@
+"""Stdlib-only JSON-over-HTTP front end for the optimization server.
+
+Three endpoints, no framework:
+
+* ``POST /optimize`` — body ``{"query": <catalog.serde query dict>,
+  "algorithm": "auto", "priority": "normal", "deadline_ms": 500}``;
+  responds with the plan (``catalog.serde`` wire format), objective,
+  bound, and serving-side accounting.  Admission-control outcomes map
+  onto HTTP status codes: ``REJECTED`` → 503 (shed, retry elsewhere /
+  later), ``TIMED_OUT`` → 504, ``FAILED`` → 500.
+* ``GET /metrics`` — Prometheus-style text exposition.
+* ``GET /healthz`` — liveness plus queue depth, for load balancers.
+
+``ThreadingHTTPServer`` gives one thread per connection; actual
+optimization concurrency stays governed by the
+:class:`~repro.serve.server.OptimizationServer` worker pool — a
+connection thread only parses, submits and blocks on the ticket.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.catalog.serde import plan_to_dict, query_from_dict
+
+from repro.serve.server import OptimizationServer, RequestStatus
+
+__all__ = ["OptimizationHTTPServer", "make_http_server"]
+
+#: HTTP status per request disposition.
+_STATUS_CODES = {
+    RequestStatus.COMPLETED: 200,
+    RequestStatus.REJECTED: 503,
+    RequestStatus.TIMED_OUT: 504,
+    RequestStatus.FAILED: 500,
+}
+
+#: Hard ceiling on how long one connection blocks on a ticket
+#: (requests with deadlines resolve much sooner).
+_RESULT_TIMEOUT = 300.0
+
+
+def _parse_priority(value):
+    """Validate the wire priority (client errors must be 400, not 500)."""
+    from repro.serve.server import _priority
+
+    return _priority(value)
+
+
+def _parse_deadline(deadline_ms) -> float | None:
+    """Validate ``deadline_ms`` (positive finite number) into seconds.
+
+    ``json.loads`` happily produces ``NaN``/``Infinity``, either of
+    which would sail through a ``<= 0`` check and poison the EDF heap
+    and the solver's time-limit comparisons downstream.
+    """
+    if deadline_ms is None:
+        return None
+    deadline = float(deadline_ms) / 1000.0
+    if not (math.isfinite(deadline) and deadline > 0):
+        raise ValueError("deadline_ms must be a positive finite number")
+    return deadline
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "OptimizationHTTPServer"
+
+    # Silence per-request stderr logging; the metrics registry is the
+    # observable surface.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        backend = self.server.optimizer
+        if self.path == "/metrics":
+            self._send_text(200, backend.metrics_text())
+        elif self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok" if not backend.scheduler.closed
+                else "draining",
+                "queue_depth": len(backend.scheduler),
+                "queue_capacity": backend.scheduler.capacity,
+            })
+        elif self.path == "/stats":
+            self._send_json(200, backend.metrics_snapshot())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/optimize":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            query = query_from_dict(payload["query"])
+            algorithm = payload.get("algorithm", "auto")
+            priority = _parse_priority(payload.get("priority", "normal"))
+            deadline = _parse_deadline(payload.get("deadline_ms"))
+        except Exception as error:  # noqa: BLE001 - wire validation
+            self._send_json(400, {
+                "error": f"bad request: {type(error).__name__}: {error}"
+            })
+            return
+        try:
+            ticket = self.server.optimizer.submit(
+                query, algorithm, priority=priority, deadline=deadline
+            )
+            outcome = ticket.result(timeout=_RESULT_TIMEOUT)
+        except Exception as error:  # noqa: BLE001 - serve must answer
+            self._send_json(500, {
+                "error": f"{type(error).__name__}: {error}"
+            })
+            return
+        body: dict = {
+            "status": outcome.status.value,
+            "algorithm": outcome.algorithm,
+            "coalesced": outcome.coalesced,
+            "wait_ms": round(outcome.wait_seconds * 1000.0, 3),
+            "service_ms": round(outcome.service_seconds * 1000.0, 3),
+            "total_ms": round(outcome.total_seconds * 1000.0, 3),
+        }
+        if outcome.error is not None:
+            body["error"] = outcome.error
+        if outcome.degraded_budget is not None:
+            body["degraded_budget_s"] = outcome.degraded_budget
+        result = outcome.result
+        if result is not None:
+            body.update(
+                solve_status=result.status.value,
+                objective=result.objective,
+                best_bound=result.best_bound,
+                true_cost=result.true_cost,
+                solve_time_s=result.solve_time,
+                plan=(
+                    plan_to_dict(result.plan)
+                    if result.plan is not None else None
+                ),
+            )
+        self._send_json(_STATUS_CODES[outcome.status], body)
+
+
+class OptimizationHTTPServer(ThreadingHTTPServer):
+    """HTTP front holding a reference to its :class:`OptimizationServer`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, optimizer: OptimizationServer) -> None:
+        super().__init__(address, _Handler)
+        self.optimizer = optimizer
+
+
+def make_http_server(
+    optimizer: OptimizationServer,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> OptimizationHTTPServer:
+    """Bind an HTTP front end to ``optimizer`` (``port=0`` picks one).
+
+    The caller drives ``serve_forever()``/``shutdown()``; the
+    optimization workers are started here so the first request does not
+    pay the spawn.
+    """
+    optimizer.start()
+    return OptimizationHTTPServer((host, port), optimizer)

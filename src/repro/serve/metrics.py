@@ -1,0 +1,283 @@
+"""Counter/gauge/histogram registry for the optimization server.
+
+Deliberately tiny and stdlib-only: the server needs queue depth,
+latency percentiles, coalesce/cache/warm ratios — not a metrics vendor.
+The text exposition follows the Prometheus conventions loosely (``# HELP``
+/ ``# TYPE`` headers, ``name{quantile="..."}`` samples) so the output of
+``GET /metrics`` drops into existing scrape tooling, without promising
+protocol compliance.
+
+All types are thread-safe; workers record into them concurrently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram buckets: request latencies in seconds, log-spaced
+#: from 1 ms to 60 s (the anytime MILP budget ceiling in the paper).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def expose(self) -> str:
+        return (
+            f"# HELP {self.name} {self.help}\n"
+            f"# TYPE {self.name} counter\n"
+            f"{self.name} {self.value}\n"
+        )
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, in-flight workers)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def expose(self) -> str:
+        return (
+            f"# HELP {self.name} {self.help}\n"
+            f"# TYPE {self.name} gauge\n"
+            f"{self.name} {self.value}\n"
+        )
+
+
+class Histogram:
+    """Bucketed distribution with interpolated percentiles.
+
+    Observations land in fixed buckets (O(log buckets) per observe, O(1)
+    memory regardless of traffic), so percentiles are estimates: linear
+    interpolation inside the winning bucket, exact at the recorded
+    min/max.  That is the right trade for a serving loop — a p99 read
+    must not require storing a million samples.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty tuple")
+        self.name = name
+        self.help = help_text
+        self._bounds = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self._bounds) + 1)  # +inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (``p`` in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = p / 100.0 * self._count
+            seen = 0
+            for index, count in enumerate(self._counts):
+                if not count:
+                    continue
+                if seen + count >= rank:
+                    lower = (
+                        self._bounds[index - 1] if index > 0 else
+                        min(self._min, self._bounds[0])
+                    )
+                    upper = (
+                        self._bounds[index]
+                        if index < len(self._bounds)
+                        else self._max
+                    )
+                    lower = max(lower, self._min)
+                    upper = min(upper, self._max)
+                    if upper <= lower:
+                        return lower
+                    fraction = (rank - seen) / count
+                    return lower + fraction * (upper - lower)
+                seen += count
+            return self._max
+
+    def expose(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        with self._lock:
+            cumulative = 0
+            for bound, count in zip(self._bounds, self._counts):
+                cumulative += count
+                lines.append(
+                    f'{self.name}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            cumulative += self._counts[-1]
+            lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{self.name}_sum {self._sum}")
+            lines.append(f"{self.name}_count {self._count}")
+        for quantile in (50, 95, 99):
+            lines.append(
+                f'{self.name}{{quantile="0.{quantile}"}} '
+                f"{self.percentile(quantile)}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary (used by ``BENCH_serve.json``)."""
+        with self._lock:
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "min": self._min if count else 0.0,
+            "max": self._max if count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with one text exposition for ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(name, help_text, Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, help_text, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help_text, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def _get_or_create(self, name: str, help_text: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def get(self, name: str):
+        """Registered metric by name (``None`` when absent)."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def expose(self) -> str:
+        """Full text exposition, metrics in registration order."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return "".join(metric.expose() for metric in metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every metric's current value."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict = {}
+        for name, metric in metrics.items():
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out

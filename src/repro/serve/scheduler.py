@@ -1,0 +1,188 @@
+"""Admission-controlled priority + earliest-deadline-first request queue.
+
+The scheduler models what the in-process ``OptimizerService`` never had
+to: *traffic*.  Concurrent clients submit requests with priorities and
+deadlines; the server must bound its queue (an optimizer that queues
+unboundedly under overload answers every request late instead of some
+requests on time), shed load explicitly with a ``REJECTED`` status, and
+give late-admitted requests a *reduced* optimization budget so an
+anytime MILP degrades gracefully instead of blowing through its
+deadline.
+
+Ordering is (priority, deadline, arrival): strict priority first —
+interactive optimization outranks batch re-optimization — then earliest
+deadline first within a priority class, then FIFO for requests without
+deadlines.  Requests whose deadline has already passed when a worker
+picks them up are never optimized (they count as ``TIMED_OUT``).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.query import Query
+
+__all__ = [
+    "DeadlineScheduler",
+    "Priority",
+    "ServeRequest",
+    "degraded_budget",
+]
+
+
+class Priority(enum.IntEnum):
+    """Request priority classes; lower values are served first."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass
+class ServeRequest:
+    """One admitted optimization request flowing through the server.
+
+    ``deadline`` is absolute on the ``time.monotonic()`` clock (the
+    submission surfaces accept relative seconds and convert).  ``future``
+    resolves to a :class:`~repro.serve.server.ServeResult` exactly once,
+    whatever the outcome — completion, rejection, timeout or failure.
+    """
+
+    query: "Query"
+    algorithm: str
+    priority: Priority = Priority.NORMAL
+    deadline: float | None = None
+    submitted: float = field(default_factory=time.monotonic)
+    future: Future = field(default_factory=Future)
+    #: Coalescing key; filled by the server (signature + algorithm).
+    key: Any = None
+    #: Whether this request leads an in-flight coalescing entry (only
+    #: leaders complete/withdraw their key — a non-participant must
+    #: never pop another leader's entry).
+    leads: bool = False
+    started: float | None = None
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds until the deadline (``None`` without a deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.monotonic() if now is None else now)
+
+    def sort_key(self) -> tuple:
+        deadline = (
+            self.deadline if self.deadline is not None else float("inf")
+        )
+        return (int(self.priority), deadline, self.submitted)
+
+
+class DeadlineScheduler:
+    """Bounded priority/EDF queue with explicit load shedding.
+
+    ``offer`` is non-blocking: a full queue means the caller sheds the
+    request *now* (the server maps that to ``REJECTED``) instead of
+    queueing into certain lateness.  ``take`` blocks workers until a
+    request or shutdown arrives.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: list[tuple[tuple, int, ServeRequest]] = []
+        self._tick = itertools.count()
+        self._closed = False
+        self.offered = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def offer(self, request: ServeRequest) -> bool:
+        """Admit ``request``; ``False`` means the queue is full (shed)
+        or the scheduler is closed."""
+        with self._lock:
+            self.offered += 1
+            if self._closed or len(self._heap) >= self.capacity:
+                self.shed += 1
+                return False
+            heapq.heappush(
+                self._heap, (request.sort_key(), next(self._tick), request)
+            )
+            self._not_empty.notify()
+            return True
+
+    def take(self, timeout: float | None = None) -> ServeRequest | None:
+        """Highest-urgency request, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the scheduler was closed and
+        drained — the worker loop uses that to re-check shutdown state.
+        """
+        with self._lock:
+            if not self._heap:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> list[ServeRequest]:
+        """Remove and return every queued request (shutdown-reject)."""
+        with self._lock:
+            drained = [entry[2] for entry in self._heap]
+            self._heap.clear()
+            return drained
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked worker."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+def degraded_budget(
+    request: ServeRequest,
+    default_budget: float,
+    *,
+    safety: float = 0.9,
+    min_budget: float = 0.05,
+    now: float | None = None,
+) -> float | None:
+    """Optimization budget for ``request``, degraded to fit its deadline.
+
+    * No deadline: ``None`` — the caller should use its configured
+      default (and keep the plan-cache key stable).
+    * Deadline with ``remaining * safety >= default_budget``: ``None``
+      as well — the default budget already fits.
+    * Deadline tighter than the default: the remaining time scaled by
+      ``safety`` (headroom for plan extraction and queueing jitter), so
+      an anytime algorithm returns its best-so-far answer *on time*.
+    * Less than ``min_budget`` remaining: ``0.0`` — too late for any
+      meaningful optimization; the caller should time the request out
+      rather than burn a worker.
+    """
+    remaining = request.remaining(now)
+    if remaining is None:
+        return None
+    usable = remaining * safety
+    if usable < min_budget:
+        return 0.0
+    if usable >= default_budget:
+        return None
+    return usable

@@ -1,0 +1,615 @@
+"""The long-lived optimization server: workers over a deadline queue.
+
+:class:`OptimizationServer` is the deployable front of the stack,
+layered strictly on :class:`repro.api.OptimizerService` (no new
+per-algorithm code paths):
+
+* admission goes through a :class:`~repro.serve.scheduler.DeadlineScheduler`
+  — bounded queue, strict-priority + earliest-deadline ordering,
+  explicit ``REJECTED`` shedding under overload;
+* duplicate in-flight queries collapse through a
+  :class:`~repro.serve.coalesce.RequestCoalescer` (N identical requests
+  → one optimization, N futures), composing with the service's plan
+  cache, which covers sequential duplicates;
+* a shared :class:`~repro.milp.lp_backend.BasisExchangePool` is wired
+  into every MILP solve via ``SolverOptions.basis_pool``, so
+  equal-shaped formulations from *different* queries warm-start each
+  other's root LPs across requests (the keyed-fetch pool);
+* per-request deadlines are converted into optimization budgets
+  (:func:`~repro.serve.scheduler.degraded_budget`) threaded into the
+  service's ``time_limit`` — a late-admitted anytime MILP request
+  returns its best-so-far plan on time instead of blowing the deadline;
+* every stage records into a :class:`~repro.serve.metrics.MetricsRegistry`
+  (queue depth, wait/service/total latency histograms, coalesce and
+  cache and LP-warm ratios) exposed as a dict snapshot and as a text
+  page via :mod:`repro.serve.http`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.api import OptimizerService, OptimizerSettings, query_signature
+from repro.api.result import PlanResult
+from repro.milp.branch_and_bound import SolverOptions
+from repro.milp.lp_backend import BasisExchangePool
+
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.scheduler import (
+    DeadlineScheduler,
+    Priority,
+    ServeRequest,
+    degraded_budget,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Future
+
+    from repro.catalog.query import Query
+
+__all__ = [
+    "OptimizationServer",
+    "RequestStatus",
+    "ServeResult",
+    "ServeTicket",
+]
+
+
+class RequestStatus(enum.Enum):
+    """Final disposition of one request."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"
+
+
+@dataclass
+class ServeResult:
+    """What one request got back, with serving-side accounting.
+
+    ``result`` is the unified :class:`~repro.api.PlanResult` (``None``
+    unless ``status`` is ``COMPLETED``).  ``coalesced`` marks followers
+    that were answered by another request's optimization;
+    ``degraded_budget`` is the reduced time budget a deadline imposed
+    (``None`` when the default budget applied).
+    """
+
+    status: RequestStatus
+    algorithm: str
+    result: PlanResult | None = None
+    error: str | None = None
+    coalesced: bool = False
+    degraded_budget: float | None = None
+    wait_seconds: float = 0.0
+    service_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.COMPLETED
+
+
+class ServeTicket:
+    """Handle on a submitted request: block on :meth:`result`."""
+
+    def __init__(self, request: ServeRequest) -> None:
+        self._request = request
+
+    @property
+    def future(self) -> "Future[ServeResult]":
+        return self._request.future
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        """The request's :class:`ServeResult` (blocks until resolved)."""
+        return self._request.future.result(timeout)
+
+    def done(self) -> bool:
+        return self._request.future.done()
+
+
+def _priority(value: "Priority | str | int") -> Priority:
+    if isinstance(value, Priority):
+        return value
+    if isinstance(value, str):
+        try:
+            return Priority[value.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {value!r}; expected one of "
+                f"{[p.name.lower() for p in Priority]}"
+            ) from None
+    return Priority(value)
+
+
+class OptimizationServer:
+    """Async optimization server over an :class:`OptimizerService`.
+
+    Parameters
+    ----------
+    settings:
+        Base :class:`OptimizerSettings`.  The server copies them and
+        wires the shared basis pool into ``extra["solver_options"]``
+        (an existing ``solver_options`` entry is preserved, only its
+        ``basis_pool`` is filled in).
+    workers:
+        Worker-thread count — concurrent optimizations in flight.
+    queue_capacity:
+        Bound on queued (not yet running) requests; beyond it
+        submissions are ``REJECTED`` (load shedding).
+    default_deadline:
+        Deadline in seconds applied to requests submitted without one
+        (``None`` = no implicit deadline).
+    coalesce:
+        Collapse concurrent identical requests into one optimization.
+    share_bases:
+        Wire the cross-query :class:`BasisExchangePool` through
+        ``SolverOptions.basis_pool``.
+    service:
+        Pre-built :class:`OptimizerService` to serve from (tests,
+        custom registries).  When given, ``settings`` is ignored and
+        basis-pool wiring is skipped — the caller owns the service
+        configuration.
+    cache_entries:
+        Plan-cache capacity of the internally built service.
+
+    Examples
+    --------
+    >>> from repro.workloads import QueryGenerator
+    >>> queries = [QueryGenerator(seed=s).generate("star", 5) for s in range(3)]
+    >>> with OptimizationServer(workers=2) as server:
+    ...     tickets = [server.submit(q, "greedy") for q in queries]
+    ...     all(t.result(30).ok for t in tickets)
+    True
+    """
+
+    def __init__(
+        self,
+        settings: OptimizerSettings | None = None,
+        *,
+        workers: int = 4,
+        queue_capacity: int = 64,
+        default_deadline: float | None = None,
+        coalesce: bool = True,
+        share_bases: bool = True,
+        service: OptimizerService | None = None,
+        cache_entries: int = 1024,
+        budget_safety: float = 0.9,
+        min_budget: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.basis_pool: BasisExchangePool | None = None
+        if service is not None:
+            self.service = service
+        else:
+            settings = settings or OptimizerSettings()
+            if share_bases:
+                self.basis_pool = BasisExchangePool()
+                settings = self._wire_basis_pool(settings, self.basis_pool)
+            self.service = OptimizerService(
+                settings=settings,
+                max_workers=workers,
+                max_entries=cache_entries,
+            )
+        self.scheduler = DeadlineScheduler(queue_capacity)
+        self.coalescer = RequestCoalescer() if coalesce else None
+        self.default_deadline = default_deadline
+        self.budget_safety = budget_safety
+        self.min_budget = min_budget
+        self.metrics = MetricsRegistry()
+        self._workers: list[threading.Thread] = []
+        self._num_workers = workers
+        self._started = False
+        self._lock = threading.Lock()
+
+        m = self.metrics
+        self._requests_total = m.counter(
+            "serve_requests_total", "requests submitted")
+        self._completed = m.counter(
+            "serve_completed_total", "requests answered with a result")
+        self._rejected = m.counter(
+            "serve_rejected_total", "requests shed by admission control")
+        self._timed_out = m.counter(
+            "serve_timed_out_total", "requests whose deadline expired")
+        self._failed = m.counter(
+            "serve_failed_total", "requests that raised")
+        self._coalesced = m.counter(
+            "serve_coalesced_total", "requests answered by another's solve")
+        self._optimizations = m.counter(
+            "serve_optimizations_total",
+            "optimizer invocations (cache hits included, followers not)")
+        self._degraded = m.counter(
+            "serve_degraded_total", "requests run under a reduced budget")
+        self._queue_depth = m.gauge(
+            "serve_queue_depth", "requests waiting in the scheduler")
+        self._busy_workers = m.gauge(
+            "serve_busy_workers", "workers currently optimizing")
+        self._wait_hist = m.histogram(
+            "serve_wait_seconds", "queue wait time")
+        self._service_hist = m.histogram(
+            "serve_service_seconds", "optimization time")
+        self._total_hist = m.histogram(
+            "serve_total_seconds", "submit-to-resolve latency")
+
+    @staticmethod
+    def _wire_basis_pool(
+        settings: OptimizerSettings, pool: BasisExchangePool
+    ) -> OptimizerSettings:
+        """Copy ``settings`` with ``extra["solver_options"].basis_pool``
+        pointing at the shared pool (existing options preserved)."""
+        extra = dict(settings.extra)
+        base = extra.get("solver_options")
+        if base is None:
+            options = SolverOptions(time_limit=settings.time_limit)
+        else:
+            options = replace(base)
+        if options.basis_pool is None:
+            options.basis_pool = pool
+        extra["solver_options"] = options
+        return replace(settings, extra=extra)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "OptimizationServer":
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self._num_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serve-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut the server down.
+
+        ``drain=True`` (graceful): stop admitting, let the workers
+        finish everything already queued, then exit.  ``drain=False``:
+        stop admitting, ``REJECTED``-resolve everything still queued
+        (and its followers), and exit as soon as in-flight requests
+        finish.  Either way the worker threads are joined (up to
+        ``timeout`` seconds total).
+        """
+        self.scheduler.close()
+        if not drain:
+            for request in self.scheduler.drain():
+                # Followers coalesced onto this leader would otherwise
+                # wait forever on an outcome that never comes.
+                if request.leads:
+                    for follower in self.coalescer.withdraw(request.key):
+                        self._resolve_rejection(
+                            follower, "server shutting down"
+                        )
+                self._resolve_rejection(request, "server shutting down")
+        deadline = time.monotonic() + timeout
+        for thread in self._workers:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        with self._lock:
+            self._workers.clear()
+            self._started = False
+
+    def __enter__(self) -> "OptimizationServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: "Query",
+        algorithm: str = "auto",
+        *,
+        priority: "Priority | str | int" = Priority.NORMAL,
+        deadline: float | None = None,
+    ) -> ServeTicket:
+        """Submit ``query`` for optimization; returns immediately.
+
+        ``deadline`` is relative seconds from now; it both schedules the
+        request (earliest deadline first within its priority class) and
+        caps its optimization budget.  The ticket's future always
+        resolves — ``REJECTED`` synchronously when admission sheds the
+        request, ``TIMED_OUT``/``FAILED``/``COMPLETED`` from a worker.
+        """
+        # Validate before counting, so a raised ValueError leaves the
+        # submitted/resolved counters balanced.  NaN would sail through
+        # an `<= 0` check and then poison the EDF heap and the solver's
+        # time-limit comparisons.
+        resolved_priority = _priority(priority)
+        effective = (
+            deadline if deadline is not None else self.default_deadline
+        )
+        if effective is not None and not (
+            math.isfinite(effective) and effective > 0
+        ):
+            raise ValueError(
+                "deadline must be a positive finite number of seconds"
+            )
+        self._requests_total.inc()
+        request = ServeRequest(
+            query=query,
+            algorithm=algorithm,
+            priority=resolved_priority,
+        )
+        if effective is not None:
+            request.deadline = request.submitted + effective
+        if self.scheduler.closed:
+            # A stopped server stays stopped: the scheduler cannot
+            # reopen, so restarting workers would only dress the
+            # rejection up as a transient "queue full".
+            self._resolve_rejection(request, "server stopped")
+            return ServeTicket(request)
+        if not self._started:
+            self.start()
+        if algorithm not in self.service.algorithms():
+            self._failed.inc()
+            request.future.set_result(ServeResult(
+                status=RequestStatus.FAILED,
+                algorithm=algorithm,
+                error=(
+                    f"unknown algorithm {algorithm!r}; registered: "
+                    f"{', '.join(self.service.algorithms())}"
+                ),
+            ))
+            return ServeTicket(request)
+        request.key = (
+            self.service.catalog_version,
+            algorithm,
+            query_signature(query),
+        )
+        # Only deadline-free requests coalesce: a deadline carrier must
+        # get its own (possibly degraded) budget and its own timeout
+        # disposition, and conversely a deadline-free request must never
+        # inherit a leader's deadline-truncated plan or TIMED_OUT — the
+        # same quality invariant that keeps degraded solves out of the
+        # plan cache.
+        if self.coalescer is not None and request.deadline is None:
+            if not self.coalescer.lead_or_follow(request.key, request):
+                # Follower: answered by the leader, consumes nothing.
+                self._coalesced.inc()
+                return ServeTicket(request)
+            request.leads = True
+        if not self.scheduler.offer(request):
+            if request.leads:
+                for follower in self.coalescer.withdraw(request.key):
+                    self._resolve_rejection(follower, "queue full")
+            self._resolve_rejection(request, "queue full")
+            return ServeTicket(request)
+        self._queue_depth.set(len(self.scheduler))
+        return ServeTicket(request)
+
+    def optimize(
+        self,
+        query: "Query",
+        algorithm: str = "auto",
+        *,
+        priority: "Priority | str | int" = Priority.NORMAL,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> ServeResult:
+        """Synchronous convenience: submit and block for the result."""
+        ticket = self.submit(
+            query, algorithm, priority=priority, deadline=deadline
+        )
+        return ticket.result(timeout)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self.scheduler.take(timeout=0.2)
+            self._queue_depth.set(len(self.scheduler))
+            if request is None:
+                if self.scheduler.closed and not len(self.scheduler):
+                    return
+                continue
+            self._busy_workers.inc()
+            try:
+                self._process(request)
+            finally:
+                self._busy_workers.dec()
+
+    def _process(self, request: ServeRequest) -> None:
+        now = time.monotonic()
+        request.started = now
+        wait = now - request.submitted
+        self._wait_hist.observe(wait)
+
+        remaining = request.remaining(now)
+        budget = degraded_budget(
+            request,
+            self.service.settings.time_limit,
+            safety=self.budget_safety,
+            min_budget=self.min_budget,
+            now=now,
+        )
+        if (remaining is not None and remaining <= 0) or budget == 0.0:
+            self._finish(
+                request,
+                ServeResult(
+                    status=RequestStatus.TIMED_OUT,
+                    algorithm=request.algorithm,
+                    error="deadline expired before optimization started",
+                    wait_seconds=wait,
+                ),
+            )
+            return
+
+        if budget is not None:
+            # A full-budget plan already cached for this query beats any
+            # degraded fresh solve: instant (meets every deadline) and
+            # higher quality.
+            cached = self.service.cached_result(
+                request.query, request.algorithm
+            )
+            if cached is not None:
+                self._finish(request, ServeResult(
+                    status=RequestStatus.COMPLETED,
+                    algorithm=cached.algorithm,
+                    result=cached,
+                    wait_seconds=wait,
+                ))
+                return
+            self._degraded.inc()
+        started_solve = time.monotonic()
+        try:
+            self._optimizations.inc()
+            # Degraded budgets are near-unique floats (derived from the
+            # remaining deadline) and budget is part of the plan-cache
+            # key: storing those results would fill the LRU with
+            # entries no later request can ever match — and serving
+            # them to full-budget requests would hand out deadline-
+            # truncated (lower-quality) plans.  Degraded solves are
+            # answered from the full-budget cache above when possible
+            # and otherwise solved fresh without touching the cache.
+            result = self.service.optimize(
+                request.query,
+                request.algorithm,
+                time_limit=budget,
+                use_cache=budget is None,
+            )
+        except Exception as error:  # noqa: BLE001 - server must not die
+            self._finish(
+                request,
+                ServeResult(
+                    status=RequestStatus.FAILED,
+                    algorithm=request.algorithm,
+                    error=f"{type(error).__name__}: {error}",
+                    wait_seconds=wait,
+                    service_seconds=time.monotonic() - started_solve,
+                ),
+            )
+            return
+        service_seconds = time.monotonic() - started_solve
+        self._service_hist.observe(service_seconds)
+        self._finish(
+            request,
+            ServeResult(
+                status=RequestStatus.COMPLETED,
+                algorithm=result.algorithm,
+                result=result,
+                degraded_budget=budget,
+                wait_seconds=wait,
+                service_seconds=service_seconds,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _finish(self, request: ServeRequest, outcome: ServeResult) -> None:
+        # Only deadline-free requests coalesce (see submit), so every
+        # follower here was willing to wait for the full-budget answer
+        # it is handed — no late-delivery or quality mismatch to check.
+        followers = (
+            self.coalescer.complete(request.key) if request.leads else []
+        )
+        self._resolve(request, outcome)
+        for follower in followers:
+            self._resolve(follower, replace(
+                outcome,
+                coalesced=True,
+                wait_seconds=0.0,
+                service_seconds=0.0,
+            ))
+
+    def _resolve(self, request: ServeRequest, outcome: ServeResult) -> None:
+        total = time.monotonic() - request.submitted
+        outcome.total_seconds = total
+        self._total_hist.observe(total)
+        counter = {
+            RequestStatus.COMPLETED: self._completed,
+            RequestStatus.REJECTED: self._rejected,
+            RequestStatus.TIMED_OUT: self._timed_out,
+            RequestStatus.FAILED: self._failed,
+        }[outcome.status]
+        counter.inc()
+        if not request.future.done():
+            request.future.set_result(outcome)
+
+    def _resolve_rejection(self, request: ServeRequest, reason: str) -> None:
+        self._resolve(request, ServeResult(
+            status=RequestStatus.REJECTED,
+            algorithm=request.algorithm,
+            error=reason,
+        ))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def metrics_snapshot(self) -> dict:
+        """One JSON-friendly view across server, cache, LP and pool."""
+        requests = self._requests_total.value
+        completed = self._completed.value
+        coalesced = self._coalesced.value
+        snapshot = {
+            "requests": {
+                "submitted": requests,
+                "completed": completed,
+                "rejected": self._rejected.value,
+                "timed_out": self._timed_out.value,
+                "failed": self._failed.value,
+                "degraded": self._degraded.value,
+            },
+            "optimizations": self._optimizations.value,
+            "coalesce": {
+                "coalesced": coalesced,
+                "rate": coalesced / requests if requests else 0.0,
+                "in_flight": (
+                    self.coalescer.in_flight()
+                    if self.coalescer is not None else 0
+                ),
+            },
+            "latency": {
+                "wait": self._wait_hist.snapshot(),
+                "service": self._service_hist.snapshot(),
+                "total": self._total_hist.snapshot(),
+            },
+            "queue": {
+                "depth": len(self.scheduler),
+                "capacity": self.scheduler.capacity,
+                "offered": self.scheduler.offered,
+                "shed": self.scheduler.shed,
+            },
+            "cache": {
+                "hits": self.service.stats.hits,
+                "misses": self.service.stats.misses,
+                "hit_rate": self.service.stats.hit_rate,
+                "evictions": self.service.stats.evictions,
+                "size": self.service.cache_size(),
+            },
+            "lp": self.service.lp_stats.as_dict(),
+        }
+        if self.basis_pool is not None:
+            snapshot["basis_pool"] = self.basis_pool.as_dict()
+        return snapshot
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition (``GET /metrics``)."""
+        return self.metrics.expose()

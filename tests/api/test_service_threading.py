@@ -1,0 +1,207 @@
+"""Thread-safety hammer for :class:`OptimizerService`.
+
+The serving layer trusts ``optimize()`` from many worker threads while
+catalog bumps invalidate the cache concurrently.  Two kinds of test
+here:
+
+* a nondeterministic *hammer* that runs thousands of concurrent
+  optimizations against a tiny LRU while another thread bumps the
+  catalog version, asserting the documented invariants (no exceptions,
+  capacity bound respected, counters consistent);
+* a deterministic regression for the lookup/store version race: a
+  ``bump_catalog_version()`` landing while an optimization is in
+  flight must not let that (stale) plan be published into the fresh
+  cache generation — before the fix the entry was stored under the old
+  generation's key, unreachable but squatting on LRU capacity.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    OptimizerRegistry,
+    OptimizerService,
+    OptimizerSettings,
+)
+from repro.api.result import PlanResult
+from repro.milp.solution import SolveStatus
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import LeftDeepPlan
+from repro.workloads import QueryGenerator
+
+
+class InstantStub:
+    """Thread-safe counting optimizer; optionally blocks on an event."""
+
+    name = "stub"
+    honors_time_limit = False
+
+    def __init__(self, gate: threading.Event | None = None):
+        self.gate = gate
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, settings):
+        return self
+
+    def optimize(self, query, *, time_limit=None):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(30.0)
+        plan = LeftDeepPlan.from_order(
+            query, [t.name for t in query.tables], JoinAlgorithm.HASH
+        )
+        return PlanResult(
+            algorithm=self.name,
+            query=query,
+            plan=plan,
+            status=SolveStatus.FEASIBLE,
+            objective=1.0,
+            true_cost=1.0,
+        )
+
+
+def make_service(stub, max_entries=5):
+    registry = OptimizerRegistry()
+    registry.register(stub.name, stub)
+    return OptimizerService(
+        settings=OptimizerSettings(),
+        registry=registry,
+        max_entries=max_entries,
+    )
+
+
+class TestHammer:
+    THREADS = 8
+    CALLS = 150
+
+    def test_concurrent_optimize_with_bumps_and_tiny_lru(self):
+        stub = InstantStub()
+        service = make_service(stub, max_entries=4)
+        queries = [
+            QueryGenerator(seed=s).generate("star", 4) for s in range(12)
+        ]
+        errors: list[BaseException] = []
+        capacity_violations: list[int] = []
+        stop_bumping = threading.Event()
+
+        def client(index: int) -> None:
+            try:
+                for call in range(self.CALLS):
+                    query = queries[(index * 31 + call) % len(queries)]
+                    result = service.optimize(query, "stub")
+                    assert result.has_plan
+            except BaseException as error:  # noqa: BLE001 - recorded
+                errors.append(error)
+
+        def bumper() -> None:
+            try:
+                while not stop_bumping.is_set():
+                    service.bump_catalog_version()
+                    time.sleep(0.001)
+            except BaseException as error:  # noqa: BLE001 - recorded
+                errors.append(error)
+
+        def capacity_watcher() -> None:
+            while not stop_bumping.is_set():
+                size = service.cache_size()
+                if size > 4:
+                    capacity_violations.append(size)
+                time.sleep(0.0005)
+
+        clients = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        aux = [
+            threading.Thread(target=bumper),
+            threading.Thread(target=capacity_watcher),
+        ]
+        for thread in aux + clients:
+            thread.start()
+        for thread in clients:
+            thread.join(120.0)
+        stop_bumping.set()
+        for thread in aux:
+            thread.join(10.0)
+
+        assert not errors, errors[:3]
+        assert not capacity_violations, (
+            f"LRU exceeded its bound: {capacity_violations[:5]}"
+        )
+        total = self.THREADS * self.CALLS
+        assert service.stats.requests == total
+        assert service.stats.hits + service.stats.misses == total
+        # every miss went to the optimizer (no lost/duplicated counts)
+        assert stub.calls == service.stats.misses
+        assert service.cache_size() <= 4
+
+    def test_concurrent_batches_share_one_cache(self):
+        stub = InstantStub()
+        service = make_service(stub, max_entries=64)
+        queries = [
+            QueryGenerator(seed=s).generate("chain", 4) for s in range(6)
+        ]
+        batches = [
+            threading.Thread(
+                target=lambda: service.optimize_batch(queries, "stub")
+            )
+            for _ in range(6)
+        ]
+        for thread in batches:
+            thread.start()
+        for thread in batches:
+            thread.join(60.0)
+        assert service.stats.requests == 36
+        # at most one solve per distinct query per concurrent race
+        # window; afterwards the cache must serve everything
+        final = service.optimize_batch(queries, "stub")
+        assert all(r.has_plan for r in final)
+        assert service.cache_size() == 6
+
+
+class TestVersionRace:
+    def test_bump_during_solve_does_not_publish_stale_plan(self):
+        gate = threading.Event()
+        stub = InstantStub(gate=gate)
+        service = make_service(stub)
+        query = QueryGenerator(seed=0).generate("star", 4)
+        done = threading.Event()
+
+        def solve() -> None:
+            service.optimize(query, "stub")
+            done.set()
+
+        thread = threading.Thread(target=solve)
+        thread.start()
+        # wait until the optimization is in flight, then invalidate
+        deadline = time.monotonic() + 10.0
+        while stub.calls == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert stub.calls == 1
+        service.bump_catalog_version()
+        gate.set()
+        assert done.wait(30.0)
+        thread.join(10.0)
+        # the stale result must not occupy the fresh generation's cache
+        assert service.cache_size() == 0
+        # and the next request re-optimizes under the new catalog
+        service.optimize(query, "stub")
+        assert stub.calls == 2
+        assert service.cache_size() == 1
+
+    def test_bump_between_hits_invalidates(self):
+        stub = InstantStub()
+        service = make_service(stub)
+        query = QueryGenerator(seed=1).generate("chain", 4)
+        first = service.optimize(query, "stub")
+        again = service.optimize(query, "stub")
+        assert again is first
+        service.bump_catalog_version()
+        fresh = service.optimize(query, "stub")
+        assert fresh is not first
+        assert stub.calls == 2
+        assert service.stats.invalidations == 1

@@ -25,6 +25,7 @@ from repro.milp import (
     append_cuts,
     auto_simplex_max_vars,
     cuts_to_rows,
+    form_signature,
     get_backend,
     lin_sum,
     solve_milp,
@@ -343,7 +344,26 @@ class TestBasisExchangePool:
         pool = BasisExchangePool()
         pool.publish(None)
         assert pool.fetch() is None
-        assert pool.as_dict() == {"publishes": 0, "hits": 0, "misses": 1}
+        assert pool.as_dict() == {
+            "publishes": 0, "hits": 0, "misses": 1, "signatures": 0,
+        }
+
+    def test_keyed_fetch_matches_only_equal_shapes(self):
+        model = two_triangles_model()
+        form = to_standard_form(model)
+        backend = RevisedSimplexBackend()
+        session = backend.create_session(form)
+        session.set_bounds(form.lb, form.ub)
+        assert session.solve().status is LPStatus.OPTIMAL
+        basis = session.export_basis()
+        pool = BasisExchangePool()
+        pool.publish(basis)
+        assert pool.fetch(form_signature(form)) is basis
+        other = (99, 0, 7)
+        assert pool.fetch(other) is None
+        # unkeyed fetch keeps the legacy most-recent behaviour
+        assert pool.fetch() is basis
+        assert pool.signatures() == 1
 
 
 class TestGetBackendNormalization:

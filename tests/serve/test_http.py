@@ -1,0 +1,141 @@
+"""Tests for the JSON-over-HTTP front end."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.catalog.serde import query_to_dict
+from repro.serve import OptimizationServer, make_http_server
+from repro.workloads import QueryGenerator
+
+
+@pytest.fixture()
+def http_server():
+    server = OptimizationServer(workers=2)
+    httpd = make_http_server(server, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        yield base
+    finally:
+        httpd.shutdown()
+        server.stop(drain=False, timeout=10.0)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read()
+
+
+def post(url, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def example_query():
+    return QueryGenerator(seed=3).generate("star", 5)
+
+
+class TestOptimizeEndpoint:
+    def test_optimize_returns_plan(self, http_server):
+        code, body = post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        assert code == 200
+        assert body["status"] == "completed"
+        assert body["algorithm"] == "greedy"
+        assert body["plan"] is not None
+        assert body["true_cost"] > 0
+        assert body["total_ms"] >= 0
+        # the wire plan round-trips through catalog.serde
+        assert {
+            step["inner_table"] for step in body["plan"]["steps"]
+        } | {body["plan"]["first_table"]} == {
+            t.name for t in example_query().tables
+        }
+
+    def test_priority_and_deadline_accepted(self, http_server):
+        code, body = post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+            "priority": "high",
+            "deadline_ms": 30000,
+        })
+        assert code == 200
+        assert body["status"] == "completed"
+
+    def test_bad_payload_is_400(self, http_server):
+        code, body = post(http_server + "/optimize", {"nope": 1})
+        assert code == 400
+        assert "bad request" in body["error"]
+
+    def test_client_validation_errors_are_400_not_500(self, http_server):
+        query = query_to_dict(example_query())
+        for bad in (
+            {"query": query, "priority": "urgent"},
+            {"query": query, "deadline_ms": 0},
+            {"query": query, "deadline_ms": "soon"},
+            {"query": query, "deadline_ms": float("nan")},
+            {"query": query, "deadline_ms": float("inf")},
+        ):
+            code, body = post(http_server + "/optimize", bad)
+            assert code == 400, bad
+            assert "bad request" in body["error"]
+
+    def test_unknown_algorithm_is_500_failed(self, http_server):
+        code, body = post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "quantum",
+        })
+        assert code == 500
+        assert body["status"] == "failed"
+        assert "unknown algorithm" in body["error"]
+
+    def test_unknown_route_is_404(self, http_server):
+        code, _ = post(http_server + "/elsewhere", {})
+        assert code == 404
+
+
+class TestObservabilityEndpoints:
+    def test_healthz(self, http_server):
+        code, body = get(http_server + "/healthz")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["queue_capacity"] == 64
+
+    def test_metrics_exposition(self, http_server):
+        post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        code, body = get(http_server + "/metrics")
+        assert code == 200
+        text = body.decode()
+        assert "serve_requests_total 1" in text
+        assert "serve_wait_seconds" in text
+
+    def test_stats_snapshot(self, http_server):
+        code, body = get(http_server + "/stats")
+        assert code == 200
+        payload = json.loads(body)
+        assert "requests" in payload and "queue" in payload
+
+    def test_get_unknown_route_is_404(self, http_server):
+        try:
+            status, _ = get(http_server + "/nope")
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 404

@@ -1,0 +1,136 @@
+"""Unit tests for the serving metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments_and_exposes(self):
+        counter = Counter("x_total", "things")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        text = counter.expose()
+        assert "# TYPE x_total counter" in text
+        assert "x_total 5" in text
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("x")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 11
+        assert "# TYPE depth gauge" in gauge.expose()
+
+
+class TestHistogram:
+    def test_percentiles_bracket_the_data(self):
+        hist = Histogram("lat", buckets=(0.1, 0.5, 1.0, 5.0))
+        for value in (0.05, 0.2, 0.3, 0.6, 0.7, 0.8, 2.0, 3.0, 4.0, 4.5):
+            hist.observe(value)
+        assert hist.count == 10
+        assert hist.sum == pytest.approx(16.15)
+        p50 = hist.percentile(50)
+        p99 = hist.percentile(99)
+        assert 0.1 <= p50 <= 1.0
+        assert 1.0 <= p99 <= 4.5
+        assert p50 <= hist.percentile(95) <= p99
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("lat").percentile(99) == 0.0
+
+    def test_single_observation_is_exact(self):
+        hist = Histogram("lat", buckets=(1.0, 10.0))
+        hist.observe(3.0)
+        # min == max == 3.0 clamps interpolation to the exact value
+        assert hist.percentile(50) == pytest.approx(3.0)
+        assert hist.percentile(99) == pytest.approx(3.0)
+
+    def test_exposition_has_cumulative_buckets(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        text = hist.expose()
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="2.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_snapshot_fields(self):
+        hist = Histogram("lat")
+        hist.observe(0.2)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert set(snap) == {
+            "count", "sum", "mean", "p50", "p95", "p99", "min", "max",
+        }
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", "help")
+        b = registry.counter("x")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_expose_concatenates_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.gauge("b").set(2)
+        registry.histogram("c").observe(0.1)
+        text = registry.expose()
+        assert "a_total 1" in text
+        assert "b 2" in text
+        assert "c_count 1" in text
+
+    def test_snapshot_mixes_scalars_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.histogram("c").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["a"] == 3
+        assert snap["c"]["count"] == 1

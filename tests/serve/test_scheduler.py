@@ -1,0 +1,143 @@
+"""Unit tests for the admission-controlled deadline scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.scheduler import (
+    DeadlineScheduler,
+    Priority,
+    ServeRequest,
+    degraded_budget,
+)
+
+
+def request(priority=Priority.NORMAL, deadline=None, submitted=None):
+    r = ServeRequest(query=None, algorithm="greedy", priority=priority)
+    if submitted is not None:
+        r.submitted = submitted
+    if deadline is not None:
+        r.deadline = deadline
+    return r
+
+
+class TestOrdering:
+    def test_priority_beats_deadline(self):
+        scheduler = DeadlineScheduler()
+        low_urgent = request(Priority.LOW, deadline=time.monotonic() + 0.1)
+        high_lazy = request(Priority.HIGH, deadline=time.monotonic() + 99)
+        assert scheduler.offer(low_urgent)
+        assert scheduler.offer(high_lazy)
+        assert scheduler.take(0) is high_lazy
+        assert scheduler.take(0) is low_urgent
+
+    def test_edf_within_priority(self):
+        scheduler = DeadlineScheduler()
+        now = time.monotonic()
+        later = request(deadline=now + 10)
+        sooner = request(deadline=now + 1)
+        none = request()  # no deadline sorts last
+        for r in (none, later, sooner):
+            assert scheduler.offer(r)
+        assert scheduler.take(0) is sooner
+        assert scheduler.take(0) is later
+        assert scheduler.take(0) is none
+
+    def test_fifo_without_deadlines(self):
+        scheduler = DeadlineScheduler()
+        first = request(submitted=1.0)
+        second = request(submitted=2.0)
+        assert scheduler.offer(second)
+        assert scheduler.offer(first)
+        assert scheduler.take(0) is first
+        assert scheduler.take(0) is second
+
+
+class TestAdmission:
+    def test_bounded_queue_sheds(self):
+        scheduler = DeadlineScheduler(capacity=2)
+        assert scheduler.offer(request())
+        assert scheduler.offer(request())
+        assert not scheduler.offer(request())
+        assert scheduler.shed == 1
+        assert scheduler.offered == 3
+        assert len(scheduler) == 2
+
+    def test_closed_scheduler_rejects(self):
+        scheduler = DeadlineScheduler()
+        scheduler.close()
+        assert not scheduler.offer(request())
+        assert scheduler.take(0) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineScheduler(capacity=0)
+
+    def test_drain_empties_queue(self):
+        scheduler = DeadlineScheduler()
+        requests = [request() for _ in range(3)]
+        for r in requests:
+            scheduler.offer(r)
+        drained = scheduler.drain()
+        assert set(map(id, drained)) == set(map(id, requests))
+        assert len(scheduler) == 0
+
+
+class TestBlocking:
+    def test_take_blocks_until_offer(self):
+        scheduler = DeadlineScheduler()
+        expected = request()
+        received = []
+
+        def worker():
+            received.append(scheduler.take(timeout=5.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)
+        scheduler.offer(expected)
+        thread.join(5.0)
+        assert received == [expected]
+
+    def test_close_wakes_blocked_takers(self):
+        scheduler = DeadlineScheduler()
+        done = threading.Event()
+
+        def worker():
+            scheduler.take(timeout=10.0)
+            done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)
+        scheduler.close()
+        assert done.wait(5.0)
+        thread.join(5.0)
+
+
+class TestDegradedBudget:
+    def test_no_deadline_uses_default(self):
+        assert degraded_budget(request(), 30.0) is None
+
+    def test_loose_deadline_uses_default(self):
+        r = request(deadline=time.monotonic() + 1000)
+        assert degraded_budget(r, 30.0) is None
+
+    def test_tight_deadline_degrades(self):
+        now = time.monotonic()
+        r = request(deadline=now + 2.0)
+        budget = degraded_budget(r, 30.0, safety=0.9, now=now)
+        assert budget == pytest.approx(1.8)
+
+    def test_too_late_is_zero(self):
+        now = time.monotonic()
+        r = request(deadline=now + 0.01)
+        assert degraded_budget(
+            r, 30.0, min_budget=0.05, now=now
+        ) == 0.0
+
+    def test_expired_is_zero(self):
+        now = time.monotonic()
+        r = request(deadline=now - 1.0)
+        assert degraded_budget(r, 30.0, now=now) == 0.0

@@ -153,6 +153,34 @@ class TestAlgorithmFlag:
         for name in ("milp", "selinger", "auto", "greedy"):
             assert name in captured.out
 
+    def test_algorithms_json_is_machine_readable(self, capsys):
+        import json
+
+        code = main(["algorithms", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        rows = {row["name"]: row for row in payload["algorithms"]}
+        assert {"milp", "selinger", "auto", "greedy"} <= set(rows)
+        assert rows["milp"]["honors_time_limit"] is True
+        assert rows["greedy"]["honors_time_limit"] is False
+        assert rows["auto"]["honors_time_limit"] is None
+        assert all(
+            set(row) == {"name", "honors_time_limit", "description"}
+            for row in rows.values()
+        )
+
+
+class TestServeSubcommand:
+    def test_serve_help_documents_endpoints(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--help"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--port", "--workers", "--queue-capacity",
+                     "--default-deadline", "--no-coalesce"):
+            assert flag in out
+
 
 class TestHarnessPassthrough:
     def test_figure1_subcommand(self, capsys):
