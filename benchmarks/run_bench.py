@@ -11,13 +11,22 @@ routed through the :class:`repro.api.OptimizerService` so regressions
 introduced by the unified routing/caching layer show up in the cross-PR
 tracker.
 
+The ``large`` tier exercises the simplex engine on models above the
+*old* 150-variable auto crossover: it records the node-LP sequence of
+one branch-and-bound run per model and replays it warm under **each
+pricing rule** (``devex`` and ``dantzig``), recording pivots and wall
+time per rule.  This keeps the non-default Dantzig path from silently
+rotting and pins the Devex/Forrest–Tomlin pivot advantage.
+
 ``--check`` re-runs the benchmark with the *committed* baseline's own
-configuration, compares total pivots and wall time against it, and
-exits non-zero on a >20% regression of either — the cross-PR tripwire
-the ROADMAP asks for.  Wall time only compares meaningfully against a
-baseline recorded on the same host; on other hardware pass
-``--pivots-only`` to restrict the hard failure to the
-machine-independent pivot count (wall time is still printed).
+configuration, compares total pivots and wall time against it — and,
+when the baseline carries a ``large_tier`` section, re-runs the tier
+and compares the per-pricing pivot totals too — exiting non-zero on a
+>20% regression of any hard metric, the cross-PR tripwire the ROADMAP
+asks for.  Wall time only compares meaningfully against a baseline
+recorded on the same host; on other hardware pass ``--pivots-only`` to
+restrict the hard failure to the machine-independent pivot counts
+(wall time is still printed).
 
 Usage::
 
@@ -120,6 +129,65 @@ def algorithm_rows(sizes, seeds: int, budget: float):
     return rows, cache_stats, service.lp_stats.as_dict()
 
 
+#: ``large`` tier: models above the *old* 150-variable crossover, and
+#: the pricing rules replayed on each.  chain/star at 6 tables are
+#: 230-variable formulations — the band the rebuilt engine newly owns.
+LARGE_TIER_MODELS = (("chain", 6), ("star", 6))
+LARGE_TIER_PRICINGS = ("devex", "dantzig")
+
+
+def large_tier(models=LARGE_TIER_MODELS, pricings=LARGE_TIER_PRICINGS):
+    """Replay each large model's node-LP sequence per pricing rule.
+
+    One branch-and-bound run (default engine) records the ``(lb, ub,
+    parent_basis)`` sequence; each pricing rule then replays the same
+    sequence warm, so the per-rule pivot counts are directly
+    comparable — no search-trajectory noise.
+    """
+    from test_lp_warmstart import record_node_sequence
+    from repro.milp.lp_backend import LPStatus
+    from repro.milp.simplex import RevisedSimplexBackend
+
+    rows = []
+    totals = {p: {"pivots": 0, "wall_time": 0.0} for p in pricings}
+    for topology, tables in models:
+        form, sequence = record_node_sequence(topology, tables)
+        for pricing in pricings:
+            backend = RevisedSimplexBackend(pricing=pricing)
+            backend.solve(form, *sequence[0][:2])  # prime the workspace
+            pivots, errors = 0, 0
+            started = time.perf_counter()
+            for lb, ub, basis in sequence:
+                result = backend.solve(form, lb, ub, basis=basis)
+                pivots += result.iterations
+                if result.status is LPStatus.ERROR:
+                    errors += 1
+            elapsed = time.perf_counter() - started
+            rows.append({
+                "topology": topology,
+                "tables": tables,
+                "vars": form.num_variables,
+                "node_lps": len(sequence),
+                "pricing": pricing,
+                "pivots": pivots,
+                "wall_time": elapsed,
+                "errors": errors,
+            })
+            totals[pricing]["pivots"] += pivots
+            totals[pricing]["wall_time"] += elapsed
+            print(
+                f"large {topology}-{tables} [{pricing}]: {pivots} pivots "
+                f"in {elapsed:.2f}s over {len(sequence)} node LPs"
+                + (f" ({errors} ERROR fallbacks)" if errors else "")
+            )
+    return {
+        "models": [list(m) for m in models],
+        "pricings": list(pricings),
+        "rows": rows,
+        "totals": totals,
+    }
+
+
 def warmstart_micro(topology: str, num_tables: int):
     from test_lp_warmstart import record_node_sequence, replay
 
@@ -140,13 +208,14 @@ def warmstart_micro(topology: str, num_tables: int):
 
 def run_benchmark(
     sizes, seeds: int, budget: float, skip_micro: bool,
-    queries_only: bool = False,
+    queries_only: bool = False, skip_large: bool = False,
+    large_config: "dict | None" = None,
 ):
     """Execute the benchmark sections; return the JSON payload.
 
     ``queries_only`` skips the micro and per-algorithm sections —
-    ``--check`` compares only the queries-derived totals, so the gate
-    does not pay for sections it never reads.
+    ``--check`` compares only the totals it reads (plus the large tier
+    when the baseline carries one, passed in as ``large_config``).
     """
     queries = []
     for topology in TOPOLOGIES:
@@ -173,6 +242,25 @@ def run_benchmark(
                 f"({row['cold_pivots']} -> {row['warm_pivots']} pivots)"
             )
 
+    tier = None
+    run_tier = (
+        large_config is not None
+        or (not skip_large and not queries_only)
+    )
+    if run_tier:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        if large_config is not None:
+            tier = large_tier(
+                models=[tuple(m) for m in large_config.get(
+                    "models", LARGE_TIER_MODELS
+                )],
+                pricings=tuple(large_config.get(
+                    "pricings", LARGE_TIER_PRICINGS
+                )),
+            )
+        else:
+            tier = large_tier()
+
     algorithms, cache_stats, lp_session_stats = [], {}, {}
     if not queries_only:
         algorithms, cache_stats, lp_session_stats = algorithm_rows(
@@ -197,6 +285,7 @@ def run_benchmark(
         },
         "queries": queries,
         "warmstart_micro": micro,
+        "large_tier": tier,
         "algorithms": algorithms,
         "service_cache": cache_stats,
         "service_lp_sessions": lp_session_stats,
@@ -229,23 +318,51 @@ def check_regression(
     hosts other than the one that recorded the baseline).
     """
     failures = 0
-    for metric in ("lp_pivots", "wall_time"):
-        advisory = pivots_only and metric == "wall_time"
-        old = float(baseline.get("totals", {}).get(metric, 0.0))
-        new = float(payload["totals"][metric])
+
+    def compare(label: str, old: float, new: float, advisory: bool) -> int:
         if old <= 0:
-            print(f"check {metric}: no baseline value, skipping")
-            continue
+            print(f"check {label}: no baseline value, skipping")
+            return 0
         growth = (new - old) / old
         verdict = "OK" if growth <= REGRESSION_TOLERANCE else "REGRESSION"
         if advisory and verdict == "REGRESSION":
             verdict = "REGRESSION (advisory)"
         print(
-            f"check {metric}: baseline {old:.3f} -> current {new:.3f} "
+            f"check {label}: baseline {old:.3f} -> current {new:.3f} "
             f"({growth:+.1%}) {verdict}"
         )
-        if growth > REGRESSION_TOLERANCE and not advisory:
-            failures += 1
+        return int(growth > REGRESSION_TOLERANCE and not advisory)
+
+    for metric in ("lp_pivots", "wall_time"):
+        failures += compare(
+            metric,
+            float(baseline.get("totals", {}).get(metric, 0.0)),
+            float(payload["totals"][metric]),
+            advisory=pivots_only and metric == "wall_time",
+        )
+    # Per-pricing-rule gates on the large tier: the pivot counts are
+    # hard (machine-independent), wall time follows --pivots-only.
+    # Both rules are compared so the non-default Dantzig path cannot
+    # silently rot while Devex carries the default.
+    old_tier = baseline.get("large_tier") or {}
+    new_tier = payload.get("large_tier") or {}
+    for pricing, old_totals in (old_tier.get("totals") or {}).items():
+        new_totals = (new_tier.get("totals") or {}).get(pricing)
+        if new_totals is None:
+            print(f"check large[{pricing}]: tier not re-run, skipping")
+            continue
+        failures += compare(
+            f"large[{pricing}].pivots",
+            float(old_totals.get("pivots", 0.0)),
+            float(new_totals["pivots"]),
+            advisory=False,
+        )
+        failures += compare(
+            f"large[{pricing}].wall_time",
+            float(old_totals.get("wall_time", 0.0)),
+            float(new_totals["wall_time"]),
+            advisory=pivots_only,
+        )
     return failures
 
 
@@ -261,6 +378,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-micro", action="store_true",
         help="skip the warm-vs-cold LP replay micro-benchmark",
+    )
+    parser.add_argument(
+        "--skip-large", action="store_true",
+        help="skip the large-model per-pricing replay tier",
+    )
+    parser.add_argument(
+        "--large", action="store_true",
+        help="run only the large-model tier (quick per-pricing numbers "
+        "without the full query/algorithm sections)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -292,8 +418,21 @@ def main(argv=None) -> int:
         seeds = config.get("seeds", seeds)
         budget = config.get("budget", budget)
 
+    if args.large and not args.check:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        tier = large_tier()
+        print(json.dumps(tier["totals"], indent=2))
+        return 0
+
+    large_config = None
+    if args.check and baseline.get("large_tier") and not args.skip_large:
+        # --skip-large also skips the tier comparison in check mode
+        # (the per-pricing pivot gates are then reported as skipped).
+        large_config = baseline["large_tier"]
+
     payload = run_benchmark(
-        sizes, seeds, budget, args.skip_micro, queries_only=args.check
+        sizes, seeds, budget, args.skip_micro, queries_only=args.check,
+        skip_large=args.skip_large, large_config=large_config,
     )
 
     if args.check:

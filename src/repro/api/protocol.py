@@ -46,7 +46,13 @@ class OptimizerSettings:
         Algorithm-specific overrides, e.g. ``{"formulation_config": ...,
         "solver_options": ...}`` for the MILP adapters or
         ``{"max_iterations": ...}`` for the randomized ones.  Unknown keys
-        are ignored by adapters that do not use them.
+        are ignored by adapters that do not use them.  A
+        ``solver_options`` override carries the full
+        :class:`~repro.milp.branch_and_bound.SolverOptions` surface,
+        including the LP ``backend`` and simplex ``pricing`` rule
+        (``devex``/``dantzig``/``bland``; process-wide defaults come
+        from ``REPRO_SIMPLEX_PRICING`` and friends, see
+        :mod:`repro.milp.lp_backend`).
     """
 
     cost_model: str = "hash"

@@ -13,7 +13,6 @@ session per tree and re-optimizes each node from its parent's basis.
 from repro.milp.branch_and_bound import (
     BranchAndBoundSolver,
     SolverOptions,
-    auto_simplex_max_vars,
     solve_milp,
 )
 from repro.milp.constraints import Constraint, Sense
@@ -27,7 +26,9 @@ from repro.milp.cuts import (
 from repro.milp.expr import LinExpr, lin_sum
 from repro.milp.io import read_lp, write_lp
 from repro.milp.lp_backend import (
+    AUTO_SIMPLEX_MAX_VARS,
     BasisExchangePool,
+    PRICING_RULES,
     form_signature,
     ColdLPSession,
     LPBackend,
@@ -37,7 +38,11 @@ from repro.milp.lp_backend import (
     ScipyHighsBackend,
     SessionStats,
     SimplexBasis,
+    auto_simplex_max_vars,
     get_backend,
+    simplex_pricing,
+    simplex_refactor_interval,
+    validate_pricing,
 )
 from repro.milp.model import FEASIBILITY_TOL, Model
 from repro.milp.mps import read_mps, write_mps
@@ -68,7 +73,9 @@ from repro.milp.standard_form import (
 from repro.milp.variables import Variable, VarType
 
 __all__ = [
+    "AUTO_SIMPLEX_MAX_VARS",
     "BasisExchangePool",
+    "PRICING_RULES",
     "form_signature",
     "BranchAndBoundSolver",
     "ColdLPSession",
@@ -112,8 +119,11 @@ __all__ = [
     "read_lp",
     "read_mps",
     "relative_gap",
+    "simplex_pricing",
+    "simplex_refactor_interval",
     "solve_milp",
     "solve_portfolio",
+    "validate_pricing",
     "to_standard_form",
     "write_lp",
     "write_mps",

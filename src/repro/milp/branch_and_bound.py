@@ -33,7 +33,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import os
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -43,6 +42,7 @@ import numpy as np
 from repro.exceptions import SolverError
 from repro.milp.cuts import CutGenerator, cuts_to_rows
 from repro.milp.lp_backend import (
+    AUTO_SIMPLEX_MAX_VARS,
     BasisExchangePool,
     LPBackend,
     LPResult,
@@ -50,8 +50,10 @@ from repro.milp.lp_backend import (
     LPStatus,
     ScipyHighsBackend,
     SimplexBasis,
+    auto_simplex_max_vars,
     form_signature,
     get_backend,
+    validate_pricing,
 )
 from repro.milp.simplex import RevisedSimplexBackend
 from repro.milp.model import Model
@@ -86,8 +88,13 @@ class SolverOptions:
     backend:
         LP backend name (``"auto"``, ``"scipy"`` or ``"simplex"``).
         ``"auto"`` uses the warm-start capable revised simplex for models
-        up to :data:`AUTO_SIMPLEX_MAX_VARS` variables and scipy/HiGHS
-        beyond that.
+        up to :data:`~repro.milp.lp_backend.AUTO_SIMPLEX_MAX_VARS`
+        variables and scipy/HiGHS beyond that.
+    pricing:
+        Primal pricing rule for the revised simplex: ``"auto"`` (the
+        process default, ``REPRO_SIMPLEX_PRICING`` or Devex),
+        ``"devex"``, ``"dantzig"`` or ``"bland"``.  Ignored by the
+        scipy/HiGHS backend.
     lp_warm_start:
         Seed each node LP with the parent node's optimal basis when the
         backend supports it (dual-simplex re-optimization).  Disable for
@@ -128,6 +135,7 @@ class SolverOptions:
     gap_tolerance: float = 1e-6
     integrality_tol: float = 1e-6
     backend: str = "auto"
+    pricing: str = "auto"
     lp_warm_start: bool = True
     use_presolve: bool = True
     heuristics: bool = True
@@ -142,28 +150,9 @@ class SolverOptions:
     basis_pool: BasisExchangePool | None = None
 
 
-#: ``backend="auto"``: largest variable count routed to the revised
-#: simplex (above it, scipy/HiGHS wins despite cold node solves; measured
-#: on the Figure-2 chain/star workloads, crossover is between the 120-
-#: and 172-variable formulations).  Overridable per process through the
-#: ``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment variable (crossover tuning
-#: experiments, see ROADMAP).
-AUTO_SIMPLEX_MAX_VARS = 150
-
-
-def auto_simplex_max_vars() -> int:
-    """The effective ``backend="auto"`` crossover, honouring the
-    ``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment override."""
-    raw = os.environ.get("REPRO_AUTO_SIMPLEX_MAX_VARS")
-    if raw is None or not raw.strip():
-        return AUTO_SIMPLEX_MAX_VARS
-    try:
-        return int(raw)
-    except ValueError:
-        raise SolverError(
-            f"REPRO_AUTO_SIMPLEX_MAX_VARS must be an integer, got {raw!r}"
-        ) from None
-
+# AUTO_SIMPLEX_MAX_VARS / auto_simplex_max_vars() now live in
+# lp_backend.py next to the other env-tunable simplex knobs; both are
+# re-exported here (imported above) for backwards compatibility.
 
 #: Sentinel ``basis`` for :meth:`BranchAndBoundSolver._solve_lp`: keep the
 #: session's internally retained basis (used by the cut loop, where
@@ -194,13 +183,26 @@ class BranchAndBoundSolver:
         self.model = model
         self.options = options or SolverOptions()
         backend_name = self.options.backend
+        #: Why this tree's session is cold (``None`` for warm backends):
+        #: "auto-size-routed" when ``backend="auto"`` handed the model
+        #: to scipy/HiGHS over the variable crossover, else
+        #: "backend-requested".  Surfaced in ``session_stats`` so a
+        #: size-routed cold solve is distinguishable from an
+        #: error-fallback one.
+        self._cold_reason: str | None = None
         if backend_name == "auto":
-            backend_name = (
-                "simplex"
-                if model.num_variables <= auto_simplex_max_vars()
-                else "scipy"
-            )
+            if model.num_variables <= auto_simplex_max_vars():
+                backend_name = "simplex"
+            else:
+                backend_name = "scipy"
+                self._cold_reason = "auto-size-routed"
         self._backend: LPBackend = get_backend(backend_name)
+        if self.options.pricing != "auto" and hasattr(
+            self._backend, "pricing"
+        ):
+            self._backend.pricing = validate_pricing(self.options.pricing)
+        if not self._backend.supports_warm_start and self._cold_reason is None:
+            self._cold_reason = "backend-requested"
         self._warm_lp = (
             self.options.lp_warm_start and self._backend.supports_warm_start
         )
@@ -208,6 +210,7 @@ class BranchAndBoundSolver:
         # returns ERROR; a per-solve fallback to HiGHS keeps the search
         # complete instead of dropping the subtree.
         self._fallback_backend: LPBackend | None = None
+        self._fallback_reasons: dict[str, int] = {}
         self._lp_solves = 0
         self._lp_pivots = 0
         self._lp_time = 0.0
@@ -319,7 +322,7 @@ class BranchAndBoundSolver:
                 lp_solves=self._lp_solves,
                 lp_pivots=self._lp_pivots,
                 lp_time=self._lp_time,
-                session_stats=self._session.stats.as_dict(),
+                session_stats=self._session_stats_dict(),
             )
         if root_result.status is LPStatus.UNBOUNDED:
             return MILPSolution(
@@ -332,7 +335,7 @@ class BranchAndBoundSolver:
                 lp_solves=self._lp_solves,
                 lp_pivots=self._lp_pivots,
                 lp_time=self._lp_time,
-                session_stats=self._session.stats.as_dict(),
+                session_stats=self._session_stats_dict(),
             )
         if root_result.status is LPStatus.ERROR:
             raise SolverError(f"root LP failed: {root_result.message}")
@@ -548,14 +551,38 @@ class BranchAndBoundSolver:
             # ERROR: numerical trouble (includes infeasibility claims the
             # backend could not self-certify — see _certified_infeasible).
             # UNBOUNDED: have HiGHS confirm before the search acts on it.
-            # Either way this is a second, counted LP solve.
+            # Either way this is a second, counted LP solve, recorded in
+            # the session stats so an error-fallback cold solve is
+            # distinguishable from a size-routed one in lp_stats.
             if self._fallback_backend is None:
                 self._fallback_backend = ScipyHighsBackend()
+            reason = f"simplex-{result.status.value}"
+            self._fallback_reasons[reason] = (
+                self._fallback_reasons.get(reason, 0) + 1
+            )
+            session.stats.fallback_solves += 1
             result = self._fallback_backend.solve(target_form, lb, ub)
             self._lp_pivots += result.iterations
             self._lp_solves += 1
         self._lp_time += time.monotonic() - started
         return result
+
+    def _session_stats_dict(self) -> dict:
+        """The session's stats plus the tree-level routing diagnostics.
+
+        ``backend`` names the engine that served the session;
+        ``cold_reason`` says *why* a cold session is cold
+        (``auto-size-routed`` vs ``backend-requested``);
+        ``fallback_reasons`` breaks the ``fallback_solves`` counter down
+        by the simplex status that triggered each HiGHS reroute.
+        """
+        stats = self._session.stats.as_dict()
+        stats["backend"] = self._session.backend_name
+        if self._cold_reason is not None:
+            stats["cold_reason"] = self._cold_reason
+        if self._fallback_reasons:
+            stats["fallback_reasons"] = dict(self._fallback_reasons)
+        return stats
 
     # ------------------------------------------------------------------
     # Root cutting planes
@@ -886,7 +913,7 @@ class BranchAndBoundSolver:
             lp_solves=self._lp_solves,
             lp_pivots=self._lp_pivots,
             lp_time=self._lp_time,
-            session_stats=self._session.stats.as_dict(),
+            session_stats=self._session_stats_dict(),
         )
 
 

@@ -48,8 +48,31 @@ Session lifecycle and invalidation rules
   :class:`BasisExchangePool`.
 
 Each session records :class:`SessionStats` (solves, warm ratio, rows
-appended, refactorizations), which branch-and-bound surfaces as
-``MILPSolution.session_stats`` and the service layer aggregates.
+appended, refactorizations, dual bound flips), which branch-and-bound
+surfaces as ``MILPSolution.session_stats`` and the service layer
+aggregates.
+
+Environment-tunable simplex knobs
+---------------------------------
+The revised simplex's process-wide defaults live here, next to each
+other, so deployment tuning is one environment block (each also has a
+programmatic override through :class:`SolverOptions` or the backend
+constructors):
+
+* ``REPRO_AUTO_SIMPLEX_MAX_VARS`` — largest variable count that
+  ``backend="auto"`` routes to the warm revised simplex instead of
+  scipy/HiGHS (default :data:`AUTO_SIMPLEX_MAX_VARS`); read through
+  :func:`auto_simplex_max_vars`.
+* ``REPRO_SIMPLEX_PRICING`` — primal pricing rule: ``devex``
+  (default; reference-framework Devex), ``dantzig`` (most negative
+  reduced cost) or ``bland`` (first eligible; anti-cycling, slow).
+  Read through :func:`simplex_pricing`; whatever the rule, a run of
+  degenerate pivots still engages Bland's rule as the escape hatch.
+* ``REPRO_SIMPLEX_REFACTOR_INTERVAL`` — Forrest–Tomlin updates
+  accumulated on the basis factorization before a fresh LU
+  refactorization (default :data:`SIMPLEX_REFACTOR_INTERVAL`); read
+  through :func:`simplex_refactor_interval`.  Stability triggers can
+  refactorize earlier; this caps the update chain.
 
 Backends and the deprecated one-shot path
 -----------------------------------------
@@ -73,6 +96,7 @@ pivots (0 for backends that do not report them).
 from __future__ import annotations
 
 import enum
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -82,6 +106,82 @@ from scipy.optimize import linprog
 
 from repro.exceptions import SolverError
 from repro.milp.standard_form import StandardForm, extend_form_with_rows
+
+
+#: ``backend="auto"``: largest variable count routed to the revised
+#: simplex (above it, scipy/HiGHS wins despite cold node solves).
+#: Re-measured for the Forrest–Tomlin + Devex engine on the Figure-2
+#: workloads (raised from the product-form engine's 150): through the
+#: 230-variable (6-table) formulations the warm engine reaches the
+#: same incumbent plans as HiGHS-backed search at the benchmark
+#: budgets while taking 2–5× fewer pivots than the old engine; above
+#: that, HiGHS's compiled per-pivot cost still wins cold proof races
+#: (see ROADMAP for the measured residual limits).  Overridable per
+#: process through the ``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment
+#: variable.
+AUTO_SIMPLEX_MAX_VARS = 230
+
+#: Primal pricing rules accepted by :func:`simplex_pricing`,
+#: ``SolverOptions.pricing`` and the simplex backend constructors.
+PRICING_RULES = ("devex", "dantzig", "bland")
+
+#: Default primal pricing rule (``REPRO_SIMPLEX_PRICING`` overrides).
+SIMPLEX_PRICING = "devex"
+
+#: Forrest–Tomlin updates accumulated before a fresh LU refactorization
+#: (``REPRO_SIMPLEX_REFACTOR_INTERVAL`` overrides).
+SIMPLEX_REFACTOR_INTERVAL = 64
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise SolverError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def auto_simplex_max_vars() -> int:
+    """The effective ``backend="auto"`` crossover, honouring the
+    ``REPRO_AUTO_SIMPLEX_MAX_VARS`` environment override."""
+    return _env_int("REPRO_AUTO_SIMPLEX_MAX_VARS", AUTO_SIMPLEX_MAX_VARS)
+
+
+def simplex_pricing() -> str:
+    """The process-default pricing rule, honouring the
+    ``REPRO_SIMPLEX_PRICING`` environment override."""
+    raw = os.environ.get("REPRO_SIMPLEX_PRICING")
+    if raw is None or not raw.strip():
+        return SIMPLEX_PRICING
+    return validate_pricing(raw)
+
+
+def validate_pricing(name: str) -> str:
+    """Normalize a pricing-rule name; raise on an unknown rule."""
+    normalized = name.strip().lower()
+    if normalized not in PRICING_RULES:
+        raise SolverError(
+            f"pricing must be one of {PRICING_RULES}, got {name!r}"
+        )
+    return normalized
+
+
+def simplex_refactor_interval() -> int:
+    """The process-default Forrest–Tomlin refactorization interval,
+    honouring the ``REPRO_SIMPLEX_REFACTOR_INTERVAL`` override."""
+    interval = _env_int(
+        "REPRO_SIMPLEX_REFACTOR_INTERVAL", SIMPLEX_REFACTOR_INTERVAL
+    )
+    if interval < 1:
+        raise SolverError(
+            "REPRO_SIMPLEX_REFACTOR_INTERVAL must be >= 1, "
+            f"got {interval}"
+        )
+    return interval
 
 
 class LPStatus(enum.Enum):
@@ -160,8 +260,16 @@ class SessionStats:
     """Per-session reuse accounting (see :attr:`LPSession.stats`).
 
     ``warm_solves`` counts solves that started from a retained or
-    installed basis; ``refactorizations`` counts fresh PLU
-    factorizations (0 for backends without one).
+    installed basis; ``refactorizations`` counts fresh LU
+    factorizations (0 for backends without one); ``bound_flips``
+    counts nonbasic bound flips taken by the dual simplex's bound-flip
+    ratio test; ``fallback_solves`` counts solves the *caller* rerouted
+    to a fallback backend after an ERROR/UNBOUNDED answer
+    (branch-and-bound increments it, so an error-fallback cold solve is
+    distinguishable from a size-routed one in ``session_stats``).
+    ``notes`` carries free-form string diagnostics (backend name, cold
+    or fallback reasons); they ride along in :meth:`as_dict` and are
+    ignored by :meth:`absorb`.
     """
 
     solves: int = 0
@@ -170,11 +278,15 @@ class SessionStats:
     rows_appended: int = 0
     refactorizations: int = 0
     bases_installed: int = 0
+    bound_flips: int = 0
+    fallback_solves: int = 0
+    notes: dict = field(default_factory=dict)
 
     #: Counter fields summed by :meth:`absorb` (``warm_ratio`` derives).
     _COUNTERS = (
         "solves", "warm_solves", "pivots", "rows_appended",
-        "refactorizations", "bases_installed",
+        "refactorizations", "bases_installed", "bound_flips",
+        "fallback_solves",
     )
 
     @property
@@ -195,7 +307,7 @@ class SessionStats:
 
     def as_dict(self) -> dict:
         """JSON-friendly snapshot (benchmarks, service diagnostics)."""
-        return {
+        snapshot = {
             "solves": self.solves,
             "warm_solves": self.warm_solves,
             "warm_ratio": self.warm_ratio,
@@ -203,7 +315,11 @@ class SessionStats:
             "rows_appended": self.rows_appended,
             "refactorizations": self.refactorizations,
             "bases_installed": self.bases_installed,
+            "bound_flips": self.bound_flips,
+            "fallback_solves": self.fallback_solves,
         }
+        snapshot.update(self.notes)
+        return snapshot
 
 
 class LPSession:

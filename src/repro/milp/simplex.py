@@ -2,9 +2,9 @@
 
 This backend exists so the MILP substrate is complete without any external
 solver: it is used as a cross-check against the HiGHS backend in tests and
-as the default node-LP engine for small models, where warm starting beats
-scipy's per-call overhead.  It replaces the earlier dense two-phase tableau
-implementation with the design used by open-source LP codes:
+as the default node-LP engine for small-to-medium models, where warm
+starting beats scipy's per-call overhead.  The iteration machinery follows
+the design used by open-source LP codes:
 
 * **Bounded variables are handled natively.**  Every column carries a
   ``[lb, ub]`` interval; a nonbasic column rests *at* its lower or upper
@@ -14,11 +14,40 @@ implementation with the design used by open-source LP codes:
   revised-form equivalent of the textbook ``x = x⁺ − x⁻`` split: the
   column may move in both directions, without doubling the column count).
   ``-inf`` lower bounds are therefore supported, not rejected.
-* **Revised form.**  Only the basis matrix ``B`` is factorized (dense PLU
-  via ``scipy.linalg.lu_factor``); iterations update the factorization
-  with product-form eta vectors and refactorize periodically, so per-node
-  work is bound-vector updates plus a refactorization — the standard-form
-  matrices are built once per :class:`StandardForm` and cached.
+* **Revised form with Forrest–Tomlin updates.**  Only the basis matrix
+  ``B`` is factorized (dense LU via ``scipy.linalg.lu_factor``); each
+  pivot updates the stored upper factor in place — a Forrest–Tomlin
+  column replacement: spike the entering column into ``U``, cyclically
+  permute the pivot row/column to the border, and eliminate the row
+  spike with one compact row-eta (:class:`_FTFactor`).  FTRAN/BTRAN
+  therefore stay two triangular solves plus ``O(k·n)`` for ``k``
+  accumulated updates, instead of degrading along a growing
+  product-form eta chain; a stability trigger (vanishing updated
+  diagonal or exploding eta multipliers) forces an early
+  refactorization, and the update chain is capped by the env-tunable
+  ``REPRO_SIMPLEX_REFACTOR_INTERVAL``.  The factorization survives
+  *across* solves of one session: a warm re-solve that starts from the
+  retained basis adopts the live factor instead of paying a fresh
+  ``O(n³)`` factorization per node.
+* **Devex pricing.**  The primal phase prices with reference-framework
+  Devex weights by default (``d²/γ`` scoring, weights updated from the
+  pivot row, framework reset on overflow), which takes far fewer pivots
+  than Dantzig pricing on the degenerate join-ordering LPs.  Dantzig
+  and Bland remain available behind the ``pricing=`` knob
+  (:data:`~repro.milp.lp_backend.PRICING_RULES`), and a run of
+  degenerate pivots still engages Bland's rule as the anti-cycling
+  escape hatch under any pricing rule.
+* **Harris ratio tests.**  Both phases use two-pass Harris ratio tests:
+  pass one computes the maximum step under tolerance-relaxed bounds,
+  pass two picks the largest pivot element among the candidates whose
+  exact ratio fits under it — trading a bounded, tolerance-sized bound
+  violation for much better-conditioned pivots on degenerate models.
+  The dual phase additionally runs the **bound-flip ratio test**
+  (BFRT): breakpoints belonging to boxed columns are consumed by
+  flipping those columns to their opposite bound (one batched FTRAN
+  repairs ``x_B``), so a boundary-infeasible LP converges in a handful
+  of long dual steps instead of grinding through one breakpoint per
+  pivot and exhausting its pivot budget.
 * **Dual simplex + warm starts.**  The primary surface is
   :class:`SimplexSession` (via ``create_session``): the session retains
   the optimal basis between solves, so a branch-and-bound bound change
@@ -31,15 +60,13 @@ implementation with the design used by open-source LP codes:
   the all-slack basis, which the same dual phase drives to primal
   feasibility before a primal-simplex polish proves optimality or
   unboundedness.
-* **Anti-cycling.**  Dantzig pricing switches to Bland's rule after a run
-  of degenerate pivots, which terminates classic cycling instances
-  (e.g. Beale's example) that loop forever under pure Dantzig pricing.
 
 The solve pipeline is ``install basis -> dual phase (restore primal
 feasibility) -> primal phase (restore dual feasibility)``; either phase
 exits immediately when it has nothing to do.  ``INFEASIBLE`` is detected
-by the dual phase (no eligible entering column for a violated row),
-``UNBOUNDED`` by the primal phase (no blocking ratio).
+by the dual phase (no eligible entering column for a violated row, with
+an independent Farkas-style certificate), ``UNBOUNDED`` by the primal
+phase (no blocking ratio).
 """
 
 from __future__ import annotations
@@ -48,14 +75,23 @@ import math
 import warnings
 
 import numpy as np
-from scipy.linalg import LinAlgError, LinAlgWarning, lu_factor, lu_solve
+from scipy.linalg import (
+    LinAlgError,
+    LinAlgWarning,
+    lu_factor,
+)
+from scipy.linalg.lapack import dtrtrs as _dtrtrs
 
+from repro.exceptions import SolverError
 from repro.milp.lp_backend import (
     LPBackend,
     LPResult,
     LPSession,
     LPStatus,
     SimplexBasis,
+    simplex_pricing,
+    simplex_refactor_interval,
+    validate_pricing,
 )
 from repro.milp.standard_form import StandardForm
 
@@ -74,10 +110,23 @@ _MAX_ITERATIONS = 20000
 #: thresholds below double-precision noise; anything tighter than this
 #: is unverifiable and would just churn pivots.
 _POLISH_TOL_FLOOR = 1e-12
-#: Eta vectors accumulated before a fresh PLU refactorization.
-_REFACTOR_INTERVAL = 64
 #: Consecutive (near-)degenerate pivots before Bland's rule engages.
 _BLAND_SWITCH = 30
+#: Forrest–Tomlin stability gates: an updated diagonal smaller than
+#: this (relative to the spike) or an eta multiplier larger than the
+#: growth cap marks the update as untrustworthy; the caller
+#: refactorizes instead.
+_FT_DIAG_TOL = 1e-11
+_FT_GROWTH_CAP = 1e8
+#: Devex reference-framework reset threshold: weights beyond this have
+#: drifted too far from the framework for the scores to mean anything.
+_DEVEX_RESET = 1e8
+#: A live factor is only adopted across solves while it carries at most
+#: this many Forrest–Tomlin updates.  Measured on the big-M
+#: join-ordering forms: older chains carry enough accumulated rounding
+#: that adopting them trades the saved refactorization for numerical
+#: failures (ERROR fallbacks) a fresh LU would have avoided.
+_LIVE_ADOPT_MAX_UPDATES = 8
 
 
 class SimplexSession(LPSession):
@@ -85,27 +134,58 @@ class SimplexSession(LPSession):
 
     The session owns the equilibrated row matrix (a private
     :class:`_Workspace`, grown in place by :meth:`add_rows`), the
-    retained optimal basis, and the PLU factorization cache keyed by
-    basis — so consecutive solves that revisit a basis (both children
-    of a branch-and-bound node, dive steps) skip refactorization
-    entirely.  ``add_rows`` extends the retained basis with the new
-    rows' slack columns: the extended basis matrix is block
+    retained optimal basis, the live Forrest–Tomlin factorization of
+    that basis (adopted by the next solve, so sequential warm solves
+    skip refactorization entirely), and a pristine-factor cache keyed
+    by basis — so consecutive solves that revisit a basis (both
+    children of a branch-and-bound node, dive steps) skip the dense
+    factorization.  ``add_rows`` extends the retained basis with the
+    new rows' slack columns: the extended basis matrix is block
     lower-triangular over the old basis and an identity, hence
     nonsingular, and the new duals are zero, so dual feasibility is
     preserved exactly and the next solve is a short dual-simplex run
     that drives the violated cut rows feasible.
+
+    ``pricing`` and ``refactor_interval`` default to the process-wide
+    knobs (``REPRO_SIMPLEX_PRICING`` /
+    ``REPRO_SIMPLEX_REFACTOR_INTERVAL``, see
+    :mod:`repro.milp.lp_backend`).
     """
 
     backend_name = "revised-simplex"
     supports_warm_start = True
 
-    def __init__(self, form: StandardForm) -> None:
+    def __init__(
+        self,
+        form: StandardForm,
+        pricing: str | None = None,
+        refactor_interval: int | None = None,
+    ) -> None:
         super().__init__(form)
+        self._pricing = (
+            validate_pricing(pricing) if pricing else simplex_pricing()
+        )
+        if refactor_interval is None:
+            self._refactor_interval = simplex_refactor_interval()
+        elif int(refactor_interval) < 1:
+            # Same contract as the env knob: silently accepting 0 or a
+            # negative would disable FT updates (every pivot paying a
+            # full refactorization) without any signal.
+            raise SolverError(
+                f"refactor_interval must be >= 1, got {refactor_interval}"
+            )
+        else:
+            self._refactor_interval = int(refactor_interval)
         self._ws = _Workspace(form)
         self._lu_cache: dict = {}
         self._lb = np.asarray(form.lb, dtype=float).copy()
         self._ub = np.asarray(form.ub, dtype=float).copy()
         self._basis: SimplexBasis | None = None
+        #: Live factorization of the retained basis: ``(factor,
+        #: basic.tobytes())`` from the last OPTIMAL solve, adopted by
+        #: the next solve that re-installs exactly that basis.
+        self._live: "tuple[_FTFactor, bytes] | None" = None
+        self.stats.notes["pricing"] = self._pricing
 
     def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
         self._lb, self._ub = self._validated_bounds(lb, ub)
@@ -136,6 +216,7 @@ class SimplexSession(LPSession):
             self._basis = SimplexBasis(basic, status, self._ws.signature)
         # Old factorizations have the wrong dimension now.
         self._lu_cache.clear()
+        self._live = None
         self.stats.rows_appended += k
 
     def export_basis(self) -> SimplexBasis | None:
@@ -160,16 +241,26 @@ class SimplexSession(LPSession):
             result = _solve_unconstrained(self.form, self._lb, self._ub, ws)
             self._basis = result.basis
             return result
-        run = _SimplexRun(ws, self._lb, self._ub, self._lu_cache)
+        run = _SimplexRun(
+            ws,
+            self._lb,
+            self._ub,
+            self._lu_cache,
+            pricing=self._pricing,
+            refactor_interval=self._refactor_interval,
+            live=self._live,
+        )
         status = run.optimize(self._basis)
         if run.installed_warm:
             self.stats.warm_solves += 1
         self.stats.pivots += run.pivots
         self.stats.refactorizations += run.refactorizations
+        self.stats.bound_flips += run.bound_flips
         if status is LPStatus.OPTIMAL:
             x = run.x[: ws.num_structural] * ws.col_scale
             objective = float(self.form.c @ x) + self.form.c0
             self._basis = run.export_basis()
+            self._live = run.export_live()
             return LPResult(
                 LPStatus.OPTIMAL,
                 x,
@@ -177,12 +268,16 @@ class SimplexSession(LPSession):
                 basis=self._basis,
                 iterations=run.pivots,
             )
+        # A failed run only ever mutated its own snapshot of the live
+        # factor, so the retained (basis, factor) pair is still valid
+        # for the next solve that re-installs the retained basis.
         bound = -math.inf if status is LPStatus.UNBOUNDED else math.inf
         return LPResult(status, None, bound, iterations=run.pivots)
 
     def close(self) -> None:
         self._lu_cache.clear()
         self._basis = None
+        self._live = None
 
 
 class RevisedSimplexBackend(LPBackend):
@@ -192,18 +287,31 @@ class RevisedSimplexBackend(LPBackend):
     deprecated one-shot ``solve`` is a shim over a per-form session kept
     alive between calls, so its workspace and factorization caches
     survive across node solves exactly as the old implementation's did.
+    ``pricing``/``refactor_interval`` override the process-wide env
+    defaults for every session the backend creates (``None`` keeps the
+    env-resolved default).
     """
 
     name = "revised-simplex"
     supports_warm_start = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        pricing: str | None = None,
+        refactor_interval: int | None = None,
+    ) -> None:
+        self.pricing = validate_pricing(pricing) if pricing else None
+        self.refactor_interval = refactor_interval
         # One live session per form; keyed by id() with a strong
         # reference kept (session.form), so ids cannot be recycled.
         self._sessions: dict[int, SimplexSession] = {}
 
     def create_session(self, form: StandardForm) -> SimplexSession:
-        return SimplexSession(form)
+        return SimplexSession(
+            form,
+            pricing=self.pricing,
+            refactor_interval=self.refactor_interval,
+        )
 
     def solve(
         self,
@@ -224,7 +332,7 @@ class RevisedSimplexBackend(LPBackend):
         cached = self._sessions.get(id(form))
         if cached is not None and cached.form is form:
             return cached
-        session = SimplexSession(form)
+        session = self.create_session(form)
         if len(self._sessions) >= 8:
             self._sessions.pop(next(iter(self._sessions)))
         self._sessions[id(form)] = session
@@ -459,6 +567,256 @@ class _NumericalTrouble(Exception):
     """Internal signal: the factorization can no longer be trusted."""
 
 
+def _tri_solve(
+    a: np.ndarray, b: np.ndarray, lower: int, trans: int, unit: int
+) -> np.ndarray:
+    """Triangular solve through raw LAPACK ``dtrtrs``.
+
+    The scipy ``solve_triangular`` wrapper costs tens of microseconds
+    of validation per call; at simplex call rates (four solves per
+    pivot) that overhead dominates the actual O(n²) arithmetic on
+    mid-sized bases.  An exactly-singular diagonal yields NaNs (the
+    callers' finiteness/consistency checks catch them) instead of an
+    exception.
+    """
+    x, info = _dtrtrs(a, b, lower=lower, trans=trans, unitdiag=unit)
+    if info != 0:
+        return np.full_like(b, np.nan)
+    return x
+
+
+class _FTFactor:
+    """Dense LU factors of one basis, updated in place Forrest–Tomlin
+    style.
+
+    The representation after ``k`` column replacements is::
+
+        B[rowperm, :] = L · (Q₁ᵀ R₁) · … · (Q_kᵀ R_k) · U · (Q_k … Q₁)
+
+    where ``L`` is the unit-lower factor of the initial LU (never
+    mutated), each ``Q_i`` is the cyclic permutation that borders the
+    replaced row/column, each ``R_i = I + e_last m_iᵀ`` is one compact
+    row-eta, and ``U`` is the *current* upper factor, physically
+    permuted and mutated by every update.  ``upos``/``posinv`` track the
+    accumulated column permutation (U coordinate ↔ basis position), so
+    FTRAN/BTRAN are two triangular solves plus ``O(k·n)`` for the
+    update ops — never a growing product-form chain in the solves
+    themselves.
+
+    Pristine factors (zero updates) are cached and shared between runs;
+    :meth:`fork` hands out cheap views whose ``U`` is copied lazily on
+    the first update (copy-on-write), so cached factors are never
+    corrupted.  :meth:`replace_column` returning ``False`` means the
+    update failed a stability gate and **left the factor unusable** —
+    the caller must refactorize from scratch.
+    """
+
+    __slots__ = (
+        "n", "lower", "upper", "rowperm",
+        "ops", "updates", "upos", "posinv", "_shared_upper", "_spike",
+    )
+
+    @classmethod
+    def build(cls, b_mat: np.ndarray) -> "_FTFactor | None":
+        """Factorize ``b_mat``; ``None`` when it is (exactly) singular."""
+        try:
+            with warnings.catch_warnings():
+                # scipy warns (not raises) on a singular basis; the
+                # diagonal check below handles it explicitly.
+                warnings.simplefilter("ignore", LinAlgWarning)
+                lu, piv = lu_factor(b_mat, check_finite=False)
+        except (LinAlgError, ValueError):
+            return None
+        # lu_factor only *warns* on exact singularity; inspect U's
+        # diagonal ourselves so a degenerate basis is rejected instead
+        # of silently producing inf/nan solves.  Only exact zeros are
+        # fatal: the big-M rows make these matrices legitimately
+        # ill-scaled, and mere ill-conditioning is caught by the pivot
+        # consistency checks.
+        diag = np.abs(np.diag(lu))
+        if diag.size and diag.min() == 0.0:
+            return None
+        self = cls.__new__(cls)
+        n = b_mat.shape[0]
+        self.n = n
+        # LAPACK ipiv (successive row swaps) -> permutation array with
+        # b_mat[rowperm, :] == L @ U.
+        perm = np.arange(n)
+        for i, p in enumerate(piv):
+            perm[i], perm[p] = perm[p], perm[i]
+        self.rowperm = perm
+        # The unit diagonal is implied by the solver's unitdiag flag, so
+        # the strictly-lower part alone is enough.  Fortran order lets
+        # LAPACK take the factors without a full-matrix copy per solve.
+        self.lower = np.asfortranarray(np.tril(lu, -1))
+        self.upper = np.asfortranarray(np.triu(lu))
+        self.ops: list[tuple[int, np.ndarray]] = []
+        #: Successful column replacements since the factorization.  Not
+        #: ``len(ops)``: a replacement in the already-bordered position
+        #: mutates ``upper`` without appending an op.
+        self.updates = 0
+        self.upos = np.arange(n)
+        self.posinv = np.arange(n)
+        self._shared_upper = False
+        self._spike: np.ndarray | None = None
+        return self
+
+    def fork(self) -> "_FTFactor":
+        """A cheap update-capable view sharing the pristine arrays."""
+        clone = _FTFactor.__new__(_FTFactor)
+        clone.n = self.n
+        clone.lower = self.lower
+        clone.upper = self.upper
+        clone.rowperm = self.rowperm
+        clone.ops = []
+        clone.updates = 0
+        clone.upos = np.arange(self.n)
+        clone.posinv = np.arange(self.n)
+        clone._shared_upper = True
+        clone._spike = None
+        return clone
+
+    def snapshot(self) -> "_FTFactor":
+        """An independently-updatable copy of the *current* state.
+
+        Unlike :meth:`fork` (pristine view), this preserves accumulated
+        updates: the session hands snapshots of its live factor to new
+        runs, so both branch-and-bound children of one node can adopt
+        the parent's factorization — an ``O(n²)`` copy of ``U`` instead
+        of the ``O(n³)`` refactorization each child used to pay.  The
+        eta vectors inside ``ops`` are immutable after creation, so the
+        list is copied shallowly.
+        """
+        clone = _FTFactor.__new__(_FTFactor)
+        clone.n = self.n
+        clone.lower = self.lower
+        clone.upper = self.upper
+        clone.rowperm = self.rowperm
+        clone.ops = list(self.ops)
+        clone.updates = self.updates
+        clone.upos = self.upos.copy()
+        clone.posinv = self.posinv.copy()
+        clone._shared_upper = True
+        clone._spike = None
+        # The source must no longer mutate the shared upper in place.
+        self._shared_upper = True
+        return clone
+
+    # -- solves --------------------------------------------------------
+
+    def _forward(self, rhs: np.ndarray) -> np.ndarray:
+        """``rhs`` through the row permutation, ``L`` and the update
+        ops — i.e. everything *before* the final ``U`` solve."""
+        t = _tri_solve(self.lower, rhs[self.rowperm], 1, 0, 1)
+        for j, m in self.ops:
+            tj = t[j]
+            t[j:-1] = t[j + 1:]
+            t[-1] = tj - m @ t[j:-1]
+        return t
+
+    def ftran(self, rhs: np.ndarray, want_spike: bool = False) -> np.ndarray:
+        """Solve ``B z = rhs``.  ``want_spike`` stashes the pre-``U``
+        intermediate for a following :meth:`replace_column` (the spike
+        of the entering column), saving a redundant forward pass.
+
+        Always the decomposed L/ops/U route — never the packed
+        packed-LU shortcut: the simplex cross-checks FTRAN pivots
+        against BTRAN pivots, and on ill-conditioned big-M bases the
+        two routes must carry *matching* rounding or the consistency
+        check rejects healthy pivots.
+        """
+        t = self._forward(rhs)
+        if want_spike:
+            self._spike = t.copy()
+        y = _tri_solve(self.upper, t, 0, 0, 0)
+        z = np.empty(self.n)
+        z[self.upos] = y
+        return z
+
+    def btran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``Bᵀ y = rhs`` (decomposed route, matching ftran)."""
+        s = _tri_solve(self.upper, rhs[self.upos], 0, 1, 0)
+        for j, m in reversed(self.ops):
+            s[j:-1] -= m * s[-1]
+            last = s[-1]
+            s[j + 1:] = s[j:-1]  # overlap-buffered shift-up
+            s[j] = last
+        w = _tri_solve(self.lower, s, 1, 1, 1)
+        y = np.empty(self.n)
+        y[self.rowperm] = w
+        return y
+
+    def take_spike(self) -> np.ndarray | None:
+        spike, self._spike = self._spike, None
+        return spike
+
+    # -- update --------------------------------------------------------
+
+    def replace_column(
+        self,
+        r: int,
+        col: np.ndarray | None,
+        spike: np.ndarray | None = None,
+    ) -> bool:
+        """Forrest–Tomlin update: basis position ``r`` takes a new
+        column (``col``, or its pre-computed forward ``spike``).
+
+        Returns ``False`` when a stability gate rejects the update —
+        the factor is then unusable and the caller must refactorize.
+        """
+        t = spike if spike is not None else self._forward(col)
+        n = self.n
+        j = int(self.posinv[r])
+        if self._shared_upper:
+            self.upper = self.upper.copy(order="F")
+            self._shared_upper = False
+        upper = self.upper
+        upper[:, j] = t
+        tmax = float(np.abs(t).max()) if n else 0.0
+        if j == n - 1:
+            # Bordered already: no permutation, no row spike.
+            if abs(upper[n - 1, n - 1]) <= _FT_DIAG_TOL * (1.0 + tmax):
+                return False
+            self.updates += 1
+            return True
+        # Cyclic shift of rows and columns j..n-1 (j moves to the
+        # border), done with block moves — numpy buffers overlapping
+        # basic-slice assignments, and block memmoves beat a full
+        # fancy-index gather by a wide margin at this call rate.  Rows
+        # below j carry nothing left of column j (triangularity; the
+        # spike itself sits in column j), so the row move only touches
+        # the j: column range.
+        row_spike = upper[j, j:].copy()
+        upper[j:n - 1, j:] = upper[j + 1:n, j:]
+        upper[n - 1, j:] = row_spike
+        col_spike = upper[:, j].copy()
+        upper[:, j:n - 1] = upper[:, j + 1:n]
+        upper[:, n - 1] = col_spike
+        spike_row = upper[n - 1, j:n - 1].copy()
+        if np.any(spike_row != 0.0):
+            m = _tri_solve(upper[j:n - 1, j:n - 1], spike_row, 0, 1, 0)
+            if not np.all(np.isfinite(m)):
+                return False
+            if m.size and float(np.abs(m).max()) > _FT_GROWTH_CAP:
+                return False
+            upper[n - 1, n - 1] -= m @ upper[j:n - 1, n - 1]
+            upper[n - 1, j:n - 1] = 0.0
+        else:
+            m = np.zeros(n - 1 - j)
+        diag = upper[n - 1, n - 1]
+        if not np.isfinite(diag) or abs(diag) <= _FT_DIAG_TOL * (1.0 + tmax):
+            return False
+        self.upper = upper
+        self.ops.append((j, m))
+        self.updates += 1
+        upos = self.upos
+        moved = upos[j]
+        upos[j:n - 1] = upos[j + 1:n]
+        upos[n - 1] = moved
+        self.posinv[upos] = np.arange(n)
+        return True
+
+
 class _SimplexRun:
     """State of one solve: basis, factorization, values, statuses."""
 
@@ -468,9 +826,15 @@ class _SimplexRun:
         lb: np.ndarray,
         ub: np.ndarray,
         lu_cache: dict | None = None,
+        pricing: str = "devex",
+        refactor_interval: int = 64,
+        live: "tuple[_FTFactor, bytes] | None" = None,
     ):
         self.ws = ws
         self._lu_cache = lu_cache if lu_cache is not None else {}
+        self.pricing = pricing
+        self._refactor_interval = refactor_interval
+        self._live = live
         # Per-node work: scale the bound vectors into equilibrated space.
         self.lb = np.concatenate([lb / ws.col_scale, ws.slack_lb])
         self.ub = np.concatenate([ub / ws.col_scale, ws.slack_ub])
@@ -487,14 +851,16 @@ class _SimplexRun:
         self.status = np.empty(0, dtype=np.int8)
         self.pivots = 0
         self.refactorizations = 0
+        self.bound_flips = 0
         #: Whether the finished solve actually started from the caller's
         #: basis (False when it was rejected/singular and the run fell
         #: back to the cold all-slack start) — keeps warm_solves honest.
         self.installed_warm = False
-        self.bland = False
+        self.bland = pricing == "bland"
         self._degenerate_run = 0
-        self._lu = None
-        self._etas: list[tuple[int, np.ndarray]] = []
+        self._factor: _FTFactor | None = None
+        self._devex = np.ones(ws.num_columns)
+        self._dual_devex = np.ones(ws.num_rows)
 
     # ------------------------------------------------------------------
     # Driver
@@ -510,6 +876,7 @@ class _SimplexRun:
             try:
                 return self._optimize_once(start)
             except _NumericalTrouble:
+                self._live = None  # a drifted live factor never retries
                 continue
         return LPStatus.ERROR
 
@@ -524,8 +891,10 @@ class _SimplexRun:
         ws = self.ws
         self.c = ws.c_full + ws.perturbation
         self._perturbed = True
-        self.bland = False
+        self.bland = self.pricing == "bland"
         self._degenerate_run = 0
+        self._devex.fill(1.0)
+        self._dual_devex.fill(1.0)
         self.pivot_limit = self.pivots + min(
             _MAX_ITERATIONS, 200 + 25 * ws.num_rows
         )
@@ -597,7 +966,7 @@ class _SimplexRun:
         ws = self.ws
         for _ in range(3):
             self.pivot_limit = max(self.pivot_limit, self.pivots + 200)
-            status = self._dual_phase(ws.feas_tol)
+            status = self._dual_phase(ws.feas_tol, ws.dual_tol)
             if status is not LPStatus.OPTIMAL:
                 return status
             status = self._primal_phase(ws.dual_tol)
@@ -635,6 +1004,14 @@ class _SimplexRun:
             self.basic.copy(), self.status.copy(), self.ws.signature
         )
 
+    def export_live(self) -> "tuple[_FTFactor, bytes] | None":
+        """The finished factorization, keyed by its basis, for the
+        session to hand to the next solve (skipping refactorization
+        when that solve re-installs exactly this basis)."""
+        if self._factor is None:
+            return None
+        return self._factor, self.basic.tobytes()
+
     # ------------------------------------------------------------------
     # Basis installation
     # ------------------------------------------------------------------
@@ -652,7 +1029,7 @@ class _SimplexRun:
                 ws.num_structural, ws.num_columns, dtype=np.int64
             )
             prior = np.full(ws.num_columns, AT_LOWER, dtype=np.int8)
-        if not self._refactor():
+        if not self._adopt_live() and not self._refactor():
             if basis is None:
                 return False
             # Singular warm basis: fall back to the cold slack basis.
@@ -662,6 +1039,32 @@ class _SimplexRun:
         self._place_nonbasic(prior)
         self._recompute_basics()
         self.installed_warm = basis is not None
+        return True
+
+    def _adopt_live(self) -> bool:
+        """Adopt the session's still-valid live factorization.
+
+        The session exports ``(factor, basic.tobytes())`` after each
+        OPTIMAL solve; when the next solve re-installs exactly that
+        basis (every sequential warm re-solve does, and *both*
+        branch-and-bound children of a node install the same parent
+        basis), the factorization — LU plus accumulated Forrest–Tomlin
+        updates — carries over as a copy-on-write snapshot and the
+        ``O(n³)`` per-solve refactorization disappears.
+        """
+        if self._live is None:
+            return False
+        factor, basic_bytes = self._live
+        if factor is None or factor.n != self.ws.num_rows:
+            return False
+        if factor.updates > _LIVE_ADOPT_MAX_UPDATES:
+            # Too much accumulated update rounding to carry across a
+            # solve boundary; a fresh LU is cheaper than the ERROR
+            # fallback an over-aged chain tends to end in.
+            return False
+        if self.basic.tobytes() != basic_bytes:
+            return False
+        self._factor = factor.snapshot()
         return True
 
     def _basis_usable(self, basis: SimplexBasis) -> bool:
@@ -722,23 +1125,23 @@ class _SimplexRun:
         self.x[nonbasic] = values[nonbasic]
 
     # ------------------------------------------------------------------
-    # Factorization (PLU + product-form eta updates)
+    # Factorization (LU + Forrest–Tomlin updates)
     # ------------------------------------------------------------------
 
     def _refactor(self) -> bool:
         ws = self.ws
-        # The factorization cache is shared across solves of this form:
-        # both branch-and-bound children (and dive steps) re-install
-        # their parent's basis, whose PLU was already computed.  The LU
-        # arrays are never mutated after creation, so sharing is safe.
+        # The pristine-factor cache is shared across solves of this
+        # form: both branch-and-bound children (and dive steps)
+        # re-install their parent's basis, whose LU was already
+        # computed.  Cached factors are never mutated (forks copy the
+        # upper factor on their first update), so sharing is safe.
         # Keyed by the workspace *object* (not id()): the tuple holds a
         # strong reference, so an evicted workspace's id can never be
         # recycled into a stale cache hit.
         key = (ws, self.basic.tobytes())
         cached = self._lu_cache.get(key)
         if cached is not None:
-            self._lu = cached
-            self._etas = []
+            self._factor = cached.fork()
             return True
         b_mat = np.zeros((ws.num_rows, ws.num_rows))
         structural = self.basic < ws.num_structural
@@ -747,52 +1150,45 @@ class _SimplexRun:
         b_mat[
             self.basic[slack_positions] - ws.num_structural, slack_positions
         ] = 1.0
-        try:
-            with warnings.catch_warnings():
-                # scipy warns (not raises) on a singular basis; the
-                # diagonal check below handles it explicitly.
-                warnings.simplefilter("ignore", LinAlgWarning)
-                self._lu = lu_factor(b_mat, check_finite=False)
-        except (LinAlgError, ValueError):
-            return False
-        # lu_factor only *warns* on exact singularity; inspect U's
-        # diagonal ourselves so a degenerate basis is rejected instead of
-        # silently producing inf/nan solves.  Only exact zeros are fatal:
-        # the big-M rows make these matrices legitimately ill-scaled, and
-        # mere ill-conditioning is caught by the pivot consistency checks.
-        diag = np.abs(np.diag(self._lu[0]))
-        if diag.size and diag.min() == 0.0:
+        factor = _FTFactor.build(b_mat)
+        if factor is None:
             return False
         self.refactorizations += 1
         if len(self._lu_cache) >= 16:
             self._lu_cache.pop(next(iter(self._lu_cache)))
-        self._lu_cache[key] = self._lu
-        self._etas = []
+        self._lu_cache[key] = factor
+        self._factor = factor.fork()
         return True
 
-    def _ftran(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``B z = rhs`` through the PLU factors and eta updates."""
-        z = lu_solve(self._lu, rhs, check_finite=False)
-        for r, w in self._etas:
-            zr = z[r] / w[r]
-            z -= w * zr
-            z[r] = zr
-        return z
+    def _ftran(self, rhs: np.ndarray, want_spike: bool = False) -> np.ndarray:
+        """Solve ``B z = rhs`` through the factorization."""
+        return self._factor.ftran(rhs, want_spike)
 
     def _btran(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``B^T y = rhs`` (eta-transposes first, then PLU)."""
-        v = rhs.copy()
-        for r, w in reversed(self._etas):
-            vr = v[r]
-            v[r] = (vr - (w @ v - w[r] * vr)) / w[r]
-        return lu_solve(self._lu, v, trans=1, check_finite=False)
+        """Solve ``B^T y = rhs``."""
+        return self._factor.btran(rhs)
 
-    def _push_eta(self, row: int, w: np.ndarray) -> None:
-        self._etas.append((row, w.copy()))
-        if len(self._etas) >= _REFACTOR_INTERVAL:
-            if not self._refactor():
-                raise _NumericalTrouble
-            self._recompute_basics()
+    def _apply_pivot(self, r: int) -> bool:
+        """Fold the basis change at row ``r`` into the factorization.
+
+        Prefers a Forrest–Tomlin column replacement (reusing the spike
+        stashed by the entering column's FTRAN); refactorizes when the
+        update chain is full or a stability gate rejects the update.
+        Returns ``True`` when a fresh refactorization replaced the
+        chain — callers must refresh any cached reduced costs.
+        """
+        factor = self._factor
+        spike = factor.take_spike()
+        if factor.updates < self._refactor_interval and factor.replace_column(
+            r,
+            self.ws.column(int(self.basic[r])) if spike is None else None,
+            spike=spike,
+        ):
+            return False
+        if not self._refactor():
+            raise _NumericalTrouble
+        self._recompute_basics()
+        return True
 
     def _recompute_basics(self) -> None:
         """Recompute ``x_B = B^{-1}(b - N x_N)`` from nonbasic values."""
@@ -859,12 +1255,16 @@ class _SimplexRun:
     # Dual simplex phase
     # ------------------------------------------------------------------
 
-    def _dual_phase(self, tol: np.ndarray | None = None) -> LPStatus:
+    def _dual_phase(
+        self,
+        tol: np.ndarray | None = None,
+        dtol: np.ndarray | None = None,
+    ) -> LPStatus:
         """Drive out primal bound violations, keeping dual feasibility.
 
-        ``tol`` optionally supplies the per-column feasibility
-        tolerances of the polish pass; the default is the scalar
-        ``_FEAS_TOL`` for every column.
+        ``tol``/``dtol`` optionally supply the per-column feasibility
+        and dual tolerances of the polish pass; the defaults are the
+        scalar ``_FEAS_TOL``/``_DUAL_TOL`` for every column.
         """
         # Reduced costs are maintained incrementally across dual pivots
         # (d' = d - theta * alpha, both already in hand) and recomputed
@@ -885,10 +1285,23 @@ class _SimplexRun:
                     return LPStatus.OPTIMAL
                 r = int(offending[0])
             else:
-                r = int(np.argmax(excess))
-                if excess[r] <= 0.0:
+                if not np.any(excess > 0.0):
                     return LPStatus.OPTIMAL
+                # Dual Devex row pricing: weight each violated row by
+                # its reference framework norm (maintained from the
+                # pivot column, which is already in hand — unlike
+                # primal Devex this costs no extra solves).  Plain
+                # most-violated selection re-chases the same big-M
+                # rows; the weights steer toward rows whose pivot
+                # actually moves the iterate.
+                scores = np.where(
+                    excess > 0.0,
+                    violation * violation / self._dual_devex,
+                    -math.inf,
+                )
+                r = int(np.argmax(scores))
             leaves_at_upper = over[r] >= under[r]
+            delta = float(violation[r])
 
             unit = np.zeros(self.ws.num_rows)
             unit[r] = 1.0
@@ -902,14 +1315,17 @@ class _SimplexRun:
             # next-best entering candidate is used.
             banned: set[int] = set()
             refreshed = False
+            flips: list[int] = []
             while True:
-                q = self._dual_entering(alpha, leaves_at_upper, banned, d)
+                q, flips = self._dual_select(
+                    alpha, leaves_at_upper, banned, d, delta, dtol
+                )
                 if q < 0:
                     break
-                w = self._ftran(self.ws.column(q))
+                w = self._ftran(self.ws.column(q), want_spike=True)
                 if self._pivot_trustworthy(w, w[r], alpha[q]):
                     break
-                if self._etas:
+                if self._factor.updates:
                     if not self._refactor():
                         raise _NumericalTrouble
                     self._recompute_basics()
@@ -929,6 +1345,12 @@ class _SimplexRun:
                 # either: treat as numerical trouble rather than prune a
                 # possibly-feasible subtree on tolerance noise.
                 raise _NumericalTrouble
+            if flips:
+                # Bound-flip ratio test: consume the breakpoints before
+                # the entering column by flipping those boxed columns to
+                # their opposite bound (one batched FTRAN repairs x_B),
+                # so this single pivot takes the whole long dual step.
+                self._apply_bound_flips(flips)
             leaving_col = int(self.basic[r])
             target = (
                 self.ub[leaving_col] if leaves_at_upper
@@ -945,16 +1367,45 @@ class _SimplexRun:
             d = d - theta * alpha
             d[q] = 0.0
             d[leaving_col] = -theta
-            # Update the basis before pushing the eta: a refactorization
-            # triggered inside _push_eta rebuilds B from self.basic.
+            # Dual Devex weight update from the pivot column
+            # (Forrest–Goldfarb, dual form): rows move relative to the
+            # leaving row's reference weight; the new basic at r
+            # restarts from the transferred weight.
+            if not self.bland:
+                self._devex_update(
+                    self._dual_devex, r, r, w, float(w[r])
+                )
+            # Update the basis before folding the pivot into the
+            # factorization: a refactorization inside _apply_pivot
+            # rebuilds B from self.basic.
             self.basic[r] = q
-            had_etas = bool(self._etas)
-            self._push_eta(r, w)
-            if had_etas and not self._etas:
+            if self._apply_pivot(r):
                 d = self._reduced_costs()  # refactored: refresh d
             self.pivots += 1
             self._note_degenerate(delta_q)
         return LPStatus.ERROR
+
+    def _apply_bound_flips(self, flips: list[int]) -> None:
+        """Move every column in ``flips`` to its opposite bound and
+        repair ``x_B`` with one batched FTRAN."""
+        ws = self.ws
+        ns = ws.num_structural
+        delta_vec = np.zeros(ws.num_rows)
+        for j in flips:
+            if self.status[j] == AT_LOWER:
+                dx = self.ub[j] - self.lb[j]
+                self.status[j] = AT_UPPER
+                self.x[j] = self.ub[j]
+            else:
+                dx = self.lb[j] - self.ub[j]
+                self.status[j] = AT_LOWER
+                self.x[j] = self.lb[j]
+            if j < ns:
+                delta_vec += dx * ws.a_struct[:, j]
+            else:
+                delta_vec[j - ns] += dx
+        self.x[self.basic] -= self._ftran(delta_vec)
+        self.bound_flips += len(flips)
 
     def _effective_magnitudes(self) -> np.ndarray:
         """Per-column magnitude cap valid for every *feasible* point.
@@ -1030,19 +1481,32 @@ class _SimplexRun:
             np.all(np.isfinite(high)) and float(high.sum()) < rhs - margin
         )
 
-    def _dual_entering(
+    def _dual_select(
         self,
         alpha: np.ndarray,
         leaves_at_upper: bool,
         banned: set[int],
         d: np.ndarray,
-    ) -> int:
-        """Dual ratio test: pick the entering column for a violated row.
+        delta: float,
+        dtol: np.ndarray | None = None,
+    ) -> tuple[int, list[int]]:
+        """Harris two-pass dual ratio test with bound flips.
+
+        Returns ``(entering_column, columns_to_flip)``; entering is -1
+        when no eligible column exists (infeasibility candidate).
 
         Eligibility keeps the reduced-cost signs dual-feasible after the
-        pivot; among eligible columns the smallest ``|d|/|alpha|`` ratio
-        wins (FREE columns have ratio 0 and enter first).  ``d`` is the
-        caller's incrementally-maintained reduced-cost vector.
+        pivot.  Breakpoints are walked in ratio order (``|d|/|alpha|``):
+        a *boxed* candidate whose flip to the opposite bound still
+        leaves the leaving row infeasible is consumed as a bound flip
+        (its reduced cost changes sign as the dual step passes its
+        breakpoint, and the flip restores its dual feasibility); the
+        walk stops at the first breakpoint that would restore primal
+        feasibility — there, a Harris second pass picks the
+        largest-``|alpha|`` candidate whose exact ratio fits under the
+        tolerance-relaxed minimum ratio.  Under Bland's rule the test
+        degrades to the textbook first-eligible-column pivot (no flips,
+        no relaxation) so the anti-cycling guarantee holds.
         """
         status = self.status
         nonbasic = status != BASIC
@@ -1064,19 +1528,49 @@ class _SimplexRun:
             eligible[list(banned)] = False
         candidates = np.nonzero(eligible)[0]
         if not candidates.size:
-            return -1
+            return -1, []
         free_candidates = candidates[status[candidates] == FREE]
         if free_candidates.size:
-            picks = free_candidates
+            # Ratio 0: a FREE column enters immediately (largest pivot).
             if self.bland:
-                return int(picks[0])
-            return int(picks[np.argmax(np.abs(alpha[picks]))])
-        ratios = np.abs(d[candidates]) / np.abs(alpha[candidates])
+                return int(free_candidates[0]), []
+            return int(
+                free_candidates[np.argmax(np.abs(alpha[free_candidates]))]
+            ), []
         if self.bland:
-            return int(candidates[0])
-        best = ratios.min()
-        near = candidates[ratios <= best + 1e-9]
-        return int(near[np.argmax(np.abs(alpha[near]))])
+            return int(candidates[0]), []
+        mag = np.abs(alpha[candidates])
+        ratios = np.abs(d[candidates]) / mag
+        dual_tol = (
+            _DUAL_TOL if dtol is None else dtol[candidates]
+        )
+        relaxed = (np.abs(d[candidates]) + dual_tol) / mag
+        order = np.argsort(ratios, kind="stable")
+        # Bound-flip walk: flipping the first k breakpoints is allowed
+        # while the leaving row stays infeasible afterwards.  Unboxed
+        # (and fixed) candidates have an infinite (zero-progress) drop
+        # and always stop the walk.
+        span = self.ub[candidates] - self.lb[candidates]
+        span_sorted = span[order]
+        drop = np.where(
+            np.isfinite(span_sorted) & (span_sorted > 0),
+            mag[order] * span_sorted,
+            math.inf,
+        )
+        consumed = np.cumsum(drop)
+        can_flip = consumed <= delta - _FEAS_TOL
+        if bool(can_flip.all()):
+            # Even flipping every boxed candidate cannot restore this
+            # row: no entering column — infeasibility candidate, to be
+            # confirmed by the caller's independent certificate.
+            return -1, []
+        stop = int(np.argmin(can_flip))  # first False in the prefix
+        flips = [int(candidates[p]) for p in order[:stop]]
+        pool = order[stop:]
+        theta_max = float(relaxed[pool].min())
+        fits = pool[ratios[pool] <= theta_max]
+        pick = int(fits[np.argmax(mag[fits])])
+        return int(candidates[pick]), flips
 
     # ------------------------------------------------------------------
     # Primal simplex phase
@@ -1091,9 +1585,13 @@ class _SimplexRun:
         # Columns whose BTRAN-route reduced cost looked profitable but
         # whose (more accurate) FTRAN cross-check said otherwise: noise,
         # not improvement.  Banned until the next basis change moves the
-        # duals.  The reduced-cost vector is cached for the same reason:
-        # bound flips and bans leave the duals (and hence d) untouched,
-        # so only basis-changing pivots and refactorizations recompute it.
+        # duals.  Under Devex pricing the reduced costs are maintained
+        # incrementally from the pivot row (which the weight update
+        # needs anyway), so a basis change costs one BTRAN + matvec
+        # total; Dantzig/Bland recompute d fresh per basis change (the
+        # historical behaviour, kept bit-comparable for the benchmark's
+        # per-pricing pivot tracking).
+        devex = self.pricing == "devex"
         banned: set[int] = set()
         d: np.ndarray | None = None
         while self.pivots < self.pivot_limit:
@@ -1104,7 +1602,7 @@ class _SimplexRun:
                 return LPStatus.OPTIMAL
             q = entering
             tol_q = _DUAL_TOL if tol is None else float(tol[q])
-            w = self._ftran(self.ws.column(q))
+            w = self._ftran(self.ws.column(q), want_spike=True)
             # Re-derive the reduced cost through the FTRAN route
             # (c_q - c_B . w): it is exact for the pivot column and
             # filters out BTRAN rounding noise near the tolerance.
@@ -1122,7 +1620,7 @@ class _SimplexRun:
                 banned.add(q)
                 continue
             step, leaving, leaves_at_upper = self._primal_ratio(
-                q, direction, w
+                q, direction, w, tol
             )
             if step == math.inf:
                 return LPStatus.UNBOUNDED
@@ -1133,7 +1631,7 @@ class _SimplexRun:
             if leaving >= 0 and abs(w[leaving]) < 1e-14 * float(
                 np.abs(w).max()
             ):
-                if self._etas:
+                if self._factor.updates:
                     if not self._refactor():
                         raise _NumericalTrouble
                     self._recompute_basics()
@@ -1161,13 +1659,59 @@ class _SimplexRun:
                     AT_UPPER if leaves_at_upper else AT_LOWER
                 )
                 self.status[q] = BASIC
+                if devex and not self.bland:
+                    # Pivot row through the *old* basis: one BTRAN +
+                    # matvec drives both the Devex weight update and the
+                    # incremental dual update.
+                    unit = np.zeros(self.ws.num_rows)
+                    unit[leaving] = 1.0
+                    alpha = self.ws.mat_t(self._btran(unit))
+                    piv = float(w[leaving])
+                    theta = d_ftran / piv
+                    d = d - theta * alpha
+                    d[q] = 0.0
+                    d[leaving_col] = -theta
+                    self._devex_update(
+                        self._devex, q, leaving_col, alpha, piv
+                    )
+                else:
+                    d = None  # basis change: the duals moved
                 self.basic[leaving] = q
-                self._push_eta(leaving, w)
-                d = None  # basis change: the duals moved
+                if self._apply_pivot(leaving):
+                    d = None  # refactored: drop the incremental duals
                 banned.clear()
             self.pivots += 1
             self._note_degenerate(step)
         return LPStatus.ERROR
+
+    @staticmethod
+    def _devex_update(
+        weights: np.ndarray,
+        reference: int,
+        restart: int,
+        vector: np.ndarray,
+        pivot: float,
+    ) -> None:
+        """Devex reference-framework weight update (Forrest–Goldfarb).
+
+        ``gamma_j = max(gamma_j, (vector_j/pivot)^2 * gamma_ref)`` for
+        every entry, and ``weights[restart]`` restarts at
+        ``max(gamma_ref/pivot^2, 1)``.  Shared by the primal update
+        (weights over columns, ``vector`` = pivot row ``alpha``) and the
+        dual update (weights over rows, ``vector`` = pivot column ``w``
+        — free, since the column is already in hand).  Entries the
+        respective pricing loop ignores (basic columns / feasible rows)
+        may be touched freely.  The framework resets to all-ones when
+        any weight overflows the drift threshold — the standard
+        recovery, since overgrown weights no longer approximate
+        steepest-edge norms.
+        """
+        gamma = max(float(weights[reference]), 1.0)
+        ref = vector / pivot
+        np.maximum(weights, ref * ref * gamma, out=weights)
+        weights[restart] = max(gamma / (pivot * pivot), 1.0)
+        if float(weights.max()) > _DEVEX_RESET:
+            weights.fill(1.0)
 
     def _primal_entering(
         self,
@@ -1189,54 +1733,90 @@ class _SimplexRun:
             return -1
         if self.bland:
             return int(candidates[0])
-        return int(candidates[np.argmax(np.abs(d[candidates]))])
+        dc = d[candidates]
+        if self.pricing == "devex":
+            score = dc * dc / self._devex[candidates]
+            return int(candidates[np.argmax(score)])
+        return int(candidates[np.argmax(np.abs(dc))])
 
     def _primal_ratio(
-        self, q: int, direction: float, w: np.ndarray
+        self,
+        q: int,
+        direction: float,
+        w: np.ndarray,
+        tol: np.ndarray | None = None,
     ) -> tuple[float, int, bool]:
-        """Bounded-variable ratio test.
+        """Harris two-pass bounded-variable ratio test.
 
         Returns ``(step, leaving_row, leaves_at_upper)``; ``leaving_row``
         is -1 for a bound flip (the entering column reaches its own bound
-        before any basic column hits one).  The entering column's own
-        limit is the distance from its *current value* to the bound in
-        the move direction — not the lb..ub span, which would let a
-        FREE-parked column (resting away from its bounds) overshoot a
-        finite bound.
+        before any basic column hits one).  Pass one computes the
+        maximum step under tolerance-relaxed basic bounds; pass two
+        picks the largest-``|w|`` basic candidate whose *exact* ratio
+        fits under it (clamped at zero), trading a bounded, tolerance-
+        sized bound violation for a much better-conditioned pivot.  The
+        entering column's own limit is the distance from its *current
+        value* to the bound in the move direction — not the lb..ub span,
+        which would let a FREE-parked column (resting away from its
+        bounds) overshoot a finite bound.  Under Bland's rule the test
+        degrades to the exact lowest-index tie-break (anti-cycling).
         """
         if direction > 0:
             own_limit = self.ub[q] - self.x[q]
         else:
             own_limit = self.x[q] - self.lb[q]
-        best = own_limit if math.isfinite(own_limit) else math.inf
-        best = max(best, 0.0)
-        leaving = -1
-        leaves_at_upper = False
+        own_limit = max(own_limit, 0.0) if math.isfinite(own_limit) else math.inf
 
         xb = self.x[self.basic]
         wb = direction * w
+        lo = self.lb[self.basic]
+        hi = self.ub[self.basic]
+        tau = _FEAS_TOL if tol is None else tol[self.basic]
         with np.errstate(divide="ignore", invalid="ignore"):
-            dec = np.where(
-                wb > _PIVOT_TOL,
-                (xb - self.lb[self.basic]) / wb,
-                math.inf,
+            dec = np.where(wb > _PIVOT_TOL, (xb - lo) / wb, math.inf)
+            inc = np.where(wb < -_PIVOT_TOL, (hi - xb) / (-wb), math.inf)
+            dec_rel = np.where(
+                wb > _PIVOT_TOL, (xb - lo + tau) / wb, math.inf
             )
-            inc = np.where(
-                wb < -_PIVOT_TOL,
-                (self.ub[self.basic] - xb) / (-wb),
-                math.inf,
+            inc_rel = np.where(
+                wb < -_PIVOT_TOL, (hi - xb + tau) / (-wb), math.inf
             )
         limits = np.minimum(dec, inc)
         limits = np.where(np.isnan(limits), math.inf, limits)
-        if limits.size:
-            tightest = float(limits.min())
-            if tightest < best:
-                near = np.nonzero(limits <= tightest + 1e-9)[0]
-                if self.bland:
+        relaxed = np.minimum(dec_rel, inc_rel)
+        relaxed = np.where(np.isnan(relaxed), math.inf, relaxed)
+
+        if self.bland:
+            # Exact ratio test, lowest basic index among ties: the
+            # termination-guaranteeing textbook rule.
+            if limits.size:
+                tightest = float(limits.min())
+                if tightest < own_limit:
+                    near = np.nonzero(limits <= tightest + 1e-9)[0]
                     row = int(near[np.argmin(self.basic[near])])
-                else:
-                    row = int(near[np.argmax(np.abs(wb[near]))])
-                best = max(tightest, 0.0)
-                leaving = row
-                leaves_at_upper = bool(inc[row] <= dec[row])
-        return best, leaving, leaves_at_upper
+                    return (
+                        max(tightest, 0.0), row, bool(inc[row] <= dec[row])
+                    )
+            return own_limit, -1, False
+
+        theta_max = float(relaxed.min()) if relaxed.size else math.inf
+        if own_limit <= theta_max:
+            # The entering column's own bound binds first (exactly —
+            # bound flips carry no tolerance relaxation).
+            blocking = (
+                np.nonzero(limits < own_limit)[0] if limits.size else
+                np.empty(0, dtype=np.int64)
+            )
+            if not blocking.size:
+                return own_limit, -1, False
+        else:
+            blocking = np.nonzero(limits <= theta_max)[0]
+            if not blocking.size:
+                # Every relaxed ratio was driven by sub-tolerance slack;
+                # fall back to the exact minimum to stay feasible.
+                blocking = np.nonzero(limits <= float(limits.min()))[0]
+        row = int(blocking[np.argmax(np.abs(wb[blocking]))])
+        step = max(float(limits[row]), 0.0)
+        if own_limit <= step:
+            return own_limit, -1, False
+        return step, row, bool(inc[row] <= dec[row])

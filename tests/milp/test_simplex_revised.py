@@ -244,3 +244,98 @@ class TestScipyCrossCheckWithFreeVariables:
             assert ours.objective == pytest.approx(
                 scipy_result.objective, rel=1e-6, abs=1e-6
             )
+
+
+class TestBoundFlipDualRatioTest:
+    """Regression coverage for the dual bound-flip ratio test (BFRT)."""
+
+    def test_previously_error_boundary_infeasible_node_now_converges(self):
+        """A real branch-and-bound node the product-form/textbook-ratio
+        engine ERROR'd on (exhausted its repair rounds and fell back to
+        HiGHS) must now converge via the bound-flip dual ratio test.
+
+        The fixture was captured from the pre-Forrest–Tomlin engine: on
+        the deterministic chain-7 join-ordering formulation, installing
+        this parent basis under these node bounds made the old dual
+        phase grind one breakpoint per pivot until it gave up.  The
+        rebuilt engine crosses the breakpoints in batched bound flips
+        and reaches HiGHS's verdict (INFEASIBLE — the node prunes
+        honestly instead of costing a fallback solve).
+        """
+        from pathlib import Path
+
+        from repro.core.config import FormulationConfig
+        from repro.core.optimizer import MILPJoinOptimizer
+        from repro.milp import ScipyHighsBackend, to_standard_form
+        from repro.milp.lp_backend import SimplexBasis
+        from repro.workloads import QueryGenerator
+
+        fixture = np.load(
+            Path(__file__).parent.parent / "data" / "bfrt_regression_node.npz"
+        )
+        query = QueryGenerator(seed=0).generate(
+            str(fixture["topology"]), int(fixture["tables"])
+        )
+        model = MILPJoinOptimizer(
+            FormulationConfig.high_precision()
+        ).formulate(query).model
+        form = to_standard_form(model)
+        lb, ub = fixture["lb"], fixture["ub"]
+
+        reference = ScipyHighsBackend().solve(form, lb, ub)
+        session = RevisedSimplexBackend().create_session(form)
+        session.set_bounds(lb, ub)
+        assert session.install_basis(
+            SimplexBasis(
+                fixture["basic"],
+                fixture["status"],
+                tuple(int(v) for v in fixture["signature"]),
+            )
+        )
+        result = session.solve()
+        assert result.status == reference.status
+        assert result.status is LPStatus.INFEASIBLE
+        # The convergence mechanism, not just the outcome: the dual
+        # phase crossed boxed breakpoints in batches.
+        assert session.stats.bound_flips > 0
+
+    def test_boundary_infeasible_box_uses_bound_flips(self):
+        """Shrinking every box far below the retained optimum makes the
+        warm re-solve boundary-infeasible; the dual phase must converge
+        to the HiGHS objective and take bound flips on the way."""
+        m = Model("boxes")
+        rng = np.random.default_rng(11)
+        xs = [m.add_continuous(f"x{i}", 0.0, 4.0) for i in range(12)]
+        for k in range(3):
+            coefficients = rng.choice([-1.0, 1.0], 12) * rng.uniform(
+                0.5, 1.5, 12
+            )
+            m.add_eq(
+                lin_sum(
+                    float(c) * x for c, x in zip(coefficients, xs)
+                ),
+                float(rng.uniform(-2.0, 2.0)),
+                f"eq{k}",
+            )
+        m.set_objective(
+            lin_sum(
+                float(c) * x
+                for c, x in zip(rng.uniform(-1.0, 1.0, 12), xs)
+            )
+        )
+        form, lb, ub = forms_for(m)
+        backend = RevisedSimplexBackend()
+        session = backend.create_session(form)
+        session.set_bounds(lb, ub)
+        root = session.solve()
+        assert root.status is LPStatus.OPTIMAL
+        tight_ub = np.full_like(ub, 0.4)
+        session.set_bounds(lb, tight_ub)
+        result = session.solve()
+        reference = ScipyHighsBackend().solve(form, lb, tight_ub)
+        assert result.status == reference.status
+        if result.status is LPStatus.OPTIMAL:
+            assert result.objective == pytest.approx(
+                reference.objective, rel=1e-6, abs=1e-6
+            )
+        assert session.stats.bound_flips > 0

@@ -1,0 +1,245 @@
+"""Property-based validation of the rebuilt simplex iteration engine.
+
+Three properties back the Forrest–Tomlin / Devex / Harris rewrite:
+
+* **Pricing equivalence** — Devex and Dantzig pricing must reach the
+  same optimal objective (they may take different pivot paths) on
+  random chain/star/clique conflict-structured LP relaxations, the
+  same model family as :mod:`tests.property.test_lp_session_properties`
+  and the shapes the cut separator emits.  Bland is included as the
+  anti-cycling reference.
+* **Forrest–Tomlin consistency** — after a long run of random column
+  replacements, FTRAN/BTRAN through the updated factors must agree
+  with solves against a freshly built factorization of the same basis
+  within tolerance.  This is the invariant the stability-triggered
+  refactorization protects.
+* **Warm = cold under every pricing rule** — the warm-start contract of
+  :mod:`tests.property.test_warmstart_properties` (same harness),
+  re-checked per pricing rule so neither the Devex default nor the
+  retained Dantzig path rots.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import (
+    LPStatus,
+    Model,
+    RevisedSimplexBackend,
+    ScipyHighsBackend,
+    lin_sum,
+    to_standard_form,
+)
+from repro.milp.simplex import _FTFactor
+
+TOPOLOGIES = ("chain", "star", "clique")
+
+
+def conflict_edges(topology: str, n: int) -> list[tuple[int, int]]:
+    if topology == "chain":
+        return [(i, i + 1) for i in range(n - 1)]
+    if topology == "star":
+        return [(0, i) for i in range(1, n)]
+    return list(itertools.combinations(range(n), 2))
+
+
+def build_join_ordering_lp(topology: str, seed: int) -> Model:
+    """Random conflict-structured LP: binary-relaxation variables with
+    pairwise conflict rows along the topology, a knapsack row, and
+    linked bounded continuous variables — the row shapes of the MILP
+    join-ordering relaxations without their big-M conditioning."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 10))
+    model = Model(f"{topology}-{seed}")
+    xs = [model.add_continuous(f"x{i}", 0.0, 1.0) for i in range(n)]
+    ys = [
+        model.add_continuous(f"y{j}", 0.0, float(rng.uniform(1.0, 5.0)))
+        for j in range(2)
+    ]
+    for u, v in conflict_edges(topology, n):
+        model.add_le(xs[u] + xs[v], 1, f"e{u}_{v}")
+    weights = rng.integers(1, 4, size=n)
+    model.add_le(
+        lin_sum(float(w) * x for w, x in zip(weights, xs)),
+        float(rng.uniform(3.0, 7.0)),
+        "knapsack",
+    )
+    model.add_le(ys[0] - lin_sum(xs), float(rng.uniform(0.0, 1.0)), "link")
+    model.set_objective(
+        lin_sum(
+            float(c) * v
+            for c, v in zip(rng.uniform(-2.0, 1.0, n + 2), xs + ys)
+        )
+    )
+    return model
+
+
+class TestPricingEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        topology=st.sampled_from(TOPOLOGIES),
+    )
+    def test_devex_and_dantzig_reach_the_same_objective(
+        self, seed, topology
+    ):
+        model = build_join_ordering_lp(topology, seed)
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        results = {
+            pricing: RevisedSimplexBackend(pricing=pricing).solve(
+                form, lb, ub
+            )
+            for pricing in ("devex", "dantzig", "bland")
+        }
+        reference = ScipyHighsBackend().solve(form, lb, ub)
+        statuses = {r.status for r in results.values()}
+        if LPStatus.ERROR in statuses:
+            return  # documented escape hatch: callers fall back
+        assert statuses == {reference.status}
+        if reference.status is LPStatus.OPTIMAL:
+            for pricing, result in results.items():
+                assert result.objective == pytest.approx(
+                    reference.objective, rel=1e-6, abs=1e-6
+                ), pricing
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_pricing_equivalence_survives_bound_tightening(self, seed):
+        """Warm re-solves after a bound change agree across pricings."""
+        model = build_join_ordering_lp("star", seed)
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        rng = np.random.default_rng(seed ^ 0xBEEF)
+        index = int(rng.integers(0, model.num_variables))
+        tightened_ub = ub.copy()
+        tightened_ub[index] = max(
+            lb[index], ub[index] * float(rng.uniform(0.2, 0.8))
+        )
+        objectives = {}
+        for pricing in ("devex", "dantzig"):
+            session = RevisedSimplexBackend(pricing=pricing).create_session(
+                form
+            )
+            session.set_bounds(lb, ub)
+            root = session.solve()
+            if root.status is not LPStatus.OPTIMAL:
+                return
+            session.set_bounds(lb, tightened_ub)
+            warm = session.solve()
+            if warm.status is LPStatus.ERROR:
+                return
+            objectives[pricing] = (warm.status, warm.objective)
+        (s1, o1), (s2, o2) = objectives["devex"], objectives["dantzig"]
+        assert s1 == s2
+        if s1 is LPStatus.OPTIMAL:
+            assert o1 == pytest.approx(o2, rel=1e-6, abs=1e-6)
+
+
+class TestForrestTomlinConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dim=st.integers(min_value=4, max_value=24),
+    )
+    def test_long_update_runs_agree_with_fresh_factors(self, seed, dim):
+        """FTRAN/BTRAN through a long Forrest–Tomlin update chain match
+        solves against a freshly factorized copy of the same basis."""
+        rng = np.random.default_rng(seed)
+        basis = rng.standard_normal((dim, dim)) + np.eye(dim) * 3.0
+        factor = _FTFactor.build(basis.copy()).fork()
+        current = basis.copy()
+        replacements = 0
+        for _ in range(30):
+            column = int(rng.integers(0, dim))
+            new_col = rng.standard_normal(dim)
+            new_col[column] += 4.0  # keep the basis well-conditioned
+            candidate = current.copy()
+            candidate[:, column] = new_col
+            if not factor.replace_column(column, new_col):
+                return  # stability gate fired: caller refactorizes
+            current = candidate
+            replacements += 1
+        assert replacements == 30
+        fresh = _FTFactor.build(current.copy())
+        assert fresh is not None
+        for _ in range(3):
+            rhs = rng.standard_normal(dim)
+            np.testing.assert_allclose(
+                factor.ftran(rhs), fresh.ftran(rhs), rtol=1e-6, atol=1e-8
+            )
+            np.testing.assert_allclose(
+                factor.btran(rhs), fresh.btran(rhs), rtol=1e-6, atol=1e-8
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_snapshot_isolates_source_from_clone(self, seed):
+        """A snapshot and its source evolve independently (the invariant
+        that lets both branch-and-bound children adopt one parent
+        factor)."""
+        rng = np.random.default_rng(seed)
+        dim = 10
+        basis = rng.standard_normal((dim, dim)) + np.eye(dim) * 3.0
+        source = _FTFactor.build(basis.copy()).fork()
+        current = basis.copy()
+        for _ in range(4):
+            column = int(rng.integers(0, dim))
+            new_col = rng.standard_normal(dim)
+            new_col[column] += 4.0
+            current[:, column] = new_col
+            assert source.replace_column(column, new_col)
+        clone = source.snapshot()
+        diverged = current.copy()
+        column = int(rng.integers(0, dim))
+        new_col = rng.standard_normal(dim)
+        new_col[column] += 4.0
+        diverged[:, column] = new_col
+        assert clone.replace_column(column, new_col)
+        rhs = rng.standard_normal(dim)
+        np.testing.assert_allclose(
+            source.ftran(rhs), np.linalg.solve(current, rhs),
+            rtol=1e-6, atol=1e-8,
+        )
+        np.testing.assert_allclose(
+            clone.ftran(rhs), np.linalg.solve(diverged, rhs),
+            rtol=1e-6, atol=1e-8,
+        )
+
+
+class TestWarmEqualsColdPerPricing:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        pricing=st.sampled_from(("devex", "dantzig")),
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_warm_solve_equals_cold_solve(self, seed, pricing, fraction):
+        """The warm-start contract of test_warmstart_properties, held
+        under each pricing rule."""
+        model = build_join_ordering_lp("chain", seed)
+        backend = RevisedSimplexBackend(pricing=pricing)
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        root = backend.solve(form, lb, ub)
+        if root.status is not LPStatus.OPTIMAL:
+            return
+        index = seed % model.num_variables
+        new_ub = ub.copy()
+        new_ub[index] = max(
+            lb[index], lb[index] + fraction * (ub[index] - lb[index])
+        )
+        warm = backend.solve(form, lb, new_ub, basis=root.basis)
+        cold = backend.solve(form, lb, new_ub)
+        if LPStatus.ERROR in (warm.status, cold.status):
+            return
+        assert warm.status == cold.status
+        if warm.status is LPStatus.OPTIMAL:
+            assert math.isclose(
+                warm.objective, cold.objective, rel_tol=1e-6, abs_tol=1e-6
+            )
