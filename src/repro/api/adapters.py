@@ -79,16 +79,29 @@ class EngineAdapter:
         self.settings = settings or OptimizerSettings()
 
     def optimize(
-        self, query: Query, *, time_limit: float | None = None
+        self,
+        query: Query,
+        *,
+        time_limit: float | None = None,
+        cancel_token=None,
     ) -> PlanResult:
         """Optimize ``query``; ``time_limit`` overrides the configured
-        budget for this call only."""
+        budget for this call only.
+
+        ``cancel_token`` (a :class:`repro.cancel.CancelToken`) requests
+        cooperative mid-solve cancellation.  The MILP adapters thread it
+        into the branch-and-bound node loop and the simplex pivot loop;
+        the constructive/DP engines finish in milliseconds at supported
+        sizes and ignore it.  It travels through the call chain, never
+        instance state — adapter instances are shared across server
+        worker threads.
+        """
         budget = (
             time_limit if time_limit is not None
             else self.settings.time_limit
         )
         started = time.monotonic()
-        result = self._run(query, budget)
+        result = self._run(query, budget, cancel_token)
         result.solve_time = time.monotonic() - started
         result.diagnostics.setdefault("time_limit", budget)
         result.diagnostics.setdefault(
@@ -100,7 +113,9 @@ class EngineAdapter:
     # Subclass interface / helpers
     # ------------------------------------------------------------------
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         raise NotImplementedError
 
     def _true_cost(
@@ -167,23 +182,34 @@ class MILPAdapter(EngineAdapter):
     name = "milp"
     honors_time_limit = True
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         from repro.core.optimizer import MILPJoinOptimizer
 
         optimizer = MILPJoinOptimizer(
             self.settings.formulation_config(query.num_tables),
-            self._solver_options(budget),
+            self._solver_options(budget, cancel_token),
         )
         result = optimizer.optimize(
             query, warm_start=self.settings.extra.get("warm_start", True)
         )
         return self._from_core(query, result)
 
-    def _solver_options(self, budget: float) -> SolverOptions:
+    def _solver_options(
+        self, budget: float, cancel_token=None
+    ) -> SolverOptions:
         base = self.settings.extra.get("solver_options")
         if base is None:
-            return SolverOptions(time_limit=budget)
-        return replace(base, time_limit=budget)
+            return SolverOptions(
+                time_limit=budget, cancel_token=cancel_token
+            )
+        if cancel_token is None:
+            # Keep a token configured directly on the base options.
+            cancel_token = base.cancel_token
+        return replace(
+            base, time_limit=budget, cancel_token=cancel_token
+        )
 
     def _from_core(self, query: Query, result) -> PlanResult:
         milp = result.milp_solution
@@ -229,12 +255,14 @@ class PortfolioMILPAdapter(MILPAdapter):
     name = "milp-portfolio"
     honors_time_limit = True
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         from repro.core.optimizer import MILPJoinOptimizer
 
         optimizer = MILPJoinOptimizer(
             self.settings.formulation_config(query.num_tables),
-            self._solver_options(budget),
+            self._solver_options(budget, cancel_token),
         )
         result = optimizer.optimize_with_portfolio(
             query,
@@ -265,7 +293,9 @@ class SelingerAdapter(EngineAdapter):
     name = "selinger"
     honors_time_limit = True
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         try:
             engine = SelingerOptimizer(
                 query,
@@ -317,7 +347,9 @@ class BushyAdapter(EngineAdapter):
     name = "bushy"
     honors_time_limit = True
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         try:
             engine = BushyOptimizer(
                 query,
@@ -384,7 +416,9 @@ class IKKBZAdapter(EngineAdapter):
     name = "ikkbz"
     honors_time_limit = False
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         try:
             engine = IKKBZOptimizer(query)
         except PlanError as error:
@@ -419,7 +453,9 @@ class GreedyAdapter(EngineAdapter):
     name = "greedy"
     honors_time_limit = False
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         started = time.monotonic()
         outcome = GreedyOptimizer(
             query,
@@ -451,7 +487,9 @@ class _RandomizedAdapter(EngineAdapter):
     def _engine(self, query: Query):
         raise NotImplementedError
 
-    def _run(self, query: Query, budget: float) -> PlanResult:
+    def _run(
+        self, query: Query, budget: float, cancel_token=None
+    ) -> PlanResult:
         outcome: RandomizedResult = self._engine(query).optimize(
             time_limit=budget,
             max_iterations=self.settings.extra.get("max_iterations"),
@@ -550,13 +588,19 @@ class AutoAdapter(EngineAdapter):
     honors_time_limit = None
 
     def optimize(
-        self, query: Query, *, time_limit: float | None = None
+        self,
+        query: Query,
+        *,
+        time_limit: float | None = None,
+        cancel_token=None,
     ) -> PlanResult:
         from repro.api.registry import create_optimizer
 
         routed = route_algorithm(query, self.settings)
         delegate = create_optimizer(routed, self.settings)
-        result = delegate.optimize(query, time_limit=time_limit)
+        result = delegate.optimize(
+            query, time_limit=time_limit, cancel_token=cancel_token
+        )
         result.diagnostics["requested_algorithm"] = self.name
         result.diagnostics["routed_to"] = routed
         return result

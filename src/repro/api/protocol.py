@@ -126,6 +126,14 @@ class Optimizer(Protocol):
     Implementations optimize one query per call and return the unified
     :class:`~repro.api.result.PlanResult`.  ``time_limit=None`` means "use
     the budget configured at construction".
+
+    Implementations *may* additionally accept a keyword-only
+    ``cancel_token`` (a :class:`repro.cancel.CancelToken`) for
+    cooperative mid-solve cancellation; the built-in adapters do.  The
+    :class:`~repro.api.service.OptimizerService` inspects the signature
+    once per optimizer and only passes the token to implementations that
+    declare it, so third-party optimizers without the parameter keep
+    working unchanged.
     """
 
     #: Registry key / display name of the algorithm.

@@ -13,15 +13,19 @@ uses.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro import faultinject
 from repro.catalog.query import Query
 from repro.catalog.serde import query_to_dict
+from repro.exceptions import SolverError
 from repro.milp.lp_backend import SessionStats
 
 from repro.api.protocol import Optimizer, OptimizerSettings
@@ -31,6 +35,26 @@ from repro.api.registry import (
     default_registry,
 )
 from repro.api.result import PlanResult
+
+
+def _accepts_cancel_token(optimizer: Optimizer) -> bool:
+    """Whether ``optimizer.optimize`` declares a ``cancel_token`` kwarg.
+
+    Inspected once per optimizer instance so the hot path never pays
+    ``inspect.signature``.  Uninspectable callables (C extensions,
+    exotic proxies) conservatively report ``False`` — the token is
+    simply not forwarded and the optimizer runs to its own budget.
+    """
+    try:
+        parameters = inspect.signature(optimizer.optimize).parameters
+    except (TypeError, ValueError):
+        return False
+    if "cancel_token" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
 
 
 def query_signature(query: Query) -> str:
@@ -144,6 +168,10 @@ class OptimizerService:
         self._catalog_version = 0
         self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._optimizers: dict[str, Optimizer] = {}
+        #: Whether each cached optimizer's ``optimize`` accepts a
+        #: ``cancel_token`` kwarg (inspected once at creation, so the
+        #: hot path never pays a signature inspection).
+        self._accepts_token: dict[str, bool] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -184,6 +212,7 @@ class OptimizerService:
         *,
         time_limit: float | None = None,
         use_cache: bool = True,
+        cancel_token=None,
     ) -> PlanResult:
         """Optimize ``query`` with ``algorithm``, consulting the cache.
 
@@ -191,6 +220,12 @@ class OptimizerService:
         the earlier run — no solve, no plan re-extraction — and counts in
         :attr:`stats`.  ``use_cache=False`` bypasses both lookup and
         store (ablations, nondeterministic budget experiments).
+
+        ``cancel_token`` (a :class:`repro.cancel.CancelToken`) is
+        forwarded to optimizers whose ``optimize`` declares the
+        parameter (the built-in adapters; see the :class:`Optimizer`
+        protocol) for cooperative mid-solve cancellation.  Cache hits
+        ignore it — a cached answer is instant.
 
         Thread-safety: safe to call concurrently from many threads (the
         serving layer's workers do).  The catalog version is captured
@@ -213,9 +248,19 @@ class OptimizerService:
                     self.stats.hits += 1
                     return entry.result
                 self.stats.misses += 1
-        result = self._optimizer(algorithm).optimize(
-            query, time_limit=time_limit
-        )
+        fault = faultinject.check(faultinject.SERVICE_OPTIMIZE)
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay)
+            elif fault.kind == "exception":
+                raise SolverError(f"injected: {fault.message}")
+        optimizer = self._optimizer(algorithm)
+        if cancel_token is not None and self._accepts_token.get(algorithm):
+            result = optimizer.optimize(
+                query, time_limit=time_limit, cancel_token=cancel_token
+            )
+        else:
+            result = optimizer.optimize(query, time_limit=time_limit)
         session_stats = result.diagnostics.get("lp_session")
         if isinstance(session_stats, dict):
             with self._lock:
@@ -340,6 +385,9 @@ class OptimizerService:
             if instance is None:
                 instance = self.registry.create(algorithm, self.settings)
                 self._optimizers[algorithm] = instance
+                self._accepts_token[algorithm] = _accepts_cancel_token(
+                    instance
+                )
             return instance
 
     def cache_size(self) -> int:

@@ -1,0 +1,109 @@
+"""Cooperative cancellation tokens threaded through the solver stack.
+
+A :class:`CancelToken` is created at the serving edge (one per admitted
+request, carrying the request's absolute deadline) and handed down through
+``OptimizerService.optimize`` → the algorithm adapters →
+``BranchAndBoundSolver``'s node loop → ``SimplexSession``'s pivot loop.
+Each layer polls it at its natural granularity — the branch-and-bound
+between nodes, the simplex every few dozen pivots — so an expired or
+abandoned request stops *mid-solve* instead of wedging a worker thread
+until its pivot budget runs dry.
+
+The module lives at the package root (not under ``serve``) because the
+MILP layer must be able to import it without depending on the serving
+stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import CancelledError
+
+__all__ = ["CancelToken", "CancelledError"]
+
+
+class CancelToken:
+    """Thread-safe cancellation flag with an optional monotonic deadline.
+
+    The token reports *cancelled* when either :meth:`cancel` was called
+    (explicit abandonment) or its deadline on the ``time.monotonic()``
+    clock has passed (implicit expiry).  The two are distinguishable via
+    :attr:`cancel_requested` so callers can map explicit cancellation and
+    deadline expiry onto different statuses.
+
+    Polling (:attr:`cancelled`, :meth:`check`) is lock-free on the fast
+    path: an un-cancelled token without a deadline costs one attribute
+    read per poll, cheap enough for a simplex pivot loop.
+    """
+
+    __slots__ = ("_event", "_reason", "deadline")
+
+    def __init__(self, deadline: float | None = None) -> None:
+        self._event = threading.Event()
+        self._reason: str | None = None
+        #: Absolute ``time.monotonic()`` deadline, or ``None``.
+        self.deadline = deadline
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation (idempotent; the first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        """Whether :meth:`cancel` was called (deadline expiry excluded)."""
+        return self._event.is_set()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    @property
+    def cancelled(self) -> bool:
+        """Explicitly cancelled *or* past the deadline."""
+        return self._event.is_set() or self.expired
+
+    @property
+    def reason(self) -> str:
+        """Why the token is cancelled (meaningful once it is)."""
+        if self._reason is not None:
+            return self._reason
+        if self.expired:
+            return "deadline expired"
+        return "not cancelled"
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (``None`` without one)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def check(self) -> None:
+        """Raise :class:`CancelledError` if cancelled (solver poll point)."""
+        if self.cancelled:
+            raise CancelledError(self.reason)
+
+    def wait(self, timeout: float) -> bool:
+        """Sleep up to ``timeout`` seconds, waking early on cancellation.
+
+        Returns ``True`` when the token is cancelled — retry/backoff
+        loops use this as an interruptible sleep so an abandoned request
+        never sits out a full backoff delay.
+        """
+        remaining = self.remaining()
+        if remaining is not None:
+            timeout = min(timeout, max(0.0, remaining))
+        self._event.wait(timeout)
+        return self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"cancelled={self.cancelled!r}"
+        if self.cancelled:
+            state += f", reason={self.reason!r}"
+        if self.deadline is not None:
+            state += f", deadline={self.deadline:.3f}"
+        return f"CancelToken({state})"

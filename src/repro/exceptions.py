@@ -32,6 +32,21 @@ class SolverError(ReproError):
     """The MILP/LP solver failed in an unexpected way."""
 
 
+class CancelledError(ReproError):
+    """A cooperative cancellation token stopped the work in progress.
+
+    Raised from solver inner loops when the :class:`repro.cancel.CancelToken`
+    threaded into them is cancelled (client abandoned the request, deadline
+    expired, watchdog fenced a wedged worker).  Deliberately *not* derived
+    from :class:`SolverError`: cancellation is not a solver fault and must
+    not trigger error-fallback or retry machinery.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 class InfeasibleModelError(SolverError):
     """The model was proven infeasible."""
 

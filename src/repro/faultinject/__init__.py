@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the solver and serving stack.
+
+Chaos testing an optimization server only proves something if the chaos
+is *reproducible*: a flaky chaos suite is worse than none.  This module
+injects faults at named choke points ("sites") according to a seeded
+:class:`FaultPlan` whose firing decisions depend solely on per-site
+visit counters and per-site seeded RNG streams — never on wall-clock
+time or thread identity — so the *number and kind* of injected faults is
+identical across runs regardless of worker interleaving.
+
+The package is a dependency leaf: it imports nothing from ``repro``, so
+any layer (``milp.lp_backend``, ``milp.simplex``, ``serve.scheduler``,
+``api.service``) can call :func:`check` without creating an import
+cycle.  Instrumented call sites interpret the returned spec locally —
+``"exception"`` becomes whatever error type is native to the site,
+``"error"`` becomes the site's failure status, ``"corrupt"`` mutates the
+site's payload via :func:`corrupt_basis`, and so on.
+
+Usage::
+
+    plan = FaultPlan(seed=7, specs=[
+        FaultSpec(site=SIMPLEX_SOLVE, kind="error", every=5, limit=10),
+        FaultSpec(site=POOL_FETCH, kind="corrupt", probability=0.5),
+    ])
+    with inject(plan):
+        ...serve traffic...
+    assert plan.total_injected() >= 20
+
+Injection is process-global (one active plan) because the instrumented
+sites sit below layers that cannot thread a plan object through —
+exactly like the production faults being modelled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "HIGHS_SOLVE",
+    "INSTALL_BASIS",
+    "POOL_FETCH",
+    "SCHEDULER_OFFER",
+    "SERVICE_OPTIMIZE",
+    "SIMPLEX_SOLVE",
+    "active",
+    "check",
+    "clear",
+    "corrupt_basis",
+    "inject",
+    "install",
+]
+
+# ---------------------------------------------------------------------------
+# Instrumented sites.  Keep the strings stable: tests and docs name them.
+# ---------------------------------------------------------------------------
+
+#: ``RevisedSimplexBackend``/``SimplexSession.solve`` — LP solve entry.
+SIMPLEX_SOLVE = "simplex.solve"
+#: ``ScipyHighsBackend.solve`` — the fallback LP path.
+HIGHS_SOLVE = "highs.solve"
+#: ``SimplexSession.install_basis`` — warm-start snapshot installation.
+INSTALL_BASIS = "simplex.install_basis"
+#: ``BasisExchangePool.fetch`` — cross-query shared-basis lookup.
+POOL_FETCH = "pool.fetch"
+#: ``DeadlineScheduler.offer`` — admission (overflow = queue full).
+SCHEDULER_OFFER = "scheduler.offer"
+#: ``OptimizerService.optimize`` — the API boundary the server calls.
+SERVICE_OPTIMIZE = "service.optimize"
+
+#: Fault kinds understood by the instrumented sites.
+KINDS = ("exception", "error", "corrupt", "overflow", "slow")
+
+
+def _mix(*parts: int) -> int:
+    """Fold integers into one RNG seed (``random.Random`` rejects
+    tuples; ``hash`` of a tuple is fine but less obviously stable)."""
+    seed = 0
+    for part in parts:
+        seed = seed * 1_000_003 + part + 0x9E3779B9
+    return seed
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault rule bound to a site.
+
+    Firing condition (evaluated against the site's 1-based visit
+    counter): fire on visits listed in ``at``, on every ``every``-th
+    visit, or with ``probability`` per visit drawn from this spec's own
+    seeded RNG stream.  ``limit`` caps total firings.  Exactly one of
+    ``at``/``every``/``probability`` should be set.
+    """
+
+    site: str
+    kind: str
+    every: int | None = None
+    at: tuple[int, ...] = ()
+    probability: float | None = None
+    limit: int | None = None
+    #: Seconds to stall for ``kind="slow"``.
+    delay: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.every is not None and self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.every is None and not self.at and self.probability is None:
+            raise ValueError("one of every/at/probability must be set")
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` rules with deterministic firing.
+
+    Thread-safe: the per-site visit counter and every RNG draw happen
+    under one lock, so visit numbers — and therefore firing decisions —
+    form a single deterministic sequence per site.
+    """
+
+    def __init__(self, seed: int, specs: list[FaultSpec] | tuple[FaultSpec, ...]):
+        self.seed = seed
+        self.specs = tuple(specs)
+        self._lock = threading.Lock()
+        self._visits: dict[str, int] = {}
+        self._fired: dict[int, int] = {}  # spec index -> firings
+        # One independent RNG stream per probabilistic spec, seeded from
+        # (plan seed, spec index) so adding a spec never shifts another
+        # spec's stream.
+        self._rngs = {
+            index: random.Random(_mix(seed, index))
+            for index, spec in enumerate(self.specs)
+            if spec.probability is not None
+        }
+
+    def visit(self, site: str) -> FaultSpec | None:
+        """Record one visit to ``site``; the fired spec, if any.
+
+        When several specs fire on the same visit the earliest in the
+        plan wins (the others do not consume a firing), keeping the
+        outcome a pure function of the visit number.
+        """
+        with self._lock:
+            count = self._visits.get(site, 0) + 1
+            self._visits[site] = count
+            for index, spec in enumerate(self.specs):
+                if spec.site != site:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.limit is not None and fired >= spec.limit:
+                    continue
+                hit = False
+                if count in spec.at:
+                    hit = True
+                elif spec.every is not None and count % spec.every == 0:
+                    hit = True
+                elif spec.probability is not None:
+                    # Draw exactly once per (probabilistic spec, visit):
+                    # the stream position equals the visit number, so the
+                    # decision is reproducible across thread schedules.
+                    if self._rngs[index].random() < spec.probability:
+                        hit = True
+                if hit:
+                    self._fired[index] = fired + 1
+                    return spec
+            return None
+
+    def rng_for(self, spec: FaultSpec) -> random.Random:
+        """Deterministic RNG for payload corruption under ``spec``."""
+        index = self.specs.index(spec)
+        with self._lock:
+            fired = self._fired.get(index, 0)
+        return random.Random(_mix(self.seed, index, fired))
+
+    def visits(self, site: str) -> int:
+        with self._lock:
+            return self._visits.get(site, 0)
+
+    def total_injected(self) -> int:
+        """Faults actually fired so far, across all specs."""
+        with self._lock:
+            return sum(self._fired.values())
+
+    def report(self) -> dict[str, int]:
+        """Per-``site/kind`` firing counts (chaos-suite assertions)."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for index, fired in self._fired.items():
+                spec = self.specs[index]
+                key = f"{spec.site}/{spec.kind}"
+                out[key] = out.get(key, 0) + fired
+            return out
+
+
+# ---------------------------------------------------------------------------
+# Process-global activation
+# ---------------------------------------------------------------------------
+
+_active: FaultPlan | None = None
+_install_lock = threading.Lock()
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` process-wide (replaces any previous plan)."""
+    global _active
+    with _install_lock:
+        _active = plan
+
+
+def clear() -> None:
+    """Deactivate fault injection."""
+    global _active
+    with _install_lock:
+        _active = None
+
+
+def active() -> FaultPlan | None:
+    """The currently installed plan (``None`` in production)."""
+    return _active
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan):
+    """Scoped activation: ``with inject(plan): ...`` (always clears)."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+def check(site: str) -> FaultSpec | None:
+    """Fast poll at an instrumented site; the fired spec or ``None``.
+
+    The no-plan fast path is one global read — cheap enough to leave in
+    production code paths permanently.
+    """
+    plan = _active
+    if plan is None:
+        return None
+    return plan.visit(site)
+
+
+# ---------------------------------------------------------------------------
+# Payload corruption helpers
+# ---------------------------------------------------------------------------
+
+def corrupt_basis(basis, rng: random.Random):
+    """A deterministically corrupted copy of a basis snapshot.
+
+    Works on any frozen dataclass with ``basic`` / ``status`` integer
+    arrays (duck-typed to avoid importing the solver from this leaf).
+    The corruption modes mirror real snapshot-rot failure classes:
+    truncation, out-of-range indices, duplicated indices, invalid status
+    codes, and NaN-poisoned float arrays.
+    """
+    import numpy as np
+
+    basic = np.asarray(basis.basic)
+    status = np.asarray(basis.status)
+    mode = rng.randrange(5)
+    if mode == 0 and basic.size > 0:  # truncated snapshot
+        return replace(basis, basic=basic[: basic.size // 2].copy())
+    if mode == 1 and basic.size > 0:  # out-of-range column index
+        bad = basic.copy()
+        bad[rng.randrange(bad.size)] = status.size + 17
+        return replace(basis, basic=bad)
+    if mode == 2 and basic.size > 1:  # duplicated basic index
+        bad = basic.copy()
+        # Copy slot 0 into a *different* slot, so the corruption is
+        # never a no-op that a validator rightly accepts.
+        bad[1 + rng.randrange(bad.size - 1)] = bad[0]
+        return replace(basis, basic=bad)
+    if mode == 3 and status.size > 0:  # invalid status code
+        bad = status.copy()
+        bad[rng.randrange(bad.size)] = 9
+        return replace(basis, status=bad)
+    # NaN-poisoned float status array (wrong dtype *and* non-finite).
+    poisoned = status.astype(float)
+    if poisoned.size:
+        poisoned[rng.randrange(poisoned.size)] = float("nan")
+    return replace(basis, status=poisoned)

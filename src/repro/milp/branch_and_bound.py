@@ -39,7 +39,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import SolverError
+from repro.cancel import CancelToken
+from repro.exceptions import CancelledError, SolverError
 from repro.milp.cuts import CutGenerator, cuts_to_rows
 from repro.milp.lp_backend import (
     AUTO_SIMPLEX_MAX_VARS,
@@ -122,6 +123,14 @@ class SolverOptions:
         Optional callable polled during the search; returning ``True``
         stops the solve as if the time limit had expired.  Used by the
         portfolio solver for cooperative cancellation.
+    cancel_token:
+        Optional :class:`repro.cancel.CancelToken` threaded from the
+        serving layer.  Unlike ``stop_check`` (polled only between
+        nodes), the token also reaches the LP session's pivot loop, so
+        cancellation lands *mid-solve*.  A cancelled node LP is dropped
+        and the search stops at the next budget poll with the incumbent
+        intact (anytime semantics); ``session_stats["cancelled"]``
+        records the reason.
     basis_pool:
         Optional :class:`~repro.milp.lp_backend.BasisExchangePool`.
         When set (the portfolio installs one), the root LP is seeded
@@ -147,6 +156,7 @@ class SolverOptions:
     max_cut_rounds: int = 8
     max_cuts_per_round: int = 50
     stop_check: Callable[[], bool] | None = None
+    cancel_token: CancelToken | None = None
     basis_pool: BasisExchangePool | None = None
 
 
@@ -211,6 +221,9 @@ class BranchAndBoundSolver:
         # complete instead of dropping the subtree.
         self._fallback_backend: LPBackend | None = None
         self._fallback_reasons: dict[str, int] = {}
+        #: Reason string once the cancel token fired mid-solve
+        #: (``None`` while the search runs uncancelled).
+        self._cancelled: str | None = None
         self._lp_solves = 0
         self._lp_pivots = 0
         self._lp_time = 0.0
@@ -248,6 +261,7 @@ class BranchAndBoundSolver:
         # (after presolve, so presolve-infeasible models never pay the
         # workspace build, and late backend swaps take effect).
         self._session = None
+        self._cancelled = None
         events: list[IncumbentEvent] = []
         incumbent_x: np.ndarray | None = None
         incumbent_obj = math.inf
@@ -261,6 +275,14 @@ class BranchAndBoundSolver:
                 return True
             stop_check = self.options.stop_check
             if stop_check is not None and stop_check():
+                return True
+            token = self.options.cancel_token
+            if token is not None and token.cancelled:
+                # Node-granularity anytime stop: the incumbent found so
+                # far survives; only unexplored subtrees are abandoned.
+                self._cancelled = token.reason
+                return True
+            if self._cancelled is not None:
                 return True
             limit = self.options.node_limit
             return limit is not None and node_count >= limit
@@ -338,6 +360,19 @@ class BranchAndBoundSolver:
                 session_stats=self._session_stats_dict(),
             )
         if root_result.status is LPStatus.ERROR:
+            if self._cancelled is not None:
+                # Cancelled at the root: an honest anytime answer — the
+                # warm-start incumbent if one was seeded, else
+                # empty-handed NO_SOLUTION — not a solver fault.
+                if incumbent_x is not None:
+                    return self._finish(
+                        SolveStatus.FEASIBLE, incumbent_x, incumbent_obj,
+                        -math.inf, 1, elapsed(), events,
+                    )
+                return self._finish(
+                    SolveStatus.NO_SOLUTION, None, math.inf, -math.inf,
+                    1, elapsed(), events,
+                )
             raise SolverError(f"root LP failed: {root_result.message}")
 
         global_bound = root_result.objective
@@ -535,13 +570,36 @@ class BranchAndBoundSolver:
             # LP helpers (fix-and-solve repair, tests) may run before
             # solve() has opened the per-tree session.
             session = self._session = self._backend.create_session(self._form)
+        # (Re-)attach every call: the cut loop replaces the session when
+        # retracting cuts, and the attachment is one attribute write.
+        session.cancel_token = self.options.cancel_token
         session.set_bounds(lb, ub)
         if basis is _SESSION_BASIS:
             if not self._warm_lp:
                 session.install_basis(None)
         else:
             session.install_basis(basis if self._warm_lp else None)
-        result = session.solve()
+        transient: str | None = None
+        try:
+            result = session.solve()
+        except CancelledError as error:
+            # Absorb mid-pivot cancellation at the node boundary: the
+            # caller sees a failed node LP (dropped like any errored
+            # node), the incumbent survives, and the next out_of_budget
+            # poll ends the search.  No fallback solve — the request is
+            # abandoned, not the backend broken.
+            self._cancelled = error.reason
+            self._lp_time += time.monotonic() - started
+            return LPResult(
+                LPStatus.ERROR, None, math.inf,
+                message=f"cancelled: {error.reason}",
+            )
+        except SolverError as error:
+            # A backend exception mid-node (numerical blow-up, injected
+            # fault) must not abort the whole tree when a fallback
+            # engine can still answer this node.
+            transient = f"{type(error).__name__}: {error}"
+            result = LPResult(LPStatus.ERROR, None, math.inf, str(error))
         self._lp_pivots += result.iterations
         self._lp_solves += 1
         if result.status in (
@@ -556,14 +614,27 @@ class BranchAndBoundSolver:
             # distinguishable from a size-routed one in lp_stats.
             if self._fallback_backend is None:
                 self._fallback_backend = ScipyHighsBackend()
-            reason = f"simplex-{result.status.value}"
+            reason = (
+                "simplex-exception" if transient is not None
+                else f"simplex-{result.status.value}"
+            )
             self._fallback_reasons[reason] = (
                 self._fallback_reasons.get(reason, 0) + 1
             )
             session.stats.fallback_solves += 1
-            result = self._fallback_backend.solve(target_form, lb, ub)
+            try:
+                result = self._fallback_backend.solve(target_form, lb, ub)
+            except SolverError as error:
+                # Both engines failed this node: report ERROR and let
+                # the search drop the node with its bound accounted.
+                result = LPResult(
+                    LPStatus.ERROR, None, math.inf,
+                    message=f"fallback failed: {error}",
+                )
             self._lp_pivots += result.iterations
             self._lp_solves += 1
+        elif transient is not None and result.status is LPStatus.ERROR:
+            result = LPResult(LPStatus.ERROR, None, math.inf, transient)
         self._lp_time += time.monotonic() - started
         return result
 
@@ -582,6 +653,8 @@ class BranchAndBoundSolver:
             stats["cold_reason"] = self._cold_reason
         if self._fallback_reasons:
             stats["fallback_reasons"] = dict(self._fallback_reasons)
+        if self._cancelled is not None:
+            stats["cancelled"] = self._cancelled
         return stats
 
     # ------------------------------------------------------------------

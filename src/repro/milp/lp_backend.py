@@ -98,12 +98,14 @@ from __future__ import annotations
 import enum
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import linprog
 
+from repro import faultinject
 from repro.exceptions import SolverError
 from repro.milp.standard_form import StandardForm, extend_form_with_rows
 
@@ -342,6 +344,11 @@ class LPSession:
         self.form = form
         #: Reuse accounting, updated by every operation.
         self.stats = SessionStats()
+        #: Optional :class:`repro.cancel.CancelToken` polled by warm
+        #: backends inside their pivot loops; set by the driving solver
+        #: (branch-and-bound threads ``SolverOptions.cancel_token``
+        #: through here).  ``None`` means never cancel.
+        self.cancel_token = None
 
     def _validated_bounds(
         self, lb: np.ndarray, ub: np.ndarray
@@ -537,6 +544,17 @@ class ScipyHighsBackend(LPBackend):
         ub: np.ndarray,
         basis: SimplexBasis | None = None,
     ) -> LPResult:
+        fault = faultinject.check(faultinject.HIGHS_SOLVE)
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay)
+            elif fault.kind == "exception":
+                raise SolverError(f"injected: {fault.message}")
+            elif fault.kind == "error":
+                return LPResult(
+                    LPStatus.ERROR, None, float("inf"),
+                    message=f"injected: {fault.message}",
+                )
         bounds = np.column_stack([lb, ub])
         result = linprog(
             form.c,
@@ -637,7 +655,16 @@ class BasisExchangePool:
                 self.misses += 1
             else:
                 self.hits += 1
-            return found
+        if found is not None:
+            fault = faultinject.check(faultinject.POOL_FETCH)
+            if fault is not None and fault.kind == "corrupt":
+                # Models snapshot rot in transit: the pool keeps its
+                # pristine copy, only this caller sees the corruption
+                # (and must survive it via install-time validation).
+                found = faultinject.corrupt_basis(
+                    found, faultinject.active().rng_for(fault)
+                )
+        return found
 
     def signatures(self) -> int:
         """Number of distinct form shapes currently held."""

@@ -72,6 +72,7 @@ phase (no blocking ratio).
 from __future__ import annotations
 
 import math
+import time
 import warnings
 
 import numpy as np
@@ -82,6 +83,7 @@ from scipy.linalg import (
 )
 from scipy.linalg.lapack import dtrtrs as _dtrtrs
 
+from repro import faultinject
 from repro.exceptions import SolverError
 from repro.milp.lp_backend import (
     LPBackend,
@@ -226,15 +228,81 @@ class SimplexSession(LPSession):
         if basis is None:
             self._basis = None
             return True
-        if basis.signature != self._ws.signature:
+        fault = faultinject.check(faultinject.INSTALL_BASIS)
+        if fault is not None and fault.kind == "corrupt":
+            basis = faultinject.corrupt_basis(
+                basis, faultinject.active().rng_for(fault)
+            )
+        validated = self._validated_snapshot(basis)
+        if validated is None:
+            # Corrupt/foreign snapshots are refused here, not trusted
+            # until they fail mid-solve: the caller falls back to a
+            # clean cold start and the retained state stays untouched.
             return False
-        self._basis = basis
+        self._basis = validated
         self.stats.bases_installed += 1
         return True
+
+    def _validated_snapshot(
+        self, basis: SimplexBasis
+    ) -> SimplexBasis | None:
+        """Structural validation of an externally supplied basis.
+
+        Snapshots cross trust boundaries (the serving layer's
+        :class:`~repro.milp.lp_backend.BasisExchangePool`, cached plans)
+        and can rot: truncated arrays, indices past the column count,
+        duplicated basics, NaN-poisoned or out-of-range status codes.
+        Every check here is O(n) against arrays already in hand — far
+        cheaper than the refactorization failure a bad snapshot causes
+        ten pivots into a solve.  Returns the snapshot with arrays
+        normalized to the solver's integer dtypes, or ``None`` when it
+        is unusable.
+        """
+        ws = self._ws
+        if basis.signature != ws.signature:
+            return None
+        basic = np.asarray(basis.basic)
+        status = np.asarray(basis.status)
+        if basic.ndim != 1 or status.ndim != 1:
+            return None
+        if basic.shape[0] != ws.num_rows:
+            return None
+        if status.shape[0] != ws.num_columns:
+            return None
+        # Float-typed arrays smuggle NaN/inf past integer comparisons;
+        # require finiteness before trusting any value check.
+        if not np.issubdtype(basic.dtype, np.integer):
+            if not np.all(np.isfinite(basic)):
+                return None
+        if not np.issubdtype(status.dtype, np.integer):
+            if not np.all(np.isfinite(status)):
+                return None
+        basic = basic.astype(np.int64, copy=False)
+        status = status.astype(np.int8, copy=False)
+        if basic.size and (
+            basic.min() < 0 or basic.max() >= ws.num_columns
+        ):
+            return None
+        if np.unique(basic).size != basic.size:
+            return None
+        if status.size and (status.min() < BASIC or status.max() > FREE):
+            return None
+        return SimplexBasis(basic, status, basis.signature)
 
     def solve(self) -> LPResult:
         ws = self._ws
         self.stats.solves += 1
+        fault = faultinject.check(faultinject.SIMPLEX_SOLVE)
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay)
+            elif fault.kind == "exception":
+                raise SolverError(f"injected: {fault.message}")
+            elif fault.kind == "error":
+                return LPResult(
+                    LPStatus.ERROR, None, math.inf,
+                    message=f"injected: {fault.message}",
+                )
         if np.any(self._lb > self._ub + _FEAS_TOL):
             return LPResult(LPStatus.INFEASIBLE, None, math.inf, "lb > ub")
         if ws.num_rows == 0:
@@ -249,6 +317,7 @@ class SimplexSession(LPSession):
             pricing=self._pricing,
             refactor_interval=self._refactor_interval,
             live=self._live,
+            cancel_token=self.cancel_token,
         )
         status = run.optimize(self._basis)
         if run.installed_warm:
@@ -829,12 +898,16 @@ class _SimplexRun:
         pricing: str = "devex",
         refactor_interval: int = 64,
         live: "tuple[_FTFactor, bytes] | None" = None,
+        cancel_token=None,
     ):
         self.ws = ws
         self._lu_cache = lu_cache if lu_cache is not None else {}
         self.pricing = pricing
         self._refactor_interval = refactor_interval
         self._live = live
+        #: Cooperative cancellation token polled every few dozen pivots
+        #: (:class:`repro.cancel.CancelToken`; ``None`` = never cancel).
+        self._cancel = cancel_token
         # Per-node work: scale the bound vectors into equilibrated space.
         self.lb = np.concatenate([lb / ws.col_scale, ws.slack_lb])
         self.ub = np.concatenate([ub / ws.col_scale, ws.slack_ub])
@@ -1272,6 +1345,12 @@ class _SimplexRun:
         # per-pivot linear algebra.
         d = self._reduced_costs()
         while self.pivots < self.pivot_limit:
+            # Cancellation poll, amortized to every 64 pivots: cheap
+            # enough to leave in the hot loop, frequent enough that an
+            # abandoned request stops mid-solve instead of running its
+            # full pivot budget.
+            if self._cancel is not None and (self.pivots & 0x3F) == 0:
+                self._cancel.check()
             xb = self.x[self.basic]
             over = xb - self.ub[self.basic]
             under = self.lb[self.basic] - xb
@@ -1595,6 +1674,9 @@ class _SimplexRun:
         banned: set[int] = set()
         d: np.ndarray | None = None
         while self.pivots < self.pivot_limit:
+            # Same amortized cancellation poll as the dual phase.
+            if self._cancel is not None and (self.pivots & 0x3F) == 0:
+                self._cancel.check()
             if d is None:
                 d = self._reduced_costs()
             entering = self._primal_entering(d, banned, tol)

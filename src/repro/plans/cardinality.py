@@ -61,7 +61,12 @@ class CardinalityModel:
         cached = self._cache.get(table_names)
         if cached is not None:
             return cached
-        result = sum(self._effective_log_card[name] for name in table_names)
+        # Sum in sorted-name order: frozenset iteration order depends on
+        # the process hash seed, and a hash-dependent float summation
+        # order makes plan costs differ in the last ulps between runs.
+        result = sum(
+            self._effective_log_card[name] for name in sorted(table_names)
+        )
         applied: set[str] = set()
         for predicate in self.query.predicates:
             # Unary predicates are applied at the scan (already folded into

@@ -39,9 +39,20 @@ from repro.serve.coalesce import RequestCoalescer
 from repro.serve.http import OptimizationHTTPServer, make_http_server
 from repro.serve.metrics import (
     Counter,
+    CounterFamily,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.serve.resilience import (
+    BreakerBoard,
+    BreakerState,
+    CancelToken,
+    CancelledError,
+    CircuitBreaker,
+    ResilientExecutor,
+    RetryPolicy,
+    size_class,
 )
 from repro.serve.scheduler import (
     DeadlineScheduler,
@@ -57,7 +68,13 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "BreakerBoard",
+    "BreakerState",
+    "CancelToken",
+    "CancelledError",
+    "CircuitBreaker",
     "Counter",
+    "CounterFamily",
     "DeadlineScheduler",
     "Gauge",
     "Histogram",
@@ -67,9 +84,12 @@ __all__ = [
     "Priority",
     "RequestCoalescer",
     "RequestStatus",
+    "ResilientExecutor",
+    "RetryPolicy",
     "ServeRequest",
     "ServeResult",
     "ServeTicket",
     "degraded_budget",
     "make_http_server",
+    "size_class",
 ]

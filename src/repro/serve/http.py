@@ -20,6 +20,7 @@ connection thread only parses, submits and blocks on the ticket.
 from __future__ import annotations
 
 import json
+import logging
 import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -29,12 +30,16 @@ from repro.serve.server import OptimizationServer, RequestStatus
 
 __all__ = ["OptimizationHTTPServer", "make_http_server"]
 
-#: HTTP status per request disposition.
+logger = logging.getLogger("repro.serve.http")
+
+#: HTTP status per request disposition.  ``CANCELLED`` uses nginx's 499
+#: convention (client closed/abandoned the request).
 _STATUS_CODES = {
     RequestStatus.COMPLETED: 200,
     RequestStatus.REJECTED: 503,
     RequestStatus.TIMED_OUT: 504,
     RequestStatus.FAILED: 500,
+    RequestStatus.CANCELLED: 499,
 }
 
 #: Hard ceiling on how long one connection blocks on a ticket
@@ -80,6 +85,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _count_error(self, error_type: str) -> None:
+        self.server.optimizer.metrics.counter_family(
+            "errors_total", "errors by exception type"
+        ).labels(type=error_type).inc()
+
     def _send_text(self, code: int, text: str) -> None:
         body = text.encode("utf-8")
         self.send_response(code)
@@ -116,6 +126,11 @@ class _Handler(BaseHTTPRequestHandler):
             priority = _parse_priority(payload.get("priority", "normal"))
             deadline = _parse_deadline(payload.get("deadline_ms"))
         except Exception as error:  # noqa: BLE001 - wire validation
+            logger.info(
+                "rejected malformed /optimize request: %s: %s",
+                type(error).__name__, error,
+            )
+            self._count_error(type(error).__name__)
             self._send_json(400, {
                 "error": f"bad request: {type(error).__name__}: {error}"
             })
@@ -126,6 +141,11 @@ class _Handler(BaseHTTPRequestHandler):
             )
             outcome = ticket.result(timeout=_RESULT_TIMEOUT)
         except Exception as error:  # noqa: BLE001 - serve must answer
+            # submit() validates its inputs and every ticket resolves;
+            # reaching this means a serving-stack bug or a result()
+            # timeout — log the traceback, don't just 500 silently.
+            logger.exception("error serving /optimize request")
+            self._count_error(type(error).__name__)
             self._send_json(500, {
                 "error": f"{type(error).__name__}: {error}"
             })

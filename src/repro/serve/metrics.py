@@ -17,6 +17,7 @@ import threading
 
 __all__ = [
     "Counter",
+    "CounterFamily",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -56,6 +57,72 @@ class Counter:
             f"# TYPE {self.name} counter\n"
             f"{self.name} {self.value}\n"
         )
+
+
+class CounterFamily:
+    """A labelled counter family, e.g. ``errors_total{type="..."}``.
+
+    ``labels(type="solver")`` returns the child :class:`Counter` for
+    that label set, creating it on first use.  Children share one
+    ``# HELP`` / ``# TYPE`` header in the exposition and each emits a
+    ``name{k="v"} value`` sample line.  Label values are escaped per
+    the Prometheus text format (backslash, quote, newline).
+    """
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._children: dict[tuple[tuple[str, str], ...], Counter] = {}
+
+    def labels(self, **labels: str) -> Counter:
+        if not labels:
+            raise ValueError("a CounterFamily child needs at least one label")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = Counter(self.name, self.help)
+                self._children[key] = child
+            return child
+
+    @staticmethod
+    def _escape(value: str) -> str:
+        return (
+            value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
+    @property
+    def value(self) -> int:
+        """Sum over every child (the unlabelled total)."""
+        with self._lock:
+            children = list(self._children.values())
+        return sum(child.value for child in children)
+
+    def as_dict(self) -> dict[str, int]:
+        """``{"k=v,..." : count}`` snapshot, children in sorted order."""
+        with self._lock:
+            children = sorted(self._children.items())
+        return {
+            ",".join(f"{k}={v}" for k, v in key): child.value
+            for key, child in children
+        }
+
+    def expose(self) -> str:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+        ]
+        with self._lock:
+            children = sorted(self._children.items())
+        for key, child in children:
+            rendered = ",".join(
+                f'{k}="{self._escape(v)}"' for k, v in key
+            )
+            lines.append(f"{self.name}{{{rendered}}} {child.value}")
+        return "\n".join(lines) + "\n"
 
 
 class Gauge:
@@ -220,10 +287,15 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[
+            str, Counter | CounterFamily | Gauge | Histogram
+        ] = {}
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         return self._get_or_create(name, help_text, Counter)
+
+    def counter_family(self, name: str, help_text: str = "") -> CounterFamily:
+        return self._get_or_create(name, help_text, CounterFamily)
 
     def gauge(self, name: str, help_text: str = "") -> Gauge:
         return self._get_or_create(name, help_text, Gauge)
@@ -278,6 +350,8 @@ class MetricsRegistry:
         for name, metric in metrics.items():
             if isinstance(metric, Histogram):
                 out[name] = metric.snapshot()
+            elif isinstance(metric, CounterFamily):
+                out[name] = metric.as_dict()
             else:
                 out[name] = metric.value
         return out

@@ -1,0 +1,587 @@
+"""Retry, degradation ladder and circuit breaking for the serve layer.
+
+The server's workers must answer *every* request honestly even when the
+optimizer underneath misbehaves — transient numerical failures, a
+poisoned warm-start basis, a backend that starts throwing under one
+workload shape.  This module packages the three standard defenses:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  seeded jitter for *transient* failures (:class:`repro.exceptions.
+  SolverError` and ERROR-status results).  Backoff sleeps go through the
+  request's :class:`~repro.cancel.CancelToken`, so a cancelled request
+  never sits out a retry delay.
+* the **degradation ladder** in :class:`ResilientExecutor` — when the
+  requested algorithm keeps failing, descend: warm configured solve →
+  fresh *cold* revised simplex (no shared basis pool, no warm-start
+  surface to be poisoned) → scipy/HiGHS backend → the constructive
+  ``greedy`` heuristic.  Each descent is recorded in the result's
+  ``diagnostics["degradation"]`` so a degraded answer is never mistaken
+  for a first-class one, and statuses stay honest — a determinate
+  ``INFEASIBLE``/``UNBOUNDED`` answer is *passed through*, never
+  "retried away".
+* :class:`CircuitBreaker` — per ``(algorithm, size-class)`` breakers
+  (:class:`BreakerBoard`) that stop hammering a failing algorithm:
+  after ``failure_threshold`` consecutive failures the breaker OPENs
+  and the ladder skips that rung outright; after ``reset_timeout``
+  seconds it goes HALF_OPEN and admits a limited number of probe
+  requests, closing again only on a probe success.
+
+Everything is deterministic under test: jitter derives from a seeded
+RNG, breakers take an injectable clock.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.api.service import _accepts_cancel_token
+from repro.cancel import CancelToken
+from repro.exceptions import CancelledError, SolverError
+from repro.milp.branch_and_bound import SolverOptions
+from repro.milp.solution import SolveStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.result import PlanResult
+    from repro.api.service import OptimizerService
+    from repro.catalog.query import Query
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerState",
+    "CancelToken",
+    "CancelledError",
+    "CircuitBreaker",
+    "ExecutionOutcome",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "size_class",
+]
+
+#: Algorithms that run the MILP stack and therefore have the
+#: cold-simplex / HiGHS ladder rungs available.
+_MILP_FAMILY = ("milp", "milp-portfolio")
+
+#: The ladder's last rung: always produces *some* plan in polynomial
+#: time.  Only used when registered with the service's registry.
+_LAST_RESORT = "greedy"
+
+
+def size_class(query: "Query") -> str:
+    """Coarse size bucket used to key circuit breakers.
+
+    An algorithm that breaks on 20-table queries is usually fine on
+    5-table ones — tripping one global breaker would deny service to
+    traffic that was never failing.  Buckets follow the routing bands in
+    :mod:`repro.api.adapters`: exhaustive-DP territory is ``small``,
+    the MILP sweet spot ``medium``, everything beyond ``large``.
+    """
+    n = query.num_tables
+    if n <= 8:
+        return "small"
+    if n <= 16:
+        return "medium"
+    return "large"
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    ``max_attempts`` counts *total* tries of the primary rung (1 = no
+    retries).  The delay before retry ``k`` (1-based) is
+    ``min(max_delay, base_delay * multiplier**(k-1))`` scaled by a
+    jitter factor in ``[1, 1 + jitter]`` drawn from a ``seed``-derived
+    RNG — deterministic in tests, decorrelated in production fleets.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def rng(self) -> random.Random:
+        """Fresh jitter stream (one per executed request)."""
+        return random.Random(self.seed)
+
+    def delay(self, retry: int, rng: random.Random) -> float:
+        """Backoff before 1-based retry number ``retry``."""
+        if retry < 1:
+            raise ValueError("retry is 1-based")
+        base = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry - 1)
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class BreakerState(enum.Enum):
+    """Classic three-state breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing.
+
+    CLOSED admits everything and counts *consecutive* failures; at
+    ``failure_threshold`` it OPENs and :meth:`allow` refuses until
+    ``reset_timeout`` seconds pass.  Then HALF_OPEN admits up to
+    ``half_open_probes`` in-flight probes: one probe success re-CLOSEs
+    (the fault cleared), one probe failure re-OPENs and restarts the
+    timeout.  Thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        self.rejections = 0
+        self.opens = 0
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may be attempted right now.
+
+        In HALF_OPEN each ``True`` claims one probe slot; the caller
+        must report back via :meth:`record_success` /
+        :meth:`record_failure` (which releases the slot).
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN:
+                if self._probes < self.half_open_probes:
+                    self._probes += 1
+                    return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes = max(0, self._probes - 1)
+                self._state = BreakerState.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes = max(0, self._probes - 1)
+                self._trip()
+                return
+            if self._state is BreakerState.OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._failures = self.failure_threshold
+        self.opens += 1
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes = 0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state.value,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "rejections": self.rejections,
+            }
+
+
+class BreakerBoard:
+    """Lazy map of ``(algorithm, size-class)`` → :class:`CircuitBreaker`."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._kwargs = dict(
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            half_open_probes=half_open_probes,
+            clock=clock,
+        )
+        self._lock = threading.Lock()
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+
+    def get(self, algorithm: str, bucket: str) -> CircuitBreaker:
+        key = (algorithm, bucket)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(**self._kwargs)
+                self._breakers[key] = breaker
+            return breaker
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            items = sorted(self._breakers.items())
+        return {
+            f"{algorithm}/{bucket}": breaker.as_dict()
+            for (algorithm, bucket), breaker in items
+        }
+
+
+# ----------------------------------------------------------------------
+# The degradation ladder
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionOutcome:
+    """What :meth:`ResilientExecutor.execute` concluded for one request.
+
+    ``result`` is ``None`` only when every rung failed (``error`` then
+    carries the last failure) or the request was cancelled before any
+    rung produced an answer.  ``cancelled`` is the cancellation reason
+    when the request's token fired mid-execution.  ``report`` is the
+    degradation record (also attached to the result's diagnostics when
+    anything beyond a clean first attempt happened).
+    """
+
+    result: "PlanResult | None" = None
+    error: str | None = None
+    cancelled: str | None = None
+    retries: int = 0
+    degraded: bool = False
+    report: dict = field(default_factory=dict)
+
+
+class ResilientExecutor:
+    """Run one optimization through retries, breakers and the ladder.
+
+    Wraps an :class:`~repro.api.service.OptimizerService`; the server's
+    workers call :meth:`execute` instead of ``service.optimize``.
+    Rungs, in order:
+
+    1. ``warm`` — the service as configured (plan cache, shared basis
+       pool, warm simplex).  Transient failures (``SolverError``) are
+       retried per the :class:`RetryPolicy`; other exceptions descend
+       immediately.
+    2. ``cold-simplex`` — MILP-family algorithms only: a fresh
+       optimizer forced onto ``backend="simplex"`` with *no* shared
+       basis pool, so corrupted warm-start state cannot recur.
+    3. ``highs`` — MILP-family only: the scipy/HiGHS backend, a wholly
+       independent LP implementation.
+    4. ``greedy`` — the constructive heuristic, when registered.
+
+    The ``warm`` and ``greedy`` rungs are gated by circuit breakers
+    keyed ``(algorithm, size_class(query))``; an OPEN breaker skips the
+    rung without consuming its budget.  A result with a usable plan —
+    or a *determinate* ``INFEASIBLE``/``UNBOUNDED`` verdict — ends the
+    ladder; an empty ``NO_SOLUTION`` descends in search of any plan.
+    """
+
+    def __init__(
+        self,
+        service: "OptimizerService",
+        retry: RetryPolicy | None = None,
+        breakers: BreakerBoard | None = None,
+        enable_ladder: bool = True,
+    ) -> None:
+        self.service = service
+        self.retry = retry or RetryPolicy()
+        self.breakers = breakers or BreakerBoard()
+        self.enable_ladder = enable_ladder
+
+    # -- public ---------------------------------------------------------
+
+    def execute(
+        self,
+        query: "Query",
+        algorithm: str,
+        *,
+        budget: float | None = None,
+        use_cache: bool = True,
+        cancel_token: CancelToken | None = None,
+    ) -> ExecutionOutcome:
+        bucket = size_class(query)
+        outcome = ExecutionOutcome(report={
+            "requested": algorithm,
+            "size_class": bucket,
+            "attempts": [],
+        })
+        attempts: list[dict] = outcome.report["attempts"]
+        rng = self.retry.rng()
+        last_error: str | None = None
+
+        for rung, rung_algorithm in self._rungs(algorithm):
+            if cancel_token is not None and cancel_token.cancelled:
+                outcome.cancelled = cancel_token.reason
+                break
+            breaker = self._breaker_for(rung, rung_algorithm, bucket)
+            if breaker is not None and not breaker.allow():
+                attempts.append({
+                    "rung": rung,
+                    "algorithm": rung_algorithm,
+                    "outcome": "breaker-open",
+                })
+                continue
+            tries = self.retry.max_attempts if rung == "warm" else 1
+            done, last_error = self._run_rung(
+                outcome, rung, rung_algorithm, breaker, tries, rng,
+                query, budget, use_cache, cancel_token, last_error,
+            )
+            if done:
+                break
+        else:
+            # Ladder exhausted.  An earlier rung may still have left an
+            # honest empty (NO_SOLUTION) result — return that rather
+            # than dressing it up as a failure.
+            if outcome.result is None:
+                outcome.error = last_error or (
+                    f"no rung of the degradation ladder produced a plan "
+                    f"for {algorithm!r}"
+                )
+        if outcome.cancelled is None and outcome.error is None:
+            outcome.degraded = outcome.retries > 0 or any(
+                a["rung"] != "warm" or a["outcome"] != "ok"
+                for a in attempts
+            )
+            if outcome.degraded and outcome.result is not None:
+                # Never mutate a possibly-cached result object shared
+                # with other requests; attach the record to a copy.
+                outcome.result = replace(
+                    outcome.result,
+                    diagnostics={
+                        **outcome.result.diagnostics,
+                        "degradation": outcome.report,
+                    },
+                )
+        return outcome
+
+    # -- internals ------------------------------------------------------
+
+    def _rungs(self, algorithm: str) -> list[tuple[str, str]]:
+        rungs = [("warm", algorithm)]
+        if not self.enable_ladder:
+            return rungs
+        if algorithm in _MILP_FAMILY:
+            rungs.append(("cold-simplex", algorithm))
+            rungs.append(("highs", algorithm))
+        if (
+            algorithm != _LAST_RESORT
+            and _LAST_RESORT in self.service.algorithms()
+        ):
+            rungs.append(("last-resort", _LAST_RESORT))
+        return rungs
+
+    def _breaker_for(
+        self, rung: str, algorithm: str, bucket: str
+    ) -> CircuitBreaker | None:
+        # The one-shot backend-swap rungs are already last-ditch
+        # attempts on fresh state; only the registry-level rungs (which
+        # production traffic keeps hitting) carry breakers.
+        if rung in ("warm", "last-resort"):
+            return self.breakers.get(algorithm, bucket)
+        return None
+
+    def _run_rung(
+        self,
+        outcome: ExecutionOutcome,
+        rung: str,
+        algorithm: str,
+        breaker: CircuitBreaker | None,
+        tries: int,
+        rng: random.Random,
+        query: "Query",
+        budget: float | None,
+        use_cache: bool,
+        cancel_token: CancelToken | None,
+        last_error: str | None,
+    ) -> tuple[bool, str | None]:
+        """One ladder rung, with retries.  Returns ``(done, last_error)``;
+        ``done`` means the ladder should stop (answer or cancellation)."""
+        attempts: list[dict] = outcome.report["attempts"]
+        for attempt in range(1, tries + 1):
+            record = {
+                "rung": rung,
+                "algorithm": algorithm,
+                "attempt": attempt,
+            }
+            attempts.append(record)
+            try:
+                result = self._attempt(
+                    rung, algorithm, query, budget, use_cache, cancel_token
+                )
+            except CancelledError as error:
+                record["outcome"] = f"cancelled: {error.reason}"
+                outcome.cancelled = error.reason
+                return True, last_error
+            except SolverError as error:
+                last_error = f"{type(error).__name__}: {error}"
+                record["outcome"] = f"transient: {error}"
+                if breaker is not None:
+                    breaker.record_failure()
+                if attempt < tries:
+                    outcome.retries += 1
+                    if self._backoff(attempt, rng, cancel_token):
+                        outcome.cancelled = (
+                            cancel_token.reason
+                            if cancel_token is not None else "cancelled"
+                        )
+                        return True, last_error
+                continue
+            except Exception as error:  # noqa: BLE001 - ladder boundary
+                last_error = f"{type(error).__name__}: {error}"
+                record["outcome"] = f"error: {error}"
+                if breaker is not None:
+                    breaker.record_failure()
+                return False, last_error
+            if cancel_token is not None and cancel_token.cancelled:
+                # The solve absorbed the cancellation and returned its
+                # best-so-far (anytime semantics).  A usable plan is
+                # still an answer; an empty result is a cancellation.
+                outcome.cancelled = cancel_token.reason
+                if result.has_plan:
+                    record["outcome"] = "ok"
+                    outcome.result = result
+                    outcome.cancelled = None
+                    if breaker is not None:
+                        breaker.record_success()
+                else:
+                    record["outcome"] = (
+                        f"cancelled: {cancel_token.reason}"
+                    )
+                return True, last_error
+            if result.has_plan or result.status in (
+                SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED
+            ):
+                record["outcome"] = "ok"
+                outcome.result = result
+                if breaker is not None:
+                    breaker.record_success()
+                return True, last_error
+            # Honest empty answer (NO_SOLUTION): not a solver fault —
+            # the breaker stays untouched — but descend looking for a
+            # rung that can produce *a* plan.
+            last_error = (
+                f"{algorithm!r} returned {result.status.value} "
+                "without a plan"
+            )
+            record["outcome"] = f"empty: {result.status.value}"
+            if outcome.result is None:
+                outcome.result = result
+            return False, last_error
+        return False, last_error
+
+    def _attempt(
+        self,
+        rung: str,
+        algorithm: str,
+        query: "Query",
+        budget: float | None,
+        use_cache: bool,
+        cancel_token: CancelToken | None,
+    ) -> "PlanResult":
+        if rung in ("warm", "last-resort"):
+            return self.service.optimize(
+                query,
+                algorithm,
+                time_limit=budget,
+                use_cache=use_cache,
+                cancel_token=cancel_token,
+            )
+        backend = "simplex" if rung == "cold-simplex" else "scipy"
+        optimizer = self._fresh_optimizer(algorithm, backend)
+        if cancel_token is not None and _accepts_cancel_token(optimizer):
+            return optimizer.optimize(
+                query, time_limit=budget, cancel_token=cancel_token
+            )
+        return optimizer.optimize(query, time_limit=budget)
+
+    def _fresh_optimizer(self, algorithm: str, backend: str):
+        """A cold optimizer: forced backend, no shared warm-start pool."""
+        settings = self.service.settings
+        extra = dict(settings.extra)
+        base = extra.get("solver_options")
+        options = (
+            replace(base) if base is not None
+            else SolverOptions(time_limit=settings.time_limit)
+        )
+        options.backend = backend
+        options.basis_pool = None
+        extra["solver_options"] = options
+        return self.service.registry.create(
+            algorithm, replace(settings, extra=extra)
+        )
+
+    def _backoff(
+        self,
+        attempt: int,
+        rng: random.Random,
+        cancel_token: CancelToken | None,
+    ) -> bool:
+        """Sleep before the next retry; ``True`` means cancelled."""
+        delay = self.retry.delay(attempt, rng)
+        if delay <= 0:
+            return cancel_token is not None and cancel_token.cancelled
+        if cancel_token is not None:
+            return cancel_token.wait(delay)
+        time.sleep(delay)
+        return False

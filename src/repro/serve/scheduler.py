@@ -27,7 +27,10 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro import faultinject
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cancel import CancelToken
     from repro.catalog.query import Query
 
 __all__ = [
@@ -69,6 +72,12 @@ class ServeRequest:
     #: never pop another leader's entry).
     leads: bool = False
     started: float | None = None
+    #: Cooperative cancellation token; created by the server at submit
+    #: time (carrying the deadline) and threaded through the service
+    #: into the solver's pivot loop.  The watchdog cancels it when the
+    #: deadline passes; :meth:`~repro.serve.server.ServeTicket.cancel`
+    #: cancels it on the client's behalf.
+    cancel_token: "CancelToken | None" = None
 
     def remaining(self, now: float | None = None) -> float | None:
         """Seconds until the deadline (``None`` without a deadline)."""
@@ -111,9 +120,14 @@ class DeadlineScheduler:
     def offer(self, request: ServeRequest) -> bool:
         """Admit ``request``; ``False`` means the queue is full (shed)
         or the scheduler is closed."""
+        fault = faultinject.check(faultinject.SCHEDULER_OFFER)
         with self._lock:
             self.offered += 1
-            if self._closed or len(self._heap) >= self.capacity:
+            if (
+                self._closed
+                or len(self._heap) >= self.capacity
+                or (fault is not None and fault.kind == "overflow")
+            ):
                 self.shed += 1
                 return False
             heapq.heappush(

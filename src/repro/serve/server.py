@@ -28,19 +28,27 @@ per-algorithm code paths):
 from __future__ import annotations
 
 import enum
+import logging
 import math
 import threading
 import time
+from concurrent.futures import InvalidStateError
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.api import OptimizerService, OptimizerSettings, query_signature
 from repro.api.result import PlanResult
+from repro.cancel import CancelToken
 from repro.milp.branch_and_bound import SolverOptions
 from repro.milp.lp_backend import BasisExchangePool
 
 from repro.serve.coalesce import RequestCoalescer
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import (
+    BreakerBoard,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from repro.serve.scheduler import (
     DeadlineScheduler,
     Priority,
@@ -60,6 +68,8 @@ __all__ = [
     "ServeTicket",
 ]
 
+logger = logging.getLogger("repro.serve")
+
 
 class RequestStatus(enum.Enum):
     """Final disposition of one request."""
@@ -68,6 +78,7 @@ class RequestStatus(enum.Enum):
     REJECTED = "rejected"
     TIMED_OUT = "timed_out"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -112,6 +123,18 @@ class ServeTicket:
 
     def done(self) -> bool:
         return self._request.future.done()
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Cooperatively cancel this request.
+
+        Queued requests resolve ``CANCELLED`` when a worker picks them
+        up; in-flight solves stop at their next cancellation poll (the
+        MILP checks between pivots) and resolve with their best-so-far
+        plan (``COMPLETED``) or ``CANCELLED`` when nothing was found.
+        Already-resolved requests are unaffected.
+        """
+        if self._request.cancel_token is not None:
+            self._request.cancel_token.cancel(reason)
 
 
 def _priority(value: "Priority | str | int") -> Priority:
@@ -182,9 +205,18 @@ class OptimizationServer:
         cache_entries: int = 1024,
         budget_safety: float = 0.9,
         min_budget: float = 0.05,
+        retry_policy: RetryPolicy | None = None,
+        breakers: BreakerBoard | None = None,
+        enable_ladder: bool = True,
+        watchdog_interval: float = 0.1,
+        wedge_grace: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
+        if wedge_grace <= 0:
+            raise ValueError("wedge_grace must be positive")
         self.basis_pool: BasisExchangePool | None = None
         if service is not None:
             self.service = service
@@ -203,11 +235,31 @@ class OptimizationServer:
         self.default_deadline = default_deadline
         self.budget_safety = budget_safety
         self.min_budget = min_budget
+        self.resilience = ResilientExecutor(
+            self.service,
+            retry=retry_policy,
+            breakers=breakers,
+            enable_ladder=enable_ladder,
+        )
+        self.watchdog_interval = watchdog_interval
+        self.wedge_grace = wedge_grace
         self.metrics = MetricsRegistry()
         self._workers: list[threading.Thread] = []
         self._num_workers = workers
         self._started = False
         self._lock = threading.Lock()
+        #: What each live worker thread is optimizing right now; the
+        #: watchdog walks this to fire deadline cancellations and to
+        #: detect wedged workers.
+        self._inflight: dict[threading.Thread, ServeRequest] = {}
+        #: When the watchdog first saw each in-flight request overdue
+        #: (cancelled token but still running), keyed by id(request).
+        self._overdue_since: dict[int, float] = {}
+        #: Threads written off as wedged; never joined, never reused.
+        self._wedged: set[threading.Thread] = set()
+        self._watchdog_thread: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
+        self._worker_seq = 0
 
         m = self.metrics
         self._requests_total = m.counter(
@@ -227,6 +279,18 @@ class OptimizationServer:
             "optimizer invocations (cache hits included, followers not)")
         self._degraded = m.counter(
             "serve_degraded_total", "requests run under a reduced budget")
+        self._cancelled = m.counter(
+            "serve_cancelled_total", "requests cancelled cooperatively")
+        self._retries = m.counter(
+            "serve_retries_total", "transient-failure retries")
+        self._ladder_descents = m.counter(
+            "serve_ladder_descents_total",
+            "requests answered below their requested rung")
+        self._workers_replaced = m.counter(
+            "serve_workers_replaced_total",
+            "wedged workers written off and replaced")
+        self._errors = m.counter_family(
+            "errors_total", "errors by exception type")
         self._queue_depth = m.gauge(
             "serve_queue_depth", "requests waiting in the scheduler")
         self._busy_workers = m.gauge(
@@ -260,30 +324,49 @@ class OptimizationServer:
     # ------------------------------------------------------------------
 
     def start(self) -> "OptimizationServer":
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool and the deadline watchdog (idempotent)."""
         with self._lock:
             if self._started:
                 return self
             self._started = True
-            for index in range(self._num_workers):
-                thread = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"serve-worker-{index}",
-                    daemon=True,
-                )
-                thread.start()
-                self._workers.append(thread)
+            for _ in range(self._num_workers):
+                self._spawn_worker_locked()
+            self._watchdog_stop.clear()
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop,
+                name="serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog_thread.start()
         return self
 
+    def _spawn_worker_locked(self) -> threading.Thread:
+        """Start one worker thread; caller holds ``self._lock``."""
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"serve-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        self._worker_seq += 1
+        thread.start()
+        self._workers.append(thread)
+        return thread
+
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Shut the server down.
+        """Shut the server down; every outstanding future still resolves.
 
         ``drain=True`` (graceful): stop admitting, let the workers
         finish everything already queued, then exit.  ``drain=False``:
         stop admitting, ``REJECTED``-resolve everything still queued
-        (and its followers), and exit as soon as in-flight requests
-        finish.  Either way the worker threads are joined (up to
-        ``timeout`` seconds total).
+        (and its followers), cancel in-flight solves cooperatively, and
+        exit as soon as they stop.  Worker threads are joined up to
+        ``timeout`` seconds total — except threads the watchdog already
+        wrote off as wedged, which are skipped rather than waited on.
+        Whatever is still unresolved when the join budget runs out
+        (requests held by wedged workers, stragglers in the queue) is
+        force-resolved — ``TIMED_OUT`` for in-flight work, ``REJECTED``
+        for never-started queue leftovers — so no client blocks forever
+        on a future the server can no longer honor.
         """
         self.scheduler.close()
         if not drain:
@@ -296,11 +379,43 @@ class OptimizationServer:
                             follower, "server shutting down"
                         )
                 self._resolve_rejection(request, "server shutting down")
+            with self._lock:
+                inflight = list(self._inflight.values())
+            for request in inflight:
+                if request.cancel_token is not None:
+                    request.cancel_token.cancel("server shutting down")
         deadline = time.monotonic() + timeout
-        for thread in self._workers:
+        for thread in list(self._workers):
+            if thread in self._wedged:
+                continue  # provably stuck; waiting only burns the budget
             thread.join(max(0.0, deadline - time.monotonic()))
+        self._watchdog_stop.set()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(
+                max(0.1, deadline - time.monotonic())
+            )
+        # Leftover resolution: nothing a dead server holds may dangle.
+        with self._lock:
+            stuck = list(self._inflight.items())
+        for thread, request in stuck:
+            if thread.is_alive():
+                logger.error(
+                    "worker %s still wedged at shutdown; "
+                    "force-resolving its request", thread.name,
+                )
+                self._force_resolve(
+                    request,
+                    RequestStatus.TIMED_OUT,
+                    "server stopped while request was wedged in flight",
+                )
+        for request in self.scheduler.drain():
+            if request.leads and self.coalescer is not None:
+                for follower in self.coalescer.withdraw(request.key):
+                    self._resolve_rejection(follower, "server shutting down")
+            self._resolve_rejection(request, "server shutting down")
         with self._lock:
             self._workers.clear()
+            self._watchdog_thread = None
             self._started = False
 
     def __enter__(self) -> "OptimizationServer":
@@ -351,6 +466,7 @@ class OptimizationServer:
         )
         if effective is not None:
             request.deadline = request.submitted + effective
+        request.cancel_token = CancelToken(deadline=request.deadline)
         if self.scheduler.closed:
             # A stopped server stays stopped: the scheduler cannot
             # reopen, so restarting workers would only dress the
@@ -416,7 +532,12 @@ class OptimizationServer:
     # ------------------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        me = threading.current_thread()
         while True:
+            if me in self._wedged:
+                # The watchdog wrote this thread off and already
+                # resolved its request; a replacement carries the queue.
+                return
             request = self.scheduler.take(timeout=0.2)
             self._queue_depth.set(len(self.scheduler))
             if request is None:
@@ -424,16 +545,100 @@ class OptimizationServer:
                     return
                 continue
             self._busy_workers.inc()
+            with self._lock:
+                self._inflight[me] = request
             try:
                 self._process(request)
             finally:
+                with self._lock:
+                    self._inflight.pop(me, None)
+                    self._overdue_since.pop(id(request), None)
                 self._busy_workers.dec()
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        """Fire deadline cancellations; write off wedged workers.
+
+        Two escalation steps per in-flight request: first the request's
+        token is cancelled the moment its deadline passes (the solver
+        polls it between pivots and stops within milliseconds); if a
+        worker *still* has not returned ``wedge_grace`` seconds after
+        its token fired — a backend stuck in native code where no poll
+        can reach — the request is force-resolved ``TIMED_OUT``, the
+        thread is written off, and a replacement worker is spawned so
+        pool capacity survives the loss.
+        """
+        while not self._watchdog_stop.wait(self.watchdog_interval):
+            now = time.monotonic()
+            with self._lock:
+                inflight = list(self._inflight.items())
+            for thread, request in inflight:
+                token = request.cancel_token
+                if token is None:
+                    continue
+                if not token.cancelled:
+                    continue  # deadline not reached, nobody cancelled
+                key = id(request)
+                with self._lock:
+                    first = self._overdue_since.setdefault(key, now)
+                if now - first < self.wedge_grace:
+                    continue
+                self._write_off_wedged(thread, request)
+
+    def _write_off_wedged(
+        self, thread: threading.Thread, request: ServeRequest
+    ) -> None:
+        """Give up on a worker that ignored cancellation past the grace
+        period: resolve its request honestly, replace the thread."""
+        with self._lock:
+            # Re-check under the lock: the worker may have finished
+            # between the watchdog's snapshot and now.
+            if self._inflight.get(thread) is not request:
+                return
+            del self._inflight[thread]
+            self._overdue_since.pop(id(request), None)
+            self._wedged.add(thread)
+            if thread in self._workers:
+                self._workers.remove(thread)
+            replace_worker = self._started and not self.scheduler.closed
+            if replace_worker:
+                self._spawn_worker_locked()
+        logger.error(
+            "worker %s wedged (no response %.1fs after cancellation); "
+            "request resolved TIMED_OUT%s",
+            thread.name, self.wedge_grace,
+            ", replacement spawned" if replace_worker else "",
+        )
+        self._workers_replaced.inc()
+        self._errors.labels(type="WedgedWorker").inc()
+        self._force_resolve(
+            request,
+            RequestStatus.TIMED_OUT,
+            "worker wedged past deadline; written off",
+        )
 
     def _process(self, request: ServeRequest) -> None:
         now = time.monotonic()
         request.started = now
         wait = now - request.submitted
         self._wait_hist.observe(wait)
+
+        token = request.cancel_token
+        if token is not None and token.cancel_requested:
+            # Cancelled while still queued: never start the solve.
+            self._finish(
+                request,
+                ServeResult(
+                    status=RequestStatus.CANCELLED,
+                    algorithm=request.algorithm,
+                    error=f"cancelled: {token.reason}",
+                    wait_seconds=wait,
+                ),
+            )
+            return
 
         remaining = request.remaining(now)
         budget = degraded_budget(
@@ -482,13 +687,23 @@ class OptimizationServer:
             # truncated (lower-quality) plans.  Degraded solves are
             # answered from the full-budget cache above when possible
             # and otherwise solved fresh without touching the cache.
-            result = self.service.optimize(
+            outcome = self.resilience.execute(
                 request.query,
                 request.algorithm,
-                time_limit=budget,
+                budget=budget,
                 use_cache=budget is None,
+                cancel_token=request.cancel_token,
             )
         except Exception as error:  # noqa: BLE001 - server must not die
+            # The resilience executor absorbs optimizer failures; only
+            # a bug in the serving stack itself lands here.  Log it
+            # with the traceback — a bare FAILED result hides exactly
+            # the kind of defect this path exists to surface.
+            logger.exception(
+                "unhandled error serving %s request for %r",
+                request.algorithm, getattr(request.query, "name", "?"),
+            )
+            self._errors.labels(type=type(error).__name__).inc()
             self._finish(
                 request,
                 ServeResult(
@@ -502,13 +717,52 @@ class OptimizationServer:
             return
         service_seconds = time.monotonic() - started_solve
         self._service_hist.observe(service_seconds)
+        if outcome.retries:
+            self._retries.inc(outcome.retries)
+        if outcome.degraded:
+            self._ladder_descents.inc()
+        if outcome.result is not None:
+            self._finish(
+                request,
+                ServeResult(
+                    status=RequestStatus.COMPLETED,
+                    algorithm=outcome.result.algorithm,
+                    result=outcome.result,
+                    degraded_budget=budget,
+                    wait_seconds=wait,
+                    service_seconds=service_seconds,
+                ),
+            )
+            return
+        if outcome.cancelled is not None:
+            status = (
+                RequestStatus.TIMED_OUT
+                if outcome.cancelled == "deadline expired"
+                else RequestStatus.CANCELLED
+            )
+            self._finish(
+                request,
+                ServeResult(
+                    status=status,
+                    algorithm=request.algorithm,
+                    error=f"cancelled: {outcome.cancelled}",
+                    wait_seconds=wait,
+                    service_seconds=service_seconds,
+                ),
+            )
+            return
+        error = outcome.error or "optimization failed"
+        logger.warning(
+            "%s request for %r failed every rung: %s",
+            request.algorithm, getattr(request.query, "name", "?"), error,
+        )
+        self._errors.labels(type=error.split(":", 1)[0]).inc()
         self._finish(
             request,
             ServeResult(
-                status=RequestStatus.COMPLETED,
-                algorithm=result.algorithm,
-                result=result,
-                degraded_budget=budget,
+                status=RequestStatus.FAILED,
+                algorithm=request.algorithm,
+                error=error,
                 wait_seconds=wait,
                 service_seconds=service_seconds,
             ),
@@ -537,16 +791,43 @@ class OptimizationServer:
     def _resolve(self, request: ServeRequest, outcome: ServeResult) -> None:
         total = time.monotonic() - request.submitted
         outcome.total_seconds = total
+        # set_result-first makes resolution idempotent and atomic: both
+        # a wedged worker limping home and the watchdog that already
+        # wrote it off may call this, and exactly one may count.
+        try:
+            request.future.set_result(outcome)
+        except InvalidStateError:
+            return
         self._total_hist.observe(total)
         counter = {
             RequestStatus.COMPLETED: self._completed,
             RequestStatus.REJECTED: self._rejected,
             RequestStatus.TIMED_OUT: self._timed_out,
             RequestStatus.FAILED: self._failed,
+            RequestStatus.CANCELLED: self._cancelled,
         }[outcome.status]
         counter.inc()
-        if not request.future.done():
-            request.future.set_result(outcome)
+
+    def _force_resolve(
+        self,
+        request: ServeRequest,
+        status: RequestStatus,
+        reason: str,
+    ) -> None:
+        """Resolve a request (and any coalesced followers) from outside
+        its worker — watchdog write-off or shutdown leftovers."""
+        outcome = ServeResult(
+            status=status,
+            algorithm=request.algorithm,
+            error=reason,
+        )
+        followers = (
+            self.coalescer.complete(request.key)
+            if request.leads and self.coalescer is not None else []
+        )
+        self._resolve(request, outcome)
+        for follower in followers:
+            self._resolve(follower, replace(outcome, coalesced=True))
 
     def _resolve_rejection(self, request: ServeRequest, reason: str) -> None:
         self._resolve(request, ServeResult(
@@ -575,6 +856,7 @@ class OptimizationServer:
                 "rejected": self._rejected.value,
                 "timed_out": self._timed_out.value,
                 "failed": self._failed.value,
+                "cancelled": self._cancelled.value,
                 "degraded": self._degraded.value,
             },
             "optimizations": self._optimizations.value,
@@ -605,6 +887,13 @@ class OptimizationServer:
                 "size": self.service.cache_size(),
             },
             "lp": self.service.lp_stats.as_dict(),
+            "resilience": {
+                "retries": self._retries.value,
+                "ladder_descents": self._ladder_descents.value,
+                "workers_replaced": self._workers_replaced.value,
+                "breakers": self.resilience.breakers.as_dict(),
+            },
+            "errors": self._errors.as_dict(),
         }
         if self.basis_pool is not None:
             snapshot["basis_pool"] = self.basis_pool.as_dict()

@@ -22,7 +22,10 @@ class TestGreedy:
             query = generator.generate(topology, 7)
             greedy = GreedyOptimizer(query, use_cout=True).optimize()
             dp = SelingerOptimizer(query, use_cout=True).optimize()
-            assert greedy.cost >= dp.cost - 1e-9
+            # Relative tolerance: the DP accumulates costs incrementally
+            # in bit order while the evaluator sums per-prefix, so equal
+            # plans can differ by float rounding proportional to the cost.
+            assert greedy.cost >= dp.cost - 1e-9 * max(1.0, dp.cost)
 
     def test_single_table(self):
         query = Query(tables=(Table("R", 10),))

@@ -1,0 +1,311 @@
+"""Cooperative cancellation and basis-snapshot validation tests.
+
+The cancellation contract, top to bottom: a :class:`CancelToken` polled
+in the simplex pivot loop raises :class:`CancelledError`, the
+branch-and-bound absorbs it at the node boundary (no HiGHS fallback for
+a *cancelled* LP), the search stops at the next budget poll with the
+incumbent preserved, and ``session_stats["cancelled"]`` records the
+reason.  Alongside: :meth:`SimplexSession.install_basis` must reject —
+not crash on — every corruption class the fault injector produces.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import faultinject
+from repro.cancel import CancelToken
+from repro.exceptions import CancelledError, SolverError
+from repro.milp import (
+    BranchAndBoundSolver,
+    LPStatus,
+    Model,
+    RevisedSimplexBackend,
+    SolveStatus,
+    SolverOptions,
+    lin_sum,
+    to_standard_form,
+)
+from repro.workloads import QueryGenerator
+from repro.core.formulation import JoinOrderFormulation
+
+
+def star_model(tables=6, seed=0):
+    query = QueryGenerator(seed=seed).generate("star", tables)
+    return JoinOrderFormulation(query).model
+
+
+def triangle_model():
+    m = Model("triangle")
+    x = [m.add_binary(f"x{i}") for i in range(3)]
+    m.add_le(x[0] + x[1], 1, "e01")
+    m.add_le(x[1] + x[2], 1, "e12")
+    m.add_le(x[0] + x[2], 1, "e02")
+    m.set_objective(lin_sum(-1 * v for v in x))
+    return m
+
+
+class TestCancelToken:
+    def test_explicit_cancel_first_reason_wins(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled and token.cancel_requested
+        assert token.reason == "first"
+
+    def test_deadline_expiry_is_cancellation(self):
+        token = CancelToken(deadline=time.monotonic() - 1.0)
+        assert token.cancelled and token.expired
+        assert not token.cancel_requested
+        assert token.reason == "deadline expired"
+
+    def test_check_raises_with_reason(self):
+        token = CancelToken()
+        token.check()  # no-op while live
+        token.cancel("abandoned")
+        with pytest.raises(CancelledError, match="abandoned"):
+            token.check()
+
+    def test_wait_wakes_early_on_cancel(self):
+        token = CancelToken()
+        token.cancel()
+        started = time.monotonic()
+        assert token.wait(5.0)
+        assert time.monotonic() - started < 1.0
+
+    def test_wait_clamps_to_deadline(self):
+        token = CancelToken(deadline=time.monotonic() + 0.05)
+        started = time.monotonic()
+        assert token.wait(5.0)
+        assert time.monotonic() - started < 1.0
+
+
+class TestSolverCancellation:
+    def test_pre_cancelled_token_stops_before_the_root(self):
+        token = CancelToken()
+        token.cancel("abandoned")
+        solver = BranchAndBoundSolver(
+            star_model(6), SolverOptions(cancel_token=token)
+        )
+        started = time.monotonic()
+        solution = solver.solve()
+        assert time.monotonic() - started < 2.0
+        assert solution.status in (
+            SolveStatus.NO_SOLUTION, SolveStatus.FEASIBLE
+        )
+        assert solution.session_stats["cancelled"] == "abandoned"
+
+    def test_deadline_token_stops_mid_solve(self):
+        token = CancelToken(deadline=time.monotonic() + 0.3)
+        solver = BranchAndBoundSolver(
+            star_model(7),
+            SolverOptions(time_limit=60.0, cancel_token=token),
+        )
+        started = time.monotonic()
+        solution = solver.solve()
+        elapsed = time.monotonic() - started
+        # Far below the 60s budget: the token stopped the search.  The
+        # poll is amortized over 64 pivots, so allow generous slack.
+        assert elapsed < 10.0
+        assert solution.session_stats["cancelled"] == "deadline expired"
+
+    def test_uncancelled_token_changes_nothing(self):
+        token = CancelToken()
+        with_token = BranchAndBoundSolver(
+            star_model(5), SolverOptions(cancel_token=token)
+        ).solve()
+        without = BranchAndBoundSolver(
+            star_model(5), SolverOptions()
+        ).solve()
+        assert with_token.status is without.status
+        assert with_token.objective == pytest.approx(without.objective)
+        assert "cancelled" not in with_token.session_stats
+
+    def test_cancelled_lp_does_not_fall_back_to_highs(self):
+        # A cancelled node LP is dropped, not retried on HiGHS: the
+        # fallback machinery is for solver faults, not abandonment.
+        token = CancelToken()
+        solver = BranchAndBoundSolver(
+            star_model(6), SolverOptions(cancel_token=token)
+        )
+        token.cancel("abandoned")
+        solution = solver.solve()
+        stats = solution.session_stats
+        assert stats.get("fallback_solves", 0) == 0
+
+
+class TestInstallBasisValidation:
+    def _session_with_basis(self, model=None):
+        model = model or triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = RevisedSimplexBackend().create_session(form)
+        session.set_bounds(lb, ub)
+        session.solve()
+        return session, session.export_basis()
+
+    def test_valid_roundtrip_still_accepted(self):
+        session, basis = self._session_with_basis()
+        assert session.install_basis(basis)
+
+    def test_truncated_basic_rejected(self):
+        from dataclasses import replace
+
+        session, basis = self._session_with_basis()
+        bad = replace(basis, basic=basis.basic[:-1].copy())
+        assert not session.install_basis(bad)
+
+    def test_out_of_range_index_rejected(self):
+        from dataclasses import replace
+
+        session, basis = self._session_with_basis()
+        poisoned = basis.basic.copy()
+        poisoned[0] = basis.status.size + 17
+        assert not session.install_basis(replace(basis, basic=poisoned))
+
+    def test_duplicate_index_rejected(self):
+        from dataclasses import replace
+
+        session, basis = self._session_with_basis()
+        if basis.basic.size < 2:
+            pytest.skip("needs at least two basic columns")
+        poisoned = basis.basic.copy()
+        poisoned[1] = poisoned[0]
+        assert not session.install_basis(replace(basis, basic=poisoned))
+
+    def test_invalid_status_code_rejected(self):
+        from dataclasses import replace
+
+        session, basis = self._session_with_basis()
+        poisoned = basis.status.copy()
+        poisoned[0] = 9
+        assert not session.install_basis(replace(basis, status=poisoned))
+
+    def test_nan_poisoned_float_array_rejected(self):
+        from dataclasses import replace
+
+        session, basis = self._session_with_basis()
+        poisoned = basis.status.astype(float)
+        poisoned[0] = float("nan")
+        assert not session.install_basis(replace(basis, status=poisoned))
+
+    def test_rejected_basis_leaves_session_solvable(self):
+        from dataclasses import replace
+
+        session, basis = self._session_with_basis()
+        bad = replace(basis, basic=basis.basic[:-1].copy())
+        assert not session.install_basis(bad)
+        assert session.solve().status is LPStatus.OPTIMAL
+
+    def test_every_corruption_mode_is_rejected(self):
+        import random
+
+        session, basis = self._session_with_basis()
+        rejected = 0
+        for draw in range(32):
+            corrupted = faultinject.corrupt_basis(
+                basis, random.Random(draw)
+            )
+            if not session.install_basis(corrupted):
+                rejected += 1
+        assert rejected == 32
+        assert session.solve().status is LPStatus.OPTIMAL
+
+
+class TestFaultHooksAtTheSolver:
+    def test_injected_simplex_error_reroutes_to_highs(self):
+        plan = faultinject.FaultPlan(seed=1, specs=[
+            faultinject.FaultSpec(
+                site=faultinject.SIMPLEX_SOLVE, kind="error",
+                at=(1,), message="chaos",
+            ),
+        ])
+        with faultinject.inject(plan):
+            solution = BranchAndBoundSolver(
+                triangle_model(), SolverOptions(backend="simplex")
+            ).solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        stats = solution.session_stats
+        assert stats["fallback_reasons"]["simplex-error"] == 1
+        assert plan.total_injected() == 1
+
+    def test_injected_simplex_exception_reroutes_with_its_own_reason(self):
+        plan = faultinject.FaultPlan(seed=1, specs=[
+            faultinject.FaultSpec(
+                site=faultinject.SIMPLEX_SOLVE, kind="exception",
+                at=(1,), message="chaos",
+            ),
+        ])
+        with faultinject.inject(plan):
+            solution = BranchAndBoundSolver(
+                triangle_model(), SolverOptions(backend="simplex")
+            ).solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.session_stats["fallback_reasons"] == {
+            "simplex-exception": 1
+        }
+
+    def test_fallback_reasons_preserve_first_occurrence_order(self):
+        # An exception on the first LP and an ERROR on a later one: the
+        # reason map must list keys in the order the search first met
+        # them (insertion order is the session_stats contract).
+        plan = faultinject.FaultPlan(seed=1, specs=[
+            faultinject.FaultSpec(
+                site=faultinject.SIMPLEX_SOLVE, kind="exception", at=(1,),
+            ),
+            faultinject.FaultSpec(
+                site=faultinject.SIMPLEX_SOLVE, kind="error", at=(3,),
+            ),
+        ])
+        with faultinject.inject(plan):
+            solution = BranchAndBoundSolver(
+                star_model(5), SolverOptions(backend="simplex")
+            ).solve()
+        reasons = solution.session_stats["fallback_reasons"]
+        assert list(reasons) == ["simplex-exception", "simplex-error"]
+        assert plan.total_injected() == 2
+
+    def test_injected_highs_exception_surfaces_as_solver_error(self):
+        from repro.milp import ScipyHighsBackend
+
+        plan = faultinject.FaultPlan(seed=1, specs=[
+            faultinject.FaultSpec(
+                site=faultinject.HIGHS_SOLVE, kind="exception", at=(1,),
+            ),
+        ])
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        with faultinject.inject(plan):
+            with pytest.raises(SolverError, match="injected"):
+                ScipyHighsBackend().solve(form, lb, ub)
+
+    def test_pool_fetch_corruption_is_contained(self):
+        # A corrupted pool basis must be rejected by install_basis; the
+        # pool's own pristine copy survives for the next fetch.
+        from repro.milp import BasisExchangePool
+
+        model = triangle_model()
+        form = to_standard_form(model)
+        lb, ub = model.bounds_arrays()
+        session = RevisedSimplexBackend().create_session(form)
+        session.set_bounds(lb, ub)
+        session.solve()
+        pool = BasisExchangePool()
+        pool.publish(session.export_basis())
+
+        plan = faultinject.FaultPlan(seed=3, specs=[
+            faultinject.FaultSpec(
+                site=faultinject.POOL_FETCH, kind="corrupt", at=(1,),
+            ),
+        ])
+        with faultinject.inject(plan):
+            corrupted = pool.fetch()
+        assert corrupted is not None
+        fresh = RevisedSimplexBackend().create_session(form)
+        fresh.set_bounds(lb, ub)
+        assert not fresh.install_basis(corrupted)
+        clean = pool.fetch()  # plan cleared: pristine again
+        assert fresh.install_basis(clean)

@@ -1,0 +1,433 @@
+"""Tests for :mod:`repro.serve.resilience` and the server's fault paths.
+
+Covers the retry policy (deterministic jitter, transient-only retries),
+the circuit breaker state machine under an injected clock, the
+degradation ladder (honest statuses, degradation records, stub-only
+registries exhausting to FAILED), cooperative cancellation through
+:meth:`ServeTicket.cancel`, the watchdog's wedged-worker write-off, and
+the ``degraded_budget`` boundary cases.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    OptimizerRegistry,
+    OptimizerService,
+    OptimizerSettings,
+)
+from repro.api.result import PlanResult
+from repro.exceptions import SolverError
+from repro.milp.solution import SolveStatus
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import LeftDeepPlan
+from repro.serve import (
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    OptimizationServer,
+    RequestStatus,
+    ResilientExecutor,
+    RetryPolicy,
+    ServeRequest,
+    degraded_budget,
+    size_class,
+)
+from repro.workloads import QueryGenerator
+
+
+def make_query(tables=4, seed=0, topology="star"):
+    return QueryGenerator(seed=seed).generate(topology, tables)
+
+
+def plan_result(query, name="stub", status=SolveStatus.FEASIBLE, plan=True):
+    built = None
+    if plan:
+        built = LeftDeepPlan.from_order(
+            query, [t.name for t in query.tables], JoinAlgorithm.HASH
+        )
+    return PlanResult(
+        algorithm=name,
+        query=query,
+        plan=built,
+        status=status,
+        objective=1.0,
+        true_cost=1.0,
+    )
+
+
+class FlakyStub:
+    """Raises ``failures`` times (the given error), then succeeds."""
+
+    honors_time_limit = True
+
+    def __init__(self, name="flaky", failures=0, error=SolverError):
+        self.name = name
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, settings):
+        return self
+
+    def optimize(self, query, *, time_limit=None, cancel_token=None):
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+        if call <= self.failures:
+            raise self.error(f"attempt {call} failed")
+        return plan_result(query, self.name)
+
+
+def make_service(*stubs):
+    registry = OptimizerRegistry()
+    for stub in stubs:
+        registry.register(stub.name, stub)
+    return OptimizerService(
+        settings=OptimizerSettings(), registry=registry
+    )
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+class TestRetryPolicy:
+    def test_jitter_is_deterministic_per_seed(self):
+        a, b = RetryPolicy(seed=7), RetryPolicy(seed=7)
+        ra, rb = a.rng(), b.rng()
+        assert [a.delay(k, ra) for k in (1, 2, 3)] == [
+            b.delay(k, rb) for k in (1, 2, 3)
+        ]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+        )
+        rng = policy.rng()
+        assert policy.delay(1, rng) == pytest.approx(0.1)
+        assert policy.delay(2, rng) == pytest.approx(0.2)
+        assert policy.delay(3, rng) == pytest.approx(0.3)
+        assert policy.delay(5, rng) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()          # the probe slot
+        assert not breaker.allow()      # only one probe at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert not breaker.allow()      # timeout restarted
+        assert breaker.as_dict()["opens"] == 2
+
+    def test_board_keys_by_algorithm_and_size(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.get("milp", "small").record_failure()
+        assert board.get("milp", "small").state is BreakerState.OPEN
+        assert board.get("milp", "large").state is BreakerState.CLOSED
+        assert "milp/small" in board.as_dict()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSizeClass:
+    def test_buckets(self):
+        assert size_class(make_query(4)) == "small"
+        assert size_class(make_query(12)) == "medium"
+        assert size_class(make_query(18, topology="chain")) == "large"
+
+
+class TestDegradationLadder:
+    def test_transient_failures_are_retried(self):
+        stub = FlakyStub(failures=2)
+        executor = ResilientExecutor(
+            make_service(stub), retry=FAST_RETRY
+        )
+        outcome = executor.execute(make_query(), "flaky")
+        assert outcome.result is not None
+        assert stub.calls == 3
+        assert outcome.retries == 2
+        assert outcome.degraded
+        record = outcome.result.diagnostics["degradation"]
+        assert record["requested"] == "flaky"
+        assert [a["outcome"] for a in record["attempts"]] == [
+            "transient: attempt 1 failed",
+            "transient: attempt 2 failed",
+            "ok",
+        ]
+
+    def test_clean_first_attempt_carries_no_degradation_record(self):
+        executor = ResilientExecutor(
+            make_service(FlakyStub(failures=0)), retry=FAST_RETRY
+        )
+        outcome = executor.execute(make_query(), "flaky")
+        assert not outcome.degraded
+        assert "degradation" not in outcome.result.diagnostics
+
+    def test_nontransient_failure_is_not_retried(self):
+        stub = FlakyStub(failures=5, error=RuntimeError)
+        executor = ResilientExecutor(
+            make_service(stub), retry=FAST_RETRY
+        )
+        outcome = executor.execute(make_query(), "flaky")
+        assert stub.calls == 1
+        assert outcome.result is None
+        assert "attempt 1 failed" in outcome.error
+
+    def test_ladder_falls_back_to_greedy(self):
+        stub = FlakyStub(failures=99, error=RuntimeError)
+        service = make_service(stub)
+        from repro.api.adapters import GreedyAdapter
+        service.registry.register("greedy", GreedyAdapter)
+        executor = ResilientExecutor(service, retry=FAST_RETRY)
+        outcome = executor.execute(make_query(), "flaky")
+        assert outcome.result is not None
+        assert outcome.result.algorithm == "greedy"
+        assert outcome.degraded
+        rungs = [
+            a["rung"]
+            for a in outcome.result.diagnostics["degradation"]["attempts"]
+        ]
+        assert rungs == ["warm", "last-resort"]
+
+    def test_stub_only_registry_exhausts_to_failure(self):
+        # No greedy registered: the ladder has nowhere to descend.
+        executor = ResilientExecutor(
+            make_service(FlakyStub(failures=99, error=RuntimeError)),
+            retry=FAST_RETRY,
+        )
+        outcome = executor.execute(make_query(), "flaky")
+        assert outcome.result is None
+        assert outcome.error is not None
+
+    def test_infeasible_is_passed_through_not_laddered(self):
+        class Infeasible(FlakyStub):
+            def optimize(self, query, *, time_limit=None, cancel_token=None):
+                self.calls += 1
+                return plan_result(
+                    query, self.name,
+                    status=SolveStatus.INFEASIBLE, plan=False,
+                )
+
+        stub = Infeasible(name="inf")
+        service = make_service(stub)
+        from repro.api.adapters import GreedyAdapter
+        service.registry.register("greedy", GreedyAdapter)
+        executor = ResilientExecutor(service, retry=FAST_RETRY)
+        outcome = executor.execute(make_query(), "inf")
+        assert outcome.result.status is SolveStatus.INFEASIBLE
+        assert stub.calls == 1  # determinate answer: no retries, no ladder
+
+    def test_open_breaker_skips_straight_to_fallback(self):
+        clock = FakeClock()
+        stub = FlakyStub(failures=99, error=RuntimeError)
+        service = make_service(stub)
+        from repro.api.adapters import GreedyAdapter
+        service.registry.register("greedy", GreedyAdapter)
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        executor = ResilientExecutor(
+            service, retry=FAST_RETRY, breakers=board
+        )
+        query = make_query()
+        executor.execute(query, "flaky")   # trips the breaker
+        assert stub.calls == 1
+        outcome = executor.execute(query, "flaky", use_cache=False)
+        assert stub.calls == 1             # rung skipped outright
+        assert outcome.result.algorithm == "greedy"
+        attempts = outcome.result.diagnostics["degradation"]["attempts"]
+        assert attempts[0]["outcome"] == "breaker-open"
+
+    def test_breaker_half_open_probe_recovers(self):
+        clock = FakeClock()
+        stub = FlakyStub(failures=1, error=RuntimeError)
+        service = make_service(stub)
+        board = BreakerBoard(
+            failure_threshold=1, reset_timeout=30.0, clock=clock
+        )
+        executor = ResilientExecutor(
+            service, retry=RetryPolicy(max_attempts=1), breakers=board
+        )
+        query = make_query()
+        assert executor.execute(query, "flaky").result is None
+        clock.advance(30.0)
+        outcome = executor.execute(query, "flaky", use_cache=False)
+        assert outcome.result is not None  # probe succeeded
+        breaker = board.get("flaky", size_class(query))
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestServerFaultPaths:
+    def test_ticket_cancel_on_queued_request(self):
+        stub = FlakyStub(failures=0)
+        stub.name = "stub"
+        service = make_service(stub)
+
+        class Slow(FlakyStub):
+            def optimize(self, query, *, time_limit=None, cancel_token=None):
+                time.sleep(0.3)
+                return super().optimize(
+                    query, time_limit=time_limit, cancel_token=cancel_token
+                )
+
+        slow = Slow(name="slow")
+        service.registry.register("slow", slow)
+        with OptimizationServer(service=service, workers=1) as server:
+            busy = server.submit(make_query(seed=1), "slow")
+            victim = server.submit(make_query(seed=2), "stub")
+            victim.cancel("changed my mind")
+            outcome = victim.result(10)
+            assert outcome.status is RequestStatus.CANCELLED
+            assert "changed my mind" in outcome.error
+            assert busy.result(10).ok
+        assert server.metrics_snapshot()["requests"]["cancelled"] == 1
+
+    def test_watchdog_writes_off_wedged_worker(self):
+        release = threading.Event()
+
+        class Wedged(FlakyStub):
+            def optimize(self, query, *, time_limit=None, cancel_token=None):
+                release.wait(20)  # ignores cancellation: simulated wedge
+                return super().optimize(query)
+
+        wedged = Wedged(name="wedge")
+        service = make_service(wedged)
+        server = OptimizationServer(
+            service=service, workers=1,
+            watchdog_interval=0.05, wedge_grace=0.2,
+        ).start()
+        try:
+            ticket = server.submit(make_query(), "wedge", deadline=0.2)
+            outcome = ticket.result(15)
+            assert outcome.status is RequestStatus.TIMED_OUT
+            assert "wedged" in outcome.error
+            snapshot = server.metrics_snapshot()
+            assert snapshot["resilience"]["workers_replaced"] == 1
+            assert snapshot["errors"].get("type=WedgedWorker") == 1
+            # The replacement worker keeps serving.
+            wedged2 = FlakyStub(name="ok")
+            service.registry.register("ok", wedged2)
+            assert server.submit(make_query(seed=3), "ok").result(10).ok
+        finally:
+            release.set()
+            server.stop(drain=False, timeout=5)
+
+    def test_stop_resolves_requests_held_by_wedged_worker(self):
+        release = threading.Event()
+
+        class Stuck(FlakyStub):
+            def optimize(self, query, *, time_limit=None, cancel_token=None):
+                release.wait(20)
+                return super().optimize(query)
+
+        service = make_service(Stuck(name="stuck"))
+        server = OptimizationServer(
+            service=service, workers=1, wedge_grace=60.0,
+        ).start()
+        inflight = server.submit(make_query(seed=1), "stuck")
+        time.sleep(0.3)  # let the worker pick it up
+        queued = server.submit(make_query(seed=2), "stuck")
+        server.stop(drain=False, timeout=0.5)
+        release.set()
+        assert inflight.result(5).status is RequestStatus.TIMED_OUT
+        assert queued.result(5).status is RequestStatus.REJECTED
+
+    def test_retry_metrics_reach_the_snapshot(self):
+        stub = FlakyStub(failures=1)
+        stub.name = "stub"
+        service = make_service(stub)
+        with OptimizationServer(
+            service=service, workers=1,
+            retry_policy=FAST_RETRY,
+        ) as server:
+            assert server.optimize(make_query(), "stub", timeout=15).ok
+        snapshot = server.metrics_snapshot()["resilience"]
+        assert snapshot["retries"] == 1
+        assert snapshot["ladder_descents"] == 1
+
+
+class TestDegradedBudgetBoundaries:
+    def _request(self, deadline_in):
+        request = ServeRequest(query=make_query(), algorithm="stub")
+        request.deadline = request.submitted + deadline_in
+        return request
+
+    def test_expired_deadline_returns_zero(self):
+        request = self._request(-1.0)
+        assert degraded_budget(request, 30.0) == 0.0
+
+    def test_exactly_min_budget_is_kept(self):
+        request = self._request(10.0)
+        now = request.deadline - 10.0
+        # usable = remaining * safety = 10 * 0.9 = 9.0 >= min_budget
+        budget = degraded_budget(
+            request, 30.0, safety=0.9, min_budget=9.0, now=now
+        )
+        assert budget == pytest.approx(9.0)
+
+    def test_just_below_min_budget_times_out(self):
+        request = self._request(10.0)
+        now = request.deadline - 10.0
+        budget = degraded_budget(
+            request, 30.0, safety=0.9, min_budget=9.0 + 1e-9, now=now
+        )
+        assert budget == 0.0
+
+    def test_zero_remaining_is_zero_not_negative(self):
+        request = self._request(5.0)
+        budget = degraded_budget(request, 30.0, now=request.deadline)
+        assert budget == 0.0
