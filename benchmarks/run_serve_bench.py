@@ -23,12 +23,21 @@ Two phases are recorded:
   shared :class:`~repro.milp.lp_backend.BasisExchangePool` gives
   cross-query warm starts: the LP warm ratio and pool hit counts join
   the tracked trajectory.
+* ``restart_recovery`` — the :mod:`repro.store` payoff: one server
+  lifetime populates a plan store, then the *same* first post-restart
+  window is replayed against a cold restart (no store) and a
+  store-warmed restart.  Tracked per restart: window wall time, p50
+  latency, time-to-p50-floor (how long until the running median drops
+  to the primed steady state), and the first-window LP warm ratio —
+  the basis-pool hit rate over the window's root LP solves.  The
+  store-warmed restart must reach the p50 floor and at least double
+  the cold restart's warm ratio.
 
 Usage::
 
     python benchmarks/run_serve_bench.py [--out PATH] [--clients 8]
         [--requests 20] [--duplicate-rate 0.5] [--arrival closed|bursty]
-        [--skip-milp]
+        [--skip-milp] [--skip-restart]
 """
 
 from __future__ import annotations
@@ -37,7 +46,10 @@ import argparse
 import json
 import platform
 import random
+import shutil
+import statistics
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -50,6 +62,7 @@ from repro.serve import (  # noqa: E402
     Priority,
     RequestStatus,
 )
+from repro.store import open_store  # noqa: E402
 from repro.workloads import QueryGenerator  # noqa: E402
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_serve.json"
@@ -207,6 +220,136 @@ def run_milp_phase(args) -> dict:
     return phase_report(server, client_side)
 
 
+#: Distinct-signature small shapes for the restart window (chain and
+#: star of equal size share a standard form; clique/cycle do not), so
+#: every fresh query in the window exercises its own basis-pool slot.
+RESTART_SHAPES = (
+    ("chain", 3), ("chain", 4), ("chain", 5), ("chain", 6),
+    ("clique", 4), ("clique", 5), ("clique", 6), ("cycle", 4),
+)
+
+
+def _drive_window(server, window) -> dict:
+    """Sequentially drive ``window`` through ``server``; returns
+    per-request latencies and completion marks (seconds since start)."""
+    latencies, marks = [], []
+    started = time.perf_counter()
+    for query in window:
+        before = time.perf_counter()
+        result = server.optimize(query, "milp", timeout=300)
+        after = time.perf_counter()
+        assert result.ok, f"restart window request failed: {result.error}"
+        latencies.append(after - before)
+        marks.append(after - started)
+    return {"latencies": latencies, "marks": marks,
+            "wall_time": marks[-1] if marks else 0.0}
+
+
+def _time_to_p50_floor(latencies, marks, floor: float):
+    """Earliest completion time at which the running median latency is
+    within 1.5x of the primed steady-state p50 (``None`` = never)."""
+    for index in range(2, len(latencies)):
+        if statistics.median(latencies[: index + 1]) <= 1.5 * floor:
+            return marks[index]
+    return None
+
+
+def _restart_window_report(server, driven, floor: float) -> dict:
+    snapshot = server.metrics_snapshot()
+    pool = snapshot.get("basis_pool") or {}
+    fetches = pool.get("hits", 0) + pool.get("misses", 0)
+    warm_ratio = pool.get("hits", 0) / fetches if fetches else 0.0
+    reached = _time_to_p50_floor(
+        driven["latencies"], driven["marks"], floor
+    )
+    return {
+        "wall_time": driven["wall_time"],
+        "p50_latency": statistics.median(driven["latencies"]),
+        "time_to_p50_floor": reached,
+        "reached_p50_floor": reached is not None,
+        "first_window_warm_ratio": warm_ratio,
+        "pool": pool,
+        "lp": snapshot["lp"],
+        "cache_hits": snapshot["cache"]["hits"],
+    }
+
+
+def run_restart_phase(args) -> dict:
+    """Cold vs store-warmed restart over one fixed post-restart window.
+
+    Priming lifetime: solve one query per shape twice (the second pass
+    is all cache hits — that is the steady-state p50 floor), drain-stop
+    so plans and root bases land in the store.  The window replayed
+    against both restarts is 4 repeats of primed queries (plan-cache
+    material) followed by 8 *fresh* queries, one per shape (basis-pool
+    material: the store-warmed restart fetches a replayed basis for
+    every one; the cold restart cold-starts each new signature).
+    """
+    primed = [
+        QueryGenerator(seed=args.seed + 200 + i).generate(t, n)
+        for i, (t, n) in enumerate(RESTART_SHAPES)
+    ]
+    fresh = [
+        QueryGenerator(seed=args.seed + 300 + i).generate(t, n)
+        for i, (t, n) in enumerate(RESTART_SHAPES)
+    ]
+    window = primed[:4] + fresh
+    settings = OptimizerSettings(time_limit=args.milp_budget)
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-store-bench-"))
+    store_path = store_dir / "bench.sqlite"
+    try:
+        # --- Priming lifetime: populate the store. -------------------
+        store = open_store(store_path)
+        with OptimizationServer(
+            settings, workers=args.milp_workers, store=store,
+            flush_interval=9999.0,
+        ) as server:
+            for query in primed:
+                assert server.optimize(query, "milp", timeout=300).ok
+            steady = _drive_window(server, primed)  # all cache hits
+        persisted = store.summary()
+        store.close()
+        floor = statistics.median(steady["latencies"])
+
+        # --- Cold restart: no store, same window. --------------------
+        with OptimizationServer(
+            settings, workers=args.milp_workers,
+        ) as server:
+            cold_driven = _drive_window(server, window)
+            cold = _restart_window_report(server, cold_driven, floor)
+
+        # --- Store-warmed restart: replay, then the same window. -----
+        store = open_store(store_path)
+        with OptimizationServer(
+            settings, workers=args.milp_workers, store=store,
+            flush_interval=9999.0,
+        ) as server:
+            replay = server.metrics_snapshot()["store"]["replay"]
+            warm_driven = _drive_window(server, window)
+            warm = _restart_window_report(server, warm_driven, floor)
+        store.close()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    cold_ratio = cold["first_window_warm_ratio"]
+    warm_ratio = warm["first_window_warm_ratio"]
+    return {
+        "window_requests": len(window),
+        "shapes": [list(shape) for shape in RESTART_SHAPES],
+        "p50_floor": floor,
+        "persisted": {
+            "plans": persisted["plans"], "bases": persisted["bases"],
+        },
+        "replay": replay,
+        "cold": cold,
+        "warm": warm,
+        "warm_ratio_x_cold": (
+            warm_ratio / cold_ratio if cold_ratio else None
+        ),
+        "warm_meets_2x_cold": warm_ratio >= 2.0 * cold_ratio,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
@@ -227,6 +370,7 @@ def main(argv=None) -> int:
     parser.add_argument("--queue-capacity", type=int, default=256)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--skip-milp", action="store_true")
+    parser.add_argument("--skip-restart", action="store_true")
     parser.add_argument("--milp-clients", type=int, default=3)
     parser.add_argument("--milp-requests", type=int, default=4)
     parser.add_argument("--milp-tables", type=int, default=4)
@@ -276,6 +420,29 @@ def main(argv=None) -> int:
         print(f"  throughput {milp['throughput_rps']:.2f} req/s, "
               f"LP warm ratio {server_side['lp']['warm_ratio']:.1%}, "
               f"basis pool {server_side.get('basis_pool')}")
+
+    if not args.skip_restart:
+        print("restart-recovery phase: cold vs store-warmed restart over "
+              f"{len(RESTART_SHAPES)} shapes")
+        restart = run_restart_phase(args)
+        payload["restart_recovery"] = restart
+        cold, warm = restart["cold"], restart["warm"]
+        print(f"  p50 floor {restart['p50_floor'] * 1000:.2f} ms "
+              f"(replayed {restart['replay']['plans']} plans, "
+              f"{restart['replay']['bases']} bases in "
+              f"{restart['replay']['seconds'] * 1000:.0f} ms)")
+        for label, report in (("cold", cold), ("warm", warm)):
+            reached = report["time_to_p50_floor"]
+            print(f"  {label}: window {report['wall_time'] * 1000:.0f} ms, "
+                  f"p50 {report['p50_latency'] * 1000:.1f} ms, "
+                  f"warm ratio {report['first_window_warm_ratio']:.1%}, "
+                  "time-to-p50-floor "
+                  + (f"{reached * 1000:.1f} ms" if reached is not None
+                     else "never"))
+        factor = restart["warm_ratio_x_cold"]
+        print("  store-warmed warm ratio is "
+              + (f"{factor:.1f}x" if factor is not None else ">=2x (cold 0)")
+              + " the cold restart's")
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

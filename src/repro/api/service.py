@@ -135,6 +135,15 @@ class OptimizerService:
         Thread-pool width for :meth:`optimize_batch`.
     max_entries:
         Plan-cache capacity; least-recently-used entries are evicted.
+    store:
+        Optional :class:`repro.store.PlanStore` used write-through /
+        read-through: fresh solves are persisted, in-memory misses
+        consult the store before solving, and
+        :meth:`bump_catalog_version` invalidates stored plans exactly
+        as it purges the in-memory cache.  The store is *advisory* —
+        every store failure degrades to a plain solve, never an error.
+        On construction the service adopts the store's latest catalog
+        version so the version lineage survives process restarts.
 
     Examples
     --------
@@ -153,6 +162,7 @@ class OptimizerService:
         registry: OptimizerRegistry | None = None,
         max_workers: int = 4,
         max_entries: int = 1024,
+        store=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -165,7 +175,13 @@ class OptimizerService:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self.lp_stats = LPSessionStats()
+        self.store = store
         self._catalog_version = 0
+        if store is not None:
+            try:
+                self._catalog_version = int(store.latest_version())
+            except Exception:  # noqa: BLE001 - store is advisory
+                pass
         self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._optimizers: dict[str, Optimizer] = {}
         #: Whether each cached optimizer's ``optimize`` accepts a
@@ -195,7 +211,16 @@ class OptimizerService:
             self._catalog_version += 1
             self.stats.invalidations += len(self._cache)
             self._cache.clear()
-            return self._catalog_version
+            version = self._catalog_version
+        if self.store is not None:
+            # Reclaim stored plans from older versions eagerly; like the
+            # purge above this is housekeeping — the version is part of
+            # every store key, so stale records could never be served.
+            try:
+                self.store.invalidate_below(version)
+            except Exception:  # noqa: BLE001 - store is advisory
+                pass
+        return version
 
     # ------------------------------------------------------------------
     # Optimization
@@ -248,6 +273,10 @@ class OptimizerService:
                     self.stats.hits += 1
                     return entry.result
                 self.stats.misses += 1
+            if self.store is not None:
+                stored = self._store_load(key, version)
+                if stored is not None:
+                    return stored
         fault = faultinject.check(faultinject.SERVICE_OPTIMIZE)
         if fault is not None:
             if fault.kind == "slow":
@@ -266,6 +295,7 @@ class OptimizerService:
             with self._lock:
                 self.lp_stats.absorb(session_stats)
         if use_cache and result.has_plan:
+            stale = False
             with self._lock:
                 if self._catalog_version == version:
                     self._cache[key] = _CacheEntry(result, version)
@@ -273,6 +303,10 @@ class OptimizerService:
                     while len(self._cache) > self.max_entries:
                         self._cache.popitem(last=False)
                         self.stats.evictions += 1
+                else:
+                    stale = True
+            if not stale and self.store is not None:
+                self._store_save(key, version, result)
         return result
 
     def cached_result(
@@ -389,6 +423,117 @@ class OptimizerService:
                     instance
                 )
             return instance
+
+    # ------------------------------------------------------------------
+    # Persistent store (advisory: failures degrade to plain solves)
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self, budget: float | None) -> dict:
+        """Request key material not covered by the store key proper.
+
+        The store keys plans by ``(catalog_version, algorithm,
+        query_signature)``; cost model, precision, seed and budget live
+        *inside* the record and are verified on read — a record written
+        under different settings is a miss, not a wrong answer.
+        """
+        return {
+            "cost_model": self.settings.cost_model,
+            "precision": self.settings.precision,
+            "seed": self.settings.seed,
+            "budget": budget,
+        }
+
+    def _store_load(self, key: tuple, version: int) -> PlanResult | None:
+        """Read-through: decode a stored record for ``key``, install it
+        in the in-memory cache and return it — or ``None``."""
+        from repro.store import serde as store_serde
+
+        budget, signature = key[-2], key[-1]
+        algorithm = key[1]
+        try:
+            payload = self.store.get_plan(version, algorithm, signature)
+        except Exception:  # noqa: BLE001 - store is advisory
+            return None
+        if payload is None:
+            return None
+        try:
+            result, request = store_serde.decode_plan_record(payload)
+        except store_serde.StoreCorruptionError:
+            # Frame passed but the body is malformed: structurally
+            # rotten.  Treat exactly like a frame failure — a miss.
+            return None
+        if request != self._fingerprint(budget):
+            return None
+        with self._lock:
+            if self._catalog_version != version:
+                return None
+            self._cache[key] = _CacheEntry(result, version)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.stats.evictions += 1
+        return result
+
+    def _store_save(self, key: tuple, version: int, result: PlanResult) -> None:
+        """Write-through one fresh result (best-effort)."""
+        from repro.store import serde as store_serde
+
+        budget, signature = key[-2], key[-1]
+        algorithm = key[1]
+        try:
+            payload = store_serde.encode_plan_record(
+                result, self._fingerprint(budget)
+            )
+            self.store.put_plan(version, algorithm, signature, payload)
+        except Exception:  # noqa: BLE001 - store is advisory
+            pass
+
+    def replay_from_store(self, limit: int | None = None) -> int:
+        """Preload the in-memory cache from the store's hottest plans.
+
+        Returns how many plans were installed.  Records whose request
+        fingerprint does not match this service's settings are skipped
+        (they answer different requests), as are corrupt records.  Used
+        by the serving layer's warm-up replay before accepting traffic.
+        """
+        if self.store is None:
+            return 0
+        from repro.store import serde as store_serde
+
+        with self._lock:
+            version = self._catalog_version
+        try:
+            rows = self.store.hot_plans(version, limit)
+        except Exception:  # noqa: BLE001 - store is advisory
+            return 0
+        installed = 0
+        for algorithm, signature, payload in rows:
+            try:
+                result, request = store_serde.decode_plan_record(payload)
+            except store_serde.StoreCorruptionError:
+                continue
+            budget = request.get("budget")
+            if request != self._fingerprint(budget):
+                continue
+            key = (
+                version,
+                algorithm,
+                self.settings.cost_model,
+                self.settings.precision,
+                self.settings.seed,
+                budget,
+                signature,
+            )
+            with self._lock:
+                if self._catalog_version != version:
+                    break
+                if key not in self._cache:
+                    self._cache[key] = _CacheEntry(result, version)
+                    installed += 1
+                    while len(self._cache) > self.max_entries:
+                        self._cache.popitem(last=False)
+                        self.stats.evictions += 1
+        return installed
 
     def cache_size(self) -> int:
         """Number of currently cached plans."""

@@ -42,6 +42,15 @@ Commands
     clique/cycle mixes, configurable duplicate rate and arrival
     pattern) to measure throughput, latency percentiles and
     coalesce/cache/warm ratios.
+    ``--store PATH`` persists plans and basis snapshots across
+    restarts: a restarted server replays the hottest records before
+    accepting traffic (see ``docs/operations.md``, "Persistence & warm
+    restart").
+``store inspect``
+    Summarize a plan store for operators: entries per catalog version
+    and algorithm, size on disk, last compaction::
+
+        python -m repro.cli store inspect /var/lib/repro/plans.db
 ``generate``
     Generate a random query and write it as JSON.
 ``figure1`` / ``figure2`` / ``ablation``
@@ -144,6 +153,37 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-share-bases", action="store_true",
         help="disable the cross-query basis exchange pool",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persist plans and bases at PATH; a restarted server "
+             "replays them before accepting traffic",
+    )
+    serve.add_argument(
+        "--store-backend", default=None, choices=("sqlite", "log"),
+        help="store backend (default: REPRO_STORE_BACKEND or sqlite)",
+    )
+    serve.add_argument(
+        "--replay-budget", type=int, default=None,
+        help="max plans/bases replayed at start "
+             "(default: REPRO_STORE_REPLAY_BUDGET)",
+    )
+
+    store = commands.add_parser(
+        "store", help="operate on a persistent plan store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_commands.add_parser(
+        "inspect", help="summarize a plan store's contents"
+    )
+    inspect.add_argument("path", help="store file to inspect")
+    inspect.add_argument(
+        "--backend", default=None, choices=("sqlite", "log"),
+        help="store backend (default: REPRO_STORE_BACKEND or sqlite)",
+    )
+    inspect.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as machine-readable JSON",
     )
 
     generate = commands.add_parser(
@@ -312,6 +352,11 @@ def _cmd_serve(args) -> int:
         time_limit=args.time_limit,
         precision=args.precision,
     )
+    store = None
+    if args.store:
+        from repro.store import open_store
+
+        store = open_store(args.store, backend=args.store_backend)
     server = OptimizationServer(
         settings,
         workers=args.workers,
@@ -319,11 +364,15 @@ def _cmd_serve(args) -> int:
         default_deadline=args.default_deadline,
         coalesce=not args.no_coalesce,
         share_bases=not args.no_share_bases,
+        store=store,
+        replay_budget=args.replay_budget,
     )
     httpd = make_http_server(server, args.host, args.port)
     host, port = httpd.server_address[:2]
+    persistence = f", store {args.store}" if args.store else ""
     print(f"serving on http://{host}:{port} "
-          f"({args.workers} workers, queue {args.queue_capacity}); "
+          f"({args.workers} workers, queue {args.queue_capacity}"
+          f"{persistence}); "
           f"POST /optimize, GET /metrics, GET /healthz; Ctrl-C to drain")
     try:
         httpd.serve_forever()
@@ -332,6 +381,59 @@ def _cmd_serve(args) -> int:
     finally:
         httpd.shutdown()
         server.stop(drain=True)
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.store import StoreError, open_store
+
+    if args.store_command != "inspect":  # pragma: no cover - argparse
+        return 2
+    from pathlib import Path
+
+    if not Path(args.path).exists():
+        print(f"no store at {args.path}", file=sys.stderr)
+        return 2
+    try:
+        store = open_store(args.path, backend=args.backend)
+    except StoreError as error:
+        print(f"cannot open store: {error}", file=sys.stderr)
+        return 2
+    try:
+        summary = store.summary()
+    finally:
+        store.close()
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"store:            {summary['path']} ({summary['backend']})")
+    print(f"plans:            {summary['plans']} (cap {summary['max_plans']})")
+    print(f"bases:            {summary['bases']}")
+    print(f"size on disk:     {summary['size_bytes']:,} bytes")
+    last = summary.get("last_compaction")
+    if last:
+        import datetime
+
+        stamp = datetime.datetime.fromtimestamp(last).isoformat(
+            sep=" ", timespec="seconds"
+        )
+        print(f"last compaction:  {stamp}")
+    else:
+        print("last compaction:  never")
+    per_version = summary.get("plans_per_catalog_version") or {}
+    if per_version:
+        print("plans per catalog version:")
+        for version, count in per_version.items():
+            print(f"  v{version:<6} {count}")
+    per_algorithm = summary.get("plans_per_algorithm") or {}
+    if per_algorithm:
+        print("plans per algorithm:")
+        for algorithm, count in per_algorithm.items():
+            print(f"  {algorithm:<16} {count}")
     return 0
 
 
@@ -363,6 +465,8 @@ def main(argv=None) -> int:
         return _cmd_algorithms(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "figure1":

@@ -47,10 +47,13 @@ __all__ = [
     "SCHEDULER_OFFER",
     "SERVICE_OPTIMIZE",
     "SIMPLEX_SOLVE",
+    "STORE_GET",
+    "STORE_PUT",
     "active",
     "check",
     "clear",
     "corrupt_basis",
+    "corrupt_payload",
     "inject",
     "install",
 ]
@@ -71,6 +74,10 @@ POOL_FETCH = "pool.fetch"
 SCHEDULER_OFFER = "scheduler.offer"
 #: ``OptimizerService.optimize`` — the API boundary the server calls.
 SERVICE_OPTIMIZE = "service.optimize"
+#: ``repro.store.PlanStore`` reads (plans, bases, replay scans).
+STORE_GET = "store.get"
+#: ``repro.store.PlanStore`` writes (plan and basis upserts).
+STORE_PUT = "store.put"
 
 #: Fault kinds understood by the instrumented sites.
 KINDS = ("exception", "error", "corrupt", "overflow", "slow")
@@ -287,3 +294,24 @@ def corrupt_basis(basis, rng: random.Random):
     if poisoned.size:
         poisoned[rng.randrange(poisoned.size)] = float("nan")
     return replace(basis, status=poisoned)
+
+
+def corrupt_payload(payload: bytes, rng: random.Random) -> bytes:
+    """A deterministically corrupted copy of a serialized record.
+
+    Models at-rest/in-transit byte rot against checksummed store
+    payloads: truncation (torn write), a flipped byte (bit rot), or a
+    garbage prefix (misaligned read).  Every mode breaks the payload's
+    frame checksum, so a validating reader must reject — never
+    misparse — the result.
+    """
+    data = bytes(payload)
+    mode = rng.randrange(3)
+    if mode == 0 and len(data) > 1:  # torn write
+        return data[: rng.randrange(1, len(data))]
+    if mode == 1 and len(data) > 0:  # single flipped byte
+        index = rng.randrange(len(data))
+        flipped = data[index] ^ (1 << rng.randrange(8))
+        return data[:index] + bytes([flipped]) + data[index + 1:]
+    # Garbage prefix: shifts every structure out of alignment.
+    return bytes([rng.randrange(256) for _ in range(7)]) + data

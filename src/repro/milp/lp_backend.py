@@ -100,7 +100,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy.optimize import linprog
@@ -645,6 +645,11 @@ class BasisExchangePool:
         shape is returned (legacy single-form behaviour).  With one,
         only a basis published for exactly that form shape is returned —
         a miss rather than a guaranteed-rejected candidate.
+
+        The returned snapshot is a *defensive copy*: callers own their
+        arrays outright, so a solver mutating its warm-start in place
+        (or a store-seeded snapshot shared by many requests) can never
+        bleed into another request's fetch of the same slot.
         """
         with self._lock:
             if signature is None:
@@ -656,6 +661,11 @@ class BasisExchangePool:
             else:
                 self.hits += 1
         if found is not None:
+            found = replace(
+                found,
+                basic=np.array(found.basic, copy=True),
+                status=np.array(found.status, copy=True),
+            )
             fault = faultinject.check(faultinject.POOL_FETCH)
             if fault is not None and fault.kind == "corrupt":
                 # Models snapshot rot in transit: the pool keeps its
@@ -670,6 +680,26 @@ class BasisExchangePool:
         """Number of distinct form shapes currently held."""
         with self._lock:
             return len(self._by_signature)
+
+    def entries(self) -> "list[tuple[tuple, SimplexBasis]]":
+        """Every held ``(signature, basis)`` pair, oldest first.
+
+        Snapshots are defensive copies like :meth:`fetch` returns.  The
+        serving layer's store flush walks this to persist the pool.
+        """
+        with self._lock:
+            items = list(self._by_signature.items())
+        return [
+            (
+                signature,
+                replace(
+                    basis,
+                    basic=np.array(basis.basic, copy=True),
+                    status=np.array(basis.status, copy=True),
+                ),
+            )
+            for signature, basis in items
+        ]
 
     def as_dict(self) -> dict:
         """JSON-friendly stats snapshot."""

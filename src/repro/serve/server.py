@@ -41,6 +41,8 @@ from repro.api.result import PlanResult
 from repro.cancel import CancelToken
 from repro.milp.branch_and_bound import SolverOptions
 from repro.milp.lp_backend import BasisExchangePool
+from repro.store import basis_key, store_flush_interval, store_replay_budget
+from repro.store import serde as store_serde
 
 from repro.serve.coalesce import RequestCoalescer
 from repro.serve.metrics import MetricsRegistry
@@ -181,6 +183,20 @@ class OptimizationServer:
         configuration.
     cache_entries:
         Plan-cache capacity of the internally built service.
+    store:
+        Optional :class:`repro.store.PlanStore`.  The service serves
+        write-through/read-through from it, and the server adds the
+        lifecycle around it: warm-up replay on :meth:`start` (hot plans
+        into the plan cache, basis snapshots into the exchange pool,
+        bounded by ``replay_budget``, before any worker accepts
+        traffic), periodic flush from the watchdog, and a final flush
+        on ``stop(drain=True)``.  Store failures never fail requests.
+    replay_budget:
+        Maximum plans (and basis snapshots) replayed at start; defaults
+        to ``REPRO_STORE_REPLAY_BUDGET``.
+    flush_interval:
+        Seconds between periodic store flushes; defaults to
+        ``REPRO_STORE_FLUSH_INTERVAL``.
 
     Examples
     --------
@@ -203,6 +219,9 @@ class OptimizationServer:
         share_bases: bool = True,
         service: OptimizerService | None = None,
         cache_entries: int = 1024,
+        store=None,
+        replay_budget: int | None = None,
+        flush_interval: float | None = None,
         budget_safety: float = 0.9,
         min_budget: float = 0.05,
         retry_policy: RetryPolicy | None = None,
@@ -220,6 +239,12 @@ class OptimizationServer:
         self.basis_pool: BasisExchangePool | None = None
         if service is not None:
             self.service = service
+            if store is not None and self.service.store is None:
+                # Attach the store to a caller-built service so the
+                # read/write-through path exists for the replay to feed.
+                self.service.store = store
+            elif store is None:
+                store = self.service.store
         else:
             settings = settings or OptimizerSettings()
             if share_bases:
@@ -229,7 +254,21 @@ class OptimizationServer:
                 settings=settings,
                 max_workers=workers,
                 max_entries=cache_entries,
+                store=store,
             )
+        self.store = store
+        self.replay_budget = (
+            int(replay_budget) if replay_budget is not None
+            else store_replay_budget()
+        )
+        self.flush_interval = (
+            float(flush_interval) if flush_interval is not None
+            else store_flush_interval()
+        )
+        self._last_flush = time.monotonic()
+        #: store.stats values already folded into the metrics counters
+        #: (the counters are monotonic; the sync applies deltas).
+        self._store_synced = {"hits": 0, "writes": 0}
         self.scheduler = DeadlineScheduler(queue_capacity)
         self.coalescer = RequestCoalescer() if coalesce else None
         self.default_deadline = default_deadline
@@ -301,6 +340,16 @@ class OptimizationServer:
             "serve_service_seconds", "optimization time")
         self._total_hist = m.histogram(
             "serve_total_seconds", "submit-to-resolve latency")
+        self._store_hits = m.counter(
+            "store_hits_total", "plan-store reads answered from disk")
+        self._store_writes = m.counter(
+            "store_writes_total", "plan-store records written")
+        self._store_replay_seconds = m.gauge(
+            "store_replay_seconds", "duration of the start-up warm replay")
+        self._store_replayed_plans = m.gauge(
+            "store_replayed_plans", "plans preloaded by the warm replay")
+        self._store_replayed_bases = m.gauge(
+            "store_replayed_bases", "bases preloaded by the warm replay")
 
     @staticmethod
     def _wire_basis_pool(
@@ -324,11 +373,22 @@ class OptimizationServer:
     # ------------------------------------------------------------------
 
     def start(self) -> "OptimizationServer":
-        """Spawn the worker pool and the deadline watchdog (idempotent)."""
+        """Spawn the worker pool and the deadline watchdog (idempotent).
+
+        With a store attached, the warm-up replay runs *before* the
+        first worker exists: the plan cache and the basis pool are
+        seeded from the last durable state, so the very first admitted
+        request can hit a warm cache instead of racing the replay.
+        """
         with self._lock:
             if self._started:
                 return self
             self._started = True
+        if self.store is not None:
+            self._warm_replay()
+        with self._lock:
+            if not self._started:  # stopped during replay
+                return self
             for _ in range(self._num_workers):
                 self._spawn_worker_locked()
             self._watchdog_stop.clear()
@@ -351,6 +411,63 @@ class OptimizationServer:
         thread.start()
         self._workers.append(thread)
         return thread
+
+    def _warm_replay(self) -> None:
+        """Seed the plan cache and basis pool from the store.
+
+        Bounded by :attr:`replay_budget` on each keyspace and entirely
+        best-effort: a throwing or corrupt store leaves the server
+        starting cold, exactly as if no store were attached.  Duration
+        and counts land in the ``store_replay_*`` metrics.
+        """
+        started = time.monotonic()
+        plans = 0
+        bases = 0
+        try:
+            plans = self.service.replay_from_store(self.replay_budget)
+        except Exception as error:  # noqa: BLE001 - replay is best-effort
+            logger.warning("plan replay failed; starting cold: %s", error)
+        if self.basis_pool is not None:
+            try:
+                rows = self.store.bases(self.replay_budget)
+            except Exception as error:  # noqa: BLE001
+                logger.warning(
+                    "basis replay failed; starting cold: %s", error
+                )
+                rows = []
+            for _signature, payload in rows:
+                try:
+                    self.basis_pool.publish(store_serde.decode_basis(payload))
+                    bases += 1
+                except store_serde.StoreCorruptionError:
+                    continue
+        duration = time.monotonic() - started
+        self._store_replay_seconds.set(duration)
+        self._store_replayed_plans.set(plans)
+        self._store_replayed_bases.set(bases)
+        if plans or bases:
+            logger.info(
+                "warm replay: %d plans, %d bases in %.3fs",
+                plans, bases, duration,
+            )
+
+    def _flush_store(self) -> None:
+        """Persist the basis pool and flush the store (best-effort)."""
+        if self.store is None:
+            return
+        if self.basis_pool is not None:
+            for signature, basis in self.basis_pool.entries():
+                try:
+                    self.store.put_basis(
+                        basis_key(signature), store_serde.encode_basis(basis)
+                    )
+                except Exception:  # noqa: BLE001 - flush is best-effort
+                    pass
+        try:
+            self.store.flush()
+        except Exception as error:  # noqa: BLE001
+            logger.warning("store flush failed: %s", error)
+        self._last_flush = time.monotonic()
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Shut the server down; every outstanding future still resolves.
@@ -413,6 +530,13 @@ class OptimizationServer:
                 for follower in self.coalescer.withdraw(request.key):
                     self._resolve_rejection(follower, "server shutting down")
             self._resolve_rejection(request, "server shutting down")
+        if drain:
+            # Graceful exit persists the working set (plans were written
+            # through as they were solved; bases live only in the pool
+            # until here).  A non-drain stop deliberately skips this —
+            # it is the kill-9 rehearsal, and recovery must work from
+            # the last periodic flush alone.
+            self._flush_store()
         with self._lock:
             self._workers.clear()
             self._watchdog_thread = None
@@ -573,6 +697,11 @@ class OptimizationServer:
         """
         while not self._watchdog_stop.wait(self.watchdog_interval):
             now = time.monotonic()
+            if (
+                self.store is not None
+                and now - self._last_flush >= self.flush_interval
+            ):
+                self._flush_store()
             with self._lock:
                 inflight = list(self._inflight.items())
             for thread, request in inflight:
@@ -844,8 +973,29 @@ class OptimizationServer:
     def started(self) -> bool:
         return self._started
 
+    def _sync_store_metrics(self) -> None:
+        """Fold the store's own counters into the metrics registry.
+
+        The store counts internally (it is shared with non-serving
+        callers); the registry counters are monotonic, so the sync
+        applies deltas since the last exposition.
+        """
+        if self.store is None:
+            return
+        stats = self.store.stats
+        for name, counter in (
+            ("hits", self._store_hits),
+            ("writes", self._store_writes),
+        ):
+            current = getattr(stats, name)
+            delta = current - self._store_synced[name]
+            if delta > 0:
+                counter.inc(delta)
+                self._store_synced[name] = current
+
     def metrics_snapshot(self) -> dict:
         """One JSON-friendly view across server, cache, LP and pool."""
+        self._sync_store_metrics()
         requests = self._requests_total.value
         completed = self._completed.value
         coalesced = self._coalesced.value
@@ -897,8 +1047,21 @@ class OptimizationServer:
         }
         if self.basis_pool is not None:
             snapshot["basis_pool"] = self.basis_pool.as_dict()
+        if self.store is not None:
+            try:
+                summary = self.store.summary()
+            except Exception as error:  # noqa: BLE001 - stats must not fail
+                summary = {"error": f"{type(error).__name__}: {error}"}
+            summary["replay"] = {
+                "seconds": self._store_replay_seconds.value,
+                "plans": self._store_replayed_plans.value,
+                "bases": self._store_replayed_bases.value,
+                "budget": self.replay_budget,
+            }
+            snapshot["store"] = summary
         return snapshot
 
     def metrics_text(self) -> str:
         """Prometheus-style text exposition (``GET /metrics``)."""
+        self._sync_store_metrics()
         return self.metrics.expose()

@@ -1,0 +1,96 @@
+"""repro.store — persistent, versioned plan + basis store.
+
+A durable companion to the in-memory serving caches: plan records keyed
+by ``(catalog_version, algorithm, query_signature)`` and simplex-basis
+snapshots keyed by form signature, behind one :class:`PlanStore`
+interface with two backends —
+
+* :class:`SqlitePlanStore` (default): one sqlite file in WAL mode,
+  concurrent readers + single writer, crash-safe by construction;
+* :class:`LogPlanStore`: one append-only log of checksummed records
+  with torn-tail recovery and atomic-rename compaction.
+
+Everything above this package treats the store as *advisory*: a failed
+or corrupt read degrades to a re-solve, a failed write to dropped
+accounting.  Correctness never depends on persistence.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.store.base import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_PLANS,
+    DEFAULT_REPLAY_BUDGET,
+    PlanStore,
+    StoreError,
+    StoreStats,
+    basis_key,
+    store_flush_interval,
+    store_max_plans,
+    store_replay_budget,
+)
+from repro.store.log_store import LogPlanStore
+from repro.store.serde import (
+    SCHEMA_VERSION,
+    StoreCorruptionError,
+    decode_basis,
+    decode_plan_record,
+    encode_basis,
+    encode_plan_record,
+    verify_frame,
+)
+from repro.store.sqlite_store import SqlitePlanStore
+
+__all__ = [
+    "DEFAULT_FLUSH_INTERVAL",
+    "DEFAULT_MAX_PLANS",
+    "DEFAULT_REPLAY_BUDGET",
+    "BACKENDS",
+    "LogPlanStore",
+    "PlanStore",
+    "SCHEMA_VERSION",
+    "SqlitePlanStore",
+    "StoreCorruptionError",
+    "StoreError",
+    "StoreStats",
+    "basis_key",
+    "decode_basis",
+    "decode_plan_record",
+    "encode_basis",
+    "encode_plan_record",
+    "open_store",
+    "store_flush_interval",
+    "store_max_plans",
+    "store_replay_budget",
+    "verify_frame",
+]
+
+#: Backend registry for :func:`open_store` / ``--store-backend``.
+BACKENDS = {
+    "sqlite": SqlitePlanStore,
+    "log": LogPlanStore,
+}
+
+
+def open_store(
+    path: "str | Path",
+    backend: str | None = None,
+    max_plans: int | None = None,
+) -> PlanStore:
+    """Open (creating if needed) a plan store at ``path``.
+
+    Backend selection, most specific wins: the explicit ``backend``
+    argument, then ``REPRO_STORE_BACKEND``, then ``"sqlite"``.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_STORE_BACKEND", "").strip() or "sqlite"
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        raise StoreError(
+            f"unknown store backend {backend!r}; one of "
+            f"{sorted(BACKENDS)}"
+        )
+    return BACKENDS[backend](path, max_plans=max_plans)

@@ -1,0 +1,456 @@
+"""The :class:`PlanStore` contract shared by every persistence backend.
+
+A plan store is a durable, versioned map with two keyspaces:
+
+* ``(catalog_version, algorithm, signature) -> plan payload`` — one
+  framed plan record (see :mod:`repro.store.serde`) per optimized
+  request, where ``signature`` is the service's query signature;
+* ``basis signature -> basis payload`` — one framed simplex-basis
+  snapshot per form shape, mirroring how the
+  :class:`~repro.milp.lp_backend.BasisExchangePool` keys its slots.
+
+The base class owns everything backend-independent: payload integrity
+checks (a record failing :func:`repro.store.serde.verify_frame` is
+dropped and counted, never returned), LRU bookkeeping semantics,
+fault-injection instrumentation (the ``store.get`` / ``store.put``
+sites), and the :class:`StoreStats` counters the serving layer exposes
+as metrics.  Backends implement the ``_raw_*`` primitives.
+
+Durability and invalidation semantics
+-------------------------------------
+* ``put_plan``/``put_basis`` are upserts; eviction keeps at most
+  ``max_plans`` plan records, least-recently-*hit* first (an entry
+  that keeps getting read stays, however old).
+* Catalog versions are part of the plan keyspace, exactly like the
+  in-memory plan cache: a bumped version makes every older entry
+  unmatchable immediately, and :meth:`invalidate_below` reclaims the
+  space.  Basis snapshots survive version bumps deliberately — a basis
+  is advisory (``install_basis`` re-validates every snapshot), so a
+  stale one costs a cold start, never a wrong answer.
+* :meth:`flush` makes previously written records durable;
+  :meth:`compact` additionally reclaims dead space.  A hard kill
+  without either loses at most the writes since the last flush — the
+  store reopens from its last durable state with corrupt/torn records
+  skipped, not crashed on.
+
+Environment knobs (all overridable per-instance)
+------------------------------------------------
+* ``REPRO_STORE_MAX_PLANS`` — plan-record cap before LRU eviction
+  (default :data:`DEFAULT_MAX_PLANS`).
+* ``REPRO_STORE_REPLAY_BUDGET`` — how many hot plans (and basis
+  snapshots) a restarting server replays (default
+  :data:`DEFAULT_REPLAY_BUDGET`).
+* ``REPRO_STORE_FLUSH_INTERVAL`` — seconds between the serving
+  layer's periodic store flushes (default
+  :data:`DEFAULT_FLUSH_INTERVAL`).
+* ``REPRO_STORE_BACKEND`` — default backend for paths without one
+  (``sqlite`` or ``log``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import faultinject
+from repro.exceptions import ReproError
+
+from repro.store import serde
+
+__all__ = [
+    "DEFAULT_FLUSH_INTERVAL",
+    "DEFAULT_MAX_PLANS",
+    "DEFAULT_REPLAY_BUDGET",
+    "PlanStore",
+    "StoreError",
+    "StoreStats",
+    "basis_key",
+    "store_flush_interval",
+    "store_max_plans",
+    "store_replay_budget",
+]
+
+#: Plan-record cap before LRU eviction (``REPRO_STORE_MAX_PLANS``).
+DEFAULT_MAX_PLANS = 4096
+
+#: Hot records replayed on server start (``REPRO_STORE_REPLAY_BUDGET``).
+DEFAULT_REPLAY_BUDGET = 256
+
+#: Seconds between periodic flushes (``REPRO_STORE_FLUSH_INTERVAL``).
+DEFAULT_FLUSH_INTERVAL = 30.0
+
+
+class StoreError(ReproError):
+    """A store backend failed (I/O error, closed store, bad argument).
+
+    The serving layers treat every ``StoreError`` as advisory: a failed
+    read is a miss, a failed write is dropped accounting — requests are
+    never failed because persistence is.
+    """
+
+
+def _env_positive_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise StoreError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise StoreError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def store_max_plans() -> int:
+    """Effective plan cap, honouring ``REPRO_STORE_MAX_PLANS``."""
+    return _env_positive_int("REPRO_STORE_MAX_PLANS", DEFAULT_MAX_PLANS)
+
+
+def store_replay_budget() -> int:
+    """Effective replay budget, honouring ``REPRO_STORE_REPLAY_BUDGET``."""
+    return _env_positive_int(
+        "REPRO_STORE_REPLAY_BUDGET", DEFAULT_REPLAY_BUDGET
+    )
+
+
+def store_flush_interval() -> float:
+    """Effective flush cadence, honouring ``REPRO_STORE_FLUSH_INTERVAL``."""
+    raw = os.environ.get("REPRO_STORE_FLUSH_INTERVAL")
+    if raw is None or not raw.strip():
+        return DEFAULT_FLUSH_INTERVAL
+    try:
+        value = float(raw)
+    except ValueError:
+        raise StoreError(
+            f"REPRO_STORE_FLUSH_INTERVAL must be a number, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise StoreError(
+            f"REPRO_STORE_FLUSH_INTERVAL must be positive, got {value}"
+        )
+    return value
+
+
+def basis_key(signature: "tuple[int, ...]") -> str:
+    """Canonical string key for a form-signature tuple."""
+    return ",".join(str(int(part)) for part in signature)
+
+
+@dataclass
+class StoreStats:
+    """Store-side accounting, exposed through the serving metrics.
+
+    ``corrupt_dropped`` counts records rejected at read time (checksum
+    or schema failures); a growing value after a crash is the torn tail
+    being cleaned up, a growing value in steady state is disk rot.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_dropped: int = 0
+    evictions: int = 0
+    compactions: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_dropped": self.corrupt_dropped,
+            "evictions": self.evictions,
+            "compactions": self.compactions,
+            "errors": self.errors,
+        }
+
+
+class PlanStore:
+    """Abstract durable plan + basis store.
+
+    Subclasses implement the ``_raw_*`` primitives; the public methods
+    here add fault injection, integrity filtering and stats — one
+    instrumentation point shared by every backend.  All public methods
+    are thread-safe (backends lock internally).
+    """
+
+    #: Backend identifier (``"sqlite"`` / ``"log"``), for summaries.
+    backend_name = "abstract"
+
+    def __init__(self, max_plans: int | None = None) -> None:
+        self.max_plans = (
+            int(max_plans) if max_plans is not None else store_max_plans()
+        )
+        if self.max_plans < 1:
+            raise StoreError("max_plans must be >= 1")
+        self.stats = StoreStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public surface (instrumented)
+    # ------------------------------------------------------------------
+
+    def get_plan(
+        self, catalog_version: int, algorithm: str, signature: str
+    ) -> bytes | None:
+        """The stored plan payload for this key, or ``None``.
+
+        A payload that fails frame verification is deleted, counted in
+        ``stats.corrupt_dropped`` and reported as a miss — corruption
+        degrades to a re-solve, never an exception on the serving path.
+        """
+        fault = self._fault(faultinject.STORE_GET)
+        key = (int(catalog_version), str(algorithm), str(signature))
+        payload = self._raw_get_plan(*key)
+        payload = self._checked(
+            payload, lambda: self._raw_delete_plan(*key), fault
+        )
+        with self._stats_lock:
+            if payload is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        if payload is not None:
+            self._raw_touch_plan(*key, now=time.time())
+        return payload
+
+    def put_plan(
+        self,
+        catalog_version: int,
+        algorithm: str,
+        signature: str,
+        payload: bytes,
+    ) -> None:
+        """Upsert one plan record; evicts LRU entries past ``max_plans``."""
+        self._fault(faultinject.STORE_PUT)
+        evicted = self._raw_put_plan(
+            int(catalog_version), str(algorithm), str(signature),
+            bytes(payload), now=time.time(),
+        )
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.evictions += evicted
+
+    def get_basis(self, signature: str) -> bytes | None:
+        """The stored basis payload for a form-signature key, or ``None``."""
+        fault = self._fault(faultinject.STORE_GET)
+        payload = self._raw_get_basis(str(signature))
+        payload = self._checked(
+            payload, lambda: self._raw_delete_basis(str(signature)), fault
+        )
+        with self._stats_lock:
+            if payload is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return payload
+
+    def put_basis(self, signature: str, payload: bytes) -> None:
+        """Upsert one basis snapshot keyed by form signature."""
+        self._fault(faultinject.STORE_PUT)
+        self._raw_put_basis(str(signature), bytes(payload), now=time.time())
+        with self._stats_lock:
+            self.stats.writes += 1
+
+    def hot_plans(
+        self, catalog_version: int, limit: int | None = None
+    ) -> "list[tuple[str, str, bytes]]":
+        """Up to ``limit`` ``(algorithm, signature, payload)`` rows for
+        ``catalog_version``, most-recently-hit first (the replay set).
+
+        Corrupt rows are dropped and skipped, exactly as in
+        :meth:`get_plan`; the returned list only contains payloads that
+        passed frame verification.
+        """
+        fault = self._fault(faultinject.STORE_GET)
+        rows = self._raw_hot_plans(int(catalog_version), limit)
+        out = []
+        for algorithm, signature, payload in rows:
+            checked = self._checked(
+                payload,
+                lambda a=algorithm, s=signature: self._raw_delete_plan(
+                    int(catalog_version), a, s
+                ),
+                fault,
+            )
+            if checked is not None:
+                out.append((algorithm, signature, checked))
+            # One fault visit corrupts at most one record — keeping the
+            # schedule a pure function of call counts, not row counts.
+            fault = None
+        return out
+
+    def bases(
+        self, limit: int | None = None
+    ) -> "list[tuple[str, bytes]]":
+        """Up to ``limit`` ``(signature, payload)`` basis rows, most
+        recently written first; corrupt rows dropped."""
+        fault = self._fault(faultinject.STORE_GET)
+        rows = self._raw_bases(limit)
+        out = []
+        for signature, payload in rows:
+            checked = self._checked(
+                payload,
+                lambda s=signature: self._raw_delete_basis(s),
+                fault,
+            )
+            if checked is not None:
+                out.append((signature, checked))
+            fault = None
+        return out
+
+    def invalidate_below(self, catalog_version: int) -> int:
+        """Delete every plan record from a catalog version older than
+        ``catalog_version``; returns how many were dropped.
+
+        Matches :meth:`OptimizerService.bump_catalog_version` semantics:
+        the version is already part of every key (stale entries could
+        never be served), this merely reclaims their space eagerly.
+        """
+        dropped = self._raw_invalidate_below(int(catalog_version))
+        with self._stats_lock:
+            self.stats.evictions += dropped
+        return dropped
+
+    def latest_version(self) -> int:
+        """Highest catalog version with stored plans (0 when empty).
+
+        A restarting :class:`~repro.api.OptimizerService` adopts this so
+        its version lineage continues across process restarts instead of
+        resetting to 0 and orphaning every stored record.
+        """
+        return self._raw_latest_version()
+
+    def compact(self) -> None:
+        """Reclaim dead space (dropped/overwritten/evicted records)."""
+        self._raw_compact()
+        with self._stats_lock:
+            self.stats.compactions += 1
+
+    def flush(self) -> None:
+        """Make every previously written record durable."""
+        self._raw_flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources (idempotent)."""
+        self._raw_close()
+
+    def summary(self) -> dict:
+        """Operator-facing contents summary (``repro store inspect``,
+        ``GET /stats``): entries per catalog version and per algorithm,
+        bytes on disk, basis count, last compaction time."""
+        summary = self._raw_summary()
+        summary["backend"] = self.backend_name
+        summary["max_plans"] = self.max_plans
+        summary["stats"] = self.stats.as_dict()
+        return summary
+
+    def __enter__(self) -> "PlanStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _fault(self, site: str):
+        """Fire the fault-injection site shared by all backends.
+
+        ``exception``/``error`` raise :class:`StoreError` (the callers'
+        advisory failure type — for a store an unreadable backend *is*
+        the error); ``slow`` stalls.  A ``corrupt`` spec is returned to
+        the caller, which applies it to the payload it reads (see
+        :meth:`_checked`), modelling rot on the read path while the
+        backend keeps its pristine copy.
+        """
+        fault = faultinject.check(site)
+        if fault is None:
+            return None
+        if fault.kind == "slow":
+            time.sleep(fault.delay)
+        elif fault.kind in ("exception", "error"):
+            with self._stats_lock:
+                self.stats.errors += 1
+            raise StoreError(f"injected: {fault.message}")
+        return fault
+
+    def _checked(self, payload, drop, fault=None) -> bytes | None:
+        """Frame-verify a payload; drop + count the record when corrupt.
+
+        An injected ``corrupt`` fault models rot *in transit*: the
+        caller sees (and must survive) the corruption, but the
+        backend's pristine copy is kept — only genuinely corrupt
+        at-rest records are deleted.
+        """
+        if payload is None:
+            return None
+        in_transit = fault is not None and fault.kind == "corrupt"
+        if in_transit:
+            payload = faultinject.corrupt_payload(
+                payload, faultinject.active().rng_for(fault)
+            )
+        if serde.verify_frame(payload):
+            return payload
+        with self._stats_lock:
+            self.stats.corrupt_dropped += 1
+        if not in_transit:
+            try:
+                drop()
+            except Exception:  # noqa: BLE001 - best-effort cleanup
+                pass
+        return None
+
+    # ------------------------------------------------------------------
+    # Backend primitives
+    # ------------------------------------------------------------------
+
+    def _raw_get_plan(self, version, algorithm, signature):
+        raise NotImplementedError
+
+    def _raw_touch_plan(self, version, algorithm, signature, now):
+        raise NotImplementedError
+
+    def _raw_put_plan(self, version, algorithm, signature, payload, now):
+        """Upsert; returns how many records were LRU-evicted."""
+        raise NotImplementedError
+
+    def _raw_delete_plan(self, version, algorithm, signature):
+        raise NotImplementedError
+
+    def _raw_get_basis(self, signature):
+        raise NotImplementedError
+
+    def _raw_put_basis(self, signature, payload, now):
+        raise NotImplementedError
+
+    def _raw_delete_basis(self, signature):
+        raise NotImplementedError
+
+    def _raw_hot_plans(self, version, limit):
+        raise NotImplementedError
+
+    def _raw_bases(self, limit):
+        raise NotImplementedError
+
+    def _raw_invalidate_below(self, version):
+        raise NotImplementedError
+
+    def _raw_latest_version(self):
+        raise NotImplementedError
+
+    def _raw_compact(self):
+        raise NotImplementedError
+
+    def _raw_flush(self):
+        raise NotImplementedError
+
+    def _raw_close(self):
+        raise NotImplementedError
+
+    def _raw_summary(self):
+        raise NotImplementedError

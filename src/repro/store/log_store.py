@@ -1,0 +1,361 @@
+"""Append-only log :class:`PlanStore` backend.
+
+One file of framed records, each a checksummed operation::
+
+    magic(4) | op(1) | key_len(u32) | val_len(u32) | crc32(u32) | key | val
+
+where ``crc32`` covers ``op + key + val``.  Writes are pure appends
+(upserts and deletes alike), so the write path never seeks and a crash
+can only damage the *tail* of the file.  On open the log is replayed
+into an in-memory index; replay stops at the first record that fails
+framing or checksum — everything after a torn write is unreachable
+anyway — and the file is truncated back to the last good offset so
+subsequent appends extend a clean log.
+
+Compaction rewrites the live index into a fresh file and atomically
+renames it over the log, reclaiming space from superseded and deleted
+records.  Payload values are the framed blobs from
+:mod:`repro.store.serde`; record-level CRCs here protect the log
+structure, the payload frames protect the contents — a mid-file bitflip
+fails the record CRC and the record is skipped (its key keeps its
+previous value), not crashed on.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+import zlib
+from pathlib import Path
+
+from repro.store.base import PlanStore, StoreError
+
+__all__ = ["LogPlanStore"]
+
+_MAGIC = b"RLG\x01"
+_RECORD = struct.Struct("<4sBIII")  # magic, op, key_len, val_len, crc32
+
+# Record operations.  Keys are UTF-8 strings; the plan keyspace embeds
+# its composite key as "version\x1falgorithm\x1fsignature".
+_OP_PLAN_PUT = 1
+_OP_PLAN_DEL = 2
+_OP_BASIS_PUT = 3
+_OP_BASIS_DEL = 4
+_OP_META = 5
+
+_KEY_SEP = "\x1f"
+
+
+def _plan_key(version: int, algorithm: str, signature: str) -> str:
+    return _KEY_SEP.join((str(int(version)), algorithm, signature))
+
+
+def _split_plan_key(key: str) -> "tuple[int, str, str]":
+    version, algorithm, signature = key.split(_KEY_SEP, 2)
+    return int(version), algorithm, signature
+
+
+class _Entry:
+    """In-memory index slot: payload + LRU metadata."""
+
+    __slots__ = ("payload", "created", "last_hit", "hits")
+
+    def __init__(self, payload: bytes, now: float):
+        self.payload = payload
+        self.created = now
+        self.last_hit = now
+        self.hits = 0
+
+
+class LogPlanStore(PlanStore):
+    """Durable plan + basis store over one append-only log file."""
+
+    backend_name = "log"
+
+    def __init__(
+        self, path: "str | Path", max_plans: int | None = None
+    ) -> None:
+        super().__init__(max_plans=max_plans)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._plans: dict[str, _Entry] = {}
+        self._bases: dict[str, _Entry] = {}
+        self._meta: dict[str, str] = {}
+        #: Log records whose effect was later superseded (rewrite fuel).
+        self._dead_records = 0
+        self._torn_tail_dropped = 0
+        try:
+            self._replay()
+            self._file = open(self.path, "ab")
+        except OSError as error:
+            raise StoreError(
+                f"cannot open log store at {self.path}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Log replay and append
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Rebuild the index from the log, truncating any torn tail."""
+        if not self.path.exists():
+            return
+        good_offset = 0
+        now = time.time()
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            if offset + _RECORD.size > len(data):
+                break  # torn header
+            magic, op, key_len, val_len, crc = _RECORD.unpack_from(
+                data, offset
+            )
+            end = offset + _RECORD.size + key_len + val_len
+            if magic != _MAGIC or end > len(data):
+                break  # torn or misaligned record
+            key_bytes = data[offset + _RECORD.size:offset + _RECORD.size + key_len]
+            value = data[offset + _RECORD.size + key_len:end]
+            if zlib.crc32(bytes([op]) + key_bytes + value) != crc:
+                # A mid-file CRC failure cannot be told apart from a torn
+                # tail without trusting the (possibly rotten) length
+                # fields of later records; stop here, like the tail case.
+                break
+            try:
+                key = key_bytes.decode("utf-8")
+            except UnicodeDecodeError:
+                break
+            self._apply(op, key, value, now)
+            offset = end
+            good_offset = offset
+        if good_offset < len(data):
+            self._torn_tail_dropped += 1
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_offset)
+
+    def _apply(self, op: int, key: str, value: bytes, now: float) -> None:
+        """Apply one replayed record to the in-memory index."""
+        if op == _OP_PLAN_PUT:
+            if key in self._plans:
+                self._dead_records += 1
+            self._plans[key] = _Entry(value, now)
+        elif op == _OP_PLAN_DEL:
+            self._dead_records += 1 + (1 if self._plans.pop(key, None) else 0)
+        elif op == _OP_BASIS_PUT:
+            if key in self._bases:
+                self._dead_records += 1
+            self._bases[key] = _Entry(value, now)
+        elif op == _OP_BASIS_DEL:
+            self._dead_records += 1 + (1 if self._bases.pop(key, None) else 0)
+        elif op == _OP_META:
+            self._meta[key] = value.decode("utf-8", "replace")
+        # Unknown ops are skipped: a newer writer may append record
+        # kinds this reader does not understand yet.
+
+    def _append(self, op: int, key: str, value: bytes = b"") -> None:
+        key_bytes = key.encode("utf-8")
+        crc = zlib.crc32(bytes([op]) + key_bytes + value)
+        self._file.write(
+            _RECORD.pack(_MAGIC, op, len(key_bytes), len(value), crc)
+        )
+        self._file.write(key_bytes)
+        self._file.write(value)
+
+    def _guarded(self):
+        if self._closed:
+            raise StoreError(f"store at {self.path} is closed")
+        return self._lock
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def _raw_get_plan(self, version, algorithm, signature):
+        key = _plan_key(version, algorithm, signature)
+        with self._guarded():
+            entry = self._plans.get(key)
+        return entry.payload if entry else None
+
+    def _raw_touch_plan(self, version, algorithm, signature, now):
+        key = _plan_key(version, algorithm, signature)
+        with self._guarded():
+            entry = self._plans.get(key)
+            if entry:
+                entry.last_hit = now
+                entry.hits += 1
+
+    def _raw_put_plan(self, version, algorithm, signature, payload, now):
+        key = _plan_key(version, algorithm, signature)
+        with self._guarded():
+            if key in self._plans:
+                self._dead_records += 1
+            self._plans[key] = _Entry(payload, now)
+            self._append(_OP_PLAN_PUT, key, payload)
+            evicted = 0
+            overflow = len(self._plans) - self.max_plans
+            if overflow > 0:
+                victims = sorted(
+                    self._plans.items(), key=lambda item: item[1].last_hit
+                )[:overflow]
+                for victim_key, _ in victims:
+                    del self._plans[victim_key]
+                    self._append(_OP_PLAN_DEL, victim_key)
+                    self._dead_records += 1
+                    evicted += 1
+            return evicted
+
+    def _raw_delete_plan(self, version, algorithm, signature):
+        key = _plan_key(version, algorithm, signature)
+        with self._guarded():
+            if self._plans.pop(key, None) is not None:
+                self._append(_OP_PLAN_DEL, key)
+                self._dead_records += 2
+
+    def _raw_get_basis(self, signature):
+        with self._guarded():
+            entry = self._bases.get(signature)
+            if entry:
+                entry.last_hit = time.time()
+                entry.hits += 1
+        return entry.payload if entry else None
+
+    def _raw_put_basis(self, signature, payload, now):
+        with self._guarded():
+            if signature in self._bases:
+                self._dead_records += 1
+            self._bases[signature] = _Entry(payload, now)
+            self._append(_OP_BASIS_PUT, signature, payload)
+
+    def _raw_delete_basis(self, signature):
+        with self._guarded():
+            if self._bases.pop(signature, None) is not None:
+                self._append(_OP_BASIS_DEL, signature)
+                self._dead_records += 2
+
+    def _raw_hot_plans(self, version, limit):
+        with self._guarded():
+            rows = [
+                (key, entry)
+                for key, entry in self._plans.items()
+                if _split_plan_key(key)[0] == int(version)
+            ]
+        rows.sort(key=lambda item: item[1].last_hit, reverse=True)
+        if limit is not None:
+            rows = rows[: int(limit)]
+        out = []
+        for key, entry in rows:
+            _, algorithm, signature = _split_plan_key(key)
+            out.append((algorithm, signature, entry.payload))
+        return out
+
+    def _raw_bases(self, limit):
+        with self._guarded():
+            rows = sorted(
+                self._bases.items(),
+                key=lambda item: item[1].last_hit,
+                reverse=True,
+            )
+        if limit is not None:
+            rows = rows[: int(limit)]
+        return [(signature, entry.payload) for signature, entry in rows]
+
+    def _raw_invalidate_below(self, version):
+        with self._guarded():
+            victims = [
+                key
+                for key in self._plans
+                if _split_plan_key(key)[0] < int(version)
+            ]
+            for key in victims:
+                del self._plans[key]
+                self._append(_OP_PLAN_DEL, key)
+                self._dead_records += 2
+            return len(victims)
+
+    def _raw_latest_version(self):
+        with self._guarded():
+            if not self._plans:
+                return 0
+            return max(_split_plan_key(key)[0] for key in self._plans)
+
+    def _raw_compact(self):
+        """Rewrite the live index into a fresh log, atomically renamed.
+
+        The temp file lands in the same directory so the rename never
+        crosses filesystems; a crash mid-compaction leaves the original
+        log untouched.
+        """
+        with self._guarded():
+            self._meta["last_compaction"] = repr(time.time())
+            tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
+            self._file.flush()
+            original = self._file
+            self._file = open(tmp_path, "wb")
+            try:
+                for key, value in self._meta.items():
+                    self._append(_OP_META, key, value.encode("utf-8"))
+                for key, entry in self._plans.items():
+                    self._append(_OP_PLAN_PUT, key, entry.payload)
+                for signature, entry in self._bases.items():
+                    self._append(_OP_BASIS_PUT, signature, entry.payload)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError:
+                self._file.close()
+                self._file = original
+                tmp_path.unlink(missing_ok=True)
+                raise StoreError(f"compaction failed for {self.path}")
+            self._file.close()
+            original.close()
+            os.replace(tmp_path, self.path)
+            self._file = open(self.path, "ab")
+            self._dead_records = 0
+
+    def _raw_flush(self):
+        with self._guarded():
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _raw_close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError:
+                pass
+            self._file.close()
+
+    def _raw_summary(self):
+        with self._guarded():
+            per_version: dict[str, int] = {}
+            per_algorithm: dict[str, int] = {}
+            for key in self._plans:
+                version, algorithm, _ = _split_plan_key(key)
+                per_version[str(version)] = per_version.get(str(version), 0) + 1
+                per_algorithm[algorithm] = per_algorithm.get(algorithm, 0) + 1
+            last_compaction = self._meta.get("last_compaction")
+            summary = {
+                "path": str(self.path),
+                "plans": len(self._plans),
+                "bases": len(self._bases),
+                "plans_per_catalog_version": dict(
+                    sorted(per_version.items(), key=lambda kv: int(kv[0]))
+                ),
+                "plans_per_algorithm": dict(sorted(per_algorithm.items())),
+                "size_bytes": (
+                    self.path.stat().st_size if self.path.exists() else 0
+                ),
+                "last_compaction": (
+                    float(last_compaction) if last_compaction else None
+                ),
+                "dead_records": self._dead_records,
+                "torn_tail_dropped": self._torn_tail_dropped,
+            }
+        return summary

@@ -1,0 +1,354 @@
+"""Stable wire formats for stored plans and basis snapshots.
+
+Two payload kinds cross the persistence boundary:
+
+* **Plan records** — a :class:`~repro.api.PlanResult` plus the *request
+  fingerprint* (cost model, precision, seed, budget) it was produced
+  under, encoded as JSON over the :mod:`repro.catalog.serde` dict
+  representations.  Engine-native diagnostics objects are sanitized
+  down to their JSON-representable subset (a stored plan is a serving
+  artifact, not a debugger snapshot); the dropped keys are recorded so
+  a restored result never silently pretends to carry state it lost.
+* **Basis snapshots** — a :class:`~repro.milp.lp_backend.SimplexBasis`
+  (numpy ``basic``/``status`` arrays plus the form signature), encoded
+  as a JSON header followed by raw little-endian array bytes.
+
+Both are framed identically: a 4-byte magic, a 2-byte schema version
+and a CRC32 of the body.  The frame makes corruption *detectable at
+read time* — a store backend that hits a bad checksum or an unknown
+schema version drops the record and reports a miss, mirroring how
+``SimplexSession.install_basis`` refuses corrupt snapshots instead of
+crashing ten pivots into a solve.  Bump :data:`SCHEMA_VERSION` whenever
+the body layout changes; old readers then reject new records cleanly
+(and vice versa) instead of misparsing them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.catalog.serde import query_from_dict, query_to_dict
+from repro.exceptions import ReproError
+from repro.milp.lp_backend import SimplexBasis
+from repro.milp.solution import IncumbentEvent, SolveStatus
+from repro.plans.operators import JoinAlgorithm
+from repro.plans.plan import JoinStep, LeftDeepPlan
+
+from repro.api.result import PlanResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreCorruptionError",
+    "decode_basis",
+    "decode_plan_record",
+    "encode_basis",
+    "encode_plan_record",
+    "verify_frame",
+]
+
+#: Bump on any change to the framed body layout; readers reject frames
+#: carrying a different version rather than guessing.
+SCHEMA_VERSION = 1
+
+#: Frame magics: plan record / basis snapshot.
+PLAN_MAGIC = b"RPR\x01"
+BASIS_MAGIC = b"RBS\x01"
+
+#: Frame header: magic (4s), schema version (u16), body crc32 (u32).
+_FRAME = struct.Struct("<4sHI")
+
+
+class StoreCorruptionError(ReproError):
+    """A stored record failed checksum, framing or schema validation.
+
+    Store backends catch this, drop the record and report a miss —
+    corruption must degrade to a cold start, never a crash or a wrong
+    answer.
+    """
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def _frame(magic: bytes, body: bytes) -> bytes:
+    return _FRAME.pack(magic, SCHEMA_VERSION, zlib.crc32(body)) + body
+
+
+def _unframe(magic: bytes, blob: bytes) -> bytes:
+    if len(blob) < _FRAME.size:
+        raise StoreCorruptionError(
+            f"record too short ({len(blob)} bytes) for a frame header"
+        )
+    found_magic, version, crc = _FRAME.unpack_from(blob)
+    if found_magic != magic:
+        raise StoreCorruptionError(
+            f"bad magic {found_magic!r} (expected {magic!r})"
+        )
+    if version != SCHEMA_VERSION:
+        raise StoreCorruptionError(
+            f"unsupported schema version {version} "
+            f"(this reader speaks {SCHEMA_VERSION})"
+        )
+    body = blob[_FRAME.size:]
+    if zlib.crc32(body) != crc:
+        raise StoreCorruptionError("checksum mismatch (record corrupt)")
+    return body
+
+
+def verify_frame(blob: bytes) -> bool:
+    """Whether ``blob`` is a well-formed frame of either kind.
+
+    Cheap integrity probe store backends run before handing a payload
+    to callers; a full decode still validates the body structure.
+    """
+    try:
+        if blob[:4] == PLAN_MAGIC:
+            _unframe(PLAN_MAGIC, blob)
+        elif blob[:4] == BASIS_MAGIC:
+            _unframe(BASIS_MAGIC, blob)
+        else:
+            return False
+    except (StoreCorruptionError, IndexError):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Floats (JSON has no inf/nan literals portable across parsers)
+# ----------------------------------------------------------------------
+
+def _num(value: float | None) -> float | str | None:
+    if value is None:
+        return None
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _denum(value: Any) -> float | None:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+def _json_safe(value: Any, depth: int = 0) -> tuple[Any, bool]:
+    """(sanitized value, fully representable?) for diagnostics payloads."""
+    if depth > 6:
+        return None, False
+    if value is None or isinstance(value, (bool, int, str)):
+        return value, True
+    if isinstance(value, float):
+        return _num(value), True
+    if isinstance(value, dict):
+        out = {}
+        clean = True
+        for key, item in value.items():
+            if not isinstance(key, str):
+                clean = False
+                continue
+            safe, ok = _json_safe(item, depth + 1)
+            if ok:
+                out[key] = safe
+            else:
+                clean = False
+        return out, clean
+    if isinstance(value, (list, tuple)):
+        out = []
+        clean = True
+        for item in value:
+            safe, ok = _json_safe(item, depth + 1)
+            if ok:
+                out.append(safe)
+            else:
+                clean = False
+        return out, clean
+    return None, False
+
+
+# ----------------------------------------------------------------------
+# Plan records
+# ----------------------------------------------------------------------
+
+def encode_plan_record(result: PlanResult, request: dict) -> bytes:
+    """Serialize a :class:`PlanResult` plus its request fingerprint.
+
+    ``request`` carries the service-side key material that is not part
+    of the store key proper — ``{"cost_model", "precision", "seed",
+    "budget"}`` — so a reader can verify a record matches its own
+    configuration before serving it.
+    """
+    plan = result.plan
+    diagnostics, complete = _json_safe(result.diagnostics)
+    if not complete:
+        # Record the loss: a restored result must be distinguishable
+        # from the original when engine-native objects were dropped.
+        dropped = sorted(
+            key for key in result.diagnostics
+            if key not in diagnostics
+        )
+        diagnostics["store_dropped_diagnostics"] = dropped
+    body = {
+        "algorithm": result.algorithm,
+        "status": result.status.value,
+        "objective": _num(result.objective),
+        "best_bound": _num(result.best_bound),
+        "true_cost": _num(result.true_cost),
+        "solve_time": result.solve_time,
+        "query": query_to_dict(result.query),
+        "plan": None if plan is None else {
+            "first_table": plan.first_table,
+            "steps": [
+                {"inner_table": step.inner_table,
+                 "algorithm": step.algorithm.value}
+                for step in plan.steps
+            ],
+        },
+        "events": [
+            {"time": event.time, "objective": _num(event.objective),
+             "bound": _num(event.bound), "kind": event.kind}
+            for event in result.events
+        ],
+        "diagnostics": diagnostics,
+        "request": dict(request),
+    }
+    payload = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return _frame(PLAN_MAGIC, payload)
+
+
+def decode_plan_record(blob: bytes) -> tuple[PlanResult, dict]:
+    """Inverse of :func:`encode_plan_record`.
+
+    Raises :class:`StoreCorruptionError` on any framing, checksum or
+    structural defect — never a bare ``KeyError``/``ValueError`` a
+    store backend would have to guess the meaning of.
+    """
+    payload = _unframe(PLAN_MAGIC, blob)
+    try:
+        body = json.loads(payload.decode("utf-8"))
+        query = query_from_dict(body["query"])
+        plan_doc = body["plan"]
+        plan = None
+        if plan_doc is not None:
+            plan = LeftDeepPlan(
+                query,
+                plan_doc["first_table"],
+                tuple(
+                    JoinStep(
+                        inner_table=step["inner_table"],
+                        algorithm=JoinAlgorithm(step["algorithm"]),
+                    )
+                    for step in plan_doc["steps"]
+                ),
+            )
+        result = PlanResult(
+            algorithm=body["algorithm"],
+            query=query,
+            plan=plan,
+            status=SolveStatus(body["status"]),
+            objective=_denum(body["objective"]),
+            best_bound=_denum(body["best_bound"]),
+            true_cost=_denum(body["true_cost"]),
+            solve_time=float(body["solve_time"]),
+            events=[
+                IncumbentEvent(
+                    time=float(event["time"]),
+                    objective=_denum(event["objective"]),
+                    bound=_denum(event["bound"]),
+                    kind=event["kind"],
+                )
+                for event in body["events"]
+            ],
+            diagnostics=body["diagnostics"],
+        )
+        request = body["request"]
+        if not isinstance(request, dict):
+            raise StoreCorruptionError("request fingerprint is not a dict")
+        return result, request
+    except StoreCorruptionError:
+        raise
+    except Exception as error:  # noqa: BLE001 - malformed body
+        raise StoreCorruptionError(
+            f"malformed plan record: {type(error).__name__}: {error}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Basis snapshots
+# ----------------------------------------------------------------------
+
+def encode_basis(basis: SimplexBasis) -> bytes:
+    """Serialize a basis snapshot (header JSON + raw array bytes).
+
+    Arrays are normalized to the solver's dtypes (``int64`` basic,
+    ``int8`` status) in little-endian order, so a snapshot written on
+    one host decodes bit-identically on another.
+    """
+    basic = np.ascontiguousarray(
+        np.asarray(basis.basic), dtype="<i8"
+    )
+    status = np.ascontiguousarray(
+        np.asarray(basis.status), dtype="<i1"
+    )
+    header = json.dumps(
+        {
+            "signature": list(int(part) for part in basis.signature),
+            "basic_len": int(basic.size),
+            "status_len": int(status.size),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    body = (
+        struct.pack("<I", len(header))
+        + header
+        + basic.tobytes()
+        + status.tobytes()
+    )
+    return _frame(BASIS_MAGIC, body)
+
+
+def decode_basis(blob: bytes) -> SimplexBasis:
+    """Inverse of :func:`encode_basis`; raises
+    :class:`StoreCorruptionError` on any defect."""
+    body = _unframe(BASIS_MAGIC, blob)
+    try:
+        (header_len,) = struct.unpack_from("<I", body)
+        offset = 4
+        header = json.loads(body[offset:offset + header_len].decode("utf-8"))
+        offset += header_len
+        basic_len = int(header["basic_len"])
+        status_len = int(header["status_len"])
+        basic_bytes = basic_len * 8
+        expected = offset + basic_bytes + status_len
+        if len(body) != expected:
+            raise StoreCorruptionError(
+                f"basis body is {len(body)} bytes, expected {expected}"
+            )
+        basic = np.frombuffer(
+            body, dtype="<i8", count=basic_len, offset=offset
+        ).astype(np.int64)
+        offset += basic_bytes
+        status = np.frombuffer(
+            body, dtype="<i1", count=status_len, offset=offset
+        ).astype(np.int8)
+        signature = tuple(int(part) for part in header["signature"])
+        return SimplexBasis(basic=basic, status=status, signature=signature)
+    except StoreCorruptionError:
+        raise
+    except Exception as error:  # noqa: BLE001 - malformed body
+        raise StoreCorruptionError(
+            f"malformed basis record: {type(error).__name__}: {error}"
+        ) from error

@@ -1,0 +1,299 @@
+"""SQLite-backed :class:`PlanStore` — the default durable backend.
+
+One database file, WAL journal mode: readers never block the (single)
+writer and a crash mid-transaction rolls back to the last committed
+state, which is exactly the durability story the serving layer wants
+from a plan cache — lose at most the uncommitted tail, never the file.
+
+Concurrency: one connection opened with ``check_same_thread=False`` and
+every operation serialized under an internal lock.  The serving layer's
+workers all funnel through that lock; cross-*process* readers are safe
+via WAL but this class does not arbitrate cross-process writers (the
+multi-process sharding item owns that).
+
+Schema (see ``_SCHEMA``): a ``plans`` table keyed by
+``(catalog_version, algorithm, signature)`` with LRU metadata
+(``last_hit``/``hits``), a ``bases`` table keyed by form signature, and
+a ``meta`` key/value table (last compaction stamp).  Payloads are the
+framed blobs from :mod:`repro.store.serde`; integrity checking lives in
+the base class, so a torn page that survives sqlite's own guards is
+still caught by the frame CRC and dropped, not served.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.store.base import PlanStore, StoreError
+
+__all__ = ["SqlitePlanStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS plans (
+    catalog_version INTEGER NOT NULL,
+    algorithm       TEXT    NOT NULL,
+    signature       TEXT    NOT NULL,
+    payload         BLOB    NOT NULL,
+    created         REAL    NOT NULL,
+    last_hit        REAL    NOT NULL,
+    hits            INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (catalog_version, algorithm, signature)
+);
+CREATE INDEX IF NOT EXISTS plans_lru ON plans (last_hit);
+CREATE TABLE IF NOT EXISTS bases (
+    signature TEXT PRIMARY KEY,
+    payload   BLOB NOT NULL,
+    created   REAL NOT NULL,
+    last_hit  REAL NOT NULL,
+    hits      INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class SqlitePlanStore(PlanStore):
+    """Durable plan + basis store over a single sqlite database file."""
+
+    backend_name = "sqlite"
+
+    def __init__(
+        self, path: "str | Path", max_plans: int | None = None
+    ) -> None:
+        super().__init__(max_plans=max_plans)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            self._db = sqlite3.connect(
+                str(self.path), check_same_thread=False
+            )
+            # WAL: concurrent readers + single writer, crash-safe.
+            # Some filesystems (network mounts) refuse WAL; the store
+            # still works there, just with coarser reader blocking.
+            try:
+                self._db.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.DatabaseError:
+                pass
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+            self._db.commit()
+        except sqlite3.DatabaseError as error:
+            raise StoreError(
+                f"cannot open sqlite store at {self.path}: {error}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Primitives (all called from the instrumented base-class surface)
+    # ------------------------------------------------------------------
+
+    def _guarded(self):
+        if self._closed:
+            raise StoreError(f"store at {self.path} is closed")
+        return self._lock
+
+    def _raw_get_plan(self, version, algorithm, signature):
+        with self._guarded():
+            row = self._db.execute(
+                "SELECT payload FROM plans WHERE catalog_version=? "
+                "AND algorithm=? AND signature=?",
+                (version, algorithm, signature),
+            ).fetchone()
+        return row[0] if row else None
+
+    def _raw_touch_plan(self, version, algorithm, signature, now):
+        with self._guarded():
+            self._db.execute(
+                "UPDATE plans SET last_hit=?, hits=hits+1 WHERE "
+                "catalog_version=? AND algorithm=? AND signature=?",
+                (now, version, algorithm, signature),
+            )
+            self._db.commit()
+
+    def _raw_put_plan(self, version, algorithm, signature, payload, now):
+        with self._guarded():
+            self._db.execute(
+                "INSERT INTO plans (catalog_version, algorithm, signature,"
+                " payload, created, last_hit, hits)"
+                " VALUES (?, ?, ?, ?, ?, ?, 0)"
+                " ON CONFLICT(catalog_version, algorithm, signature)"
+                " DO UPDATE SET payload=excluded.payload,"
+                " last_hit=excluded.last_hit",
+                (version, algorithm, signature, payload, now, now),
+            )
+            evicted = 0
+            (count,) = self._db.execute(
+                "SELECT COUNT(*) FROM plans"
+            ).fetchone()
+            overflow = count - self.max_plans
+            if overflow > 0:
+                cursor = self._db.execute(
+                    "DELETE FROM plans WHERE rowid IN ("
+                    " SELECT rowid FROM plans ORDER BY last_hit ASC"
+                    " LIMIT ?)",
+                    (overflow,),
+                )
+                evicted = cursor.rowcount
+            self._db.commit()
+            return evicted
+
+    def _raw_delete_plan(self, version, algorithm, signature):
+        with self._guarded():
+            self._db.execute(
+                "DELETE FROM plans WHERE catalog_version=? AND "
+                "algorithm=? AND signature=?",
+                (version, algorithm, signature),
+            )
+            self._db.commit()
+
+    def _raw_get_basis(self, signature):
+        with self._guarded():
+            row = self._db.execute(
+                "SELECT payload FROM bases WHERE signature=?",
+                (signature,),
+            ).fetchone()
+            if row:
+                self._db.execute(
+                    "UPDATE bases SET last_hit=?, hits=hits+1 "
+                    "WHERE signature=?",
+                    (time.time(), signature),
+                )
+                self._db.commit()
+        return row[0] if row else None
+
+    def _raw_put_basis(self, signature, payload, now):
+        with self._guarded():
+            self._db.execute(
+                "INSERT INTO bases (signature, payload, created,"
+                " last_hit, hits) VALUES (?, ?, ?, ?, 0)"
+                " ON CONFLICT(signature) DO UPDATE SET"
+                " payload=excluded.payload, last_hit=excluded.last_hit",
+                (signature, payload, now, now),
+            )
+            self._db.commit()
+
+    def _raw_delete_basis(self, signature):
+        with self._guarded():
+            self._db.execute(
+                "DELETE FROM bases WHERE signature=?", (signature,)
+            )
+            self._db.commit()
+
+    def _raw_hot_plans(self, version, limit):
+        query = (
+            "SELECT algorithm, signature, payload FROM plans "
+            "WHERE catalog_version=? ORDER BY last_hit DESC"
+        )
+        params: tuple = (version,)
+        if limit is not None:
+            query += " LIMIT ?"
+            params = (version, int(limit))
+        with self._guarded():
+            rows = self._db.execute(query, params).fetchall()
+        return [(row[0], row[1], row[2]) for row in rows]
+
+    def _raw_bases(self, limit):
+        query = "SELECT signature, payload FROM bases ORDER BY last_hit DESC"
+        params: tuple = ()
+        if limit is not None:
+            query += " LIMIT ?"
+            params = (int(limit),)
+        with self._guarded():
+            rows = self._db.execute(query, params).fetchall()
+        return [(row[0], row[1]) for row in rows]
+
+    def _raw_invalidate_below(self, version):
+        with self._guarded():
+            cursor = self._db.execute(
+                "DELETE FROM plans WHERE catalog_version < ?", (version,)
+            )
+            self._db.commit()
+            return cursor.rowcount
+
+    def _raw_latest_version(self):
+        with self._guarded():
+            (value,) = self._db.execute(
+                "SELECT COALESCE(MAX(catalog_version), 0) FROM plans"
+            ).fetchone()
+        return int(value)
+
+    def _raw_compact(self):
+        with self._guarded():
+            self._db.execute(
+                "INSERT INTO meta (key, value) VALUES ('last_compaction', ?)"
+                " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (repr(time.time()),),
+            )
+            self._db.commit()
+            self._db.execute("VACUUM")
+            # Fold the WAL back into the main file so size-on-disk
+            # reflects the vacuum.
+            try:
+                self._db.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.DatabaseError:
+                pass
+
+    def _raw_flush(self):
+        with self._guarded():
+            self._db.commit()
+            try:
+                self._db.execute("PRAGMA wal_checkpoint(PASSIVE)")
+            except sqlite3.DatabaseError:
+                pass
+
+    def _raw_close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._db.commit()
+                self._db.close()
+            except sqlite3.DatabaseError:
+                pass
+
+    def _raw_summary(self):
+        with self._guarded():
+            per_version = {
+                str(version): count
+                for version, count in self._db.execute(
+                    "SELECT catalog_version, COUNT(*) FROM plans "
+                    "GROUP BY catalog_version ORDER BY catalog_version"
+                )
+            }
+            per_algorithm = {
+                algorithm: count
+                for algorithm, count in self._db.execute(
+                    "SELECT algorithm, COUNT(*) FROM plans "
+                    "GROUP BY algorithm ORDER BY algorithm"
+                )
+            }
+            (plan_count,) = self._db.execute(
+                "SELECT COUNT(*) FROM plans"
+            ).fetchone()
+            (basis_count,) = self._db.execute(
+                "SELECT COUNT(*) FROM bases"
+            ).fetchone()
+            row = self._db.execute(
+                "SELECT value FROM meta WHERE key='last_compaction'"
+            ).fetchone()
+        size = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(str(self.path) + suffix)
+            if candidate.exists():
+                size += candidate.stat().st_size
+        return {
+            "path": str(self.path),
+            "plans": int(plan_count),
+            "bases": int(basis_count),
+            "plans_per_catalog_version": per_version,
+            "plans_per_algorithm": per_algorithm,
+            "size_bytes": size,
+            "last_compaction": float(row[0]) if row else None,
+        }

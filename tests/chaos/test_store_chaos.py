@@ -1,0 +1,186 @@
+"""Seeded chaos for the persistence layer.
+
+The store is *advisory*: whatever it does — throw on reads, throw on
+writes, hand back corrupt records mid-replay, carry at-rest rot — the
+server must stay honest.  Every future resolves with a truthful status,
+completed results carry real plans (re-solved from scratch when the
+store lied), no worker wedges, and shutdown leaves nothing running.
+
+Faults are seeded via :mod:`repro.faultinject` on the ``store.get`` /
+``store.put`` sites; CI sweeps ``REPRO_CHAOS_SEED`` over several
+values, and the invariant must hold for all of them.
+"""
+
+import os
+import threading
+
+from repro import faultinject
+from repro.faultinject import FaultPlan, FaultSpec
+from repro.serve import OptimizationServer, RequestStatus
+from repro.store import open_store
+from repro.workloads import QueryGenerator
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "42"))
+
+HONEST = {
+    RequestStatus.COMPLETED,
+    RequestStatus.REJECTED,
+    RequestStatus.TIMED_OUT,
+    RequestStatus.FAILED,
+    RequestStatus.CANCELLED,
+}
+
+
+def store_chaos_plan(seed=CHAOS_SEED):
+    """Faults on both store sites at once: reads that throw, reads that
+    corrupt the payload in transit, writes that throw."""
+    return FaultPlan(seed=seed, specs=[
+        FaultSpec(site=faultinject.STORE_GET, kind="exception",
+                  every=5, limit=10, message="store read I/O error"),
+        FaultSpec(site=faultinject.STORE_GET, kind="corrupt",
+                  every=3, limit=10),
+        FaultSpec(site=faultinject.STORE_PUT, kind="exception",
+                  every=4, limit=10, message="store write I/O error"),
+    ])
+
+
+def queries(count, seed0=0):
+    return [
+        QueryGenerator(seed=seed0 + s).generate("star", 4)
+        for s in range(count)
+    ]
+
+
+def assert_no_surviving_workers():
+    assert not any(
+        t.name.startswith("serve-worker") and t.is_alive()
+        for t in threading.enumerate()
+    )
+
+
+class TestStoreChaos:
+    def test_restart_replay_and_traffic_survive_store_faults(
+        self, tmp_path
+    ):
+        """Warm replay under injected read faults + at-rest rot, then
+        traffic under read *and* write faults: the server serves from
+        scratch where the store fails, and every future resolves."""
+        path = tmp_path / "chaos.log"
+        warm = queries(6)
+
+        # Phase A (clean): populate the store through a normal lifetime.
+        store = open_store(path, backend="log")
+        with OptimizationServer(workers=2, store=store,
+                                flush_interval=9999.0) as server:
+            for q in warm:
+                assert server.optimize(q, "milp", timeout=120).ok
+        assert store.summary()["plans"] == 6
+        store.close()
+
+        # Phase B (chaos): reopen with an at-rest rotten record planted
+        # where the replay will walk right into it, then restart and
+        # drive traffic entirely under the fault plan.
+        plan = store_chaos_plan()
+        store2 = open_store(path, backend="log")
+        version = store2.latest_version()
+        store2._raw_put_plan(
+            version, "milp", "rotten-at-rest", b"\x00garbage", now=1e12
+        )
+        server2 = OptimizationServer(workers=2, store=store2,
+                                     flush_interval=9999.0)
+        tickets = []
+        try:
+            with faultinject.inject(plan):
+                server2.start()  # warm replay runs under injection
+                # Repeats of the persisted queries plus fresh ones the
+                # store has never seen.
+                traffic = warm * 2 + queries(6, seed0=100)
+                for query in traffic:
+                    tickets.append(server2.submit(query, "milp"))
+                outcomes = [t.result(timeout=240) for t in tickets]
+                server2.stop(drain=True, timeout=120)  # flush under faults
+        finally:
+            if server2._started:
+                server2.stop(drain=False, timeout=30)
+            store2.close()
+
+        assert len(outcomes) == 18
+        for outcome in outcomes:
+            assert outcome.status in HONEST
+            if outcome.status is RequestStatus.COMPLETED:
+                assert outcome.result is not None
+                assert outcome.result.has_plan
+            else:
+                assert outcome.error
+        # A store fault never fails a request, so with no other fault
+        # sites armed *everything* completes.
+        completed = sum(
+            1 for o in outcomes if o.status is RequestStatus.COMPLETED
+        )
+        assert completed == 18
+
+        # The plan actually did damage, and the store accounted for it.
+        assert plan.total_injected() >= 5, plan.report()
+        stats = store2.stats
+        assert stats.errors >= 1  # injected StoreErrors were swallowed
+        # Both rot flavours were rejected, never decoded: the planted
+        # at-rest record and/or the in-transit corruptions.
+        assert stats.corrupt_dropped >= 1
+
+        # Shutdown left nothing running and nothing wedged.
+        assert not server2._wedged
+        assert_no_surviving_workers()
+
+    def test_write_faults_never_fail_requests(self, tmp_path):
+        """Every single store write throws; traffic is unaffected and
+        the failure is visible in the error counter, not the results."""
+        plan = FaultPlan(seed=CHAOS_SEED, specs=[
+            FaultSpec(site=faultinject.STORE_PUT, kind="exception",
+                      every=1, message="disk full"),
+        ])
+        store = open_store(tmp_path / "full.sqlite", backend="sqlite")
+        try:
+            with faultinject.inject(plan):
+                with OptimizationServer(workers=1, store=store,
+                                        flush_interval=9999.0) as server:
+                    for q in queries(4):
+                        result = server.optimize(q, "milp", timeout=120)
+                        assert result.ok and result.result.has_plan
+            assert plan.total_injected() >= 4
+            assert store.stats.errors >= 4
+            assert store.summary()["plans"] == 0  # nothing ever landed
+        finally:
+            store.close()
+        assert_no_surviving_workers()
+
+    def test_replay_against_throwing_store_starts_cold(self, tmp_path):
+        """A store that throws on every read during start(): the server
+        comes up cold — as if no store were attached — and serves."""
+        path = tmp_path / "down.log"
+        store = open_store(path, backend="log")
+        with OptimizationServer(workers=1, store=store,
+                                flush_interval=9999.0) as server:
+            assert server.optimize(queries(1)[0], "milp", timeout=120).ok
+        store.close()
+
+        plan = FaultPlan(seed=CHAOS_SEED, specs=[
+            FaultSpec(site=faultinject.STORE_GET, kind="exception",
+                      every=1, message="store is down"),
+        ])
+        store2 = open_store(path, backend="log")
+        server2 = OptimizationServer(workers=1, store=store2,
+                                     flush_interval=9999.0)
+        try:
+            with faultinject.inject(plan):
+                server2.start()
+                replay = server2.metrics_snapshot()["store"]["replay"]
+                assert replay["plans"] == 0 and replay["bases"] == 0
+                result = server2.optimize(
+                    queries(1)[0], "milp", timeout=120
+                )
+                assert result.ok and result.result.has_plan
+            assert plan.total_injected() >= 1
+        finally:
+            server2.stop(drain=True, timeout=60)
+            store2.close()
+        assert_no_surviving_workers()

@@ -19,6 +19,7 @@ from repro.milp import (
     Model,
     RevisedSimplexBackend,
     ScipyHighsBackend,
+    SimplexBasis,
     SimplexSession,
     SolveStatus,
     SolverOptions,
@@ -367,12 +368,43 @@ class TestBasisExchangePool:
         basis = session.export_basis()
         pool = BasisExchangePool()
         pool.publish(basis)
-        assert pool.fetch(form_signature(form)) is basis
+        keyed = pool.fetch(form_signature(form))
+        assert keyed is not None and keyed.signature == basis.signature
+        np.testing.assert_array_equal(keyed.basic, basis.basic)
         other = (99, 0, 7)
         assert pool.fetch(other) is None
         # unkeyed fetch keeps the legacy most-recent behaviour
-        assert pool.fetch() is basis
+        unkeyed = pool.fetch()
+        assert unkeyed is not None and unkeyed.signature == basis.signature
         assert pool.signatures() == 1
+
+    def test_fetch_hands_out_defensive_copies(self):
+        # Regression: fetched snapshots used to alias the pool's arrays,
+        # so one request's in-place mutation of its warm start would
+        # silently poison every later fetch of the same slot (and any
+        # store-seeded snapshot shared across requests).
+        basis = SimplexBasis(
+            basic=np.arange(4, dtype=np.int64),
+            status=np.zeros(9, dtype=np.int8),
+            signature=(2, 2, 5),
+        )
+        pool = BasisExchangePool()
+        pool.publish(basis)
+        first = pool.fetch((2, 2, 5))
+        assert first is not basis
+        assert first.basic is not basis.basic
+        first.basic[0] = 999
+        first.status[0] = 7
+        second = pool.fetch((2, 2, 5))
+        np.testing.assert_array_equal(second.basic, np.arange(4))
+        np.testing.assert_array_equal(second.status, np.zeros(9))
+        # entries() snapshots are equally isolated (the flush path).
+        (signature, held), = pool.entries()
+        assert signature == (2, 2, 5)
+        held.basic[0] = -1
+        np.testing.assert_array_equal(
+            pool.fetch((2, 2, 5)).basic, np.arange(4)
+        )
 
 
 class TestGetBackendNormalization:

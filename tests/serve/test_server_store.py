@@ -1,0 +1,183 @@
+"""OptimizationServer ↔ PlanStore lifecycle: warm-up replay, flush,
+store metrics, and the restart-recovery smoke CI leans on."""
+
+import pytest
+
+from repro.serve import OptimizationServer
+from repro.store import open_store
+from repro.workloads import QueryGenerator
+
+
+def queries(count=4, topology="star", tables=4, seed0=0):
+    return [
+        QueryGenerator(seed=seed0 + s).generate(topology, tables)
+        for s in range(count)
+    ]
+
+
+@pytest.fixture(params=("sqlite", "log"))
+def store_path(request, tmp_path):
+    return tmp_path / f"plans.{request.param}", request.param
+
+
+def open_at(store_path):
+    path, backend = store_path
+    return open_store(path, backend=backend)
+
+
+class TestLifecycle:
+    def test_drain_stop_persists_plans_and_bases(self, store_path):
+        store = open_at(store_path)
+        server = OptimizationServer(workers=2, store=store,
+                                    flush_interval=9999.0)
+        with server:
+            for q in queries(3):
+                assert server.optimize(q, "milp", timeout=60).ok
+        summary = store.summary()
+        assert summary["plans"] == 3
+        assert summary["bases"] >= 1  # pool flushed on drain
+        store.close()
+
+    def test_warm_replay_seeds_cache_and_pool(self, store_path):
+        store = open_at(store_path)
+        with OptimizationServer(workers=2, store=store,
+                                flush_interval=9999.0) as server:
+            for q in queries(3):
+                assert server.optimize(q, "milp", timeout=60).ok
+        store.close()
+
+        store2 = open_at(store_path)
+        server2 = OptimizationServer(workers=2, store=store2,
+                                     flush_interval=9999.0)
+        server2.start()
+        try:
+            snapshot = server2.metrics_snapshot()
+            replay = snapshot["store"]["replay"]
+            assert replay["plans"] == 3
+            assert replay["bases"] >= 1
+            assert replay["seconds"] >= 0.0
+            assert server2.basis_pool.signatures() >= 1
+            # The very first request after restart hits the warm cache.
+            result = server2.optimize(queries(3)[0], "milp", timeout=60)
+            assert result.ok
+            assert server2.metrics_snapshot()["cache"]["hits"] >= 1
+        finally:
+            server2.stop(drain=True)
+            store2.close()
+
+    def test_replay_budget_bounds_preload(self, store_path):
+        store = open_at(store_path)
+        with OptimizationServer(workers=2, store=store,
+                                flush_interval=9999.0) as server:
+            for q in queries(4):
+                assert server.optimize(q, "greedy", timeout=60).ok
+        store.close()
+        store2 = open_at(store_path)
+        server2 = OptimizationServer(workers=1, store=store2,
+                                     replay_budget=2,
+                                     flush_interval=9999.0)
+        server2.start()
+        try:
+            replay = server2.metrics_snapshot()["store"]["replay"]
+            assert replay["plans"] == 2
+            assert replay["budget"] == 2
+        finally:
+            server2.stop(drain=True)
+            store2.close()
+
+    def test_non_drain_stop_skips_final_flush(self, store_path):
+        store = open_at(store_path)
+        server = OptimizationServer(workers=1, store=store,
+                                    flush_interval=9999.0)
+        server.start()
+        assert server.optimize(queries(1)[0], "milp", timeout=60).ok
+        server.stop(drain=False)
+        # Plans were written through as they were solved; the pool's
+        # bases were NOT flushed (that is the kill-9 rehearsal).
+        summary = store.summary()
+        assert summary["plans"] == 1
+        assert summary["bases"] == 0
+        store.close()
+
+    def test_periodic_flush_from_watchdog(self, store_path):
+        store = open_at(store_path)
+        server = OptimizationServer(workers=1, store=store,
+                                    flush_interval=0.05,
+                                    watchdog_interval=0.02)
+        server.start()
+        try:
+            assert server.optimize(queries(1)[0], "milp", timeout=60).ok
+            deadline = __import__("time").monotonic() + 5.0
+            while __import__("time").monotonic() < deadline:
+                if store.summary()["bases"] >= 1:
+                    break
+                __import__("time").sleep(0.02)
+            assert store.summary()["bases"] >= 1
+        finally:
+            server.stop(drain=True)
+            store.close()
+
+
+class TestMetrics:
+    def test_store_metrics_exposed(self, store_path):
+        store = open_at(store_path)
+        with OptimizationServer(workers=1, store=store,
+                                flush_interval=9999.0) as server:
+            q = queries(1)[0]
+            assert server.optimize(q, "greedy", timeout=60).ok
+            text = server.metrics_text()
+            assert "store_hits_total" in text
+            assert "store_writes_total" in text
+            assert "store_replay_seconds" in text
+            snapshot = server.metrics_snapshot()
+            assert snapshot["store"]["stats"]["writes"] >= 1
+            assert snapshot["store"]["backend"] in ("sqlite", "log")
+        store.close()
+
+    def test_counter_sync_applies_deltas_once(self, store_path):
+        store = open_at(store_path)
+        with OptimizationServer(workers=1, store=store,
+                                flush_interval=9999.0) as server:
+            assert server.optimize(queries(1)[0], "greedy", timeout=60).ok
+            server.metrics_snapshot()
+            first = server._store_writes.value
+            server.metrics_snapshot()  # no new activity: no double count
+            assert server._store_writes.value == first
+        store.close()
+
+    def test_stats_endpoint_carries_store_summary(self, store_path):
+        import json
+        import urllib.request
+
+        from repro.serve import make_http_server
+
+        store = open_at(store_path)
+        server = OptimizationServer(workers=1, store=store,
+                                    flush_interval=9999.0)
+        httpd = make_http_server(server, "127.0.0.1", 0)
+        host, port = httpd.server_address[:2]
+        import threading
+
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            server.start()
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/stats", timeout=10
+            ) as response:
+                stats = json.loads(response.read())
+            assert "store" in stats
+            assert stats["store"]["backend"] in ("sqlite", "log")
+            assert "replay" in stats["store"]
+        finally:
+            httpd.shutdown()
+            server.stop(drain=True)
+            store.close()
+
+
+class TestServerWithoutStore:
+    def test_no_store_changes_nothing(self):
+        with OptimizationServer(workers=1) as server:
+            assert server.optimize(queries(1)[0], "greedy", timeout=60).ok
+            snapshot = server.metrics_snapshot()
+            assert "store" not in snapshot

@@ -1,0 +1,289 @@
+"""Backend-parameterized tests for :mod:`repro.store`."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.milp.lp_backend import SimplexBasis
+from repro.store import (
+    LogPlanStore,
+    SqlitePlanStore,
+    StoreError,
+    basis_key,
+    decode_basis,
+    encode_basis,
+    open_store,
+)
+
+BACKENDS = ("sqlite", "log")
+
+
+def make_basis(seed: int = 0) -> SimplexBasis:
+    rng = np.random.default_rng(seed)
+    return SimplexBasis(
+        basic=rng.integers(0, 40, size=12).astype(np.int64),
+        status=rng.integers(0, 3, size=40).astype(np.int8),
+        signature=(7, 5, 28),
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    s = open_store(tmp_path / f"plans.{request.param}", backend=request.param)
+    yield s
+    s.close()
+
+
+def payload(seed: int = 0) -> bytes:
+    return encode_basis(make_basis(seed))
+
+
+class TestBackendSelection:
+    def test_open_store_defaults_to_sqlite(self, tmp_path):
+        with open_store(tmp_path / "s") as s:
+            assert isinstance(s, SqlitePlanStore)
+
+    def test_open_store_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "log")
+        with open_store(tmp_path / "s") as s:
+            assert isinstance(s, LogPlanStore)
+
+    def test_explicit_backend_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "log")
+        with open_store(tmp_path / "s", backend="sqlite") as s:
+            assert isinstance(s, SqlitePlanStore)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="unknown store backend"):
+            open_store(tmp_path / "s", backend="csv")
+
+
+class TestPlanKeyspace:
+    def test_round_trip(self, store):
+        blob = payload()
+        store.put_plan(0, "milp", "sig", blob)
+        assert store.get_plan(0, "milp", "sig") == blob
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_miss_is_none(self, store):
+        assert store.get_plan(0, "milp", "nope") is None
+        assert store.stats.misses == 1
+
+    def test_keys_are_versioned(self, store):
+        store.put_plan(0, "milp", "sig", payload())
+        assert store.get_plan(1, "milp", "sig") is None
+        assert store.get_plan(0, "greedy", "sig") is None
+
+    def test_upsert_overwrites(self, store):
+        store.put_plan(0, "milp", "sig", payload(1))
+        store.put_plan(0, "milp", "sig", payload(2))
+        assert store.get_plan(0, "milp", "sig") == payload(2)
+        assert store.summary()["plans"] == 1
+
+    def test_corrupt_record_dropped_not_raised(self, store):
+        store._raw_put_plan(0, "milp", "bad", b"not a frame", now=1.0)
+        assert store.get_plan(0, "milp", "bad") is None
+        assert store.stats.corrupt_dropped == 1
+        # The record was deleted: the next read is a plain miss.
+        assert store.get_plan(0, "milp", "bad") is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_lru_eviction_by_last_hit(self, tmp_path, store):
+        small = open_store(
+            tmp_path / f"small.{store.backend_name}",
+            backend=store.backend_name, max_plans=2,
+        )
+        try:
+            small.put_plan(0, "milp", "a", payload(1))
+            small.put_plan(0, "milp", "b", payload(2))
+            assert small.get_plan(0, "milp", "a") is not None  # refresh a
+            small.put_plan(0, "milp", "c", payload(3))  # evicts b
+            assert small.stats.evictions == 1
+            assert small.get_plan(0, "milp", "b") is None
+            assert small.get_plan(0, "milp", "a") is not None
+            assert small.get_plan(0, "milp", "c") is not None
+        finally:
+            small.close()
+
+    def test_invalidate_below(self, store):
+        store.put_plan(0, "milp", "old", payload(1))
+        store.put_plan(1, "milp", "mid", payload(2))
+        store.put_plan(2, "milp", "new", payload(3))
+        assert store.invalidate_below(2) == 2
+        assert store.get_plan(2, "milp", "new") is not None
+        assert store.summary()["plans"] == 1
+
+    def test_latest_version(self, store):
+        assert store.latest_version() == 0
+        store.put_plan(3, "milp", "sig", payload())
+        assert store.latest_version() == 3
+
+    def test_hot_plans_order_and_limit(self, store):
+        store.put_plan(0, "milp", "a", payload(1))
+        store.put_plan(0, "milp", "b", payload(2))
+        store.put_plan(0, "milp", "c", payload(3))
+        assert store.get_plan(0, "milp", "a") is not None  # a is hottest
+        rows = store.hot_plans(0, limit=2)
+        assert len(rows) == 2
+        assert rows[0][1] == "a"
+        assert all(sig != "" for _, sig, _ in rows)
+
+    def test_hot_plans_skips_corrupt(self, store):
+        store.put_plan(0, "milp", "good", payload(1))
+        store._raw_put_plan(0, "milp", "bad", b"junk", now=2.0)
+        rows = store.hot_plans(0)
+        assert [sig for _, sig, _ in rows] == ["good"]
+        assert store.stats.corrupt_dropped == 1
+
+
+class TestBasisKeyspace:
+    def test_round_trip(self, store):
+        basis = make_basis()
+        key = basis_key(basis.signature)
+        store.put_basis(key, encode_basis(basis))
+        back = decode_basis(store.get_basis(key))
+        np.testing.assert_array_equal(back.basic, basis.basic)
+        np.testing.assert_array_equal(back.status, basis.status)
+        assert back.signature == basis.signature
+
+    def test_bases_survive_invalidation(self, store):
+        store.put_basis("1,2,3", payload())
+        store.put_plan(0, "milp", "sig", payload())
+        store.invalidate_below(10)
+        assert store.get_basis("1,2,3") is not None
+
+    def test_bases_listing(self, store):
+        store.put_basis("1,2,3", payload(1))
+        store.put_basis("4,5,6", payload(2))
+        rows = store.bases()
+        assert {sig for sig, _ in rows} == {"1,2,3", "4,5,6"}
+        assert store.bases(limit=1) and len(store.bases(limit=1)) == 1
+
+
+class TestDurability:
+    def test_reopen_preserves_contents(self, tmp_path, store):
+        path = tmp_path / f"reopen.{store.backend_name}"
+        first = open_store(path, backend=store.backend_name)
+        first.put_plan(1, "milp", "sig", payload())
+        first.put_basis("1,2,3", payload(1))
+        first.flush()
+        first.close()
+        second = open_store(path, backend=store.backend_name)
+        try:
+            assert second.get_plan(1, "milp", "sig") == payload()
+            assert second.get_basis("1,2,3") == payload(1)
+            assert second.latest_version() == 1
+        finally:
+            second.close()
+
+    def test_hard_stop_recovers_flushed_state(self, tmp_path, store):
+        """No close(), no final flush — the kill -9 rehearsal."""
+        path = tmp_path / f"kill.{store.backend_name}"
+        first = open_store(path, backend=store.backend_name)
+        first.put_plan(0, "milp", "durable", payload())
+        first.flush()
+        # Abandon the handle without close(); reopen cold.
+        second = open_store(path, backend=store.backend_name)
+        try:
+            assert second.get_plan(0, "milp", "durable") == payload()
+            assert second.stats.corrupt_dropped == 0
+        finally:
+            second.close()
+        first.close()
+
+    def test_compaction_updates_summary(self, store):
+        store.put_plan(0, "milp", "a", payload(1))
+        store.put_plan(0, "milp", "a", payload(2))
+        assert store.summary()["last_compaction"] is None
+        store.compact()
+        summary = store.summary()
+        assert summary["last_compaction"] is not None
+        assert summary["stats"]["compactions"] == 1
+        assert store.get_plan(0, "milp", "a") == payload(2)
+
+    def test_summary_shape(self, store):
+        store.put_plan(0, "milp", "a", payload(1))
+        store.put_plan(1, "greedy", "b", payload(2))
+        store.put_basis("1,2,3", payload(3))
+        summary = store.summary()
+        assert summary["backend"] == store.backend_name
+        assert summary["plans"] == 2 and summary["bases"] == 1
+        assert summary["plans_per_catalog_version"] == {"0": 1, "1": 1}
+        assert summary["plans_per_algorithm"] == {"greedy": 1, "milp": 1}
+        assert summary["size_bytes"] >= 0
+
+    def test_closed_store_raises_store_error(self, store):
+        store.close()
+        with pytest.raises(StoreError):
+            store.put_plan(0, "milp", "sig", payload())
+        store.close()  # idempotent
+
+
+class TestLogBackendSpecifics:
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "torn.log"
+        first = LogPlanStore(path)
+        first.put_plan(0, "milp", "keep", payload())
+        first.flush()
+        first.close()
+        size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"RLG\x01\x01\xde\xad")  # torn record header
+        second = LogPlanStore(path)
+        try:
+            assert second.get_plan(0, "milp", "keep") == payload()
+            assert second._torn_tail_dropped == 1
+            assert os.path.getsize(path) == size
+        finally:
+            second.close()
+
+    def test_mid_file_bitflip_stops_replay_at_last_good(self, tmp_path):
+        path = tmp_path / "rot.log"
+        first = LogPlanStore(path)
+        first.put_plan(0, "milp", "a", payload(1))
+        first.flush()
+        boundary = os.path.getsize(path)
+        first.put_plan(0, "milp", "b", payload(2))
+        first.flush()
+        first.close()
+        data = bytearray(path.read_bytes())
+        data[boundary + 20] ^= 0xFF  # rot inside record "b"
+        path.write_bytes(bytes(data))
+        second = LogPlanStore(path)
+        try:
+            assert second.get_plan(0, "milp", "a") == payload(1)
+            assert second.get_plan(0, "milp", "b") is None
+        finally:
+            second.close()
+
+    def test_compaction_shrinks_file(self, tmp_path):
+        path = tmp_path / "compact.log"
+        store = LogPlanStore(path)
+        for seed in range(8):
+            store.put_plan(0, "milp", "same", payload(seed))
+        store.flush()
+        before = os.path.getsize(path)
+        store.compact()
+        after = os.path.getsize(path)
+        assert after < before
+        assert store.get_plan(0, "milp", "same") == payload(7)
+        store.close()
+        reopened = LogPlanStore(path)
+        try:
+            assert reopened.get_plan(0, "milp", "same") == payload(7)
+            assert reopened.summary()["last_compaction"] is not None
+        finally:
+            reopened.close()
+
+
+class TestEnvKnobs:
+    def test_max_plans_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MAX_PLANS", "3")
+        with open_store(tmp_path / "s") as s:
+            assert s.max_plans == 3
+
+    def test_bad_env_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MAX_PLANS", "zero")
+        with pytest.raises(StoreError):
+            open_store(tmp_path / "s")
