@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -35,6 +36,8 @@ from repro.api.registry import (
     default_registry,
 )
 from repro.api.result import PlanResult
+
+logger = logging.getLogger(__name__)
 
 
 def _accepts_cancel_token(optimizer: Optimizer) -> bool:
@@ -181,7 +184,10 @@ class OptimizerService:
             try:
                 self._catalog_version = int(store.latest_version())
             except Exception:  # noqa: BLE001 - store is advisory
-                pass
+                logger.warning(
+                    "plan store unreadable at startup; starting at "
+                    "catalog version 0", exc_info=True,
+                )
         self._cache: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._optimizers: dict[str, Optimizer] = {}
         #: Whether each cached optimizer's ``optimize`` accepts a
@@ -198,7 +204,8 @@ class OptimizerService:
     def catalog_version(self) -> int:
         """Current catalog version; cache entries from older versions
         never match."""
-        return self._catalog_version
+        with self._lock:
+            return self._catalog_version
 
     def bump_catalog_version(self) -> int:
         """Invalidate every cached plan (statistics/schema changed).
@@ -219,7 +226,11 @@ class OptimizerService:
             try:
                 self.store.invalidate_below(version)
             except Exception:  # noqa: BLE001 - store is advisory
-                pass
+                logger.warning(
+                    "store invalidate_below(%d) failed; stale records "
+                    "stay unreachable via versioned keys", version,
+                    exc_info=True,
+                )
         return version
 
     # ------------------------------------------------------------------
@@ -453,6 +464,7 @@ class OptimizerService:
         try:
             payload = self.store.get_plan(version, algorithm, signature)
         except Exception:  # noqa: BLE001 - store is advisory
+            logger.debug("store read failed; treating as miss", exc_info=True)
             return None
         if payload is None:
             return None
@@ -486,7 +498,7 @@ class OptimizerService:
             )
             self.store.put_plan(version, algorithm, signature, payload)
         except Exception:  # noqa: BLE001 - store is advisory
-            pass
+            logger.debug("store write-through failed", exc_info=True)
 
     def replay_from_store(self, limit: int | None = None) -> int:
         """Preload the in-memory cache from the store's hottest plans.
@@ -505,6 +517,7 @@ class OptimizerService:
         try:
             rows = self.store.hot_plans(version, limit)
         except Exception:  # noqa: BLE001 - store is advisory
+            logger.warning("store replay scan failed", exc_info=True)
             return 0
         installed = 0
         for algorithm, signature, payload in rows:

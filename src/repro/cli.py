@@ -186,6 +186,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the summary as machine-readable JSON",
     )
 
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the repository's static analysis (repro.devtools)",
+    )
+    analyze.add_argument(
+        "--root", default=".",
+        help="repository root to analyze (default: current directory)",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI contract)",
+    )
+    analyze.add_argument(
+        "--stats", action="store_true",
+        help="emit only per-rule counts (the BENCH_analyze.json shape)",
+    )
+    analyze.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed findings in text output",
+    )
+    analyze.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="write the stats report to PATH and still print the "
+             "normal report",
+    )
+
     generate = commands.add_parser(
         "generate", help="generate a random query as JSON"
     )
@@ -445,6 +471,28 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.devtools import all_rules, run_analysis
+    from repro.devtools.report import render_json, render_stats, render_text
+
+    root = Path(args.root).resolve()
+    report = run_analysis(root, all_rules())
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            render_stats(report), encoding="utf-8"
+        )
+    if args.stats:
+        out = render_stats(report)
+    elif args.format == "json":
+        out = render_json(report)
+    else:
+        out = render_text(report, verbose=args.verbose)
+    sys.stdout.write(out)
+    return 0 if report.clean else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -469,6 +517,8 @@ def main(argv=None) -> int:
         return _cmd_store(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "figure1":
         from repro.harness import figure1
 

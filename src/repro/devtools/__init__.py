@@ -1,0 +1,69 @@
+"""Static analysis enforcing the ROADMAP's architecture invariants.
+
+The repository's hard rules — one public surface through
+:mod:`repro.api`, simplex work behind ``SimplexSession``, lock
+discipline in the ten lock-owning modules, dependency-light leaves,
+documented ``REPRO_*`` knobs — existed only as prose until this
+package.  ``repro analyze`` derives the dependency/lock/knob structure
+from the AST and gates CI on it, so a PR that regresses an invariant
+fails mechanically instead of slipping past review.
+
+Four rule families (see ``docs/development.md`` for the catalog):
+
+* **ARCH** — module layering from a declarative manifest
+  (:mod:`repro.devtools.manifest`), dependency-light leaf enforcement,
+  and no ``SimplexSession`` construction outside ``repro.milp``.
+* **LOCK** — per-class lock discipline (attributes written under
+  ``with self._lock`` must not be touched off-lock) and a cross-class
+  lock-acquisition-order graph that fails on cycles.
+* **NUM** — numerics and robustness lint: float ``==``/``!=`` in
+  ``milp/``, unseeded global RNG use, silent ``except Exception``
+  swallows, undocumented ``InvalidStateError`` swallows.
+* **REG** — registry conformance: every ``REPRO_*`` environment knob
+  read in code must appear in the ``docs/operations.md`` knob table,
+  and every metric name used in ``repro.serve`` must be declared in
+  :data:`repro.serve.metrics.KNOWN_METRICS`.
+
+Findings are suppressed in place with a reasoned comment::
+
+    value = self._cache  # repro: allow[LOCK-001] snapshot read; GIL-atomic
+
+A suppression without a reason is itself a finding (``SUP-001``), so
+the committed tree can never accumulate unexplained exemptions.
+
+This package is itself a dependency leaf: stdlib ``ast`` only, no
+imports from the rest of ``repro`` (the analyzer must keep working
+when the code it checks is broken).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import (
+    AnalysisReport,
+    Finding,
+    ModuleInfo,
+    Suppression,
+    load_module,
+    parse_suppressions,
+    run_analysis,
+)
+from repro.devtools.manifest import DEFAULT_MANIFEST, LayerSpec
+from repro.devtools.report import render_json, render_stats, render_text
+from repro.devtools.rules import all_rules, rule_catalog
+
+__all__ = [
+    "AnalysisReport",
+    "DEFAULT_MANIFEST",
+    "Finding",
+    "LayerSpec",
+    "ModuleInfo",
+    "Suppression",
+    "all_rules",
+    "load_module",
+    "parse_suppressions",
+    "render_json",
+    "render_stats",
+    "render_text",
+    "rule_catalog",
+    "run_analysis",
+]

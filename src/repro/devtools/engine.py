@@ -1,0 +1,366 @@
+"""Rule engine: module loading, suppression comments, the analysis driver.
+
+The engine is deliberately rule-agnostic.  It knows how to
+
+* walk a repository and turn every ``.py`` file into a
+  :class:`ModuleInfo` (dotted module name, source, parsed AST, and the
+  file's suppression comments);
+* match findings against suppressions (``# repro: allow[RULE-ID]
+  reason``, same line or the line directly above);
+* run a set of rules — per-module rules see one file at a time,
+  project rules see the whole tree (the lock-order graph needs global
+  context) — and fold everything into an :class:`AnalysisReport`.
+
+Rules live in :mod:`repro.devtools.rules`; what counts as a violation
+is entirely theirs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "ProjectRule",
+    "Suppression",
+    "load_module",
+    "load_tree",
+    "parse_suppressions",
+    "run_analysis",
+]
+
+#: ``# repro: allow[RULE-ID[,RULE-ID...]] reason`` — the reason is
+#: mandatory; :data:`SUP_MISSING_REASON` fires when it is absent.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Z0-9,\s-]+)\]\s*(?P<reason>.*)$"
+)
+
+#: Engine-level rule ids (suppression hygiene is not itself
+#: suppressible — an exemption must always carry its reason).
+SUP_MISSING_REASON = "SUP-001"
+SUP_UNKNOWN_RULE = "SUP-002"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str | None = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    path: str = ""
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this comment exempts ``rule`` at ``line``.
+
+        A suppression applies to findings on its own line or on the
+        line directly below it (a standalone comment above a long
+        statement).
+        """
+        return rule in self.rules and line in (self.line, self.line + 1)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything rules need about it."""
+
+    path: Path  # absolute
+    relpath: str  # repo-relative, forward slashes
+    module: str  # dotted name ("repro.serve.server", "tests.conftest")
+    source: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...]
+
+    @property
+    def in_package(self) -> bool:
+        """Whether this module is part of the shipped ``repro`` package."""
+        return self.module == "repro" or self.module.startswith("repro.")
+
+
+def parse_suppressions(source: str, relpath: str = "") -> tuple[Suppression, ...]:
+    """Extract every suppression comment from ``source``.
+
+    Tokenization (not line regexes) keeps ``# repro: allow[...]`` inside
+    string literals from registering — rule fixtures embed suppression
+    examples in strings.
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            out.append(
+                Suppression(
+                    line=token.start[0],
+                    rules=rules,
+                    reason=match.group("reason").strip(),
+                    path=relpath,
+                )
+            )
+    except tokenize.TokenError:
+        # A file the tokenizer rejects still parses via ast in some
+        # edge cases; losing its suppressions only makes the analysis
+        # stricter, never unsound.
+        pass
+    return tuple(out)
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo`.
+
+    The dotted module name strips a leading ``src/`` so files under
+    ``src/repro`` get their import name; ``tests``/``benchmarks`` files
+    get path-derived pseudo-names ("tests.serve.test_server").
+    """
+    relpath = path.relative_to(root).as_posix()
+    parts = list(Path(relpath).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    module = ".".join(parts)
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        module=module,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source, relpath),
+    )
+
+
+#: Directory names never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".eggs"}
+
+#: Default roots (relative to the repo root) the analyzer scans.
+DEFAULT_SCAN_ROOTS = ("src", "tests", "benchmarks", "examples")
+
+
+def load_tree(
+    root: Path, scan_roots: Sequence[str] = DEFAULT_SCAN_ROOTS
+) -> list[ModuleInfo]:
+    """Every parsable ``.py`` module under ``root``'s scan roots."""
+    modules: list[ModuleInfo] = []
+    for scan_root in scan_roots:
+        base = root / scan_root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            try:
+                modules.append(load_module(path, root))
+            except (SyntaxError, UnicodeDecodeError):
+                # Fixture corpora under tests/ may deliberately hold
+                # broken snippets; the meta-test keeps src/ parseable.
+                continue
+    return modules
+
+
+class Rule:
+    """Base class for per-module rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` / :attr:`rationale`
+    and implement :meth:`check`.  ``applies`` narrows the scope (most
+    rules only look at ``repro.*`` modules, not tests).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_package
+
+    def check(self, module: ModuleInfo, context: "AnalysisContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule needing the whole tree at once (cross-module graphs)."""
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], context: "AnalysisContext"
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def check(self, module: ModuleInfo, context: "AnalysisContext") -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class AnalysisContext:
+    """Shared inputs rules may consult (repo root, manifest, docs)."""
+
+    root: Path
+    manifest: tuple = ()
+    #: Knob names documented in the operations runbook's table.
+    documented_knobs: frozenset[str] = frozenset()
+    #: Metric names declared in ``repro.serve.metrics.KNOWN_METRICS``.
+    known_metrics: frozenset[str] = frozenset()
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+    #: Rule ids that actually ran (fixture tests assert coverage).
+    active_rules: tuple[str, ...] = ()
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unsuppressed
+
+    def stats(self) -> dict:
+        """Per-rule ``{"findings": n, "suppressed": m}`` counts.
+
+        Every active rule gets a row (zeros included) so the committed
+        baseline shows coverage, not just noise.
+        """
+        rows: dict[str, dict[str, int]] = {
+            rule: {"findings": 0, "suppressed": 0} for rule in self.active_rules
+        }
+        for finding in self.findings:
+            row = rows.setdefault(finding.rule, {"findings": 0, "suppressed": 0})
+            row["suppressed" if finding.suppressed else "findings"] += 1
+        return {rule: rows[rule] for rule in sorted(rows)}
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding],
+    module: ModuleInfo,
+    known_rules: frozenset[str],
+) -> list[Finding]:
+    """Mark suppressed findings; emit suppression-hygiene findings."""
+    out: list[Finding] = []
+    valid = [s for s in module.suppressions if s.reason]
+    for finding in findings:
+        covering = next(
+            (s for s in valid if s.covers(finding.rule, finding.line)), None
+        )
+        if covering is not None:
+            finding = replace(
+                finding, suppressed=True, suppression_reason=covering.reason
+            )
+        out.append(finding)
+    for suppression in module.suppressions:
+        if not suppression.reason:
+            out.append(
+                Finding(
+                    rule=SUP_MISSING_REASON,
+                    path=module.relpath,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "suppression without a reason: every "
+                        "`# repro: allow[...]` must say why"
+                    ),
+                )
+            )
+        for rule in suppression.rules:
+            if known_rules and rule not in known_rules:
+                out.append(
+                    Finding(
+                        rule=SUP_UNKNOWN_RULE,
+                        path=module.relpath,
+                        line=suppression.line,
+                        col=0,
+                        message=f"suppression names unknown rule {rule!r}",
+                    )
+                )
+    return out
+
+
+def run_analysis(
+    root: Path,
+    rules: Sequence[Rule],
+    context: AnalysisContext | None = None,
+    modules: Sequence[ModuleInfo] | None = None,
+) -> AnalysisReport:
+    """Run ``rules`` over the tree at ``root``.
+
+    ``modules`` overrides the default tree walk (rule fixtures hand in
+    synthetic modules directly).
+    """
+    if context is None:
+        context = AnalysisContext(root=root)
+    if modules is None:
+        modules = load_tree(root)
+    known_rules = frozenset(rule.rule_id for rule in rules) | {
+        SUP_MISSING_REASON,
+        SUP_UNKNOWN_RULE,
+    }
+    report = AnalysisReport(
+        root=root,
+        active_rules=tuple(sorted(rule.rule_id for rule in rules)),
+        files_scanned=len(modules),
+    )
+    per_module: dict[str, list[Finding]] = {m.relpath: [] for m in modules}
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            scoped = [m for m in modules if rule.applies(m)]
+            for finding in rule.check_project(scoped, context):
+                per_module.setdefault(finding.path, []).append(finding)
+        else:
+            for module in modules:
+                if not rule.applies(module):
+                    continue
+                for finding in rule.check(module, context):
+                    per_module.setdefault(module.relpath, []).append(finding)
+    by_relpath = {m.relpath: m for m in modules}
+    for relpath, found in per_module.items():
+        module = by_relpath.get(relpath)
+        if module is None:
+            report.findings.extend(found)
+            continue
+        report.findings.extend(
+            _apply_suppressions(found, module, known_rules)
+        )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,190 @@
+"""Declarative module-layering manifest for the ARCH rule family.
+
+Each :class:`LayerSpec` binds a dotted-module pattern to either a
+*forbidden* list (prefixes the layer may never import — ARCH-001) or an
+*exhaustive allowlist* (dependency-light leaves that may import nothing
+else — ARCH-002; the standard library is always allowed).  Patterns use
+``fnmatch`` syntax against dotted names; a spec for ``repro.serve``
+matches the package module itself, ``repro.serve.*`` its submodules —
+list both to cover a whole package.
+
+The manifest encodes the ROADMAP's architecture invariants:
+
+* engines are published through :mod:`repro.api` only — the serving
+  layer, harness and CLI never reach into ``milp.simplex`` or the DP
+  engines directly;
+* ``repro.serve`` layers on ``repro.api`` plus the two sanctioned
+  ``milp`` surfaces (``lp_backend``'s pool/knobs and
+  ``branch_and_bound``'s ``SolverOptions``);
+* engine code never imports upward into the service/serving layers;
+* ``repro.faultinject``, ``repro.cancel``, ``repro.store.serde`` and
+  ``repro.devtools`` stay dependency-light so every layer can import
+  them without cycles.
+
+Checks are on *direct* imports only (no transitive closure): each
+module is accountable for what it names, and the transitive picture is
+the union of the per-module ones.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+__all__ = ["DEFAULT_MANIFEST", "LayerSpec", "is_stdlib", "matches"]
+
+#: Third-party packages baked into the runtime image; allowed wherever
+#: the standard library is (they are this project's numerics floor).
+NUMERIC_STACK = ("numpy", "scipy")
+
+
+def is_stdlib(module: str) -> bool:
+    """Whether ``module``'s top-level package ships with CPython."""
+    top = module.split(".", 1)[0]
+    return top in sys.stdlib_module_names
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Import constraints for one layer.
+
+    ``forbidden`` — import-prefix denylist (ARCH-001).
+    ``allowed_only`` — exhaustive prefix allowlist on top of the stdlib
+    (ARCH-002); ``None`` means unconstrained.
+    ``reason`` — one line of why, quoted in findings so a violation
+    message teaches the invariant it broke.
+    """
+
+    pattern: str
+    forbidden: tuple[str, ...] = ()
+    allowed_only: tuple[str, ...] | None = None
+    reason: str = ""
+
+
+def matches(module: str, prefix: str) -> bool:
+    """Whether ``module`` is ``prefix`` itself or nested under it."""
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def spec_matches(spec: LayerSpec, module: str) -> bool:
+    return fnmatchcase(module, spec.pattern)
+
+
+DEFAULT_MANIFEST: tuple[LayerSpec, ...] = (
+    # -- serving layer: repro.api plus two sanctioned milp surfaces ----
+    LayerSpec(
+        pattern="repro.serve*",
+        forbidden=(
+            "repro.milp.simplex",
+            "repro.milp.branch_and_bound.BranchAndBoundSolver",
+            "repro.dp",
+            "repro.core",
+            "repro.harness",
+            "repro.sql",
+            "repro.exec",
+            "repro.cli",
+        ),
+        reason=(
+            "repro.serve layers strictly on repro.api; engine internals "
+            "(milp.simplex, the DP engines, core.optimizer) are reached "
+            "only through the registry"
+        ),
+    ),
+    # -- public surface: must not depend on layers above it ------------
+    LayerSpec(
+        pattern="repro.api*",
+        forbidden=("repro.serve", "repro.harness", "repro.cli", "repro.devtools"),
+        reason=(
+            "repro.api is the one public surface; it may wrap engines "
+            "but never the serving/harness layers built on top of it"
+        ),
+    ),
+    # -- engines: never reach up into service/serving/harness ----------
+    LayerSpec(
+        pattern="repro.milp*",
+        forbidden=("repro.serve", "repro.api", "repro.harness", "repro.cli"),
+        reason=(
+            "engine code is published through repro.api adapters; an "
+            "engine importing the service layer inverts the dependency"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.dp*",
+        forbidden=("repro.serve", "repro.api", "repro.harness", "repro.cli"),
+        reason="DP engines are published through repro.api adapters",
+    ),
+    # -- data layer: pure, imports no optimizer or serving code --------
+    LayerSpec(
+        pattern="repro.catalog*",
+        forbidden=("repro.serve", "repro.api", "repro.milp", "repro.dp",
+                   "repro.harness", "repro.store"),
+        reason="the catalog is the shared data layer every engine builds on",
+    ),
+    LayerSpec(
+        pattern="repro.plans*",
+        forbidden=("repro.serve", "repro.api", "repro.milp", "repro.dp",
+                   "repro.harness", "repro.store"),
+        reason="plan objects are the shared vocabulary below every engine",
+    ),
+    # -- persistence: below serve, beside api ---------------------------
+    LayerSpec(
+        pattern="repro.store*",
+        forbidden=("repro.serve", "repro.harness", "repro.cli",
+                   "repro.milp.simplex"),
+        reason=(
+            "the store is a leaf the server and service call into; it "
+            "never calls back up, and bases stay opaque snapshots "
+            "(lp_backend surfaces only, no simplex internals)"
+        ),
+    ),
+    # -- dependency-light leaves (ARCH-002) ----------------------------
+    LayerSpec(
+        pattern="repro.faultinject*",
+        allowed_only=NUMERIC_STACK,
+        reason=(
+            "faultinject is a dependency leaf every layer may import "
+            "without creating a cycle (PR 6); stdlib + numpy only"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.cancel",
+        allowed_only=("repro.exceptions",),
+        reason=(
+            "cancel tokens are threaded through every layer; the module "
+            "must stay importable from the deepest solver loop"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.store.serde",
+        allowed_only=NUMERIC_STACK + (
+            # The wire format references the data-model types it
+            # round-trips — and nothing heavier (no backends, no
+            # serving, no simplex internals).
+            "repro.api.result",
+            "repro.catalog",
+            "repro.exceptions",
+            "repro.milp.lp_backend",
+            "repro.milp.solution",
+            "repro.plans",
+        ),
+        reason=(
+            "store.serde stays dependency-light (PR 7): data-model "
+            "types only, so both store backends and the tests can "
+            "import it without dragging in the serving stack"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.devtools*",
+        allowed_only=(),
+        reason=(
+            "the analyzer must keep working when the code it checks is "
+            "broken; stdlib only"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.exceptions",
+        allowed_only=(),
+        reason="the exception hierarchy is imported by every layer",
+    ),
+)

@@ -1,0 +1,86 @@
+"""Reporters: text for humans, JSON for CI, stats for the baseline.
+
+The JSON shape is a stable contract (tests pin it):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "clean": true,
+      "files_scanned": 63,
+      "rules": ["ARCH-001", "..."],
+      "findings": [
+        {"rule": "...", "path": "...", "line": 1, "col": 0,
+         "message": "...", "suppressed": false,
+         "suppression_reason": null}
+      ],
+      "stats": {"ARCH-001": {"findings": 0, "suppressed": 0}}
+    }
+
+``render_stats`` is the same ``stats`` object alone — committed as
+``BENCH_analyze.json`` so a PR that adds findings or suppressions shows
+up in the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.devtools.engine import AnalysisReport, Finding
+
+__all__ = ["render_json", "render_stats", "render_text"]
+
+#: Bumped when the JSON findings shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _payload(report: AnalysisReport) -> dict:
+    return {
+        "version": SCHEMA_VERSION,
+        "clean": report.clean,
+        "files_scanned": report.files_scanned,
+        "rules": list(report.active_rules),
+        "findings": [asdict(f) for f in report.findings],
+        "stats": report.stats(),
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    return json.dumps(_payload(report), indent=2, sort_keys=True) + "\n"
+
+
+def render_stats(report: AnalysisReport) -> str:
+    return json.dumps(
+        {
+            "version": SCHEMA_VERSION,
+            "files_scanned": report.files_scanned,
+            "stats": report.stats(),
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def _line(finding: Finding) -> str:
+    flag = " [suppressed: {}]".format(finding.suppression_reason) \
+        if finding.suppressed else ""
+    return f"{finding.location()}: {finding.rule}: {finding.message}{flag}"
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-readable report; suppressed findings only with ``verbose``."""
+    lines: list[str] = []
+    shown = report.findings if verbose else report.unsuppressed
+    for finding in shown:
+        lines.append(_line(finding))
+    n_sup = len(report.suppressed)
+    summary = (
+        f"{len(report.unsuppressed)} finding(s), {n_sup} suppressed, "
+        f"{report.files_scanned} file(s) scanned, "
+        f"{len(report.active_rules)} rule(s)"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,94 @@
+"""The rule catalog: four families behind one factory.
+
+``all_rules()`` builds the default rule set the CLI and CI run;
+``rule_catalog()`` is the machine-readable listing ``docs/development.md``
+mirrors.  Families:
+
+======== ============================================================
+ARCH     module layering, dependency-light leaves, session ownership
+LOCK     guarded-attribute discipline, lock-acquisition-order cycles
+NUM      float equality, unseeded RNGs, silent exception swallows
+REG      env-knob documentation, metric-name registration
+======== ============================================================
+
+plus the engine-level ``SUP`` rules (suppression hygiene) that are
+always on and never themselves suppressible.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.engine import Rule
+from repro.devtools.rules.arch import (
+    DependencyLightRule,
+    LayeringRule,
+    SessionOwnershipRule,
+)
+from repro.devtools.rules.locks import LockDisciplineRule, LockOrderRule
+from repro.devtools.rules.numerics import (
+    ExceptSwallowRule,
+    FloatEqualityRule,
+    InvalidStateSwallowRule,
+    UnseededRandomRule,
+)
+from repro.devtools.rules.registry import KnobDocumentationRule, MetricNameRule
+
+__all__ = [
+    "DependencyLightRule",
+    "ExceptSwallowRule",
+    "FloatEqualityRule",
+    "InvalidStateSwallowRule",
+    "KnobDocumentationRule",
+    "LayeringRule",
+    "LockDisciplineRule",
+    "LockOrderRule",
+    "MetricNameRule",
+    "SessionOwnershipRule",
+    "UnseededRandomRule",
+    "all_rules",
+    "rule_catalog",
+]
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """The default rule set, in family order."""
+    return (
+        LayeringRule(),
+        DependencyLightRule(),
+        SessionOwnershipRule(),
+        LockDisciplineRule(),
+        LockOrderRule(),
+        FloatEqualityRule(),
+        UnseededRandomRule(),
+        ExceptSwallowRule(),
+        InvalidStateSwallowRule(),
+        KnobDocumentationRule(),
+        MetricNameRule(),
+    )
+
+
+def rule_catalog() -> list[dict]:
+    """``[{"id", "title", "rationale"}, ...]`` for docs and reporters."""
+    rows = [
+        {
+            "id": rule.rule_id,
+            "title": rule.title,
+            "rationale": rule.rationale,
+        }
+        for rule in all_rules()
+    ]
+    rows.append({
+        "id": "SUP-001",
+        "title": "suppression without a reason",
+        "rationale": (
+            "every `# repro: allow[...]` exemption must say why, or the "
+            "tree accumulates unexplained rule holes"
+        ),
+    })
+    rows.append({
+        "id": "SUP-002",
+        "title": "suppression names an unknown rule",
+        "rationale": (
+            "a typoed rule id silently suppresses nothing; fail loudly"
+        ),
+    })
+    return rows

@@ -1,0 +1,240 @@
+"""ARCH family: module layering from the declarative manifest.
+
+* **ARCH-001** — a module imports something its layer forbids.
+* **ARCH-002** — a dependency-light leaf imports outside its exhaustive
+  allowlist (stdlib and same-package imports always pass).
+* **ARCH-003** — ``SimplexSession`` constructed (or imported) outside
+  ``repro.milp``: simplex work lives behind the ``LPSession`` contract,
+  reached via ``create_session`` — never built directly.
+
+Imports are collected from the whole AST (function-level imports
+count: a lazy import is still a dependency).  ``if TYPE_CHECKING:``
+blocks are exempt from ARCH-002 only — a type-only name does not drag
+the dependency in at runtime, but it still crosses a layering fence,
+so ARCH-001 sees it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.devtools.engine import AnalysisContext, Finding, ModuleInfo, Rule
+from repro.devtools.manifest import (
+    DEFAULT_MANIFEST,
+    LayerSpec,
+    is_stdlib,
+    matches,
+    spec_matches,
+)
+
+__all__ = [
+    "DependencyLightRule",
+    "LayeringRule",
+    "SessionOwnershipRule",
+    "collect_imports",
+]
+
+
+@dataclass(frozen=True)
+class ImportedName:
+    """One imported target: the module, and for ``from`` imports the
+    symbol-qualified name too (so the manifest can ban single symbols)."""
+
+    target: str
+    qualified: str
+    line: int
+    col: int
+    type_checking_only: bool
+
+
+def _type_checking_lines(tree: ast.Module) -> set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` bodies."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = (
+            test.id if isinstance(test, ast.Name)
+            else test.attr if isinstance(test, ast.Attribute)
+            else None
+        )
+        if name != "TYPE_CHECKING":
+            continue
+        for child in node.body:
+            for sub in ast.walk(child):
+                if hasattr(sub, "lineno"):
+                    lines.add(sub.lineno)
+    return lines
+
+
+def _resolve_relative(module: ModuleInfo, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted name for a relative ``from . import`` target."""
+    package = module.module.split(".")
+    # A package __init__ resolves level-1 against itself; a plain
+    # module against its parent.
+    is_init = module.path.name == "__init__.py"
+    drop = node.level - (1 if is_init else 0)
+    if drop > len(package):
+        return None
+    base = package[: len(package) - drop] if drop else package
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def collect_imports(module: ModuleInfo) -> Iterator[ImportedName]:
+    """Every import in ``module``, symbol-qualified where possible."""
+    type_only = _type_checking_lines(module.tree)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield ImportedName(
+                    target=alias.name,
+                    qualified=alias.name,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    type_checking_only=node.lineno in type_only,
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                target = _resolve_relative(module, node)
+                if target is None:
+                    continue
+            else:
+                target = node.module or ""
+            if not target:
+                continue
+            for alias in node.names:
+                yield ImportedName(
+                    target=target,
+                    qualified=f"{target}.{alias.name}",
+                    line=node.lineno,
+                    col=node.col_offset,
+                    type_checking_only=node.lineno in type_only,
+                )
+
+
+def _specs_for(module: str, manifest: Iterable[LayerSpec]) -> list[LayerSpec]:
+    return [spec for spec in manifest if spec_matches(spec, module)]
+
+
+def _manifest(context: AnalysisContext) -> tuple[LayerSpec, ...]:
+    return tuple(context.manifest) or DEFAULT_MANIFEST
+
+
+class LayeringRule(Rule):
+    rule_id = "ARCH-001"
+    title = "import crosses a layering fence"
+    rationale = (
+        "the manifest in repro.devtools.manifest encodes which layers "
+        "may see which; a forbidden import couples modules the "
+        "architecture keeps apart (ROADMAP: one public surface)"
+    )
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for spec in _specs_for(module.module, _manifest(context)):
+            if not spec.forbidden:
+                continue
+            for imported in collect_imports(module):
+                hit = next(
+                    (
+                        prefix for prefix in spec.forbidden
+                        if matches(imported.target, prefix)
+                        or matches(imported.qualified, prefix)
+                    ),
+                    None,
+                )
+                if hit is None:
+                    continue
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=imported.line,
+                    col=imported.col,
+                    message=(
+                        f"{module.module} imports {imported.qualified}, "
+                        f"forbidden for layer {spec.pattern!r}: {spec.reason}"
+                    ),
+                )
+
+
+class DependencyLightRule(Rule):
+    rule_id = "ARCH-002"
+    title = "dependency-light leaf imports outside its allowlist"
+    rationale = (
+        "leaf modules (faultinject, cancel, store.serde, devtools) are "
+        "importable from every layer precisely because they import "
+        "almost nothing; one convenience import re-creates the cycles "
+        "they exist to break"
+    )
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for spec in _specs_for(module.module, _manifest(context)):
+            if spec.allowed_only is None:
+                continue
+            own_package = spec.pattern.rstrip("*").rstrip(".")
+            for imported in collect_imports(module):
+                if imported.type_checking_only:
+                    continue
+                if is_stdlib(imported.target):
+                    continue
+                if own_package and matches(imported.target, own_package):
+                    continue
+                if any(
+                    matches(imported.target, prefix)
+                    for prefix in spec.allowed_only
+                ):
+                    continue
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=imported.line,
+                    col=imported.col,
+                    message=(
+                        f"{module.module} imports {imported.target}, outside "
+                        f"the {spec.pattern!r} allowlist "
+                        f"{sorted(spec.allowed_only)}: {spec.reason}"
+                    ),
+                )
+
+
+class SessionOwnershipRule(Rule):
+    rule_id = "ARCH-003"
+    title = "SimplexSession constructed outside repro.milp"
+    rationale = (
+        "simplex work lives in SimplexSession behind the stateful "
+        "LPSession contract (ROADMAP); outside code obtains sessions "
+        "via LPBackend.create_session, never by direct construction"
+    )
+
+    #: The engine class whose construction is milp-private.
+    _owned = "SimplexSession"
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        if matches(module.module, "repro.milp"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name != self._owned:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{module.module} constructs {self._owned} directly; "
+                    "use LPBackend.create_session(form) so sessions stay "
+                    "behind the LPSession contract"
+                ),
+            )

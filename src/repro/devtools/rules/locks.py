@@ -1,0 +1,475 @@
+"""LOCK family: concurrency discipline inferred from the AST.
+
+* **LOCK-001** — per class owning a ``threading.Lock``/``RLock``/
+  ``Condition``: every ``self._x`` attribute *written* inside
+  ``with self._lock`` is treated as lock-guarded, and any read or write
+  of it on a path that does not hold the lock is flagged.
+* **LOCK-002** — a cross-class lock-acquisition-order graph: an edge
+  ``A → B`` means some method of ``A`` calls into a lock-acquiring
+  method of a ``B`` instance *while holding* ``A``'s lock.  Cycles are
+  deadlock potential and fail the analysis; so does re-acquiring a
+  non-reentrant lock the caller already holds.
+
+What counts as "holding the lock":
+
+* lexically inside ``with self._lock:`` (a ``threading.Condition``
+  constructed over a lock joins that lock's group — holding the
+  condition holds the lock);
+* methods whose name ends in ``_locked`` (the repo's documented
+  caller-holds-the-lock convention, e.g.
+  ``OptimizationServer._spawn_worker_locked``);
+* private helpers *provably* only called with the lock held — a
+  fixpoint over the intra-class call graph, so ``CircuitBreaker._trip``
+  (only ever called under ``self._lock``) needs no annotation.
+
+Construction paths (``__init__``/``__post_init__``/``__new__``/
+``__del__``) are exempt: an object under construction is thread-local.
+The inference is intraprocedural beyond that — accesses inside nested
+functions/lambdas are treated as lock-free (a closure may run later,
+without the lock), which is conservative in the right direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.devtools.engine import (
+    AnalysisContext,
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+)
+
+__all__ = ["LockDisciplineRule", "LockOrderRule", "scan_class"]
+
+#: Constructors that make an attribute a lock (``threading.X`` or a
+#: bare ``X`` import).
+_LOCK_FACTORIES = {"Lock", "RLock"}
+_CONDITION_FACTORIES = {"Condition"}
+
+#: Methods exempt from discipline checks: the object is thread-local.
+_CONSTRUCTION = {"__init__", "__new__", "__post_init__", "__del__"}
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``x`` for an expression ``self.x``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class Access:
+    attr: str
+    line: int
+    col: int
+    is_write: bool
+    held: frozenset[str]  # lexically-held lock groups at the access
+
+
+@dataclass
+class CallSite:
+    callee: str  # intra-class: self.<callee>(...)
+    held: frozenset[str]
+
+
+@dataclass
+class MethodScan:
+    name: str
+    accesses: list[Access] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: Lock groups this method lexically acquires (``with self.X``).
+    acquires: set[str] = field(default_factory=set)
+    #: ``(line, col, group)`` for each lexical acquisition, used by
+    #: LOCK-002's re-acquisition check.
+    acquisitions: list[tuple[int, int, str, frozenset]] = field(
+        default_factory=list
+    )
+    #: Calls on lock-owning *other* objects: (attr, method, line, col, held).
+    foreign_calls: list[tuple[str, str, int, int, frozenset]] = field(
+        default_factory=list
+    )
+    declared_locked: bool = False
+
+
+@dataclass
+class ClassScan:
+    name: str
+    module: ModuleInfo
+    line: int
+    #: lock attr -> group id (conditions alias their lock's group).
+    lock_groups: dict[str, str] = field(default_factory=dict)
+    methods: dict[str, MethodScan] = field(default_factory=dict)
+    #: instance attr -> simple class name (``self.x = ClassName(...)``).
+    instance_attrs: dict[str, str] = field(default_factory=dict)
+    #: Names of methods defined directly on the class body.
+    methods_names: set[str] = field(default_factory=set)
+
+    @property
+    def groups(self) -> frozenset[str]:
+        return frozenset(self.lock_groups.values())
+
+
+def _find_lock_assignments(cls: ast.ClassDef, scan: ClassScan) -> None:
+    """First pass: which ``self.X`` attributes are locks/conditions,
+    and which hold instances of other classes."""
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        attr = _self_attr(node.targets[0])
+        if attr is None or not isinstance(node.value, ast.Call):
+            continue
+        factory = _call_name(node.value.func)
+        if factory in _LOCK_FACTORIES:
+            scan.lock_groups[attr] = attr
+        elif factory in _CONDITION_FACTORIES:
+            arg_attr = (
+                _self_attr(node.value.args[0]) if node.value.args else None
+            )
+            if arg_attr is not None and arg_attr in scan.lock_groups:
+                scan.lock_groups[attr] = scan.lock_groups[arg_attr]
+            else:
+                scan.lock_groups[attr] = attr
+        elif factory is not None and factory[:1].isupper():
+            scan.instance_attrs[attr] = factory
+
+
+class _MethodWalker:
+    """Statement walker tracking lexically-held lock groups."""
+
+    def __init__(self, scan: ClassScan, method: MethodScan) -> None:
+        self.scan = scan
+        self.method = method
+
+    def walk(self, nodes: Sequence[ast.stmt], held: frozenset[str]) -> None:
+        for node in nodes:
+            self._walk_stmt(node, held)
+
+    def _walk_stmt(self, node: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                group = (
+                    self.scan.lock_groups.get(attr) if attr is not None
+                    else None
+                )
+                self._visit_expr(item.context_expr, held, lock_ok=True)
+                if group is not None:
+                    self.method.acquires.add(group)
+                    self.method.acquisitions.append(
+                        (node.lineno, node.col_offset, group, inner)
+                    )
+                    inner = inner | {group}
+            self.walk(node.body, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function may run later, without the lock.
+            self.walk(node.body, frozenset())
+            return
+        self._walk_children(node, held)
+
+    def _walk_children(self, node: ast.AST, held: frozenset[str]) -> None:
+        """Recurse through mixed children (ExceptHandler, match_case,
+        ...) preserving the held set for the statements inside them."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child, held)
+            elif isinstance(child, ast.expr):
+                self._visit_expr(child, held)
+            else:
+                self._walk_children(child, held)
+
+    def _visit_expr(
+        self, node: ast.expr, held: frozenset[str], lock_ok: bool = False
+    ) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Lambda):
+                # A lambda body is walked with the surrounding held set
+                # (ast.walk is flat); deferred-callback races can slip
+                # through, but no false positive is created.
+                continue
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                attr = _self_attr(func) if isinstance(func, ast.Attribute) else None
+                if attr is not None and attr in self.scan.methods_names:
+                    self.method.calls.append(CallSite(callee=attr, held=held))
+                if (
+                    isinstance(func, ast.Attribute)
+                    and (owner := _self_attr(func.value)) is not None
+                ):
+                    self.method.foreign_calls.append(
+                        (owner, func.attr, sub.lineno, sub.col_offset, held)
+                    )
+            if isinstance(sub, ast.Attribute):
+                attr = _self_attr(sub)
+                if attr is None:
+                    continue
+                if attr in self.scan.lock_groups and not lock_ok:
+                    continue  # the lock object itself is not guarded data
+                if attr in self.scan.lock_groups:
+                    continue
+                is_write = isinstance(sub.ctx, (ast.Store, ast.Del))
+                self.method.accesses.append(
+                    Access(
+                        attr=attr,
+                        line=sub.lineno,
+                        col=sub.col_offset,
+                        is_write=is_write,
+                        held=held,
+                    )
+                )
+
+
+def scan_class(cls: ast.ClassDef, module: ModuleInfo) -> ClassScan | None:
+    """Full scan of one class; ``None`` when it owns no lock."""
+    scan = ClassScan(name=cls.name, module=module, line=cls.lineno)
+    _find_lock_assignments(cls, scan)
+    if not scan.lock_groups:
+        return None
+    method_defs = [
+        node for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    scan.methods_names = {m.name for m in method_defs}
+    for node in method_defs:
+        method = MethodScan(
+            name=node.name,
+            declared_locked=node.name.endswith("_locked"),
+        )
+        scan.methods[node.name] = method
+        walker = _MethodWalker(scan, method)
+        walker.walk(node.body, frozenset())
+    return scan
+
+
+def _infer_held(scan: ClassScan) -> dict[str, frozenset[str]]:
+    """Fixpoint: lock groups every entry to a method is guaranteed to
+    hold, from the intra-class call graph."""
+    all_groups = scan.groups
+    sites: dict[str, list[tuple[str, frozenset[str]]]] = {
+        name: [] for name in scan.methods
+    }
+    for caller, method in scan.methods.items():
+        if caller in _CONSTRUCTION:
+            continue  # single-threaded; never evidence of lock-holding
+        for call in method.calls:
+            if call.callee in sites:
+                sites[call.callee].append((caller, call.held))
+    held: dict[str, frozenset[str]] = {}
+    for name, method in scan.methods.items():
+        if method.declared_locked:
+            held[name] = all_groups
+        elif not sites[name]:
+            held[name] = frozenset()
+        else:
+            held[name] = all_groups  # optimistic; intersect downward
+    for _ in range(len(scan.methods) + 1):
+        changed = False
+        for name, method in scan.methods.items():
+            if method.declared_locked or not sites[name]:
+                continue
+            new = all_groups
+            for caller, lexical in sites[name]:
+                new = new & (lexical | held.get(caller, frozenset()))
+            if new != held[name]:
+                held[name] = new
+                changed = True
+        if not changed:
+            break
+    return held
+
+
+def _guarded_attrs(
+    scan: ClassScan, inferred: dict[str, frozenset[str]]
+) -> dict[str, frozenset[str]]:
+    """attr -> groups it is ever written under (outside construction)."""
+    guarded: dict[str, set[str]] = {}
+    for name, method in scan.methods.items():
+        if name in _CONSTRUCTION:
+            continue
+        base = inferred.get(name, frozenset())
+        for access in method.accesses:
+            effective = access.held | base
+            if access.is_write and effective:
+                guarded.setdefault(access.attr, set()).update(effective)
+    return {attr: frozenset(groups) for attr, groups in guarded.items()}
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "LOCK-001"
+    title = "lock-guarded attribute accessed without the lock"
+    rationale = (
+        "an attribute written under `with self._lock` is part of the "
+        "lock's invariant; reading or writing it off-lock races the "
+        "locked writers (torn reads, lost updates) — PR 6's serving "
+        "stack made this a convention, this rule makes it a gate"
+    )
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            scan = scan_class(node, module)
+            if scan is None:
+                continue
+            inferred = _infer_held(scan)
+            guarded = _guarded_attrs(scan, inferred)
+            if not guarded:
+                continue
+            for name, method in scan.methods.items():
+                if name in _CONSTRUCTION or method.declared_locked:
+                    continue
+                base = inferred.get(name, frozenset())
+                for access in method.accesses:
+                    groups = guarded.get(access.attr)
+                    if groups is None:
+                        continue
+                    if (access.held | base) & groups:
+                        continue
+                    lock_names = sorted(
+                        attr for attr, group in scan.lock_groups.items()
+                        if group in groups
+                    )
+                    verb = "written" if access.is_write else "read"
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=access.line,
+                        col=access.col,
+                        message=(
+                            f"{scan.name}.{name} {verb}s self.{access.attr} "
+                            f"without holding self.{lock_names[0]} "
+                            f"(the attribute is written under it elsewhere "
+                            f"in {scan.name})"
+                        ),
+                    )
+
+
+class LockOrderRule(ProjectRule):
+    rule_id = "LOCK-002"
+    title = "lock-acquisition-order cycle (deadlock potential)"
+    rationale = (
+        "if thread 1 locks A then B while thread 2 locks B then A, the "
+        "system deadlocks under load; a cycle-free acquisition graph "
+        "makes that impossible by construction — checked now, before "
+        "multi-process sharding multiplies the lock surface"
+    )
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], context: AnalysisContext
+    ) -> Iterable[Finding]:
+        scans: list[ClassScan] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    scan = scan_class(node, module)
+                    if scan is not None:
+                        scans.append(scan)
+        by_name: dict[str, list[ClassScan]] = {}
+        for scan in scans:
+            by_name.setdefault(scan.name, []).append(scan)
+        #: class name -> methods that lexically acquire its own lock.
+        acquiring: dict[str, set[str]] = {
+            scan.name: {
+                name for name, method in scan.methods.items()
+                if method.acquires
+            }
+            for scan in scans
+        }
+
+        edges: dict[tuple[str, str], tuple[str, int, int, str]] = {}
+        findings: list[Finding] = []
+        for scan in scans:
+            inferred = _infer_held(scan)
+            for name, method in scan.methods.items():
+                if name in _CONSTRUCTION:
+                    continue
+                base = inferred.get(name, frozenset())
+                # Re-acquisition of a non-reentrant lock already held.
+                for line, col, group, held_before in method.acquisitions:
+                    if group in (held_before | base):
+                        findings.append(Finding(
+                            rule=self.rule_id,
+                            path=scan.module.relpath,
+                            line=line,
+                            col=col,
+                            message=(
+                                f"{scan.name}.{name} re-acquires "
+                                f"non-reentrant lock group {group!r} it "
+                                "already holds (self-deadlock)"
+                            ),
+                        ))
+                for owner, callee, line, col, held in method.foreign_calls:
+                    effective = held | base
+                    if not effective:
+                        continue
+                    target_cls = scan.instance_attrs.get(owner)
+                    if target_cls is None or target_cls not in acquiring:
+                        continue
+                    if callee not in acquiring[target_cls]:
+                        continue
+                    edge = (scan.name, target_cls)
+                    edges.setdefault(
+                        edge, (scan.module.relpath, line, col, name)
+                    )
+
+        for cycle in _cycles(edges):
+            path, line, col, method = edges[(cycle[0], cycle[1])]
+            chain = " -> ".join(cycle + (cycle[0],))
+            findings.append(Finding(
+                rule=self.rule_id,
+                path=path,
+                line=line,
+                col=col,
+                message=(
+                    f"lock-acquisition-order cycle {chain}: "
+                    f"{cycle[0]}.{method} calls into {cycle[1]} while "
+                    f"holding its own lock, and the chain returns — "
+                    "two threads interleaving these paths deadlock"
+                ),
+            ))
+        return findings
+
+
+def _cycles(
+    edges: dict[tuple[str, str], object]
+) -> list[tuple[str, ...]]:
+    """Elementary cycles in the class-lock digraph (DFS; the graph has
+    ~10 nodes, so simplicity beats Johnson's algorithm)."""
+    graph: dict[str, list[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+    cycles: list[tuple[str, ...]] = []
+    seen_cycles: set[frozenset[str]] = set()
+
+    def dfs(start: str, node: str, path: list[str]) -> None:
+        for nxt in graph.get(node, ()):
+            if nxt == start:
+                key = frozenset(path)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(tuple(path))
+            elif nxt not in path and nxt > start:
+                # Only explore nodes ordered after start: each cycle is
+                # found exactly once, rooted at its smallest node.
+                dfs(start, nxt, path + [nxt])
+
+    for node in sorted(graph):
+        dfs(node, node, [node])
+    return cycles

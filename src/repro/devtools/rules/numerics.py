@@ -1,0 +1,291 @@
+"""NUM family: numerics and error-handling hygiene.
+
+* **NUM-001** — bare ``==``/``!=`` between float-ish operands inside
+  ``repro.milp`` — after pivoting, quantities carry rounding error and
+  must be compared against a tolerance.  Comparisons against a *zero*
+  constant (``0``, ``0.0``, ``-0.0``) are exempt by design: the solver
+  deliberately tests exact structural zeros (untouched sparsity).
+* **NUM-002** — unseeded global RNG (``random.random()``,
+  ``np.random.rand()``...) outside tests: the paper's benchmarks are
+  reproducible because every stochastic component takes an explicit
+  seed (``random.Random(seed)``, ``default_rng(seed)``).
+* **NUM-003** — ``except Exception`` whose body neither logs, re-raises,
+  nor records the error: a silently swallowed exception is invisible in
+  production and unreachable for tests.
+* **NUM-004** — ``except InvalidStateError`` swallowed with no comment
+  of intent: the serving layer has exactly one documented
+  idempotent-resolve site; new ones must justify themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.engine import AnalysisContext, Finding, ModuleInfo, Rule
+
+__all__ = [
+    "ExceptSwallowRule",
+    "FloatEqualityRule",
+    "InvalidStateSwallowRule",
+    "UnseededRandomRule",
+]
+
+
+def _is_zero_constant(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and node.value == 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_zero_constant(node.operand)
+    return False
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Whether ``node`` syntactically smells like a float value.
+
+    Purely syntactic (no type inference): float literals, names/attrs
+    with numeric-flavoured identifiers, arithmetic on either, and calls
+    to obvious float producers.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.Call):
+        name = (
+            node.func.id if isinstance(node.func, ast.Name)
+            else node.func.attr if isinstance(node.func, ast.Attribute)
+            else ""
+        )
+        return name in {"float", "dot", "sum", "norm", "abs", "min", "max"}
+    if isinstance(node, (ast.Name, ast.Attribute, ast.Subscript)):
+        ident = _identifier(node)
+        return any(hint in ident for hint in _FLOAT_HINTS)
+    return False
+
+
+#: Identifier fragments that mark a value as floating-point in this
+#: codebase's naming conventions (objective values, costs, tableau
+#: entries, tolerances, ratios, bounds).
+_FLOAT_HINTS = (
+    "obj", "cost", "value", "val", "coef", "coeff", "weight", "bound",
+    "ratio", "tol", "eps", "pivot", "reduced", "slack", "rhs", "lhs",
+    "theta", "delta", "gap", "score", "alpha", "beta", "gamma",
+)
+
+
+def _identifier(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    if isinstance(node, ast.Subscript):
+        return _identifier(node.value)
+    return ""
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "NUM-001"
+    title = "bare float equality in solver code"
+    rationale = (
+        "after Forrest-Tomlin updates and repeated pivots, solver "
+        "quantities carry O(eps) error; `a == b` silently becomes "
+        "`False` on a different BLAS — compare |a-b| <= tol (zero "
+        "constants exempt: structural zeros are exact by design)"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.module.startswith("repro.milp")
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_zero_constant(left) or _is_zero_constant(right):
+                    continue
+                if not (_is_floatish(left) or _is_floatish(right)):
+                    continue
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "float equality without tolerance in "
+                        f"{module.module}; use abs(a - b) <= tol "
+                        "(nonzero constants and computed values both "
+                        "carry rounding error)"
+                    ),
+                )
+
+
+#: ``module attr`` pairs that draw from the *global*, unseeded RNG.
+_GLOBAL_RNG_FUNCS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "rand", "randn",
+    "permutation", "standard_normal",
+}
+
+
+class UnseededRandomRule(Rule):
+    rule_id = "NUM-002"
+    title = "unseeded global RNG in package code"
+    rationale = (
+        "figure-level reproducibility (PAPER.md) requires every "
+        "stochastic component to take an explicit seed; the global "
+        "random/np.random state is process-wide and order-dependent — "
+        "use random.Random(seed) or np.random.default_rng(seed)"
+    )
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _GLOBAL_RNG_FUNCS:
+                continue
+            base = func.value
+            is_global_random = (
+                isinstance(base, ast.Name) and base.id == "random"
+            ) or (
+                # np.random.X / numpy.random.X
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in {"np", "numpy"}
+            )
+            if not is_global_random:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{module.module} draws from the unseeded global RNG "
+                    f"({ast.unparse(func)}); construct a seeded generator "
+                    "instead"
+                ),
+            )
+
+
+def _body_handles(handler: ast.ExceptHandler) -> bool:
+    """Whether an except body logs, re-raises, or records the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = (
+                node.func.attr if isinstance(node.func, ast.Attribute)
+                else node.func.id if isinstance(node.func, ast.Name)
+                else ""
+            )
+            if name in {
+                "debug", "info", "warning", "error", "exception",
+                "critical", "log", "warn", "print", "record_error",
+                "set_exception", "increment", "inc", "observe",
+            }:
+                return True
+    # Binding the exception into state (``self.last_error = exc`` or a
+    # results list) also counts as handling it.
+    if handler.name:
+        for node in ast.walk(handler):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:
+        return True
+    names = t.elts if isinstance(t, ast.Tuple) else [t]
+    for name in names:
+        ident = (
+            name.id if isinstance(name, ast.Name)
+            else name.attr if isinstance(name, ast.Attribute)
+            else ""
+        )
+        if ident in {"Exception", "BaseException"}:
+            return True
+    return False
+
+
+class ExceptSwallowRule(Rule):
+    rule_id = "NUM-003"
+    title = "broad except swallows the error silently"
+    rationale = (
+        "`except Exception: pass` hides solver and serving bugs as "
+        "silent no-ops; broad handlers must log, re-raise, count, or "
+        "bind the error somewhere observable"
+    )
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _body_handles(node):
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"broad except in {module.module} swallows the error "
+                    "without logging, re-raising, or recording it"
+                ),
+            )
+
+
+class InvalidStateSwallowRule(Rule):
+    rule_id = "NUM-004"
+    title = "InvalidStateError swallowed"
+    rationale = (
+        "InvalidStateError means a Future was resolved twice; exactly "
+        "one site (the cancel/worker resolve race in serve.server) may "
+        "treat that as idempotent — anywhere else it hides a real "
+        "double-resolution bug"
+    )
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            names = (
+                node.type.elts if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            hit = any(
+                (n.id if isinstance(n, ast.Name)
+                 else n.attr if isinstance(n, ast.Attribute) else "")
+                == "InvalidStateError"
+                for n in names
+            )
+            if not hit or _body_handles(node):
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "InvalidStateError swallowed; double-resolving a "
+                    "Future is a bug unless this is the documented "
+                    "idempotent-resolve site (suppress with a reason)"
+                ),
+            )

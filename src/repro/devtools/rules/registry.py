@@ -1,0 +1,197 @@
+"""REG family: the two operational registries stay closed.
+
+* **REG-001** — every ``REPRO_*`` environment variable the code *reads*
+  must appear in the knob table in ``docs/operations.md``: the runbook
+  is the contract operators tune against, and an undocumented knob is
+  an untunable one.
+* **REG-002** — every metric name minted in ``repro.serve`` must be
+  declared in ``repro.serve.metrics.KNOWN_METRICS``: dashboards and the
+  chaos harness key on names, and a typo would otherwise just create a
+  fresh, never-watched series.
+
+Both registries are read declaratively — the docs table by regex, the
+``KNOWN_METRICS`` dict by AST — so the analyzer never imports the code
+it is checking.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.engine import AnalysisContext, Finding, ModuleInfo, Rule
+
+__all__ = [
+    "KnobDocumentationRule",
+    "MetricNameRule",
+    "load_documented_knobs",
+    "load_known_metrics",
+]
+
+#: A knob-table row in the runbook: ``| `REPRO_X` | default | ... |``.
+_KNOB_ROW_RE = re.compile(r"^\s*\|\s*`(REPRO_[A-Z0-9_]+)`")
+
+_OPERATIONS_DOC = Path("docs") / "operations.md"
+
+
+def load_documented_knobs(root: Path) -> frozenset[str]:
+    """Knob names documented in the operations runbook's table."""
+    doc = root / _OPERATIONS_DOC
+    if not doc.is_file():
+        return frozenset()
+    knobs = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        match = _KNOB_ROW_RE.match(line)
+        if match:
+            knobs.add(match.group(1))
+    return frozenset(knobs)
+
+
+_METRICS_MODULE = Path("src") / "repro" / "serve" / "metrics.py"
+
+
+def load_known_metrics(root: Path) -> frozenset[str]:
+    """String keys of ``KNOWN_METRICS`` in ``repro.serve.metrics``,
+    read from the AST (the analyzer never imports checked code)."""
+    path = root / _METRICS_MODULE
+    if not path.is_file():
+        return frozenset()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        targets = (
+            node.targets if isinstance(node, ast.Assign)
+            else [node.target] if isinstance(node, ast.AnnAssign) and node.value
+            else []
+        )
+        named = any(
+            isinstance(t, ast.Name) and t.id == "KNOWN_METRICS"
+            for t in targets
+        )
+        if not named:
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            return frozenset(
+                key.value for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+        if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            return frozenset(
+                el.value for el in value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            )
+    return frozenset()
+
+
+def _env_knob_reads(tree: ast.Module) -> Iterable[tuple[str, int, int]]:
+    """``(knob, line, col)`` for every REPRO_* environment read."""
+    for node in ast.walk(tree):
+        knob: str | None = None
+        # os.environ.get("REPRO_X") / os.getenv("REPRO_X")
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            is_environ_get = (
+                func.attr == "get"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "environ"
+            )
+            is_getenv = func.attr == "getenv"
+            if (is_environ_get or is_getenv) and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    knob = arg.value
+        # os.environ["REPRO_X"] (reads only — setenv/del in tests are
+        # writes and do not need runbook rows)
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "environ"
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            knob = node.slice.value
+        if knob is not None and knob.startswith("REPRO_"):
+            yield knob, node.lineno, node.col_offset
+
+
+class KnobDocumentationRule(Rule):
+    rule_id = "REG-001"
+    title = "REPRO_* knob read but not documented in the runbook"
+    rationale = (
+        "docs/operations.md's knob table is the operator contract; a "
+        "knob the code reads but the table omits cannot be discovered "
+        "or safely tuned (add a row, or stop reading the variable)"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        # Knob reads anywhere in the tree count — benchmarks and
+        # example scripts read knobs operators must know about too.
+        return True
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        documented = context.documented_knobs or load_documented_knobs(
+            context.root
+        )
+        for knob, line, col in _env_knob_reads(module.tree):
+            if knob in documented:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=line,
+                col=col,
+                message=(
+                    f"{knob} is read here but has no row in the "
+                    "docs/operations.md knob table"
+                ),
+            )
+
+
+#: Registry factory methods whose first argument is a metric name.
+_METRIC_FACTORIES = {"counter", "gauge", "histogram", "counter_family"}
+
+
+class MetricNameRule(Rule):
+    rule_id = "REG-002"
+    title = "metric name not declared in KNOWN_METRICS"
+    rationale = (
+        "dashboards and the chaos harness select series by name; a "
+        "name minted in serve/ but absent from "
+        "repro.serve.metrics.KNOWN_METRICS is a typo or an unwatched "
+        "series — declare it (with its type) or fix the spelling"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.module.startswith("repro.serve")
+
+    def check(self, module: ModuleInfo, context: AnalysisContext) -> Iterable[Finding]:
+        known = context.known_metrics or load_known_metrics(context.root)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else ""
+            )
+            if name not in _METRIC_FACTORIES or not node.args:
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                continue
+            if arg.value in known:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"metric {arg.value!r} is not declared in "
+                    "repro.serve.metrics.KNOWN_METRICS"
+                ),
+            )

@@ -36,7 +36,9 @@ from __future__ import annotations
 import contextlib
 import random
 import threading
+from collections.abc import Iterator
 from dataclasses import dataclass, replace
+from typing import Any
 
 __all__ = [
     "FaultPlan",
@@ -132,7 +134,9 @@ class FaultPlan:
     form a single deterministic sequence per site.
     """
 
-    def __init__(self, seed: int, specs: list[FaultSpec] | tuple[FaultSpec, ...]):
+    def __init__(
+        self, seed: int, specs: list[FaultSpec] | tuple[FaultSpec, ...]
+    ) -> None:
         self.seed = seed
         self.specs = tuple(specs)
         self._lock = threading.Lock()
@@ -234,7 +238,7 @@ def active() -> FaultPlan | None:
 
 
 @contextlib.contextmanager
-def inject(plan: FaultPlan):
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
     """Scoped activation: ``with inject(plan): ...`` (always clears)."""
     install(plan)
     try:
@@ -259,7 +263,7 @@ def check(site: str) -> FaultSpec | None:
 # Payload corruption helpers
 # ---------------------------------------------------------------------------
 
-def corrupt_basis(basis, rng: random.Random):
+def corrupt_basis(basis: Any, rng: random.Random) -> Any:
     """A deterministically corrupted copy of a basis snapshot.
 
     Works on any frozen dataclass with ``basic`` / ``status`` integer

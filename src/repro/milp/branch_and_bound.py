@@ -795,6 +795,7 @@ class BranchAndBoundSolver:
         # decisions (join order) before derived flags (thresholds).
         priorities = self._priorities[fractional]
         top = priorities.max()
+        # repro: allow[NUM-001] branching priorities are small integers; exact by construction
         if priorities.min() != top:
             fractional = fractional[priorities == top]
         values = x[fractional]

@@ -42,6 +42,11 @@ VIOLATION_TOL = 1e-4
 ZERO_TOL = 1e-6
 
 
+def _is_unit(value: float) -> bool:
+    """Whether a model coefficient is (numerically) one."""
+    return abs(value - 1.0) <= ZERO_TOL
+
+
 @dataclass(frozen=True)
 class Cut:
     """A globally valid inequality ``sum coefficients[i] * x_i <= rhs``.
@@ -239,15 +244,15 @@ class CutGenerator:
             if len(items) < 2:
                 continue
             if not all(
-                self._binary[index] and coefficient == 1.0
+                self._binary[index] and _is_unit(coefficient)
                 for index, coefficient in items
             ):
                 continue
             is_set_packing = (
-                constraint.sense is Sense.LE and constraint.rhs == 1.0
+                constraint.sense is Sense.LE and _is_unit(constraint.rhs)
             )
             is_partitioning = (
-                constraint.sense is Sense.EQ and constraint.rhs == 1.0
+                constraint.sense is Sense.EQ and _is_unit(constraint.rhs)
             )
             if not (is_set_packing or is_partitioning):
                 continue

@@ -14,14 +14,54 @@ from __future__ import annotations
 
 import bisect
 import threading
+from typing import TypeVar
 
 __all__ = [
     "Counter",
     "CounterFamily",
     "Gauge",
     "Histogram",
+    "KNOWN_METRICS",
     "MetricsRegistry",
 ]
+
+#: Every metric name the serving layer may mint, with its type.
+#:
+#: This is the closed registry dashboards and the chaos harness key on:
+#: ``repro analyze`` (rule REG-002) fails if code in ``repro.serve``
+#: creates a metric whose name is missing here, so a typo becomes a CI
+#: failure instead of a fresh, never-watched series.  Add a row when
+#: adding a metric.
+KNOWN_METRICS: dict[str, str] = {
+    # admission / outcome counters (server.py)
+    "serve_requests_total": "counter",
+    "serve_completed_total": "counter",
+    "serve_rejected_total": "counter",
+    "serve_timed_out_total": "counter",
+    "serve_failed_total": "counter",
+    "serve_cancelled_total": "counter",
+    "serve_coalesced_total": "counter",
+    "serve_optimizations_total": "counter",
+    "serve_degraded_total": "counter",
+    "serve_retries_total": "counter",
+    "serve_ladder_descents_total": "counter",
+    "serve_workers_replaced_total": "counter",
+    # error breakdown by kind (server.py, http.py)
+    "errors_total": "counter_family",
+    # load gauges
+    "serve_queue_depth": "gauge",
+    "serve_busy_workers": "gauge",
+    # latency histograms
+    "serve_wait_seconds": "histogram",
+    "serve_service_seconds": "histogram",
+    "serve_total_seconds": "histogram",
+    # persistent-store integration (server.py)
+    "store_hits_total": "counter",
+    "store_writes_total": "counter",
+    "store_replay_seconds": "gauge",
+    "store_replayed_plans": "gauge",
+    "store_replayed_bases": "gauge",
+}
 
 #: Default histogram buckets: request latencies in seconds, log-spaced
 #: from 1 ms to 60 s (the anytime MILP budget ceiling in the paper).
@@ -266,10 +306,11 @@ class Histogram:
             )
         return "\n".join(lines) + "\n"
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         """JSON-friendly summary (used by ``BENCH_serve.json``)."""
         with self._lock:
             count, total = self._count, self._sum
+            low, high = self._min, self._max
         return {
             "count": count,
             "sum": total,
@@ -277,9 +318,15 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
-            "min": self._min if count else 0.0,
-            "max": self._max if count else 0.0,
+            "min": low if count else 0.0,
+            "max": high if count else 0.0,
         }
+
+
+#: Anything the registry can hold.
+Metric = Counter | CounterFamily | Gauge | Histogram
+
+_M = TypeVar("_M", Counter, CounterFamily, Gauge)
 
 
 class MetricsRegistry:
@@ -287,9 +334,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[
-            str, Counter | CounterFamily | Gauge | Histogram
-        ] = {}
+        self._metrics: dict[str, Metric] = {}
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         return self._get_or_create(name, help_text, Counter)
@@ -318,20 +363,20 @@ class MetricsRegistry:
                 )
             return metric
 
-    def _get_or_create(self, name: str, help_text: str, cls):
+    def _get_or_create(self, name: str, help_text: str, cls: type[_M]) -> _M:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
                 metric = cls(name, help_text)
                 self._metrics[name] = metric
-            elif not isinstance(metric, cls):
+            if not isinstance(metric, cls):
                 raise ValueError(
                     f"metric {name!r} already registered as "
                     f"{type(metric).__name__}"
                 )
             return metric
 
-    def get(self, name: str):
+    def get(self, name: str) -> Metric | None:
         """Registered metric by name (``None`` when absent)."""
         with self._lock:
             return self._metrics.get(name)
@@ -342,11 +387,11 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         return "".join(metric.expose() for metric in metrics)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """JSON-friendly dump of every metric's current value."""
         with self._lock:
             metrics = dict(self._metrics)
-        out: dict = {}
+        out: dict[str, object] = {}
         for name, metric in metrics.items():
             if isinstance(metric, Histogram):
                 out[name] = metric.snapshot()

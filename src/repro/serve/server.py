@@ -462,7 +462,9 @@ class OptimizationServer:
                         basis_key(signature), store_serde.encode_basis(basis)
                     )
                 except Exception:  # noqa: BLE001 - flush is best-effort
-                    pass
+                    logger.debug(
+                        "basis flush failed for %s", signature, exc_info=True
+                    )
         try:
             self.store.flush()
         except Exception as error:  # noqa: BLE001
@@ -507,10 +509,10 @@ class OptimizationServer:
                 continue  # provably stuck; waiting only burns the budget
             thread.join(max(0.0, deadline - time.monotonic()))
         self._watchdog_stop.set()
-        if self._watchdog_thread is not None:
-            self._watchdog_thread.join(
-                max(0.1, deadline - time.monotonic())
-            )
+        with self._lock:
+            watchdog = self._watchdog_thread
+        if watchdog is not None:
+            watchdog.join(max(0.1, deadline - time.monotonic()))
         # Leftover resolution: nothing a dead server holds may dangle.
         with self._lock:
             stuck = list(self._inflight.items())
@@ -597,6 +599,9 @@ class OptimizationServer:
             # rejection up as a transient "queue full".
             self._resolve_rejection(request, "server stopped")
             return ServeTicket(request)
+        # Benign double-checked fast path: start() re-checks under the
+        # lock, so the worst case is one redundant call.
+        # repro: allow[LOCK-001] racy fast-path read; start() re-checks under the lock
         if not self._started:
             self.start()
         if algorithm not in self.service.algorithms():
@@ -925,6 +930,7 @@ class OptimizationServer:
         # wrote it off may call this, and exactly one may count.
         try:
             request.future.set_result(outcome)
+        # repro: allow[NUM-004] the documented idempotent-resolve site: worker and watchdog may race, exactly one counts
         except InvalidStateError:
             return
         self._total_hist.observe(total)
@@ -971,7 +977,8 @@ class OptimizationServer:
 
     @property
     def started(self) -> bool:
-        return self._started
+        with self._lock:
+            return self._started
 
     def _sync_store_metrics(self) -> None:
         """Fold the store's own counters into the metrics registry.

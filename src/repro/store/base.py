@@ -49,6 +49,7 @@ Environment knobs (all overridable per-instance)
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -58,6 +59,8 @@ from repro import faultinject
 from repro.exceptions import ReproError
 
 from repro.store import serde
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_FLUSH_INTERVAL",
@@ -402,7 +405,11 @@ class PlanStore:
             try:
                 drop()
             except Exception:  # noqa: BLE001 - best-effort cleanup
-                pass
+                logger.debug(
+                    "failed to drop corrupt record; it stays counted in "
+                    "corrupt_dropped and keeps failing verification",
+                    exc_info=True,
+                )
         return None
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ previous value), not crashed on.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import struct
 import threading
@@ -165,10 +166,14 @@ class LogPlanStore(PlanStore):
         self._file.write(key_bytes)
         self._file.write(value)
 
+    @contextlib.contextmanager
     def _guarded(self):
-        if self._closed:
-            raise StoreError(f"store at {self.path} is closed")
-        return self._lock
+        # The closed check happens under the lock: a concurrent close()
+        # cannot slip between the check and the operation.
+        with self._lock:
+            if self._closed:
+                raise StoreError(f"store at {self.path} is closed")
+            yield
 
     # ------------------------------------------------------------------
     # Primitives

@@ -151,7 +151,7 @@ def _json_safe(value: Any, depth: int = 0) -> tuple[Any, bool]:
     if isinstance(value, float):
         return _num(value), True
     if isinstance(value, dict):
-        out = {}
+        out: dict[str, Any] = {}
         clean = True
         for key, item in value.items():
             if not isinstance(key, str):
@@ -164,15 +164,15 @@ def _json_safe(value: Any, depth: int = 0) -> tuple[Any, bool]:
                 clean = False
         return out, clean
     if isinstance(value, (list, tuple)):
-        out = []
+        items: list[Any] = []
         clean = True
         for item in value:
             safe, ok = _json_safe(item, depth + 1)
             if ok:
-                out.append(safe)
+                items.append(safe)
             else:
                 clean = False
-        return out, clean
+        return items, clean
     return None, False
 
 
@@ -180,7 +180,7 @@ def _json_safe(value: Any, depth: int = 0) -> tuple[Any, bool]:
 # Plan records
 # ----------------------------------------------------------------------
 
-def encode_plan_record(result: PlanResult, request: dict) -> bytes:
+def encode_plan_record(result: PlanResult, request: dict[str, Any]) -> bytes:
     """Serialize a :class:`PlanResult` plus its request fingerprint.
 
     ``request`` carries the service-side key material that is not part
@@ -228,7 +228,7 @@ def encode_plan_record(result: PlanResult, request: dict) -> bytes:
     return _frame(PLAN_MAGIC, payload)
 
 
-def decode_plan_record(blob: bytes) -> tuple[PlanResult, dict]:
+def decode_plan_record(blob: bytes) -> tuple[PlanResult, dict[str, Any]]:
     """Inverse of :func:`encode_plan_record`.
 
     Raises :class:`StoreCorruptionError` on any framing, checksum or

@@ -22,6 +22,7 @@ still caught by the frame CRC and dropped, not served.
 
 from __future__ import annotations
 
+import contextlib
 import sqlite3
 import threading
 import time
@@ -93,10 +94,14 @@ class SqlitePlanStore(PlanStore):
     # Primitives (all called from the instrumented base-class surface)
     # ------------------------------------------------------------------
 
+    @contextlib.contextmanager
     def _guarded(self):
-        if self._closed:
-            raise StoreError(f"store at {self.path} is closed")
-        return self._lock
+        # The closed check happens under the lock: a concurrent close()
+        # cannot slip between the check and the operation.
+        with self._lock:
+            if self._closed:
+                raise StoreError(f"store at {self.path} is closed")
+            yield
 
     def _raw_get_plan(self, version, algorithm, signature):
         with self._guarded():

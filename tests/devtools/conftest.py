@@ -1,0 +1,54 @@
+"""Helpers for the static-analysis suite: synthetic module fixtures.
+
+Each rule test builds a tiny in-memory module (a fires case, a
+doesn't-fire case, a suppressed case) and runs the engine over it
+directly — no files on disk, no dependence on the real tree's state.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import (
+    AnalysisContext,
+    ModuleInfo,
+    parse_suppressions,
+    run_analysis,
+)
+
+
+def make_module(
+    source: str, module: str = "repro.fake.mod", relpath: str | None = None
+) -> ModuleInfo:
+    """A :class:`ModuleInfo` for ``source`` under a chosen dotted name."""
+    if relpath is None:
+        relpath = "src/" + module.replace(".", "/") + ".py"
+    return ModuleInfo(
+        path=Path("/synthetic") / relpath,
+        relpath=relpath,
+        module=module,
+        source=source,
+        tree=ast.parse(source),
+        suppressions=parse_suppressions(source, relpath),
+    )
+
+
+def analyze_source(
+    rule,
+    source: str,
+    module: str = "repro.fake.mod",
+    context: AnalysisContext | None = None,
+):
+    """Run one rule over one synthetic module; the resulting report."""
+    info = make_module(source, module)
+    return run_analysis(
+        Path("/synthetic"), [rule], context=context, modules=[info]
+    )
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,87 @@
+"""The ``repro analyze`` subcommand: formats, baseline, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+
+def _write_violating_tree(root: Path) -> None:
+    """A minimal tree with one unsuppressible finding (NUM-002)."""
+    pkg = root / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "noisy.py").write_text(
+        "import random\nx = random.random()\n"
+    )
+
+
+def _write_clean_tree(root: Path) -> None:
+    pkg = root / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "quiet.py").write_text(
+        "import random\nrng = random.Random(42)\nx = rng.random()\n"
+    )
+
+
+def test_exit_one_on_findings(tmp_path: Path, capsys):
+    _write_violating_tree(tmp_path)
+    code = main(["analyze", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "NUM-002" in out
+
+
+def test_exit_zero_on_clean_tree(tmp_path: Path, capsys):
+    _write_clean_tree(tmp_path)
+    code = main(["analyze", "--root", str(tmp_path)])
+    assert code == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path: Path, capsys):
+    _write_violating_tree(tmp_path)
+    code = main(["analyze", "--root", str(tmp_path), "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert doc["clean"] is False
+    assert any(f["rule"] == "NUM-002" for f in doc["findings"])
+
+
+def test_stats_output(tmp_path: Path, capsys):
+    _write_clean_tree(tmp_path)
+    code = main(["analyze", "--root", str(tmp_path), "--stats"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["stats"]["NUM-002"] == {"findings": 0, "suppressed": 0}
+
+
+def test_write_baseline(tmp_path: Path, capsys):
+    _write_clean_tree(tmp_path)
+    baseline = tmp_path / "BENCH_analyze.json"
+    code = main([
+        "analyze", "--root", str(tmp_path),
+        "--write-baseline", str(baseline),
+    ])
+    capsys.readouterr()
+    assert code == 0
+    doc = json.loads(baseline.read_text())
+    assert "stats" in doc and doc["version"] == 1
+
+
+def test_suppressed_finding_keeps_exit_zero(tmp_path: Path, capsys):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "noisy.py").write_text(
+        "import random\n"
+        "# repro: allow[NUM-002] demo jitter, not part of any experiment\n"
+        "x = random.random()\n"
+    )
+    code = main(["analyze", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 suppressed" in out

@@ -1,0 +1,154 @@
+"""Engine mechanics: suppression parsing, coverage, hygiene findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    load_module,
+    parse_suppressions,
+    run_analysis,
+)
+
+from tests.devtools.conftest import analyze_source, make_module
+
+
+class AlwaysFire(Rule):
+    """Flags line 1 of every module (engine-plumbing probe)."""
+
+    rule_id = "TEST-001"
+    title = "test probe"
+    rationale = "fires unconditionally so tests can watch the engine"
+
+    def __init__(self, line: int = 1) -> None:
+        self.line = line
+
+    def check(self, module, context):
+        yield Finding(
+            rule=self.rule_id, path=module.relpath, line=self.line,
+            col=0, message="probe",
+        )
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+# ----------------------------------------------------------------------
+
+def test_parse_single_rule_with_reason():
+    (sup,) = parse_suppressions("x = 1  # repro: allow[NUM-001] exact flag\n")
+    assert sup.line == 1
+    assert sup.rules == ("NUM-001",)
+    assert sup.reason == "exact flag"
+
+
+def test_parse_multiple_rules():
+    (sup,) = parse_suppressions(
+        "# repro: allow[NUM-001, LOCK-001] both fine here\n"
+    )
+    assert sup.rules == ("NUM-001", "LOCK-001")
+
+
+def test_parse_missing_reason_kept_but_empty():
+    (sup,) = parse_suppressions("x = 1  # repro: allow[NUM-001]\n")
+    assert sup.reason == ""
+
+
+def test_suppression_inside_string_literal_ignored():
+    source = 's = "# repro: allow[NUM-001] not a comment"\n'
+    assert parse_suppressions(source) == ()
+
+
+def test_covers_own_line_and_next():
+    (sup,) = parse_suppressions("# repro: allow[NUM-001] spans down\n")
+    assert sup.covers("NUM-001", 1)
+    assert sup.covers("NUM-001", 2)
+    assert not sup.covers("NUM-001", 3)
+    assert not sup.covers("NUM-002", 1)
+
+
+# ----------------------------------------------------------------------
+# Engine application
+# ----------------------------------------------------------------------
+
+def test_finding_suppressed_by_covering_comment():
+    report = analyze_source(
+        AlwaysFire(), "x = 1  # repro: allow[TEST-001] probe is expected\n"
+    )
+    assert report.clean
+    (finding,) = report.findings
+    assert finding.suppressed
+    assert finding.suppression_reason == "probe is expected"
+
+
+def test_finding_not_suppressed_without_comment():
+    report = analyze_source(AlwaysFire(), "x = 1\n")
+    assert not report.clean
+    assert [f.rule for f in report.unsuppressed] == ["TEST-001"]
+
+
+def test_reasonless_suppression_does_not_suppress_and_fires_sup001():
+    report = analyze_source(
+        AlwaysFire(), "x = 1  # repro: allow[TEST-001]\n"
+    )
+    rules = sorted(f.rule for f in report.unsuppressed)
+    # The original finding survives AND the hygiene finding fires.
+    assert rules == ["SUP-001", "TEST-001"]
+
+
+def test_unknown_rule_in_suppression_fires_sup002():
+    report = analyze_source(
+        AlwaysFire(), "x = 1  # repro: allow[NOPE-999] typo'd id\n"
+    )
+    assert "SUP-002" in {f.rule for f in report.unsuppressed}
+
+
+def test_stats_include_zero_rows_for_active_rules():
+    report = analyze_source(AlwaysFire(line=1), "x = 1\n")
+    stats = report.stats()
+    assert stats["TEST-001"] == {"findings": 1, "suppressed": 0}
+
+
+# ----------------------------------------------------------------------
+# Module loading
+# ----------------------------------------------------------------------
+
+def test_load_module_strips_src_and_init(tmp_path: Path):
+    pkg = tmp_path / "src" / "repro" / "sub"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("x = 1\n")
+    (pkg / "mod.py").write_text("y = 2\n")
+    init = load_module(pkg / "__init__.py", tmp_path)
+    mod = load_module(pkg / "mod.py", tmp_path)
+    assert init.module == "repro.sub"
+    assert mod.module == "repro.sub.mod"
+    assert init.in_package and mod.in_package
+
+
+def test_load_module_tests_pseudo_name(tmp_path: Path):
+    d = tmp_path / "tests"
+    d.mkdir()
+    (d / "test_x.py").write_text("z = 3\n")
+    info = load_module(d / "test_x.py", tmp_path)
+    assert info.module == "tests.test_x"
+    assert not info.in_package
+
+
+def test_run_analysis_scans_tree(tmp_path: Path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text("a = 1\n")
+    broken = tmp_path / "tests"
+    broken.mkdir()
+    (broken / "fixture.py").write_text("def broken(:\n")  # unparsable
+    report = run_analysis(tmp_path, [AlwaysFire()])
+    assert report.files_scanned == 1  # the broken fixture is skipped
+    assert [f.path for f in report.findings] == ["src/repro/mod.py"]
+
+
+def test_make_module_helper_shape():
+    info = make_module("x = 1\n", "repro.serve.thing")
+    assert isinstance(info, ModuleInfo)
+    assert info.relpath == "src/repro/serve/thing.py"

@@ -1,0 +1,37 @@
+"""Strict-typing gate for the dependency-light leaf modules.
+
+Runs mypy (config in ``pyproject.toml``) over ``repro.faultinject``,
+``repro.cancel``, ``repro.store.serde`` and ``repro.serve.metrics``.
+Skipped where mypy is not installed (the offline container); CI's
+static-analysis job installs it and runs this for real.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed in this environment")
+
+TARGETS = (
+    "src/repro/faultinject",
+    "src/repro/cancel.py",
+    "src/repro/store/serde.py",
+    "src/repro/serve/metrics.py",
+)
+
+
+def test_leaf_modules_typecheck(repo_root: Path):
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", *TARGETS],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"mypy failed:\n{result.stdout}\n{result.stderr}"
+    )

@@ -1,0 +1,142 @@
+"""Reporters (JSON contract, stats baseline) and the tree meta-test.
+
+The meta-test is the point of the whole package: the committed tree
+must analyze clean — four rule families active, zero unsuppressed
+findings, every suppression carrying a reason — and the committed
+``BENCH_analyze.json`` baseline must match what the analyzer says now.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import all_rules, rule_catalog, run_analysis
+from repro.devtools.report import render_json, render_stats, render_text
+
+from tests.devtools.conftest import analyze_source
+from tests.devtools.test_engine import AlwaysFire
+
+
+@pytest.fixture(scope="module")
+def tree_report(request):
+    root = Path(str(request.config.rootdir))
+    return run_analysis(root, all_rules())
+
+
+# ----------------------------------------------------------------------
+# Report formats
+# ----------------------------------------------------------------------
+
+def test_json_schema_contract():
+    report = analyze_source(AlwaysFire(), "x = 1\n")
+    doc = json.loads(render_json(report))
+    assert set(doc) == {
+        "version", "clean", "files_scanned", "rules", "findings", "stats",
+    }
+    assert doc["version"] == 1
+    assert doc["clean"] is False
+    (finding,) = doc["findings"]
+    assert set(finding) == {
+        "rule", "path", "line", "col", "message",
+        "suppressed", "suppression_reason",
+    }
+    assert finding["rule"] == "TEST-001"
+    assert finding["suppressed"] is False
+
+
+def test_stats_shape():
+    report = analyze_source(
+        AlwaysFire(), "x = 1  # repro: allow[TEST-001] expected\n"
+    )
+    doc = json.loads(render_stats(report))
+    assert set(doc) == {"version", "files_scanned", "stats"}
+    assert doc["stats"]["TEST-001"] == {"findings": 0, "suppressed": 1}
+
+
+def test_text_render_mentions_location_and_summary():
+    report = analyze_source(AlwaysFire(), "x = 1\n")
+    text = render_text(report)
+    assert "src/repro/fake/mod.py:1:0: TEST-001" in text
+    assert "1 finding(s)" in text
+
+
+def test_text_verbose_shows_suppressed():
+    report = analyze_source(
+        AlwaysFire(), "x = 1  # repro: allow[TEST-001] expected\n"
+    )
+    assert "suppressed: expected" not in render_text(report)
+    assert "suppressed: expected" in render_text(report, verbose=True)
+
+
+# ----------------------------------------------------------------------
+# The committed tree
+# ----------------------------------------------------------------------
+
+def test_tree_is_clean(tree_report):
+    offending = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}"
+        for f in tree_report.unsuppressed
+    )
+    assert tree_report.clean, f"tree has unsuppressed findings:\n{offending}"
+
+
+def test_all_four_families_active(tree_report):
+    families = {rule.split("-")[0] for rule in tree_report.active_rules}
+    assert {"ARCH", "LOCK", "NUM", "REG"} <= families
+
+
+def test_every_suppression_in_tree_has_reason(tree_report):
+    for finding in tree_report.suppressed:
+        assert finding.suppression_reason, (
+            f"{finding.location()} suppressed without a reason"
+        )
+
+
+def test_known_true_positives_stay_fixed(tree_report):
+    """The bugs this PR fixed must not come back.
+
+    If one of these paths shows up again the fix regressed (or a
+    suppression was slapped on instead of a fix — also wrong).
+    """
+    regressed = [
+        f for f in tree_report.findings
+        if (f.rule == "LOCK-001"
+            and f.path == "src/repro/serve/metrics.py")
+        or (f.rule == "REG-002")
+        or (f.rule == "REG-001" and "BENCH_SCALE" in f.message)
+    ]
+    assert regressed == []
+
+
+def test_committed_baseline_matches(tree_report, repo_root: Path):
+    baseline_path = repo_root / "BENCH_analyze.json"
+    assert baseline_path.is_file(), (
+        "BENCH_analyze.json missing; regenerate with "
+        "`repro analyze --stats --write-baseline BENCH_analyze.json`"
+    )
+    baseline = json.loads(baseline_path.read_text())
+    current = json.loads(render_stats(tree_report))
+    assert current["stats"] == baseline["stats"], (
+        "per-rule finding counts drifted from the committed baseline; "
+        "regenerate BENCH_analyze.json if the change is intended"
+    )
+
+
+def test_rule_catalog_documented(repo_root: Path):
+    """Every rule in the catalog has a section in docs/development.md."""
+    doc = (repo_root / "docs" / "development.md").read_text()
+    for row in rule_catalog():
+        assert re.search(rf"\b{row['id']}\b", doc), (
+            f"rule {row['id']} is missing from docs/development.md"
+        )
+
+
+def test_catalog_ids_unique_and_well_formed():
+    ids = [row["id"] for row in rule_catalog()]
+    assert len(ids) == len(set(ids))
+    for rule_id in ids:
+        assert re.fullmatch(r"(ARCH|LOCK|NUM|REG|SUP)-\d{3}", rule_id)

@@ -1,0 +1,196 @@
+"""ARCH rules: layering, dependency-light leaves, session ownership."""
+
+from __future__ import annotations
+
+from repro.devtools.rules.arch import (
+    DependencyLightRule,
+    LayeringRule,
+    SessionOwnershipRule,
+    collect_imports,
+)
+
+from tests.devtools.conftest import analyze_source, make_module
+
+
+def _rules(report, rule_id):
+    return [f for f in report.unsuppressed if f.rule == rule_id]
+
+
+# ----------------------------------------------------------------------
+# ARCH-001 layering
+# ----------------------------------------------------------------------
+
+def test_serve_importing_simplex_fires():
+    report = analyze_source(
+        LayeringRule(),
+        "from repro.milp.simplex import RevisedSimplex\n",
+        module="repro.serve.fake",
+    )
+    (finding,) = _rules(report, "ARCH-001")
+    assert "repro.milp.simplex" in finding.message
+
+
+def test_serve_importing_api_is_silent():
+    report = analyze_source(
+        LayeringRule(),
+        "from repro.api import OptimizerService\n"
+        "from repro.milp.lp_backend import BasisExchangePool\n",
+        module="repro.serve.fake",
+    )
+    assert _rules(report, "ARCH-001") == []
+
+
+def test_symbol_level_ban_hits_only_that_symbol():
+    # SolverOptions is a sanctioned serve-layer import; the solver
+    # class itself is not.
+    silent = analyze_source(
+        LayeringRule(),
+        "from repro.milp.branch_and_bound import SolverOptions\n",
+        module="repro.serve.fake",
+    )
+    fires = analyze_source(
+        LayeringRule(),
+        "from repro.milp.branch_and_bound import BranchAndBoundSolver\n",
+        module="repro.serve.fake",
+    )
+    assert _rules(silent, "ARCH-001") == []
+    assert len(_rules(fires, "ARCH-001")) == 1
+
+
+def test_engine_importing_serve_fires():
+    report = analyze_source(
+        LayeringRule(),
+        "import repro.serve.server\n",
+        module="repro.milp.fake",
+    )
+    assert len(_rules(report, "ARCH-001")) == 1
+
+
+def test_function_level_import_still_counts():
+    report = analyze_source(
+        LayeringRule(),
+        "def lazy():\n    from repro.dp import something\n",
+        module="repro.serve.fake",
+    )
+    assert len(_rules(report, "ARCH-001")) == 1
+
+
+def test_layering_suppressible_with_reason():
+    report = analyze_source(
+        LayeringRule(),
+        "# repro: allow[ARCH-001] transitional import, tracked in ROADMAP\n"
+        "from repro.dp import something\n",
+        module="repro.serve.fake",
+    )
+    assert report.clean
+    assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# ARCH-002 dependency-light leaves
+# ----------------------------------------------------------------------
+
+def test_faultinject_importing_serve_fires():
+    report = analyze_source(
+        DependencyLightRule(),
+        "from repro.serve.metrics import Counter\n",
+        module="repro.faultinject.extras",
+    )
+    (finding,) = _rules(report, "ARCH-002")
+    assert "allowlist" in finding.message
+
+
+def test_faultinject_stdlib_numpy_and_own_package_silent():
+    report = analyze_source(
+        DependencyLightRule(),
+        "import threading\nimport numpy as np\n"
+        "from repro.faultinject import FaultSpec\n",
+        module="repro.faultinject.extras",
+    )
+    assert _rules(report, "ARCH-002") == []
+
+
+def test_type_checking_import_exempt_from_arch002():
+    report = analyze_source(
+        DependencyLightRule(),
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.serve.metrics import Counter\n",
+        module="repro.faultinject.extras",
+    )
+    assert _rules(report, "ARCH-002") == []
+
+
+def test_cancel_may_import_exceptions_only():
+    silent = analyze_source(
+        DependencyLightRule(),
+        "from repro.exceptions import CancelledError\n",
+        module="repro.cancel",
+    )
+    fires = analyze_source(
+        DependencyLightRule(),
+        "from repro.api import OptimizerService\n",
+        module="repro.cancel",
+    )
+    assert _rules(silent, "ARCH-002") == []
+    assert len(_rules(fires, "ARCH-002")) == 1
+
+
+def test_devtools_is_stdlib_only():
+    fires = analyze_source(
+        DependencyLightRule(),
+        "import numpy\n",
+        module="repro.devtools.fake",
+    )
+    assert len(_rules(fires, "ARCH-002")) == 1
+
+
+# ----------------------------------------------------------------------
+# ARCH-003 session ownership
+# ----------------------------------------------------------------------
+
+def test_session_construction_outside_milp_fires():
+    report = analyze_source(
+        SessionOwnershipRule(),
+        "session = SimplexSession(form)\n",
+        module="repro.serve.fake",
+    )
+    assert len(_rules(report, "ARCH-003")) == 1
+
+
+def test_session_construction_inside_milp_is_silent():
+    report = analyze_source(
+        SessionOwnershipRule(),
+        "session = SimplexSession(form)\n",
+        module="repro.milp.lp_backend",
+    )
+    assert _rules(report, "ARCH-003") == []
+
+
+def test_create_session_call_is_silent():
+    report = analyze_source(
+        SessionOwnershipRule(),
+        "session = backend.create_session(form)\n",
+        module="repro.serve.fake",
+    )
+    assert _rules(report, "ARCH-003") == []
+
+
+# ----------------------------------------------------------------------
+# Import collection
+# ----------------------------------------------------------------------
+
+def test_collect_imports_qualifies_from_imports():
+    info = make_module(
+        "from repro.milp.solution import SolveStatus\n", "repro.serve.fake"
+    )
+    (imported,) = collect_imports(info)
+    assert imported.target == "repro.milp.solution"
+    assert imported.qualified == "repro.milp.solution.SolveStatus"
+
+
+def test_collect_imports_resolves_relative():
+    info = make_module("from . import engine\n", "repro.devtools.rules.fake")
+    (imported,) = collect_imports(info)
+    assert imported.target == "repro.devtools.rules"
+    assert imported.qualified == "repro.devtools.rules.engine"

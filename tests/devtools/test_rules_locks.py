@@ -1,0 +1,339 @@
+"""LOCK rules: guarded-attribute discipline and acquisition-order cycles."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.engine import run_analysis
+from repro.devtools.rules.locks import LockDisciplineRule, LockOrderRule
+
+from tests.devtools.conftest import analyze_source, make_module
+
+
+def _rules(report, rule_id):
+    return [f for f in report.unsuppressed if f.rule == rule_id]
+
+
+_GUARDED_CLASS = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, v):
+        with self._lock:
+            self._value = v
+
+    def get(self):
+        {get_body}
+"""
+
+
+def test_off_lock_read_of_guarded_attr_fires():
+    source = _GUARDED_CLASS.format(get_body="return self._value")
+    report = analyze_source(LockDisciplineRule(), source)
+    (finding,) = _rules(report, "LOCK-001")
+    assert "_value" in finding.message and "get" in finding.message
+
+
+def test_read_under_lock_is_silent():
+    source = _GUARDED_CLASS.format(
+        get_body="with self._lock:\n            return self._value"
+    )
+    report = analyze_source(LockDisciplineRule(), source)
+    assert _rules(report, "LOCK-001") == []
+
+
+def test_off_lock_write_fires_too():
+    source = _GUARDED_CLASS.format(get_body="self._value = 9")
+    report = analyze_source(LockDisciplineRule(), source)
+    assert len(_rules(report, "LOCK-001")) == 1
+
+
+def test_init_writes_are_exempt():
+    # _value is written in __init__ without the lock — construction is
+    # thread-local, no finding.
+    source = _GUARDED_CLASS.format(
+        get_body="with self._lock:\n            return self._value"
+    )
+    report = analyze_source(LockDisciplineRule(), source)
+    assert report.clean
+
+
+def test_unguarded_attr_never_flagged():
+    source = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._config = "x"   # never written under the lock
+
+    def get(self):
+        return self._config
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    assert _rules(report, "LOCK-001") == []
+
+
+def test_locked_suffix_method_treated_as_holding():
+    source = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        self._n += 1
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    assert _rules(report, "LOCK-001") == []
+
+
+def test_helper_only_called_under_lock_inferred_held():
+    # Mirrors CircuitBreaker._trip: no _locked suffix, but every call
+    # site holds the lock, so the fixpoint proves it held.
+    source = """\
+import threading
+
+class Breaker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = "closed"
+
+    def fail(self):
+        with self._lock:
+            self._trip()
+
+    def poke(self):
+        with self._lock:
+            self._trip()
+
+    def _trip(self):
+        self._state = "open"
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    assert _rules(report, "LOCK-001") == []
+
+
+def test_helper_with_one_unlocked_call_site_fires():
+    # _state is guarded (reset writes it under the lock); _trip has an
+    # unlocked call path, so its write is no longer provably held.
+    source = """\
+import threading
+
+class Breaker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = "closed"
+
+    def reset(self):
+        with self._lock:
+            self._state = "closed"
+
+    def fail(self):
+        with self._lock:
+            self._trip()
+
+    def unsafe(self):
+        self._trip()
+
+    def _trip(self):
+        self._state = "open"
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    assert len(_rules(report, "LOCK-001")) == 1
+
+
+def test_condition_aliases_its_lock_group():
+    source = """\
+import threading
+
+class Q:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items = []
+
+    def put(self, x):
+        with self._lock:
+            self._items = [x]
+
+    def take(self):
+        with self._ready:
+            return self._items
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    assert _rules(report, "LOCK-001") == []
+
+
+def test_nested_function_loses_lock_context():
+    source = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, v):
+        with self._lock:
+            self._value = v
+
+    def deferred(self):
+        with self._lock:
+            def later():
+                return self._value
+            return later
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    # The closure may run after the with-block exits.
+    assert len(_rules(report, "LOCK-001")) == 1
+
+
+def test_lock001_suppressible_with_reason():
+    source = _GUARDED_CLASS.format(
+        get_body="return self._value  "
+        "# repro: allow[LOCK-001] racy snapshot read is fine here"
+    )
+    report = analyze_source(LockDisciplineRule(), source)
+    assert report.clean
+    assert len(report.suppressed) == 1
+
+
+def test_except_body_keeps_lock_context():
+    source = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, v):
+        with self._lock:
+            try:
+                self._value = v
+            except ValueError:
+                self._value = 0
+"""
+    report = analyze_source(LockDisciplineRule(), source)
+    assert _rules(report, "LOCK-001") == []
+
+
+# ----------------------------------------------------------------------
+# LOCK-002 acquisition-order graph
+# ----------------------------------------------------------------------
+
+_CYCLE = """\
+import threading
+
+class Alpha:
+    def __init__(self, beta):
+        self._lock = threading.Lock()
+        self.beta = Beta(None)
+
+    def tick(self):
+        with self._lock:
+            self.beta.poke()
+
+    def poke(self):
+        with self._lock:
+            pass
+
+class Beta:
+    def __init__(self, alpha):
+        self._lock = threading.Lock()
+        self.alpha = Alpha(None)
+
+    def tick(self):
+        with self._lock:
+            self.alpha.poke()
+
+    def poke(self):
+        with self._lock:
+            pass
+"""
+
+
+def test_acquisition_cycle_fires():
+    report = analyze_source(LockOrderRule(), _CYCLE)
+    (finding,) = _rules(report, "LOCK-002")
+    assert "cycle" in finding.message
+
+
+def test_one_directional_edges_are_silent():
+    source = """\
+import threading
+
+class Outer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inner = Inner()
+
+    def tick(self):
+        with self._lock:
+            self.inner.poke()
+
+class Inner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def poke(self):
+        with self._lock:
+            pass
+"""
+    report = analyze_source(LockOrderRule(), source)
+    assert _rules(report, "LOCK-002") == []
+
+
+def test_call_without_holding_own_lock_makes_no_edge():
+    source = _CYCLE.replace(
+        "    def tick(self):\n        with self._lock:\n"
+        "            self.beta.poke()",
+        "    def tick(self):\n        self.beta.poke()",
+    )
+    report = analyze_source(LockOrderRule(), source)
+    assert _rules(report, "LOCK-002") == []
+
+
+def test_self_reacquisition_fires():
+    source = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            pass
+"""
+    report = analyze_source(LockOrderRule(), source)
+    findings = _rules(report, "LOCK-002")
+    assert findings and "re-acquires" in findings[0].message
+
+
+def test_lock_order_is_project_wide(tmp_path: Path):
+    # The two halves of the cycle live in different modules.
+    a, b = _CYCLE.split("class Beta:")
+    mod_a = make_module("import threading\n" + a.split("import threading\n")[1],
+                        "repro.serve.alpha")
+    mod_b = make_module("import threading\n\nclass Beta:" + b,
+                        "repro.serve.beta")
+    report = run_analysis(
+        tmp_path, [LockOrderRule()], modules=[mod_a, mod_b]
+    )
+    assert len(_rules(report, "LOCK-002")) == 1

@@ -1,0 +1,210 @@
+"""NUM rules: float equality, unseeded RNG, silent exception swallows."""
+
+from __future__ import annotations
+
+from repro.devtools.rules.numerics import (
+    ExceptSwallowRule,
+    FloatEqualityRule,
+    InvalidStateSwallowRule,
+    UnseededRandomRule,
+)
+
+from tests.devtools.conftest import analyze_source
+
+
+def _rules(report, rule_id):
+    return [f for f in report.unsuppressed if f.rule == rule_id]
+
+
+# ----------------------------------------------------------------------
+# NUM-001 float equality (milp/ only)
+# ----------------------------------------------------------------------
+
+def test_float_literal_comparison_fires():
+    report = analyze_source(
+        FloatEqualityRule(),
+        "ok = objective == 1.5\n",
+        module="repro.milp.fake",
+    )
+    assert len(_rules(report, "NUM-001")) == 1
+
+
+def test_float_not_equal_fires():
+    report = analyze_source(
+        FloatEqualityRule(),
+        "bad = reduced_cost != pivot_value\n",
+        module="repro.milp.fake",
+    )
+    assert len(_rules(report, "NUM-001")) == 1
+
+
+def test_zero_constant_comparison_exempt():
+    # Structural zeros are exact by design (untouched sparsity).
+    report = analyze_source(
+        FloatEqualityRule(),
+        "is_zero = coefficient == 0.0\nalso = value == 0\n",
+        module="repro.milp.fake",
+    )
+    assert _rules(report, "NUM-001") == []
+
+
+def test_outside_milp_not_checked():
+    report = analyze_source(
+        FloatEqualityRule(),
+        "ok = objective == 1.5\n",
+        module="repro.serve.fake",
+    )
+    assert _rules(report, "NUM-001") == []
+
+
+def test_non_float_comparison_silent():
+    report = analyze_source(
+        FloatEqualityRule(),
+        "same = name == other_name\n",
+        module="repro.milp.fake",
+    )
+    assert _rules(report, "NUM-001") == []
+
+
+def test_num001_suppressible():
+    report = analyze_source(
+        FloatEqualityRule(),
+        "# repro: allow[NUM-001] sentinel value is assigned, never computed\n"
+        "hit = objective == sentinel_obj\n",
+        module="repro.milp.fake",
+    )
+    assert report.clean and len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# NUM-002 unseeded global RNG
+# ----------------------------------------------------------------------
+
+def test_global_random_fires():
+    report = analyze_source(
+        UnseededRandomRule(), "import random\nx = random.random()\n"
+    )
+    assert len(_rules(report, "NUM-002")) == 1
+
+
+def test_np_random_fires():
+    report = analyze_source(
+        UnseededRandomRule(), "import numpy as np\nx = np.random.rand(3)\n"
+    )
+    assert len(_rules(report, "NUM-002")) == 1
+
+
+def test_seeded_generator_silent():
+    report = analyze_source(
+        UnseededRandomRule(),
+        "import random\nrng = random.Random(42)\nx = rng.random()\n",
+    )
+    assert _rules(report, "NUM-002") == []
+
+
+def test_default_rng_silent():
+    report = analyze_source(
+        UnseededRandomRule(),
+        "import numpy as np\nrng = np.random.default_rng(7)\n"
+        "x = rng.normal()\n",
+    )
+    assert _rules(report, "NUM-002") == []
+
+
+def test_tests_are_out_of_scope_for_num002():
+    from tests.devtools.conftest import make_module
+    from repro.devtools.engine import run_analysis
+    from pathlib import Path
+
+    info = make_module(
+        "import random\nx = random.random()\n",
+        module="tests.fake",
+        relpath="tests/fake.py",
+    )
+    report = run_analysis(Path("/x"), [UnseededRandomRule()], modules=[info])
+    assert _rules(report, "NUM-002") == []
+
+
+# ----------------------------------------------------------------------
+# NUM-003 broad except swallow
+# ----------------------------------------------------------------------
+
+def test_except_pass_fires():
+    report = analyze_source(
+        ExceptSwallowRule(),
+        "try:\n    x = 1\nexcept Exception:\n    pass\n",
+    )
+    assert len(_rules(report, "NUM-003")) == 1
+
+
+def test_bare_except_fires():
+    report = analyze_source(
+        ExceptSwallowRule(),
+        "try:\n    x = 1\nexcept:\n    pass\n",
+    )
+    assert len(_rules(report, "NUM-003")) == 1
+
+
+def test_logged_handler_silent():
+    report = analyze_source(
+        ExceptSwallowRule(),
+        "try:\n    x = 1\nexcept Exception:\n"
+        "    logger.warning('failed', exc_info=True)\n",
+    )
+    assert _rules(report, "NUM-003") == []
+
+
+def test_reraising_handler_silent():
+    report = analyze_source(
+        ExceptSwallowRule(),
+        "try:\n    x = 1\nexcept Exception as e:\n"
+        "    raise RuntimeError('wrapped') from e\n",
+    )
+    assert _rules(report, "NUM-003") == []
+
+
+def test_binding_error_into_state_silent():
+    report = analyze_source(
+        ExceptSwallowRule(),
+        "try:\n    x = 1\nexcept Exception as e:\n    last = e\n",
+    )
+    assert _rules(report, "NUM-003") == []
+
+
+def test_narrow_except_not_checked():
+    report = analyze_source(
+        ExceptSwallowRule(),
+        "try:\n    x = 1\nexcept ValueError:\n    pass\n",
+    )
+    assert _rules(report, "NUM-003") == []
+
+
+# ----------------------------------------------------------------------
+# NUM-004 InvalidStateError swallow
+# ----------------------------------------------------------------------
+
+def test_invalid_state_swallow_fires():
+    report = analyze_source(
+        InvalidStateSwallowRule(),
+        "try:\n    f.set_result(1)\nexcept InvalidStateError:\n    pass\n",
+    )
+    assert len(_rules(report, "NUM-004")) == 1
+
+
+def test_invalid_state_logged_silent():
+    report = analyze_source(
+        InvalidStateSwallowRule(),
+        "try:\n    f.set_result(1)\nexcept InvalidStateError:\n"
+        "    logger.debug('already resolved')\n",
+    )
+    assert _rules(report, "NUM-004") == []
+
+
+def test_invalid_state_suppressed_with_reason():
+    report = analyze_source(
+        InvalidStateSwallowRule(),
+        "try:\n    f.set_result(1)\n"
+        "# repro: allow[NUM-004] idempotent resolve is the contract here\n"
+        "except InvalidStateError:\n    pass\n",
+    )
+    assert report.clean and len(report.suppressed) == 1

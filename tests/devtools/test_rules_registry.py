@@ -1,0 +1,154 @@
+"""REG rules: knob documentation and metric-name registration."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.engine import AnalysisContext
+from repro.devtools.rules.registry import (
+    KnobDocumentationRule,
+    MetricNameRule,
+    load_documented_knobs,
+    load_known_metrics,
+)
+
+from tests.devtools.conftest import analyze_source
+
+
+def _rules(report, rule_id):
+    return [f for f in report.unsuppressed if f.rule == rule_id]
+
+
+def _ctx(**kwargs) -> AnalysisContext:
+    return AnalysisContext(root=Path("/nonexistent"), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# REG-001 knob documentation
+# ----------------------------------------------------------------------
+
+def test_undocumented_knob_fires():
+    report = analyze_source(
+        KnobDocumentationRule(),
+        "import os\nv = os.environ.get('REPRO_MYSTERY_KNOB')\n",
+        context=_ctx(documented_knobs=frozenset({"REPRO_KNOWN"})),
+    )
+    (finding,) = _rules(report, "REG-001")
+    assert "REPRO_MYSTERY_KNOB" in finding.message
+
+
+def test_documented_knob_silent():
+    report = analyze_source(
+        KnobDocumentationRule(),
+        "import os\nv = os.environ.get('REPRO_KNOWN')\n",
+        context=_ctx(documented_knobs=frozenset({"REPRO_KNOWN"})),
+    )
+    assert _rules(report, "REG-001") == []
+
+
+def test_getenv_and_subscript_reads_detected():
+    report = analyze_source(
+        KnobDocumentationRule(),
+        "import os\n"
+        "a = os.getenv('REPRO_A')\n"
+        "b = os.environ['REPRO_B']\n",
+        context=_ctx(documented_knobs=frozenset()),
+    )
+    knobs = sorted(f.message.split()[0] for f in _rules(report, "REG-001"))
+    assert knobs == ["REPRO_A", "REPRO_B"]
+
+
+def test_environ_write_not_flagged():
+    report = analyze_source(
+        KnobDocumentationRule(),
+        "import os\nos.environ['REPRO_SET_ONLY'] = '1'\n",
+        context=_ctx(documented_knobs=frozenset()),
+    )
+    assert _rules(report, "REG-001") == []
+
+
+def test_non_repro_env_ignored():
+    report = analyze_source(
+        KnobDocumentationRule(),
+        "import os\nhome = os.environ.get('HOME')\n",
+        context=_ctx(documented_knobs=frozenset()),
+    )
+    assert _rules(report, "REG-001") == []
+
+
+def test_load_documented_knobs_parses_table(tmp_path: Path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "operations.md").write_text(
+        "| Knob | Default | What |\n"
+        "|---|---|---|\n"
+        "| `REPRO_ALPHA` | 1 | first |\n"
+        "| `REPRO_BETA`  | 2 | second |\n"
+        "Prose mentioning `REPRO_GAMMA` is not a table row.\n"
+    )
+    assert load_documented_knobs(tmp_path) == {"REPRO_ALPHA", "REPRO_BETA"}
+
+
+def test_real_runbook_documents_bench_scale(repo_root: Path):
+    # The satellite fix: REPRO_BENCH_SCALE was read by benchmarks but
+    # undocumented until this rule existed.
+    assert "REPRO_BENCH_SCALE" in load_documented_knobs(repo_root)
+
+
+# ----------------------------------------------------------------------
+# REG-002 metric registration
+# ----------------------------------------------------------------------
+
+def test_unknown_metric_name_fires():
+    report = analyze_source(
+        MetricNameRule(),
+        "c = registry.counter('serve_typo_total')\n",
+        module="repro.serve.fake",
+        context=_ctx(known_metrics=frozenset({"serve_requests_total"})),
+    )
+    (finding,) = _rules(report, "REG-002")
+    assert "serve_typo_total" in finding.message
+
+
+def test_known_metric_name_silent():
+    report = analyze_source(
+        MetricNameRule(),
+        "c = registry.counter('serve_requests_total')\n"
+        "h = registry.histogram('serve_wait_seconds')\n"
+        "f = registry.counter_family('errors_total')\n",
+        module="repro.serve.fake",
+        context=_ctx(known_metrics=frozenset({
+            "serve_requests_total", "serve_wait_seconds", "errors_total",
+        })),
+    )
+    assert _rules(report, "REG-002") == []
+
+
+def test_dynamic_name_not_checked():
+    report = analyze_source(
+        MetricNameRule(),
+        "c = registry.counter(name)\n",
+        module="repro.serve.fake",
+        context=_ctx(known_metrics=frozenset()),
+    )
+    assert _rules(report, "REG-002") == []
+
+
+def test_outside_serve_not_checked():
+    report = analyze_source(
+        MetricNameRule(),
+        "c = registry.counter('whatever_total')\n",
+        module="repro.milp.fake",
+        context=_ctx(known_metrics=frozenset()),
+    )
+    assert _rules(report, "REG-002") == []
+
+
+def test_load_known_metrics_reads_real_registry(repo_root: Path):
+    known = load_known_metrics(repo_root)
+    # The declaration in repro.serve.metrics matches the runtime dict.
+    from repro.serve.metrics import KNOWN_METRICS
+
+    assert known == frozenset(KNOWN_METRICS)
+    assert "serve_requests_total" in known
+    assert "errors_total" in known
