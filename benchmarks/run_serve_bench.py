@@ -37,7 +37,11 @@ Usage::
 
     python benchmarks/run_serve_bench.py [--out PATH] [--clients 8]
         [--requests 20] [--duplicate-rate 0.5] [--arrival closed|bursty]
-        [--skip-milp] [--skip-restart]
+        [--skip-milp] [--skip-restart] [--trace trace.json]
+
+``--trace PATH`` installs a request tracer (slow-only sampling by
+default) across all phases and writes a Chrome trace-event JSON —
+drop it into ui.perfetto.dev — plus a span-time summary table.
 """
 
 from __future__ import annotations
@@ -376,7 +380,34 @@ def main(argv=None) -> int:
     parser.add_argument("--milp-tables", type=int, default=4)
     parser.add_argument("--milp-budget", type=float, default=5.0)
     parser.add_argument("--milp-workers", type=int, default=2)
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record request traces across all phases and write a "
+        "Chrome trace-event JSON (open in ui.perfetto.dev) to PATH",
+    )
+    parser.add_argument(
+        "--trace-sample", choices=("all", "head", "slow"), default="slow",
+        help="trace sampling mode (default: slow — keep only requests "
+        "over --trace-slow-ms)",
+    )
+    parser.add_argument(
+        "--trace-slow-ms", type=float, default=250.0,
+        help="slow-sampling threshold in milliseconds",
+    )
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace is not None:
+        from repro import obs
+
+        tracer = obs.Tracer(
+            sample=args.trace_sample,
+            slow_ms=args.trace_slow_ms,
+            capacity=512,
+        )
+        obs.install(tracer)
+        print(f"tracing: sample={args.trace_sample} "
+              f"slow_ms={args.trace_slow_ms:.0f} -> {args.trace}")
 
     payload: dict = {
         "benchmark": "BENCH_serve",
@@ -443,6 +474,28 @@ def main(argv=None) -> int:
         print("  store-warmed warm ratio is "
               + (f"{factor:.1f}x" if factor is not None else ">=2x (cold 0)")
               + " the cold restart's")
+
+    if tracer is not None:
+        from repro import obs
+        from repro.obs import export as obs_export
+
+        traces = tracer.traces()
+        stats = tracer.stats()
+        obs.clear()
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        args.trace.write_text(obs_export.render_chrome(traces) + "\n")
+        payload["trace"] = {
+            "path": str(args.trace),
+            "stats": stats,
+            "kept_traces": len(traces),
+        }
+        print(f"trace: kept {stats['kept']} of {stats['started']} "
+              f"requests ({stats['discarded']} under threshold), "
+              f"wrote {args.trace}")
+        for row in obs_export.summarize(traces, top=8):
+            print(f"  {row['name']:<20} {row['count']:>5}x "
+                  f"total {row['total_ms']:>9.1f} ms "
+                  f"mean {row['mean_ms']:>7.2f} ms")
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

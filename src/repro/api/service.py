@@ -23,7 +23,7 @@ from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro import faultinject
+from repro import faultinject, obs
 from repro.catalog.query import Query
 from repro.catalog.serde import query_to_dict
 from repro.exceptions import SolverError
@@ -274,33 +274,46 @@ class OptimizerService:
             version = self._catalog_version
         key = self._key(query, algorithm, time_limit, version)
         if use_cache:
-            with self._lock:
-                entry = self._cache.get(key)
-                if (
-                    entry is not None
-                    and entry.catalog_version == self._catalog_version
-                ):
-                    self._cache.move_to_end(key)
-                    self.stats.hits += 1
-                    return entry.result
-                self.stats.misses += 1
+            with obs.span("service.cache", algorithm=algorithm) as cache_span:
+                with self._lock:
+                    entry = self._cache.get(key)
+                    if (
+                        entry is not None
+                        and entry.catalog_version == self._catalog_version
+                    ):
+                        self._cache.move_to_end(key)
+                        self.stats.hits += 1
+                        cache_span.annotate(outcome="hit")
+                        return entry.result
+                    self.stats.misses += 1
+                cache_span.annotate(outcome="miss")
             if self.store is not None:
-                stored = self._store_load(key, version)
+                with obs.span("service.store") as store_span:
+                    stored = self._store_load(key, version)
+                    store_span.annotate(
+                        outcome="hit" if stored is not None else "miss"
+                    )
                 if stored is not None:
                     return stored
         fault = faultinject.check(faultinject.SERVICE_OPTIMIZE)
         if fault is not None:
+            obs.event(
+                "fault.injected", site=faultinject.SERVICE_OPTIMIZE,
+                kind=fault.kind,
+            )
             if fault.kind == "slow":
                 time.sleep(fault.delay)
             elif fault.kind == "exception":
                 raise SolverError(f"injected: {fault.message}")
         optimizer = self._optimizer(algorithm)
-        if cancel_token is not None and self._accepts_token.get(algorithm):
-            result = optimizer.optimize(
-                query, time_limit=time_limit, cancel_token=cancel_token
-            )
-        else:
-            result = optimizer.optimize(query, time_limit=time_limit)
+        with obs.span("service.solve", algorithm=algorithm) as solve_span:
+            if cancel_token is not None and self._accepts_token.get(algorithm):
+                result = optimizer.optimize(
+                    query, time_limit=time_limit, cancel_token=cancel_token
+                )
+            else:
+                result = optimizer.optimize(query, time_limit=time_limit)
+            solve_span.annotate(status=result.status.value)
         session_stats = result.diagnostics.get("lp_session")
         if isinstance(session_stats, dict):
             with self._lock:

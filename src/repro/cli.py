@@ -51,6 +51,17 @@ Commands
     and algorithm, size on disk, last compaction::
 
         python -m repro.cli store inspect /var/lib/repro/plans.db
+``trace``
+    Record a traced synthetic workload through the serve stack and dump
+    it for a trace viewer (see :mod:`repro.obs`)::
+
+        python -m repro.cli trace --queries 4 --tables 6 \\
+            --out trace.json
+        # load trace.json into ui.perfetto.dev
+
+    ``--dump-format jsonl`` emits one trace per line instead; the
+    command always ends with a top-span summary table (where did the
+    wall time go, aggregated over sampled requests).
 ``generate``
     Generate a random query and write it as JSON.
 ``figure1`` / ``figure2`` / ``ablation``
@@ -210,6 +221,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline", metavar="PATH",
         help="write the stats report to PATH and still print the "
              "normal report",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="record a traced synthetic workload and summarize the spans",
+    )
+    trace.add_argument(
+        "--queries", type=int, default=4,
+        help="number of synthetic queries to serve (default: 4)",
+    )
+    trace.add_argument("--topology", default="star")
+    trace.add_argument("--tables", type=int, default=6)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--algorithm", default="milp")
+    trace.add_argument(
+        "--duplicates", type=int, default=1,
+        help="extra submissions of the first query (exercises "
+             "coalescing and the plan cache; default: 1)",
+    )
+    trace.add_argument("--workers", type=int, default=2)
+    trace.add_argument("--time-limit", type=float, default=10.0)
+    trace.add_argument(
+        "--cost-model", default="hash",
+        choices=("cout", "hash", "sort_merge", "bnl"),
+    )
+    trace.add_argument(
+        "--sample", default="all", choices=("all", "head", "slow"),
+        help="sampling mode for the recording tracer (default: all)",
+    )
+    trace.add_argument(
+        "--slow-ms", type=float, default=250.0,
+        help="slow threshold for --sample slow (default: 250)",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the trace dump to PATH instead of stdout",
+    )
+    trace.add_argument(
+        "--dump-format", default="chrome", choices=("chrome", "jsonl"),
+        help="dump format: Chrome trace-event JSON (Perfetto-loadable) "
+             "or one trace per line (default: chrome)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the span summary table (default: 10)",
     )
 
     generate = commands.add_parser(
@@ -463,6 +519,70 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Record a synthetic serve workload under a tracer and report it.
+
+    Runs ``--queries`` generated queries (plus ``--duplicates`` repeats
+    of the first one) through a real :class:`OptimizationServer` with an
+    installed :class:`repro.obs.Tracer`, then dumps the sampled traces
+    (``--out``/``--dump-format``) and prints a top-span summary — the
+    offline equivalent of hitting ``GET /debug/traces`` on a live
+    server.
+    """
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs import export as obs_export
+    from repro.serve import OptimizationServer
+
+    tracer = obs.Tracer(sample=args.sample, slow_ms=args.slow_ms)
+    settings = OptimizerSettings(
+        cost_model=args.cost_model,
+        time_limit=args.time_limit,
+        seed=args.seed,
+    )
+    generator = QueryGenerator(seed=args.seed)
+    queries = [
+        generator.generate(args.topology, args.tables)
+        for _ in range(max(args.queries, 1))
+    ]
+    queries.extend(queries[0] for _ in range(max(args.duplicates, 0)))
+    with obs.tracing(tracer):
+        with OptimizationServer(settings, workers=args.workers) as server:
+            tickets = [
+                server.submit(query, args.algorithm) for query in queries
+            ]
+            outcomes = [ticket.result(timeout=600.0) for ticket in tickets]
+        traces = tracer.traces()
+
+    completed = sum(1 for o in outcomes if o.status.value == "completed")
+    print(f"served {len(outcomes)} requests "
+          f"({completed} completed, "
+          f"{sum(1 for o in outcomes if o.coalesced)} coalesced)")
+    stats = tracer.stats()
+    print(f"traces: {stats['started']} started, {stats['kept']} kept "
+          f"(sample={stats['sample']})")
+    if args.dump_format == "jsonl":
+        dump = obs_export.render_jsonl(traces)
+    else:
+        dump = obs_export.render_chrome(traces)
+    if args.out:
+        Path(args.out).write_text(dump, encoding="utf-8")
+        print(f"wrote {args.dump_format} dump to {args.out}")
+    else:
+        print(dump)
+    summary = obs_export.summarize(traces, top=args.top)
+    if summary:
+        print()
+        print(f"{'span':<20} {'count':>6} {'total_ms':>10} "
+              f"{'mean_ms':>9} {'max_ms':>9}")
+        for row in summary:
+            print(f"{row['name']:<20} {row['count']:>6} "
+                  f"{row['total_ms']:>10.1f} {row['mean_ms']:>9.2f} "
+                  f"{row['max_ms']:>9.2f}")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     generator = QueryGenerator(seed=args.seed)
     query = generator.generate(args.topology, args.tables)
@@ -515,6 +635,8 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "analyze":

@@ -17,9 +17,9 @@ The manifest encodes the ROADMAP's architecture invariants:
   ``milp`` surfaces (``lp_backend``'s pool/knobs and
   ``branch_and_bound``'s ``SolverOptions``);
 * engine code never imports upward into the service/serving layers;
-* ``repro.faultinject``, ``repro.cancel``, ``repro.store.serde`` and
-  ``repro.devtools`` stay dependency-light so every layer can import
-  them without cycles.
+* ``repro.faultinject``, ``repro.cancel``, ``repro.obs``,
+  ``repro.store.serde`` and ``repro.devtools`` stay dependency-light so
+  every layer can import them without cycles.
 
 Checks are on *direct* imports only (no transitive closure): each
 module is accountable for what it names, and the transitive picture is
@@ -172,6 +172,16 @@ DEFAULT_MANIFEST: tuple[LayerSpec, ...] = (
             "store.serde stays dependency-light (PR 7): data-model "
             "types only, so both store backends and the tests can "
             "import it without dragging in the serving stack"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.obs*",
+        allowed_only=(),
+        reason=(
+            "tracing is instrumented from every layer (simplex pivots "
+            "to the HTTP front end); like faultinject it must be a "
+            "cycle-free leaf — stdlib only, disabled path is one "
+            "global read"
         ),
     ),
     LayerSpec(

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.cancel import CancelToken
 from repro.exceptions import CancelledError, SolverError
 from repro.milp.cuts import CutGenerator, cuts_to_rows
@@ -255,7 +256,32 @@ class BranchAndBoundSolver:
         warm_start: "dict[str, float] | Sequence[float] | None" = None,
         callback: AnytimeCallback | None = None,
     ) -> MILPSolution:
-        """Minimize the model objective; return an anytime-rich solution."""
+        """Minimize the model objective; return an anytime-rich solution.
+
+        When a trace context is active (:mod:`repro.obs`), the search
+        runs under a ``bnb.solve`` span carrying a solver event
+        timeline: node open/prune, cut rounds, incumbent/bound updates,
+        basis-pool adoption and ERROR fallbacks.
+        """
+        with obs.span("bnb.solve") as bnb_span:
+            solution = self._solve_tree(warm_start, callback)
+            bnb_span.annotate(
+                status=solution.status.name,
+                nodes=solution.node_count,
+                lp_solves=self._lp_solves,
+                lp_pivots=self._lp_pivots,
+            )
+            if math.isfinite(solution.objective):
+                bnb_span.annotate(objective=solution.objective)
+            if math.isfinite(solution.best_bound):
+                bnb_span.annotate(best_bound=solution.best_bound)
+        return solution
+
+    def _solve_tree(
+        self,
+        warm_start: "dict[str, float] | Sequence[float] | None" = None,
+        callback: AnytimeCallback | None = None,
+    ) -> MILPSolution:
         start = time.monotonic()
         # Drop any previous session; _solve_lp lazily opens a fresh one
         # (after presolve, so presolve-infeasible models never pay the
@@ -290,6 +316,7 @@ class BranchAndBoundSolver:
         def record(kind: str, objective: float, bound: float) -> None:
             event = IncumbentEvent(elapsed(), objective, bound, kind)
             events.append(event)
+            obs.event(f"bnb.{kind}", objective=objective, bound=bound)
             if callback is not None:
                 callback(event)
 
@@ -330,9 +357,12 @@ class BranchAndBoundSolver:
             if pool is not None and self._warm_lp
             else None
         )
+        if seed_basis is not None:
+            obs.event("bnb.basis_adopted", source="pool")
         root_result = self._solve_lp(root_lb, root_ub, seed_basis)
         if pool is not None and root_result.status is LPStatus.OPTIMAL:
             pool.publish(root_result.basis)
+            obs.event("bnb.basis_published")
         if root_result.status is LPStatus.INFEASIBLE:
             return MILPSolution(
                 status=SolveStatus.INFEASIBLE,
@@ -459,9 +489,14 @@ class BranchAndBoundSolver:
                 global_bound = min(new_bound, incumbent_obj)
                 record("bound", incumbent_obj, global_bound)
             if node.lp_bound >= incumbent_obj - 1e-9:
+                obs.event("bnb.prune", reason="bound", depth=node.depth)
                 continue
 
             node_count += 1
+            obs.event(
+                "bnb.node", number=node_count, depth=node.depth,
+                bound=node.lp_bound,
+            )
             lb, ub = self._node_bounds(node, root_lb, root_ub)
             result = self._solve_lp(lb, ub, parent_basis)
             if result.status is LPStatus.ERROR:
@@ -470,11 +505,20 @@ class BranchAndBoundSolver:
                 # which must cap every bound we report from now on.
                 lp_error_count += 1
                 lp_error_bound = min(lp_error_bound, node.lp_bound)
+                obs.event(
+                    "bnb.lp_error", depth=node.depth,
+                    message=result.message,
+                )
                 continue
             if result.status is not LPStatus.OPTIMAL:
+                obs.event(
+                    "bnb.prune", reason=result.status.value,
+                    depth=node.depth,
+                )
                 continue
             self._update_pseudocost(node, result.objective)
             if result.objective >= incumbent_obj - 1e-9:
+                obs.event("bnb.prune", reason="dominated", depth=node.depth)
                 continue
 
             fractional = self._fractional_indices(result.x)
@@ -622,6 +666,7 @@ class BranchAndBoundSolver:
                 self._fallback_reasons.get(reason, 0) + 1
             )
             session.stats.fallback_solves += 1
+            obs.event("lp.fallback", reason=reason)
             try:
                 result = self._fallback_backend.solve(target_form, lb, ub)
             except SolverError as error:
@@ -683,7 +728,7 @@ class BranchAndBoundSolver:
         """
         generator = CutGenerator(self.model)
         total_cuts = 0
-        for _ in range(self.options.max_cut_rounds):
+        for cut_round in range(self.options.max_cut_rounds):
             if out_of_budget():
                 break
             cuts = generator.separate(
@@ -691,6 +736,7 @@ class BranchAndBoundSolver:
             )
             if not cuts:
                 break
+            obs.event("bnb.cut_round", round=cut_round, added=len(cuts))
             a_rows, b_rows = cuts_to_rows(cuts, self._form.num_variables)
             candidate_form = extend_form_with_rows(
                 self._form, a_rows, b_rows
@@ -709,6 +755,7 @@ class BranchAndBoundSolver:
                 accumulated.rows_appended -= len(cuts)
                 self._session = self._backend.create_session(self._form)
                 self._session.stats = accumulated
+                obs.event("bnb.cut_retract", dropped=len(cuts))
                 break
             self._form = candidate_form
             total_cuts += len(cuts)

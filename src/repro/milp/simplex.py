@@ -83,7 +83,7 @@ from scipy.linalg import (
 )
 from scipy.linalg.lapack import dtrtrs as _dtrtrs
 
-from repro import faultinject
+from repro import faultinject, obs
 from repro.exceptions import SolverError
 from repro.milp.lp_backend import (
     LPBackend,
@@ -114,6 +114,10 @@ _MAX_ITERATIONS = 20000
 _POLISH_TOL_FLOOR = 1e-12
 #: Consecutive (near-)degenerate pivots before Bland's rule engages.
 _BLAND_SWITCH = 30
+#: Per-solve phase buckets accumulated under
+#: ``REPRO_TRACE_SIMPLEX_PHASES`` (surfaced via
+#: ``SessionStats.notes["phase_times"]``).
+_PHASE_KEYS = ("pricing", "btran", "ratio_test", "ftran")
 #: Forrest–Tomlin stability gates: an updated diagonal smaller than
 #: this (relative to the spike) or an eta multiplier larger than the
 #: growth cap marks the update as untrustworthy; the caller
@@ -187,6 +191,10 @@ class SimplexSession(LPSession):
         #: basic.tobytes())`` from the last OPTIMAL solve, adopted by
         #: the next solve that re-installs exactly that basis.
         self._live: "tuple[_FTFactor, bytes] | None" = None
+        #: Opt-in per-phase wall-time accumulation
+        #: (``REPRO_TRACE_SIMPLEX_PHASES``): resolved once per session,
+        #: so the pivot loop's only disabled-path cost is a None check.
+        self._trace_phases = obs.simplex_phases_enabled()
         self.stats.notes["pricing"] = self._pricing
 
     def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
@@ -318,13 +326,31 @@ class SimplexSession(LPSession):
             refactor_interval=self._refactor_interval,
             live=self._live,
             cancel_token=self.cancel_token,
+            phase_times=(
+                dict.fromkeys(_PHASE_KEYS, 0.0)
+                if self._trace_phases else None
+            ),
         )
-        status = run.optimize(self._basis)
+        with obs.span("lp.solve", backend=self.backend_name) as lp_span:
+            status = run.optimize(self._basis)
+            lp_span.annotate(
+                status=status.name,
+                pivots=run.pivots,
+                refactorizations=run.refactorizations,
+                bound_flips=run.bound_flips,
+                warm=run.installed_warm,
+            )
         if run.installed_warm:
             self.stats.warm_solves += 1
         self.stats.pivots += run.pivots
         self.stats.refactorizations += run.refactorizations
         self.stats.bound_flips += run.bound_flips
+        if run.phase_times is not None:
+            totals = self.stats.notes.setdefault(
+                "phase_times", dict.fromkeys(_PHASE_KEYS, 0.0)
+            )
+            for phase, seconds in run.phase_times.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
         if status is LPStatus.OPTIMAL:
             x = run.x[: ws.num_structural] * ws.col_scale
             objective = float(self.form.c @ x) + self.form.c0
@@ -899,12 +925,18 @@ class _SimplexRun:
         refactor_interval: int = 64,
         live: "tuple[_FTFactor, bytes] | None" = None,
         cancel_token=None,
+        phase_times: dict | None = None,
     ):
         self.ws = ws
         self._lu_cache = lu_cache if lu_cache is not None else {}
         self.pricing = pricing
         self._refactor_interval = refactor_interval
         self._live = live
+        #: Opt-in pricing/BTRAN/ratio-test/FTRAN wall-time buckets
+        #: (``None`` = disabled; the pivot loop then pays only a None
+        #: check per segment, so pivot sequences are bit-identical with
+        #: profiling on or off).
+        self.phase_times = phase_times
         #: Cooperative cancellation token polled every few dozen pivots
         #: (:class:`repro.cancel.CancelToken`; ``None`` = never cancel).
         self._cancel = cancel_token
@@ -1344,6 +1376,7 @@ class _SimplexRun:
         # fresh only after a refactorization — by far the cheapest of the
         # per-pivot linear algebra.
         d = self._reduced_costs()
+        pt = self.phase_times
         while self.pivots < self.pivot_limit:
             # Cancellation poll, amortized to every 64 pivots: cheap
             # enough to leave in the hot loop, frequent enough that an
@@ -1351,6 +1384,7 @@ class _SimplexRun:
             # full pivot budget.
             if self._cancel is not None and (self.pivots & 0x3F) == 0:
                 self._cancel.check()
+            t0 = time.perf_counter() if pt is not None else 0.0
             xb = self.x[self.basic]
             over = xb - self.ub[self.basic]
             under = self.lb[self.basic] - xb
@@ -1381,11 +1415,17 @@ class _SimplexRun:
                 r = int(np.argmax(scores))
             leaves_at_upper = over[r] >= under[r]
             delta = float(violation[r])
+            if pt is not None:
+                now = time.perf_counter()
+                pt["pricing"] += now - t0
+                t0 = now
 
             unit = np.zeros(self.ws.num_rows)
             unit[r] = 1.0
             rho = self._btran(unit)
             alpha = self.ws.mat_t(rho)
+            if pt is not None:
+                pt["btran"] += time.perf_counter() - t0
             # An untrustworthy pivot (FTRAN/BTRAN disagreement, or an
             # element negligible against its column) is first retried on
             # fresh factors — restarting the iteration, since the fresh
@@ -1396,12 +1436,19 @@ class _SimplexRun:
             refreshed = False
             flips: list[int] = []
             while True:
+                t0 = time.perf_counter() if pt is not None else 0.0
                 q, flips = self._dual_select(
                     alpha, leaves_at_upper, banned, d, delta, dtol
                 )
+                if pt is not None:
+                    now = time.perf_counter()
+                    pt["ratio_test"] += now - t0
+                    t0 = now
                 if q < 0:
                     break
                 w = self._ftran(self.ws.column(q), want_spike=True)
+                if pt is not None:
+                    pt["ftran"] += time.perf_counter() - t0
                 if self._pivot_trustworthy(w, w[r], alpha[q]):
                     break
                 if self._factor.updates:
@@ -1673,18 +1720,26 @@ class _SimplexRun:
         devex = self.pricing == "devex"
         banned: set[int] = set()
         d: np.ndarray | None = None
+        pt = self.phase_times
         while self.pivots < self.pivot_limit:
             # Same amortized cancellation poll as the dual phase.
             if self._cancel is not None and (self.pivots & 0x3F) == 0:
                 self._cancel.check()
+            t0 = time.perf_counter() if pt is not None else 0.0
             if d is None:
                 d = self._reduced_costs()
             entering = self._primal_entering(d, banned, tol)
+            if pt is not None:
+                now = time.perf_counter()
+                pt["pricing"] += now - t0
+                t0 = now
             if entering < 0:
                 return LPStatus.OPTIMAL
             q = entering
             tol_q = _DUAL_TOL if tol is None else float(tol[q])
             w = self._ftran(self.ws.column(q), want_spike=True)
+            if pt is not None:
+                pt["ftran"] += time.perf_counter() - t0
             # Re-derive the reduced cost through the FTRAN route
             # (c_q - c_B . w): it is exact for the pivot column and
             # filters out BTRAN rounding noise near the tolerance.
@@ -1701,9 +1756,12 @@ class _SimplexRun:
             if not profitable:
                 banned.add(q)
                 continue
+            t0 = time.perf_counter() if pt is not None else 0.0
             step, leaving, leaves_at_upper = self._primal_ratio(
                 q, direction, w, tol
             )
+            if pt is not None:
+                pt["ratio_test"] += time.perf_counter() - t0
             if step == math.inf:
                 return LPStatus.UNBOUNDED
             # The ratio test guarantees |w[leaving]| > _PIVOT_TOL; the
@@ -1745,9 +1803,12 @@ class _SimplexRun:
                     # Pivot row through the *old* basis: one BTRAN +
                     # matvec drives both the Devex weight update and the
                     # incremental dual update.
+                    t0 = time.perf_counter() if pt is not None else 0.0
                     unit = np.zeros(self.ws.num_rows)
                     unit[leaving] = 1.0
                     alpha = self.ws.mat_t(self._btran(unit))
+                    if pt is not None:
+                        pt["btran"] += time.perf_counter() - t0
                     piv = float(w[leaving])
                     theta = d_ftran / piv
                     d = d - theta * alpha

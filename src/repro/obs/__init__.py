@@ -1,0 +1,622 @@
+"""End-to-end tracing for the optimizer and its serving stack.
+
+The serving pipeline spans six layers (HTTP → scheduler → coalescer →
+resilience ladder → ``OptimizerService`` → B&B/simplex); aggregate
+counters cannot say *which* layer a slow request spent its time in.
+This package records one derivation trace per request — the span/event
+model of *Provenance Traces* (Cheney et al.), applied to optimizer
+decisions instead of database tuples: every span names the decision
+point that consumed the time, every event a discrete solver fact
+(node opened, incumbent improved, basis adopted, fault injected).
+
+Design constraints, in the order they drove the shape:
+
+* **Disabled tracing is one global read** — the same discipline as
+  :func:`repro.faultinject.check`.  Every public entry point reads
+  ``_active`` once; when no tracer is installed the call returns a
+  shared no-op object and touches nothing else, so instrumentation can
+  stay in production hot paths permanently.
+* **Dependency-light leaf** (ARCH-002): stdlib only, importable from
+  the deepest simplex loop and the HTTP front end alike without
+  creating a cycle.
+* **Monotonic clocks**: span intervals use ``time.perf_counter``; one
+  wall-clock anchor per trace converts to absolute microseconds at
+  export time, so intra-trace ordering is immune to clock steps.
+* **Thread-local span stacks with explicit handoff**: nesting inside
+  one thread is implicit (:func:`span`); crossing the serve worker
+  pool is explicit — the submitting thread captures a :class:`Span`,
+  parks it on the request, and the worker re-enters it with
+  :func:`attach`.  The stack is thread-local, so a context survives
+  blocking waits (``CancelToken.wait`` in the retry ladder's backoff)
+  on the same thread by construction.
+* **Bounded, lock-cheap ring buffer**: completed traces land in a
+  preallocated ring; the lock is held only to claim a slot index.
+  Memory is O(capacity × per-trace span cap) regardless of traffic.
+* **Sampling**: ``all`` keeps everything, ``head`` keeps every N-th
+  trace (decided at start — unsampled requests pay nothing further),
+  ``slow`` records everything but keeps only traces whose root
+  exceeded a threshold (decided at completion; the right mode for
+  "why was *that* request slow?" in production).
+
+Usage, serving side::
+
+    obs.install(Tracer(sample="slow", slow_ms=250.0))
+    root = obs.start_trace("request", algorithm="milp")   # submit thread
+    ...
+    with obs.attach(root):                                 # worker thread
+        with obs.span("rung", rung="warm-simplex"):
+            obs.event("bnb.incumbent", objective=41.5)
+    root.finish()
+
+Exports: Chrome trace-event JSON (Perfetto-loadable) and JSONL — see
+:mod:`repro.obs.export` — surfaced through ``GET /debug/traces`` and
+the ``repro trace`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, ContextManager, Iterator
+
+__all__ = [
+    "EVENT_CAP",
+    "SAMPLE_MODES",
+    "SPAN_CAP",
+    "Span",
+    "Trace",
+    "Tracer",
+    "active",
+    "attach",
+    "clear",
+    "current",
+    "current_trace_id",
+    "enabled",
+    "event",
+    "install",
+    "simplex_phases_enabled",
+    "span",
+    "start_trace",
+    "tracer_from_env",
+    "tracing",
+]
+
+#: Sampling modes accepted by :class:`Tracer` (``slow-only`` is a
+#: documented alias for ``slow``).
+SAMPLE_MODES = ("all", "head", "slow")
+
+#: Per-span bound on recorded events: a B&B run can open thousands of
+#: nodes, and a trace must stay O(1) memory per request.  Overflow is
+#: counted, never silently dropped (``events_dropped`` attribute).
+EVENT_CAP = 512
+
+#: Per-trace bound on spans, same rationale.
+SPAN_CAP = 2048
+
+_ids = itertools.count(1)
+
+
+def _next_id(prefix: str) -> str:
+    # itertools.count.__next__ is atomic under the GIL: no lock needed.
+    return f"{prefix}{next(_ids):08x}"
+
+
+class _NullSpan:
+    """Shared no-op stand-in when tracing is off or unsampled.
+
+    Every method returns cheaply (child spans return the singleton
+    itself), so call sites never branch on whether tracing is live.
+    """
+
+    __slots__ = ()
+
+    trace_id: str | None = None
+    span_id = ""
+    name = ""
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def child(self, name: str, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, **attrs: Any) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton no-op span.
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager for the disabled/unsampled path.
+
+    A ``@contextmanager`` allocates a generator plus a wrapper object on
+    every call even when tracing is off; this singleton keeps the
+    dormant cost of a ``with obs.span(...)`` site to the enabled check
+    itself.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class Span:
+    """One timed interval inside a :class:`Trace`.
+
+    Spans are created via :meth:`child` (explicit, cross-thread safe)
+    or the :func:`span` context manager (implicit nesting through the
+    thread-local stack).  ``start``/``end`` are ``perf_counter``
+    readings; the owning trace's wall anchor converts them at export.
+    """
+
+    __slots__ = (
+        "trace", "span_id", "parent_id", "name",
+        "start", "end", "thread", "attrs", "events", "events_dropped",
+    )
+
+    def __init__(
+        self, trace: "Trace", name: str, parent_id: str | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.trace = trace
+        self.span_id = _next_id("s")
+        self.parent_id = parent_id
+        self.name = name
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.thread = threading.get_ident()
+        self.attrs = attrs
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+        self.events_dropped = 0
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach key/value attributes (breaker state, hit/miss, ...)."""
+        self.attrs.update(attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event on this span, bounded by
+        :data:`EVENT_CAP` (overflow is counted, not silently lost)."""
+        if len(self.events) >= EVENT_CAP:
+            self.events_dropped += 1
+            return
+        self.events.append((time.perf_counter(), name, attrs))
+
+    def child(self, name: str, **attrs: Any) -> "Span | _NullSpan":
+        """Start a child span (caller finishes it explicitly).
+
+        Safe across threads: the child records the *creating* thread
+        and registers with the trace under the trace's lock.  This is
+        the primitive for spans that start on one thread and end on
+        another (queue-wait: submitted on the client thread, finished
+        by the worker that dequeues the request).
+        """
+        return self.trace._open(name, self.span_id, attrs)
+
+    def finish(self, **attrs: Any) -> None:
+        """Close the span; finishing a root span completes the trace
+        (sampling verdict + ring-buffer publication).  Idempotent."""
+        if self.end is not None:
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        self.end = time.perf_counter()
+        if self.events_dropped:
+            self.attrs["events_dropped"] = self.events_dropped
+        if self.parent_id is None:
+            self.trace._complete()
+
+    def duration_ms(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return (end - self.start) * 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration_ms():.2f}ms"
+        return f"<Span {self.name} {self.span_id} {state}>"
+
+
+class Trace:
+    """All spans of one traced request, shareable across threads."""
+
+    def __init__(
+        self, tracer: "Tracer", name: str, attrs: dict[str, Any]
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = _next_id("t")
+        #: Wall-clock anchor paired with the root's ``perf_counter``
+        #: start: exports map monotonic offsets onto absolute time.
+        self.started_wall = time.time()
+        self._lock = threading.Lock()
+        self.spans: list[Span] = []
+        self.spans_dropped = 0
+        self.root = self._open(name, None, attrs)
+
+    def _open(
+        self, name: str, parent_id: str | None, attrs: dict[str, Any]
+    ) -> Span | _NullSpan:
+        span = Span(self, name, parent_id, attrs)
+        with self._lock:
+            if len(self.spans) >= SPAN_CAP:
+                self.spans_dropped += 1
+                return NULL_SPAN
+            self.spans.append(span)
+        return span
+
+    def _complete(self) -> None:
+        self.tracer._completed(self)
+
+    def duration_ms(self) -> float:
+        return self.root.duration_ms()
+
+    def snapshot_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self.spans)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump (the JSONL export row)."""
+        root_start = self.root.start
+        spans = []
+        for span in self.snapshot_spans():
+            end = span.end if span.end is not None else span.start
+            spans.append({
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "thread": span.thread,
+                "start_ms": (span.start - root_start) * 1000.0,
+                "duration_ms": max(0.0, (end - span.start) * 1000.0),
+                "attrs": dict(span.attrs),
+                "events": [
+                    {
+                        "name": name,
+                        "at_ms": (at - root_start) * 1000.0,
+                        "attrs": dict(attrs),
+                    }
+                    for at, name, attrs in span.events
+                ],
+            })
+        with self._lock:
+            dropped = self.spans_dropped
+        out: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "name": self.root.name,
+            "started_unix": self.started_wall,
+            "duration_ms": self.duration_ms(),
+            "spans": spans,
+        }
+        if dropped:
+            out["spans_dropped"] = dropped
+        return out
+
+    def breakdown(self) -> list[tuple[str, float, int]]:
+        """``(span name, total ms, count)`` rows, slowest first — the
+        slow-request log line's payload.
+
+        Aggregated by name: a B&B request holds hundreds of ``lp.solve``
+        spans, and a log line listing each one individually is unreadable
+        and truncation-prone.
+        """
+        totals: dict[str, tuple[float, int]] = {}
+        for span in self.snapshot_spans():
+            total, count = totals.get(span.name, (0.0, 0))
+            totals[span.name] = (total + span.duration_ms(), count + 1)
+        return sorted(
+            (
+                (name, round(total, 2), count)
+                for name, (total, count) in totals.items()
+            ),
+            key=lambda row: row[1],
+            reverse=True,
+        )
+
+
+class Tracer:
+    """Sampling policy plus the bounded ring buffer of kept traces.
+
+    Thread-safe.  The ring lock is held only to claim a slot index and
+    bump counters; the trace object itself is already fully built when
+    published, so writers never block each other on payload work.
+    """
+
+    def __init__(
+        self,
+        sample: str = "all",
+        head_rate: int = 10,
+        slow_ms: float = 250.0,
+        capacity: int = 256,
+    ) -> None:
+        mode = sample.strip().lower().replace("slow-only", "slow")
+        if mode not in SAMPLE_MODES:
+            raise ValueError(
+                f"sample must be one of {SAMPLE_MODES}, got {sample!r}"
+            )
+        if head_rate < 1:
+            raise ValueError("head_rate must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sample = mode
+        self.head_rate = head_rate
+        self.slow_ms = float(slow_ms)
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: list[Trace | None] = [None] * capacity
+        self._next = 0
+        self._started = 0
+        self._kept = 0
+        self._discarded = 0
+
+    def start_trace(
+        self, name: str, **attrs: Any
+    ) -> Span | _NullSpan:
+        """Root span of a new trace, or :data:`NULL_SPAN` when head
+        sampling skips this request (everything downstream no-ops)."""
+        with self._lock:
+            index = self._started
+            self._started += 1
+        if self.sample == "head" and index % self.head_rate:
+            return NULL_SPAN
+        return Trace(self, name, attrs).root
+
+    def _completed(self, trace: Trace) -> None:
+        if self.sample == "slow" and trace.duration_ms() < self.slow_ms:
+            with self._lock:
+                self._discarded += 1
+            return
+        with self._lock:
+            slot = self._next % self.capacity
+            self._next += 1
+            self._kept += 1
+        # Slot publication outside the index claim: a single list-item
+        # assignment (atomic under the GIL), so two writers touch
+        # distinct slots and readers see either the old or new trace.
+        self._ring[slot] = trace
+
+    def traces(self) -> list[Trace]:
+        """Kept traces, oldest first (a snapshot; the ring keeps
+        rolling underneath)."""
+        with self._lock:
+            head = self._next
+        ordered: list[Trace] = []
+        for offset in range(self.capacity):
+            trace = self._ring[(head + offset) % self.capacity]
+            if trace is not None:
+                ordered.append(trace)
+        return ordered
+
+    def find(self, trace_id: str) -> Trace | None:
+        for trace in self.traces():
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def clear_buffer(self) -> None:
+        with self._lock:
+            self._next = 0
+        for slot in range(self.capacity):
+            self._ring[slot] = None
+
+    def stats(self) -> dict[str, int | str | float]:
+        with self._lock:
+            return {
+                "sample": self.sample,
+                "slow_ms": self.slow_ms,
+                "capacity": self.capacity,
+                "started": self._started,
+                "kept": self._kept,
+                "discarded": self._discarded,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Process-global activation (the repro.faultinject discipline)
+# ---------------------------------------------------------------------------
+
+_active: Tracer | None = None
+_install_lock = threading.Lock()
+
+
+def install(tracer: Tracer) -> None:
+    """Activate ``tracer`` process-wide (replaces any previous one)."""
+    global _active
+    with _install_lock:
+        _active = tracer
+
+
+def clear() -> None:
+    """Deactivate tracing; instrumented sites go back to one-read no-ops."""
+    global _active
+    with _install_lock:
+        _active = None
+
+
+def active() -> Tracer | None:
+    """The installed tracer (``None`` when tracing is off)."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped activation: ``with tracing(Tracer()): ...`` (always clears)."""
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        clear()
+
+
+# ---------------------------------------------------------------------------
+# Thread-local span stack + explicit cross-thread handoff
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def current() -> Span | None:
+    """This thread's innermost live span (``None`` outside any trace)."""
+    if _active is None:
+        return None
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_trace_id() -> str | None:
+    span = current()
+    return span.trace_id if span is not None else None
+
+
+def start_trace(name: str, **attrs: Any) -> Span | _NullSpan:
+    """Open a new root span on the installed tracer (no-op when off).
+
+    The root is *not* pushed on this thread's stack — the caller parks
+    it on the request object and every participating thread enters it
+    with :func:`attach`.  Finish it explicitly when the request
+    resolves.
+    """
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.start_trace(name, **attrs)
+
+
+def attach(
+    span: Span | _NullSpan | None,
+) -> "ContextManager[Span | _NullSpan]":
+    """Adopt a handed-off span as this thread's current context.
+
+    The explicit handoff across the serve worker pool: the submitting
+    thread captures the root via :func:`start_trace`, the worker wraps
+    its processing in ``with attach(request.trace): ...`` so nested
+    :func:`span`/:func:`event` calls parent correctly.  ``None`` and
+    :data:`NULL_SPAN` attach as no-ops.
+    """
+    if span is None or isinstance(span, _NullSpan) or _active is None:
+        return _NULL_CONTEXT
+    return _attach_live(span)
+
+
+@contextmanager
+def _attach_live(span: Span) -> Iterator[Span]:
+    stack = _stack()
+    stack.append(span)
+    try:
+        yield span
+    finally:
+        stack.pop()
+
+
+def span(
+    name: str, **attrs: Any
+) -> "ContextManager[Span | _NullSpan]":
+    """Timed child span under this thread's current context.
+
+    One global read (and a shared no-op context) when tracing is off; a
+    no-op without a parent context when the surrounding request was not
+    sampled — so leaf instrumentation never creates orphan spans.
+    """
+    if _active is None:
+        return _NULL_CONTEXT
+    stack = getattr(_tls, "stack", None)
+    if not stack:
+        return _NULL_CONTEXT
+    return _span_live(stack, name, attrs)
+
+
+@contextmanager
+def _span_live(
+    stack: list, name: str, attrs: dict
+) -> Iterator[Span | _NullSpan]:
+    child = stack[-1].child(name, **attrs)
+    if isinstance(child, _NullSpan):
+        yield child
+        return
+    stack.append(child)
+    try:
+        yield child
+    finally:
+        stack.pop()
+        child.finish()
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Instant event on the current span (one global read when off)."""
+    if _active is None:
+        return
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        stack[-1].event(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs (documented in docs/operations.md — rule REG-001)
+# ---------------------------------------------------------------------------
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def tracer_from_env() -> Tracer | None:
+    """Build a tracer from ``REPRO_TRACE*`` knobs, ``None`` when off.
+
+    ``REPRO_TRACE`` selects the mode (``all``/``head``/``slow`` —
+    ``slow-only``, ``1``, ``true`` and ``on`` are accepted aliases);
+    ``REPRO_TRACE_HEAD_RATE``, ``REPRO_TRACE_SLOW_MS`` and
+    ``REPRO_TRACE_BUFFER`` tune sampling and retention.
+    """
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    if raw in _FALSEY:
+        return None
+    if raw in ("1", "true", "on"):
+        raw = "all"
+    if raw == "slow-only":
+        raw = "slow"
+    if raw not in SAMPLE_MODES:
+        raise ValueError(
+            f"REPRO_TRACE must be off or one of {SAMPLE_MODES}, got {raw!r}"
+        )
+    head_rate = int(os.environ.get("REPRO_TRACE_HEAD_RATE", "10") or "10")
+    slow_ms = float(os.environ.get("REPRO_TRACE_SLOW_MS", "250") or "250")
+    capacity = int(os.environ.get("REPRO_TRACE_BUFFER", "256") or "256")
+    return Tracer(
+        sample=raw, head_rate=head_rate, slow_ms=slow_ms, capacity=capacity
+    )
+
+
+def simplex_phases_enabled() -> bool:
+    """Whether ``REPRO_TRACE_SIMPLEX_PHASES`` asks the simplex engine
+    to accumulate per-phase (pricing/FTRAN/BTRAN/ratio-test) wall time
+    into its session stats.  Opt-in: the timing calls sit inside the
+    pivot loop, and even cheap clock reads add up there."""
+    raw = os.environ.get("REPRO_TRACE_SIMPLEX_PHASES", "").strip().lower()
+    return raw not in _FALSEY

@@ -1,0 +1,110 @@
+"""Trace exports: Chrome trace-event JSON (Perfetto) and JSONL.
+
+The Chrome trace-event format is the lingua franca of timeline
+viewers — ``ui.perfetto.dev`` and ``chrome://tracing`` both load it
+directly.  Spans become complete (``ph="X"``) events with absolute
+microsecond timestamps (each trace's wall-clock anchor plus the span's
+monotonic offset, so intra-trace ordering is exact even across clock
+steps); span events become thread-scoped instants (``ph="i"``).  One
+"process" per trace keeps concurrent requests on separate tracks, with
+the worker threads that touched the request as its rows.
+
+JSONL is the machine-readable sibling: one self-contained trace dict
+per line (see :meth:`repro.obs.Trace.as_dict`), greppable and
+streamable where the Chrome format wants the whole array in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs import Trace
+
+__all__ = ["chrome_trace", "render_chrome", "render_jsonl", "summarize"]
+
+
+def chrome_trace(traces: Iterable[Trace]) -> dict[str, Any]:
+    """The Chrome trace-event payload for ``traces`` as a dict."""
+    events: list[dict[str, Any]] = []
+    for pid, trace in enumerate(traces, start=1):
+        root = trace.root
+        # Absolute µs = wall anchor + monotonic offset from the root.
+        anchor_us = trace.started_wall * 1e6
+
+        def to_us(perf: float) -> float:
+            return anchor_us + (perf - root.start) * 1e6
+
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{root.name} {trace.trace_id}"},
+        })
+        for span in trace.snapshot_spans():
+            end = span.end if span.end is not None else span.start
+            events.append({
+                "name": span.name,
+                "cat": root.name,
+                "ph": "X",
+                "ts": to_us(span.start),
+                "dur": max(0.0, (end - span.start) * 1e6),
+                "pid": pid,
+                "tid": span.thread,
+                "args": {"trace_id": trace.trace_id, **span.attrs},
+            })
+            for at, name, attrs in span.events:
+                events.append({
+                    "name": name,
+                    "cat": root.name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": to_us(at),
+                    "pid": pid,
+                    "tid": span.thread,
+                    "args": dict(attrs),
+                })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_chrome(traces: Iterable[Trace]) -> str:
+    """Chrome trace-event JSON text (drop into ui.perfetto.dev)."""
+    return json.dumps(chrome_trace(traces), default=str)
+
+
+def render_jsonl(traces: Iterable[Trace]) -> str:
+    """One JSON object per trace per line (trailing newline included)."""
+    lines = [json.dumps(trace.as_dict(), default=str) for trace in traces]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summarize(traces: Iterable[Trace], top: int = 10) -> list[dict[str, Any]]:
+    """Top span names by total wall time across ``traces``.
+
+    The ``repro trace`` CLI's table: where did the workload's time go,
+    aggregated over every sampled request.
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for trace in traces:
+        for span in trace.snapshot_spans():
+            row = totals.setdefault(
+                span.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            duration = span.duration_ms()
+            row["count"] += 1
+            row["total_ms"] += duration
+            row["max_ms"] = max(row["max_ms"], duration)
+    ranked = sorted(
+        totals.items(), key=lambda item: item[1]["total_ms"], reverse=True
+    )
+    return [
+        {
+            "name": name,
+            "count": int(row["count"]),
+            "total_ms": round(row["total_ms"], 3),
+            "mean_ms": round(row["total_ms"] / row["count"], 3),
+            "max_ms": round(row["max_ms"], 3),
+        }
+        for name, row in ranked[:top]
+    ]

@@ -59,7 +59,13 @@ class RequestCoalescer:
     def lead_or_follow(
         self, key: Hashable, request: ServeRequest
     ) -> bool:
-        """Register ``request`` under ``key``; ``True`` if it leads."""
+        """Register ``request`` under ``key``; ``True`` if it leads.
+
+        Traced followers are linked to their leader: the follower's
+        root span records ``coalesced_into`` (the leader's trace id)
+        and the leader's root records a ``coalesce.follower`` event, so
+        either trace leads to the other in the trace viewer.
+        """
         with self._lock:
             entry = self._in_flight.get(key)
             if entry is None:
@@ -67,6 +73,20 @@ class RequestCoalescer:
                 return True
             entry.followers.append(request)
             self.coalesced += 1
+            leader_trace = entry.leader.trace
+            if request.trace:
+                request.trace.annotate(
+                    coalesced_into=(
+                        leader_trace.trace_id if leader_trace else None
+                    )
+                )
+            if leader_trace:
+                leader_trace.event(
+                    "coalesce.follower",
+                    trace_id=(
+                        request.trace.trace_id if request.trace else None
+                    ),
+                )
             return False
 
     def withdraw(self, key: Hashable) -> list[ServeRequest]:

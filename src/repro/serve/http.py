@@ -10,6 +10,15 @@ Three endpoints, no framework:
   later), ``TIMED_OUT`` → 504, ``FAILED`` → 500.
 * ``GET /metrics`` — Prometheus-style text exposition.
 * ``GET /healthz`` — liveness plus queue depth, for load balancers.
+* ``GET /debug/traces`` — the installed :mod:`repro.obs` tracer's ring
+  buffer as Chrome trace-event JSON (drop into ``ui.perfetto.dev``);
+  ``?format=jsonl`` returns one trace per line instead.  404 when no
+  tracer is installed.
+
+Every ``POST /optimize`` request is access-logged on the
+``repro.serve.http`` logger: one structured line with the trace id (or
+``-`` when untraced), disposition, priority, queue-wait and total
+milliseconds.
 
 ``ThreadingHTTPServer`` gives one thread per connection; actual
 optimization concurrency stays governed by the
@@ -23,7 +32,9 @@ import json
 import logging
 import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.catalog.serde import plan_to_dict, query_from_dict
 
 from repro.serve.server import OptimizationServer, RequestStatus
@@ -100,19 +111,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         backend = self.server.optimizer
-        if self.path == "/metrics":
+        parts = urlsplit(self.path)
+        path = parts.path
+        if path == "/metrics":
             self._send_text(200, backend.metrics_text())
-        elif self.path == "/healthz":
+        elif path == "/healthz":
             self._send_json(200, {
                 "status": "ok" if not backend.scheduler.closed
                 else "draining",
                 "queue_depth": len(backend.scheduler),
                 "queue_capacity": backend.scheduler.capacity,
             })
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send_json(200, backend.metrics_snapshot())
+        elif path == "/debug/traces":
+            self._send_traces(parse_qs(parts.query))
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def _send_traces(self, params: dict) -> None:
+        """Dump the tracer's ring buffer (``GET /debug/traces``)."""
+        from repro.obs import export as obs_export
+
+        tracer = obs.active()
+        if tracer is None:
+            self._send_json(404, {
+                "error": "tracing disabled; install a tracer "
+                "(REPRO_TRACE=all|head|slow) and retry"
+            })
+            return
+        traces = tracer.traces()
+        fmt = (params.get("format") or ["chrome"])[0].strip().lower()
+        if fmt == "jsonl":
+            self._send_text(200, obs_export.render_jsonl(traces))
+        elif fmt == "chrome":
+            body = obs_export.render_chrome(traces).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_json(400, {
+                "error": f"unknown format {fmt!r}; use chrome or jsonl"
+            })
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path != "/optimize":
@@ -158,6 +200,8 @@ class _Handler(BaseHTTPRequestHandler):
             "service_ms": round(outcome.service_seconds * 1000.0, 3),
             "total_ms": round(outcome.total_seconds * 1000.0, 3),
         }
+        if outcome.trace_id is not None:
+            body["trace_id"] = outcome.trace_id
         if outcome.error is not None:
             body["error"] = outcome.error
         if outcome.degraded_budget is not None:
@@ -175,7 +219,18 @@ class _Handler(BaseHTTPRequestHandler):
                     if result.plan is not None else None
                 ),
             )
-        self._send_json(_STATUS_CODES[outcome.status], body)
+        code = _STATUS_CODES[outcome.status]
+        # Structured per-request access log: grep-able key=value pairs,
+        # one line per request, correlated with traces via trace_id.
+        logger.info(
+            "access path=/optimize status=%s code=%d priority=%s "
+            "trace_id=%s wait_ms=%.1f total_ms=%.1f",
+            outcome.status.value, code, priority.name.lower(),
+            outcome.trace_id or "-",
+            outcome.wait_seconds * 1000.0,
+            outcome.total_seconds * 1000.0,
+        )
+        self._send_json(code, body)
 
 
 class OptimizationHTTPServer(ThreadingHTTPServer):

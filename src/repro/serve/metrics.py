@@ -46,6 +46,8 @@ KNOWN_METRICS: dict[str, str] = {
     "serve_retries_total": "counter",
     "serve_ladder_descents_total": "counter",
     "serve_workers_replaced_total": "counter",
+    # tracing (server.py; see repro.obs)
+    "serve_slow_requests_total": "counter",
     # error breakdown by kind (server.py, http.py)
     "errors_total": "counter_family",
     # load gauges

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.api.service import _accepts_cancel_token
 from repro.cancel import CancelToken
 from repro.exceptions import CancelledError, SolverError
@@ -381,6 +382,10 @@ class ResilientExecutor:
                     "algorithm": rung_algorithm,
                     "outcome": "breaker-open",
                 })
+                obs.event(
+                    "rung.breaker_open",
+                    rung=rung, algorithm=rung_algorithm, bucket=bucket,
+                )
                 continue
             tries = self.retry.max_attempts if rung == "warm" else 1
             done, last_error = self._run_rung(
@@ -465,70 +470,103 @@ class ResilientExecutor:
                 "attempt": attempt,
             }
             attempts.append(record)
-            try:
-                result = self._attempt(
-                    rung, algorithm, query, budget, use_cache, cancel_token
+            with obs.span(
+                "rung", rung=rung, algorithm=algorithm, attempt=attempt,
+            ) as rung_span:
+                if breaker is not None and rung_span:
+                    rung_span.annotate(breaker=breaker.state.value)
+                done = self._run_attempt(
+                    outcome, record, rung, algorithm, breaker, attempt,
+                    tries, rng, query, budget, use_cache, cancel_token,
                 )
-            except CancelledError as error:
-                record["outcome"] = f"cancelled: {error.reason}"
-                outcome.cancelled = error.reason
-                return True, last_error
-            except SolverError as error:
-                last_error = f"{type(error).__name__}: {error}"
-                record["outcome"] = f"transient: {error}"
-                if breaker is not None:
-                    breaker.record_failure()
-                if attempt < tries:
-                    outcome.retries += 1
-                    if self._backoff(attempt, rng, cancel_token):
-                        outcome.cancelled = (
-                            cancel_token.reason
-                            if cancel_token is not None else "cancelled"
-                        )
-                        return True, last_error
-                continue
-            except Exception as error:  # noqa: BLE001 - ladder boundary
-                last_error = f"{type(error).__name__}: {error}"
-                record["outcome"] = f"error: {error}"
-                if breaker is not None:
-                    breaker.record_failure()
-                return False, last_error
-            if cancel_token is not None and cancel_token.cancelled:
-                # The solve absorbed the cancellation and returned its
-                # best-so-far (anytime semantics).  A usable plan is
-                # still an answer; an empty result is a cancellation.
-                outcome.cancelled = cancel_token.reason
-                if result.has_plan:
-                    record["outcome"] = "ok"
-                    outcome.result = result
-                    outcome.cancelled = None
-                    if breaker is not None:
-                        breaker.record_success()
-                else:
-                    record["outcome"] = (
-                        f"cancelled: {cancel_token.reason}"
+                last_error = record.pop("last_error", last_error)
+                rung_span.annotate(outcome=record.get("outcome", "retry"))
+            if done is not None:
+                return done, last_error
+        return False, last_error
+
+    def _run_attempt(
+        self,
+        outcome: ExecutionOutcome,
+        record: dict,
+        rung: str,
+        algorithm: str,
+        breaker: CircuitBreaker | None,
+        attempt: int,
+        tries: int,
+        rng: random.Random,
+        query: "Query",
+        budget: float | None,
+        use_cache: bool,
+        cancel_token: CancelToken | None,
+    ) -> bool | None:
+        """One try of one rung.  Returns ``True``/``False`` for "ladder
+        done / descend" (mirroring :meth:`_run_rung`'s first return
+        element) or ``None`` to retry this rung.  A new last-error
+        string is passed back via ``record["last_error"]``."""
+        try:
+            result = self._attempt(
+                rung, algorithm, query, budget, use_cache, cancel_token
+            )
+        except CancelledError as error:
+            record["outcome"] = f"cancelled: {error.reason}"
+            outcome.cancelled = error.reason
+            return True
+        except SolverError as error:
+            record["last_error"] = f"{type(error).__name__}: {error}"
+            record["outcome"] = f"transient: {error}"
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt < tries:
+                outcome.retries += 1
+                if self._backoff(attempt, rng, cancel_token):
+                    outcome.cancelled = (
+                        cancel_token.reason
+                        if cancel_token is not None else "cancelled"
                     )
-                return True, last_error
-            if result.has_plan or result.status in (
-                SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED
-            ):
+                    return True
+            return None if attempt < tries else False
+        except Exception as error:  # noqa: BLE001 - ladder boundary
+            record["last_error"] = f"{type(error).__name__}: {error}"
+            record["outcome"] = f"error: {error}"
+            if breaker is not None:
+                breaker.record_failure()
+            return False
+        if cancel_token is not None and cancel_token.cancelled:
+            # The solve absorbed the cancellation and returned its
+            # best-so-far (anytime semantics).  A usable plan is
+            # still an answer; an empty result is a cancellation.
+            outcome.cancelled = cancel_token.reason
+            if result.has_plan:
                 record["outcome"] = "ok"
                 outcome.result = result
+                outcome.cancelled = None
                 if breaker is not None:
                     breaker.record_success()
-                return True, last_error
-            # Honest empty answer (NO_SOLUTION): not a solver fault —
-            # the breaker stays untouched — but descend looking for a
-            # rung that can produce *a* plan.
-            last_error = (
-                f"{algorithm!r} returned {result.status.value} "
-                "without a plan"
-            )
-            record["outcome"] = f"empty: {result.status.value}"
-            if outcome.result is None:
-                outcome.result = result
-            return False, last_error
-        return False, last_error
+            else:
+                record["outcome"] = (
+                    f"cancelled: {cancel_token.reason}"
+                )
+            return True
+        if result.has_plan or result.status in (
+            SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED
+        ):
+            record["outcome"] = "ok"
+            outcome.result = result
+            if breaker is not None:
+                breaker.record_success()
+            return True
+        # Honest empty answer (NO_SOLUTION): not a solver fault —
+        # the breaker stays untouched — but descend looking for a
+        # rung that can produce *a* plan.
+        record["last_error"] = (
+            f"{algorithm!r} returned {result.status.value} "
+            "without a plan"
+        )
+        record["outcome"] = f"empty: {result.status.value}"
+        if outcome.result is None:
+            outcome.result = result
+        return False
 
     def _attempt(
         self,
@@ -581,7 +619,16 @@ class ResilientExecutor:
         delay = self.retry.delay(attempt, rng)
         if delay <= 0:
             return cancel_token is not None and cancel_token.cancelled
-        if cancel_token is not None:
-            return cancel_token.wait(delay)
-        time.sleep(delay)
-        return False
+        # The wait runs under its own span: the thread-local trace
+        # context survives the blocking CancelToken.wait by
+        # construction, and the span makes backoff time visible
+        # instead of blending into the rung that follows.
+        with obs.span(
+            "retry.backoff", delay_ms=round(delay * 1000.0, 2)
+        ) as backoff_span:
+            if cancel_token is not None:
+                cancelled = cancel_token.wait(delay)
+                backoff_span.annotate(cancelled=cancelled)
+                return cancelled
+            time.sleep(delay)
+            return False

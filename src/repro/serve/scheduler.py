@@ -27,7 +27,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro import faultinject
+from repro import faultinject, obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cancel import CancelToken
@@ -78,6 +78,14 @@ class ServeRequest:
     #: deadline passes; :meth:`~repro.serve.server.ServeTicket.cancel`
     #: cancels it on the client's behalf.
     cancel_token: "CancelToken | None" = None
+    #: Root tracing span (:mod:`repro.obs`), parked here by the server
+    #: at submit time and re-entered by whichever worker thread picks
+    #: the request up (explicit cross-thread handoff).  ``None`` when
+    #: tracing is off or the request was not sampled.
+    trace: "obs.Span | None" = None
+    #: Open ``queue.wait`` child span: started on the submitting thread
+    #: at admission, finished by the worker that dequeues the request.
+    queue_span: "obs.Span | None" = None
 
     def remaining(self, now: float | None = None) -> float | None:
         """Seconds until the deadline (``None`` without a deadline)."""
@@ -121,20 +129,34 @@ class DeadlineScheduler:
         """Admit ``request``; ``False`` means the queue is full (shed)
         or the scheduler is closed."""
         fault = faultinject.check(faultinject.SCHEDULER_OFFER)
-        with self._lock:
-            self.offered += 1
-            if (
-                self._closed
-                or len(self._heap) >= self.capacity
-                or (fault is not None and fault.kind == "overflow")
-            ):
-                self.shed += 1
-                return False
-            heapq.heappush(
-                self._heap, (request.sort_key(), next(self._tick), request)
-            )
-            self._not_empty.notify()
-            return True
+        with obs.span("scheduler.admit") as admit_span:
+            with self._lock:
+                self.offered += 1
+                if (
+                    self._closed
+                    or len(self._heap) >= self.capacity
+                    or (fault is not None and fault.kind == "overflow")
+                ):
+                    self.shed += 1
+                    admit_span.annotate(
+                        outcome="shed", depth=len(self._heap)
+                    )
+                    return False
+                if request.trace:
+                    # Started here on the submitting thread; the worker
+                    # that dequeues the request finishes it — the
+                    # cross-thread span the queue-wait measurement needs.
+                    request.queue_span = request.trace.child(
+                        "queue.wait", priority=request.priority.name.lower()
+                    )
+                heapq.heappush(
+                    self._heap, (request.sort_key(), next(self._tick), request)
+                )
+                self._not_empty.notify()
+                admit_span.annotate(
+                    outcome="admitted", depth=len(self._heap)
+                )
+                return True
 
     def take(self, timeout: float | None = None) -> ServeRequest | None:
         """Highest-urgency request, blocking up to ``timeout`` seconds.

@@ -36,6 +36,7 @@ from concurrent.futures import InvalidStateError
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.api import OptimizerService, OptimizerSettings, query_signature
 from repro.api.result import PlanResult
 from repro.cancel import CancelToken
@@ -103,6 +104,10 @@ class ServeResult:
     wait_seconds: float = 0.0
     service_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: Trace id of this request's :mod:`repro.obs` trace (``None`` when
+    #: tracing was off or the request was not sampled).  Also echoed in
+    #: ``result.diagnostics["trace_id"]`` for completed requests.
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -328,6 +333,9 @@ class OptimizationServer:
         self._workers_replaced = m.counter(
             "serve_workers_replaced_total",
             "wedged workers written off and replaced")
+        self._slow_requests = m.counter(
+            "serve_slow_requests_total",
+            "traced requests slower than the tracer's slow threshold")
         self._errors = m.counter_family(
             "errors_total", "errors by exception type")
         self._queue_depth = m.gauge(
@@ -593,6 +601,14 @@ class OptimizationServer:
         if effective is not None:
             request.deadline = request.submitted + effective
         request.cancel_token = CancelToken(deadline=request.deadline)
+        trace = obs.start_trace(
+            "request",
+            algorithm=algorithm,
+            priority=resolved_priority.name.lower(),
+            query=getattr(query, "name", "?"),
+        )
+        if trace:
+            request.trace = trace
         if self.scheduler.closed:
             # A stopped server stays stopped: the scheduler cannot
             # reopen, so restarting workers would only dress the
@@ -632,7 +648,11 @@ class OptimizationServer:
                 self._coalesced.inc()
                 return ServeTicket(request)
             request.leads = True
-        if not self.scheduler.offer(request):
+        # The admission span nests under the request root: attach the
+        # root to the submitting thread for the duration of the offer.
+        with obs.attach(request.trace):
+            admitted = self.scheduler.offer(request)
+        if not admitted:
             if request.leads:
                 for follower in self.coalescer.withdraw(request.key):
                     self._resolve_rejection(follower, "queue full")
@@ -755,6 +775,15 @@ class OptimizationServer:
         )
 
     def _process(self, request: ServeRequest) -> None:
+        """Worker-side entry: adopt the request's trace context (the
+        explicit cross-thread handoff), close its queue-wait span, and
+        run the pipeline under the root span."""
+        if request.queue_span is not None:
+            request.queue_span.finish()
+        with obs.attach(request.trace):
+            self._process_attached(request)
+
+    def _process_attached(self, request: ServeRequest) -> None:
         now = time.monotonic()
         request.started = now
         wait = now - request.submitted
@@ -925,6 +954,23 @@ class OptimizationServer:
     def _resolve(self, request: ServeRequest, outcome: ServeResult) -> None:
         total = time.monotonic() - request.submitted
         outcome.total_seconds = total
+        trace = request.trace
+        if trace:
+            outcome.trace_id = trace.trace_id
+            if outcome.result is not None and "trace_id" not in (
+                outcome.result.diagnostics
+            ):
+                # Never mutate a possibly-cached PlanResult shared with
+                # other requests: echo the trace id on a copy (the same
+                # discipline the resilience ladder uses for its
+                # degradation record).
+                outcome.result = replace(
+                    outcome.result,
+                    diagnostics={
+                        **outcome.result.diagnostics,
+                        "trace_id": trace.trace_id,
+                    },
+                )
         # set_result-first makes resolution idempotent and atomic: both
         # a wedged worker limping home and the watchdog that already
         # wrote it off may call this, and exactly one may count.
@@ -933,6 +979,8 @@ class OptimizationServer:
         # repro: allow[NUM-004] the documented idempotent-resolve site: worker and watchdog may race, exactly one counts
         except InvalidStateError:
             return
+        if trace:
+            self._finish_trace(request, trace, outcome)
         self._total_hist.observe(total)
         counter = {
             RequestStatus.COMPLETED: self._completed,
@@ -942,6 +990,30 @@ class OptimizationServer:
             RequestStatus.CANCELLED: self._cancelled,
         }[outcome.status]
         counter.inc()
+
+    def _finish_trace(
+        self, request: ServeRequest, trace: "obs.Span", outcome: ServeResult
+    ) -> None:
+        """Close the request's root span (publishing the trace through
+        the tracer's sampling verdict) and emit the structured
+        slow-request log line with the span breakdown."""
+        if request.queue_span is not None:
+            request.queue_span.finish()
+        trace.annotate(status=outcome.status.value)
+        if outcome.coalesced:
+            trace.annotate(coalesced=True)
+        trace.finish()
+        duration_ms = trace.trace.duration_ms()
+        tracer = obs.active()
+        if tracer is not None and duration_ms >= tracer.slow_ms:
+            self._slow_requests.inc()
+            logger.warning(
+                "slow request trace_id=%s status=%s algorithm=%s "
+                "total_ms=%.1f wait_ms=%.1f breakdown=%s",
+                trace.trace_id, outcome.status.value, outcome.algorithm,
+                duration_ms, outcome.wait_seconds * 1000.0,
+                trace.trace.breakdown(),
+            )
 
     def _force_resolve(
         self,

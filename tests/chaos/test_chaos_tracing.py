@@ -1,0 +1,195 @@
+"""Chaos with tracing enabled: injected faults must surface in traces.
+
+Extends the chaos invariant (every future resolves honestly) with the
+observability contract: when a seeded fault plan fires under an
+installed tracer, the damage is *visible* — ladder-rung spans record
+retry/error outcomes instead of dressing the attempt up as a success,
+and injected faults leave ``fault.injected`` events in the traces.
+
+CI runs this alongside the plain chaos matrix with one seed
+(``REPRO_CHAOS_SEED``), tracing enabled.
+"""
+
+import os
+
+import pytest
+
+from repro import faultinject, obs
+from repro.api import OptimizerSettings
+from repro.faultinject import FaultPlan, FaultSpec
+from repro.obs import Tracer
+from repro.serve import (
+    OptimizationServer,
+    RequestStatus,
+    RetryPolicy,
+)
+from repro.workloads import QueryGenerator
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "42"))
+
+HONEST = {
+    RequestStatus.COMPLETED,
+    RequestStatus.REJECTED,
+    RequestStatus.TIMED_OUT,
+    RequestStatus.FAILED,
+    RequestStatus.CANCELLED,
+}
+
+#: Rung-span outcomes that honestly report a non-success attempt.
+NON_SUCCESS = ("transient", "error", "retry", "cancelled", "no-solution")
+
+
+@pytest.fixture(autouse=True)
+def no_tracer():
+    obs.clear()
+    yield
+    obs.clear()
+
+
+def fault_plan(seed=CHAOS_SEED):
+    """Aggressive faults at the solver sites so the retry ladder and
+    its rung spans demonstrably engage."""
+    return FaultPlan(seed=seed, specs=[
+        FaultSpec(site=faultinject.SERVICE_OPTIMIZE, kind="exception",
+                  every=7, limit=10, message="service blew up"),
+        FaultSpec(site=faultinject.SIMPLEX_SOLVE, kind="error",
+                  every=3, limit=15, message="numerical breakdown"),
+        FaultSpec(site=faultinject.SIMPLEX_SOLVE, kind="exception",
+                  every=5, limit=10, message="pivot exploded"),
+    ])
+
+
+def traffic(count=40):
+    generators = [
+        QueryGenerator(seed=s).generate(topology, tables)
+        for s, (topology, tables) in enumerate(
+            [("star", 4), ("chain", 5), ("star", 5), ("chain", 4)] * 3
+        )
+    ]
+    algorithms = ["milp", "greedy", "milp", "auto"]
+    return [
+        (generators[i % len(generators)], algorithms[i % len(algorithms)])
+        for i in range(count)
+    ]
+
+
+class TestChaosWithTracing:
+    def test_injected_faults_surface_as_rung_spans(self):
+        plan = fault_plan()
+        tracer = Tracer(sample="all", capacity=128)
+        server = OptimizationServer(
+            settings=OptimizerSettings(time_limit=5.0),
+            workers=4,
+            queue_capacity=256,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.01, jitter=0.0
+            ),
+        ).start()
+        try:
+            with obs.tracing(tracer):
+                with faultinject.inject(plan):
+                    tickets = [
+                        server.submit(query, algorithm)
+                        for query, algorithm in traffic()
+                    ]
+                    outcomes = [t.result(timeout=120) for t in tickets]
+        finally:
+            server.stop(drain=True, timeout=60)
+
+        # The base chaos invariant holds under tracing too.
+        assert all(outcome.status in HONEST for outcome in outcomes)
+        assert plan.total_injected() >= 10, plan.report()
+
+        traces = tracer.traces()
+        assert traces, "chaos traffic must produce traces"
+
+        rungs = [
+            span
+            for trace in traces
+            for span in trace.snapshot_spans()
+            if span.name == "rung"
+        ]
+        assert rungs
+
+        # Honest outcomes: at least one rung span admits a non-success
+        # (the fault plan guarantees solver-level damage), and no rung
+        # claims "ok" while carrying an error event.
+        non_success = [
+            span for span in rungs
+            if str(span.attrs.get("outcome", "")).startswith(NON_SUCCESS)
+        ]
+        assert non_success, (
+            "injected faults must be visible as non-success rung spans; "
+            f"saw outcomes {sorted({str(s.attrs.get('outcome')) for s in rungs})}"
+        )
+
+        # Injected service faults leave their marker events.
+        events = [
+            (name, attrs)
+            for trace in traces
+            for span in trace.snapshot_spans()
+            for _, name, attrs in span.events
+        ]
+        fault_events = [e for e in events if e[0] == "fault.injected"]
+        injected_service = plan.report().get(
+            faultinject.SERVICE_OPTIMIZE, 0
+        )
+        if injected_service:
+            assert fault_events
+            assert all(
+                attrs["site"] == faultinject.SERVICE_OPTIMIZE
+                for _, attrs in fault_events
+            )
+
+        # Rung spans never claim success for a request that failed.
+        failed_ids = {
+            outcome.trace_id
+            for outcome in outcomes
+            if outcome.status is RequestStatus.FAILED
+            and outcome.trace_id is not None
+        }
+        for trace in traces:
+            if trace.trace_id in failed_ids:
+                outcomes_seen = [
+                    str(span.attrs.get("outcome", ""))
+                    for span in trace.snapshot_spans()
+                    if span.name == "rung"
+                ]
+                assert "ok" not in outcomes_seen
+
+    def test_retry_backoff_span_present_under_transient_faults(self):
+        # A transient SolverError at the service boundary forces the
+        # warm rung's retry path (and its backoff span)
+        # deterministically.  (Simplex-level faults won't do: B&B
+        # absorbs those through its own HiGHS fallback.)
+        plan = FaultPlan(seed=CHAOS_SEED, specs=[
+            FaultSpec(site=faultinject.SERVICE_OPTIMIZE, kind="exception",
+                      every=1, limit=1, message="service blew up"),
+        ])
+        tracer = Tracer()
+        server = OptimizationServer(
+            settings=OptimizerSettings(time_limit=5.0),
+            workers=1,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.01, jitter=0.0
+            ),
+        ).start()
+        try:
+            with obs.tracing(tracer):
+                with faultinject.inject(plan):
+                    query = QueryGenerator(seed=1).generate("star", 4)
+                    outcome = server.submit(query, "milp").result(
+                        timeout=120
+                    )
+        finally:
+            server.stop(drain=True, timeout=60)
+        assert outcome.status in HONEST
+        spans = [
+            span
+            for trace in tracer.traces()
+            for span in trace.snapshot_spans()
+        ]
+        names = {span.name for span in spans}
+        assert "retry.backoff" in names
+        backoff = next(s for s in spans if s.name == "retry.backoff")
+        assert backoff.attrs["delay_ms"] > 0

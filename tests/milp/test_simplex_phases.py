@@ -1,0 +1,126 @@
+"""Tests for opt-in simplex phase profiling (REPRO_TRACE_SIMPLEX_PHASES).
+
+The contract: with the flag off, the pivot loop takes no timing reads
+and ``session_stats`` carries no ``phase_times``; with it on, per-phase
+(pricing/FTRAN/BTRAN/ratio-test) wall time accumulates across every LP
+solve of the session — and the solve path itself is identical either
+way (same pivots, same objective).
+"""
+
+import numpy as np
+import pytest
+
+from repro.milp import (
+    BranchAndBoundSolver,
+    Model,
+    SimplexSession,
+    SolveStatus,
+    SolverOptions,
+    lin_sum,
+    to_standard_form,
+)
+from repro.milp.simplex import _PHASE_KEYS
+
+
+def lp_model(n=6, seed=7):
+    """A small random-ish LP with a non-trivial pivot path."""
+    rng = np.random.default_rng(seed)
+    m = Model("phases")
+    x = [m.add_var(f"x{i}", lb=0.0, ub=10.0) for i in range(n)]
+    for row in range(n):
+        coefs = rng.integers(1, 5, size=n)
+        m.add_le(
+            lin_sum(int(c) * v for c, v in zip(coefs, x)),
+            float(rng.integers(20, 40)),
+            f"r{row}",
+        )
+    m.set_objective(lin_sum(-int(c) * v for c, v in zip(
+        rng.integers(1, 6, size=n), x
+    )))
+    return m
+
+
+def milp_model():
+    m = Model("phases-milp")
+    x = [m.add_binary(f"x{i}") for i in range(6)]
+    m.add_le(x[0] + x[1], 1, "e01")
+    m.add_le(x[1] + x[2], 1, "e12")
+    m.add_le(x[2] + x[3], 1, "e23")
+    m.add_le(x[3] + x[4], 1, "e34")
+    m.add_le(x[4] + x[5], 1, "e45")
+    m.set_objective(lin_sum(-1 * v for v in x))
+    return m
+
+
+def solve_session(model):
+    session = SimplexSession(to_standard_form(model))
+    result = session.solve()
+    return session, result
+
+
+class TestPhaseTimes:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SIMPLEX_PHASES", raising=False)
+        session, result = solve_session(lp_model())
+        assert "phase_times" not in session.stats.notes
+
+    def test_enabled_accumulates_all_phases(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SIMPLEX_PHASES", "1")
+        session, result = solve_session(lp_model())
+        phases = session.stats.notes["phase_times"]
+        assert set(phases) == set(_PHASE_KEYS)
+        assert all(seconds >= 0.0 for seconds in phases.values())
+        assert sum(phases.values()) > 0.0
+
+    def test_accumulates_across_solves(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SIMPLEX_PHASES", "1")
+        session = SimplexSession(to_standard_form(lp_model()))
+        session.solve()
+        first = dict(session.stats.notes["phase_times"])
+        session.solve()  # warm re-solve still passes through the loop
+        second = session.stats.notes["phase_times"]
+        assert all(
+            second[phase] >= first[phase] for phase in _PHASE_KEYS
+        )
+
+    def test_profiling_does_not_change_the_solve(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SIMPLEX_PHASES", raising=False)
+        plain_session, plain = solve_session(lp_model())
+        monkeypatch.setenv("REPRO_TRACE_SIMPLEX_PHASES", "1")
+        traced_session, traced = solve_session(lp_model())
+        assert plain.status == traced.status
+        assert plain.objective == pytest.approx(traced.objective, abs=0)
+        assert plain_session.stats.pivots == traced_session.stats.pivots
+        assert (plain_session.stats.refactorizations
+                == traced_session.stats.refactorizations)
+        assert (plain_session.stats.bound_flips
+                == traced_session.stats.bound_flips)
+
+    def test_bnb_session_stats_carry_phase_times(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SIMPLEX_PHASES", "1")
+        solver = BranchAndBoundSolver(
+            milp_model(), SolverOptions(time_limit=30.0)
+        )
+        solution = solver.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        stats = solution.session_stats
+        assert stats is not None
+        phases = stats["phase_times"]
+        assert set(phases) == set(_PHASE_KEYS)
+        assert sum(phases.values()) > 0.0
+
+    def test_bnb_pivots_identical_with_and_without(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SIMPLEX_PHASES", raising=False)
+        plain = BranchAndBoundSolver(
+            milp_model(), SolverOptions(time_limit=30.0)
+        ).solve()
+        monkeypatch.setenv("REPRO_TRACE_SIMPLEX_PHASES", "1")
+        traced = BranchAndBoundSolver(
+            milp_model(), SolverOptions(time_limit=30.0)
+        ).solve()
+        assert plain.status == traced.status
+        assert plain.objective == traced.objective
+        assert plain.node_count == traced.node_count
+        assert plain.session_stats["pivots"] == traced.session_stats["pivots"]
+        assert "phase_times" not in plain.session_stats
+        assert "phase_times" in traced.session_stats

@@ -1,0 +1,152 @@
+"""Tests for the Chrome trace-event and JSONL exports."""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import Tracer
+from repro.obs.export import (
+    chrome_trace,
+    render_chrome,
+    render_jsonl,
+    summarize,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_tracer():
+    obs.clear()
+    yield
+    obs.clear()
+
+
+def record_trace(tracer, events=True):
+    root = obs.start_trace("request", algorithm="milp")
+    with obs.attach(root):
+        with obs.span("rung", rung="warm"):
+            with obs.span("lp.solve"):
+                if events:
+                    obs.event("bnb.node", number=1)
+                time.sleep(0.001)
+    root.finish(status="completed")
+    return root
+
+
+class TestChromeExport:
+    def test_payload_shape(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            payload = chrome_trace(tracer.traces())
+        assert payload["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_round_trips_json(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            text = render_chrome(tracer.traces())
+        payload = json.loads(text)
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"request", "rung", "lp.solve", "bnb.node"} <= names
+
+    def test_complete_events_carry_duration_and_args(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            payload = chrome_trace(tracer.traces())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        for event in spans:
+            assert event["dur"] >= 0.0
+            assert event["args"]["trace_id"].startswith("t")
+        lp = next(e for e in spans if e["name"] == "lp.solve")
+        assert lp["dur"] >= 1000.0  # slept 1ms -> at least 1000us
+
+    def test_timestamps_monotone_within_thread(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            payload = chrome_trace(tracer.traces())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        # Nested spans: each child starts at or after its parent.
+        by_name = {e["name"]: e for e in spans}
+        assert (by_name["request"]["ts"] <= by_name["rung"]["ts"]
+                <= by_name["lp.solve"]["ts"])
+        # Instants land inside their span's interval.
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        lp = by_name["lp.solve"]
+        for instant in instants:
+            assert lp["ts"] <= instant["ts"] <= lp["ts"] + lp["dur"]
+
+    def test_processes_separate_traces(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            record_trace(tracer)
+            payload = chrome_trace(tracer.traces())
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {1, 2}
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(metadata) == 2
+        assert all(e["name"] == "process_name" for e in metadata)
+
+    def test_empty_buffer(self):
+        payload = json.loads(render_chrome([]))
+        assert payload["traceEvents"] == []
+
+
+class TestJsonlExport:
+    def test_one_line_per_trace(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            record_trace(tracer)
+            text = render_jsonl(tracer.traces())
+        lines = text.splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            row = json.loads(line)
+            assert row["name"] == "request"
+            assert row["duration_ms"] > 0
+            names = [span["name"] for span in row["spans"]]
+            assert names == ["request", "rung", "lp.solve"]
+
+    def test_span_rows_are_relative_to_root(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            row = json.loads(render_jsonl(tracer.traces()))
+        root_row = row["spans"][0]
+        assert root_row["start_ms"] == 0.0
+        assert root_row["parent_id"] is None
+        for span in row["spans"][1:]:
+            assert span["start_ms"] >= 0.0
+            assert span["duration_ms"] >= 0.0
+            assert span["parent_id"] is not None
+        lp = row["spans"][2]
+        assert lp["events"][0]["name"] == "bnb.node"
+        assert lp["events"][0]["attrs"] == {"number": 1}
+
+    def test_empty_buffer(self):
+        assert render_jsonl([]) == ""
+
+
+class TestSummarize:
+    def test_ranks_by_total_time(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            record_trace(tracer)
+            rows = summarize(tracer.traces())
+        assert rows[0]["name"] == "request"
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["lp.solve"]["count"] == 2
+        assert by_name["lp.solve"]["total_ms"] >= 2.0
+        for row in rows:
+            assert row["max_ms"] <= row["total_ms"] + 1e-9
+            assert row["mean_ms"] <= row["max_ms"] + 1e-9
+
+    def test_top_limits_rows(self):
+        with obs.tracing(Tracer()) as tracer:
+            record_trace(tracer)
+            rows = summarize(tracer.traces(), top=1)
+        assert len(rows) == 1
+        assert rows[0]["name"] == "request"
+
+    def test_empty(self):
+        assert summarize([]) == []

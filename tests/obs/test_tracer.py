@@ -1,0 +1,292 @@
+"""Unit tests for the repro.obs tracing core."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import EVENT_CAP, NULL_SPAN, SPAN_CAP, Tracer
+
+
+@pytest.fixture(autouse=True)
+def no_tracer():
+    """Every test starts and ends with tracing off (process-global)."""
+    obs.clear()
+    yield
+    obs.clear()
+
+
+class TestDisabled:
+    def test_start_trace_returns_null_span(self):
+        root = obs.start_trace("request")
+        assert root is NULL_SPAN
+        assert not root
+
+    def test_span_and_event_are_noops(self):
+        with obs.span("anything") as inner:
+            assert inner is NULL_SPAN
+            obs.event("ignored")
+        assert obs.current() is None
+        assert obs.current_trace_id() is None
+        assert obs.active() is None
+        assert not obs.enabled()
+
+    def test_null_span_surface(self):
+        NULL_SPAN.annotate(key="value")
+        NULL_SPAN.event("anything")
+        assert NULL_SPAN.child("nested") is NULL_SPAN
+        NULL_SPAN.finish()
+        assert NULL_SPAN.trace_id is None
+
+
+class TestSpanLifecycle:
+    def test_root_finish_publishes_trace(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request", algorithm="milp")
+            assert root
+            root.finish()
+            traces = tracer.traces()
+        assert len(traces) == 1
+        assert traces[0].root.attrs == {"algorithm": "milp"}
+        assert traces[0].trace_id == root.trace_id
+
+    def test_nested_spans_parent_correctly(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            with obs.attach(root):
+                with obs.span("outer") as outer:
+                    assert obs.current() is outer
+                    with obs.span("inner") as inner:
+                        assert inner.parent_id == outer.span_id
+                        obs.event("tick", n=1)
+                assert outer.parent_id == root.span_id
+            root.finish()
+            trace = tracer.traces()[0]
+        names = [s.name for s in trace.snapshot_spans()]
+        assert names == ["request", "outer", "inner"]
+        inner = trace.snapshot_spans()[2]
+        assert inner.events[0][1] == "tick"
+        assert inner.events[0][2] == {"n": 1}
+
+    def test_span_without_context_is_noop(self):
+        # Leaf instrumentation (simplex, B&B) must not create orphan
+        # spans when the surrounding request was never sampled.
+        with obs.tracing(Tracer()):
+            with obs.span("lp.solve") as leaf:
+                assert leaf is NULL_SPAN
+            assert obs.active().traces() == []
+
+    def test_finish_is_idempotent(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            root.finish()
+            end = root.end
+            time.sleep(0.002)
+            root.finish()
+            assert root.end == end
+            assert len(tracer.traces()) == 1
+
+    def test_annotate_and_finish_attrs(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            root.annotate(status="completed")
+            root.finish(coalesced=True)
+            attrs = tracer.traces()[0].root.attrs
+        assert attrs == {"status": "completed", "coalesced": True}
+
+    def test_cross_thread_handoff(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            seen = {}
+
+            def worker():
+                with obs.attach(root):
+                    seen["trace_id"] = obs.current_trace_id()
+                    with obs.span("rung"):
+                        obs.event("bnb.incumbent", objective=1.0)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            root.finish()
+            trace = tracer.traces()[0]
+        assert seen["trace_id"] == root.trace_id
+        rung = trace.snapshot_spans()[1]
+        assert rung.name == "rung"
+        assert rung.parent_id == root.span_id
+        assert rung.thread != root.thread
+
+    def test_explicit_child_across_threads(self):
+        # The queue-wait pattern: created on the submit thread,
+        # finished by whichever worker dequeues the request.
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            child = root.child("queue.wait", priority="normal")
+            thread = threading.Thread(target=child.finish)
+            thread.start()
+            thread.join()
+            root.finish()
+            spans = tracer.traces()[0].snapshot_spans()
+        assert spans[1].name == "queue.wait"
+        assert spans[1].end is not None
+
+    def test_attach_none_and_null(self):
+        with obs.tracing(Tracer()):
+            with obs.attach(None) as got:
+                assert got is NULL_SPAN
+            with obs.attach(NULL_SPAN) as got:
+                assert got is NULL_SPAN
+
+
+class TestBounds:
+    def test_event_cap(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            for index in range(EVENT_CAP + 25):
+                root.event("tick", n=index)
+            root.finish()
+            kept = tracer.traces()[0].root
+        assert len(kept.events) == EVENT_CAP
+        assert kept.attrs["events_dropped"] == 25
+
+    def test_span_cap(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            for _ in range(SPAN_CAP + 10):
+                root.child("leaf").finish()
+            root.finish()
+            trace = tracer.traces()[0]
+        assert len(trace.snapshot_spans()) == SPAN_CAP
+        assert trace.as_dict()["spans_dropped"] == 11  # root took a slot
+
+    def test_overflow_children_are_null(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            children = [root.child("leaf") for _ in range(SPAN_CAP + 5)]
+            assert children[-1] is NULL_SPAN
+            root.finish()
+            assert tracer.traces()
+
+
+class TestSampling:
+    def test_head_keeps_every_nth(self):
+        tracer = Tracer(sample="head", head_rate=3)
+        with obs.tracing(tracer):
+            roots = [obs.start_trace("request") for _ in range(9)]
+            for root in roots:
+                root.finish()
+        assert [bool(root) for root in roots] == [
+            True, False, False, True, False, False, True, False, False,
+        ]
+        assert len(tracer.traces()) == 3
+
+    def test_slow_keeps_only_slow(self):
+        tracer = Tracer(sample="slow", slow_ms=20.0)
+        with obs.tracing(tracer):
+            fast = obs.start_trace("request")
+            fast.finish()
+            slow = obs.start_trace("request")
+            time.sleep(0.03)
+            slow.finish()
+        kept = tracer.traces()
+        assert [t.trace_id for t in kept] == [slow.trace_id]
+        stats = tracer.stats()
+        assert stats["kept"] == 1
+        assert stats["discarded"] == 1
+
+    def test_slow_only_alias(self):
+        assert Tracer(sample="slow-only").sample == "slow"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample="tail")
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        with obs.tracing(tracer):
+            roots = [obs.start_trace("request") for _ in range(10)]
+            for root in roots:
+                root.finish()
+        kept = tracer.traces()
+        assert len(kept) == 4
+        # Oldest first, and only the newest four survive.
+        assert [t.trace_id for t in kept] == [
+            root.trace_id for root in roots[-4:]
+        ]
+
+    def test_find_and_clear(self):
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            root = obs.start_trace("request")
+            root.finish()
+        assert tracer.find(root.trace_id) is not None
+        assert tracer.find("t_missing") is None
+        tracer.clear_buffer()
+        assert tracer.traces() == []
+
+
+class TestEnvKnobs:
+    def test_off_by_default(self, monkeypatch):
+        for name in ("REPRO_TRACE", "REPRO_TRACE_HEAD_RATE",
+                     "REPRO_TRACE_SLOW_MS", "REPRO_TRACE_BUFFER"):
+            monkeypatch.delenv(name, raising=False)
+        assert obs.tracer_from_env() is None
+
+    @pytest.mark.parametrize("raw", ["0", "false", "off", "no", ""])
+    def test_falsey_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert obs.tracer_from_env() is None
+
+    @pytest.mark.parametrize("raw,mode", [
+        ("all", "all"), ("1", "all"), ("true", "all"), ("on", "all"),
+        ("head", "head"), ("slow", "slow"), ("slow-only", "slow"),
+        ("SLOW", "slow"),
+    ])
+    def test_modes(self, monkeypatch, raw, mode):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        tracer = obs.tracer_from_env()
+        assert tracer is not None
+        assert tracer.sample == mode
+
+    def test_tuning_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "slow")
+        monkeypatch.setenv("REPRO_TRACE_HEAD_RATE", "5")
+        monkeypatch.setenv("REPRO_TRACE_SLOW_MS", "75.5")
+        monkeypatch.setenv("REPRO_TRACE_BUFFER", "32")
+        tracer = obs.tracer_from_env()
+        assert tracer.head_rate == 5
+        assert tracer.slow_ms == 75.5
+        assert tracer.capacity == 32
+
+    def test_bad_mode_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "tail")
+        with pytest.raises(ValueError):
+            obs.tracer_from_env()
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("", False), ("0", False), ("off", False), ("no", False),
+        ("false", False), ("1", True), ("true", True), ("yes", True),
+    ])
+    def test_simplex_phases_flag(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_TRACE_SIMPLEX_PHASES", raw)
+        assert obs.simplex_phases_enabled() is expected
+
+    def test_simplex_phases_off_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SIMPLEX_PHASES", raising=False)
+        assert not obs.simplex_phases_enabled()
+
+
+class TestBreakdown:
+    def test_breakdown_aggregates_by_name(self):
+        with obs.tracing(Tracer()) as tracer:
+            root = obs.start_trace("request")
+            for _ in range(3):
+                root.child("lp.solve").finish()
+            root.child("rung").finish()
+            root.finish()
+            rows = tracer.traces()[0].breakdown()
+        by_name = {name: (total, count) for name, total, count in rows}
+        assert by_name["lp.solve"][1] == 3
+        assert by_name["rung"][1] == 1
+        assert rows[0][0] == "request"  # root dominates total time

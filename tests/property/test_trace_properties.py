@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on repro.obs invariants.
+
+Three families:
+
+* **Span nesting** — for any randomly shaped tree of nested spans, every
+  child interval is contained in its parent's and every non-root span
+  has a parent that exists in the trace (no orphans), including after a
+  cross-thread handoff through :func:`repro.obs.attach`.
+* **Ring bound** — the tracer's buffer never exceeds its capacity, no
+  matter how many traces complete or how many threads publish at once.
+* **Chrome export** — the rendered JSON round-trips ``json.loads`` and
+  every event's timestamps are monotone (children start at or after
+  their parents, instants land inside their span).
+"""
+
+import json
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import Tracer
+from repro.obs.export import render_chrome
+
+# Recursive tree shapes: each node is a list of children.
+span_trees = st.recursive(
+    st.lists(st.nothing(), max_size=0),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=20,
+)
+
+
+def build(tree):
+    """Record one trace shaped like ``tree``; returns the Trace.
+
+    Span names are globally unique within the trace so tests can key
+    exported events by name unambiguously.
+    """
+    tracer = obs.active()
+    counter = iter(range(10_000))
+
+    def grow(subtree):
+        for child in subtree:
+            with obs.span(f"n{next(counter)}"):
+                grow(child)
+
+    root = obs.start_trace("request")
+    with obs.attach(root):
+        grow(tree)
+    root.finish()
+    return tracer.traces()[-1]
+
+
+def spans_by_id(trace):
+    return {span.span_id: span for span in trace.snapshot_spans()}
+
+
+@given(span_trees)
+@settings(max_examples=60, deadline=None)
+def test_children_nest_inside_parents(tree):
+    with obs.tracing(Tracer()):
+        trace = build(tree)
+    index = spans_by_id(trace)
+    for span in trace.snapshot_spans():
+        assert span.end is not None, "every span is finished"
+        if span.parent_id is None:
+            assert span is trace.root
+            continue
+        parent = index.get(span.parent_id)
+        assert parent is not None, "no orphan spans"
+        assert parent.start <= span.start
+        assert span.end <= parent.end
+
+
+@given(span_trees)
+@settings(max_examples=30, deadline=None)
+def test_no_orphans_after_worker_handoff(tree):
+    # The serve shape: root on the submit thread, body on a worker.
+    with obs.tracing(Tracer()):
+        tracer = obs.active()
+        root = obs.start_trace("request")
+        queue_span = root.child("queue.wait")
+
+        def worker():
+            queue_span.finish()
+            with obs.attach(root):
+                counter = iter(range(10_000))
+
+                def grow(subtree):
+                    for child in subtree:
+                        with obs.span(f"n{next(counter)}"):
+                            grow(child)
+                grow(tree)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        root.finish()
+        trace = tracer.traces()[0]
+    index = spans_by_id(trace)
+    for span in trace.snapshot_spans():
+        if span.parent_id is not None:
+            assert span.parent_id in index
+    # Worker spans hang off the handed-off root, not a thread-local one.
+    roots = [s for s in trace.snapshot_spans() if s.parent_id is None]
+    assert roots == [trace.root]
+
+
+@given(
+    st.integers(min_value=1, max_value=8),    # capacity
+    st.integers(min_value=0, max_value=40),   # sequential traces
+)
+@settings(max_examples=40, deadline=None)
+def test_ring_never_exceeds_capacity(capacity, count):
+    tracer = Tracer(capacity=capacity)
+    with obs.tracing(tracer):
+        for _ in range(count):
+            obs.start_trace("request").finish()
+    kept = tracer.traces()
+    assert len(kept) <= capacity
+    assert len(kept) == min(capacity, count)
+    stats = tracer.stats()
+    assert stats["started"] == stats["kept"] == count
+
+
+@given(
+    st.integers(min_value=1, max_value=6),    # capacity
+    st.integers(min_value=2, max_value=6),    # writer threads
+    st.integers(min_value=1, max_value=25),   # traces per writer
+)
+@settings(max_examples=15, deadline=None)
+def test_ring_bounded_under_concurrent_writers(capacity, writers, per):
+    tracer = Tracer(capacity=capacity)
+    with obs.tracing(tracer):
+        def publish():
+            for _ in range(per):
+                obs.start_trace("request").finish()
+
+        threads = [threading.Thread(target=publish) for _ in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    kept = tracer.traces()
+    assert len(kept) <= capacity
+    assert len({t.trace_id for t in kept}) == len(kept)
+    stats = tracer.stats()
+    assert stats["started"] == writers * per
+    assert stats["kept"] == writers * per
+
+
+@given(span_trees, st.integers(min_value=0, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_chrome_export_round_trips_and_is_monotone(tree, events):
+    with obs.tracing(Tracer()):
+        tracer = obs.active()
+        root = obs.start_trace("request")
+        with obs.attach(root):
+            for index in range(events):
+                obs.event("tick", n=index)
+        trace = build(tree)
+        text = render_chrome(tracer.traces())
+    payload = json.loads(text)  # must round-trip
+    assert payload["displayTimeUnit"] == "ms"
+    spans = {}
+    for event in payload["traceEvents"]:
+        if event["ph"] == "X":
+            spans[(event["pid"], event["name"])] = event
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+    # Monotone nesting: every exported child starts at or after its
+    # parent and ends no later (reconstruct parentage from the trace).
+    index = spans_by_id(trace)
+    for span in trace.snapshot_spans():
+        if span.parent_id is None:
+            continue
+        parent = index[span.parent_id]
+        child_event = spans[(2, span.name)] if (2, span.name) in spans \
+            else spans[(1, span.name)]
+        parent_event = spans[(child_event["pid"], parent.name)]
+        assert parent_event["ts"] <= child_event["ts"] + 1e-6
+        assert (child_event["ts"] + child_event["dur"]
+                <= parent_event["ts"] + parent_event["dur"] + 1e-6)
+    # Instants carry the stack scope marker and a timestamp.
+    for event in payload["traceEvents"]:
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+            assert event["ts"] >= 0.0

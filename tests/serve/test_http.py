@@ -139,3 +139,121 @@ class TestObservabilityEndpoints:
         except urllib.error.HTTPError as error:
             status = error.code
         assert status == 404
+
+
+class TestTracingEndpoints:
+    @pytest.fixture(autouse=True)
+    def fresh_tracer(self):
+        from repro import obs
+
+        obs.clear()
+        yield
+        obs.clear()
+
+    def test_debug_traces_404_when_tracing_disabled(self, http_server):
+        try:
+            status, body = get(http_server + "/debug/traces")
+        except urllib.error.HTTPError as error:
+            status, body = error.code, error.read()
+        assert status == 404
+        assert "tracing disabled" in json.loads(body)["error"]
+
+    def test_traced_request_round_trip(self, http_server):
+        from repro import obs
+
+        obs.install(obs.Tracer())
+        code, body = post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        assert code == 200
+        assert body["trace_id"].startswith("t")
+
+        status, payload = get(http_server + "/debug/traces")
+        assert status == 200
+        chrome = json.loads(payload)
+        assert chrome["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert {"request", "queue.wait", "rung"} <= names
+        trace_ids = {
+            event["args"].get("trace_id")
+            for event in chrome["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert body["trace_id"] in trace_ids
+
+    def test_debug_traces_jsonl_format(self, http_server):
+        from repro import obs
+
+        obs.install(obs.Tracer())
+        post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        status, payload = get(http_server + "/debug/traces?format=jsonl")
+        assert status == 200
+        lines = payload.decode().splitlines()
+        assert lines
+        row = json.loads(lines[0])
+        assert row["name"] == "request"
+        assert row["spans"]
+
+    def test_debug_traces_bad_format_is_400(self, http_server):
+        from repro import obs
+
+        obs.install(obs.Tracer())
+        try:
+            status, body = get(http_server + "/debug/traces?format=xml")
+        except urllib.error.HTTPError as error:
+            status, body = error.code, error.read()
+        assert status == 400
+        assert "unknown format" in json.loads(body)["error"]
+
+    def test_untraced_response_has_no_trace_id(self, http_server):
+        code, body = post(http_server + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        assert code == 200
+        assert "trace_id" not in body
+
+    def test_access_log_line(self, http_server, caplog):
+        import logging
+
+        from repro import obs
+
+        obs.install(obs.Tracer())
+        with caplog.at_level(logging.INFO, logger="repro.serve.http"):
+            code, body = post(http_server + "/optimize", {
+                "query": query_to_dict(example_query()),
+                "algorithm": "greedy",
+                "priority": "high",
+            })
+        assert code == 200
+        access = [
+            record.getMessage() for record in caplog.records
+            if record.getMessage().startswith("access ")
+        ]
+        assert len(access) == 1
+        line = access[0]
+        assert "path=/optimize" in line
+        assert "status=completed" in line
+        assert "code=200" in line
+        assert "priority=high" in line
+        assert f"trace_id={body['trace_id']}" in line
+        assert "wait_ms=" in line
+        assert "total_ms=" in line
+
+    def test_access_log_untraced_uses_dash(self, http_server, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.serve.http"):
+            post(http_server + "/optimize", {
+                "query": query_to_dict(example_query()),
+                "algorithm": "greedy",
+            })
+        access = [
+            record.getMessage() for record in caplog.records
+            if record.getMessage().startswith("access ")
+        ]
+        assert access and "trace_id=-" in access[0]

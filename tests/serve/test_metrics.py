@@ -1,5 +1,6 @@
 """Unit tests for the serving metrics registry."""
 
+import math
 import threading
 
 import pytest
@@ -92,6 +93,43 @@ class TestHistogram:
         assert set(snap) == {
             "count", "sum", "mean", "p50", "p95", "p99", "min", "max",
         }
+
+    def test_overflow_bucket_percentile_clamps_to_tracked_max(self):
+        # Regression: observations beyond the top bucket land in the
+        # +Inf overflow bucket; a high percentile must interpolate up
+        # to the *recorded* max, never to the top bucket bound and
+        # never to +Inf.
+        hist = Histogram("lat", buckets=(0.1, 0.5, 1.0))
+        for value in (0.2, 0.4, 7.0, 30.0, 120.0):
+            hist.observe(value)
+        for p in (90, 95, 99, 100):
+            estimate = hist.percentile(p)
+            assert math.isfinite(estimate)
+            assert estimate <= 120.0
+        assert hist.percentile(100) == pytest.approx(120.0)
+        # The p99 sits inside the overflow bucket, above the top bound.
+        assert 1.0 <= hist.percentile(99) <= 120.0
+
+    def test_all_observations_beyond_top_bucket(self):
+        hist = Histogram("lat", buckets=(0.001, 0.01))
+        for value in (5.0, 8.0, 13.0):
+            hist.observe(value)
+        for p in (0, 50, 99, 100):
+            estimate = hist.percentile(p)
+            assert math.isfinite(estimate)
+            assert 5.0 <= estimate <= 13.0
+        snap = hist.snapshot()
+        assert math.isfinite(snap["p99"])
+        assert snap["p99"] <= snap["max"]
+
+    def test_percentile_never_below_recorded_min(self):
+        # The symmetric clamp: the first bucket's lower edge is the
+        # recorded min, not 0 or the previous bound.
+        hist = Histogram("lat", buckets=(10.0, 100.0))
+        hist.observe(4.0)
+        hist.observe(6.0)
+        assert hist.percentile(1) >= 4.0
+        assert hist.percentile(99) <= 6.0
 
     def test_rejects_unsorted_buckets(self):
         with pytest.raises(ValueError):

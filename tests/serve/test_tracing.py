@@ -1,0 +1,201 @@
+"""Integration tests: end-to-end request tracing through the serve stack.
+
+These drive a real :class:`OptimizationServer` with an installed
+:class:`repro.obs.Tracer` and assert the promised span topology: a
+request's trace shows queue wait, ladder rung, service cache/solve and —
+for MILP — branch-and-bound node events and per-LP solve spans, with the
+trace id echoed on the :class:`ServeResult` and in the plan diagnostics.
+"""
+
+import logging
+
+import pytest
+
+from repro import obs
+from repro.api import OptimizerSettings
+from repro.obs import Tracer
+from repro.serve import OptimizationServer, RequestStatus
+from repro.workloads import QueryGenerator
+
+
+@pytest.fixture(autouse=True)
+def no_tracer():
+    obs.clear()
+    yield
+    obs.clear()
+
+
+def small_query(seed=1, tables=4):
+    return QueryGenerator(seed=seed).generate("star", tables)
+
+
+def serve_one(tracer, algorithm="milp", query=None, **server_kwargs):
+    settings = OptimizerSettings(time_limit=10.0)
+    with obs.tracing(tracer):
+        with OptimizationServer(settings, workers=1, **server_kwargs) as server:
+            ticket = server.submit(query or small_query(), algorithm)
+            outcome = ticket.result(timeout=120.0)
+        return outcome, tracer.traces()
+
+
+class TestRequestTracing:
+    def test_milp_request_has_full_span_chain(self):
+        outcome, traces = serve_one(Tracer())
+        assert outcome.status is RequestStatus.COMPLETED
+        assert len(traces) == 1
+        trace = traces[0]
+        names = {span.name for span in trace.snapshot_spans()}
+        assert {"request", "scheduler.admit", "queue.wait", "rung",
+                "service.cache", "service.solve", "bnb.solve",
+                "lp.solve"} <= names
+        events = {
+            name
+            for span in trace.snapshot_spans()
+            for _, name, _ in span.events
+        }
+        assert "bnb.node" in events
+
+    def test_trace_id_on_result_and_diagnostics(self):
+        outcome, traces = serve_one(Tracer())
+        assert outcome.trace_id == traces[0].trace_id
+        assert outcome.result.diagnostics["trace_id"] == outcome.trace_id
+
+    def test_untraced_request_has_no_trace_id(self):
+        settings = OptimizerSettings(time_limit=10.0)
+        with OptimizationServer(settings, workers=1) as server:
+            ticket = server.submit(small_query(), "greedy")
+            outcome = ticket.result(timeout=60.0)
+        assert outcome.status is RequestStatus.COMPLETED
+        assert outcome.trace_id is None
+        assert "trace_id" not in outcome.result.diagnostics
+
+    def test_rung_span_records_outcome_and_breaker(self):
+        outcome, traces = serve_one(Tracer())
+        rungs = [
+            span for span in traces[0].snapshot_spans()
+            if span.name == "rung"
+        ]
+        assert rungs
+        assert rungs[-1].attrs["outcome"] == "ok"
+        assert "breaker" in rungs[-1].attrs
+
+    def test_root_span_records_final_status(self):
+        outcome, traces = serve_one(Tracer())
+        assert traces[0].root.attrs["status"] == "completed"
+        assert traces[0].root.end is not None
+
+    def test_cache_hit_span(self):
+        tracer = Tracer()
+        query = small_query()
+        settings = OptimizerSettings(time_limit=10.0)
+        with obs.tracing(tracer):
+            with OptimizationServer(settings, workers=1) as server:
+                first = server.submit(query, "milp").result(timeout=120.0)
+                second = server.submit(query, "milp").result(timeout=60.0)
+        assert first.status is second.status is RequestStatus.COMPLETED
+        cached = tracer.traces()[-1]
+        cache_spans = [
+            span for span in cached.snapshot_spans()
+            if span.name == "service.cache"
+        ]
+        assert cache_spans[-1].attrs["outcome"] == "hit"
+        # A cache hit never reaches the solver.
+        assert all(
+            span.name != "bnb.solve" for span in cached.snapshot_spans()
+        )
+        # The cached PlanResult still carries *this* request's trace id,
+        # and the shared cache entry was not mutated.
+        assert second.result.diagnostics["trace_id"] == cached.trace_id
+        assert first.result.diagnostics["trace_id"] != cached.trace_id
+
+    def test_coalesced_follower_links_to_leader(self):
+        tracer = Tracer()
+        query = small_query(tables=5)
+        settings = OptimizerSettings(time_limit=10.0)
+        with obs.tracing(tracer):
+            with OptimizationServer(settings, workers=1) as server:
+                leader = server.submit(query, "milp")
+                follower = server.submit(query, "milp")
+                leader_outcome = leader.result(timeout=120.0)
+                follower_outcome = follower.result(timeout=120.0)
+        assert follower_outcome.coalesced or leader_outcome.coalesced
+        traces = {t.trace_id: t for t in tracer.traces()}
+        linked = [
+            t for t in traces.values()
+            if "coalesced_into" in t.root.attrs
+        ]
+        assert len(linked) == 1
+        leader_trace = traces[linked[0].root.attrs["coalesced_into"]]
+        follower_events = [
+            (name, attrs)
+            for _, name, attrs in leader_trace.root.events
+            if name == "coalesce.follower"
+        ]
+        assert follower_events
+        assert follower_events[0][1]["trace_id"] == linked[0].trace_id
+
+    def test_queue_wait_span_finished_by_worker(self):
+        outcome, traces = serve_one(Tracer())
+        waits = [
+            span for span in traces[0].snapshot_spans()
+            if span.name == "queue.wait"
+        ]
+        assert len(waits) == 1
+        assert waits[0].end is not None
+        assert waits[0].attrs["priority"] == "normal"
+
+    def test_head_sampling_drops_cleanly(self):
+        # Unsampled requests still serve correctly; no spans recorded.
+        tracer = Tracer(sample="head", head_rate=2)
+        settings = OptimizerSettings(time_limit=10.0)
+        with obs.tracing(tracer):
+            with OptimizationServer(settings, workers=1) as server:
+                outcomes = [
+                    server.submit(small_query(seed=s), "greedy")
+                    .result(timeout=60.0)
+                    for s in range(4)
+                ]
+        assert all(
+            o.status is RequestStatus.COMPLETED for o in outcomes
+        )
+        traced = [o for o in outcomes if o.trace_id is not None]
+        assert len(traced) == 2
+        assert len(tracer.traces()) == 2
+
+
+class TestSlowRequestLog:
+    def test_slow_request_logged_and_counted(self, caplog):
+        tracer = Tracer(slow_ms=0.0)  # everything is "slow"
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            settings = OptimizerSettings(time_limit=10.0)
+            with obs.tracing(tracer):
+                with OptimizationServer(settings, workers=1) as server:
+                    outcome = server.submit(
+                        small_query(), "greedy"
+                    ).result(timeout=60.0)
+                    slow_counter = server.metrics.counter(
+                        "serve_slow_requests_total"
+                    ).value
+        assert outcome.status is RequestStatus.COMPLETED
+        assert slow_counter >= 1
+        slow_lines = [
+            record.getMessage() for record in caplog.records
+            if "slow request" in record.getMessage()
+        ]
+        assert slow_lines
+        assert outcome.trace_id in slow_lines[0]
+        assert "breakdown=" in slow_lines[0]
+
+    def test_fast_requests_not_logged(self, caplog):
+        tracer = Tracer(slow_ms=60_000.0)
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            settings = OptimizerSettings(time_limit=10.0)
+            with obs.tracing(tracer):
+                with OptimizationServer(settings, workers=1) as server:
+                    server.submit(small_query(), "greedy").result(
+                        timeout=60.0
+                    )
+        assert not [
+            record for record in caplog.records
+            if "slow request" in record.getMessage()
+        ]

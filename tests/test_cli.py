@@ -182,6 +182,65 @@ class TestServeSubcommand:
             assert flag in out
 
 
+class TestTraceSubcommand:
+    @pytest.fixture(autouse=True)
+    def no_tracer(self):
+        from repro import obs
+
+        obs.clear()
+        yield
+        obs.clear()
+
+    def test_records_and_dumps_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", "--queries", "1", "--duplicates", "0",
+            "--tables", "4", "--algorithm", "greedy",
+            "--out", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "served 1 requests" in captured.out
+        assert "1 kept" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"request", "queue.wait", "rung"} <= names
+        # The summary table follows the dump.
+        assert "span" in captured.out
+        assert "total_ms" in captured.out
+
+    def test_jsonl_to_stdout(self, capsys):
+        import json
+
+        code = main([
+            "trace", "--queries", "1", "--duplicates", "0",
+            "--tables", "4", "--algorithm", "greedy",
+            "--dump-format", "jsonl",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        rows = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(rows) == 1
+        assert rows[0]["name"] == "request"
+
+    def test_tracer_uninstalled_afterwards(self, capsys):
+        from repro import obs
+
+        main([
+            "trace", "--queries", "1", "--duplicates", "0",
+            "--tables", "4", "--algorithm", "greedy",
+            "--dump-format", "jsonl",
+        ])
+        assert obs.active() is None
+
+
 class TestHarnessPassthrough:
     def test_figure1_subcommand(self, capsys):
         code = main([
