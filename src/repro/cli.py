@@ -46,6 +46,11 @@ Commands
     restarts: a restarted server replays the hottest records before
     accepting traffic (see ``docs/operations.md``, "Persistence & warm
     restart").
+    ``--shards N`` runs the multi-process tier instead: N shard child
+    processes behind the same HTTP front end, consistent-hash routed,
+    heartbeat-supervised, with crash failover and automatic warm
+    respawn (see ``docs/operations.md``, "Sharded serving &
+    failover").
 ``store inspect``
     Summarize a plan store for operators: entries per catalog version
     and algorithm, size on disk, last compaction::
@@ -71,6 +76,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.api import (
@@ -144,6 +150,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument(
+        "--shards", type=int,
+        default=int(os.environ.get("REPRO_SHARDS", "0")),
+        help="run N shard worker processes behind the front end "
+             "(0 = single-process; default: REPRO_SHARDS or 0)",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=2,
+        help="worker threads inside each shard process",
+    )
     serve.add_argument("--time-limit", type=float, default=30.0,
                        help="default optimization budget in seconds")
     serve.add_argument(
@@ -429,6 +445,8 @@ def _cmd_serve(args) -> int:
     from repro.api import OptimizerSettings as _Settings
     from repro.serve import OptimizationServer, make_http_server
 
+    if args.shards > 0:
+        return _cmd_serve_sharded(args)
     settings = _Settings(
         cost_model=args.cost_model,
         time_limit=args.time_limit,
@@ -465,6 +483,48 @@ def _cmd_serve(args) -> int:
         server.stop(drain=True)
         if store is not None:
             store.close()
+    return 0
+
+
+def _cmd_serve_sharded(args) -> int:
+    """``repro serve --shards N``: the multi-process tier.
+
+    Each shard is a child process running a full inner server over its
+    own slice of the keyspace (consistent hash of catalog version +
+    query signature); the hub supervises with heartbeats, respawns
+    crashed shards after warm replay, and fails in-flight requests over
+    to healthy shards.  ``--store PATH`` gives each shard its own
+    ``PATH.shardN`` store so respawned shards come back warm.
+    """
+    from repro.serve import ShardedOptimizationServer, make_http_server
+
+    server = ShardedOptimizationServer(
+        shards=args.shards,
+        workers_per_shard=args.shard_workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline=args.default_deadline,
+        coalesce=not args.no_coalesce,
+        cost_model=args.cost_model,
+        time_limit=args.time_limit,
+        precision=args.precision,
+        store_path=args.store,
+        store_backend=args.store_backend,
+        replay_budget=args.replay_budget,
+    )
+    httpd = make_http_server(server, args.host, args.port)
+    host, port = httpd.server_address[:2]
+    persistence = f", store {args.store}.shardN" if args.store else ""
+    print(f"serving on http://{host}:{port} "
+          f"({args.shards} shard processes x {args.shard_workers} workers"
+          f"{persistence}); "
+          f"POST /optimize, GET /metrics, GET /healthz; Ctrl-C to drain")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("draining shards...")
+    finally:
+        httpd.shutdown()
+        server.stop(drain=True)
     return 0
 
 

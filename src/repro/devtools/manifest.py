@@ -91,6 +91,37 @@ DEFAULT_MANIFEST: tuple[LayerSpec, ...] = (
             "only through the registry"
         ),
     ),
+    # -- sharded tier: child side never imports hub side ---------------
+    LayerSpec(
+        pattern="repro.serve.shard",
+        forbidden=(
+            "repro.serve.sharded",
+            "repro.serve.supervisor",
+            "repro.serve.ring",
+            "repro.serve.http",
+        ),
+        reason=(
+            "the shard child process runs only the inner server; "
+            "pulling hub-side modules (supervisor, ring, front end) "
+            "across fork/spawn would re-create the hub stack inside "
+            "every child and invert the supervision dependency"
+        ),
+    ),
+    LayerSpec(
+        pattern="repro.serve.shardwire",
+        forbidden=(
+            "repro.serve.shard",
+            "repro.serve.sharded",
+            "repro.serve.supervisor",
+            "repro.serve.http",
+        ),
+        reason=(
+            "the wire format sits below both ends of the pipe: it may "
+            "reference the result types it frames (serve.server, "
+            "store.serde) but never the processes exchanging its "
+            "frames, or hub and child could not both import it"
+        ),
+    ),
     # -- public surface: must not depend on layers above it ------------
     LayerSpec(
         pattern="repro.api*",

@@ -34,6 +34,7 @@ exactly like the production faults being modelled.
 from __future__ import annotations
 
 import contextlib
+import os
 import random
 import threading
 from collections.abc import Iterator
@@ -48,6 +49,10 @@ __all__ = [
     "POOL_FETCH",
     "SCHEDULER_OFFER",
     "SERVICE_OPTIMIZE",
+    "SHARD_HEARTBEAT",
+    "SHARD_KILL",
+    "SHARD_REQUEST",
+    "SHARD_WIRE",
     "SIMPLEX_SOLVE",
     "STORE_GET",
     "STORE_PUT",
@@ -80,6 +85,21 @@ SERVICE_OPTIMIZE = "service.optimize"
 STORE_GET = "store.get"
 #: ``repro.store.PlanStore`` writes (plan and basis upserts).
 STORE_PUT = "store.put"
+#: Shard child request intake — ``kind="exception"`` means SIGKILL the
+#: shard process (kill -9: no cleanup, no goodbye), modelling an OOM
+#: kill or hardware loss while earlier requests are mid-solve.
+SHARD_KILL = "shard.kill"
+#: Shard heartbeat loop — ``kind="error"`` skips a beat,
+#: ``kind="slow"`` stalls the loop ``delay`` seconds (a wedged shard
+#: that is alive but silent, which the supervisor must treat as dead).
+SHARD_HEARTBEAT = "shard.heartbeat"
+#: Shard request handling — ``kind="slow"`` wedges the request
+#: ``delay`` seconds before the solve; ``kind="error"`` fails it.
+SHARD_REQUEST = "shard.request"
+#: The hub↔shard pipe — ``kind="corrupt"`` mangles an outbound frame's
+#: bytes, which the receiver's checksum must catch and turn into an
+#: honest per-request error, never a crash.
+SHARD_WIRE = "shard.wire"
 
 #: Fault kinds understood by the instrumented sites.
 KINDS = ("exception", "error", "corrupt", "overflow", "slow")
@@ -216,6 +236,24 @@ class FaultPlan:
 
 _active: FaultPlan | None = None
 _install_lock = threading.Lock()
+
+
+def _reset_after_fork() -> None:
+    """Fork hygiene for sharded serving (``repro.serve.shard``).
+
+    A forked shard child inherits the parent's plan object *and* any
+    lock state frozen mid-acquire by an unlucky fork.  Both are wrong
+    for the child: its faults are delivered explicitly via
+    ``ShardConfig.fault_specs`` (seeded per shard index), so start the
+    child with a fresh lock and no active plan.
+    """
+    global _active, _install_lock
+    _install_lock = threading.Lock()
+    _active = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 def install(plan: FaultPlan) -> None:

@@ -72,11 +72,13 @@ __all__ = [
     "active",
     "attach",
     "clear",
+    "continue_trace",
     "current",
     "current_trace_id",
     "enabled",
     "event",
     "install",
+    "serialize_context",
     "simplex_phases_enabled",
     "span",
     "start_trace",
@@ -240,10 +242,17 @@ class Trace:
     """All spans of one traced request, shareable across threads."""
 
     def __init__(
-        self, tracer: "Tracer", name: str, attrs: dict[str, Any]
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        trace_id: str | None = None,
     ) -> None:
         self.tracer = tracer
-        self.trace_id = _next_id("t")
+        #: ``trace_id`` override: a trace continued from a serialized
+        #: context (another process's root) keeps the originator's id,
+        #: so hub and shard halves of one request correlate by id.
+        self.trace_id = trace_id or _next_id("t")
         #: Wall-clock anchor paired with the root's ``perf_counter``
         #: start: exports map monotonic offsets onto absolute time.
         self.started_wall = time.time()
@@ -378,6 +387,24 @@ class Tracer:
             return NULL_SPAN
         return Trace(self, name, attrs).root
 
+    def continue_trace(
+        self, name: str, context: dict[str, Any], **attrs: Any
+    ) -> Span | _NullSpan:
+        """Root span of a trace *continued* from a serialized context.
+
+        The cross-process half of trace handoff: the hub serializes its
+        root span with :func:`serialize_context`, ships it over the
+        shard wire, and the shard re-roots here under the same
+        ``trace_id``.  Head sampling is bypassed on purpose — the
+        upstream already made the sampling decision; dropping the
+        continuation here would orphan a sampled trace.
+        """
+        with self._lock:
+            self._started += 1
+        trace_id = str(context.get("trace_id") or "") or None
+        attrs.setdefault("remote_parent", str(context.get("span_id") or ""))
+        return Trace(self, name, attrs, trace_id=trace_id).root
+
     def _completed(self, trace: Trace) -> None:
         if self.sample == "slow" and trace.duration_ms() < self.slow_ms:
             with self._lock:
@@ -434,6 +461,26 @@ class Tracer:
 
 _active: Tracer | None = None
 _install_lock = threading.Lock()
+
+
+def _reset_after_fork() -> None:
+    """Fork hygiene for sharded serving (``repro.serve.shard``).
+
+    A forked shard child inherits the parent's tracer (whose ring
+    buffer the parent keeps mutating — traces would be split across
+    two processes' buffers) and possibly a lock frozen mid-acquire.
+    Start the child clean; ``shard_main`` reinstalls from the
+    environment (:func:`tracer_from_env`) so shard traces land in the
+    shard's own buffer and travel back over the wire by id.
+    """
+    global _active, _install_lock
+    _install_lock = threading.Lock()
+    _active = None
+    _tls.__dict__.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 def install(tracer: Tracer) -> None:
@@ -509,6 +556,39 @@ def start_trace(name: str, **attrs: Any) -> Span | _NullSpan:
     if tracer is None:
         return NULL_SPAN
     return tracer.start_trace(name, **attrs)
+
+
+def serialize_context(
+    span: Span | _NullSpan | None,
+) -> dict[str, str] | None:
+    """JSON-safe handoff context for ``span``, ``None`` when unsampled.
+
+    The wire-format half of cross-process tracing: two plain strings
+    (``trace_id``, ``span_id``) that ship inside a shard request frame.
+    ``None`` (no tracing, or the request was not sampled) tells the
+    remote side to skip tracing for this request too.
+    """
+    if span is None or isinstance(span, _NullSpan) or not span.trace_id:
+        return None
+    return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+
+def continue_trace(
+    name: str, context: dict[str, Any] | None, **attrs: Any
+) -> Span | _NullSpan:
+    """Open a root span continuing a remote trace (no-op when off).
+
+    With a context from :func:`serialize_context`, the new root adopts
+    the remote ``trace_id`` (bypassing head sampling — the originator
+    already sampled this request in).  Without one, this degrades to
+    :func:`start_trace`, so call sites need not branch.
+    """
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    if not context:
+        return tracer.start_trace(name, **attrs)
+    return tracer.continue_trace(name, context, **attrs)
 
 
 def attach(

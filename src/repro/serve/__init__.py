@@ -20,7 +20,16 @@ Layers, bottom up:
   :class:`~repro.milp.lp_backend.BasisExchangePool`, graceful drain;
 * :mod:`repro.serve.http` — stdlib JSON-over-HTTP front end
   (``POST /optimize``, ``GET /metrics``, ``GET /healthz``), also
-  reachable as the ``repro serve`` CLI subcommand.
+  reachable as the ``repro serve`` CLI subcommand;
+* :mod:`repro.serve.ring` / :mod:`repro.serve.shardwire` /
+  :mod:`repro.serve.shard` / :mod:`repro.serve.supervisor` /
+  :mod:`repro.serve.sharded` — the multi-process tier:
+  :class:`ShardedOptimizationServer` runs N shard child processes
+  (each a full inner server with shard-local plan cache, basis pool
+  and store), routes by consistent hash of
+  ``(catalog_version, query_signature)``, supervises with heartbeats,
+  and fails over in-flight requests honestly when a shard dies
+  (``repro serve --shards N``).
 
 Quickstart::
 
@@ -60,12 +69,15 @@ from repro.serve.scheduler import (
     ServeRequest,
     degraded_budget,
 )
+from repro.serve.ring import HashRing
 from repro.serve.server import (
     OptimizationServer,
     RequestStatus,
     ServeResult,
     ServeTicket,
 )
+from repro.serve.sharded import ShardedOptimizationServer
+from repro.serve.supervisor import ShardState, ShardSupervisor
 
 __all__ = [
     "BreakerBoard",
@@ -77,6 +89,7 @@ __all__ = [
     "CounterFamily",
     "DeadlineScheduler",
     "Gauge",
+    "HashRing",
     "Histogram",
     "MetricsRegistry",
     "OptimizationHTTPServer",
@@ -89,6 +102,9 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "ServeTicket",
+    "ShardState",
+    "ShardSupervisor",
+    "ShardedOptimizationServer",
     "degraded_budget",
     "make_http_server",
     "size_class",

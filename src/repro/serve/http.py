@@ -37,7 +37,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro import obs
 from repro.catalog.serde import plan_to_dict, query_from_dict
 
-from repro.serve.server import OptimizationServer, RequestStatus
+from repro.serve.server import RequestStatus
 
 __all__ = ["OptimizationHTTPServer", "make_http_server"]
 
@@ -116,18 +116,49 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/metrics":
             self._send_text(200, backend.metrics_text())
         elif path == "/healthz":
+            self._send_healthz(backend)
+        elif path == "/stats":
+            # Both server types expose stats(); metrics_snapshot() kept
+            # as the fallback for pre-stats() backends in tests.
+            stats = getattr(backend, "stats", backend.metrics_snapshot)
+            self._send_json(200, stats())
+        elif path == "/debug/traces":
+            self._send_traces(parse_qs(parts.query))
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def _send_healthz(self, backend) -> None:
+        """Liveness for load balancers.
+
+        Single-process backend: ``ok``/``draining`` plus queue depth.
+        Sharded backend (duck-typed on ``shard_health``): per-shard
+        liveness rows; **503 only when no healthy shard remains** — a
+        degraded-but-serving ring must keep receiving traffic, or one
+        shard crash would take the whole tier out of rotation.
+        """
+        shard_health = getattr(backend, "shard_health", None)
+        if shard_health is None:
             self._send_json(200, {
                 "status": "ok" if not backend.scheduler.closed
                 else "draining",
                 "queue_depth": len(backend.scheduler),
                 "queue_capacity": backend.scheduler.capacity,
             })
-        elif path == "/stats":
-            self._send_json(200, backend.metrics_snapshot())
-        elif path == "/debug/traces":
-            self._send_traces(parse_qs(parts.query))
+            return
+        health = shard_health()
+        healthy = int(health.get("healthy_shards", 0))
+        if health.get("draining"):
+            status = "draining"
+        elif healthy == 0:
+            status = "unavailable"
+        elif healthy < int(health.get("total_shards", 0)):
+            status = "degraded"
         else:
-            self._send_json(404, {"error": f"no route {self.path!r}"})
+            status = "ok"
+        self._send_json(200 if healthy > 0 else 503, {
+            "status": status,
+            **health,
+        })
 
     def _send_traces(self, params: dict) -> None:
         """Dump the tracer's ring buffer (``GET /debug/traces``)."""
@@ -234,17 +265,25 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class OptimizationHTTPServer(ThreadingHTTPServer):
-    """HTTP front holding a reference to its :class:`OptimizationServer`."""
+    """HTTP front holding a reference to its optimization backend.
+
+    The backend is duck-typed: either the single-process
+    :class:`OptimizationServer` or the multi-process
+    :class:`~repro.serve.sharded.ShardedOptimizationServer` — both
+    expose ``submit``/``stats``/``metrics_text``/``scheduler``, and the
+    sharded one additionally ``shard_health`` (which switches
+    ``/healthz`` to per-shard reporting).
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, optimizer: OptimizationServer) -> None:
+    def __init__(self, address, optimizer) -> None:
         super().__init__(address, _Handler)
         self.optimizer = optimizer
 
 
 def make_http_server(
-    optimizer: OptimizationServer,
+    optimizer,
     host: str = "127.0.0.1",
     port: int = 8080,
 ) -> OptimizationHTTPServer:

@@ -23,6 +23,7 @@ __all__ = [
     "Histogram",
     "KNOWN_METRICS",
     "MetricsRegistry",
+    "render_labeled",
 ]
 
 #: Every metric name the serving layer may mint, with its type.
@@ -63,6 +64,14 @@ KNOWN_METRICS: dict[str, str] = {
     "store_replay_seconds": "gauge",
     "store_replayed_plans": "gauge",
     "store_replayed_bases": "gauge",
+    # sharded serving (sharded.py / supervisor.py)
+    "serve_dispatched_total": "counter",
+    "serve_shard_kills_total": "counter",
+    "serve_shard_respawns_total": "counter",
+    "serve_shard_retries_total": "counter",
+    "serve_wire_corrupt_total": "counter",
+    "serve_healthy_shards": "gauge",
+    "serve_shard_inflight": "gauge",
 }
 
 #: Default histogram buckets: request latencies in seconds, log-spaced
@@ -402,3 +411,63 @@ class MetricsRegistry:
             else:
                 out[name] = metric.value
         return out
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_labeled(
+    snapshot: dict[str, object], labels: dict[str, str]
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text samples
+    with ``labels`` attached to every sample.
+
+    This is how the sharded front end merges per-shard registries into
+    one ``GET /metrics`` page: each shard ships its registry snapshot
+    (plain JSON — metric objects do not cross the process boundary) in
+    its heartbeats, and the hub renders each under ``shard="N"``.
+    Histogram snapshots emit their summary stats as suffixed samples
+    (``_count``/``_sum``/``_p50``/...); counter-family dicts (keys of
+    ``k=v`` form) merge their labels with the supplied ones.  Values
+    that arrived sanitized into strings (``"nan"``/``"inf"``) are
+    skipped — a scrape page must stay numeric.
+    """
+    rendered_labels = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    lines: list[str] = []
+
+    def emit(name: str, extra: str | None, value: object) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        label_str = (
+            f"{rendered_labels},{extra}" if extra else rendered_labels
+        )
+        lines.append(f"{name}{{{label_str}}} {value}")
+
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            if value and all("=" in str(key) for key in value):
+                # Counter family: per-child label sets ride in the key.
+                for key, count in sorted(value.items()):
+                    extra = ",".join(
+                        f'{part.split("=", 1)[0]}='
+                        f'"{_escape_label(part.split("=", 1)[1])}"'
+                        for part in str(key).split(",")
+                        if "=" in part
+                    )
+                    emit(name, extra, count)
+            else:
+                # Histogram snapshot: summary stats as suffixed samples.
+                for stat in ("count", "sum", "mean", "p50", "p95", "p99"):
+                    if stat in value:
+                        emit(f"{name}_{stat}", None, value[stat])
+        else:
+            emit(name, None, value)
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,91 @@
+"""Consistent-hash routing ring for sharded serving.
+
+Routing keeps ``(catalog_version, query_signature)`` sticky to one
+shard so the shard-local plan cache and
+:class:`~repro.milp.lp_backend.BasisExchangePool` stay hot: the same
+query always lands where its plan and warm bases already live.
+
+A plain ``hash(key) % shards`` would remap nearly every key whenever a
+shard dies or rejoins, dumping every shard's cache at once.  The
+classic consistent-hashing construction (Karger et al.) bounds the
+blast radius instead: each shard owns ``vnodes`` pseudo-random points
+on a ring, a key routes to the first point at or after its own hash,
+and when a shard is unavailable the walk simply continues to the next
+point owned by a *healthy* shard.  Killing one shard of N therefore
+remaps only that shard's ~1/N of the keyspace — and maps it *back*
+automatically when the supervisor respawns the shard, because the ring
+itself never changes, only the healthy set does.
+
+Hashes come from SHA-256, not ``hash()``: routing must be identical
+across processes and runs (``PYTHONHASHSEED`` randomizes ``hash``),
+because the benchmark and chaos suites assert stable placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Collection, Iterator
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """64-bit ring position of ``key`` (stable across processes)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable ring of ``shards`` members with virtual nodes.
+
+    Immutability is deliberate: membership *churn* (a dead shard) is a
+    health predicate evaluated at lookup time, not a ring rebuild — so
+    a respawned shard reclaims exactly its old keys.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 32) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = shards
+        self.vnodes = vnodes
+        points = sorted(
+            (_point(f"shard{shard}#vnode{vnode}"), shard)
+            for shard in range(shards)
+            for vnode in range(vnodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def preference(self, key: str) -> Iterator[int]:
+        """Shard indexes in ring-walk order from ``key``'s position.
+
+        The first yielded shard is the key's home; each further one is
+        the next-closest distinct owner — the failover order.  Every
+        shard appears exactly once.
+        """
+        start = bisect.bisect_left(self._hashes, _point(key))
+        seen: set[int] = set()
+        total = len(self._owners)
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+    def route(self, key: str, healthy: Collection[int]) -> int | None:
+        """The first healthy shard on the walk from ``key``'s position,
+        or ``None`` when no healthy shard exists."""
+        for shard in self.preference(key):
+            if shard in healthy:
+                return shard
+        return None
+
+    def distribution(self, keys: Collection[str]) -> dict[int, int]:
+        """Home-shard histogram of ``keys`` (balance diagnostics)."""
+        counts = dict.fromkeys(range(self.shards), 0)
+        for key in keys:
+            counts[next(self.preference(key))] += 1
+        return counts

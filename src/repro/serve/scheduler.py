@@ -86,6 +86,16 @@ class ServeRequest:
     #: Open ``queue.wait`` child span: started on the submitting thread
     #: at admission, finished by the worker that dequeues the request.
     queue_span: "obs.Span | None" = None
+    #: Sharded serving (:mod:`repro.serve.sharded`): wire request id
+    #: assigned at dispatch, the shard currently holding the request,
+    #: and how many times a shard death forced a failover re-dispatch.
+    #: Unused (and zero-cost) in the single-process server.
+    rid: int | None = None
+    shard: int | None = None
+    attempts: int = 0
+    #: When the hub last dispatched this request onto a shard
+    #: (``time.monotonic``); drives the hub-side deadline backstop.
+    dispatched: float | None = None
 
     def remaining(self, now: float | None = None) -> float | None:
         """Seconds until the deadline (``None`` without a deadline)."""

@@ -569,6 +569,7 @@ class OptimizationServer:
         *,
         priority: "Priority | str | int" = Priority.NORMAL,
         deadline: float | None = None,
+        trace_context: dict | None = None,
     ) -> ServeTicket:
         """Submit ``query`` for optimization; returns immediately.
 
@@ -577,6 +578,12 @@ class OptimizationServer:
         caps its optimization budget.  The ticket's future always
         resolves — ``REJECTED`` synchronously when admission sheds the
         request, ``TIMED_OUT``/``FAILED``/``COMPLETED`` from a worker.
+
+        ``trace_context`` is a serialized :func:`repro.obs.serialize_context`
+        dict from an upstream process (the sharded hub): the request's
+        trace then *continues* the upstream trace under the same id
+        instead of starting a fresh one, so one request that crossed
+        the shard wire reads as one trace.
         """
         # Validate before counting, so a raised ValueError leaves the
         # submitted/resolved counters balanced.  NaN would sail through
@@ -601,8 +608,9 @@ class OptimizationServer:
         if effective is not None:
             request.deadline = request.submitted + effective
         request.cancel_token = CancelToken(deadline=request.deadline)
-        trace = obs.start_trace(
+        trace = obs.continue_trace(
             "request",
+            trace_context,
             algorithm=algorithm,
             priority=resolved_priority.name.lower(),
             query=getattr(query, "name", "?"),
@@ -1078,6 +1086,8 @@ class OptimizationServer:
         requests = self._requests_total.value
         completed = self._completed.value
         coalesced = self._coalesced.value
+        with self._lock:
+            wedged = len(self._wedged)
         snapshot = {
             "requests": {
                 "submitted": requests,
@@ -1122,6 +1132,18 @@ class OptimizationServer:
                 "workers_replaced": self._workers_replaced.value,
                 "breakers": self.resilience.breakers.as_dict(),
             },
+            # One place for every "the serving tier replaced a broken
+            # part" counter — thread-level here, process-level (shard
+            # respawns/kills/retries) added by the sharded front end.
+            # Before this section, serve_workers_replaced_total was
+            # metrics-text-only and invisible in /stats.
+            "supervision": {
+                "workers_replaced": self._workers_replaced.value,
+                "wedged_workers": wedged,
+                "shard_respawns": 0,
+                "shard_kills": 0,
+                "shard_retries": 0,
+            },
             "errors": self._errors.as_dict(),
         }
         if self.basis_pool is not None:
@@ -1139,6 +1161,16 @@ class OptimizationServer:
             }
             snapshot["store"] = summary
         return snapshot
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload.
+
+        Today this is :meth:`metrics_snapshot` (including the
+        ``supervision`` section); the named method exists so the HTTP
+        layer and the sharded front end expose the same duck-typed
+        surface.
+        """
+        return self.metrics_snapshot()
 
     def metrics_text(self) -> str:
         """Prometheus-style text exposition (``GET /metrics``)."""

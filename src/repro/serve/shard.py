@@ -1,0 +1,420 @@
+"""Shard child process: one :class:`OptimizationServer` behind a pipe.
+
+A shard is deliberately *not* a new serving implementation.  The child
+process runs the existing single-process
+:class:`~repro.serve.server.OptimizationServer` — worker pool, deadline
+watchdog, resilience ladder, request coalescing, shard-local
+:class:`~repro.milp.lp_backend.BasisExchangePool`, and store-backed
+warm replay — and this module only adds the pipe protocol around it:
+
+* decode checksum-framed requests (:mod:`repro.serve.shardwire`),
+  submit them to the inner server, and ship each resolved
+  :class:`~repro.serve.server.ServeResult` back under its request id;
+* heartbeat on a fixed cadence with a sanitized metrics snapshot, so
+  the hub-side supervisor can distinguish "busy" from "dead" and can
+  merge per-shard metrics;
+* honor ``drain``/``stop``/``cancel``/``bump`` control messages;
+* host the process-level fault sites (``shard.kill`` = SIGKILL self,
+  ``shard.heartbeat`` = stalled/skipped beats, ``shard.request`` =
+  wedged or failed intake) that the chaos suite drives.
+
+Everything the child needs crosses the ``exec``/``fork`` boundary in a
+:class:`ShardConfig` of primitives — no live objects, so the config is
+identical under both start methods and a respawned shard is built from
+the same recipe as the original.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro import faultinject, obs
+from repro.api import OptimizerSettings
+from repro.store import open_store, shard_store_path
+
+from repro.serve import shardwire
+from repro.serve.scheduler import Priority
+from repro.serve.server import (
+    OptimizationServer,
+    RequestStatus,
+    ServeResult,
+    ServeTicket,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
+__all__ = [
+    "ShardConfig",
+    "shard_heartbeat_interval",
+    "shard_heartbeat_timeout",
+    "shard_main",
+    "shard_max_retries",
+    "shard_start_method",
+    "shard_vnodes",
+]
+
+logger = logging.getLogger("repro.serve.shard")
+
+
+# ----------------------------------------------------------------------
+# Environment knobs (documented in docs/operations.md — rule REG-001)
+# ----------------------------------------------------------------------
+
+def shard_heartbeat_interval() -> float:
+    """Seconds between shard heartbeats (``REPRO_SHARD_HEARTBEAT_INTERVAL``)."""
+    raw = os.environ.get("REPRO_SHARD_HEARTBEAT_INTERVAL", "").strip()
+    return float(raw) if raw else 0.25
+
+
+def shard_heartbeat_timeout() -> float:
+    """Heartbeat silence the supervisor treats as a dead shard
+    (``REPRO_SHARD_HEARTBEAT_TIMEOUT``)."""
+    raw = os.environ.get("REPRO_SHARD_HEARTBEAT_TIMEOUT", "").strip()
+    return float(raw) if raw else 2.0
+
+
+def shard_max_retries() -> int:
+    """Failover retries per request after a shard death
+    (``REPRO_SHARD_MAX_RETRIES``)."""
+    raw = os.environ.get("REPRO_SHARD_MAX_RETRIES", "").strip()
+    return int(raw) if raw else 2
+
+
+def shard_vnodes() -> int:
+    """Virtual nodes per shard on the hash ring (``REPRO_SHARD_VNODES``)."""
+    raw = os.environ.get("REPRO_SHARD_VNODES", "").strip()
+    return int(raw) if raw else 32
+
+
+def shard_start_method() -> str:
+    """Multiprocessing start method (``REPRO_SHARD_START_METHOD``).
+
+    Defaults to ``fork`` where available: shard start-up (and therefore
+    crash *recovery*) is hundreds of milliseconds cheaper than a spawn
+    that re-imports numpy/scipy.  The fork-safety debt is paid by the
+    ``os.register_at_fork`` hooks in :mod:`repro.faultinject` and
+    :mod:`repro.obs` plus the primitives-only :class:`ShardConfig`.
+    """
+    raw = os.environ.get("REPRO_SHARD_START_METHOD", "").strip().lower()
+    if raw:
+        return raw
+    import multiprocessing
+
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a shard child needs, as picklable primitives.
+
+    ``fault_specs`` seeds the child's own deterministic
+    :class:`~repro.faultinject.FaultPlan` (seeded per shard index, so
+    three shards under one chaos seed fire three distinct schedules).
+    By default specs apply to the *first* incarnation only — the
+    supervisor strips them on respawn so a kill-site cannot re-fire
+    every five requests forever and livelock recovery; set
+    ``faults_on_respawn`` to keep them across incarnations.
+    """
+
+    index: int
+    workers: int = 2
+    queue_capacity: int = 64
+    cost_model: str = "hash"
+    time_limit: float = 30.0
+    seed: int = 0
+    precision: str = "high"
+    coalesce: bool = True
+    store_path: str | None = None
+    store_backend: str | None = None
+    replay_budget: int | None = None
+    flush_interval: float | None = None
+    heartbeat_interval: float = 0.25
+    budget_safety: float = 0.9
+    min_budget: float = 0.05
+    fault_seed: int = 0
+    fault_specs: tuple[faultinject.FaultSpec, ...] = field(default=())
+    faults_on_respawn: bool = False
+    incarnation: int = 0
+
+
+def _build_server(config: ShardConfig) -> OptimizationServer:
+    store = None
+    if config.store_path is not None:
+        store = open_store(
+            shard_store_path(config.store_path, config.index),
+            backend=config.store_backend,
+        )
+    settings = OptimizerSettings(
+        cost_model=config.cost_model,
+        time_limit=config.time_limit,
+        seed=config.seed,
+        precision=config.precision,
+    )
+    return OptimizationServer(
+        settings,
+        workers=config.workers,
+        queue_capacity=config.queue_capacity,
+        coalesce=config.coalesce,
+        store=store,
+        replay_budget=config.replay_budget,
+        flush_interval=config.flush_interval,
+        budget_safety=config.budget_safety,
+        min_budget=config.min_budget,
+    )
+
+
+# ----------------------------------------------------------------------
+# Child entry point
+# ----------------------------------------------------------------------
+
+class _ShardRuntime:
+    """The child's pipe loop state (one instance per shard process)."""
+
+    def __init__(self, conn: "Connection", config: ShardConfig) -> None:
+        self.conn = conn
+        self.config = config
+        self.server = _build_server(config)
+        self._send_lock = threading.Lock()
+        self._stop_beats = threading.Event()
+        self._lock = threading.Lock()
+        #: Live tickets by rid, for control-message cancellation.
+        self._tickets: dict[int, ServeTicket] = {}
+
+    # -- outbound ------------------------------------------------------
+
+    def send(self, blob: bytes) -> bool:
+        """Ship one frame to the hub; ``False`` when the pipe is gone.
+
+        One lock around ``send_bytes``: result callbacks fire on worker
+        threads concurrently with the heartbeat thread, and interleaved
+        partial writes would corrupt *both* frames.
+        """
+        try:
+            with self._send_lock:
+                self.conn.send_bytes(blob)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def send_result(self, rid: int, outcome: ServeResult) -> None:
+        fault = faultinject.check(faultinject.SHARD_WIRE)
+        blob = shardwire.encode_result(rid, outcome)
+        if fault is not None and fault.kind == "corrupt":
+            plan = faultinject.active()
+            if plan is not None:
+                blob = faultinject.corrupt_payload(blob, plan.rng_for(fault))
+        self.send(blob)
+
+    # -- request intake ------------------------------------------------
+
+    def handle_request(self, rid: int, body: dict[str, Any]) -> None:
+        kill = faultinject.check(faultinject.SHARD_KILL)
+        if kill is not None:
+            # kill -9 semantics: no cleanup, no goodbye, earlier
+            # requests die mid-solve.  The supervisor must recover.
+            logger.warning("shard %d: injected SIGKILL", self.config.index)
+            os.kill(os.getpid(), signal.SIGKILL)
+        fault = faultinject.check(faultinject.SHARD_REQUEST)
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay)
+            elif fault.kind in ("error", "exception"):
+                self.send_result(rid, ServeResult(
+                    status=RequestStatus.FAILED,
+                    algorithm=str(body.get("algorithm", "?")),
+                    error=f"injected shard fault: {fault.message}",
+                ))
+                return
+        try:
+            wire = shardwire.request_from_body(body)
+        except shardwire.ShardWireError as error:
+            self.send_result(rid, ServeResult(
+                status=RequestStatus.FAILED,
+                algorithm=str(body.get("algorithm", "?")),
+                error=f"shard rejected request frame: {error}",
+            ))
+            return
+        ticket = self.server.submit(
+            wire.query,
+            wire.algorithm,
+            priority=Priority(wire.priority),
+            deadline=wire.deadline_s,
+            trace_context=wire.trace,
+        )
+        with self._lock:
+            self._tickets[rid] = ticket
+        ticket.future.add_done_callback(self._result_sender(rid))
+
+    def _result_sender(self, rid: int):
+        def _done(future) -> None:
+            with self._lock:
+                self._tickets.pop(rid, None)
+            try:
+                outcome = future.result()
+            except Exception as error:  # noqa: BLE001 - never kill a worker
+                outcome = ServeResult(
+                    status=RequestStatus.FAILED,
+                    algorithm="?",
+                    error=f"{type(error).__name__}: {error}",
+                )
+            try:
+                self.send_result(rid, outcome)
+            except Exception:  # noqa: BLE001
+                logger.exception("shard %d: result send failed",
+                                 self.config.index)
+        return _done
+
+    # -- control -------------------------------------------------------
+
+    def handle_control(self, body: dict[str, Any]) -> bool:
+        """Apply a control message; ``False`` means exit the loop."""
+        op = body.get("op")
+        if op == "cancel":
+            rid = int(body.get("rid", 0))
+            with self._lock:
+                ticket = self._tickets.get(rid)
+            if ticket is not None:
+                ticket.cancel(str(body.get("reason", "cancelled by hub")))
+            return True
+        if op == "bump":
+            self.server.service.bump_catalog_version()
+            return True
+        if op == "drain":
+            self._shutdown(drain=True)
+            return False
+        if op == "stop":
+            self._shutdown(drain=False)
+            return False
+        logger.warning("shard %d: unknown control op %r",
+                       self.config.index, op)
+        return True
+
+    def _shutdown(self, drain: bool) -> None:
+        # stop() resolves every outstanding future, and each resolution
+        # fires its _result_sender callback — so the hub receives an
+        # honest disposition for everything in flight before the bye.
+        self._stop_beats.set()
+        self.server.stop(drain=drain)
+        self.send(shardwire.encode_bye(self.config.index))
+
+    # -- heartbeats ----------------------------------------------------
+
+    def heartbeat_loop(self) -> None:
+        seq = 0
+        while not self._stop_beats.wait(self.config.heartbeat_interval):
+            fault = faultinject.check(faultinject.SHARD_HEARTBEAT)
+            if fault is not None:
+                if fault.kind == "slow":
+                    # A wedged-but-alive shard: silent past the
+                    # supervisor's timeout, which must declare it dead.
+                    time.sleep(fault.delay)
+                    continue
+                if fault.kind in ("error", "exception"):
+                    continue  # skip this beat
+            seq += 1
+            stats = self.server.metrics_snapshot()
+            # The raw registry rides along so the hub can merge it into
+            # its /metrics page under a shard="N" label.
+            stats["registry"] = self.server.metrics.snapshot()
+            if not self.send(
+                shardwire.encode_heartbeat(self.config.index, seq, stats)
+            ):
+                return
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self) -> None:
+        self.server.start()
+        beats = threading.Thread(
+            target=self.heartbeat_loop,
+            name=f"shard-{self.config.index}-beats",
+            daemon=True,
+        )
+        beats.start()
+        self.send(shardwire.encode_ready(
+            self.config.index,
+            pid=os.getpid(),
+            replayed_plans=int(
+                self.server.metrics.gauge(
+                    "store_replayed_plans", "plans preloaded").value
+            ),
+            replayed_bases=int(
+                self.server.metrics.gauge(
+                    "store_replayed_bases", "bases preloaded").value
+            ),
+        ))
+        try:
+            while True:
+                try:
+                    blob = self.conn.recv_bytes()
+                except (EOFError, OSError):
+                    # Hub gone (crashed or hard-stopped us): nothing to
+                    # report results to — stop without draining.
+                    self._stop_beats.set()
+                    self.server.stop(drain=False)
+                    return
+                try:
+                    rid, body = shardwire.decode_message(blob)
+                except shardwire.ShardWireError as error:
+                    rid = shardwire.peek_rid(blob)
+                    # Honest per-request error, never a crash: a named
+                    # request fails loudly; an unnameable frame is
+                    # reported and dropped.
+                    self.send_result(rid, ServeResult(
+                        status=RequestStatus.FAILED,
+                        algorithm="?",
+                        error=f"shard received corrupt frame: {error}",
+                    ))
+                    continue
+                if body["type"] == "request":
+                    self.handle_request(rid, body)
+                elif body["type"] == "control":
+                    if not self.handle_control(body):
+                        return
+                else:
+                    logger.warning(
+                        "shard %d: unexpected %r message from hub",
+                        self.config.index, body["type"],
+                    )
+        finally:
+            self._stop_beats.set()
+
+
+def shard_main(conn: "Connection", config: ShardConfig) -> None:
+    """Child-process entry point (the ``multiprocessing.Process`` target).
+
+    Installs the shard's own deterministic fault plan and tracer (the
+    fork hooks cleared any inherited ones), builds the inner server —
+    including the per-shard store's warm replay — and runs the pipe
+    loop until the hub says stop or the pipe dies.
+    """
+    if config.fault_specs and (
+        config.incarnation == 0 or config.faults_on_respawn
+    ):
+        faultinject.install(faultinject.FaultPlan(
+            seed=config.fault_seed + config.index,
+            specs=list(config.fault_specs),
+        ))
+    tracer = obs.tracer_from_env()
+    if tracer is not None:
+        obs.install(tracer)
+    runtime = _ShardRuntime(conn, config)
+    try:
+        runtime.run()
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

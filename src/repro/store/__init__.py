@@ -62,6 +62,7 @@ __all__ = [
     "encode_basis",
     "encode_plan_record",
     "open_store",
+    "shard_store_path",
     "store_flush_interval",
     "store_max_plans",
     "store_replay_budget",
@@ -94,3 +95,19 @@ def open_store(
             f"{sorted(BACKENDS)}"
         )
     return BACKENDS[backend](path, max_plans=max_plans)
+
+
+def shard_store_path(path: "str | Path", index: int) -> "Path":
+    """Per-shard store path derived from a base path.
+
+    Sharded serving gives every shard its *own* store file
+    (``plans.db`` → ``plans.db.shard0``, ``.shard1``, ...): consistent-
+    hash routing keeps each key on one shard, so splitting the store by
+    shard keeps warm replay shard-local — a respawned shard replays
+    exactly the plans and bases it owned, nothing it will never serve —
+    and sidesteps cross-process write contention on one sqlite file.
+    The derivation is stable, so a respawn (and the next server
+    lifetime) reopens the same file.
+    """
+    base = Path(path)
+    return base.with_name(f"{base.name}.shard{int(index)}")

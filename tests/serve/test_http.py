@@ -257,3 +257,120 @@ class TestTracingEndpoints:
             if record.getMessage().startswith("access ")
         ]
         assert access and "trace_id=-" in access[0]
+
+
+class TestShardedBackend:
+    """The same HTTP front over the multi-process sharded tier."""
+
+    @pytest.fixture()
+    def sharded_server(self):
+        from repro.serve import ShardedOptimizationServer
+
+        server = ShardedOptimizationServer(
+            shards=2, workers_per_shard=1, supervisor_interval=0.02,
+            heartbeat_interval=0.1,
+        )
+        httpd = make_http_server(server, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            yield base, server
+        finally:
+            httpd.shutdown()
+            server.stop(drain=False, timeout=10.0)
+
+    def test_optimize_through_shards(self, sharded_server):
+        base, _ = sharded_server
+        code, body = post(base + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        assert code == 200
+        assert body["status"] == "completed"
+        assert body["plan"] is not None
+
+    def test_healthz_reports_per_shard_liveness(self, sharded_server):
+        base, server = sharded_server
+        import time as _time
+
+        deadline = _time.monotonic() + 30.0
+        while _time.monotonic() < deadline and \
+                len(server.supervisor.healthy()) < 2:
+            _time.sleep(0.05)
+        code, raw = get(base + "/healthz")
+        body = json.loads(raw)
+        assert code == 200
+        assert body["status"] == "ok"
+        assert body["healthy_shards"] == 2
+        assert body["total_shards"] == 2
+        assert set(body["shards"]) == {"0", "1"}
+        assert body["shards"]["0"]["state"] == "ready"
+
+    def test_stats_has_supervision_section(self, sharded_server):
+        base, _ = sharded_server
+        code, raw = get(base + "/stats")
+        body = json.loads(raw)
+        assert code == 200
+        assert body["sharded"] is True
+        assert "shard_respawns" in body["supervision"]
+        assert "workers_replaced" in body["supervision"]
+
+    def test_metrics_merges_shard_registries(self, sharded_server):
+        base, _ = sharded_server
+        import time as _time
+
+        post(base + "/optimize", {
+            "query": query_to_dict(example_query()),
+            "algorithm": "greedy",
+        })
+        deadline = _time.monotonic() + 10.0
+        text = ""
+        while _time.monotonic() < deadline:
+            _, raw = get(base + "/metrics")
+            text = raw.decode()
+            if 'shard="0"' in text and 'shard="1"' in text:
+                break
+            _time.sleep(0.1)
+        assert 'shard="0"' in text
+        assert 'shard="1"' in text
+
+    def test_healthz_503_only_when_no_healthy_shard(self, http_server):
+        """A degraded ring serves 200; an empty ring serves 503.
+
+        Driven through a stub backend: killing real shards and racing
+        the respawner would make the 503 window flaky.
+        """
+        import urllib.error
+
+        class StubSharded:
+            def __init__(self, healthy):
+                self.healthy = healthy
+
+            def shard_health(self):
+                return {
+                    "shards": {"0": {"state": "dead"}},
+                    "healthy_shards": self.healthy,
+                    "total_shards": 3,
+                    "draining": False,
+                }
+
+        from repro.serve.http import OptimizationHTTPServer
+
+        httpd = OptimizationHTTPServer(("127.0.0.1", 0), StubSharded(2))
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            code, raw = get(base + "/healthz")
+            assert code == 200
+            assert json.loads(raw)["status"] == "degraded"
+            httpd.optimizer.healthy = 0
+            try:
+                code, raw = get(base + "/healthz")
+            except urllib.error.HTTPError as error:
+                code, raw = error.code, error.read()
+            assert code == 503
+            assert json.loads(raw)["status"] == "unavailable"
+        finally:
+            httpd.shutdown()

@@ -1,0 +1,77 @@
+"""Unit tests for the consistent-hash routing ring."""
+
+import pytest
+
+from repro.serve.ring import HashRing
+
+
+KEYS = [f"3:sig-{i:04d}" for i in range(2000)]
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert all(ring.route(k, {0}) == 0 for k in KEYS[:50])
+
+
+class TestStability:
+    def test_routing_is_deterministic_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        healthy = {0, 1, 2, 3}
+        assert [a.route(k, healthy) for k in KEYS] == \
+            [b.route(k, healthy) for k in KEYS]
+
+    def test_preference_lists_every_shard_once(self):
+        ring = HashRing(5)
+        for key in KEYS[:100]:
+            order = list(ring.preference(key))
+            assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_recovered_shard_reclaims_exactly_its_old_keys(self):
+        """The invariant warm failback rests on: health churn never
+        remaps keys whose home shard stayed healthy."""
+        ring = HashRing(3)
+        full = {0, 1, 2}
+        before = {k: ring.route(k, full) for k in KEYS}
+        degraded = {k: ring.route(k, {1, 2}) for k in KEYS}
+        after = {k: ring.route(k, full) for k in KEYS}
+        assert after == before  # respawn restores the exact placement
+        moved = [k for k in KEYS if degraded[k] != before[k]]
+        # Only shard 0's keys moved, and they moved to healthy shards.
+        assert all(before[k] == 0 for k in moved)
+        assert all(degraded[k] in {1, 2} for k in moved)
+
+    def test_kill_one_of_n_moves_about_one_nth(self):
+        ring = HashRing(4)
+        full = {0, 1, 2, 3}
+        moved = sum(
+            1 for k in KEYS if ring.route(k, full) != ring.route(k, {1, 2, 3})
+        )
+        share = moved / len(KEYS)
+        # Exactly the keys homed on shard 0 move: ~1/4, not ~all.
+        assert 0.10 < share < 0.45
+
+
+class TestRouting:
+    def test_route_skips_unhealthy(self):
+        ring = HashRing(3)
+        for key in KEYS[:200]:
+            assert ring.route(key, {2}) == 2
+
+    def test_route_none_when_ring_empty(self):
+        ring = HashRing(3)
+        assert ring.route("anything", set()) is None
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(4, vnodes=64)
+        counts = ring.distribution(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        for shard, count in counts.items():
+            # With 64 vnodes the spread stays within ~2x of fair share.
+            assert count > len(KEYS) / 4 / 2.5, (shard, counts)
